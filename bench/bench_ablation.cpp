@@ -1,0 +1,177 @@
+// Ablations over the design choices DESIGN.md calls out:
+//
+//   1. accepted error threshold ε (relative) — UC-1 convergence and noise
+//   2. SDT soft multiple m
+//   3. reward/penalty of the aggressive history rule
+//   4. round-weighting interpretation of the Hybrid (the documented
+//      deviation: HISTORY vs AGREEMENT vs COMBINED weights)
+//   5. AVOC's self-calibrating grouping vs DBSCAN's tuned eps (the §5
+//      claim that grouping avoids "costly parameter tuning")
+//
+// Flags: --rounds N --seed S
+#include <cmath>
+#include <cstdio>
+#include <optional>
+#include <vector>
+
+#include "cluster/dbscan.h"
+#include "cluster/grouping.h"
+#include "core/batch.h"
+#include "sim/light.h"
+#include "stats/convergence.h"
+#include "stats/running.h"
+#include "util/cli.h"
+
+namespace {
+
+using avoc::core::AlgorithmId;
+
+struct Tables {
+  avoc::data::RoundTable clean;
+  avoc::data::RoundTable faulty;
+};
+
+std::optional<size_t> Converge(const avoc::core::BatchResult& clean,
+                               const avoc::core::BatchResult& faulty) {
+  avoc::stats::ConvergenceOptions options;
+  options.tolerance = 100.0;
+  options.window = 5;
+  const auto report = avoc::stats::MeasureConvergence(
+      faulty.ContinuousOutputs(), clean.ContinuousOutputs(), options);
+  if (!report.converged_at.has_value()) return std::nullopt;
+  return *report.converged_at + 1;
+}
+
+void PrintRow(const char* label, double parameter,
+              const avoc::core::BatchResult& clean,
+              const avoc::core::BatchResult& faulty) {
+  avoc::stats::RunningStats noise;
+  const auto outputs = clean.ContinuousOutputs();
+  for (size_t r = 1; r < outputs.size(); ++r) {
+    noise.Add(std::abs(outputs[r] - outputs[r - 1]));
+  }
+  const auto rounds = Converge(clean, faulty);
+  std::printf("%-10s, %8.3f, %10s, %12.1f, %10zu\n", label, parameter,
+              rounds.has_value() ? std::to_string(*rounds).c_str() : "never",
+              noise.mean(), faulty.clustered_rounds());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto cli = avoc::CommandLine::Parse(argc - 1, argv + 1);
+  if (!cli.ok()) {
+    std::fprintf(stderr, "%s\n", cli.status().ToString().c_str());
+    return 1;
+  }
+  avoc::sim::LightScenarioParams params;
+  params.rounds = static_cast<size_t>(cli->GetInt("rounds", 2000));
+  params.seed = static_cast<uint64_t>(cli->GetInt("seed", 42));
+  const avoc::sim::LightScenario scenario(params);
+  const Tables tables{scenario.MakeReferenceTable(),
+                      scenario.MakeFaultyTable()};
+
+  auto run = [&](AlgorithmId id, const avoc::core::PresetParams& preset)
+      -> std::pair<avoc::core::BatchResult, avoc::core::BatchResult> {
+    auto clean = avoc::core::RunAlgorithm(id, tables.clean, preset);
+    auto faulty = avoc::core::RunAlgorithm(id, tables.faulty, preset);
+    if (!clean.ok() || !faulty.ok()) {
+      std::fprintf(stderr, "run failed\n");
+      std::exit(1);
+    }
+    return {std::move(*clean), std::move(*faulty)};
+  };
+
+  std::printf("=== ablation 1: accepted error threshold ε (AVOC) ===\n");
+  std::printf("%-10s, %8s, %10s, %12s, %10s\n", "param", "value",
+              "converge", "jitter(lux)", "clustered");
+  for (const double error : {0.01, 0.02, 0.05, 0.10, 0.20}) {
+    avoc::core::PresetParams preset;
+    preset.error = error;
+    const auto [clean, faulty] = run(AlgorithmId::kAvoc, preset);
+    PrintRow("error", error, clean, faulty);
+  }
+
+  std::printf("\n=== ablation 2: SDT soft multiple m (AVOC) ===\n");
+  std::printf("%-10s, %8s, %10s, %12s, %10s\n", "param", "value",
+              "converge", "jitter(lux)", "clustered");
+  for (const double m : {1.0, 1.5, 2.0, 3.0, 5.0}) {
+    avoc::core::PresetParams preset;
+    preset.soft_multiple = m;
+    const auto [clean, faulty] = run(AlgorithmId::kAvoc, preset);
+    PrintRow("soft_m", m, clean, faulty);
+  }
+
+  std::printf("\n=== ablation 3: history penalty (AVOC, reward 0.05) ===\n");
+  std::printf("%-10s, %8s, %10s, %12s, %10s\n", "param", "value",
+              "converge", "jitter(lux)", "clustered");
+  for (const double penalty : {0.05, 0.1, 0.3, 0.5, 1.0}) {
+    avoc::core::PresetParams preset;
+    preset.penalty = penalty;
+    const auto [clean, faulty] = run(AlgorithmId::kAvoc, preset);
+    PrintRow("penalty", penalty, clean, faulty);
+  }
+
+  std::printf("\n=== ablation 4: Hybrid round-weighting interpretation ===\n");
+  std::printf("%-10s, %8s, %10s, %12s, %10s\n", "weights", "-",
+              "converge", "jitter(lux)", "clustered");
+  for (const auto weighting :
+       {avoc::core::RoundWeighting::kHistory,
+        avoc::core::RoundWeighting::kAgreement,
+        avoc::core::RoundWeighting::kCombined}) {
+    auto config = avoc::core::MakeConfig(AlgorithmId::kHybrid);
+    config.weighting = weighting;
+    auto engine_clean =
+        avoc::core::VotingEngine::Create(tables.clean.module_count(), config);
+    auto engine_faulty =
+        avoc::core::VotingEngine::Create(tables.faulty.module_count(), config);
+    if (!engine_clean.ok() || !engine_faulty.ok()) continue;
+    auto clean = avoc::core::RunOverTable(*engine_clean, tables.clean);
+    auto faulty = avoc::core::RunOverTable(*engine_faulty, tables.faulty);
+    if (!clean.ok() || !faulty.ok()) continue;
+    const char* name = weighting == avoc::core::RoundWeighting::kHistory
+                           ? "history"
+                           : weighting == avoc::core::RoundWeighting::kAgreement
+                                 ? "agreement"
+                                 : "combined";
+    PrintRow(name, 0.0, *clean, *faulty);
+  }
+
+  // 5. Self-calibration: AVOC's relative-threshold grouping needs no
+  // per-dataset tuning, DBSCAN's absolute eps does.  Cluster one faulty
+  // round at two signal magnitudes with the *same* parameters and check
+  // whether the outlier is isolated.
+  std::printf("\n=== ablation 5: grouping self-calibration vs DBSCAN eps ===\n");
+  std::printf("%-22s, %12s, %12s\n", "method", "lux-scale", "rssi-scale");
+  const std::vector<double> lux_round = {17820.0, 18410.0, 19120.0, 24850.0,
+                                         18100.0};
+  const std::vector<double> rssi_round = {-62.0, -60.0, -58.0, -85.0, -61.0};
+  auto grouping_isolates = [](const std::vector<double>& values) {
+    avoc::cluster::GroupingOptions options;  // relative 0.05, self-scaling
+    const auto result = avoc::cluster::GroupByThreshold(values, options);
+    return result.largest().size() == values.size() - 1;
+  };
+  auto dbscan_isolates = [](const std::vector<double>& values, double eps) {
+    avoc::cluster::DbscanOptions options;
+    options.eps = eps;
+    options.min_points = 2;
+    const auto result = avoc::cluster::Dbscan1D(values, options);
+    size_t clustered = 0;
+    for (const int label : result.labels) {
+      if (label != avoc::cluster::DbscanResult::kNoise) ++clustered;
+    }
+    return result.cluster_count == 1 && clustered == values.size() - 1;
+  };
+  std::printf("%-22s, %12s, %12s\n", "grouping (no tuning)",
+              grouping_isolates(lux_round) ? "isolated" : "MISSED",
+              grouping_isolates(rssi_round) ? "isolated" : "MISSED");
+  std::printf("%-22s, %12s, %12s\n", "dbscan eps=900",
+              dbscan_isolates(lux_round, 900.0) ? "isolated" : "MISSED",
+              dbscan_isolates(rssi_round, 900.0) ? "isolated" : "MISSED");
+  std::printf("%-22s, %12s, %12s\n", "dbscan eps=5",
+              dbscan_isolates(lux_round, 5.0) ? "isolated" : "MISSED",
+              dbscan_isolates(rssi_round, 5.0) ? "isolated" : "MISSED");
+  std::printf("(DBSCAN needs a per-scale eps; the grouping step mirrors the\n"
+              " vote's relative threshold and works at both scales, §5.)\n");
+  return 0;
+}

@@ -1,0 +1,167 @@
+// §7 fault scenarios: missing values and conflicting results.
+//
+// Sweeps the dropout probability from 0% to 90% on a UC-2-like stack and
+// reports, per fault policy, how rounds resolve (voted / reverted /
+// suppressed / raised) and how accurate the surviving outputs stay.  Also
+// runs the conflicting-results scenario (two camps, no absolute majority)
+// against every no-majority policy.
+// Flags: --rounds N --seed S
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "core/batch.h"
+#include "sim/ble.h"
+#include "sim/fault.h"
+#include "stats/running.h"
+#include "util/cli.h"
+#include "util/rng.h"
+
+namespace {
+
+using avoc::core::AlgorithmId;
+using avoc::core::RoundOutcome;
+
+struct OutcomeCounts {
+  size_t voted = 0;
+  size_t reverted = 0;
+  size_t suppressed = 0;
+  size_t raised = 0;
+  double mean_abs_error = 0.0;
+};
+
+OutcomeCounts RunWithPolicy(const avoc::data::RoundTable& table,
+                            const std::vector<double>& truth,
+                            avoc::core::NoQuorumPolicy policy) {
+  auto config = avoc::core::MakeConfig(AlgorithmId::kAvoc);
+  config.agreement.scale = avoc::core::ThresholdScale::kAbsolute;
+  config.agreement.error = 6.0;
+  config.quorum.fraction = 0.5;
+  config.on_no_quorum = policy;
+  auto engine = avoc::core::VotingEngine::Create(table.module_count(), config);
+  OutcomeCounts counts;
+  if (!engine.ok()) return counts;
+  auto batch = avoc::core::RunOverTable(*engine, table);
+  if (!batch.ok()) return counts;
+
+  avoc::stats::RunningStats error;
+  for (size_t r = 0; r < batch->rounds.size(); ++r) {
+    switch (batch->rounds[r].outcome) {
+      case RoundOutcome::kVoted: ++counts.voted; break;
+      case RoundOutcome::kRevertedLast: ++counts.reverted; break;
+      case RoundOutcome::kNoOutput: ++counts.suppressed; break;
+      case RoundOutcome::kError: ++counts.raised; break;
+    }
+    if (batch->outputs[r].has_value()) {
+      error.Add(std::abs(*batch->outputs[r] - truth[r]));
+    }
+  }
+  counts.mean_abs_error = error.mean();
+  return counts;
+}
+
+const char* PolicyName(avoc::core::NoQuorumPolicy policy) {
+  switch (policy) {
+    case avoc::core::NoQuorumPolicy::kEmitNothing: return "emit_nothing";
+    case avoc::core::NoQuorumPolicy::kRevertLast: return "revert_last";
+    case avoc::core::NoQuorumPolicy::kRaise: return "raise";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto cli = avoc::CommandLine::Parse(argc - 1, argv + 1);
+  if (!cli.ok()) {
+    std::fprintf(stderr, "%s\n", cli.status().ToString().c_str());
+    return 1;
+  }
+  const size_t rounds = static_cast<size_t>(cli->GetInt("rounds", 297));
+  const uint64_t seed = static_cast<uint64_t>(cli->GetInt("seed", 7));
+
+  // Baseline stack without simulated dropouts; we inject our own sweep.
+  avoc::sim::BleScenarioParams params;
+  params.seed = seed;
+  params.rounds = rounds;
+  params.dropout_base = 0.0;
+  params.dropout_slope = 0.0;
+  const avoc::sim::BleScenario scenario(params);
+  const auto base = scenario.Generate().stack_a;
+  std::vector<double> truth;
+  truth.reserve(rounds);
+  for (size_t r = 0; r < rounds; ++r) {
+    truth.push_back(scenario.ExpectedRssi(scenario.RobotPosition(r)));
+  }
+
+  std::printf("=== fault scenario: missing values (dropout sweep) ===\n");
+  std::printf("%-8s, %-13s, %6s, %6s, %6s, %6s, %10s\n", "dropout", "policy",
+              "voted", "revert", "skip", "raise", "mae(dB)");
+  for (const double dropout : {0.0, 0.2, 0.4, 0.6, 0.8, 0.9}) {
+    avoc::data::RoundTable table = base;
+    avoc::Rng rng(seed * 1000 + static_cast<uint64_t>(dropout * 100));
+    for (size_t m = 0; m < table.module_count(); ++m) {
+      (void)avoc::sim::InjectDropout(table, m, dropout, rng);
+    }
+    for (const auto policy : {avoc::core::NoQuorumPolicy::kEmitNothing,
+                              avoc::core::NoQuorumPolicy::kRevertLast,
+                              avoc::core::NoQuorumPolicy::kRaise}) {
+      const OutcomeCounts counts = RunWithPolicy(table, truth, policy);
+      std::printf("%7.0f%%, %-13s, %6zu, %6zu, %6zu, %6zu, %10.2f\n",
+                  dropout * 100.0, PolicyName(policy), counts.voted,
+                  counts.reverted, counts.suppressed, counts.raised,
+                  counts.mean_abs_error);
+    }
+  }
+
+  // Conflicting results: split the stack into two camps 20 dB apart from
+  // round 100 on; no absolute majority can form across camps.
+  std::printf("\n=== fault scenario: conflicting results (no absolute "
+              "majority) ===\n");
+  std::printf("%-13s, %6s, %6s, %6s, %6s, %12s\n", "policy", "voted",
+              "revert", "skip", "raise", "no-majority");
+  avoc::data::RoundTable conflicted = base;
+  (void)avoc::sim::InjectConflict(conflicted, /*first_minority_module=*/5,
+                                  -20.0, /*from_round=*/100);
+  for (const auto policy : {avoc::core::NoMajorityPolicy::kAccept,
+                            avoc::core::NoMajorityPolicy::kEmitNothing,
+                            avoc::core::NoMajorityPolicy::kRevertLast,
+                            avoc::core::NoMajorityPolicy::kRaise}) {
+    auto config = avoc::core::MakeConfig(AlgorithmId::kAvoc);
+    config.agreement.scale = avoc::core::ThresholdScale::kAbsolute;
+    config.agreement.error = 6.0;
+    config.quorum.fraction = 0.5;
+    config.on_no_majority = policy;
+    auto engine =
+        avoc::core::VotingEngine::Create(conflicted.module_count(), config);
+    if (!engine.ok()) continue;
+    auto batch = avoc::core::RunOverTable(*engine, conflicted);
+    if (!batch.ok()) continue;
+    OutcomeCounts counts;
+    size_t no_majority = 0;
+    for (const auto& result : batch->rounds) {
+      switch (result.outcome) {
+        case RoundOutcome::kVoted: ++counts.voted; break;
+        case RoundOutcome::kRevertedLast: ++counts.reverted; break;
+        case RoundOutcome::kNoOutput: ++counts.suppressed; break;
+        case RoundOutcome::kError: ++counts.raised; break;
+      }
+      if (!result.had_majority) ++no_majority;
+    }
+    const char* name = "?";
+    switch (policy) {
+      case avoc::core::NoMajorityPolicy::kAccept: name = "accept"; break;
+      case avoc::core::NoMajorityPolicy::kEmitNothing:
+        name = "emit_nothing";
+        break;
+      case avoc::core::NoMajorityPolicy::kRevertLast:
+        name = "revert_last";
+        break;
+      case avoc::core::NoMajorityPolicy::kRaise: name = "raise"; break;
+    }
+    std::printf("%-13s, %6zu, %6zu, %6zu, %6zu, %12zu\n", name, counts.voted,
+                counts.reverted, counts.suppressed, counts.raised,
+                no_majority);
+  }
+  return 0;
+}

@@ -1,0 +1,172 @@
+// Regenerates every panel of Fig. 6 (UC-1, light sensors).
+//
+//   (a) raw reference data        -> per-sensor series summary + samples
+//   (b) voting output, clean      -> per-algorithm series summary
+//   (c) raw data with faulty E4   -> per-sensor summary (E4 shifted +6 klx)
+//   (d) voting output under fault -> per-algorithm series summary
+//   (e) diff (faulty - clean)     -> per-algorithm peak/residual/convergence
+//   (f) bootstrap zoom            -> first 10 rounds of the diff series
+//
+// Emits the series as CSV blocks so external plotting reproduces the
+// figure directly.  Flags: --rounds N --seed S --csv (full series dumps)
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/batch.h"
+#include "sim/light.h"
+#include "stats/convergence.h"
+#include "stats/running.h"
+#include "util/cli.h"
+
+namespace {
+
+using avoc::core::AlgorithmId;
+using avoc::core::BatchResult;
+
+void SummarizeSeries(const char* label, const std::vector<double>& series) {
+  avoc::stats::RunningStats rs;
+  for (const double v : series) rs.Add(v);
+  std::printf("%-10s, %9.1f, %9.1f, %9.1f, %8.1f\n", label, rs.mean(),
+              rs.min(), rs.max(), rs.stddev());
+}
+
+void DumpCsv(const char* title, const std::vector<std::string>& names,
+             const std::vector<std::vector<double>>& columns, size_t stride) {
+  std::printf("\n# CSV: %s\nround", title);
+  for (const auto& name : names) std::printf(",%s", name.c_str());
+  std::printf("\n");
+  if (columns.empty()) return;
+  for (size_t r = 0; r < columns.front().size(); r += stride) {
+    std::printf("%zu", r);
+    for (const auto& column : columns) std::printf(",%.1f", column[r]);
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto cli = avoc::CommandLine::Parse(argc - 1, argv + 1);
+  if (!cli.ok()) {
+    std::fprintf(stderr, "%s\n", cli.status().ToString().c_str());
+    return 1;
+  }
+  avoc::sim::LightScenarioParams params;
+  params.rounds = static_cast<size_t>(cli->GetInt("rounds", 10000));
+  params.seed = static_cast<uint64_t>(cli->GetInt("seed", 42));
+  const bool csv = cli->GetBool("csv", false);
+  const size_t stride = params.rounds > 500 ? params.rounds / 500 : 1;
+
+  const avoc::sim::LightScenario scenario(params);
+  const auto clean = scenario.MakeReferenceTable();
+  const auto faulty = scenario.MakeFaultyTable();
+
+  std::printf("=== Fig 6 / UC-1 light sensors (%zu rounds, seed %llu) ===\n",
+              params.rounds,
+              static_cast<unsigned long long>(params.seed));
+
+  std::printf("\n--- (a) raw reference data ---\n");
+  std::printf("%-10s, %9s, %9s, %9s, %8s\n", "sensor", "mean", "min", "max",
+              "stddev");
+  for (size_t m = 0; m < clean.module_count(); ++m) {
+    SummarizeSeries(clean.module_names()[m].c_str(), clean.ModuleValues(m));
+  }
+
+  std::printf("\n--- (c) raw data with faulty E4 (+6 klx) ---\n");
+  std::printf("%-10s, %9s, %9s, %9s, %8s\n", "sensor", "mean", "min", "max",
+              "stddev");
+  for (size_t m = 0; m < faulty.module_count(); ++m) {
+    SummarizeSeries(faulty.module_names()[m].c_str(), faulty.ModuleValues(m));
+  }
+
+  struct Run {
+    AlgorithmId id;
+    std::vector<double> clean_out;
+    std::vector<double> faulty_out;
+  };
+  std::vector<Run> runs;
+  for (const AlgorithmId id : avoc::core::AllAlgorithms()) {
+    auto clean_batch = avoc::core::RunAlgorithm(id, clean);
+    auto faulty_batch = avoc::core::RunAlgorithm(id, faulty);
+    if (!clean_batch.ok() || !faulty_batch.ok()) {
+      std::fprintf(stderr, "algorithm %s failed\n",
+                   std::string(avoc::core::AlgorithmName(id)).c_str());
+      return 1;
+    }
+    runs.push_back(Run{id, clean_batch->ContinuousOutputs(),
+                       faulty_batch->ContinuousOutputs()});
+  }
+
+  std::printf("\n--- (b) voting output on clean data ---\n");
+  std::printf("%-10s, %9s, %9s, %9s, %8s\n", "algorithm", "mean", "min",
+              "max", "stddev");
+  for (const Run& run : runs) {
+    SummarizeSeries(std::string(avoc::core::AlgorithmName(run.id)).c_str(),
+                    run.clean_out);
+  }
+
+  std::printf("\n--- (d) voting output under the injected fault ---\n");
+  std::printf("%-10s, %9s, %9s, %9s, %8s\n", "algorithm", "mean", "min",
+              "max", "stddev");
+  for (const Run& run : runs) {
+    SummarizeSeries(std::string(avoc::core::AlgorithmName(run.id)).c_str(),
+                    run.faulty_out);
+  }
+
+  std::printf("\n--- (e) error-injection effect: diff vs clean output ---\n");
+  std::printf("%-10s, %9s, %9s, %12s\n", "algorithm", "peak", "residual",
+              "converge@");
+  avoc::stats::ConvergenceOptions conv;
+  conv.tolerance = 100.0;
+  conv.window = 5;
+  for (const Run& run : runs) {
+    const auto report =
+        avoc::stats::MeasureConvergence(run.faulty_out, run.clean_out, conv);
+    std::printf("%-10s, %9.1f, %9.3f, %12s\n",
+                std::string(avoc::core::AlgorithmName(run.id)).c_str(),
+                report.peak_error, report.residual_bias,
+                report.converged_at.has_value()
+                    ? std::to_string(*report.converged_at).c_str()
+                    : "never");
+  }
+
+  std::printf("\n--- (f) clustering effect at bootstrap: diff, rounds 0-9 ---\n");
+  std::printf("%-10s", "algorithm");
+  for (int r = 0; r < 10; ++r) std::printf(", r%d", r);
+  std::printf("\n");
+  for (const Run& run : runs) {
+    std::printf("%-10s", std::string(avoc::core::AlgorithmName(run.id)).c_str());
+    for (size_t r = 0; r < 10 && r < run.clean_out.size(); ++r) {
+      std::printf(", %7.1f", run.faulty_out[r] - run.clean_out[r]);
+    }
+    std::printf("\n");
+  }
+
+  if (csv) {
+    std::vector<std::vector<double>> raw_columns;
+    for (size_t m = 0; m < clean.module_count(); ++m) {
+      raw_columns.push_back(clean.ModuleValues(m));
+    }
+    DumpCsv("fig6a_raw", clean.module_names(), raw_columns, stride);
+
+    std::vector<std::string> names;
+    std::vector<std::vector<double>> clean_columns;
+    std::vector<std::vector<double>> faulty_columns;
+    std::vector<std::vector<double>> diff_columns;
+    for (const Run& run : runs) {
+      names.emplace_back(avoc::core::AlgorithmName(run.id));
+      clean_columns.push_back(run.clean_out);
+      faulty_columns.push_back(run.faulty_out);
+      std::vector<double> diff(run.clean_out.size());
+      for (size_t r = 0; r < diff.size(); ++r) {
+        diff[r] = run.faulty_out[r] - run.clean_out[r];
+      }
+      diff_columns.push_back(std::move(diff));
+    }
+    DumpCsv("fig6b_clean_output", names, clean_columns, stride);
+    DumpCsv("fig6d_faulty_output", names, faulty_columns, stride);
+    DumpCsv("fig6e_diff", names, diff_columns, stride);
+  }
+  return 0;
+}

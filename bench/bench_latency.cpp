@@ -1,0 +1,163 @@
+// Latency micro-benchmarks (google-benchmark) for §7's implementation
+// notes: "the system can execute a history-aware voting round in 1
+// millisecond and a stateless vote in 50 microseconds (datastore reads and
+// writes being the bottleneck)".
+//
+// The absolute numbers here are far smaller (C++ on a workstation vs
+// Python 3.9 on constrained hardware); what must reproduce is the *shape*:
+// stateless << history-aware << history-aware + datastore persistence.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <vector>
+
+#include "core/algorithms.h"
+#include "core/engine.h"
+#include "runtime/datastore.h"
+#include "util/rng.h"
+
+namespace {
+
+using avoc::core::AlgorithmId;
+
+std::vector<double> MakeRound(size_t modules, avoc::Rng& rng) {
+  std::vector<double> round;
+  round.reserve(modules);
+  for (size_t m = 0; m < modules; ++m) {
+    round.push_back(18500.0 + rng.Gaussian(0.0, 60.0));
+  }
+  // One outlier keeps the agreement/elimination paths busy.
+  round.back() += 6000.0;
+  return round;
+}
+
+void BM_StatelessVote(benchmark::State& state) {
+  const size_t modules = static_cast<size_t>(state.range(0));
+  avoc::Rng rng(1);
+  const std::vector<double> round = MakeRound(modules, rng);
+  for (auto _ : state) {
+    auto result = avoc::core::StatelessVote(round);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StatelessVote)->Arg(5)->Arg(9)->Arg(32);
+
+void BM_HistoryAwareRound(benchmark::State& state) {
+  const size_t modules = static_cast<size_t>(state.range(0));
+  const AlgorithmId id = static_cast<AlgorithmId>(state.range(1));
+  auto engine = avoc::core::MakeEngine(id, modules);
+  if (!engine.ok()) {
+    state.SkipWithError("engine creation failed");
+    return;
+  }
+  avoc::Rng rng(2);
+  for (auto _ : state) {
+    state.PauseTiming();
+    const std::vector<double> round = MakeRound(modules, rng);
+    state.ResumeTiming();
+    auto result = engine->CastVote(round);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HistoryAwareRound)
+    ->ArgsProduct({{5, 9, 32},
+                   {static_cast<long>(AlgorithmId::kStandard),
+                    static_cast<long>(AlgorithmId::kModuleElimination),
+                    static_cast<long>(AlgorithmId::kSoftDynamicThreshold),
+                    static_cast<long>(AlgorithmId::kHybrid),
+                    static_cast<long>(AlgorithmId::kAvoc)}});
+
+void BM_ClusteringOnlyRound(benchmark::State& state) {
+  const size_t modules = static_cast<size_t>(state.range(0));
+  auto engine =
+      avoc::core::MakeEngine(AlgorithmId::kClusteringOnly, modules);
+  if (!engine.ok()) {
+    state.SkipWithError("engine creation failed");
+    return;
+  }
+  avoc::Rng rng(3);
+  for (auto _ : state) {
+    state.PauseTiming();
+    const std::vector<double> round = MakeRound(modules, rng);
+    state.ResumeTiming();
+    auto result = engine->CastVote(round);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ClusteringOnlyRound)->Arg(5)->Arg(9)->Arg(32);
+
+// History-aware round including the in-memory datastore round-trip the
+// paper identifies as the bottleneck.
+void BM_HistoryAwareRoundWithMemoryStore(benchmark::State& state) {
+  const size_t modules = static_cast<size_t>(state.range(0));
+  auto engine = avoc::core::MakeEngine(AlgorithmId::kAvoc, modules);
+  if (!engine.ok()) {
+    state.SkipWithError("engine creation failed");
+    return;
+  }
+  avoc::runtime::HistoryStore store;
+  avoc::Rng rng(4);
+  for (auto _ : state) {
+    state.PauseTiming();
+    const std::vector<double> round = MakeRound(modules, rng);
+    state.ResumeTiming();
+    // Read-modify-write against the store, as the voter service does.
+    auto snapshot = store.Get("group");
+    if (snapshot.ok()) {
+      (void)engine->RestoreHistory(snapshot->records, snapshot->rounds);
+    }
+    auto result = engine->CastVote(round);
+    benchmark::DoNotOptimize(result);
+    avoc::runtime::HistorySnapshot out;
+    const auto records = engine->history().records();
+    out.records.assign(records.begin(), records.end());
+    out.rounds = engine->history().round_count();
+    (void)store.Put("group", out);
+  }
+}
+BENCHMARK(BM_HistoryAwareRoundWithMemoryStore)->Arg(5)->Arg(9);
+
+// ... and with the JSON file-backed store: this is the configuration that
+// mirrors the paper's "datastore reads and writes being the bottleneck".
+void BM_HistoryAwareRoundWithFileStore(benchmark::State& state) {
+  const size_t modules = static_cast<size_t>(state.range(0));
+  auto engine = avoc::core::MakeEngine(AlgorithmId::kAvoc, modules);
+  if (!engine.ok()) {
+    state.SkipWithError("engine creation failed");
+    return;
+  }
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "avoc_bench_store.json")
+          .string();
+  std::filesystem::remove(path);
+  auto store = avoc::runtime::HistoryStore::Open(path);
+  if (!store.ok()) {
+    state.SkipWithError("store open failed");
+    return;
+  }
+  avoc::Rng rng(5);
+  for (auto _ : state) {
+    state.PauseTiming();
+    const std::vector<double> round = MakeRound(modules, rng);
+    state.ResumeTiming();
+    auto snapshot = store->Get("group");
+    if (snapshot.ok()) {
+      (void)engine->RestoreHistory(snapshot->records, snapshot->rounds);
+    }
+    auto result = engine->CastVote(round);
+    benchmark::DoNotOptimize(result);
+    avoc::runtime::HistorySnapshot out;
+    const auto records = engine->history().records();
+    out.records.assign(records.begin(), records.end());
+    out.rounds = engine->history().round_count();
+    (void)store->Put("group", out);
+  }
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_HistoryAwareRoundWithFileStore)->Arg(5)->Arg(9);
+
+}  // namespace
+
+BENCHMARK_MAIN();

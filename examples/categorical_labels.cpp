@@ -1,0 +1,93 @@
+// Categorical voting example (§6's non-numeric extension).
+//
+// Three redundant door sensors report "open"/"closed"/"ajar"; one of them
+// develops a stuck-at fault.  A VDX-defined categorical voter fuses the
+// labels with history-weighted plurality; the faulty module's reliability
+// record decays and its influence vanishes.  A second voter uses the
+// custom-distance escape hatch (Levenshtein) to tolerate misspelled
+// labels from a flaky firmware revision.
+#include <cstdio>
+
+#include "core/categorical.h"
+#include "vdx/factory.h"
+#include "vdx/spec.h"
+
+namespace {
+
+void PrintResult(size_t round, const avoc::core::CategoricalVoteResult& r) {
+  std::printf("round %2zu: output=%-8s records:", round,
+              r.value.has_value() ? r.value->c_str() : "(none)");
+  for (const double h : r.history) std::printf(" %.2f", h);
+  std::printf("%s\n", r.had_majority ? "" : "  [no absolute majority]");
+}
+
+}  // namespace
+
+int main() {
+  static const char kDoorSpec[] = R"({
+    "algorithm_name": "door-state",
+    "value_type": "CATEGORICAL",
+    "quorum": "PERCENT",
+    "quorum_percentage": 60,
+    "history": "MODULE_ELIMINATION",
+    "collation": "MAJORITY",
+  })";
+
+  auto spec = avoc::vdx::Spec::Parse(kDoorSpec);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+    return 1;
+  }
+  auto voter = avoc::vdx::MakeCategoricalVoter(*spec, 3);
+  if (!voter.ok()) {
+    std::fprintf(stderr, "%s\n", voter.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("--- door-state fusion: sensor 3 stuck at 'open' ---\n");
+  using Label = avoc::core::CategoricalEngine::Label;
+  const char* truth[] = {"open", "open", "closed", "closed", "closed",
+                         "ajar", "closed", "closed", "open", "open"};
+  for (size_t round = 0; round < 10; ++round) {
+    std::vector<Label> readings = {std::string(truth[round]),
+                                   std::string(truth[round]),
+                                   std::string("open")};  // stuck sensor
+    auto result = voter->CastVote(readings);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    PrintResult(round, *result);
+  }
+
+  // The custom-distance escape hatch: §6 says "implementers may
+  // re-introduce some of these features by supplying a custom distance
+  // metric for categorical values".
+  std::printf("\n--- fuzzy labels: Levenshtein distance, error 0.25 ---\n");
+  avoc::vdx::Spec fuzzy = *spec;
+  fuzzy.algorithm_name = "door-state-fuzzy";
+  fuzzy.history = avoc::vdx::HistoryKind::kHybrid;
+  fuzzy.params["error"] = 0.25;
+  auto fuzzy_voter = avoc::vdx::MakeCategoricalVoter(
+      fuzzy, 3, avoc::core::LevenshteinDistance);
+  if (!fuzzy_voter.ok()) {
+    std::fprintf(stderr, "%s\n", fuzzy_voter.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<std::vector<Label>> fuzzy_rounds = {
+      {std::string("closed"), std::string("clozed"), std::string("closed")},
+      {std::string("open"), std::string("opem"), std::string("open")},
+      {std::string("ajar"), std::string("ajar"), std::string("open")},
+  };
+  for (size_t round = 0; round < fuzzy_rounds.size(); ++round) {
+    auto result = fuzzy_voter->CastVote(fuzzy_rounds[round]);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    PrintResult(round, *result);
+  }
+  std::printf("\nnote how 'clozed'/'opem' count as agreeing with the winner,\n"
+              "so the flaky speller's record stays healthy.\n");
+  return 0;
+}

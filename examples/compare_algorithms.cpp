@@ -1,0 +1,190 @@
+// Algorithm comparison tool — the CLI analogue of the paper's Fig. 5
+// interactive application: pick a dataset (built-in scenario or CSV),
+// pick algorithms, optionally inject a fault, and compare outputs.
+//
+// Usage:
+//   compare_algorithms [--scenario uc1|uc2a|uc2b | --dataset FILE.csv]
+//                      [--algorithms avg,standard,me,sdt,hybrid,cov,avoc]
+//                      [--fault-module IDX --fault-offset V]
+//                      [--error E] [--soft-threshold M] [--absolute]
+//                      [--rounds N] [--seed S] [--print-rounds N]
+//                      [--explain N]      (per-module table of round N)
+//                      [--vdx FILE.json]  (adds a custom VDX-defined voter)
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/batch.h"
+#include "core/explain.h"
+#include "data/dataset.h"
+#include "sim/ble.h"
+#include "sim/fault.h"
+#include "sim/light.h"
+#include "stats/running.h"
+#include "util/cli.h"
+#include "util/strings.h"
+#include "vdx/factory.h"
+#include "vdx/registry.h"
+
+namespace {
+
+using avoc::core::BatchResult;
+
+struct NamedRun {
+  std::string name;
+  BatchResult batch;
+};
+
+avoc::Result<avoc::data::RoundTable> LoadInput(const avoc::CommandLine& cli) {
+  const std::string dataset = cli.GetString("dataset", "");
+  if (!dataset.empty()) return avoc::data::LoadDataset(dataset);
+
+  const std::string scenario = cli.GetString("scenario", "uc1");
+  const uint64_t seed = static_cast<uint64_t>(cli.GetInt("seed", 42));
+  if (scenario == "uc1") {
+    avoc::sim::LightScenarioParams params;
+    params.seed = seed;
+    params.rounds = static_cast<size_t>(cli.GetInt("rounds", 10000));
+    return avoc::sim::LightScenario(params).MakeReferenceTable();
+  }
+  if (scenario == "uc2a" || scenario == "uc2b") {
+    avoc::sim::BleScenarioParams params;
+    params.seed = seed;
+    params.rounds = static_cast<size_t>(cli.GetInt("rounds", 297));
+    auto dataset_pair = avoc::sim::BleScenario(params).Generate();
+    return scenario == "uc2a" ? dataset_pair.stack_a : dataset_pair.stack_b;
+  }
+  return avoc::InvalidArgumentError("unknown scenario '" + scenario + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto cli_result = avoc::CommandLine::Parse(argc - 1, argv + 1);
+  if (!cli_result.ok()) {
+    std::fprintf(stderr, "%s\n", cli_result.status().ToString().c_str());
+    return 1;
+  }
+  const avoc::CommandLine& cli = *cli_result;
+
+  auto table_result = LoadInput(cli);
+  if (!table_result.ok()) {
+    std::fprintf(stderr, "%s\n", table_result.status().ToString().c_str());
+    return 1;
+  }
+  avoc::data::RoundTable table = std::move(*table_result);
+
+  if (cli.HasFlag("fault-module")) {
+    const size_t module = static_cast<size_t>(cli.GetInt("fault-module", 0));
+    const double offset = cli.GetDouble("fault-offset", 6000.0);
+    const auto st = avoc::sim::InjectBias(table, module, offset);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("fault injected: module %zu %+g\n", module, offset);
+  }
+
+  avoc::core::PresetParams preset;
+  preset.error = cli.GetDouble("error", 0.05);
+  preset.soft_multiple = cli.GetDouble("soft-threshold", 2.0);
+  if (cli.GetBool("absolute", false)) {
+    preset.scale = avoc::core::ThresholdScale::kAbsolute;
+  }
+  preset.quorum_fraction = cli.GetDouble("quorum", 0.5);
+
+  const std::string algorithms =
+      cli.GetString("algorithms", "avg,standard,me,sdt,hybrid,cov,avoc");
+
+  std::vector<NamedRun> runs;
+  for (const std::string& token : avoc::SplitString(algorithms, ',')) {
+    auto id = avoc::core::ParseAlgorithmName(token);
+    if (!id.ok()) {
+      std::fprintf(stderr, "%s\n", id.status().ToString().c_str());
+      return 1;
+    }
+    auto batch = avoc::core::RunAlgorithm(*id, table, preset);
+    if (!batch.ok()) {
+      std::fprintf(stderr, "%s: %s\n", token.c_str(),
+                   batch.status().ToString().c_str());
+      return 1;
+    }
+    runs.push_back(
+        NamedRun{std::string(avoc::core::AlgorithmName(*id)),
+                 std::move(*batch)});
+  }
+
+  // A custom VDX-defined voter can join the comparison (Q4 of §7).
+  const std::string vdx_path = cli.GetString("vdx", "");
+  if (!vdx_path.empty()) {
+    auto spec = avoc::vdx::ReadSpecFile(vdx_path);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+      return 1;
+    }
+    auto voter = avoc::vdx::MakeVoter(*spec, table.module_count());
+    if (!voter.ok()) {
+      std::fprintf(stderr, "%s\n", voter.status().ToString().c_str());
+      return 1;
+    }
+    auto batch = avoc::core::RunOverTable(*voter, table);
+    if (!batch.ok()) {
+      std::fprintf(stderr, "%s\n", batch.status().ToString().c_str());
+      return 1;
+    }
+    runs.push_back(NamedRun{"vdx:" + spec->algorithm_name, std::move(*batch)});
+  }
+
+  std::printf("%zu rounds x %zu modules, %zu missing readings\n\n",
+              table.round_count(), table.module_count(),
+              table.missing_count());
+  std::printf("%-16s %10s %10s %10s %10s %8s %8s\n", "algorithm", "mean",
+              "min", "max", "stddev", "voted", "clustered");
+  for (const NamedRun& run : runs) {
+    avoc::stats::RunningStats stats;
+    for (const auto& value : run.batch.outputs) {
+      if (value.has_value()) stats.Add(*value);
+    }
+    std::printf("%-16s %10.1f %10.1f %10.1f %10.1f %8zu %8zu\n",
+                run.name.c_str(), stats.mean(), stats.min(), stats.max(),
+                stats.stddev(), run.batch.voted_rounds(),
+                run.batch.clustered_rounds());
+  }
+
+  if (cli.HasFlag("explain")) {
+    const size_t round_index =
+        static_cast<size_t>(cli.GetInt("explain", 0));
+    if (round_index < table.round_count()) {
+      const auto row = table.Round(round_index);
+      const avoc::core::Round round(row.begin(), row.end());
+      for (const NamedRun& run : runs) {
+        std::printf("\n--- %s, round %zu ---\n", run.name.c_str(),
+                    round_index);
+        std::printf("%s", avoc::core::ExplainResult(
+                              run.batch.rounds[round_index], round,
+                              table.module_names())
+                              .c_str());
+      }
+    }
+  }
+
+  const size_t print_rounds =
+      static_cast<size_t>(cli.GetInt("print-rounds", 0));
+  if (print_rounds > 0) {
+    std::printf("\nround");
+    for (const NamedRun& run : runs) std::printf(", %s", run.name.c_str());
+    std::printf("\n");
+    for (size_t r = 0; r < print_rounds && r < table.round_count(); ++r) {
+      std::printf("%zu", r);
+      for (const NamedRun& run : runs) {
+        if (run.batch.outputs[r].has_value()) {
+          std::printf(", %.1f", *run.batch.outputs[r]);
+        } else {
+          std::printf(", -");
+        }
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Multi-dimensional fusion example (§5, "Generalisation").
+//
+// Five redundant positioning subsystems each estimate the robot's (x, y)
+// position while it follows a curved path.  One subsystem is mis-calibrated
+// in both axes.  Per-dimension AVOC voting (clustering disabled inside the
+// dimensions, as §5 prescribes) fuses the five estimates; the mean-shift
+// vector bootstrap catches the outlier on the very first round.
+//
+// Usage: robot_tracking [--rounds N] [--seed S]
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+
+#include "core/algorithms.h"
+#include "core/multidim.h"
+#include "stats/running.h"
+#include "util/cli.h"
+#include "util/rng.h"
+
+int main(int argc, char** argv) {
+  auto cli = avoc::CommandLine::Parse(argc - 1, argv + 1);
+  if (!cli.ok()) {
+    std::fprintf(stderr, "%s\n", cli.status().ToString().c_str());
+    return 1;
+  }
+  const size_t rounds = static_cast<size_t>(cli->GetInt("rounds", 60));
+  avoc::Rng rng(static_cast<uint64_t>(cli->GetInt("seed", 11)));
+
+  constexpr size_t kTrackers = 5;
+  avoc::core::MultiDimConfig config;
+  config.scalar = avoc::core::MakeConfig(avoc::core::AlgorithmId::kAvoc);
+  config.scalar.agreement.scale = avoc::core::ThresholdScale::kAbsolute;
+  config.scalar.agreement.error = 0.5;  // half a metre agreement margin
+  config.bootstrap = avoc::core::VectorBootstrap::kMeanShift;
+  config.bandwidth_fraction = 0.1;
+
+  auto engine = avoc::core::MultiDimEngine::Create(kTrackers, 2, config);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+
+  // Per-tracker calibration: small offsets, except tracker 4 which is
+  // 4 m off in both axes.
+  const double bias_x[kTrackers] = {0.05, -0.10, 0.15, -0.05, 4.0};
+  const double bias_y[kTrackers] = {-0.08, 0.12, -0.04, 0.06, -4.0};
+
+  avoc::stats::RunningStats fused_error;
+  avoc::stats::RunningStats naive_error;
+  std::printf("round,  truth_x, truth_y,  fused_x, fused_y,  naive_x, naive_y\n");
+  for (size_t r = 0; r < rounds; ++r) {
+    // Curved path: an arc through the warehouse.
+    const double t = static_cast<double>(r) / 10.0;
+    const double truth_x = 10.0 * std::cos(t * std::numbers::pi / 6.0);
+    const double truth_y = 10.0 * std::sin(t * std::numbers::pi / 6.0);
+
+    std::vector<avoc::core::VectorReading> round_readings;
+    double naive_x = 0.0;
+    double naive_y = 0.0;
+    for (size_t m = 0; m < kTrackers; ++m) {
+      const double x = truth_x + bias_x[m] + rng.Gaussian(0.0, 0.08);
+      const double y = truth_y + bias_y[m] + rng.Gaussian(0.0, 0.08);
+      round_readings.push_back(std::vector<double>{x, y});
+      naive_x += x / kTrackers;
+      naive_y += y / kTrackers;
+    }
+    auto result = engine->CastVote(round_readings);
+    if (!result.ok() || !result->value.has_value()) {
+      std::fprintf(stderr, "round %zu failed\n", r);
+      return 1;
+    }
+    const double fx = (*result->value)[0];
+    const double fy = (*result->value)[1];
+    fused_error.Add(std::hypot(fx - truth_x, fy - truth_y));
+    naive_error.Add(std::hypot(naive_x - truth_x, naive_y - truth_y));
+    if (r < 5 || r % 10 == 0) {
+      std::printf("%5zu, %8.2f,%8.2f, %8.2f,%8.2f, %8.2f,%8.2f%s\n", r,
+                  truth_x, truth_y, fx, fy, naive_x, naive_y,
+                  result->used_vector_clustering ? "  [vector-clustered]"
+                                                 : "");
+    }
+  }
+  std::printf("\nmean position error: fused %.3f m vs naive average %.3f m\n",
+              fused_error.mean(), naive_error.mean());
+  std::printf("the mis-calibrated tracker drags the naive average ~%.1f m;\n"
+              "per-dimension voting with the vector bootstrap removes it.\n",
+              naive_error.mean());
+  return 0;
+}

@@ -1,0 +1,188 @@
+// VDX command-line utility: validate, describe, format and export voting
+// definitions — the developer-tooling side of §6's "shielding software
+// engineers from the voting implementation".
+//
+// Usage:
+//   vdx_tool validate FILE.json...        check syntax + capability matrix
+//   vdx_tool describe FILE.json           human-readable breakdown
+//   vdx_tool format FILE.json             canonical pretty-print to stdout
+//   vdx_tool export ALGORITHM [FILE]      emit a builtin preset's VDX
+//   vdx_tool list                         list builtin algorithm presets
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/algorithms.h"
+#include "vdx/factory.h"
+#include "vdx/registry.h"
+#include "vdx/schema.h"
+#include "vdx/spec.h"
+
+namespace {
+
+int Validate(const std::vector<std::string>& files) {
+  int failures = 0;
+  for (const std::string& file : files) {
+    // Structural check against the published JSON schema first: it gives
+    // precise paths for typos and unknown members.
+    std::ifstream in(file, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (in.bad() || (!in && buffer.str().empty())) {
+      std::printf("%-40s INVALID: cannot read file\n", file.c_str());
+      ++failures;
+      continue;
+    }
+    auto structural = avoc::vdx::ValidateTextAgainstSchema(buffer.str());
+    if (!structural.ok()) {
+      std::printf("%-40s INVALID: %s\n", file.c_str(),
+                  structural.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    if (!structural->ok()) {
+      std::printf("%-40s SCHEMA VIOLATIONS:\n%s", file.c_str(),
+                  structural->ToString().c_str());
+      ++failures;
+      continue;
+    }
+    // Then the semantic rules (ranges, capability matrix).
+    auto spec = avoc::vdx::ReadSpecFile(file);
+    if (!spec.ok()) {
+      std::printf("%-40s INVALID: %s\n", file.c_str(),
+                  spec.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    const avoc::Status status = spec->Validate();
+    if (!status.ok()) {
+      std::printf("%-40s INVALID: %s\n", file.c_str(),
+                  status.ToString().c_str());
+      ++failures;
+      continue;
+    }
+    std::printf("%-40s OK (%s, %s)\n", file.c_str(),
+                spec->algorithm_name.c_str(),
+                std::string(avoc::vdx::ToToken(spec->value_type)).c_str());
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int Describe(const std::string& file) {
+  auto spec = avoc::vdx::ReadSpecFile(file);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("algorithm:   %s\n", spec->algorithm_name.c_str());
+  std::printf("value type:  %s\n",
+              std::string(avoc::vdx::ToToken(spec->value_type)).c_str());
+  std::printf("quorum:      %s %.0f%s\n",
+              std::string(avoc::vdx::ToToken(spec->quorum)).c_str(),
+              spec->quorum_amount,
+              spec->quorum == avoc::vdx::QuorumMode::kCount ? " candidates"
+                                                            : "%");
+  std::printf("exclusion:   %s (threshold %g)\n",
+              std::string(avoc::vdx::ToToken(spec->exclusion)).c_str(),
+              spec->exclusion_threshold);
+  std::printf("history:     %s\n",
+              std::string(avoc::vdx::ToToken(spec->history)).c_str());
+  std::printf("collation:   %s\n",
+              std::string(avoc::vdx::ToToken(spec->collation)).c_str());
+  std::printf("clustering:  %s\n",
+              spec->clustering_always
+                  ? "every round (COV)"
+                  : spec->bootstrapping ? "bootstrap/fallback (AVOC)" : "off");
+  std::printf("faults:      no-quorum=%s, no-majority=%s\n",
+              std::string(avoc::vdx::ToToken(spec->fault_policy.on_no_quorum))
+                  .c_str(),
+              std::string(
+                  avoc::vdx::ToToken(spec->fault_policy.on_no_majority))
+                  .c_str());
+  for (const auto& [key, value] : spec->params) {
+    std::printf("param:       %s = %g\n", key.c_str(), value);
+  }
+  for (const auto& [key, value] : spec->string_params) {
+    std::printf("param:       %s = %s\n", key.c_str(), value.c_str());
+  }
+  const avoc::Status status = spec->Validate();
+  std::printf("validation:  %s\n", status.ok() ? "OK" : status.ToString().c_str());
+  if (spec->value_type == avoc::vdx::ValueKind::kNumeric) {
+    auto config = avoc::vdx::ToEngineConfig(*spec);
+    std::printf("lowering:    %s\n",
+                config.ok() ? "engine config OK"
+                            : config.status().ToString().c_str());
+  }
+  return 0;
+}
+
+int Format(const std::string& file) {
+  auto spec = avoc::vdx::ReadSpecFile(file);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", spec->Serialize().c_str());
+  return 0;
+}
+
+int Export(const std::string& name, const std::string& out_file) {
+  auto id = avoc::core::ParseAlgorithmName(name);
+  if (!id.ok()) {
+    std::fprintf(stderr, "%s\n", id.status().ToString().c_str());
+    return 1;
+  }
+  const avoc::vdx::Spec spec = avoc::vdx::ExportSpec(*id);
+  if (out_file.empty()) {
+    std::printf("%s\n", spec.Serialize().c_str());
+    return 0;
+  }
+  const avoc::Status status = avoc::vdx::WriteSpecFile(out_file, spec);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_file.c_str());
+  return 0;
+}
+
+int List() {
+  const auto registry = avoc::vdx::SpecRegistry::WithBuiltins();
+  for (const std::string& name : registry.Names()) {
+    auto spec = registry.Get(name);
+    std::printf("%-10s history=%-18s collation=%s\n", name.c_str(),
+                std::string(avoc::vdx::ToToken(spec->history)).c_str(),
+                std::string(avoc::vdx::ToToken(spec->collation)).c_str());
+  }
+  return 0;
+}
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: vdx_tool validate FILE...\n"
+               "       vdx_tool describe FILE\n"
+               "       vdx_tool format FILE\n"
+               "       vdx_tool export ALGORITHM [FILE]\n"
+               "       vdx_tool list\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (command == "validate" && !args.empty()) return Validate(args);
+  if (command == "describe" && args.size() == 1) return Describe(args[0]);
+  if (command == "format" && args.size() == 1) return Format(args[0]);
+  if (command == "export" && !args.empty()) {
+    return Export(args[0], args.size() > 1 ? args[1] : "");
+  }
+  if (command == "list") return List();
+  Usage();
+  return 2;
+}

@@ -1,0 +1,30 @@
+# Renders the Fig. 6 panels from the CSVs bench_fig6_light --csv emits.
+# Run through scripts/regenerate_figures.sh (expects outdir=... on the cli).
+if (!exists("outdir")) outdir = "figures"
+
+set datafile separator ","
+set terminal pngcairo size 1200,800 font ",10"
+set key outside top horizontal
+set xlabel "#Rounds"
+
+set output outdir . "/fig6a_raw.png"
+set ylabel "Lumen"
+set title "Fig 6-a: raw sensor data"
+plot for [i=2:6] outdir."/fig6a_raw.csv" using 1:i with lines \
+     title columnheader(i)
+
+set output outdir . "/fig6b_clean_output.png"
+set title "Fig 6-b: voting output (clean data)"
+plot for [i=2:8] outdir."/fig6b_clean_output.csv" using 1:i with lines \
+     title columnheader(i)
+
+set output outdir . "/fig6d_faulty_output.png"
+set title "Fig 6-d: voting output under the injected fault"
+plot for [i=2:8] outdir."/fig6d_faulty_output.csv" using 1:i with lines \
+     title columnheader(i)
+
+set output outdir . "/fig6e_diff.png"
+set ylabel "Voting output (diff)"
+set title "Fig 6-e: error-injection effect on voting"
+plot for [i=2:8] outdir."/fig6e_diff.csv" using 1:i with lines \
+     title columnheader(i)

@@ -1,0 +1,22 @@
+# Renders the Fig. 7 panels from the CSV bench_fig7_ble --csv emits.
+if (!exists("outdir")) outdir = "figures"
+
+set datafile separator ","
+set terminal pngcairo size 1500,420 font ",10"
+set key outside top horizontal
+set xlabel "#Rounds"
+set ylabel "RSSI value"
+set yrange [-100:-50]
+
+set output outdir . "/fig7.png"
+set multiplot layout 1,3
+set title "(a) single beacon per stack"
+plot outdir."/fig7_series.csv" using 1:2 with lines title "Stack A", \
+     outdir."/fig7_series.csv" using 1:3 with lines title "Stack B"
+set title "(b) 9-beacon average per stack"
+plot outdir."/fig7_series.csv" using 1:4 with lines title "Stack A", \
+     outdir."/fig7_series.csv" using 1:5 with lines title "Stack B"
+set title "(c) 9-beacon AVOC voting per stack"
+plot outdir."/fig7_series.csv" using 1:6 with lines title "Stack A", \
+     outdir."/fig7_series.csv" using 1:7 with lines title "Stack B"
+unset multiplot

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Regenerates the paper's figures from the bench binaries.
+#
+# Usage: scripts/regenerate_figures.sh [BUILD_DIR] [OUT_DIR]
+#
+# Writes the CSV series each figure plots into OUT_DIR, and renders PNGs
+# with gnuplot when it is installed (the CSVs are useful on their own).
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-figures}"
+SCRIPT_DIR="$(cd "$(dirname "$0")" && pwd)"
+
+mkdir -p "$OUT_DIR"
+
+echo "== Fig 6 (UC-1 light sensors) =="
+"$BUILD_DIR/bench/bench_fig6_light" --csv > "$OUT_DIR/fig6_full.txt"
+echo "== Fig 7 (UC-2 BLE beacons) =="
+"$BUILD_DIR/bench/bench_fig7_ble" --csv > "$OUT_DIR/fig7_full.txt"
+
+# Split the embedded CSV blocks into separate files.
+python3 - "$OUT_DIR" <<'EOF'
+import re
+import sys
+
+out_dir = sys.argv[1]
+for source in ("fig6_full.txt", "fig7_full.txt"):
+    text = open(f"{out_dir}/{source}").read()
+    for match in re.finditer(r"# CSV: (\S+)\n(.*?)(?=\n# CSV: |\Z)", text,
+                             re.S):
+        name, body = match.group(1), match.group(2).strip()
+        with open(f"{out_dir}/{name}.csv", "w") as f:
+            f.write(body + "\n")
+        print(f"wrote {out_dir}/{name}.csv")
+EOF
+
+if command -v gnuplot > /dev/null 2>&1; then
+  gnuplot -e "outdir='$OUT_DIR'" "$SCRIPT_DIR/plot_fig6.gp"
+  gnuplot -e "outdir='$OUT_DIR'" "$SCRIPT_DIR/plot_fig7.gp"
+  echo "PNGs rendered into $OUT_DIR/"
+else
+  echo "gnuplot not found: CSVs written, skipping PNG rendering"
+fi

@@ -1,0 +1,39 @@
+// Umbrella header: the AVOC library's public API in one include.
+//
+//   #include "avoc.h"
+//
+//   auto spec  = avoc::vdx::Spec::Parse(definition_json);
+//   auto voter = avoc::vdx::MakeVoter(*spec, modules);
+//   auto fused = voter->CastVote(readings);
+//
+// Fine-grained headers remain available for targeted includes; this one
+// exists so applications and quick experiments need exactly one line.
+#pragma once
+
+#include "core/algorithms.h"   // the seven §4-§5 algorithm presets
+#include "core/batch.h"        // run engines over recorded round tables
+#include "core/categorical.h"  // §6 categorical voting
+#include "core/engine.h"       // the voting engine itself
+#include "core/mlv.h"          // maximum-likelihood voting (extension)
+#include "core/multidim.h"     // §5 multi-dimensional voting
+#include "data/dataset.h"      // dataset persistence
+#include "data/round_table.h"  // the rounds x modules container
+#include "data/stream.h"       // asynchronous streams -> rounds
+#include "runtime/group_manager.h"  // multi-group voter management
+#include "runtime/pipeline.h"  // deterministic replay middleware
+#include "runtime/remote.h"    // the TCP voter service + client
+#include "runtime/service.h"   // the threaded soft-real-time service
+#include "stats/filters.h"     // post-fusion filters
+#include "vdx/factory.h"       // VDX spec -> configured voter
+#include "vdx/registry.h"      // named spec collections
+#include "vdx/schema.h"        // the published VDX JSON schema
+
+namespace avoc {
+
+/// Library semantic version.
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr int kVersionPatch = 0;
+inline constexpr const char kVersionString[] = "1.0.0";
+
+}  // namespace avoc

@@ -1,0 +1,71 @@
+#include "cluster/dbscan.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace avoc::cluster {
+
+DbscanResult Dbscan1D(std::span<const double> values,
+                      const DbscanOptions& options) {
+  DbscanResult result;
+  result.labels.assign(values.size(), DbscanResult::kNoise);
+  if (values.empty()) return result;
+
+  std::vector<size_t> order(values.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values[a] < values[b]; });
+
+  // In 1-D the eps-neighbourhood of sorted index i is a contiguous window;
+  // two-pointer sweep finds it in O(n).
+  const size_t n = order.size();
+  std::vector<size_t> neighbour_count(n, 0);
+  size_t lo = 0;
+  size_t hi = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double v = values[order[i]];
+    while (values[order[lo]] < v - options.eps) ++lo;
+    if (hi < i) hi = i;
+    while (hi + 1 < n && values[order[hi + 1]] <= v + options.eps) ++hi;
+    neighbour_count[i] = hi - lo + 1;
+  }
+
+  // Core points chain into clusters: consecutive core points within eps of
+  // each other belong together; border points attach to the adjacent core
+  // cluster within eps.
+  int next_cluster = 0;
+  std::vector<int> sorted_labels(n, DbscanResult::kNoise);
+  int open_cluster = -1;
+  double last_core_value = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const bool is_core = neighbour_count[i] >= options.min_points;
+    const double v = values[order[i]];
+    if (is_core) {
+      if (open_cluster >= 0 && v - last_core_value <= options.eps) {
+        sorted_labels[i] = open_cluster;
+      } else {
+        open_cluster = next_cluster++;
+        sorted_labels[i] = open_cluster;
+        // Back-fill border points to the left within eps of this core.
+        for (size_t j = i; j-- > 0;) {
+          if (v - values[order[j]] > options.eps) break;
+          if (sorted_labels[j] == DbscanResult::kNoise) {
+            sorted_labels[j] = open_cluster;
+          }
+        }
+      }
+      last_core_value = v;
+    } else if (open_cluster >= 0 && v - last_core_value <= options.eps) {
+      // Border point to the right of the open cluster's last core.
+      sorted_labels[i] = open_cluster;
+    }
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    result.labels[order[i]] = sorted_labels[i];
+  }
+  result.cluster_count = next_cluster;
+  return result;
+}
+
+}  // namespace avoc::cluster

@@ -1,0 +1,34 @@
+// 1-D DBSCAN (Ester et al., KDD'96), the algorithm §5 compares AVOC's
+// grouping step against.  Provided so the ablation bench can quantify the
+// paper's claim that threshold grouping "opts for self-calibration, rather
+// than requiring costly parameter tuning".
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace avoc::cluster {
+
+struct DbscanOptions {
+  /// Neighbourhood radius.
+  double eps = 0.5;
+  /// Minimum neighbours (inclusive of the point itself) for a core point.
+  size_t min_points = 2;
+};
+
+struct DbscanResult {
+  /// Cluster id per input point; kNoise (-1) for outliers.
+  std::vector<int> labels;
+  /// Number of clusters found.
+  int cluster_count = 0;
+
+  static constexpr int kNoise = -1;
+};
+
+/// Runs DBSCAN over 1-D values.  Deterministic: clusters are numbered in
+/// ascending order of their smallest member value.
+DbscanResult Dbscan1D(std::span<const double> values,
+                      const DbscanOptions& options = {});
+
+}  // namespace avoc::cluster

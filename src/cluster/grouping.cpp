@@ -1,0 +1,96 @@
+#include "cluster/grouping.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace avoc::cluster {
+namespace {
+
+double GapLimit(double a, double b, const GroupingOptions& options) {
+  if (options.mode == ThresholdMode::kAbsolute) return options.threshold;
+  const double scale =
+      std::max({std::abs(a), std::abs(b), options.relative_floor});
+  return options.threshold * scale;
+}
+
+}  // namespace
+
+GroupingResult GroupByThreshold(std::span<const double> values,
+                                const GroupingOptions& options) {
+  GroupingResult result;
+  if (values.empty()) return result;
+
+  // Sort indices by value; single-linkage over sorted order is exact for
+  // 1-D data.
+  std::vector<size_t> order(values.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values[a] < values[b]; });
+
+  Group current;
+  current.members.push_back(order[0]);
+  double sum = values[order[0]];
+  for (size_t i = 1; i < order.size(); ++i) {
+    const double prev = values[order[i - 1]];
+    const double next = values[order[i]];
+    if (next - prev <= GapLimit(prev, next, options)) {
+      current.members.push_back(order[i]);
+      sum += next;
+    } else {
+      current.mean = sum / static_cast<double>(current.members.size());
+      result.groups.push_back(std::move(current));
+      current = Group{};
+      current.members.push_back(order[i]);
+      sum = next;
+    }
+  }
+  current.mean = sum / static_cast<double>(current.members.size());
+  result.groups.push_back(std::move(current));
+
+  std::sort(result.groups.begin(), result.groups.end(),
+            [](const Group& a, const Group& b) {
+              if (a.size() != b.size()) return a.size() > b.size();
+              return a.mean < b.mean;
+            });
+  return result;
+}
+
+Result<Group> SelectWinningGroup(const GroupingResult& grouping,
+                                 std::span<const double> values,
+                                 const double* previous_output) {
+  if (grouping.groups.empty()) {
+    return InvalidArgumentError("no groups to select from");
+  }
+  const size_t top_size = grouping.groups.front().size();
+  // Collect all groups tied for the largest size.
+  std::vector<const Group*> tied;
+  for (const Group& g : grouping.groups) {
+    if (g.size() == top_size) tied.push_back(&g);
+  }
+  if (tied.size() == 1) return *tied.front();
+
+  double reference;
+  if (previous_output != nullptr) {
+    reference = *previous_output;
+  } else {
+    // Median of all candidate values as a neutral reference.
+    std::vector<double> sorted(values.begin(), values.end());
+    std::sort(sorted.begin(), sorted.end());
+    const size_t n = sorted.size();
+    reference = (n % 2 == 1) ? sorted[n / 2]
+                             : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+  }
+  const Group* best = tied.front();
+  double best_distance = std::abs(best->mean - reference);
+  for (const Group* g : tied) {
+    const double distance = std::abs(g->mean - reference);
+    if (distance < best_distance) {
+      best = g;
+      best_distance = distance;
+    }
+  }
+  return *best;
+}
+
+}  // namespace avoc::cluster

@@ -1,0 +1,66 @@
+// Threshold grouping: AVOC's self-calibrating clustering step (§5).
+//
+// "we check for values within a given scaling threshold of each other
+//  (which is selected to mirror the parameters of the given algorithm),
+//  and group the values in agreement.  Then, we select as output value the
+//  average (or its closest real value) of the largest group."
+//
+// This is single-linkage agglomeration over 1-D values: after sorting,
+// consecutive values whose gap is within the (possibly value-scaled)
+// threshold join the same group.  Like DBSCAN with minPts=1, but
+// self-calibrating: in relative mode the margin scales with the local
+// reference value, so no dataset-specific eps tuning is needed — exactly
+// the property §5 claims over DBSCAN.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/status.h"
+
+namespace avoc::cluster {
+
+enum class ThresholdMode {
+  kAbsolute,  ///< gap <= threshold
+  kRelative,  ///< gap <= threshold * max(|a|, |b|, floor)
+};
+
+struct GroupingOptions {
+  double threshold = 0.05;
+  ThresholdMode mode = ThresholdMode::kRelative;
+  /// In relative mode, the scale used for near-zero values so that the
+  /// margin never collapses to zero.
+  double relative_floor = 1e-9;
+};
+
+/// One cluster: member indices into the input span, plus its mean.
+struct Group {
+  std::vector<size_t> members;  // indices into the input values
+  double mean = 0.0;
+
+  size_t size() const { return members.size(); }
+};
+
+struct GroupingResult {
+  /// Groups sorted by descending size; ties broken by ascending mean so
+  /// results are deterministic.
+  std::vector<Group> groups;
+
+  /// The largest group (errors on empty input are prevented upstream).
+  const Group& largest() const { return groups.front(); }
+};
+
+/// Groups `values` by threshold linkage.  Empty input yields zero groups.
+GroupingResult GroupByThreshold(std::span<const double> values,
+                                const GroupingOptions& options = {});
+
+/// The winning group per AVOC: the largest; ties broken by proximity of
+/// the group mean to `previous_output` when provided (the paper's
+/// tie-breaking "proximity to the previous output"), else by the group
+/// whose mean is nearest the overall median.
+Result<Group> SelectWinningGroup(const GroupingResult& grouping,
+                                 std::span<const double> values,
+                                 const double* previous_output = nullptr);
+
+}  // namespace avoc::cluster

@@ -1,0 +1,118 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "util/strings.h"
+
+namespace avoc::cluster {
+
+double SquaredDistance(const Point& a, const Point& b) {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+namespace {
+
+/// k-means++ seeding: first centroid uniform, subsequent proportional to
+/// squared distance from the nearest chosen centroid.
+std::vector<Point> SeedCentroids(std::span<const Point> points, size_t k,
+                                 Rng& rng) {
+  std::vector<Point> centroids;
+  centroids.reserve(k);
+  centroids.push_back(points[rng.UniformInt(points.size())]);
+  std::vector<double> dist2(points.size(),
+                            std::numeric_limits<double>::infinity());
+  while (centroids.size() < k) {
+    double total = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      dist2[i] = std::min(dist2[i], SquaredDistance(points[i], centroids.back()));
+      total += dist2[i];
+    }
+    if (total <= 0.0) {
+      // All remaining points coincide with chosen centroids; duplicate one.
+      centroids.push_back(points[rng.UniformInt(points.size())]);
+      continue;
+    }
+    double target = rng.NextDouble() * total;
+    size_t chosen = points.size() - 1;
+    for (size_t i = 0; i < points.size(); ++i) {
+      target -= dist2[i];
+      if (target <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids.push_back(points[chosen]);
+  }
+  return centroids;
+}
+
+}  // namespace
+
+Result<KMeansResult> KMeans(std::span<const Point> points, size_t k, Rng& rng,
+                            const KMeansOptions& options) {
+  if (points.empty()) return InvalidArgumentError("k-means on empty data");
+  if (k == 0) return InvalidArgumentError("k must be >= 1");
+  if (k > points.size()) {
+    return InvalidArgumentError(
+        StrFormat("k=%zu exceeds point count %zu", k, points.size()));
+  }
+  const size_t dim = points.front().size();
+  for (const Point& p : points) {
+    if (p.size() != dim) {
+      return InvalidArgumentError("inconsistent point dimensions");
+    }
+  }
+
+  KMeansResult result;
+  result.centroids = SeedCentroids(points, k, rng);
+  result.labels.assign(points.size(), 0);
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment step.
+    result.inertia = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      size_t best_c = 0;
+      for (size_t c = 0; c < k; ++c) {
+        const double d = SquaredDistance(points[i], result.centroids[c]);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      result.labels[i] = best_c;
+      result.inertia += best;
+    }
+    // Update step.
+    std::vector<Point> sums(k, Point(dim, 0.0));
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < points.size(); ++i) {
+      const size_t c = result.labels[i];
+      ++counts[c];
+      for (size_t d = 0; d < dim; ++d) sums[c][d] += points[i][d];
+    }
+    double max_shift = 0.0;
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // empty cluster keeps its centroid
+      Point updated(dim);
+      for (size_t d = 0; d < dim; ++d) {
+        updated[d] = sums[c][d] / static_cast<double>(counts[c]);
+      }
+      max_shift = std::max(max_shift, SquaredDistance(updated, result.centroids[c]));
+      result.centroids[c] = std::move(updated);
+    }
+    if (max_shift <= options.tolerance) break;
+  }
+  return result;
+}
+
+}  // namespace avoc::cluster

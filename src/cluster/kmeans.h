@@ -1,0 +1,41 @@
+// k-means with k-means++ seeding, over d-dimensional points.
+//
+// §5 of the paper generalises AVOC's grouping step to multi-dimensional
+// data via unsupervised clustering (Mean-shift, X-means).  X-means (see
+// xmeans.h) builds on this k-means core.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace avoc::cluster {
+
+using Point = std::vector<double>;
+
+struct KMeansOptions {
+  size_t max_iterations = 100;
+  /// Convergence: stop when no centroid moves more than this (squared
+  /// Euclidean distance).
+  double tolerance = 1e-8;
+};
+
+struct KMeansResult {
+  std::vector<Point> centroids;   // k centroids
+  std::vector<size_t> labels;     // per-point centroid index
+  double inertia = 0.0;           // sum of squared distances to assigned centroid
+  size_t iterations = 0;
+};
+
+/// Squared Euclidean distance; dimensions must match.
+double SquaredDistance(const Point& a, const Point& b);
+
+/// Runs k-means.  Errors when points is empty, k == 0, k > points.size()
+/// or dimensions are inconsistent.
+Result<KMeansResult> KMeans(std::span<const Point> points, size_t k, Rng& rng,
+                            const KMeansOptions& options = {});
+
+}  // namespace avoc::cluster

@@ -1,0 +1,147 @@
+#include "cluster/xmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <vector>
+
+namespace avoc::cluster {
+
+double BicScore(std::span<const Point> points,
+                const KMeansResult& clustering) {
+  const size_t n = points.size();
+  const size_t k = clustering.centroids.size();
+  if (n == 0 || k == 0) return -std::numeric_limits<double>::infinity();
+  const size_t dim = points.front().size();
+
+  std::vector<size_t> counts(k, 0);
+  for (const size_t label : clustering.labels) ++counts[label];
+
+  // Maximum-likelihood variance of the identical spherical Gaussian model.
+  const double denom = static_cast<double>(n > k ? n - k : 1);
+  double variance = clustering.inertia / (denom * static_cast<double>(dim));
+  variance = std::max(variance, 1e-12);  // degenerate: all points identical
+
+  double log_likelihood = 0.0;
+  for (size_t c = 0; c < k; ++c) {
+    const double nc = static_cast<double>(counts[c]);
+    if (nc == 0) continue;
+    log_likelihood +=
+        nc * std::log(nc) - nc * std::log(static_cast<double>(n)) -
+        nc * static_cast<double>(dim) / 2.0 *
+            std::log(2.0 * std::numbers::pi * variance) -
+        (nc - 1.0) * static_cast<double>(dim) / 2.0;
+  }
+  // Free parameters: k-1 mixing weights, k*dim centroid coords, 1 variance.
+  const double params =
+      static_cast<double>(k - 1 + k * dim + 1);
+  return log_likelihood - params / 2.0 * std::log(static_cast<double>(n));
+}
+
+Result<KMeansResult> XMeans(std::span<const Point> points, Rng& rng,
+                            const XMeansOptions& options) {
+  if (points.empty()) return InvalidArgumentError("x-means on empty data");
+  if (options.k_min == 0 || options.k_min > options.k_max) {
+    return InvalidArgumentError("invalid k range");
+  }
+  const size_t k_start = std::min(options.k_min, points.size());
+  AVOC_ASSIGN_OR_RETURN(KMeansResult best,
+                        KMeans(points, k_start, rng, options.kmeans));
+
+  size_t k = k_start;
+  bool improved = true;
+  while (improved && k < options.k_max && k < points.size()) {
+    improved = false;
+    // Improve-structure step: try splitting each cluster in two and keep
+    // splits that raise the local BIC.
+    std::vector<Point> new_centroids;
+    for (size_t c = 0; c < best.centroids.size(); ++c) {
+      std::vector<Point> members;
+      for (size_t i = 0; i < points.size(); ++i) {
+        if (best.labels[i] == c) members.push_back(points[i]);
+      }
+      if (members.size() < 4) {
+        new_centroids.push_back(best.centroids[c]);
+        continue;
+      }
+      // Parent model: this cluster as one Gaussian.
+      KMeansResult parent;
+      parent.centroids = {best.centroids[c]};
+      parent.labels.assign(members.size(), 0);
+      parent.inertia = 0.0;
+      for (const Point& p : members) {
+        parent.inertia += SquaredDistance(p, best.centroids[c]);
+      }
+      const double parent_bic = BicScore(members, parent);
+      auto child = KMeans(members, 2, rng, options.kmeans);
+      if (!child.ok()) {
+        new_centroids.push_back(best.centroids[c]);
+        continue;
+      }
+      const double child_bic = BicScore(members, *child);
+      if (child_bic > parent_bic &&
+          new_centroids.size() + 2 +
+                  (best.centroids.size() - c - 1) <= options.k_max) {
+        new_centroids.push_back(child->centroids[0]);
+        new_centroids.push_back(child->centroids[1]);
+        improved = true;
+      } else {
+        new_centroids.push_back(best.centroids[c]);
+      }
+    }
+    if (!improved) break;
+    // Re-run full k-means from the accepted split structure.
+    k = new_centroids.size();
+    KMeansResult refined;
+    refined.centroids = std::move(new_centroids);
+    refined.labels.assign(points.size(), 0);
+    // One assignment + polish via ordinary k-means (seeded implicitly by
+    // running Lloyd iterations from these centroids).
+    KMeansOptions polish = options.kmeans;
+    // Manual Lloyd loop reusing the helper through KMeans would reseed, so
+    // polish in place:
+    for (size_t iter = 0; iter < polish.max_iterations; ++iter) {
+      refined.inertia = 0.0;
+      for (size_t i = 0; i < points.size(); ++i) {
+        double best_d = std::numeric_limits<double>::infinity();
+        size_t best_c = 0;
+        for (size_t c = 0; c < refined.centroids.size(); ++c) {
+          const double d = SquaredDistance(points[i], refined.centroids[c]);
+          if (d < best_d) {
+            best_d = d;
+            best_c = c;
+          }
+        }
+        refined.labels[i] = best_c;
+        refined.inertia += best_d;
+      }
+      const size_t dim = points.front().size();
+      std::vector<Point> sums(refined.centroids.size(), Point(dim, 0.0));
+      std::vector<size_t> counts(refined.centroids.size(), 0);
+      for (size_t i = 0; i < points.size(); ++i) {
+        ++counts[refined.labels[i]];
+        for (size_t d = 0; d < dim; ++d) {
+          sums[refined.labels[i]][d] += points[i][d];
+        }
+      }
+      double max_shift = 0.0;
+      for (size_t c = 0; c < refined.centroids.size(); ++c) {
+        if (counts[c] == 0) continue;
+        Point updated(dim);
+        for (size_t d = 0; d < dim; ++d) {
+          updated[d] = sums[c][d] / static_cast<double>(counts[c]);
+        }
+        max_shift =
+            std::max(max_shift, SquaredDistance(updated, refined.centroids[c]));
+        refined.centroids[c] = std::move(updated);
+      }
+      refined.iterations = iter + 1;
+      if (max_shift <= polish.tolerance) break;
+    }
+    best = std::move(refined);
+  }
+  return best;
+}
+
+}  // namespace avoc::cluster

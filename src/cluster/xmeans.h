@@ -1,0 +1,29 @@
+// X-means (Pelleg & Moore, 2000): k-means with automatic selection of k by
+// recursively splitting clusters while the Bayesian Information Criterion
+// improves.  One of the two multi-dimensional generalisations §5 proposes
+// for AVOC's clustering step.
+#pragma once
+
+#include <span>
+
+#include "cluster/kmeans.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace avoc::cluster {
+
+struct XMeansOptions {
+  size_t k_min = 1;
+  size_t k_max = 16;
+  KMeansOptions kmeans;
+};
+
+/// Runs X-means; the result's centroid count is the chosen k.
+Result<KMeansResult> XMeans(std::span<const Point> points, Rng& rng,
+                            const XMeansOptions& options = {});
+
+/// BIC score of a clustering under the identical-spherical-Gaussian model
+/// of the X-means paper (higher is better).  Exposed for tests.
+double BicScore(std::span<const Point> points, const KMeansResult& clustering);
+
+}  // namespace avoc::cluster

@@ -1,0 +1,56 @@
+#include "core/agreement.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cluster/grouping.h"
+
+namespace avoc::core {
+
+double EffectiveMargin(double a, double b, const AgreementParams& params) {
+  if (params.scale == ThresholdScale::kAbsolute) return params.error;
+  const double magnitude =
+      std::max({std::abs(a), std::abs(b), params.relative_floor});
+  return params.error * magnitude;
+}
+
+double AgreementScore(double a, double b, const AgreementParams& params) {
+  const double distance = std::abs(a - b);
+  const double margin = EffectiveMargin(a, b, params);
+  if (distance <= margin) return 1.0;
+  if (params.mode == AgreementMode::kBinary) return 0.0;
+  const double outer = margin * std::max(1.0, params.soft_multiple);
+  if (distance >= outer) return 0.0;
+  // Linear taper between the hard threshold and its soft multiple.
+  return (outer - distance) / (outer - margin);
+}
+
+std::vector<double> AgreementScores(std::span<const double> values,
+                                    const AgreementParams& params) {
+  const size_t n = values.size();
+  std::vector<double> scores(n, 1.0);
+  if (n <= 1) return scores;
+  for (size_t i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      sum += AgreementScore(values[i], values[j], params);
+    }
+    scores[i] = sum / static_cast<double>(n - 1);
+  }
+  return scores;
+}
+
+size_t LargestAgreementGroup(std::span<const double> values,
+                             const AgreementParams& params) {
+  if (values.empty()) return 0;
+  cluster::GroupingOptions options;
+  options.threshold = params.error;
+  options.mode = params.scale == ThresholdScale::kRelative
+                     ? cluster::ThresholdMode::kRelative
+                     : cluster::ThresholdMode::kAbsolute;
+  options.relative_floor = params.relative_floor;
+  return cluster::GroupByThreshold(values, options).largest().size();
+}
+
+}  // namespace avoc::core

@@ -1,0 +1,62 @@
+// Agreement functions (§4).
+//
+// Two candidate values *agree* when they are within an accepted error
+// threshold of each other.  The binary definition (Standard / ME) scores
+// 1 or 0; the Soft Dynamic Threshold definition (Das & Bhattacharya 2010)
+// assigns a graded score in [0,1] when the distance falls between the
+// threshold and a tunable multiple of it.
+//
+// Thresholds are *relative* by default: the accepted margin scales with
+// the magnitude of the values compared ("a soft-dynamic error margin (as
+// the margin depends on a reference value)", §5), so the same ε=0.05 works
+// for ~18,500-lux light readings and ~-75-dBm RSSI readings.  Absolute
+// mode is available for calibrated scales.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace avoc::core {
+
+enum class AgreementMode {
+  kBinary,       ///< 1 when within threshold, else 0
+  kSoftDynamic,  ///< linear taper from 1 at ε to 0 at m·ε
+};
+
+enum class ThresholdScale {
+  kRelative,  ///< margin = error * max(|a|, |b|, floor)
+  kAbsolute,  ///< margin = error
+};
+
+struct AgreementParams {
+  /// The accepted error threshold ε (VDX `params.error`).
+  double error = 0.05;
+  /// SDT multiple m (VDX `params.soft_threshold`); distances beyond m·ε
+  /// score 0.  Ignored in binary mode.
+  double soft_multiple = 2.0;
+  AgreementMode mode = AgreementMode::kBinary;
+  ThresholdScale scale = ThresholdScale::kRelative;
+  /// Magnitude floor for relative mode so near-zero values keep a margin.
+  double relative_floor = 1e-9;
+};
+
+/// Agreement score of two values in [0,1].
+double AgreementScore(double a, double b, const AgreementParams& params);
+
+/// Effective absolute margin when comparing `a` and `b` (the ε·scale the
+/// binary test uses).  Exposed for the clustering step, which mirrors the
+/// vote's threshold.
+double EffectiveMargin(double a, double b, const AgreementParams& params);
+
+/// Mean pairwise agreement of each candidate with every *other* candidate.
+/// A single candidate scores 1 (it trivially agrees with itself).
+std::vector<double> AgreementScores(std::span<const double> values,
+                                    const AgreementParams& params);
+
+/// Size of the largest mutually-chained agreement group among `values`
+/// (threshold-linkage by binary agreement, regardless of mode).  Used for
+/// the absolute-majority check of the conflicting-results fault scenario.
+size_t LargestAgreementGroup(std::span<const double> values,
+                             const AgreementParams& params);
+
+}  // namespace avoc::core

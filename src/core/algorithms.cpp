@@ -1,0 +1,129 @@
+#include "core/algorithms.h"
+
+#include "util/strings.h"
+
+namespace avoc::core {
+
+std::vector<AlgorithmId> AllAlgorithms() {
+  return {AlgorithmId::kAverage,
+          AlgorithmId::kStandard,
+          AlgorithmId::kModuleElimination,
+          AlgorithmId::kSoftDynamicThreshold,
+          AlgorithmId::kHybrid,
+          AlgorithmId::kClusteringOnly,
+          AlgorithmId::kAvoc};
+}
+
+std::string_view AlgorithmName(AlgorithmId id) {
+  switch (id) {
+    case AlgorithmId::kAverage: return "average";
+    case AlgorithmId::kStandard: return "standard";
+    case AlgorithmId::kModuleElimination: return "me";
+    case AlgorithmId::kSoftDynamicThreshold: return "sdt";
+    case AlgorithmId::kHybrid: return "hybrid";
+    case AlgorithmId::kClusteringOnly: return "cov";
+    case AlgorithmId::kAvoc: return "avoc";
+  }
+  return "?";
+}
+
+Result<AlgorithmId> ParseAlgorithmName(std::string_view name) {
+  std::string lower = AsciiToLower(TrimWhitespace(name));
+  // Tolerate the paper's abbreviated plot labels ("avg.", "strd.").
+  while (!lower.empty() && lower.back() == '.') lower.pop_back();
+  if (lower == "average" || lower == "avg" || lower == "mean") {
+    return AlgorithmId::kAverage;
+  }
+  if (lower == "standard" || lower == "strd" || lower == "hbwa") {
+    return AlgorithmId::kStandard;
+  }
+  if (lower == "me" || lower == "module_elimination" ||
+      lower == "module-elimination") {
+    return AlgorithmId::kModuleElimination;
+  }
+  if (lower == "sdt" || lower == "soft_dynamic_threshold") {
+    return AlgorithmId::kSoftDynamicThreshold;
+  }
+  if (lower == "hybrid") return AlgorithmId::kHybrid;
+  if (lower == "cov" || lower == "clustering" || lower == "clustering_only") {
+    return AlgorithmId::kClusteringOnly;
+  }
+  if (lower == "avoc") return AlgorithmId::kAvoc;
+  return NotFoundError("unknown algorithm '" + std::string(name) + "'");
+}
+
+EngineConfig MakeConfig(AlgorithmId id, const PresetParams& params) {
+  EngineConfig config;
+  config.agreement.error = params.error;
+  config.agreement.soft_multiple = params.soft_multiple;
+  config.agreement.scale = params.scale;
+  config.history.reward = params.reward;
+  config.history.penalty = params.penalty;
+  config.quorum.fraction = params.quorum_fraction;
+
+  switch (id) {
+    case AlgorithmId::kAverage:
+      config.agreement.mode = AgreementMode::kBinary;
+      config.history.rule = HistoryRule::kNone;
+      config.weighting = RoundWeighting::kUniform;
+      config.collation = Collation::kWeightedAverage;
+      config.clustering = ClusteringMode::kOff;
+      break;
+    case AlgorithmId::kStandard:
+      config.agreement.mode = AgreementMode::kBinary;
+      config.history.rule = HistoryRule::kCumulativeRatio;
+      config.weighting = RoundWeighting::kHistory;
+      config.collation = Collation::kWeightedAverage;
+      config.clustering = ClusteringMode::kOff;
+      break;
+    case AlgorithmId::kModuleElimination:
+      config.agreement.mode = AgreementMode::kBinary;
+      config.history.rule = HistoryRule::kCumulativeRatio;
+      config.weighting = RoundWeighting::kHistory;
+      config.collation = Collation::kWeightedAverage;
+      config.clustering = ClusteringMode::kOff;
+      config.module_elimination = true;
+      break;
+    case AlgorithmId::kSoftDynamicThreshold:
+      config.agreement.mode = AgreementMode::kSoftDynamic;
+      config.history.rule = HistoryRule::kCumulativeRatio;
+      config.weighting = RoundWeighting::kHistory;
+      config.collation = Collation::kWeightedAverage;
+      config.clustering = ClusteringMode::kOff;
+      break;
+    case AlgorithmId::kHybrid:
+      config.agreement.mode = AgreementMode::kSoftDynamic;
+      config.history.rule = HistoryRule::kRewardPenalty;
+      config.weighting = RoundWeighting::kHistory;
+      config.collation = Collation::kMeanNearestNeighbor;
+      config.clustering = ClusteringMode::kOff;
+      config.module_elimination = true;
+      break;
+    case AlgorithmId::kClusteringOnly:
+      config.agreement.mode = AgreementMode::kBinary;
+      config.history.rule = HistoryRule::kNone;
+      config.weighting = RoundWeighting::kUniform;
+      config.collation = Collation::kWeightedAverage;
+      config.clustering = ClusteringMode::kAlways;
+      break;
+    case AlgorithmId::kAvoc:
+      config.agreement.mode = AgreementMode::kSoftDynamic;
+      config.history.rule = HistoryRule::kRewardPenalty;
+      config.weighting = RoundWeighting::kHistory;
+      config.collation = Collation::kMeanNearestNeighbor;
+      config.clustering = ClusteringMode::kBootstrap;
+      config.module_elimination = true;
+      break;
+  }
+  if (params.collation.has_value()) {
+    config.collation = *params.collation;
+  }
+  return config;
+}
+
+Result<VotingEngine> MakeEngine(AlgorithmId id, size_t modules,
+                                const PresetParams& params) {
+  return VotingEngine::Create(modules, MakeConfig(id, params));
+}
+
+}  // namespace avoc::core

@@ -1,0 +1,80 @@
+// Named algorithm presets (§4–§5).
+//
+// Each factory returns the EngineConfig that realises one of the paper's
+// seven compared variants.  All presets share the accepted error threshold
+// ε and (where applicable) the SDT multiple m, which the evaluation sets
+// to ε=0.05 (relative) and m=2 — the values of Listing 1.
+//
+// | preset     | agreement | history rule     | weights    | elim | collation | clustering |
+// |------------|-----------|------------------|------------|------|-----------|------------|
+// | average    | —         | none             | uniform    | no   | mean      | off        |
+// | standard   | binary    | cumulative ratio | history    | no   | w-average | off        |
+// | ME         | binary    | cumulative ratio | history    | yes  | w-average | off        |
+// | SDT        | soft      | cumulative ratio | history    | no   | w-average | off        |
+// | hybrid     | soft      | reward/penalty   | history    | yes  | MNN       | off        |
+// | COV        | binary    | none             | uniform    | no   | w-average | always     |
+// | AVOC       | soft      | reward/penalty   | history    | yes  | MNN       | bootstrap  |
+//
+// Interpretation note (documented deviation): Alahmadi & Soh describe the
+// Hybrid's weights as "agreement-based"; we read that as weights derived
+// from the agreement *record* (the reward/penalty ledger driven by soft
+// agreement scores), because the paper's own Fig. 6 shows Hybrid suffering
+// the same round-one spike as the other history-based algorithms — which
+// can only happen if round weights do not react to the current round's
+// agreement.  The RoundWeighting knob exposes the alternative readings;
+// bench_ablation compares them.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/engine.h"
+#include "util/status.h"
+
+namespace avoc::core {
+
+/// Shared tunables of the preset family.
+struct PresetParams {
+  /// Accepted error threshold ε (relative by default).
+  double error = 0.05;
+  /// SDT / Hybrid / AVOC soft threshold multiple m.
+  double soft_multiple = 2.0;
+  ThresholdScale scale = ThresholdScale::kRelative;
+  /// Reward/penalty for the reward-penalty history rule.
+  double reward = 0.05;
+  double penalty = 0.3;
+  /// Quorum as a fraction of registered modules.
+  double quorum_fraction = 0.5;
+  /// Collation override: presets pick their paper default when nullopt.
+  std::optional<Collation> collation;
+};
+
+enum class AlgorithmId {
+  kAverage,
+  kStandard,
+  kModuleElimination,
+  kSoftDynamicThreshold,
+  kHybrid,
+  kClusteringOnly,
+  kAvoc,
+};
+
+/// All algorithm ids in the order the paper's figures list them.
+std::vector<AlgorithmId> AllAlgorithms();
+
+/// Canonical lower-case name ("avoc", "hybrid", ...).
+std::string_view AlgorithmName(AlgorithmId id);
+
+/// Parses names case-insensitively, accepting the paper's spellings
+/// ("ME", "Me", "standard", "avg.", "Clustering", "COV", ...).
+Result<AlgorithmId> ParseAlgorithmName(std::string_view name);
+
+/// The preset EngineConfig for an algorithm.
+EngineConfig MakeConfig(AlgorithmId id, const PresetParams& params = {});
+
+/// Convenience: engine for `modules` sensors running the preset.
+Result<VotingEngine> MakeEngine(AlgorithmId id, size_t modules,
+                                const PresetParams& params = {});
+
+}  // namespace avoc::core

@@ -1,0 +1,67 @@
+#include "core/batch.h"
+
+namespace avoc::core {
+
+std::vector<double> BatchResult::ContinuousOutputs() const {
+  std::vector<double> out;
+  out.reserve(outputs.size());
+  // First engaged value seeds any leading gaps.
+  double current = 0.0;
+  bool seeded = false;
+  for (const auto& value : outputs) {
+    if (value.has_value()) {
+      current = *value;
+      seeded = true;
+      break;
+    }
+  }
+  if (!seeded) return std::vector<double>(outputs.size(), 0.0);
+  for (const auto& value : outputs) {
+    if (value.has_value()) current = *value;
+    out.push_back(current);
+  }
+  return out;
+}
+
+size_t BatchResult::voted_rounds() const {
+  size_t count = 0;
+  for (const auto& r : rounds) {
+    if (r.outcome == RoundOutcome::kVoted) ++count;
+  }
+  return count;
+}
+
+size_t BatchResult::clustered_rounds() const {
+  size_t count = 0;
+  for (const auto& r : rounds) {
+    if (r.used_clustering) ++count;
+  }
+  return count;
+}
+
+Result<BatchResult> RunOverTable(VotingEngine& engine,
+                                 const data::RoundTable& table) {
+  if (table.module_count() != engine.module_count()) {
+    return InvalidArgumentError("table/engine module count mismatch");
+  }
+  BatchResult batch;
+  batch.rounds.reserve(table.round_count());
+  batch.outputs.reserve(table.round_count());
+  for (size_t r = 0; r < table.round_count(); ++r) {
+    const auto row = table.Round(r);
+    Round round(row.begin(), row.end());
+    AVOC_ASSIGN_OR_RETURN(VoteResult result, engine.CastVote(round));
+    batch.outputs.push_back(result.value);
+    batch.rounds.push_back(std::move(result));
+  }
+  return batch;
+}
+
+Result<BatchResult> RunAlgorithm(AlgorithmId id, const data::RoundTable& table,
+                                 const PresetParams& params) {
+  AVOC_ASSIGN_OR_RETURN(VotingEngine engine,
+                        MakeEngine(id, table.module_count(), params));
+  return RunOverTable(engine, table);
+}
+
+}  // namespace avoc::core

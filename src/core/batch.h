@@ -1,0 +1,45 @@
+// Batch execution: drive a VotingEngine over a pre-recorded RoundTable.
+//
+// This is how the paper evaluates ("the evaluation was done with
+// pre-recorded data for reproducibility purposes"): every algorithm sees
+// the identical table of raw readings and produces one output series.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/algorithms.h"
+#include "core/engine.h"
+#include "data/round_table.h"
+#include "util/status.h"
+
+namespace avoc::core {
+
+struct BatchResult {
+  /// Per-round full results.
+  std::vector<VoteResult> rounds;
+
+  /// Per-round fused values; nullopt for suppressed/errored rounds.
+  std::vector<std::optional<double>> outputs;
+
+  /// Outputs with gaps filled by the previous value (first gaps dropped
+  /// from the front are filled with the first real output).  Convenient
+  /// for plotting and series metrics.
+  std::vector<double> ContinuousOutputs() const;
+
+  /// Number of rounds whose outcome was kVoted.
+  size_t voted_rounds() const;
+  /// Rounds where the clustering step gated the vote.
+  size_t clustered_rounds() const;
+};
+
+/// Runs `engine` over every round of `table`.  The engine keeps its state,
+/// so a fresh engine gives the from-bootstrap behaviour of the figures.
+Result<BatchResult> RunOverTable(VotingEngine& engine,
+                                 const data::RoundTable& table);
+
+/// Convenience: fresh preset engine over the table.
+Result<BatchResult> RunAlgorithm(AlgorithmId id, const data::RoundTable& table,
+                                 const PresetParams& params = {});
+
+}  // namespace avoc::core

@@ -1,0 +1,99 @@
+// Categorical voting (§6).
+//
+// VDX extends VDL with voting on non-numeric values — "character strings
+// and JSON blobs".  The paper restricts the feature set:
+//   * no value-based exclusion (no mean / standard deviation),
+//   * history rules 'standard' and 'module elimination' only (the hybrid's
+//     fine-grained agreement does not apply),
+//   * no clustering bootstrap,
+//   * collation is the weighted majority (plurality) vote only.
+// The stated escape hatch — "implementers may re-introduce some of these
+// features by supplying a custom distance metric" — is the `distance`
+// hook: when set, agreement becomes graded (1 - distance/ε taper) and the
+// soft-dynamic rules apply.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/history.h"
+#include "core/types.h"
+#include "util/status.h"
+
+namespace avoc::core {
+
+/// Distance between two labels, normalised to [0,1] (0 = identical).
+using CategoricalDistance =
+    std::function<double(const std::string&, const std::string&)>;
+
+/// Normalised Levenshtein distance — a ready-made custom metric.
+double LevenshteinDistance(const std::string& a, const std::string& b);
+
+struct CategoricalConfig {
+  HistoryParams history;
+  /// Quorum as a fraction of registered modules.
+  double quorum_fraction = 0.5;
+  size_t quorum_min_count = 1;
+  /// Module elimination by below-average history record.
+  bool module_elimination = false;
+  /// Rejoin slack below the mean record (see EngineConfig).
+  double elimination_margin = 0.05;
+  /// Optional custom metric; exact string equality when unset.
+  CategoricalDistance distance;
+  /// With a custom metric: two labels agree when distance <= error.
+  double error = 0.0;
+  NoQuorumPolicy on_no_quorum = NoQuorumPolicy::kRevertLast;
+  /// Categorical conflicts are the paper's second UC-2 fault scenario;
+  /// plurality winners that are overall minorities trip this policy.
+  NoMajorityPolicy on_no_majority = NoMajorityPolicy::kAccept;
+
+  Status Validate() const;
+};
+
+struct CategoricalVoteResult {
+  std::optional<std::string> value;
+  RoundOutcome outcome = RoundOutcome::kVoted;
+  Status status;
+  /// Effective plurality weight each module contributed.
+  std::vector<double> weights;
+  /// History records after the update.
+  std::vector<double> history;
+  std::vector<bool> eliminated;
+  size_t present_count = 0;
+  /// Winner's supporters were an absolute majority of present candidates.
+  bool had_majority = true;
+};
+
+class CategoricalEngine {
+ public:
+  using Label = std::optional<std::string>;
+
+  static Result<CategoricalEngine> Create(size_t module_count,
+                                          CategoricalConfig config);
+
+  size_t module_count() const { return module_count_; }
+
+  Result<CategoricalVoteResult> CastVote(const std::vector<Label>& round);
+
+  const std::optional<std::string>& last_output() const { return last_output_; }
+  const HistoryLedger& history() const { return ledger_; }
+  void Reset();
+
+ private:
+  CategoricalEngine(size_t module_count, CategoricalConfig config);
+
+  /// Agreement of two labels in [0,1].
+  double Agreement(const std::string& a, const std::string& b) const;
+
+  CategoricalVoteResult MakeFaultResult(RoundOutcome fallback, Status status,
+                                        size_t present_count) const;
+
+  size_t module_count_;
+  CategoricalConfig config_;
+  HistoryLedger ledger_;
+  std::optional<std::string> last_output_;
+};
+
+}  // namespace avoc::core

@@ -1,0 +1,97 @@
+#include "core/collation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace avoc::core {
+namespace {
+
+Result<double> WeightedMean(std::span<const double> values,
+                            std::span<const double> weights) {
+  double weight_sum = 0.0;
+  double value_sum = 0.0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (weights[i] <= 0.0) continue;
+    weight_sum += weights[i];
+    value_sum += weights[i] * values[i];
+  }
+  if (weight_sum <= 0.0) {
+    return FailedPreconditionError("all candidate weights are zero");
+  }
+  return value_sum / weight_sum;
+}
+
+Result<double> WeightedMedian(std::span<const double> values,
+                              std::span<const double> weights) {
+  std::vector<size_t> order;
+  double total = 0.0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (weights[i] > 0.0) {
+      order.push_back(i);
+      total += weights[i];
+    }
+  }
+  if (order.empty()) {
+    return FailedPreconditionError("all candidate weights are zero");
+  }
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values[a] < values[b]; });
+  double cumulative = 0.0;
+  for (size_t k = 0; k < order.size(); ++k) {
+    cumulative += weights[order[k]];
+    if (cumulative >= total / 2.0) {
+      // Midpoint rule on an exact 50/50 split for an even-ish balance.
+      if (std::abs(cumulative - total / 2.0) < 1e-12 && k + 1 < order.size()) {
+        return 0.5 * (values[order[k]] + values[order[k + 1]]);
+      }
+      return values[order[k]];
+    }
+  }
+  return values[order.back()];
+}
+
+}  // namespace
+
+Result<double> Collate(Collation method, std::span<const double> values,
+                       std::span<const double> weights,
+                       const std::optional<double>& previous_output) {
+  if (values.empty()) return InvalidArgumentError("no candidates to collate");
+  if (values.size() != weights.size()) {
+    return InvalidArgumentError(
+        StrFormat("%zu values vs %zu weights", values.size(), weights.size()));
+  }
+  switch (method) {
+    case Collation::kWeightedAverage:
+      return WeightedMean(values, weights);
+    case Collation::kWeightedMedian:
+      return WeightedMedian(values, weights);
+    case Collation::kMeanNearestNeighbor: {
+      AVOC_ASSIGN_OR_RETURN(const double mean, WeightedMean(values, weights));
+      // Select the weight-bearing candidate nearest the weighted mean.
+      double best_value = 0.0;
+      double best_distance = -1.0;
+      for (size_t i = 0; i < values.size(); ++i) {
+        if (weights[i] <= 0.0) continue;
+        const double distance = std::abs(values[i] - mean);
+        const bool closer =
+            best_distance < 0.0 || distance < best_distance ||
+            // Tie: prefer proximity to the previous output when known.
+            (distance == best_distance && previous_output.has_value() &&
+             std::abs(values[i] - *previous_output) <
+                 std::abs(best_value - *previous_output));
+        if (closer) {
+          best_value = values[i];
+          best_distance = distance;
+        }
+      }
+      return best_value;
+    }
+  }
+  return InternalError("unknown collation method");
+}
+
+}  // namespace avoc::core

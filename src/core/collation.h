@@ -1,0 +1,33 @@
+// Collation: turning weighted candidates into one output value (§4, §6).
+//
+// The paper distinguishes *amalgamation* (weighted average) from *result
+// selection* (mean-nearest-neighbour: output the real candidate value
+// closest to the weighted mean).  UC-2 shows the choice matters more than
+// the history method: "what had the most impact on the output was whether
+// the last step was to average the values or to select a value".
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "util/status.h"
+
+namespace avoc::core {
+
+enum class Collation {
+  kWeightedAverage,       ///< Σ w·x / Σ w (amalgamation)
+  kMeanNearestNeighbor,   ///< candidate closest to the weighted mean
+  kWeightedMedian,        ///< 50% point of the weight-ordered candidates
+};
+
+/// Fuses candidates with the given per-candidate weights.  Candidates with
+/// weight <= 0 cannot be *selected* but still do not shift the weighted
+/// mean (their contribution is zero either way).  `previous_output` breaks
+/// mean-nearest-neighbour ties (the paper's "proximity to the previous
+/// output" tie-breaker).  Errors when values is empty, sizes mismatch, or
+/// all weights are <= 0.
+Result<double> Collate(Collation method, std::span<const double> values,
+                       std::span<const double> weights,
+                       const std::optional<double>& previous_output);
+
+}  // namespace avoc::core

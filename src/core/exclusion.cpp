@@ -1,0 +1,53 @@
+#include "core/exclusion.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/quantile.h"
+#include "stats/running.h"
+
+namespace avoc::core {
+
+std::vector<bool> ComputeExclusions(std::span<const double> values,
+                                    const ExclusionParams& params) {
+  std::vector<bool> excluded(values.size(), false);
+  if (params.mode == ExclusionMode::kNone || values.size() < 3 ||
+      params.threshold <= 0.0) {
+    return excluded;
+  }
+
+  double center = 0.0;
+  double spread = 0.0;
+  switch (params.mode) {
+    case ExclusionMode::kNone:
+      return excluded;
+    case ExclusionMode::kStdDev: {
+      stats::RunningStats rs;
+      for (const double v : values) rs.Add(v);
+      center = rs.mean();
+      spread = rs.stddev();
+      break;
+    }
+    case ExclusionMode::kMad: {
+      auto median = stats::Median(values);
+      auto mad = stats::MedianAbsoluteDeviation(values);
+      if (!median.ok() || !mad.ok()) return excluded;
+      center = *median;
+      spread = *mad;
+      break;
+    }
+  }
+  if (spread <= 0.0) return excluded;
+
+  size_t kept = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    excluded[i] = std::abs(values[i] - center) > params.threshold * spread;
+    if (!excluded[i]) ++kept;
+  }
+  if (kept == 0) {
+    std::fill(excluded.begin(), excluded.end(), false);
+  }
+  return excluded;
+}
+
+}  // namespace avoc::core

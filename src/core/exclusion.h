@@ -1,0 +1,34 @@
+// Value-based exclusion (the VDL-inherited "excluding outliers" step).
+//
+// VDX's `exclusion` / `exclusion_threshold` fields prune candidates whose
+// value deviates from the round's central tendency by more than a
+// threshold, *before* agreement and weighting.  §6 notes this feature is
+// unavailable for categorical values ("there can be no mean or standard
+// deviation calculation").
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace avoc::core {
+
+enum class ExclusionMode {
+  kNone,    ///< keep every candidate
+  kStdDev,  ///< drop |x - mean| > threshold * stddev
+  kMad,     ///< drop |x - median| > threshold * MAD (robust variant)
+};
+
+struct ExclusionParams {
+  ExclusionMode mode = ExclusionMode::kNone;
+  /// Multiple of the spread statistic beyond which a value is excluded.
+  double threshold = 0.0;
+};
+
+/// Returns a keep/drop flag per value (true = excluded).  Degenerate
+/// spreads (stddev or MAD of 0) exclude nothing: all values coincide.
+/// Exclusion never removes every candidate; if it would, nothing is
+/// excluded (a vote of all-outliers is still better than no vote).
+std::vector<bool> ComputeExclusions(std::span<const double> values,
+                                    const ExclusionParams& params);
+
+}  // namespace avoc::core

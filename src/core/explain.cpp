@@ -1,0 +1,58 @@
+#include "core/explain.h"
+
+#include "util/strings.h"
+
+namespace avoc::core {
+
+std::string SummarizeResult(const VoteResult& result) {
+  std::string out(RoundOutcomeName(result.outcome));
+  if (result.value.has_value()) {
+    out += StrFormat(" %.4g", *result.value);
+  }
+  out += "  w=[";
+  for (size_t m = 0; m < result.weights.size(); ++m) {
+    if (m > 0) out += " ";
+    out += StrFormat("%.2f", result.weights[m]);
+  }
+  out += "]";
+  if (result.used_clustering) out += " (clustered)";
+  if (!result.had_majority) out += " (no majority)";
+  if (!result.status.ok()) out += " [" + result.status.ToString() + "]";
+  return out;
+}
+
+std::string ExplainResult(const VoteResult& result, const Round& round,
+                          const std::vector<std::string>& names) {
+  std::string out;
+  out += StrFormat("%-8s %12s %7s %7s %7s  %s\n", "module", "reading",
+                   "weight", "agree", "record", "flags");
+  for (size_t m = 0; m < result.weights.size(); ++m) {
+    const std::string name =
+        m < names.size() ? names[m] : StrFormat("m%zu", m);
+    std::string reading = "-";
+    if (m < round.size() && round[m].has_value()) {
+      reading = StrFormat("%.6g", *round[m]);
+    }
+    std::string flags;
+    if (m >= round.size() || !round[m].has_value()) flags += " missing";
+    if (m < result.excluded.size() && result.excluded[m]) flags += " excluded";
+    if (m < result.eliminated.size() && result.eliminated[m]) {
+      flags += " eliminated";
+    }
+    if (result.used_clustering && m < round.size() && round[m].has_value() &&
+        m < result.weights.size() && result.weights[m] == 0.0 &&
+        !(m < result.excluded.size() && result.excluded[m]) &&
+        !(m < result.eliminated.size() && result.eliminated[m])) {
+      flags += " out-of-cluster";
+    }
+    out += StrFormat("%-8s %12s %7.2f %7.2f %7.2f %s\n", name.c_str(),
+                     reading.c_str(), result.weights[m],
+                     m < result.agreement.size() ? result.agreement[m] : 0.0,
+                     m < result.history.size() ? result.history[m] : 0.0,
+                     flags.empty() ? " -" : flags.c_str());
+  }
+  out += "-> " + SummarizeResult(result) + "\n";
+  return out;
+}
+
+}  // namespace avoc::core

@@ -1,0 +1,26 @@
+// Human-readable rendering of vote results.
+//
+// The paper's shoe-box demonstrator shows "input, weights and results" on
+// an LCD, and its Fig. 5 application displays per-algorithm comparisons;
+// this is the formatting behind both: one VoteResult (plus the module
+// names and the raw round) becomes a compact table or one-line summary.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace avoc::core {
+
+/// One line: outcome, value, and the per-module weight vector.
+///   "voted 18470.0  w=[1.00 1.00 1.00 1.00 0.00] (clustered)"
+std::string SummarizeResult(const VoteResult& result);
+
+/// Multi-line table: one row per module with reading, weight, agreement,
+/// history and status flags (missing/excluded/eliminated/out-of-cluster),
+/// then the outcome line.  `names` may be empty (indices are used).
+std::string ExplainResult(const VoteResult& result, const Round& round,
+                          const std::vector<std::string>& names = {});
+
+}  // namespace avoc::core

@@ -1,0 +1,103 @@
+#include "core/history.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace avoc::core {
+namespace {
+
+double Clamp01(double x) { return std::clamp(x, 0.0, 1.0); }
+
+}  // namespace
+
+HistoryLedger::HistoryLedger(size_t module_count, HistoryParams params)
+    : params_(params),
+      records_(module_count, 1.0),
+      agreement_sums_(module_count, 0.0),
+      observations_(module_count, 0) {}
+
+Status HistoryLedger::Update(std::span<const double> agreement_with_output,
+                             const std::vector<bool>& present) {
+  if (agreement_with_output.size() != records_.size() ||
+      present.size() != records_.size()) {
+    return InvalidArgumentError(
+        StrFormat("history update arity %zu/%zu, ledger has %zu modules",
+                  agreement_with_output.size(), present.size(),
+                  records_.size()));
+  }
+  ++rounds_;
+  if (params_.rule == HistoryRule::kNone) return Status::Ok();
+
+  for (size_t i = 0; i < records_.size(); ++i) {
+    if (!present[i]) {
+      if (params_.missing_penalty > 0.0) {
+        records_[i] = Clamp01(records_[i] - params_.missing_penalty);
+      }
+      continue;
+    }
+    const double g = Clamp01(agreement_with_output[i]);
+    switch (params_.rule) {
+      case HistoryRule::kNone:
+        break;
+      case HistoryRule::kCumulativeRatio: {
+        agreement_sums_[i] += g;
+        ++observations_[i];
+        // Laplace prior (1 agreement / 1 observation) keeps fresh modules
+        // at record 1 and makes the decay of a disagreer gradual.
+        records_[i] = (1.0 + agreement_sums_[i]) /
+                      (1.0 + static_cast<double>(observations_[i]));
+        break;
+      }
+      case HistoryRule::kRewardPenalty:
+        records_[i] =
+            Clamp01(records_[i] + g * params_.reward -
+                    (1.0 - g) * params_.penalty);
+        break;
+    }
+  }
+  return Status::Ok();
+}
+
+double HistoryLedger::MeanRecord() const {
+  if (records_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double r : records_) sum += r;
+  return sum / static_cast<double>(records_.size());
+}
+
+bool HistoryLedger::AllRecordsAre(double value, double epsilon) const {
+  for (const double r : records_) {
+    if (std::abs(r - value) > epsilon) return false;
+  }
+  return true;
+}
+
+void HistoryLedger::Reset() {
+  std::fill(records_.begin(), records_.end(), 1.0);
+  std::fill(agreement_sums_.begin(), agreement_sums_.end(), 0.0);
+  std::fill(observations_.begin(), observations_.end(), size_t{0});
+  rounds_ = 0;
+}
+
+Status HistoryLedger::Restore(std::span<const double> records, size_t rounds) {
+  if (records.size() != records_.size()) {
+    return InvalidArgumentError(
+        StrFormat("restore arity %zu, ledger has %zu modules", records.size(),
+                  records_.size()));
+  }
+  for (size_t i = 0; i < records_.size(); ++i) {
+    records_[i] = Clamp01(records[i]);
+    // Rebuild a consistent cumulative state: treat the restored record as
+    // the mean agreement over `rounds` observations.
+    observations_[i] = rounds;
+    agreement_sums_[i] =
+        records_[i] * (1.0 + static_cast<double>(rounds)) - 1.0;
+    agreement_sums_[i] = std::max(0.0, agreement_sums_[i]);
+  }
+  rounds_ = rounds;
+  return Status::Ok();
+}
+
+}  // namespace avoc::core

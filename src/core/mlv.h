@@ -1,0 +1,86 @@
+// Maximum Likelihood Voting for finite output spaces (Leung, 1995).
+//
+// §6 of the paper names MLV as an algorithm VDX *cannot* define, because
+// it parameterises over the candidate values themselves (the size of the
+// output space enters the likelihood).  It is implemented here as a
+// library-level baseline so the expressiveness boundary can be measured:
+// bench_mlv compares MLV against the weighted-majority categorical voter
+// on noisy finite-alphabet channels.
+//
+// Model: module i is correct with probability p_i; when wrong, its output
+// is uniform over the remaining s-1 values of the output space.  The vote
+// selects the candidate v maximising
+//
+//     L(v) = Π_i  ( x_i == v ?  p_i  :  (1 - p_i) / (s - 1) )
+//
+// over the submitted values.  Reliabilities are learned online as the
+// running fraction of rounds the module agreed with the fused output
+// (Laplace-smoothed), clamped away from {0,1} so likelihoods stay finite.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/history.h"
+#include "core/types.h"
+#include "util/status.h"
+
+namespace avoc::core {
+
+struct MlvConfig {
+  /// Size of the finite output space (must be >= 2 and >= the number of
+  /// distinct values ever submitted).
+  size_t output_space_size = 2;
+  /// Reliability clamp: p_i is kept within [clamp, 1 - clamp].
+  double reliability_clamp = 0.01;
+  /// Quorum as a fraction of registered modules.
+  double quorum_fraction = 0.5;
+  NoQuorumPolicy on_no_quorum = NoQuorumPolicy::kRevertLast;
+
+  Status Validate() const;
+};
+
+struct MlvVoteResult {
+  std::optional<std::string> value;
+  RoundOutcome outcome = RoundOutcome::kVoted;
+  Status status;
+  /// Per-module reliability estimates after the update.
+  std::vector<double> reliability;
+  /// Log-likelihood of the winning candidate.
+  double log_likelihood = 0.0;
+  size_t present_count = 0;
+};
+
+class MlvEngine {
+ public:
+  using Label = std::optional<std::string>;
+
+  static Result<MlvEngine> Create(size_t module_count, MlvConfig config);
+
+  size_t module_count() const { return module_count_; }
+
+  Result<MlvVoteResult> CastVote(const std::vector<Label>& round);
+
+  const std::optional<std::string>& last_output() const {
+    return last_output_;
+  }
+
+  /// Current reliability estimate of module `i`.
+  double reliability(size_t i) const;
+
+  void Reset();
+
+ private:
+  MlvEngine(size_t module_count, MlvConfig config);
+
+  MlvVoteResult MakeFaultResult(RoundOutcome fallback, Status status,
+                                size_t present_count) const;
+
+  size_t module_count_;
+  MlvConfig config_;
+  HistoryLedger ledger_;  // cumulative agreement ratio = reliability
+  std::optional<std::string> last_output_;
+};
+
+}  // namespace avoc::core

@@ -1,0 +1,151 @@
+#include "core/multidim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cluster/meanshift.h"
+#include "util/strings.h"
+
+namespace avoc::core {
+namespace {
+
+int OutcomeSeverity(RoundOutcome outcome) {
+  switch (outcome) {
+    case RoundOutcome::kVoted: return 0;
+    case RoundOutcome::kRevertedLast: return 1;
+    case RoundOutcome::kNoOutput: return 2;
+    case RoundOutcome::kError: return 3;
+  }
+  return 3;
+}
+
+}  // namespace
+
+MultiDimEngine::MultiDimEngine(size_t module_count,
+                               std::vector<VotingEngine> engines,
+                               const MultiDimConfig& config)
+    : module_count_(module_count),
+      engines_(std::move(engines)),
+      config_(config) {}
+
+Result<MultiDimEngine> MultiDimEngine::Create(size_t module_count,
+                                              size_t dimensions,
+                                              const MultiDimConfig& config) {
+  if (dimensions == 0) {
+    return InvalidArgumentError("need at least one dimension");
+  }
+  if (config.bandwidth_fraction <= 0.0) {
+    return InvalidArgumentError("bandwidth fraction must be > 0");
+  }
+  EngineConfig scalar = config.scalar;
+  // §5: per-dimension voting "without incorporating the clustering itself".
+  scalar.clustering = ClusteringMode::kOff;
+  std::vector<VotingEngine> engines;
+  engines.reserve(dimensions);
+  for (size_t d = 0; d < dimensions; ++d) {
+    AVOC_ASSIGN_OR_RETURN(VotingEngine engine,
+                          VotingEngine::Create(module_count, scalar));
+    engines.push_back(std::move(engine));
+  }
+  return MultiDimEngine(module_count, std::move(engines), config);
+}
+
+bool MultiDimEngine::ShouldBootstrap() const {
+  if (config_.bootstrap != VectorBootstrap::kMeanShift) return false;
+  // Fresh set (first round) or collapse of any dimension's records.
+  if (engines_.front().round_index() == 0) return true;
+  for (const VotingEngine& engine : engines_) {
+    if (engine.history().AllRecordsAre(0.0)) return true;
+  }
+  return false;
+}
+
+Result<MultiDimVoteResult> MultiDimEngine::CastVote(
+    const std::vector<VectorReading>& round) {
+  if (round.size() != module_count_) {
+    return InvalidArgumentError(
+        StrFormat("round has %zu modules, engine has %zu", round.size(),
+                  module_count_));
+  }
+  const size_t dims = engines_.size();
+  for (const VectorReading& reading : round) {
+    if (reading.has_value() && reading->size() != dims) {
+      return InvalidArgumentError(
+          StrFormat("vector reading has %zu dimensions, engine has %zu",
+                    reading->size(), dims));
+    }
+  }
+
+  MultiDimVoteResult result;
+  result.vector_outliers.assign(module_count_, false);
+
+  // --- Vector bootstrap: one clustering over whole module vectors -------
+  if (ShouldBootstrap()) {
+    std::vector<size_t> present_index;
+    std::vector<cluster::Point> points;
+    double magnitude_sum = 0.0;
+    for (size_t m = 0; m < module_count_; ++m) {
+      if (!round[m].has_value()) continue;
+      present_index.push_back(m);
+      points.push_back(*round[m]);
+      double norm2 = 0.0;
+      for (const double x : *round[m]) norm2 += x * x;
+      magnitude_sum += std::sqrt(norm2);
+    }
+    if (points.size() >= 3) {
+      cluster::MeanShiftOptions options;
+      options.bandwidth = std::max(
+          1e-9, config_.bandwidth_fraction * magnitude_sum /
+                    static_cast<double>(points.size()));
+      auto shifted = cluster::MeanShift(points, options);
+      if (shifted.ok() && shifted->cluster_count() > 1) {
+        // Densest mode wins; everything else is a vector outlier.
+        std::vector<size_t> counts(shifted->cluster_count(), 0);
+        for (const size_t label : shifted->labels) ++counts[label];
+        const size_t winner = static_cast<size_t>(
+            std::max_element(counts.begin(), counts.end()) - counts.begin());
+        for (size_t k = 0; k < points.size(); ++k) {
+          if (shifted->labels[k] != winner) {
+            result.vector_outliers[present_index[k]] = true;
+          }
+        }
+        result.used_vector_clustering = true;
+      }
+    }
+  }
+
+  // --- Per-dimension scalar votes ----------------------------------------
+  result.dimensions.reserve(dims);
+  std::vector<double> fused(dims, 0.0);
+  bool complete = true;
+  for (size_t d = 0; d < dims; ++d) {
+    Round scalar_round(module_count_);
+    for (size_t m = 0; m < module_count_; ++m) {
+      if (round[m].has_value() && !result.vector_outliers[m]) {
+        scalar_round[m] = (*round[m])[d];
+      }
+    }
+    AVOC_ASSIGN_OR_RETURN(VoteResult dim_result,
+                          engines_[d].CastVote(scalar_round));
+    result.outcome =
+        OutcomeSeverity(dim_result.outcome) > OutcomeSeverity(result.outcome)
+            ? dim_result.outcome
+            : result.outcome;
+    if (dim_result.value.has_value()) {
+      fused[d] = *dim_result.value;
+    } else {
+      complete = false;
+    }
+    result.dimensions.push_back(std::move(dim_result));
+  }
+  if (complete) {
+    result.value = std::move(fused);
+  }
+  return result;
+}
+
+void MultiDimEngine::Reset() {
+  for (VotingEngine& engine : engines_) engine.Reset();
+}
+
+}  // namespace avoc::core

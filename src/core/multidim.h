@@ -1,0 +1,93 @@
+// Multi-dimensional voting (§5, "Generalisation").
+//
+// For vector-valued sensors (position fixes, RGB colour, IMU axes) the
+// paper prescribes: "the voting approach can be applied for each dimension
+// separately, leaving other data fusion techniques to process the
+// multi-dimensional results.  In AVOC, we follow the approach of voting on
+// each dimension separately, without incorporating the clustering itself."
+//
+// MultiDimEngine wraps one scalar VotingEngine per dimension.  Clustering
+// is disabled in the per-dimension engines by default, per the quote; the
+// paper's suggested alternative — an unsupervised multi-dimensional
+// clusterer (mean-shift) gating the bootstrap across *all* dimensions at
+// once — is available as VectorBootstrap::kMeanShift.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/engine.h"
+#include "util/status.h"
+
+namespace avoc::core {
+
+/// One module's vector reading; nullopt = module missing entirely.
+using VectorReading = std::optional<std::vector<double>>;
+
+/// How the first-round outlier elimination generalises to vectors.
+enum class VectorBootstrap {
+  /// §5 default: no clustering; each dimension votes independently.
+  kNone,
+  /// Experimental: mean-shift over the module vectors gates the first
+  /// round (and all-0/all-1 history fallbacks) for every dimension at
+  /// once, zero-weighting modules outside the densest mode.
+  kMeanShift,
+};
+
+struct MultiDimConfig {
+  /// Per-dimension scalar engine configuration.  `clustering` inside it is
+  /// overridden to kOff (the scalar bootstrap does not apply; see above).
+  EngineConfig scalar;
+  VectorBootstrap bootstrap = VectorBootstrap::kNone;
+  /// Mean-shift bandwidth as a fraction of the mean vector magnitude
+  /// (self-scaling, mirroring the relative agreement threshold).
+  double bandwidth_fraction = 0.05;
+};
+
+struct MultiDimVoteResult {
+  /// Fused vector; engaged when every dimension produced a value.
+  std::optional<std::vector<double>> value;
+  /// Worst outcome across dimensions (kVoted < kRevertedLast < kNoOutput
+  /// < kError).
+  RoundOutcome outcome = RoundOutcome::kVoted;
+  /// Per-dimension scalar results.
+  std::vector<VoteResult> dimensions;
+  /// True when the vector bootstrap gated this round.
+  bool used_vector_clustering = false;
+  /// Modules zero-weighted by the vector bootstrap this round.
+  std::vector<bool> vector_outliers;
+};
+
+class MultiDimEngine {
+ public:
+  static Result<MultiDimEngine> Create(size_t module_count,
+                                       size_t dimensions,
+                                       const MultiDimConfig& config);
+
+  size_t module_count() const { return module_count_; }
+  size_t dimensions() const { return engines_.size(); }
+
+  /// One round: a vector (or nothing) per module.  Present vectors must
+  /// have exactly `dimensions()` components.
+  Result<MultiDimVoteResult> CastVote(const std::vector<VectorReading>& round);
+
+  /// Per-dimension history access (dimension d, module m).
+  const HistoryLedger& history(size_t dimension) const {
+    return engines_.at(dimension).history();
+  }
+
+  void Reset();
+
+ private:
+  MultiDimEngine(size_t module_count, std::vector<VotingEngine> engines,
+                 const MultiDimConfig& config);
+
+  /// True when the vector bootstrap should gate this round.
+  bool ShouldBootstrap() const;
+
+  size_t module_count_;
+  std::vector<VotingEngine> engines_;
+  MultiDimConfig config_;
+};
+
+}  // namespace avoc::core

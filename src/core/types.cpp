@@ -1,0 +1,15 @@
+#include "core/types.h"
+
+namespace avoc::core {
+
+std::string_view RoundOutcomeName(RoundOutcome outcome) {
+  switch (outcome) {
+    case RoundOutcome::kVoted: return "voted";
+    case RoundOutcome::kRevertedLast: return "reverted_last";
+    case RoundOutcome::kNoOutput: return "no_output";
+    case RoundOutcome::kError: return "error";
+  }
+  return "?";
+}
+
+}  // namespace avoc::core

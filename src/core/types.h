@@ -1,0 +1,72 @@
+// Core value and result types of the voting engine.
+//
+// Terminology follows the paper: a *module* is one redundant sensor; a
+// *round* is one set of concurrent candidate readings (one per module,
+// possibly missing); a *vote* reconciles a round into a single output.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace avoc::core {
+
+/// One module's candidate reading for a round; nullopt = missing value
+/// (the paper's first UC-2 fault scenario).
+using Reading = std::optional<double>;
+
+/// One voting round: exactly one Reading per registered module, in module
+/// registration order.
+using Round = std::vector<Reading>;
+
+/// What the engine did with a round.
+enum class RoundOutcome {
+  kVoted,         ///< normal vote, `value` is the fused output
+  kRevertedLast,  ///< fault policy returned the last accepted output
+  kNoOutput,      ///< fault policy suppressed the output
+  kError,         ///< fault policy raised; `status` holds the reason
+};
+
+std::string_view RoundOutcomeName(RoundOutcome outcome);
+
+/// Full per-round result.  Vectors are indexed by registered module.
+struct VoteResult {
+  /// Fused output; engaged for kVoted and kRevertedLast.
+  std::optional<double> value;
+  RoundOutcome outcome = RoundOutcome::kVoted;
+  /// Non-OK only when outcome == kError.
+  Status status;
+
+  /// True when the clustering step produced this round's candidate pool
+  /// (AVOC bootstrap/fallback, or every round for clustering-only voting).
+  bool used_clustering = false;
+
+  /// Effective voting weight per module this round (0 when missing,
+  /// excluded or eliminated).
+  std::vector<double> weights;
+  /// Pairwise agreement score per module in [0,1] (0 when missing).
+  std::vector<double> agreement;
+  /// History record per module *after* this round's update.
+  std::vector<double> history;
+  /// Module was pruned by value-based exclusion this round.
+  std::vector<bool> excluded;
+  /// Module was eliminated by its below-average history record (ME).
+  std::vector<bool> eliminated;
+
+  /// Number of modules that actually submitted a reading.
+  size_t present_count = 0;
+  /// Whether the largest agreement group was an absolute majority of the
+  /// present candidates.
+  bool had_majority = true;
+};
+
+/// The paper's UC-2 fault policies, applied when a vote cannot be
+/// triggered (too few candidates) or yields no majority.  The paper leaves
+/// these to client code; the engine makes them declarative, which §7
+/// suggests as a VDX extension.
+enum class NoQuorumPolicy { kEmitNothing, kRevertLast, kRaise };
+enum class NoMajorityPolicy { kAccept, kEmitNothing, kRevertLast, kRaise };
+
+}  // namespace avoc::core

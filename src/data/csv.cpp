@@ -1,0 +1,165 @@
+#include "data/csv.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace avoc::data {
+namespace {
+
+bool NeedsQuoting(std::string_view field, char delimiter) {
+  for (const char c : field) {
+    if (c == delimiter || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+void AppendField(std::string_view field, char delimiter, std::string& out) {
+  if (!NeedsQuoting(field, delimiter)) {
+    out += field;
+    return;
+  }
+  out.push_back('"');
+  for (const char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+Result<CsvTable> ParseCsv(std::string_view text, const CsvOptions& options) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> record;
+  std::string field;
+  bool in_quotes = false;
+  bool record_started = false;
+  size_t line = 1;
+
+  auto end_field = [&] {
+    record.push_back(std::move(field));
+    field.clear();
+  };
+  auto end_record = [&] {
+    end_field();
+    records.push_back(std::move(record));
+    record.clear();
+    record_started = false;
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        if (c == '\n') ++line;
+        field.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!field.empty()) {
+          return ParseError(StrFormat("line %zu: quote inside unquoted field",
+                                      line));
+        }
+        in_quotes = true;
+        record_started = true;
+        break;
+      case '\r':
+        // Swallow; \r\n handled by the \n branch, lone \r treated as EOL.
+        if (i + 1 >= text.size() || text[i + 1] != '\n') {
+          ++line;
+          end_record();
+        }
+        break;
+      case '\n':
+        ++line;
+        end_record();
+        break;
+      default:
+        if (c == options.delimiter) {
+          end_field();
+          record_started = true;
+        } else {
+          field.push_back(c);
+          record_started = true;
+        }
+    }
+  }
+  if (in_quotes) return ParseError("unterminated quoted field");
+  if (record_started || !field.empty() || !record.empty()) end_record();
+
+  CsvTable table;
+  size_t first_data_row = 0;
+  if (options.has_header) {
+    if (records.empty()) return ParseError("missing header row");
+    table.header = std::move(records.front());
+    first_data_row = 1;
+  }
+  const size_t expected_arity =
+      options.has_header
+          ? table.header.size()
+          : (records.empty() ? 0 : records.front().size());
+  for (size_t r = first_data_row; r < records.size(); ++r) {
+    if (options.strict_row_arity && records[r].size() != expected_arity) {
+      return ParseError(StrFormat("row %zu has %zu fields, expected %zu", r,
+                                  records[r].size(), expected_arity));
+    }
+    table.rows.push_back(std::move(records[r]));
+  }
+  return table;
+}
+
+std::string WriteCsv(const CsvTable& table, const CsvOptions& options) {
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(options.delimiter);
+      AppendField(row[i], options.delimiter, out);
+    }
+    out.push_back('\n');
+  };
+  if (options.has_header && !table.header.empty()) append_row(table.header);
+  for (const auto& row : table.rows) append_row(row);
+  return out;
+}
+
+Result<CsvTable> ReadCsvFile(const std::string& path,
+                             const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return IoError("cannot open '" + path + "' for reading");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return IoError("read failure on '" + path + "'");
+  return ParseCsv(buffer.str(), options);
+}
+
+Status WriteCsvFile(const std::string& path, const CsvTable& table,
+                    const CsvOptions& options) {
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) return IoError("cannot open '" + tmp_path + "' for writing");
+    out << WriteCsv(table, options);
+    if (!out.good()) return IoError("write failure on '" + tmp_path + "'");
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, path, ec);
+  if (ec) {
+    return IoError("rename to '" + path + "' failed: " + ec.message());
+  }
+  return Status::Ok();
+}
+
+}  // namespace avoc::data

@@ -1,0 +1,49 @@
+// Minimal RFC-4180-style CSV reader/writer.
+//
+// Datasets move between the simulator, the voting harness and external
+// plotting tools as CSV — the same interchange the paper used for its
+// pre-recorded reference datasets.  Quoted fields (with embedded commas,
+// quotes and newlines) are supported; empty cells encode missing readings.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace avoc::data {
+
+struct CsvTable {
+  std::vector<std::string> header;        // empty when has_header=false
+  std::vector<std::vector<std::string>> rows;
+
+  size_t column_count() const {
+    if (!header.empty()) return header.size();
+    return rows.empty() ? 0 : rows.front().size();
+  }
+};
+
+struct CsvOptions {
+  char delimiter = ',';
+  bool has_header = true;
+  /// Reject rows whose arity differs from the header/first row.
+  bool strict_row_arity = true;
+};
+
+/// Parses CSV text.
+Result<CsvTable> ParseCsv(std::string_view text, const CsvOptions& options = {});
+
+/// Serialises a table; fields containing the delimiter, quotes or newlines
+/// are quoted.
+std::string WriteCsv(const CsvTable& table, const CsvOptions& options = {});
+
+/// Reads and parses a CSV file.
+Result<CsvTable> ReadCsvFile(const std::string& path,
+                             const CsvOptions& options = {});
+
+/// Writes a CSV file (atomically via rename where the filesystem allows).
+Status WriteCsvFile(const std::string& path, const CsvTable& table,
+                    const CsvOptions& options = {});
+
+}  // namespace avoc::data

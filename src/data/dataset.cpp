@@ -1,0 +1,129 @@
+#include "data/dataset.h"
+
+#include <charconv>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "data/csv.h"
+#include "json/parse.h"
+#include "json/write.h"
+#include "util/strings.h"
+
+namespace avoc::data {
+namespace {
+
+std::string FormatReading(double v) {
+  char buf[32];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, ptr);
+}
+
+std::string MetadataPathFor(const std::string& csv_path) {
+  std::string base = csv_path;
+  if (EndsWith(base, ".csv")) base.resize(base.size() - 4);
+  return base + ".meta.json";
+}
+
+}  // namespace
+
+json::Value DatasetMetadata::ToJson() const {
+  return json::Value(json::MakeObject({
+      {"scenario", scenario},
+      {"seed", static_cast<double>(seed)},
+      {"units", units},
+      {"sample_rate_hz", sample_rate_hz},
+  }));
+}
+
+Result<DatasetMetadata> DatasetMetadata::FromJson(const json::Value& value) {
+  if (!value.is_object()) return ParseError("metadata must be a JSON object");
+  DatasetMetadata meta;
+  if (const json::Value* v = value.Find("scenario")) {
+    meta.scenario = v->StringOr("");
+  }
+  if (const json::Value* v = value.Find("seed")) {
+    meta.seed = static_cast<uint64_t>(v->DoubleOr(0));
+  }
+  if (const json::Value* v = value.Find("units")) {
+    meta.units = v->StringOr("");
+  }
+  if (const json::Value* v = value.Find("sample_rate_hz")) {
+    meta.sample_rate_hz = v->DoubleOr(0);
+  }
+  return meta;
+}
+
+CsvTable RoundTableToCsv(const RoundTable& table) {
+  CsvTable csv;
+  csv.header.push_back("round");
+  for (const std::string& name : table.module_names()) {
+    csv.header.push_back(name);
+  }
+  for (size_t r = 0; r < table.round_count(); ++r) {
+    std::vector<std::string> row;
+    row.reserve(table.module_count() + 1);
+    row.push_back(std::to_string(r));
+    for (const Reading& reading : table.Round(r)) {
+      row.push_back(reading.has_value() ? FormatReading(*reading) : "");
+    }
+    csv.rows.push_back(std::move(row));
+  }
+  return csv;
+}
+
+Result<RoundTable> RoundTableFromCsv(const CsvTable& csv) {
+  if (csv.header.empty() || csv.header.front() != "round") {
+    return ParseError("dataset CSV must start with a 'round' column");
+  }
+  std::vector<std::string> names(csv.header.begin() + 1, csv.header.end());
+  RoundTable table(std::move(names));
+  for (size_t r = 0; r < csv.rows.size(); ++r) {
+    const auto& row = csv.rows[r];
+    if (row.size() != csv.header.size()) {
+      return ParseError(StrFormat("row %zu arity mismatch", r));
+    }
+    std::vector<Reading> readings;
+    readings.reserve(row.size() - 1);
+    for (size_t c = 1; c < row.size(); ++c) {
+      const std::string_view cell = TrimWhitespace(row[c]);
+      if (cell.empty()) {
+        readings.push_back(std::nullopt);
+      } else {
+        AVOC_ASSIGN_OR_RETURN(const double v, ParseDouble(cell));
+        readings.emplace_back(v);
+      }
+    }
+    AVOC_RETURN_IF_ERROR(table.AppendRound(std::move(readings)));
+  }
+  return table;
+}
+
+Status SaveDataset(const std::string& path, const RoundTable& table,
+                   const DatasetMetadata* metadata) {
+  AVOC_RETURN_IF_ERROR(WriteCsvFile(path, RoundTableToCsv(table)));
+  if (metadata != nullptr) {
+    std::ofstream out(MetadataPathFor(path), std::ios::trunc);
+    if (!out) return IoError("cannot write metadata for '" + path + "'");
+    out << json::WritePretty(metadata->ToJson()) << "\n";
+    if (!out.good()) return IoError("metadata write failure");
+  }
+  return Status::Ok();
+}
+
+Result<RoundTable> LoadDataset(const std::string& path) {
+  AVOC_ASSIGN_OR_RETURN(const CsvTable csv, ReadCsvFile(path));
+  return RoundTableFromCsv(csv);
+}
+
+Result<DatasetMetadata> LoadDatasetMetadata(const std::string& path) {
+  const std::string meta_path = MetadataPathFor(path);
+  std::ifstream in(meta_path);
+  if (!in) return NotFoundError("no metadata sidecar '" + meta_path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  AVOC_ASSIGN_OR_RETURN(const json::Value value, json::Parse(buffer.str()));
+  return DatasetMetadata::FromJson(value);
+}
+
+}  // namespace avoc::data

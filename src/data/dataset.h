@@ -1,0 +1,46 @@
+// Dataset persistence: RoundTable <-> CSV (+ JSON metadata sidecar).
+//
+// The paper evaluates on *pre-recorded* datasets "for the purpose of
+// reproducibility"; this module is the recording half.  A dataset on disk
+// is `<name>.csv` with a `round` column followed by one column per module
+// (empty cell = missing reading), and an optional `<name>.meta.json`
+// describing provenance (scenario, seed, units, sample rate).
+#pragma once
+
+#include <string>
+
+#include "data/csv.h"
+#include "data/round_table.h"
+#include "json/value.h"
+#include "util/status.h"
+
+namespace avoc::data {
+
+struct DatasetMetadata {
+  std::string scenario;      ///< e.g. "uc1-light" / "uc2-ble"
+  uint64_t seed = 0;         ///< generator seed, 0 when captured live
+  std::string units;         ///< e.g. "lux", "dBm"
+  double sample_rate_hz = 0; ///< rounds per second
+
+  json::Value ToJson() const;
+  static Result<DatasetMetadata> FromJson(const json::Value& value);
+};
+
+/// Converts a round table to a CSV table ("round", module names...).
+CsvTable RoundTableToCsv(const RoundTable& table);
+
+/// Parses a CSV table back (first column must be "round").
+Result<RoundTable> RoundTableFromCsv(const CsvTable& csv);
+
+/// Writes `<path>` (CSV) and, when metadata is non-null, `<path minus
+/// .csv>.meta.json`.
+Status SaveDataset(const std::string& path, const RoundTable& table,
+                   const DatasetMetadata* metadata = nullptr);
+
+/// Reads a dataset written by SaveDataset.
+Result<RoundTable> LoadDataset(const std::string& path);
+
+/// Reads the metadata sidecar of `path` if present.
+Result<DatasetMetadata> LoadDatasetMetadata(const std::string& path);
+
+}  // namespace avoc::data

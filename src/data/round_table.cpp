@@ -1,0 +1,120 @@
+#include "data/round_table.h"
+
+#include "util/strings.h"
+
+namespace avoc::data {
+
+RoundTable::RoundTable(std::vector<std::string> module_names)
+    : module_names_(std::move(module_names)) {}
+
+RoundTable RoundTable::WithModuleCount(size_t modules) {
+  std::vector<std::string> names;
+  names.reserve(modules);
+  for (size_t i = 0; i < modules; ++i) names.push_back(StrFormat("m%zu", i));
+  return RoundTable(std::move(names));
+}
+
+Result<size_t> RoundTable::ModuleIndex(std::string_view name) const {
+  for (size_t i = 0; i < module_names_.size(); ++i) {
+    if (module_names_[i] == name) return i;
+  }
+  return NotFoundError("no module named '" + std::string(name) + "'");
+}
+
+Status RoundTable::AppendRound(std::vector<Reading> readings) {
+  if (readings.size() != module_count()) {
+    return InvalidArgumentError(
+        StrFormat("round has %zu readings, table has %zu modules",
+                  readings.size(), module_count()));
+  }
+  rows_.push_back(std::move(readings));
+  return Status::Ok();
+}
+
+Status RoundTable::AppendRound(std::span<const double> readings) {
+  std::vector<Reading> row;
+  row.reserve(readings.size());
+  for (const double v : readings) row.emplace_back(v);
+  return AppendRound(std::move(row));
+}
+
+Reading& RoundTable::At(size_t round, size_t module) {
+  return rows_.at(round).at(module);
+}
+
+const Reading& RoundTable::At(size_t round, size_t module) const {
+  return rows_.at(round).at(module);
+}
+
+std::vector<Reading> RoundTable::ModuleSeries(size_t module) const {
+  std::vector<Reading> out;
+  out.reserve(rows_.size());
+  for (const auto& row : rows_) out.push_back(row.at(module));
+  return out;
+}
+
+std::vector<double> RoundTable::ModuleValues(size_t module) const {
+  std::vector<double> out;
+  out.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    if (row.at(module).has_value()) out.push_back(*row.at(module));
+  }
+  return out;
+}
+
+size_t RoundTable::missing_count() const {
+  size_t missing = 0;
+  for (const auto& row : rows_) {
+    for (const auto& reading : row) {
+      if (!reading.has_value()) ++missing;
+    }
+  }
+  return missing;
+}
+
+Result<RoundTable> RoundTable::Slice(size_t begin, size_t end) const {
+  if (begin > end || end > rows_.size()) {
+    return OutOfRangeError(StrFormat("slice [%zu, %zu) of %zu rounds", begin,
+                                     end, rows_.size()));
+  }
+  RoundTable out(module_names_);
+  for (size_t r = begin; r < end; ++r) {
+    AVOC_RETURN_IF_ERROR(out.AppendRound(rows_[r]));
+  }
+  return out;
+}
+
+Result<RoundTable> RoundTable::SelectModules(
+    std::span<const size_t> modules) const {
+  std::vector<std::string> names;
+  for (const size_t m : modules) {
+    if (m >= module_count()) {
+      return OutOfRangeError(StrFormat("module %zu of %zu", m, module_count()));
+    }
+    names.push_back(module_names_[m]);
+  }
+  RoundTable out(std::move(names));
+  for (const auto& row : rows_) {
+    std::vector<Reading> selected;
+    selected.reserve(modules.size());
+    for (const size_t m : modules) selected.push_back(row[m]);
+    AVOC_RETURN_IF_ERROR(out.AppendRound(std::move(selected)));
+  }
+  return out;
+}
+
+CategoricalRoundTable::CategoricalRoundTable(
+    std::vector<std::string> module_names)
+    : module_names_(std::move(module_names)) {}
+
+Status CategoricalRoundTable::AppendRound(std::vector<Label> labels) {
+  if (labels.size() != module_count()) {
+    return InvalidArgumentError(
+        StrFormat("round has %zu labels, table has %zu modules", labels.size(),
+                  module_count()));
+  }
+  rows_.push_back(std::move(labels));
+  return Status::Ok();
+}
+
+}  // namespace avoc::data

@@ -1,0 +1,94 @@
+// Round tables: the tabular form every experiment consumes.
+//
+// A RoundTable holds R rounds x M modules of optional numeric readings —
+// exactly the "reference dataset" structure of the paper's UC-1 (10,000
+// rounds x 5 light sensors) and UC-2 (297 rounds x 9 beacons per stack).
+// `nullopt` encodes a missing value (unreachable BLE beacon), which is a
+// first-class fault scenario in §7.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace avoc::data {
+
+using Reading = std::optional<double>;
+
+class RoundTable {
+ public:
+  RoundTable() = default;
+
+  /// Named modules (e.g. {"E1",...,"E5"}); rounds start empty.
+  explicit RoundTable(std::vector<std::string> module_names);
+
+  /// M anonymous modules named "m0".."m{M-1}".
+  static RoundTable WithModuleCount(size_t modules);
+
+  size_t module_count() const { return module_names_.size(); }
+  size_t round_count() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  const std::vector<std::string>& module_names() const { return module_names_; }
+
+  /// Index of the named module, or error.
+  Result<size_t> ModuleIndex(std::string_view name) const;
+
+  /// Appends a round; must have exactly module_count() entries.
+  Status AppendRound(std::vector<Reading> readings);
+
+  /// Appends a fully populated round.
+  Status AppendRound(std::span<const double> readings);
+
+  /// Readings of round r (span valid until the table is modified).
+  std::span<const Reading> Round(size_t r) const { return rows_.at(r); }
+
+  /// Mutable access for fault injection.
+  Reading& At(size_t round, size_t module);
+  const Reading& At(size_t round, size_t module) const;
+
+  /// Column extraction: all rounds of one module.
+  std::vector<Reading> ModuleSeries(size_t module) const;
+
+  /// Column extraction skipping missing values.
+  std::vector<double> ModuleValues(size_t module) const;
+
+  /// Total number of missing readings.
+  size_t missing_count() const;
+
+  /// Sub-table containing rounds [begin, end).
+  Result<RoundTable> Slice(size_t begin, size_t end) const;
+
+  /// Sub-table containing only the given module columns (by index).
+  Result<RoundTable> SelectModules(std::span<const size_t> modules) const;
+
+ private:
+  std::vector<std::string> module_names_;
+  std::vector<std::vector<Reading>> rows_;
+};
+
+/// Categorical analogue: rounds of optional strings, for the VDX
+/// categorical-voting extension (§6: "character strings and JSON blobs").
+class CategoricalRoundTable {
+ public:
+  using Label = std::optional<std::string>;
+
+  CategoricalRoundTable() = default;
+  explicit CategoricalRoundTable(std::vector<std::string> module_names);
+
+  size_t module_count() const { return module_names_.size(); }
+  size_t round_count() const { return rows_.size(); }
+  const std::vector<std::string>& module_names() const { return module_names_; }
+
+  Status AppendRound(std::vector<Label> labels);
+  std::span<const Label> Round(size_t r) const { return rows_.at(r); }
+
+ private:
+  std::vector<std::string> module_names_;
+  std::vector<std::vector<Label>> rows_;
+};
+
+}  // namespace avoc::data

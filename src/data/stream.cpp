@@ -1,0 +1,149 @@
+#include "data/stream.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/strings.h"
+
+namespace avoc::data {
+
+void SampleStream::Push(double timestamp, double value) {
+  const Sample sample{timestamp, value};
+  // Common case: in-order arrival appends at the end.
+  if (samples_.empty() || samples_.back().timestamp <= timestamp) {
+    samples_.push_back(sample);
+    return;
+  }
+  auto it = std::upper_bound(
+      samples_.begin(), samples_.end(), sample,
+      [](const Sample& a, const Sample& b) { return a.timestamp < b.timestamp; });
+  samples_.insert(it, sample);
+}
+
+double SampleStream::first_timestamp() const {
+  return samples_.empty() ? 0.0 : samples_.front().timestamp;
+}
+
+double SampleStream::last_timestamp() const {
+  return samples_.empty() ? 0.0 : samples_.back().timestamp;
+}
+
+namespace {
+
+/// Latest sample with timestamp <= t, or nullptr.
+const Sample* LatestAtOrBefore(const std::vector<Sample>& samples, double t) {
+  auto it = std::upper_bound(
+      samples.begin(), samples.end(), t,
+      [](double value, const Sample& s) { return value < s.timestamp; });
+  if (it == samples.begin()) return nullptr;
+  return &*(it - 1);
+}
+
+Reading ResampleOne(const SampleStream& stream, double t, double period,
+                    double max_age, ResampleMethod method) {
+  const auto& samples = stream.samples();
+  if (samples.empty()) return std::nullopt;
+  switch (method) {
+    case ResampleMethod::kSampleAndHold: {
+      const Sample* sample = LatestAtOrBefore(samples, t);
+      if (sample == nullptr || t - sample->timestamp > max_age) {
+        return std::nullopt;
+      }
+      return sample->value;
+    }
+    case ResampleMethod::kNearest: {
+      const Sample* before = LatestAtOrBefore(samples, t);
+      // First sample strictly after t:
+      auto after_it = std::upper_bound(
+          samples.begin(), samples.end(), t,
+          [](double value, const Sample& s) { return value < s.timestamp; });
+      const Sample* after = after_it == samples.end() ? nullptr : &*after_it;
+      const Sample* best = nullptr;
+      if (before != nullptr && after != nullptr) {
+        best = (t - before->timestamp) <= (after->timestamp - t) ? before
+                                                                 : after;
+      } else {
+        best = before != nullptr ? before : after;
+      }
+      if (best == nullptr || std::abs(best->timestamp - t) > max_age) {
+        return std::nullopt;
+      }
+      return best->value;
+    }
+    case ResampleMethod::kWindowMean: {
+      double sum = 0.0;
+      size_t count = 0;
+      // Samples in (t - period, t].
+      auto begin = std::upper_bound(
+          samples.begin(), samples.end(), t - period,
+          [](double value, const Sample& s) { return value < s.timestamp; });
+      for (auto it = begin; it != samples.end() && it->timestamp <= t; ++it) {
+        sum += it->value;
+        ++count;
+      }
+      if (count == 0) return std::nullopt;
+      return sum / static_cast<double>(count);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+Result<RoundTable> ResampleToRounds(const std::vector<SampleStream>& streams,
+                                    const ResampleOptions& options) {
+  if (streams.empty()) {
+    return InvalidArgumentError("resampling needs at least one stream");
+  }
+  if (!(options.period > 0.0)) {
+    return InvalidArgumentError("round period must be > 0");
+  }
+  double earliest = std::numeric_limits<double>::infinity();
+  double latest = -std::numeric_limits<double>::infinity();
+  bool any_samples = false;
+  for (const SampleStream& stream : streams) {
+    if (stream.empty()) continue;
+    any_samples = true;
+    earliest = std::min(earliest, stream.first_timestamp());
+    latest = std::max(latest, stream.last_timestamp());
+  }
+  if (!any_samples) {
+    return InvalidArgumentError("all streams are empty");
+  }
+  const double start =
+      std::isnan(options.start) ? earliest : options.start;
+  const double max_age =
+      std::isnan(options.max_age) ? options.period : options.max_age;
+  if (!(max_age > 0.0)) {
+    return InvalidArgumentError("max age must be > 0");
+  }
+  size_t rounds = options.rounds;
+  if (rounds == 0) {
+    if (latest < start) {
+      return InvalidArgumentError("no samples at or after the start time");
+    }
+    rounds = static_cast<size_t>((latest - start) / options.period) + 1;
+  }
+
+  std::vector<std::string> names;
+  names.reserve(streams.size());
+  for (size_t i = 0; i < streams.size(); ++i) {
+    names.push_back(streams[i].name().empty() ? StrFormat("m%zu", i)
+                                              : streams[i].name());
+  }
+  RoundTable table(std::move(names));
+  for (size_t r = 0; r < rounds; ++r) {
+    const double t = start + static_cast<double>(r) * options.period;
+    std::vector<Reading> row;
+    row.reserve(streams.size());
+    for (const SampleStream& stream : streams) {
+      row.push_back(
+          ResampleOne(stream, t, options.period, max_age, options.method));
+    }
+    AVOC_RETURN_IF_ERROR(table.AppendRound(std::move(row)));
+  }
+  return table;
+}
+
+}  // namespace avoc::data

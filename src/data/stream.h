@@ -1,0 +1,80 @@
+// Asynchronous sample streams and round resampling.
+//
+// Real sensors do not deliver neat synchronous rounds: BLE beacons
+// advertise on their own schedules, WiFi hubs batch, clocks drift.  The
+// paper's hub "record[s] rounds of concurrent measurements" — this module
+// is the substrate that turns per-module timestamped streams into the
+// RoundTable the voting engine consumes, with explicit staleness
+// semantics (an old sample must not masquerade as a fresh reading: it
+// becomes a missing value, feeding the §7 missing-value scenario).
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "data/round_table.h"
+#include "util/status.h"
+
+namespace avoc::data {
+
+/// One timestamped measurement.
+struct Sample {
+  double timestamp = 0.0;  ///< seconds, any epoch (shared across streams)
+  double value = 0.0;
+};
+
+/// One module's asynchronous measurement stream.
+class SampleStream {
+ public:
+  SampleStream() = default;
+  explicit SampleStream(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// Appends a sample; timestamps may arrive out of order (network
+  /// reordering) — they are kept sorted by insertion position search.
+  void Push(double timestamp, double value);
+
+  const std::vector<Sample>& samples() const { return samples_; }
+
+  /// Earliest/latest timestamps; 0 when empty.
+  double first_timestamp() const;
+  double last_timestamp() const;
+
+ private:
+  std::string name_;
+  std::vector<Sample> samples_;  // sorted by timestamp
+};
+
+enum class ResampleMethod {
+  /// The sample nearest to the round instant (within max_age).
+  kNearest,
+  /// The latest sample at or before the round instant (within max_age).
+  kSampleAndHold,
+  /// Mean of all samples inside (t - period, t].
+  kWindowMean,
+};
+
+struct ResampleOptions {
+  /// Round period in seconds (> 0).
+  double period = 1.0;
+  /// Time of round 0; defaults (NaN) to the earliest sample across streams.
+  double start = std::numeric_limits<double>::quiet_NaN();
+  /// Number of rounds; 0 = derive from the latest sample across streams.
+  size_t rounds = 0;
+  /// A sample older than this (relative to the round instant) is stale and
+  /// yields a missing value.  Defaults (NaN) to one period.
+  double max_age = std::numeric_limits<double>::quiet_NaN();
+  ResampleMethod method = ResampleMethod::kNearest;
+};
+
+/// Aligns the streams onto a synchronous round grid.  Module names come
+/// from the streams (falling back to "m<i>").  Errors when `streams` is
+/// empty, every stream is empty, or options are out of range.
+Result<RoundTable> ResampleToRounds(const std::vector<SampleStream>& streams,
+                                    const ResampleOptions& options = {});
+
+}  // namespace avoc::data

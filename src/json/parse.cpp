@@ -1,0 +1,306 @@
+#include "json/parse.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdint>
+#include <string>
+
+namespace avoc::json {
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, const ParseOptions& options)
+      : text_(text), options_(options) {}
+
+  Result<Value> ParseDocument() {
+    SkipTrivia();
+    AVOC_ASSIGN_OR_RETURN(Value value, ParseValue(0));
+    SkipTrivia();
+    if (pos_ != text_.size()) {
+      return Error("unexpected trailing content");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    size_t line = 1;
+    size_t column = 1;
+    for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    return avoc::ParseError(what + " at line " + std::to_string(line) +
+                            ", column " + std::to_string(column));
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void SkipTrivia() {
+    for (;;) {
+      while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+      if (!options_.allow_comments || AtEnd() || Peek() != '/') return;
+      if (pos_ + 1 >= text_.size()) return;
+      if (text_[pos_ + 1] == '/') {
+        pos_ += 2;
+        while (!AtEnd() && Peek() != '\n') ++pos_;
+      } else if (text_[pos_ + 1] == '*') {
+        pos_ += 2;
+        while (pos_ + 1 < text_.size() &&
+               !(text_[pos_] == '*' && text_[pos_ + 1] == '/')) {
+          ++pos_;
+        }
+        pos_ = pos_ + 1 < text_.size() ? pos_ + 2 : text_.size();
+      } else {
+        return;
+      }
+    }
+  }
+
+  Result<Value> ParseValue(int depth) {
+    if (depth > options_.max_depth) return Error("nesting too deep");
+    if (AtEnd()) return Error("unexpected end of input");
+    switch (Peek()) {
+      case '{': return ParseObject(depth);
+      case '[': return ParseArray(depth);
+      case '"': {
+        AVOC_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return Value(std::move(s));
+      }
+      case 't': return ParseKeyword("true", Value(true));
+      case 'f': return ParseKeyword("false", Value(false));
+      case 'n': return ParseKeyword("null", Value(nullptr));
+      default: return ParseNumber();
+    }
+  }
+
+  Result<Value> ParseKeyword(std::string_view keyword, Value value) {
+    if (text_.substr(pos_, keyword.size()) != keyword) {
+      return Error("invalid literal");
+    }
+    pos_ += keyword.size();
+    return value;
+  }
+
+  Result<Value> ParseNumber() {
+    const size_t start = pos_;
+    if (!AtEnd() && Peek() == '-') ++pos_;
+    if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+      pos_ = start;
+      return Error("invalid number");
+    }
+    // Integer part: single 0 or non-zero-led digits.
+    if (Peek() == '0') {
+      ++pos_;
+    } else {
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    if (!AtEnd() && Peek() == '.') {
+      ++pos_;
+      if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Error("digit expected after decimal point");
+      }
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      ++pos_;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Error("digit expected in exponent");
+      }
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    double value = 0.0;
+    const char* begin = text_.data() + start;
+    const char* end = text_.data() + pos_;
+    auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc() || ptr != end) return Error("invalid number");
+    return Value(value);
+  }
+
+  Result<std::string> ParseString() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (!AtEnd()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (AtEnd()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          AVOC_ASSIGN_OR_RETURN(uint32_t cp, ParseHex4());
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: must be followed by \uDC00-\uDFFF.
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return Error("unpaired surrogate");
+            }
+            pos_ += 2;
+            AVOC_ASSIGN_OR_RETURN(uint32_t low, ParseHex4());
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Error("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Error("unpaired surrogate");
+          }
+          AppendUtf8(cp, out);
+          break;
+        }
+        default:
+          --pos_;
+          return Error("invalid escape sequence");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<uint32_t> ParseHex4() {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        --pos_;
+        return Error("invalid hex digit in \\u escape");
+      }
+    }
+    return value;
+  }
+
+  static void AppendUtf8(uint32_t cp, std::string& out) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Result<Value> ParseArray(int depth) {
+    ++pos_;  // '['
+    Array items;
+    SkipTrivia();
+    if (!AtEnd() && Peek() == ']') {
+      ++pos_;
+      return Value(std::move(items));
+    }
+    for (;;) {
+      SkipTrivia();
+      if (options_.allow_trailing_commas && !AtEnd() && Peek() == ']') {
+        ++pos_;
+        return Value(std::move(items));
+      }
+      AVOC_ASSIGN_OR_RETURN(Value item, ParseValue(depth + 1));
+      items.push_back(std::move(item));
+      SkipTrivia();
+      if (AtEnd()) return Error("unterminated array");
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return Value(std::move(items));
+      }
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Result<Value> ParseObject(int depth) {
+    ++pos_;  // '{'
+    Object obj;
+    SkipTrivia();
+    if (!AtEnd() && Peek() == '}') {
+      ++pos_;
+      return Value(std::move(obj));
+    }
+    for (;;) {
+      SkipTrivia();
+      if (options_.allow_trailing_commas && !AtEnd() && Peek() == '}') {
+        ++pos_;
+        return Value(std::move(obj));
+      }
+      if (AtEnd() || Peek() != '"') return Error("expected object key string");
+      AVOC_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipTrivia();
+      if (AtEnd() || Peek() != ':') return Error("expected ':' after key");
+      ++pos_;
+      SkipTrivia();
+      AVOC_ASSIGN_OR_RETURN(Value value, ParseValue(depth + 1));
+      if (obj.contains(key)) {
+        return Error("duplicate object key '" + key + "'");
+      }
+      obj.Set(key, std::move(value));
+      SkipTrivia();
+      if (AtEnd()) return Error("unterminated object");
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return Value(std::move(obj));
+      }
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view text_;
+  ParseOptions options_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Value> Parse(std::string_view text, const ParseOptions& options) {
+  return Parser(text, options).ParseDocument();
+}
+
+}  // namespace avoc::json

@@ -1,0 +1,30 @@
+// Recursive-descent JSON parser (RFC 8259) with precise error locations.
+//
+// Accepted extensions, both common in hand-written configuration files and
+// present in the paper's own Listing 1 (which ends an object with a
+// trailing comma):
+//   * trailing commas in arrays and objects,
+//   * // line comments and /* block comments */.
+// Everything else is strict RFC 8259: no single quotes, no NaN/Infinity
+// literals, no unquoted keys.
+#pragma once
+
+#include <string_view>
+
+#include "json/value.h"
+#include "util/status.h"
+
+namespace avoc::json {
+
+struct ParseOptions {
+  bool allow_trailing_commas = true;
+  bool allow_comments = true;
+  /// Parser recursion limit (arrays/objects nesting).
+  int max_depth = 256;
+};
+
+/// Parses a complete JSON document; trailing non-whitespace is an error.
+/// Error messages carry 1-based line:column positions.
+Result<Value> Parse(std::string_view text, const ParseOptions& options = {});
+
+}  // namespace avoc::json

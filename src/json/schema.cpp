@@ -1,0 +1,246 @@
+#include "json/schema.h"
+
+#include <cmath>
+
+#include "json/parse.h"
+#include "util/strings.h"
+
+namespace avoc::json {
+namespace {
+
+class Validator {
+ public:
+  Status Run(const Value& schema, const Value& instance,
+             const std::string& path) {
+    return Check(schema, instance, path);
+  }
+
+  ValidationReport TakeReport() { return std::move(report_); }
+
+ private:
+  void Violate(const std::string& path, std::string message) {
+    report_.violations.push_back(
+        SchemaViolation{path.empty() ? "/" : path, std::move(message)});
+  }
+
+  static bool TypeMatches(std::string_view type, const Value& v) {
+    if (type == "null") return v.is_null();
+    if (type == "boolean") return v.is_bool();
+    if (type == "number") return v.is_number();
+    if (type == "integer") return v.is_number() && v.AsInt().ok();
+    if (type == "string") return v.is_string();
+    if (type == "array") return v.is_array();
+    if (type == "object") return v.is_object();
+    return false;
+  }
+
+  Status CheckType(const Value& type_spec, const Value& instance,
+                   const std::string& path) {
+    if (type_spec.is_string()) {
+      const std::string type = type_spec.StringOr("");
+      if (!TypeMatches(type, instance)) {
+        Violate(path, "expected type " + type + ", got " +
+                          std::string(TypeName(instance.type())));
+      }
+      return Status::Ok();
+    }
+    if (type_spec.is_array()) {
+      for (const Value& entry : type_spec.array()) {
+        if (!entry.is_string()) {
+          return ParseError("schema 'type' array entries must be strings");
+        }
+        if (TypeMatches(entry.StringOr(""), instance)) return Status::Ok();
+      }
+      Violate(path, "value matches none of the allowed types");
+      return Status::Ok();
+    }
+    return ParseError("schema 'type' must be a string or array of strings");
+  }
+
+  Status Check(const Value& schema, const Value& instance,
+               const std::string& path) {
+    // Boolean schemas: true accepts everything, false rejects everything.
+    if (schema.is_bool()) {
+      if (!schema.BoolOr(true)) Violate(path, "schema forbids any value");
+      return Status::Ok();
+    }
+    if (!schema.is_object()) {
+      return ParseError("schema must be an object or boolean");
+    }
+
+    if (const Value* type_spec = schema.Find("type")) {
+      const size_t before = report_.violations.size();
+      AVOC_RETURN_IF_ERROR(CheckType(*type_spec, instance, path));
+      // A type mismatch makes most other checks meaningless noise.
+      if (report_.violations.size() > before) return Status::Ok();
+    }
+
+    if (const Value* expected = schema.Find("const")) {
+      if (!(*expected == instance)) Violate(path, "value differs from const");
+    }
+
+    if (const Value* options = schema.Find("enum")) {
+      if (!options->is_array()) {
+        return ParseError("schema 'enum' must be an array");
+      }
+      bool found = false;
+      for (const Value& option : options->array()) {
+        if (option == instance) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) Violate(path, "value is not one of the enum options");
+    }
+
+    if (const Value* any_of = schema.Find("anyOf")) {
+      if (!any_of->is_array() || any_of->array().empty()) {
+        return ParseError("schema 'anyOf' must be a non-empty array");
+      }
+      bool matched = false;
+      for (const Value& sub : any_of->array()) {
+        Validator trial;
+        AVOC_RETURN_IF_ERROR(trial.Run(sub, instance, path));
+        if (trial.report_.violations.empty()) {
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) Violate(path, "value matches no anyOf alternative");
+    }
+
+    if (instance.is_number()) {
+      const double x = instance.DoubleOr(0);
+      if (const Value* bound = schema.Find("minimum")) {
+        if (x < bound->DoubleOr(0)) {
+          Violate(path, StrFormat("%g is below the minimum %g", x,
+                                  bound->DoubleOr(0)));
+        }
+      }
+      if (const Value* bound = schema.Find("maximum")) {
+        if (x > bound->DoubleOr(0)) {
+          Violate(path, StrFormat("%g exceeds the maximum %g", x,
+                                  bound->DoubleOr(0)));
+        }
+      }
+      if (const Value* bound = schema.Find("exclusiveMinimum")) {
+        if (x <= bound->DoubleOr(0)) {
+          Violate(path, StrFormat("%g is not above %g", x,
+                                  bound->DoubleOr(0)));
+        }
+      }
+      if (const Value* bound = schema.Find("exclusiveMaximum")) {
+        if (x >= bound->DoubleOr(0)) {
+          Violate(path, StrFormat("%g is not below %g", x,
+                                  bound->DoubleOr(0)));
+        }
+      }
+    }
+
+    if (instance.is_string()) {
+      const size_t length = instance.StringOr("").size();
+      if (const Value* bound = schema.Find("minLength")) {
+        if (length < static_cast<size_t>(bound->IntOr(0))) {
+          Violate(path, "string shorter than minLength");
+        }
+      }
+      if (const Value* bound = schema.Find("maxLength")) {
+        if (length > static_cast<size_t>(bound->IntOr(0))) {
+          Violate(path, "string longer than maxLength");
+        }
+      }
+    }
+
+    if (instance.is_array()) {
+      const Array& items = instance.array();
+      if (const Value* bound = schema.Find("minItems")) {
+        if (items.size() < static_cast<size_t>(bound->IntOr(0))) {
+          Violate(path, "array has fewer than minItems elements");
+        }
+      }
+      if (const Value* bound = schema.Find("maxItems")) {
+        if (items.size() > static_cast<size_t>(bound->IntOr(0))) {
+          Violate(path, "array has more than maxItems elements");
+        }
+      }
+      if (const Value* item_schema = schema.Find("items")) {
+        for (size_t i = 0; i < items.size(); ++i) {
+          AVOC_RETURN_IF_ERROR(Check(*item_schema, items[i],
+                                     path + "/" + std::to_string(i)));
+        }
+      }
+    }
+
+    if (instance.is_object()) {
+      const Object& obj = instance.object();
+      if (const Value* required = schema.Find("required")) {
+        if (!required->is_array()) {
+          return ParseError("schema 'required' must be an array");
+        }
+        for (const Value& name : required->array()) {
+          if (!name.is_string()) {
+            return ParseError("schema 'required' entries must be strings");
+          }
+          if (!obj.contains(name.StringOr(""))) {
+            Violate(path, "missing required member '" + name.StringOr("") +
+                              "'");
+          }
+        }
+      }
+      const Value* properties = schema.Find("properties");
+      if (properties != nullptr && !properties->is_object()) {
+        return ParseError("schema 'properties' must be an object");
+      }
+      const Value* additional = schema.Find("additionalProperties");
+      for (const auto& [key, member] : obj.entries()) {
+        const Value* property_schema =
+            properties != nullptr ? properties->Find(key) : nullptr;
+        if (property_schema != nullptr) {
+          AVOC_RETURN_IF_ERROR(Check(*property_schema, member,
+                                     path + "/" + key));
+        } else if (additional != nullptr) {
+          if (additional->is_bool()) {
+            if (!additional->BoolOr(true)) {
+              Violate(path + "/" + key, "unexpected member");
+            }
+          } else {
+            AVOC_RETURN_IF_ERROR(Check(*additional, member,
+                                       path + "/" + key));
+          }
+        }
+      }
+    }
+    return Status::Ok();
+  }
+
+  ValidationReport report_;
+
+  friend Result<ValidationReport> avoc::json::ValidateSchema(
+      const Value& schema, const Value& instance);
+};
+
+}  // namespace
+
+std::string ValidationReport::ToString() const {
+  std::string out;
+  for (const SchemaViolation& violation : violations) {
+    out += violation.path + ": " + violation.message + "\n";
+  }
+  return out;
+}
+
+Result<ValidationReport> ValidateSchema(const Value& schema,
+                                        const Value& instance) {
+  Validator validator;
+  AVOC_RETURN_IF_ERROR(validator.Run(schema, instance, ""));
+  return validator.TakeReport();
+}
+
+Result<ValidationReport> ValidateSchemaText(std::string_view schema_text,
+                                            std::string_view instance_text) {
+  AVOC_ASSIGN_OR_RETURN(const Value schema, Parse(schema_text));
+  AVOC_ASSIGN_OR_RETURN(const Value instance, Parse(instance_text));
+  return ValidateSchema(schema, instance);
+}
+
+}  // namespace avoc::json

@@ -1,0 +1,52 @@
+// Minimal JSON Schema validator (a practical draft-07 subset).
+//
+// The paper's VDX repository ships "the full schema" of the voting
+// definition format; this module makes that schema machine-checkable
+// without an external dependency.  Supported keywords:
+//
+//   type (string or array of strings), enum, const,
+//   properties, required, additionalProperties (bool or schema),
+//   items (single schema), minItems, maxItems,
+//   minimum, maximum, exclusiveMinimum, exclusiveMaximum,
+//   minLength, maxLength, anyOf
+//
+// Unknown keywords are ignored (per JSON Schema's open-world rule), so
+// schemas written for full validators keep working here as long as their
+// constraints fall in the subset.  Validation failures carry a
+// JSON-Pointer-style path to the offending value.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "json/value.h"
+#include "util/status.h"
+
+namespace avoc::json {
+
+struct SchemaViolation {
+  /// JSON-Pointer-ish location of the offending value ("/params/error").
+  std::string path;
+  /// Human-readable description of the failed constraint.
+  std::string message;
+};
+
+struct ValidationReport {
+  std::vector<SchemaViolation> violations;
+  bool ok() const { return violations.empty(); }
+  /// All violations joined as "path: message" lines.
+  std::string ToString() const;
+};
+
+/// Validates `instance` against `schema`.  Returns a parse error when the
+/// schema itself is malformed (e.g. "type" holds a number); otherwise a
+/// report listing every violation (empty = valid).
+Result<ValidationReport> ValidateSchema(const Value& schema,
+                                        const Value& instance);
+
+/// Convenience: parses both documents and validates.  (Named distinctly
+/// because json::Value converts implicitly from string literals.)
+Result<ValidationReport> ValidateSchemaText(std::string_view schema_text,
+                                            std::string_view instance_text);
+
+}  // namespace avoc::json

@@ -1,0 +1,163 @@
+#include "json/value.h"
+
+#include <cmath>
+
+namespace avoc::json {
+
+std::string_view TypeName(Type type) {
+  switch (type) {
+    case Type::kNull: return "null";
+    case Type::kBool: return "bool";
+    case Type::kNumber: return "number";
+    case Type::kString: return "string";
+    case Type::kArray: return "array";
+    case Type::kObject: return "object";
+  }
+  return "?";
+}
+
+size_t Object::size() const { return entries_.size(); }
+bool Object::empty() const { return entries_.empty(); }
+
+bool Object::contains(std::string_view key) const {
+  return find(key) != nullptr;
+}
+
+const Value* Object::find(std::string_view key) const {
+  for (const auto& [k, v] : entries_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Value* Object::find(std::string_view key) {
+  for (auto& [k, v] : entries_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Value& Object::Set(std::string_view key, Value value) {
+  if (Value* existing = find(key)) {
+    *existing = std::move(value);
+    return *existing;
+  }
+  entries_.emplace_back(std::string(key), std::move(value));
+  return entries_.back().second;
+}
+
+Value& Object::operator[](std::string_view key) {
+  if (Value* existing = find(key)) return *existing;
+  entries_.emplace_back(std::string(key), Value());
+  return entries_.back().second;
+}
+
+bool Object::Erase(std::string_view key) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->first == key) {
+      entries_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool operator==(const Object& a, const Object& b) {
+  // Order-insensitive comparison: two objects are equal when they contain
+  // the same key set with equal values.
+  if (a.size() != b.size()) return false;
+  for (const auto& [k, v] : a.entries_) {
+    const Value* other = b.find(k);
+    if (other == nullptr || !(*other == v)) return false;
+  }
+  return true;
+}
+
+Type Value::type() const {
+  switch (data_.index()) {
+    case 0: return Type::kNull;
+    case 1: return Type::kBool;
+    case 2: return Type::kNumber;
+    case 3: return Type::kString;
+    case 4: return Type::kArray;
+    case 5: return Type::kObject;
+  }
+  return Type::kNull;
+}
+
+Result<bool> Value::AsBool() const {
+  if (const bool* b = std::get_if<bool>(&data_)) return *b;
+  return InvalidArgumentError("expected bool, got " +
+                              std::string(TypeName(type())));
+}
+
+Result<double> Value::AsDouble() const {
+  if (const double* d = std::get_if<double>(&data_)) return *d;
+  return InvalidArgumentError("expected number, got " +
+                              std::string(TypeName(type())));
+}
+
+Result<int64_t> Value::AsInt() const {
+  AVOC_ASSIGN_OR_RETURN(const double d, AsDouble());
+  const double rounded = std::nearbyint(d);
+  if (std::abs(d - rounded) > 1e-9) {
+    return InvalidArgumentError("number is not integral");
+  }
+  if (rounded < -9.2233720368547758e18 || rounded > 9.2233720368547758e18) {
+    return OutOfRangeError("number exceeds int64 range");
+  }
+  return static_cast<int64_t>(rounded);
+}
+
+Result<std::string> Value::AsString() const {
+  if (const std::string* s = std::get_if<std::string>(&data_)) return *s;
+  return InvalidArgumentError("expected string, got " +
+                              std::string(TypeName(type())));
+}
+
+bool Value::BoolOr(bool fallback) const {
+  const bool* b = std::get_if<bool>(&data_);
+  return b ? *b : fallback;
+}
+
+double Value::DoubleOr(double fallback) const {
+  const double* d = std::get_if<double>(&data_);
+  return d ? *d : fallback;
+}
+
+int64_t Value::IntOr(int64_t fallback) const {
+  auto r = AsInt();
+  return r.ok() ? *r : fallback;
+}
+
+std::string Value::StringOr(std::string_view fallback) const {
+  const std::string* s = std::get_if<std::string>(&data_);
+  return s ? *s : std::string(fallback);
+}
+
+const Value* Value::Find(std::string_view key) const {
+  const Object* obj = std::get_if<Object>(&data_);
+  return obj ? obj->find(key) : nullptr;
+}
+
+const Value* Value::Get(std::initializer_list<std::string_view> path) const {
+  const Value* current = this;
+  for (std::string_view key : path) {
+    if (current == nullptr) return nullptr;
+    current = current->Find(key);
+  }
+  return current;
+}
+
+bool operator==(const Value& a, const Value& b) { return a.data_ == b.data_; }
+
+Object MakeObject(
+    std::initializer_list<std::pair<std::string, Value>> members) {
+  Object obj;
+  for (const auto& [k, v] : members) obj.Set(k, v);
+  return obj;
+}
+
+Array MakeArray(std::initializer_list<Value> items) { return Array(items); }
+
+}  // namespace avoc::json

@@ -1,0 +1,132 @@
+// JSON document model.
+//
+// VDX voting definitions (§6 of the paper) are JSON documents; this module
+// is the in-memory representation they parse into.  It is a small,
+// self-contained DOM: a tagged union over null / bool / number / string /
+// array / object with checked and defaulted accessors.
+//
+// Objects preserve insertion order so that serialising a parsed document
+// reproduces the author's field order — convenient for diffing VDX files.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "util/status.h"
+
+namespace avoc::json {
+
+enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+std::string_view TypeName(Type type);
+
+class Value;
+
+/// Insertion-ordered string -> Value map.
+class Object {
+ public:
+  using Entry = std::pair<std::string, Value>;
+
+  Object() = default;
+
+  /// Number of members.
+  size_t size() const;
+  bool empty() const;
+
+  /// Membership test.
+  bool contains(std::string_view key) const;
+
+  /// Pointer to the member's value, or nullptr when absent.
+  const Value* find(std::string_view key) const;
+  Value* find(std::string_view key);
+
+  /// Inserts or overwrites `key`.
+  Value& Set(std::string_view key, Value value);
+
+  /// Access-or-insert-null, like std::map::operator[].
+  Value& operator[](std::string_view key);
+
+  /// Removes `key` if present; returns whether it was.
+  bool Erase(std::string_view key);
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  friend bool operator==(const Object& a, const Object& b);
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+using Array = std::vector<Value>;
+
+/// A JSON value of any type.
+class Value {
+ public:
+  /// Null by default.
+  Value() : data_(nullptr) {}
+  Value(std::nullptr_t) : data_(nullptr) {}
+  Value(bool b) : data_(b) {}
+  Value(double d) : data_(d) {}
+  Value(int i) : data_(static_cast<double>(i)) {}
+  Value(int64_t i) : data_(static_cast<double>(i)) {}
+  Value(size_t i) : data_(static_cast<double>(i)) {}
+  Value(const char* s) : data_(std::string(s)) {}
+  Value(std::string_view s) : data_(std::string(s)) {}
+  Value(std::string s) : data_(std::move(s)) {}
+  Value(Array a) : data_(std::move(a)) {}
+  Value(Object o) : data_(std::move(o)) {}
+
+  Type type() const;
+
+  bool is_null() const { return type() == Type::kNull; }
+  bool is_bool() const { return type() == Type::kBool; }
+  bool is_number() const { return type() == Type::kNumber; }
+  bool is_string() const { return type() == Type::kString; }
+  bool is_array() const { return type() == Type::kArray; }
+  bool is_object() const { return type() == Type::kObject; }
+
+  // Checked accessors: error when the value holds a different type.
+  Result<bool> AsBool() const;
+  Result<double> AsDouble() const;
+  /// Number that must be integral (within 1e-9) and in int64 range.
+  Result<int64_t> AsInt() const;
+  Result<std::string> AsString() const;
+
+  // Defaulted accessors.
+  bool BoolOr(bool fallback) const;
+  double DoubleOr(double fallback) const;
+  int64_t IntOr(int64_t fallback) const;
+  std::string StringOr(std::string_view fallback) const;
+
+  // Container access; asserts the type in debug builds via std::get.
+  const Array& array() const { return std::get<Array>(data_); }
+  Array& array() { return std::get<Array>(data_); }
+  const Object& object() const { return std::get<Object>(data_); }
+  Object& object() { return std::get<Object>(data_); }
+
+  /// Object member lookup; nullptr when not an object or key absent.
+  const Value* Find(std::string_view key) const;
+
+  /// Path lookup: Get("params", "error") descends nested objects.
+  const Value* Get(std::initializer_list<std::string_view> path) const;
+
+  friend bool operator==(const Value& a, const Value& b);
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> data_;
+};
+
+/// Builds an object from a brace list: MakeObject({{"a", 1}, {"b", "x"}}).
+Object MakeObject(std::initializer_list<std::pair<std::string, Value>> members);
+
+/// Builds an array from a brace list.
+Array MakeArray(std::initializer_list<Value> items);
+
+}  // namespace avoc::json

@@ -1,0 +1,141 @@
+#include "json/write.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace avoc::json {
+namespace {
+
+void AppendEscaped(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void AppendNumber(double d, std::string& out) {
+  if (!std::isfinite(d)) {
+    // JSON has no NaN/Infinity; emit null as the least-wrong substitute.
+    out += "null";
+    return;
+  }
+  if (d == std::nearbyint(d) && std::abs(d) < 1e15) {
+    // Integral value: print without decimal point.
+    char buf[32];
+    auto [ptr, ec] =
+        std::to_chars(buf, buf + sizeof(buf), static_cast<int64_t>(d));
+    out.append(buf, ptr);
+    return;
+  }
+  char buf[32];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+  out.append(buf, ptr);
+}
+
+class Writer {
+ public:
+  explicit Writer(const WriteOptions& options) : options_(options) {}
+
+  std::string Run(const Value& value) {
+    Append(value, 0);
+    return std::move(out_);
+  }
+
+ private:
+  void Newline(int depth) {
+    if (!options_.pretty) return;
+    out_.push_back('\n');
+    out_.append(static_cast<size_t>(depth) *
+                    static_cast<size_t>(options_.indent_width),
+                ' ');
+  }
+
+  void Append(const Value& value, int depth) {
+    switch (value.type()) {
+      case Type::kNull:
+        out_ += "null";
+        break;
+      case Type::kBool:
+        out_ += value.BoolOr(false) ? "true" : "false";
+        break;
+      case Type::kNumber:
+        AppendNumber(value.DoubleOr(0), out_);
+        break;
+      case Type::kString:
+        AppendEscaped(value.StringOr(""), out_);
+        break;
+      case Type::kArray: {
+        const Array& items = value.array();
+        if (items.empty()) {
+          out_ += "[]";
+          break;
+        }
+        out_.push_back('[');
+        for (size_t i = 0; i < items.size(); ++i) {
+          if (i > 0) out_.push_back(',');
+          Newline(depth + 1);
+          Append(items[i], depth + 1);
+        }
+        Newline(depth);
+        out_.push_back(']');
+        break;
+      }
+      case Type::kObject: {
+        const Object& obj = value.object();
+        if (obj.empty()) {
+          out_ += "{}";
+          break;
+        }
+        out_.push_back('{');
+        bool first = true;
+        for (const auto& [key, member] : obj.entries()) {
+          if (!first) out_.push_back(',');
+          first = false;
+          Newline(depth + 1);
+          AppendEscaped(key, out_);
+          out_.push_back(':');
+          if (options_.pretty) out_.push_back(' ');
+          Append(member, depth + 1);
+        }
+        Newline(depth);
+        out_.push_back('}');
+        break;
+      }
+    }
+  }
+
+  WriteOptions options_;
+  std::string out_;
+};
+
+}  // namespace
+
+std::string Write(const Value& value, const WriteOptions& options) {
+  return Writer(options).Run(value);
+}
+
+std::string WritePretty(const Value& value) {
+  WriteOptions options;
+  options.pretty = true;
+  return Write(value, options);
+}
+
+}  // namespace avoc::json

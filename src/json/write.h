@@ -1,0 +1,25 @@
+// JSON serialisation: compact single-line or pretty-printed with
+// configurable indentation.  Numbers round-trip exactly (shortest form via
+// std::to_chars); integral doubles print without a decimal point so that
+// VDX documents look like their hand-written originals.
+#pragma once
+
+#include <string>
+
+#include "json/value.h"
+
+namespace avoc::json {
+
+struct WriteOptions {
+  /// Pretty-print with newlines and indentation; compact otherwise.
+  bool pretty = false;
+  int indent_width = 2;
+};
+
+/// Serialises `value` to a JSON string.
+std::string Write(const Value& value, const WriteOptions& options = {});
+
+/// Shorthand for Write with pretty = true.
+std::string WritePretty(const Value& value);
+
+}  // namespace avoc::json

@@ -1,0 +1,69 @@
+// Typed in-process publish/subscribe bus.
+//
+// The middleware's nodes (sensor → hub → voter → sink) communicate through
+// topics instead of direct references, mirroring the paper's deployment
+// where sensors stream via a VINT hub over WiFi to the voting sink-node.
+// Dispatch is synchronous and ordered; thread safety covers concurrent
+// publishers (the threaded voter service samples sensors from worker
+// threads).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace avoc::runtime {
+
+using SubscriptionId = uint64_t;
+
+template <typename Message>
+class Topic {
+ public:
+  using Handler = std::function<void(const Message&)>;
+
+  /// Registers a handler; returns an id usable with Unsubscribe.
+  SubscriptionId Subscribe(Handler handler) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const SubscriptionId id = next_id_++;
+    handlers_.emplace_back(id, std::move(handler));
+    return id;
+  }
+
+  /// Removes a handler; returns whether it existed.
+  bool Unsubscribe(SubscriptionId id) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = handlers_.begin(); it != handlers_.end(); ++it) {
+      if (it->first == id) {
+        handlers_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Delivers `message` to every subscriber, in subscription order.
+  /// Handlers run under the topic lock: handlers must not re-enter
+  /// Subscribe/Publish on the *same* topic (the pipeline topology is a
+  /// DAG over distinct topics, so this never bites in practice).
+  void Publish(const Message& message) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [id, handler] : handlers_) {
+      (void)id;
+      handler(message);
+    }
+  }
+
+  size_t subscriber_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return handlers_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::pair<SubscriptionId, Handler>> handlers_;
+  SubscriptionId next_id_ = 1;
+};
+
+}  // namespace avoc::runtime

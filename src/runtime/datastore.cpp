@@ -1,0 +1,106 @@
+#include "runtime/datastore.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "json/parse.h"
+#include "json/write.h"
+
+namespace avoc::runtime {
+
+Result<HistoryStore> HistoryStore::Open(const std::string& path) {
+  HistoryStore store;
+  store.path_ = path;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return store;  // fresh store; file created on first Put
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  AVOC_ASSIGN_OR_RETURN(const json::Value doc, json::Parse(buffer.str()));
+  if (!doc.is_object()) {
+    return ParseError("history store file must hold a JSON object");
+  }
+  for (const auto& [group, entry] : doc.object().entries()) {
+    HistorySnapshot snapshot;
+    if (const json::Value* rounds = entry.Find("rounds")) {
+      snapshot.rounds = static_cast<size_t>(rounds->DoubleOr(0));
+    }
+    if (const json::Value* records = entry.Find("records")) {
+      if (!records->is_array()) {
+        return ParseError("records of '" + group + "' must be an array");
+      }
+      for (const json::Value& r : records->array()) {
+        AVOC_ASSIGN_OR_RETURN(const double value, r.AsDouble());
+        snapshot.records.push_back(value);
+      }
+    }
+    store.snapshots_[group] = std::move(snapshot);
+  }
+  return store;
+}
+
+Status HistoryStore::Flush() const {
+  if (path_.empty()) return Status::Ok();
+  json::Object doc;
+  for (const auto& [group, snapshot] : snapshots_) {
+    json::Array records;
+    records.reserve(snapshot.records.size());
+    for (const double r : snapshot.records) records.emplace_back(r);
+    doc.Set(group, json::MakeObject({
+                       {"records", std::move(records)},
+                       {"rounds", static_cast<double>(snapshot.rounds)},
+                   }));
+  }
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return IoError("cannot open '" + tmp + "' for writing");
+    out << json::Write(json::Value(std::move(doc)));
+    if (!out.good()) return IoError("write failure on '" + tmp + "'");
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path_, ec);
+  if (ec) return IoError("rename to '" + path_ + "' failed: " + ec.message());
+  return Status::Ok();
+}
+
+Status HistoryStore::Put(const std::string& group,
+                         const HistorySnapshot& snapshot) {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  snapshots_[group] = snapshot;
+  return Flush();
+}
+
+Result<HistorySnapshot> HistoryStore::Get(const std::string& group) const {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  auto it = snapshots_.find(group);
+  if (it == snapshots_.end()) {
+    return NotFoundError("no history for group '" + group + "'");
+  }
+  return it->second;
+}
+
+bool HistoryStore::Erase(const std::string& group) {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  const bool existed = snapshots_.erase(group) > 0;
+  if (existed) (void)Flush();
+  return existed;
+}
+
+std::vector<std::string> HistoryStore::Groups() const {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  std::vector<std::string> names;
+  names.reserve(snapshots_.size());
+  for (const auto& [group, snapshot] : snapshots_) {
+    (void)snapshot;
+    names.push_back(group);
+  }
+  return names;
+}
+
+size_t HistoryStore::size() const {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  return snapshots_.size();
+}
+
+}  // namespace avoc::runtime

@@ -1,0 +1,65 @@
+// History datastore.
+//
+// The paper's implementation notes call out "datastore reads and writes
+// being the bottleneck" of a history-aware voting round: the per-module
+// reliability records live in a store so that a voter service can restart
+// (or migrate between edge nodes) without losing its learned history.
+//
+// HistoryStore is a small key-value store of history snapshots keyed by
+// voter-group name, with an in-memory backend and an optional JSON file
+// backend that persists through atomic rename.  bench_latency measures a
+// voting round with and without store round-trips to reproduce the
+// stateless-vs-history-aware latency gap.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace avoc::runtime {
+
+/// One persisted history snapshot.
+struct HistorySnapshot {
+  std::vector<double> records;  ///< per-module reliability records
+  size_t rounds = 0;            ///< rounds absorbed when snapshotted
+};
+
+class HistoryStore {
+ public:
+  /// Pure in-memory store.
+  HistoryStore() = default;
+
+  /// File-backed store: loads `path` when it exists; every Put rewrites
+  /// the file.  The file holds one JSON object {group: {records, rounds}}.
+  static Result<HistoryStore> Open(const std::string& path);
+
+  /// Writes (replaces) the snapshot of `group`.
+  Status Put(const std::string& group, const HistorySnapshot& snapshot);
+
+  /// Reads the snapshot of `group`; NotFound when absent.
+  Result<HistorySnapshot> Get(const std::string& group) const;
+
+  /// Removes `group`; returns whether it existed.
+  bool Erase(const std::string& group);
+
+  /// All group names, sorted.
+  std::vector<std::string> Groups() const;
+
+  size_t size() const;
+
+ private:
+  Status Flush() const;  // requires mutex_ held
+
+  // Heap-held so the store stays movable (Open returns by value).
+  mutable std::unique_ptr<std::mutex> mutex_ =
+      std::make_unique<std::mutex>();
+  std::map<std::string, HistorySnapshot> snapshots_;
+  std::string path_;  // empty for in-memory stores
+};
+
+}  // namespace avoc::runtime

@@ -1,0 +1,96 @@
+#include "runtime/group_manager.h"
+
+#include "vdx/factory.h"
+
+namespace avoc::runtime {
+
+VoterGroupManager::VoterGroupManager(HistoryStore* store) : store_(store) {}
+
+Status VoterGroupManager::AddGroup(const std::string& name,
+                                   core::VotingEngine engine) {
+  if (name.empty()) return InvalidArgumentError("group name must not be empty");
+  if (groups_.count(name)) {
+    return InvalidArgumentError("group '" + name + "' already exists");
+  }
+  Group group;
+  group.channels = std::make_unique<GroupChannels>();
+  group.hub =
+      std::make_unique<HubNode>(engine.module_count(), *group.channels);
+  VoterOptions options;
+  options.group = name;
+  options.store = store_;
+  group.voter = std::make_unique<VoterNode>(std::move(engine),
+                                            *group.channels, options);
+  group.sink = std::make_unique<SinkNode>(*group.channels);
+  groups_.emplace(name, std::move(group));
+  return Status::Ok();
+}
+
+Status VoterGroupManager::AddGroupFromSpec(const std::string& name,
+                                           const vdx::Spec& spec,
+                                           size_t modules) {
+  AVOC_ASSIGN_OR_RETURN(core::VotingEngine engine,
+                        vdx::MakeVoter(spec, modules));
+  return AddGroup(name, std::move(engine));
+}
+
+bool VoterGroupManager::HasGroup(const std::string& name) const {
+  return groups_.count(name) > 0;
+}
+
+std::vector<std::string> VoterGroupManager::GroupNames() const {
+  std::vector<std::string> names;
+  names.reserve(groups_.size());
+  for (const auto& [name, group] : groups_) {
+    (void)group;
+    names.push_back(name);
+  }
+  return names;
+}
+
+Result<const VoterGroupManager::Group*> VoterGroupManager::Find(
+    const std::string& name) const {
+  auto it = groups_.find(name);
+  if (it == groups_.end()) {
+    return NotFoundError("no voter group named '" + name + "'");
+  }
+  return &it->second;
+}
+
+Status VoterGroupManager::Submit(const std::string& group, size_t module,
+                                 size_t round, double value) {
+  AVOC_ASSIGN_OR_RETURN(const Group* g, Find(group));
+  if (module >= g->hub->module_count()) {
+    return OutOfRangeError("module index out of range for group '" + group +
+                           "'");
+  }
+  g->channels->readings.Publish(ReadingMessage{module, round, value});
+  return Status::Ok();
+}
+
+Status VoterGroupManager::CloseRound(const std::string& group, size_t round) {
+  AVOC_ASSIGN_OR_RETURN(const Group* g, Find(group));
+  g->hub->Flush(round, /*publish_empty=*/true);
+  return Status::Ok();
+}
+
+void VoterGroupManager::CloseRoundAll(size_t round) {
+  for (auto& [name, group] : groups_) {
+    (void)name;
+    group.hub->Flush(round, /*publish_empty=*/true);
+  }
+}
+
+Result<const SinkNode*> VoterGroupManager::sink(
+    const std::string& group) const {
+  AVOC_ASSIGN_OR_RETURN(const Group* g, Find(group));
+  return static_cast<const SinkNode*>(g->sink.get());
+}
+
+Result<const VoterNode*> VoterGroupManager::voter(
+    const std::string& group) const {
+  AVOC_ASSIGN_OR_RETURN(const Group* g, Find(group));
+  return static_cast<const VoterNode*>(g->voter.get());
+}
+
+}  // namespace avoc::runtime

@@ -1,0 +1,71 @@
+// Multi-group voter management.
+//
+// Real deployments fuse several logical sensors at once — UC-2 alone runs
+// two beacon stacks, and the paper's smart-shopping motivation has one
+// voter group per shelf.  VoterGroupManager owns one sensor→hub→voter→sink
+// chain per named group, routes submitted readings to the right hub, and
+// closes rounds per group or across all groups.  Groups can be
+// instantiated directly from VDX specs, which is the paper's "voter
+// service running on an edge node" picture: applications ship definitions,
+// the service manages the voters.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "runtime/nodes.h"
+#include "vdx/spec.h"
+
+namespace avoc::runtime {
+
+class VoterGroupManager {
+ public:
+  /// `store` (optional) persists every group's history under its name.
+  explicit VoterGroupManager(HistoryStore* store = nullptr);
+
+  /// Registers a group with a ready engine.  Fails on duplicate names.
+  Status AddGroup(const std::string& name, core::VotingEngine engine);
+
+  /// Registers a group from a VDX definition.
+  Status AddGroupFromSpec(const std::string& name, const vdx::Spec& spec,
+                          size_t modules);
+
+  bool HasGroup(const std::string& name) const;
+  std::vector<std::string> GroupNames() const;
+  size_t group_count() const { return groups_.size(); }
+
+  /// Routes one reading into the group's hub.  The round closes on its
+  /// own once every module reported.
+  Status Submit(const std::string& group, size_t module, size_t round,
+                double value);
+
+  /// Force-closes `round` in one group (absent modules become missing).
+  Status CloseRound(const std::string& group, size_t round);
+
+  /// Force-closes `round` in every group.
+  void CloseRoundAll(size_t round);
+
+  /// The group's output sink.
+  Result<const SinkNode*> sink(const std::string& group) const;
+
+  /// The group's voter (history inspection).
+  Result<const VoterNode*> voter(const std::string& group) const;
+
+ private:
+  struct Group {
+    std::unique_ptr<GroupChannels> channels;
+    std::unique_ptr<HubNode> hub;
+    std::unique_ptr<VoterNode> voter;
+    std::unique_ptr<SinkNode> sink;
+  };
+
+  Result<const Group*> Find(const std::string& name) const;
+
+  HistoryStore* store_;
+  std::map<std::string, Group> groups_;
+};
+
+}  // namespace avoc::runtime

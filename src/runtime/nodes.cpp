@@ -1,0 +1,167 @@
+#include "runtime/nodes.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace avoc::runtime {
+
+SensorNode::SensorNode(size_t module, Generator generator,
+                       Topic<ReadingMessage>& readings)
+    : module_(module), generator_(std::move(generator)), readings_(&readings) {}
+
+void SensorNode::Emit(size_t round) {
+  const std::optional<double> value = generator_(round);
+  if (!value.has_value()) return;
+  readings_->Publish(ReadingMessage{module_, round, *value});
+}
+
+HubNode::HubNode(size_t module_count, GroupChannels& channels,
+                 size_t close_at_count)
+    : module_count_(module_count),
+      close_at_count_(close_at_count == 0
+                          ? module_count
+                          : std::min(close_at_count, module_count)),
+      channels_(&channels) {
+  subscription_ = channels_->readings.Subscribe(
+      [this](const ReadingMessage& message) { OnReading(message); });
+}
+
+HubNode::~HubNode() { channels_->readings.Unsubscribe(subscription_); }
+
+void HubNode::OnReading(const ReadingMessage& message) {
+  if (message.module >= module_count_) {
+    AVOC_LOG_WARN("hub: reading for unknown module %zu dropped",
+                  message.module);
+    return;
+  }
+  core::Round complete;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_.count(message.round)) return;  // late reading, round gone
+    core::Round& pending = pending_[message.round];
+    if (pending.empty()) pending.resize(module_count_);
+    pending[message.module] = message.value;
+    size_t present = 0;
+    for (const auto& reading : pending) {
+      if (reading.has_value()) ++present;
+    }
+    if (present < close_at_count_) return;
+    complete = std::move(pending);
+    pending_.erase(message.round);
+    closed_[message.round] = true;
+  }
+  channels_->rounds.Publish(RoundMessage{message.round, std::move(complete)});
+}
+
+void HubNode::Flush(size_t round, bool publish_empty) {
+  core::Round readings;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_.count(round)) return;
+    auto it = pending_.find(round);
+    if (it == pending_.end()) {
+      if (!publish_empty) return;
+      readings.resize(module_count_);
+    } else {
+      readings = std::move(it->second);
+      pending_.erase(it);
+    }
+    closed_[round] = true;
+  }
+  channels_->rounds.Publish(RoundMessage{round, std::move(readings)});
+}
+
+size_t HubNode::open_rounds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.size();
+}
+
+VoterNode::VoterNode(core::VotingEngine engine, GroupChannels& channels,
+                     VoterOptions options)
+    : engine_(std::move(engine)),
+      channels_(&channels),
+      options_(std::move(options)) {
+  if (options_.store != nullptr) {
+    // Restore learned history from the datastore, if present.
+    auto snapshot = options_.store->Get(options_.group);
+    if (snapshot.ok() &&
+        snapshot->records.size() == engine_.module_count()) {
+      const Status restored =
+          engine_.RestoreHistory(snapshot->records, snapshot->rounds);
+      if (!restored.ok()) {
+        AVOC_LOG_WARN("voter '%s': history restore failed: %s",
+                      options_.group.c_str(),
+                      restored.ToString().c_str());
+      }
+    }
+  }
+  subscription_ = channels_->rounds.Subscribe(
+      [this](const RoundMessage& message) { OnRound(message); });
+}
+
+VoterNode::~VoterNode() { channels_->rounds.Unsubscribe(subscription_); }
+
+void VoterNode::OnRound(const RoundMessage& message) {
+  OutputMessage output;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto result = engine_.CastVote(message.readings);
+    if (!result.ok()) {
+      last_status_ = result.status();
+      AVOC_LOG_ERROR("voter '%s': round %zu failed: %s",
+                     options_.group.c_str(), message.round,
+                     result.status().ToString().c_str());
+      return;
+    }
+    output.round = message.round;
+    output.result = std::move(*result);
+    if (options_.store != nullptr) {
+      HistorySnapshot snapshot;
+      const auto records = engine_.history().records();
+      snapshot.records.assign(records.begin(), records.end());
+      snapshot.rounds = engine_.history().round_count();
+      last_status_ = options_.store->Put(options_.group, snapshot);
+    } else {
+      last_status_ = Status::Ok();
+    }
+  }
+  channels_->outputs.Publish(output);
+}
+
+Status VoterNode::last_status() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_status_;
+}
+
+SinkNode::SinkNode(GroupChannels& channels) : channels_(&channels) {
+  subscription_ = channels_->outputs.Subscribe(
+      [this](const OutputMessage& message) { OnOutput(message); });
+}
+
+SinkNode::~SinkNode() { channels_->outputs.Unsubscribe(subscription_); }
+
+void SinkNode::OnOutput(const OutputMessage& message) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  outputs_.push_back(message);
+}
+
+std::vector<OutputMessage> SinkNode::outputs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return outputs_;
+}
+
+size_t SinkNode::output_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return outputs_.size();
+}
+
+std::optional<double> SinkNode::last_value() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = outputs_.rbegin(); it != outputs_.rend(); ++it) {
+    if (it->result.value.has_value()) return it->result.value;
+  }
+  return std::nullopt;
+}
+
+}  // namespace avoc::runtime

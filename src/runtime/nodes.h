@@ -1,0 +1,167 @@
+// Middleware nodes: sensor → hub → voter → sink (Fig. 1's topology).
+//
+// Nodes exchange messages over typed Topics.  The HubNode plays the VINT
+// hub's role: it assembles per-round candidate sets from individual
+// sensor readings and closes a round either when every registered module
+// reported or when the round is flushed (timeout) — missing modules
+// become missing values, feeding the §7 missing-value fault scenario.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "runtime/bus.h"
+#include "runtime/datastore.h"
+#include "util/status.h"
+
+namespace avoc::runtime {
+
+/// A single sensor reading addressed to a hub.
+struct ReadingMessage {
+  size_t module = 0;  ///< module index within the voter group
+  size_t round = 0;
+  double value = 0.0;
+};
+
+/// A closed round: one optional candidate per registered module.
+struct RoundMessage {
+  size_t round = 0;
+  core::Round readings;
+};
+
+/// The voter's fused output for one round.
+struct OutputMessage {
+  size_t round = 0;
+  core::VoteResult result;
+};
+
+/// Topics wiring one voter group's pipeline.
+struct GroupChannels {
+  Topic<ReadingMessage> readings;
+  Topic<RoundMessage> rounds;
+  Topic<OutputMessage> outputs;
+};
+
+/// Produces readings for one module.  The generator may return nullopt
+/// (sensor had nothing to report this round).
+class SensorNode {
+ public:
+  using Generator = std::function<std::optional<double>(size_t round)>;
+
+  SensorNode(size_t module, Generator generator,
+             Topic<ReadingMessage>& readings);
+
+  size_t module() const { return module_; }
+
+  /// Samples the generator for `round`; publishes when a value exists.
+  void Emit(size_t round);
+
+ private:
+  size_t module_;
+  Generator generator_;
+  Topic<ReadingMessage>* readings_;
+};
+
+/// Assembles readings into rounds.
+class HubNode {
+ public:
+  /// `close_at_count` implements VDX's UNTIL quorum at the hub: when > 0,
+  /// a round closes as soon as that many readings arrived instead of
+  /// waiting for every module (later readings for the round are dropped).
+  /// 0 keeps the default close-when-complete behaviour.
+  HubNode(size_t module_count, GroupChannels& channels,
+          size_t close_at_count = 0);
+  ~HubNode();
+
+  HubNode(const HubNode&) = delete;
+  HubNode& operator=(const HubNode&) = delete;
+
+  size_t module_count() const { return module_count_; }
+
+  /// Closes `round`, publishing whatever arrived (absent modules are
+  /// missing values).  No-op when the round was already closed or never
+  /// received a reading and `publish_empty` is false.
+  void Flush(size_t round, bool publish_empty = false);
+
+  /// Rounds currently open (received some but not all readings).
+  size_t open_rounds() const;
+
+ private:
+  void OnReading(const ReadingMessage& message);
+
+  size_t module_count_;
+  size_t close_at_count_;
+  GroupChannels* channels_;
+  SubscriptionId subscription_;
+  mutable std::mutex mutex_;
+  std::map<size_t, core::Round> pending_;   // round -> partial readings
+  std::map<size_t, bool> closed_;           // rounds already published
+};
+
+/// VoterNode configuration.
+struct VoterOptions {
+  /// Store group key; persistence disabled when store == nullptr.
+  std::string group = "default";
+  HistoryStore* store = nullptr;
+};
+
+/// Runs the voting engine over incoming rounds; optionally persists the
+/// history ledger to a HistoryStore after every round (the datastore
+/// round-trip of the paper's latency notes) and restores it on start.
+class VoterNode {
+ public:
+  VoterNode(core::VotingEngine engine, GroupChannels& channels,
+            VoterOptions options = {});
+  ~VoterNode();
+
+  VoterNode(const VoterNode&) = delete;
+  VoterNode& operator=(const VoterNode&) = delete;
+
+  const core::VotingEngine& engine() const { return engine_; }
+
+  /// Status of the most recent round (persistence failures surface here).
+  Status last_status() const;
+
+ private:
+  void OnRound(const RoundMessage& message);
+
+  core::VotingEngine engine_;
+  GroupChannels* channels_;
+  VoterOptions options_;
+  SubscriptionId subscription_;
+  mutable std::mutex mutex_;
+  Status last_status_;
+};
+
+/// Records outputs (the LCD display / downstream consumer stand-in).
+class SinkNode {
+ public:
+  explicit SinkNode(GroupChannels& channels);
+  ~SinkNode();
+
+  SinkNode(const SinkNode&) = delete;
+  SinkNode& operator=(const SinkNode&) = delete;
+
+  /// Outputs received so far, in arrival order.
+  std::vector<OutputMessage> outputs() const;
+  size_t output_count() const;
+
+  /// Most recent fused value, if any round voted successfully.
+  std::optional<double> last_value() const;
+
+ private:
+  void OnOutput(const OutputMessage& message);
+
+  GroupChannels* channels_;
+  SubscriptionId subscription_;
+  mutable std::mutex mutex_;
+  std::vector<OutputMessage> outputs_;
+};
+
+}  // namespace avoc::runtime

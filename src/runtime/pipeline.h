@@ -1,0 +1,70 @@
+// Deterministic replay pipeline.
+//
+// Wires sensor/hub/voter/sink nodes for one voter group and steps them
+// round by round — the reproducible counterpart of the threaded service
+// (service.h).  Sensors replay a RoundTable or sample arbitrary
+// generators; each Step() is fully synchronous, so tests and benches
+// observe exact per-round behaviour.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/engine.h"
+#include "data/round_table.h"
+#include "runtime/nodes.h"
+#include "util/status.h"
+
+namespace avoc::runtime {
+
+/// Pipeline configuration.
+struct PipelineOptions {
+  /// Persist/restore voter history through this store (optional).
+  HistoryStore* store = nullptr;
+  std::string group = "default";
+};
+
+class Pipeline {
+ public:
+
+  /// Replays a recorded table through the given engine.
+  static Result<Pipeline> FromTable(const data::RoundTable& table,
+                                    core::VotingEngine engine,
+                                    PipelineOptions options = {});
+
+  /// Drives arbitrary per-module generators.
+  static Result<Pipeline> FromGenerators(
+      std::vector<SensorNode::Generator> generators,
+      core::VotingEngine engine, PipelineOptions options = {});
+
+  Pipeline(Pipeline&&) = default;
+  Pipeline& operator=(Pipeline&&) = default;
+
+  /// Runs one round: every sensor emits, then the hub flushes the round
+  /// (turning silent sensors into missing values).
+  void Step();
+
+  /// Runs `rounds` steps.
+  void Run(size_t rounds);
+
+  /// Rounds stepped so far.
+  size_t rounds_run() const { return next_round_; }
+
+  const SinkNode& sink() const { return *sink_; }
+  const VoterNode& voter() const { return *voter_; }
+
+ private:
+  Pipeline(std::vector<SensorNode::Generator> generators,
+           core::VotingEngine engine, PipelineOptions options);
+
+  // Channels must outlive the nodes; unique_ptr keeps addresses stable
+  // across Pipeline moves.
+  std::unique_ptr<GroupChannels> channels_;
+  std::vector<std::unique_ptr<SensorNode>> sensors_;
+  std::unique_ptr<HubNode> hub_;
+  std::unique_ptr<VoterNode> voter_;
+  std::unique_ptr<SinkNode> sink_;
+  size_t next_round_ = 0;
+};
+
+}  // namespace avoc::runtime

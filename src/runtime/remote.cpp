@@ -1,0 +1,194 @@
+#include "runtime/remote.h"
+
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace avoc::runtime {
+
+RemoteVoterServer::RemoteVoterServer(VoterGroupManager* manager,
+                                     TcpListener listener)
+    : manager_(manager), listener_(std::move(listener)) {}
+
+Result<std::unique_ptr<RemoteVoterServer>> RemoteVoterServer::Start(
+    VoterGroupManager* manager, uint16_t port) {
+  if (manager == nullptr) {
+    return InvalidArgumentError("server needs a group manager");
+  }
+  AVOC_ASSIGN_OR_RETURN(TcpListener listener, TcpListener::Listen(port));
+  std::unique_ptr<RemoteVoterServer> server(
+      new RemoteVoterServer(manager, std::move(listener)));
+  server->acceptor_ = std::thread([raw = server.get()] { raw->AcceptLoop(); });
+  return server;
+}
+
+RemoteVoterServer::~RemoteVoterServer() { Stop(); }
+
+void RemoteVoterServer::Stop() {
+  bool expected = true;
+  if (!running_.compare_exchange_strong(expected, false)) return;
+  listener_.Close();
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    workers.swap(workers_);
+  }
+  for (std::thread& worker : workers) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void RemoteVoterServer::AcceptLoop() {
+  while (running_.load()) {
+    auto connection = listener_.Accept();
+    if (!connection.ok()) {
+      // Normal shutdown path: the listener was closed under us.
+      if (running_.load()) {
+        AVOC_LOG_WARN("voter server: accept failed: %s",
+                      connection.status().ToString().c_str());
+      }
+      return;
+    }
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    workers_.emplace_back(
+        [this, conn = std::make_shared<TcpConnection>(
+                   std::move(*connection))]() mutable {
+          ServeConnection(std::move(*conn));
+        });
+  }
+}
+
+void RemoteVoterServer::ServeConnection(TcpConnection connection) {
+  // A polling timeout lets the worker notice server shutdown.
+  (void)connection.SetReceiveTimeoutMs(200);
+  while (running_.load()) {
+    auto line = connection.ReceiveLine();
+    if (!line.ok()) {
+      if (line.status().code() == ErrorCode::kNotFound) return;  // EOF
+      continue;  // timeout tick; re-check running_
+    }
+    ++requests_;
+    const std::string response = Handle(*line);
+    if (!connection.SendLine(response).ok()) return;
+    if (response == "BYE") return;
+  }
+}
+
+std::string RemoteVoterServer::Handle(const std::string& line) {
+  std::vector<std::string> tokens;
+  for (const std::string& token : SplitString(TrimWhitespace(line), ' ')) {
+    if (!token.empty()) tokens.push_back(token);
+  }
+  if (tokens.empty()) return "ERR empty request";
+  const std::string& verb = tokens[0];
+
+  if (verb == "PING") return "PONG";
+  if (verb == "QUIT") return "BYE";
+
+  if (verb == "GROUPS") {
+    const auto names = manager_->GroupNames();
+    std::string response = StrFormat("GROUPS %zu", names.size());
+    for (const std::string& name : names) {
+      response += " " + name;
+    }
+    return response;
+  }
+
+  if (verb == "SUBMIT") {
+    if (tokens.size() != 5) return "ERR SUBMIT needs group module round value";
+    auto module = ParseInt(tokens[2]);
+    auto round = ParseInt(tokens[3]);
+    auto value = ParseDouble(tokens[4]);
+    if (!module.ok() || *module < 0) return "ERR bad module index";
+    if (!round.ok() || *round < 0) return "ERR bad round number";
+    if (!value.ok()) return "ERR bad value";
+    const Status status =
+        manager_->Submit(tokens[1], static_cast<size_t>(*module),
+                         static_cast<size_t>(*round), *value);
+    return status.ok() ? "OK" : "ERR " + status.ToString();
+  }
+
+  if (verb == "CLOSE") {
+    if (tokens.size() != 3) return "ERR CLOSE needs group round";
+    auto round = ParseInt(tokens[2]);
+    if (!round.ok() || *round < 0) return "ERR bad round number";
+    const Status status =
+        manager_->CloseRound(tokens[1], static_cast<size_t>(*round));
+    return status.ok() ? "OK" : "ERR " + status.ToString();
+  }
+
+  if (verb == "QUERY") {
+    if (tokens.size() != 2) return "ERR QUERY needs group";
+    auto sink = manager_->sink(tokens[1]);
+    if (!sink.ok()) return "ERR " + sink.status().ToString();
+    const auto value = (*sink)->last_value();
+    if (!value.has_value()) return "NONE";
+    return StrFormat("VALUE %.17g", *value);
+  }
+
+  return "ERR unknown verb '" + verb + "'";
+}
+
+Result<RemoteVoterClient> RemoteVoterClient::Connect(const std::string& host,
+                                                     uint16_t port) {
+  AVOC_ASSIGN_OR_RETURN(TcpConnection connection,
+                        TcpConnection::Connect(host, port));
+  return RemoteVoterClient(std::move(connection));
+}
+
+Result<std::string> RemoteVoterClient::RoundTrip(const std::string& line) {
+  AVOC_RETURN_IF_ERROR(connection_.SendLine(line));
+  AVOC_ASSIGN_OR_RETURN(std::string response, connection_.ReceiveLine());
+  if (StartsWith(response, "ERR ")) {
+    return IoError("server: " + response.substr(4));
+  }
+  return response;
+}
+
+Status RemoteVoterClient::Submit(const std::string& group, size_t module,
+                                 size_t round, double value) {
+  AVOC_ASSIGN_OR_RETURN(
+      const std::string response,
+      RoundTrip(StrFormat("SUBMIT %s %zu %zu %.17g", group.c_str(), module,
+                          round, value)));
+  if (response != "OK") return IoError("unexpected response: " + response);
+  return Status::Ok();
+}
+
+Status RemoteVoterClient::CloseRound(const std::string& group, size_t round) {
+  AVOC_ASSIGN_OR_RETURN(
+      const std::string response,
+      RoundTrip(StrFormat("CLOSE %s %zu", group.c_str(), round)));
+  if (response != "OK") return IoError("unexpected response: " + response);
+  return Status::Ok();
+}
+
+Result<double> RemoteVoterClient::Query(const std::string& group) {
+  AVOC_ASSIGN_OR_RETURN(const std::string response,
+                        RoundTrip("QUERY " + group));
+  if (response == "NONE") return NotFoundError("no fused value yet");
+  if (!StartsWith(response, "VALUE ")) {
+    return IoError("unexpected response: " + response);
+  }
+  return ParseDouble(response.substr(6));
+}
+
+Result<std::vector<std::string>> RemoteVoterClient::Groups() {
+  AVOC_ASSIGN_OR_RETURN(const std::string response, RoundTrip("GROUPS"));
+  std::vector<std::string> tokens;
+  for (const std::string& token : SplitString(response, ' ')) {
+    if (!token.empty()) tokens.push_back(token);
+  }
+  if (tokens.size() < 2 || tokens[0] != "GROUPS") {
+    return IoError("unexpected response: " + response);
+  }
+  return std::vector<std::string>(tokens.begin() + 2, tokens.end());
+}
+
+Status RemoteVoterClient::Ping() {
+  AVOC_ASSIGN_OR_RETURN(const std::string response, RoundTrip("PING"));
+  if (response != "PONG") return IoError("unexpected response: " + response);
+  return Status::Ok();
+}
+
+}  // namespace avoc::runtime

@@ -1,0 +1,95 @@
+// The networked voter service: sensors and edge applications talk to the
+// voter over a line-based TCP protocol — the wire realisation of the
+// paper's sensors → hub → WiFi → voting sink-node path (Fig. 1) and of
+// its closing vision, "a compatible voter service running on an edge
+// node" receiving VDX definitions.
+//
+// Protocol (UTF-8 lines, space-separated tokens; responses are one line):
+//
+//   SUBMIT <group> <module> <round> <value>   -> OK | ERR <reason>
+//   CLOSE <group> <round>                     -> OK | ERR <reason>
+//   QUERY <group>                             -> VALUE <v> | NONE | ERR ...
+//   GROUPS                                    -> GROUPS <n> <name...>
+//   PING                                      -> PONG
+//   QUIT                                      -> BYE (and disconnects)
+//
+// The server is intentionally plain-text and loopback-bound: §6 notes VDX
+// "has no security features that protect against malicious actors, so
+// this is left up to the client code"; the same stance applies here.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/group_manager.h"
+#include "runtime/tcp.h"
+
+namespace avoc::runtime {
+
+class RemoteVoterServer {
+ public:
+  /// Binds 127.0.0.1:`port` (0 = ephemeral, see port()) and serves the
+  /// given manager.  The manager must outlive the server; its groups may
+  /// be registered before or while serving.
+  static Result<std::unique_ptr<RemoteVoterServer>> Start(
+      VoterGroupManager* manager, uint16_t port = 0);
+
+  ~RemoteVoterServer();
+
+  RemoteVoterServer(const RemoteVoterServer&) = delete;
+  RemoteVoterServer& operator=(const RemoteVoterServer&) = delete;
+
+  uint16_t port() const { return listener_.port(); }
+
+  /// Stops accepting, disconnects clients, joins threads.  Idempotent.
+  void Stop();
+
+  /// Requests handled so far (all connections).
+  size_t requests_served() const { return requests_.load(); }
+
+ private:
+  RemoteVoterServer(VoterGroupManager* manager, TcpListener listener);
+
+  void AcceptLoop();
+  void ServeConnection(TcpConnection connection);
+
+  /// Handles one request line; returns the response line.
+  std::string Handle(const std::string& line);
+
+  VoterGroupManager* manager_;
+  TcpListener listener_;
+  std::atomic<bool> running_{true};
+  std::atomic<size_t> requests_{0};
+  std::thread acceptor_;
+  std::mutex workers_mutex_;
+  std::vector<std::thread> workers_;
+};
+
+/// Client helper wrapping the protocol.
+class RemoteVoterClient {
+ public:
+  static Result<RemoteVoterClient> Connect(const std::string& host,
+                                           uint16_t port);
+
+  Status Submit(const std::string& group, size_t module, size_t round,
+                double value);
+  Status CloseRound(const std::string& group, size_t round);
+  /// Last fused value of the group; NotFound when none yet.
+  Result<double> Query(const std::string& group);
+  Result<std::vector<std::string>> Groups();
+  Status Ping();
+
+ private:
+  explicit RemoteVoterClient(TcpConnection connection)
+      : connection_(std::move(connection)) {}
+
+  /// Sends one line, reads one response line, fails on ERR.
+  Result<std::string> RoundTrip(const std::string& line);
+
+  TcpConnection connection_;
+};
+
+}  // namespace avoc::runtime

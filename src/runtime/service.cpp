@@ -1,0 +1,88 @@
+#include "runtime/service.h"
+
+#include "util/log.h"
+
+namespace avoc::runtime {
+
+VoterService::VoterService(std::vector<SensorNode::Generator> samplers,
+                           core::VotingEngine engine, ServiceOptions options)
+    : options_(std::move(options)),
+      channels_(std::make_unique<GroupChannels>()) {
+  hub_ = std::make_unique<HubNode>(samplers.size(), *channels_);
+  VoterOptions voter_options;
+  voter_options.group = options_.group;
+  voter_options.store = options_.store;
+  voter_ = std::make_unique<VoterNode>(std::move(engine), *channels_,
+                                       std::move(voter_options));
+  sink_ = std::make_unique<SinkNode>(*channels_);
+  for (size_t m = 0; m < samplers.size(); ++m) {
+    sensors_.push_back(std::make_unique<SensorNode>(
+        m, std::move(samplers[m]), channels_->readings));
+  }
+}
+
+Result<std::unique_ptr<VoterService>> VoterService::Create(
+    std::vector<SensorNode::Generator> samplers, core::VotingEngine engine,
+    ServiceOptions options) {
+  if (samplers.size() != engine.module_count()) {
+    return InvalidArgumentError("sampler/engine module count mismatch");
+  }
+  if (samplers.empty()) {
+    return InvalidArgumentError("service needs at least one sensor");
+  }
+  if (options.round_period.count() <= 0) {
+    return InvalidArgumentError("round period must be positive");
+  }
+  return std::unique_ptr<VoterService>(new VoterService(
+      std::move(samplers), std::move(engine), std::move(options)));
+}
+
+VoterService::~VoterService() { Stop(); }
+
+void VoterService::Start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  scheduler_ = std::thread([this] { SchedulerLoop(); });
+}
+
+void VoterService::SchedulerLoop() {
+  AVOC_LOG_INFO("voter service '%s': started (%lld ms rounds)",
+                options_.group.c_str(),
+                static_cast<long long>(options_.round_period.count()));
+  while (running_.load()) {
+    const size_t round = current_round_.fetch_add(1);
+    // Fan the sampling out to one short-lived worker per sensor so a slow
+    // sensor cannot stall the others — its reading simply misses the
+    // timeout and the round proceeds without it.
+    std::vector<std::thread> workers;
+    workers.reserve(sensors_.size());
+    for (const auto& sensor : sensors_) {
+      workers.emplace_back([&sensor, round] { sensor->Emit(round); });
+    }
+    std::this_thread::sleep_for(
+        std::min(options_.round_timeout, options_.round_period));
+    // Close the round at the timeout: whatever has not arrived becomes a
+    // missing value, and a late worker's publish is discarded by the hub
+    // against the already-closed round.
+    hub_->Flush(round, /*publish_empty=*/true);
+    for (std::thread& worker : workers) {
+      worker.join();
+    }
+    const auto remainder = options_.round_period - options_.round_timeout;
+    if (remainder.count() > 0) std::this_thread::sleep_for(remainder);
+  }
+  AVOC_LOG_INFO("voter service '%s': stopped after %zu rounds",
+                options_.group.c_str(), current_round_.load());
+}
+
+void VoterService::Stop() {
+  bool expected = true;
+  if (!running_.compare_exchange_strong(expected, false)) return;
+  if (scheduler_.joinable()) scheduler_.join();
+}
+
+size_t VoterService::rounds_completed() const {
+  return sink_->output_count();
+}
+
+}  // namespace avoc::runtime

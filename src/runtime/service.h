@@ -1,0 +1,78 @@
+// Threaded voter service — the "shoe-box demonstrator" analogue (Fig. 2).
+//
+// Each sensor samples from its own thread at a configurable rate; the hub
+// closes rounds on a timer (late/absent sensors become missing values);
+// the voter fuses and the sink records, all live.  This is the soft
+// real-time configuration the paper's implementation notes describe; the
+// deterministic experiments use runtime/pipeline.h instead.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "runtime/nodes.h"
+#include "util/status.h"
+
+namespace avoc::runtime {
+
+/// VoterService configuration.
+struct ServiceOptions {
+  /// Round cadence (the paper's UC-1 polls at 8 samples/s).
+  std::chrono::milliseconds round_period{125};
+  /// How long after opening a round the hub force-closes it.
+  std::chrono::milliseconds round_timeout{100};
+  HistoryStore* store = nullptr;
+  std::string group = "live";
+};
+
+class VoterService {
+ public:
+
+  /// `samplers` produce the live value per module; they are called from
+  /// per-sensor worker threads.  (Heap-allocated because the service owns
+  /// non-movable thread/atomic state.)
+  static Result<std::unique_ptr<VoterService>> Create(
+      std::vector<SensorNode::Generator> samplers, core::VotingEngine engine,
+      ServiceOptions options = {});
+
+  VoterService(const VoterService&) = delete;
+  VoterService& operator=(const VoterService&) = delete;
+
+  ~VoterService();
+
+  /// Starts the sensor threads and the round scheduler.  No-op if running.
+  void Start();
+
+  /// Stops all threads and drains in-flight rounds.  No-op if stopped.
+  void Stop();
+
+  bool running() const { return running_.load(); }
+
+  /// Rounds closed so far.
+  size_t rounds_completed() const;
+
+  const SinkNode& sink() const { return *sink_; }
+
+ private:
+  VoterService(std::vector<SensorNode::Generator> samplers,
+               core::VotingEngine engine, ServiceOptions options);
+
+  void SchedulerLoop();
+
+  ServiceOptions options_;
+  std::unique_ptr<GroupChannels> channels_;
+  std::vector<std::unique_ptr<SensorNode>> sensors_;
+  std::unique_ptr<HubNode> hub_;
+  std::unique_ptr<VoterNode> voter_;
+  std::unique_ptr<SinkNode> sink_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<size_t> current_round_{0};
+  std::thread scheduler_;
+};
+
+}  // namespace avoc::runtime

@@ -1,0 +1,154 @@
+#include "runtime/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/strings.h"
+
+namespace avoc::runtime {
+namespace {
+
+Status Errno(const char* what) {
+  return IoError(StrFormat("%s: %s", what, std::strerror(errno)));
+}
+
+}  // namespace
+
+Socket::~Socket() { Close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    // shutdown unblocks any thread sitting in accept/recv on this fd.
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<TcpConnection> TcpConnection::Connect(const std::string& host,
+                                             uint16_t port) {
+  Socket socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!socket.valid()) return Errno("socket");
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, resolved.c_str(), &address.sin_addr) != 1) {
+    return InvalidArgumentError("not an IPv4 address: '" + host + "'");
+  }
+  if (::connect(socket.fd(), reinterpret_cast<sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    return Errno("connect");
+  }
+  int one = 1;
+  ::setsockopt(socket.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpConnection(std::move(socket));
+}
+
+Status TcpConnection::SendAll(std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(socket_.fd(), data.data() + sent,
+                             data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status TcpConnection::SendLine(std::string_view line) {
+  std::string framed(line);
+  framed.push_back('\n');
+  return SendAll(framed);
+}
+
+Result<std::string> TcpConnection::ReceiveLine() {
+  for (;;) {
+    const size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    char chunk[1024];
+    const ssize_t n = ::recv(socket_.fd(), chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    if (n == 0) {
+      if (buffer_.empty()) return NotFoundError("connection closed");
+      std::string line = std::move(buffer_);
+      buffer_.clear();
+      return line;  // final unterminated line
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Status TcpConnection::SetReceiveTimeoutMs(int timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  if (::setsockopt(socket_.fd(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) !=
+      0) {
+    return Errno("setsockopt(SO_RCVTIMEO)");
+  }
+  return Status::Ok();
+}
+
+Result<TcpListener> TcpListener::Listen(uint16_t port) {
+  Socket socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!socket.valid()) return Errno("socket");
+  int one = 1;
+  ::setsockopt(socket.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(socket.fd(), reinterpret_cast<sockaddr*>(&address),
+             sizeof(address)) != 0) {
+    return Errno("bind");
+  }
+  if (::listen(socket.fd(), 16) != 0) return Errno("listen");
+  sockaddr_in bound{};
+  socklen_t length = sizeof(bound);
+  if (::getsockname(socket.fd(), reinterpret_cast<sockaddr*>(&bound),
+                    &length) != 0) {
+    return Errno("getsockname");
+  }
+  return TcpListener(std::move(socket), ntohs(bound.sin_port));
+}
+
+Result<TcpConnection> TcpListener::Accept() {
+  const int fd = ::accept(socket_.fd(), nullptr, nullptr);
+  if (fd < 0) return Errno("accept");
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpConnection(Socket(fd));
+}
+
+}  // namespace avoc::runtime

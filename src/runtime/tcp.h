@@ -1,0 +1,95 @@
+// Minimal RAII wrappers over POSIX TCP sockets (loopback-oriented).
+//
+// The paper's deployment streams sensor readings over the network (sensors
+// → VINT hub → WiFi → voting sink-node); runtime/remote.h implements that
+// wire path with a line-based protocol, and these wrappers keep the socket
+// handling exception-free and leak-free.  IPv4 only, blocking I/O with
+// optional receive timeouts — deliberately boring.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/status.h"
+
+namespace avoc::runtime {
+
+/// An owned socket file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Closes the descriptor now (idempotent).
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A connected TCP stream with line-oriented helpers.
+class TcpConnection {
+ public:
+  explicit TcpConnection(Socket socket) : socket_(std::move(socket)) {}
+
+  /// Connects to host:port (dotted-quad or "localhost").
+  static Result<TcpConnection> Connect(const std::string& host,
+                                       uint16_t port);
+
+  bool valid() const { return socket_.valid(); }
+
+  /// Sends the whole buffer (handles partial writes).
+  Status SendAll(std::string_view data);
+
+  /// Sends one line (appends '\n').
+  Status SendLine(std::string_view line);
+
+  /// Receives up to the next '\n' (stripped, including a preceding '\r').
+  /// Returns NotFound at orderly EOF with no pending data; IoError on
+  /// timeout (when set) or socket errors.
+  Result<std::string> ReceiveLine();
+
+  /// Sets a receive timeout; 0 disables.
+  Status SetReceiveTimeoutMs(int timeout_ms);
+
+  void Close() { socket_.Close(); }
+
+ private:
+  Socket socket_;
+  std::string buffer_;  // bytes received beyond the last returned line
+};
+
+/// A listening TCP socket bound to 127.0.0.1.
+class TcpListener {
+ public:
+  /// Binds and listens; port 0 picks an ephemeral port (see port()).
+  static Result<TcpListener> Listen(uint16_t port);
+
+  uint16_t port() const { return port_; }
+
+  /// Blocks until a client connects (or the listener is closed from
+  /// another thread, which surfaces as an IoError).
+  Result<TcpConnection> Accept();
+
+  /// Unblocks pending Accept calls.
+  void Close() { socket_.Close(); }
+
+ private:
+  TcpListener(Socket socket, uint16_t port)
+      : socket_(std::move(socket)), port_(port) {}
+
+  Socket socket_;
+  uint16_t port_ = 0;
+};
+
+}  // namespace avoc::runtime

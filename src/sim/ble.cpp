@@ -1,0 +1,108 @@
+#include "sim/ble.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace avoc::sim {
+
+BleScenario::BleScenario(BleScenarioParams params) : params_(params) {}
+
+double BleScenario::RobotPosition(size_t round) const {
+  // The capture spans the full 15 m track in `rounds` samples; round r
+  // maps linearly onto [0, track_length].
+  if (params_.rounds <= 1) return 0.0;
+  return params_.track_length_m * static_cast<double>(round) /
+         static_cast<double>(params_.rounds - 1);
+}
+
+double BleScenario::ExpectedRssi(double distance_m) const {
+  // Log-distance path loss referenced at 1 m; distances below 0.3 m are
+  // clamped (the robot never touches the beacon stack).
+  const double d = std::max(distance_m, 0.3);
+  return params_.tx_power_dbm -
+         10.0 * params_.path_loss_exponent * std::log10(d);
+}
+
+data::RoundTable BleScenario::GenerateStack(double stack_position_m,
+                                            std::string_view prefix,
+                                            Rng& rng) const {
+  std::vector<std::string> names;
+  names.reserve(params_.beacons_per_stack);
+  for (size_t b = 0; b < params_.beacons_per_stack; ++b) {
+    names.push_back(StrFormat("%.*s%zu", static_cast<int>(prefix.size()),
+                              prefix.data(), b + 1));
+  }
+  data::RoundTable table(std::move(names));
+
+  // Fixed per-beacon TX calibration offsets.
+  std::vector<double> beacon_bias(params_.beacons_per_stack);
+  for (double& bias : beacon_bias) {
+    bias = rng.Gaussian(0.0, params_.beacon_bias_spread_db);
+  }
+  std::vector<Rng> beacon_rng;
+  beacon_rng.reserve(params_.beacons_per_stack);
+  for (size_t b = 0; b < params_.beacons_per_stack; ++b) {
+    beacon_rng.push_back(rng.Fork());
+  }
+
+  for (size_t r = 0; r < params_.rounds; ++r) {
+    const double distance =
+        std::abs(RobotPosition(r) - stack_position_m);
+    const double mean_rssi = ExpectedRssi(distance);
+    const double dropout_p =
+        params_.dropout_base +
+        params_.dropout_slope * (distance / params_.track_length_m);
+
+    std::vector<data::Reading> row;
+    row.reserve(params_.beacons_per_stack);
+    for (size_t b = 0; b < params_.beacons_per_stack; ++b) {
+      Rng& brng = beacon_rng[b];
+      // Unconditional draws keep the stream replay-stable.
+      const bool dropped = brng.Bernoulli(dropout_p);
+      const double shadow =
+          brng.Gaussian(0.0, params_.shadowing_stddev_db);
+      const bool faded = brng.Bernoulli(params_.multipath_probability);
+      const double fade_depth =
+          brng.Uniform(0.3, 1.0) * params_.multipath_fade_db;
+      if (dropped) {
+        row.push_back(std::nullopt);
+        continue;
+      }
+      double rssi = mean_rssi + beacon_bias[b] + shadow;
+      if (faded) rssi -= fade_depth;
+      rssi = std::clamp(rssi, params_.rssi_floor_dbm,
+                        params_.rssi_ceiling_dbm);
+      // Receivers report whole-dB RSSI values.
+      row.emplace_back(std::round(rssi));
+    }
+    (void)table.AppendRound(std::move(row));
+  }
+  return table;
+}
+
+BleDataset BleScenario::Generate() const {
+  Rng master(params_.seed);
+  Rng rng_a = master.Fork();
+  Rng rng_b = master.Fork();
+  BleDataset dataset;
+  dataset.stack_a = GenerateStack(0.0, "A", rng_a);
+  dataset.stack_b = GenerateStack(params_.track_length_m, "B", rng_b);
+  return dataset;
+}
+
+data::DatasetMetadata BleScenario::Metadata() const {
+  data::DatasetMetadata meta;
+  meta.scenario = "uc2-ble";
+  meta.seed = params_.seed;
+  meta.units = "dBm";
+  // 297 samples over (15 m / 0.09 m/s) seconds.
+  const double duration_s =
+      params_.track_length_m / std::max(params_.robot_speed_mps, 1e-9);
+  meta.sample_rate_hz = static_cast<double>(params_.rounds) / duration_s;
+  return meta;
+}
+
+}  // namespace avoc::sim

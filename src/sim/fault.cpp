@@ -1,0 +1,94 @@
+#include "sim/fault.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace avoc::sim {
+namespace {
+
+Status CheckModule(const data::RoundTable& table, size_t module) {
+  if (module >= table.module_count()) {
+    return OutOfRangeError(StrFormat("module %zu of %zu", module,
+                                     table.module_count()));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status InjectBias(data::RoundTable& table, size_t module, double offset,
+                  size_t from_round, size_t to_round) {
+  AVOC_RETURN_IF_ERROR(CheckModule(table, module));
+  const size_t end = std::min(to_round, table.round_count());
+  for (size_t r = from_round; r < end; ++r) {
+    data::Reading& reading = table.At(r, module);
+    if (reading.has_value()) *reading += offset;
+  }
+  return Status::Ok();
+}
+
+Status InjectDropout(data::RoundTable& table, size_t module,
+                     double probability, Rng& rng) {
+  AVOC_RETURN_IF_ERROR(CheckModule(table, module));
+  if (probability < 0.0 || probability > 1.0) {
+    return InvalidArgumentError("dropout probability must lie in [0,1]");
+  }
+  for (size_t r = 0; r < table.round_count(); ++r) {
+    if (rng.Bernoulli(probability)) {
+      table.At(r, module).reset();
+    }
+  }
+  return Status::Ok();
+}
+
+Status InjectOutage(data::RoundTable& table, size_t module, size_t from_round,
+                    size_t to_round) {
+  AVOC_RETURN_IF_ERROR(CheckModule(table, module));
+  const size_t end = std::min(to_round, table.round_count());
+  for (size_t r = from_round; r < end; ++r) {
+    table.At(r, module).reset();
+  }
+  return Status::Ok();
+}
+
+Status InjectSpike(data::RoundTable& table, size_t module, size_t round,
+                   double magnitude) {
+  AVOC_RETURN_IF_ERROR(CheckModule(table, module));
+  if (round >= table.round_count()) {
+    return OutOfRangeError(StrFormat("round %zu of %zu", round,
+                                     table.round_count()));
+  }
+  data::Reading& reading = table.At(round, module);
+  if (reading.has_value()) *reading += magnitude;
+  return Status::Ok();
+}
+
+Status InjectStuckAt(data::RoundTable& table, size_t module,
+                     size_t from_round) {
+  AVOC_RETURN_IF_ERROR(CheckModule(table, module));
+  if (from_round >= table.round_count()) {
+    return OutOfRangeError(StrFormat("round %zu of %zu", from_round,
+                                     table.round_count()));
+  }
+  const data::Reading frozen = table.At(from_round, module);
+  for (size_t r = from_round; r < table.round_count(); ++r) {
+    table.At(r, module) = frozen;
+  }
+  return Status::Ok();
+}
+
+Status InjectConflict(data::RoundTable& table, size_t first_minority_module,
+                      double offset, size_t from_round) {
+  if (first_minority_module == 0 ||
+      first_minority_module >= table.module_count()) {
+    return InvalidArgumentError(
+        "conflict split must leave modules on both sides");
+  }
+  for (size_t m = first_minority_module; m < table.module_count(); ++m) {
+    AVOC_RETURN_IF_ERROR(InjectBias(table, m, offset, from_round));
+  }
+  return Status::Ok();
+}
+
+}  // namespace avoc::sim

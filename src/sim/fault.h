@@ -1,0 +1,48 @@
+// Post-hoc fault injection on recorded round tables.
+//
+// The paper's UC-1 error-injection experiment perturbs the *recorded*
+// reference dataset ("we injected an artificial outlier sensor, by adding
+// +6 lumen to one of the sensors") so that every algorithm sees the same
+// faulty values.  These helpers implement that and the other §7 fault
+// scenarios (missing values, conflicting groups) as pure table
+// transformations.
+#pragma once
+
+#include <cstddef>
+
+#include "data/round_table.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace avoc::sim {
+
+/// Adds `offset` to module `module` in rounds [from_round, to_round).
+/// to_round == npos means "to the end".
+Status InjectBias(data::RoundTable& table, size_t module, double offset,
+                  size_t from_round = 0,
+                  size_t to_round = static_cast<size_t>(-1));
+
+/// Drops module readings with probability `probability` per round.
+Status InjectDropout(data::RoundTable& table, size_t module,
+                     double probability, Rng& rng);
+
+/// Removes every reading of `module` in [from_round, to_round) — a dead
+/// sensor.
+Status InjectOutage(data::RoundTable& table, size_t module, size_t from_round,
+                    size_t to_round = static_cast<size_t>(-1));
+
+/// Adds an isolated spike of `magnitude` at `round`.
+Status InjectSpike(data::RoundTable& table, size_t module, size_t round,
+                   double magnitude);
+
+/// Freezes `module` at its reading from `from_round` onwards (stuck-at).
+Status InjectStuckAt(data::RoundTable& table, size_t module,
+                     size_t from_round);
+
+/// Splits the modules into two camps from `from_round` on: modules with
+/// index >= `first_minority_module` get `offset` added — a persistent
+/// conflicting-results scenario where no absolute majority may exist.
+Status InjectConflict(data::RoundTable& table, size_t first_minority_module,
+                      double offset, size_t from_round = 0);
+
+}  // namespace avoc::sim

@@ -1,0 +1,101 @@
+#include "sim/light.h"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "sim/fault.h"
+#include "sim/sensor.h"
+#include "util/strings.h"
+
+namespace avoc::sim {
+namespace {
+
+/// Calibration offsets and noise floors for the five LUX1000 stand-ins.
+/// The spread reproduces the Fig. 6-a envelope: uncalibrated but mutually
+/// agreeing sensors roughly 17.8–19.2 klx around an 18.5 klx baseline.
+struct SensorCalibration {
+  double bias;
+  double noise;
+};
+
+constexpr SensorCalibration kCalibrations[] = {
+    {-680.0, 62.0},  // E1: reads low
+    {-90.0, 55.0},   // E2: the best-centred sensor (frequent MNN winner)
+    {+620.0, 70.0},  // E3: reads high
+    {+350.0, 50.0},  // E4: the module §7 injects the fault into
+    {-400.0, 65.0},  // E5
+};
+
+}  // namespace
+
+LightScenario::LightScenario(LightScenarioParams params)
+    : params_(params) {}
+
+double LightScenario::Truth(size_t round) const {
+  // Slow daylight variation plus a gentler secondary harmonic, as clouds
+  // and sun angle change over the ~20-minute capture.
+  const double phase = static_cast<double>(round) /
+                       static_cast<double>(params_.rounds > 0 ? params_.rounds : 1);
+  const double primary =
+      std::sin(2.0 * std::numbers::pi * params_.daylight_cycles * phase);
+  const double secondary =
+      0.35 * std::sin(2.0 * std::numbers::pi * 4.7 * phase + 1.3);
+  return params_.base_lux +
+         params_.daylight_amplitude * (primary + secondary);
+}
+
+data::RoundTable LightScenario::MakeReferenceTable() const {
+  std::vector<std::string> names;
+  names.reserve(params_.sensor_count);
+  for (size_t i = 0; i < params_.sensor_count; ++i) {
+    names.push_back(StrFormat("E%zu", i + 1));
+  }
+  data::RoundTable table(std::move(names));
+
+  Rng master(params_.seed);
+  std::vector<SensorModel> sensors;
+  sensors.reserve(params_.sensor_count);
+  const size_t calibration_count =
+      sizeof(kCalibrations) / sizeof(kCalibrations[0]);
+  for (size_t i = 0; i < params_.sensor_count; ++i) {
+    const SensorCalibration& cal = kCalibrations[i % calibration_count];
+    SensorParams sp;
+    sp.bias = cal.bias;
+    sp.noise_stddev = cal.noise;
+    // Rare transient glitches: about one per sensor per capture.
+    sp.spike_probability = 1e-4;
+    sp.spike_magnitude = 700.0;
+    sensors.emplace_back(sp, master.Fork());
+  }
+
+  for (size_t r = 0; r < params_.rounds; ++r) {
+    const double truth = Truth(r);
+    std::vector<data::Reading> row;
+    row.reserve(params_.sensor_count);
+    for (SensorModel& sensor : sensors) {
+      row.push_back(sensor.Sample(r, truth));
+    }
+    // Light sensors on a wired hub do not drop readings; guard anyway.
+    (void)table.AppendRound(std::move(row));
+  }
+  return table;
+}
+
+data::RoundTable LightScenario::MakeFaultyTable(size_t fault_from) const {
+  data::RoundTable table = MakeReferenceTable();
+  (void)InjectBias(table, params_.faulty_module, params_.fault_offset,
+                   fault_from);
+  return table;
+}
+
+data::DatasetMetadata LightScenario::Metadata() const {
+  data::DatasetMetadata meta;
+  meta.scenario = "uc1-light";
+  meta.seed = params_.seed;
+  meta.units = "lux";
+  meta.sample_rate_hz = params_.sample_rate_hz;
+  return meta;
+}
+
+}  // namespace avoc::sim

@@ -1,0 +1,28 @@
+#include "sim/sensor.h"
+
+namespace avoc::sim {
+
+std::optional<double> SensorModel::Sample(size_t round, double truth) {
+  // Draw the random effects unconditionally so the stream position does
+  // not depend on earlier outcomes: replaying a prefix stays bit-identical.
+  const bool dropped = rng_.Bernoulli(params_.dropout_probability);
+  const double noise = rng_.Gaussian(0.0, params_.noise_stddev);
+  const bool spiked = rng_.Bernoulli(params_.spike_probability);
+  const bool spike_up = rng_.Bernoulli(0.5);
+
+  if (params_.stuck_from_round >= 0 &&
+      round >= static_cast<size_t>(params_.stuck_from_round)) {
+    return last_value_;  // frozen at the last emitted value (or missing)
+  }
+  if (dropped) return std::nullopt;
+
+  double value = truth + params_.bias +
+                 params_.drift_per_round * static_cast<double>(round) + noise;
+  if (spiked) {
+    value += spike_up ? params_.spike_magnitude : -params_.spike_magnitude;
+  }
+  last_value_ = value;
+  return value;
+}
+
+}  // namespace avoc::sim

@@ -1,0 +1,53 @@
+// Per-sensor measurement model.
+//
+// The paper's testbeds use real hardware (Phidget LUX1000 light sensors,
+// BLE beacons); this simulator substitutes a parametric error model per
+// sensor so the experiments replay deterministically: a ground-truth
+// signal is perturbed by calibration bias, Gaussian noise, slow drift,
+// transient spikes, stuck-at faults and dropouts.  Each effect maps to a
+// data-quality issue surveyed in the paper's related work.
+#pragma once
+
+#include <optional>
+
+#include "util/rng.h"
+
+namespace avoc::sim {
+
+struct SensorParams {
+  /// Constant calibration offset (uncalibrated redundant sensors disagree
+  /// by roughly this much).
+  double bias = 0.0;
+  /// Gaussian measurement noise (standard deviation).
+  double noise_stddev = 0.0;
+  /// Linear drift per round (aging/temperature effects).
+  double drift_per_round = 0.0;
+  /// Probability of an isolated spike per round.
+  double spike_probability = 0.0;
+  /// Spike magnitude (added with random sign).
+  double spike_magnitude = 0.0;
+  /// Probability of returning no reading at all (BLE beacon out of reach).
+  double dropout_probability = 0.0;
+  /// When >= 0, round from which the sensor freezes at its last value.
+  long stuck_from_round = -1;
+};
+
+/// One simulated sensor.  Deterministic for a given (params, rng) pair.
+class SensorModel {
+ public:
+  SensorModel(SensorParams params, Rng rng)
+      : params_(params), rng_(rng) {}
+
+  const SensorParams& params() const { return params_; }
+
+  /// Produces the reading for `round` given the true value, or nullopt on
+  /// dropout.
+  std::optional<double> Sample(size_t round, double truth);
+
+ private:
+  SensorParams params_;
+  Rng rng_;
+  std::optional<double> last_value_;
+};
+
+}  // namespace avoc::sim

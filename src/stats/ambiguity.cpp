@@ -1,0 +1,45 @@
+#include "stats/ambiguity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace avoc::stats {
+
+AmbiguityReport MeasureAmbiguity(
+    std::span<const std::optional<double>> stack_a,
+    std::span<const std::optional<double>> stack_b,
+    const AmbiguityOptions& options) {
+  AmbiguityReport report;
+  report.rounds = std::min(stack_a.size(), stack_b.size());
+  size_t run = 0;
+  int previous_sign = 0;  // 0: no unambiguous decision yet
+  for (size_t i = 0; i < report.rounds; ++i) {
+    const bool missing = !stack_a[i].has_value() || !stack_b[i].has_value();
+    const double diff = missing ? 0.0 : (*stack_a[i] - *stack_b[i]);
+    const bool ambiguous = missing || std::abs(diff) < options.margin;
+    if (ambiguous) {
+      ++report.ambiguous_rounds;
+      ++run;
+      report.longest_ambiguous_run =
+          std::max(report.longest_ambiguous_run, run);
+    } else {
+      run = 0;
+      const int sign = diff > 0 ? 1 : -1;
+      if (previous_sign != 0 && sign != previous_sign) {
+        ++report.decision_flips;
+      }
+      previous_sign = sign;
+    }
+  }
+  return report;
+}
+
+AmbiguityReport MeasureAmbiguity(std::span<const double> stack_a,
+                                 std::span<const double> stack_b,
+                                 const AmbiguityOptions& options) {
+  std::vector<std::optional<double>> a(stack_a.begin(), stack_a.end());
+  std::vector<std::optional<double>> b(stack_b.begin(), stack_b.end());
+  return MeasureAmbiguity(a, b, options);
+}
+
+}  // namespace avoc::stats

@@ -1,0 +1,51 @@
+// Ambiguity metric for the BLE positioning use-case (UC-2).
+//
+// The paper judges fusion quality in UC-2 by "the number of rounds while it
+// is ambiguous which stack of sensors is closest to the robot": given two
+// fused RSSI series (stack A, stack B), a round is ambiguous when the two
+// values are within `margin` dB of each other (neither stack is clearly
+// stronger), or when either value is missing.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace avoc::stats {
+
+struct AmbiguityOptions {
+  /// |a - b| < margin counts as ambiguous.
+  double margin = 3.0;
+};
+
+struct AmbiguityReport {
+  /// Rounds compared.
+  size_t rounds = 0;
+  /// Rounds where neither stack was clearly closer.
+  size_t ambiguous_rounds = 0;
+  /// Longest consecutive ambiguous streak.
+  size_t longest_ambiguous_run = 0;
+  /// Rounds where the sign of (a-b) flipped versus the previous
+  /// unambiguous round — flapping decisions are as bad as ambiguity.
+  size_t decision_flips = 0;
+
+  double ambiguous_fraction() const {
+    return rounds == 0 ? 0.0
+                       : static_cast<double>(ambiguous_rounds) /
+                             static_cast<double>(rounds);
+  }
+};
+
+/// Missing values are encoded as std::nullopt and count as ambiguous.
+AmbiguityReport MeasureAmbiguity(
+    std::span<const std::optional<double>> stack_a,
+    std::span<const std::optional<double>> stack_b,
+    const AmbiguityOptions& options = {});
+
+/// Overload for complete series.
+AmbiguityReport MeasureAmbiguity(std::span<const double> stack_a,
+                                 std::span<const double> stack_b,
+                                 const AmbiguityOptions& options = {});
+
+}  // namespace avoc::stats

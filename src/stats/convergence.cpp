@@ -1,0 +1,96 @@
+#include "stats/convergence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace avoc::stats {
+namespace {
+
+ConvergenceReport Measure(std::span<const double> series,
+                          const std::vector<double>& reference,
+                          const ConvergenceOptions& options) {
+  ConvergenceReport report;
+  report.converged_at = std::nullopt;
+  report.residual_bias = std::numeric_limits<double>::quiet_NaN();
+  report.peak_error = 0.0;
+
+  const size_t n = std::min(series.size(), reference.size());
+  std::vector<double> error(n);
+  for (size_t i = 0; i < n; ++i) {
+    error[i] = std::abs(series[i] - reference[i]);
+    report.peak_error = std::max(report.peak_error, error[i]);
+  }
+  if (n == 0) return report;
+
+  const size_t window = std::max<size_t>(1, options.window);
+  // Scan for the first index where `window` consecutive rounds are within
+  // tolerance; a shorter in-tolerance tail at the very end does not count
+  // unless the series ends converged for at least one round window-capped
+  // by the series length.
+  size_t run = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (error[i] <= options.tolerance) {
+      ++run;
+      const size_t start = i + 1 - run;
+      const bool full_window = run >= window;
+      // A series shorter than the window can still converge when it is
+      // in-tolerance throughout; a short in-tolerance tail of a longer
+      // series is NOT accepted (insufficient evidence of stability).
+      const bool tail_window = (i + 1 == n) && n < window && run == n;
+      if (full_window || tail_window) {
+        if (options.require_permanent) {
+          // Strict notion: no excursion after the window either.
+          bool permanent = true;
+          for (size_t j = start; j < n; ++j) {
+            if (error[j] > options.tolerance) {
+              permanent = false;
+              break;
+            }
+          }
+          if (!permanent) {
+            run = 0;
+            continue;
+          }
+        }
+        report.converged_at = start;
+        double sum = 0.0;
+        for (size_t j = start; j < n; ++j) sum += error[j];
+        report.residual_bias = sum / static_cast<double>(n - start);
+        return report;
+      }
+    } else {
+      run = 0;
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
+ConvergenceReport MeasureConvergence(std::span<const double> series,
+                                     std::span<const double> reference,
+                                     const ConvergenceOptions& options) {
+  return Measure(series, std::vector<double>(reference.begin(), reference.end()),
+                 options);
+}
+
+ConvergenceReport MeasureConvergence(std::span<const double> series,
+                                     double reference,
+                                     const ConvergenceOptions& options) {
+  return Measure(series, std::vector<double>(series.size(), reference),
+                 options);
+}
+
+std::optional<double> ConvergenceBoost(const ConvergenceReport& fast,
+                                       const ConvergenceReport& slow) {
+  if (!fast.converged_at.has_value() || !slow.converged_at.has_value()) {
+    return std::nullopt;
+  }
+  const double fast_rounds = static_cast<double>(*fast.converged_at + 1);
+  const double slow_rounds = static_cast<double>(*slow.converged_at + 1);
+  return slow_rounds / fast_rounds;
+}
+
+}  // namespace avoc::stats

@@ -1,0 +1,57 @@
+// Convergence measurement for voting-output series.
+//
+// The paper's UC-1 evaluation compares algorithms on (a) "voting rounds
+// required to converge back to the baseline" after a fault is injected and
+// (b) "how far the new stable value is from the original".  This module
+// provides those two metrics plus the 4x-boost ratio computation used in
+// the abstract.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+
+namespace avoc::stats {
+
+struct ConvergenceOptions {
+  /// The series counts as converged at round r when |series[i] - ref[i]|
+  /// <= tolerance for every i in [r, r + window).
+  double tolerance = 0.1;
+  /// Number of consecutive in-tolerance rounds required.
+  size_t window = 5;
+  /// When true, the series must additionally *stay* within tolerance for
+  /// every round after r (no later excursions).  Off by default: result-
+  /// selection algorithms legitimately produce isolated spike rounds
+  /// ("minus few spikes", §7) long after settling.
+  bool require_permanent = false;
+};
+
+struct ConvergenceReport {
+  /// First round index from which the series stays within tolerance of the
+  /// reference for `window` rounds; nullopt when it never converges.
+  std::optional<size_t> converged_at;
+  /// Mean |series - ref| over the stable tail (rounds >= converged_at);
+  /// NaN when never converged.
+  double residual_bias;
+  /// Max |series - ref| over the whole series (the initial spike height).
+  double peak_error;
+};
+
+/// Compares `series` against a same-length per-round reference.
+ConvergenceReport MeasureConvergence(std::span<const double> series,
+                                     std::span<const double> reference,
+                                     const ConvergenceOptions& options = {});
+
+/// Compares `series` against one constant reference value.
+ConvergenceReport MeasureConvergence(std::span<const double> series,
+                                     double reference,
+                                     const ConvergenceOptions& options = {});
+
+/// Convergence speedup of `fast` relative to `slow` (e.g. AVOC vs Hybrid):
+/// rounds(slow)/rounds(fast), treating round counts as 1-based durations so
+/// converging at round 0 counts as 1 round.  Returns nullopt when either
+/// series never converges.
+std::optional<double> ConvergenceBoost(const ConvergenceReport& fast,
+                                       const ConvergenceReport& slow);
+
+}  // namespace avoc::stats

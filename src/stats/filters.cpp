@@ -1,0 +1,111 @@
+#include "stats/filters.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace avoc::stats {
+
+Result<EwmaFilter> EwmaFilter::Create(double alpha) {
+  if (alpha <= 0.0 || alpha > 1.0) {
+    return InvalidArgumentError("EWMA alpha must lie in (0, 1]");
+  }
+  return EwmaFilter(alpha);
+}
+
+double EwmaFilter::Step(double x) {
+  if (!state_.has_value()) {
+    state_ = x;
+  } else {
+    *state_ += alpha_ * (x - *state_);
+  }
+  return *state_;
+}
+
+void EwmaFilter::Reset() { state_.reset(); }
+
+Result<MovingAverageFilter> MovingAverageFilter::Create(size_t window) {
+  if (window == 0) return InvalidArgumentError("window must be >= 1");
+  return MovingAverageFilter(window);
+}
+
+double MovingAverageFilter::Step(double x) {
+  buffer_.push_back(x);
+  sum_ += x;
+  if (buffer_.size() > window_) {
+    sum_ -= buffer_.front();
+    buffer_.pop_front();
+  }
+  return sum_ / static_cast<double>(buffer_.size());
+}
+
+void MovingAverageFilter::Reset() {
+  buffer_.clear();
+  sum_ = 0.0;
+}
+
+Result<MovingMedianFilter> MovingMedianFilter::Create(size_t window) {
+  if (window == 0) return InvalidArgumentError("window must be >= 1");
+  return MovingMedianFilter(window);
+}
+
+double MovingMedianFilter::Step(double x) {
+  buffer_.push_back(x);
+  if (buffer_.size() > window_) buffer_.pop_front();
+  std::vector<double> sorted(buffer_.begin(), buffer_.end());
+  std::sort(sorted.begin(), sorted.end());
+  const size_t n = sorted.size();
+  return n % 2 == 1 ? sorted[n / 2]
+                    : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+}
+
+void MovingMedianFilter::Reset() { buffer_.clear(); }
+
+Result<SlewLimitFilter> SlewLimitFilter::Create(double max_step) {
+  if (max_step <= 0.0) return InvalidArgumentError("max step must be > 0");
+  return SlewLimitFilter(max_step);
+}
+
+double SlewLimitFilter::Step(double x) {
+  if (!state_.has_value()) {
+    state_ = x;
+  } else {
+    const double delta = std::clamp(x - *state_, -max_step_, max_step_);
+    *state_ += delta;
+  }
+  return *state_;
+}
+
+void SlewLimitFilter::Reset() { state_.reset(); }
+
+Result<KalmanFilter> KalmanFilter::Create(double process_variance,
+                                          double measurement_variance) {
+  if (process_variance < 0.0) {
+    return InvalidArgumentError("process variance must be >= 0");
+  }
+  if (measurement_variance <= 0.0) {
+    return InvalidArgumentError("measurement variance must be > 0");
+  }
+  return KalmanFilter(process_variance, measurement_variance);
+}
+
+double KalmanFilter::Step(double x) {
+  if (!state_.has_value()) {
+    state_ = x;
+    p_ = r_;
+    return *state_;
+  }
+  // Predict (constant-position model): state unchanged, variance grows.
+  p_ += q_;
+  // Update.
+  const double gain = p_ / (p_ + r_);
+  *state_ += gain * (x - *state_);
+  p_ *= (1.0 - gain);
+  return *state_;
+}
+
+void KalmanFilter::Reset() {
+  state_.reset();
+  p_ = 1e9;
+}
+
+}  // namespace avoc::stats

@@ -1,0 +1,131 @@
+// Post-fusion series filters.
+//
+// The paper's UC-2 deliberately feeds *raw* RSSI into the voter, noting
+// that the positioning state of the art adds filtering afterwards ("before
+// applying other techniques to improve positioning performance", §7).
+// These are those other techniques: causal, O(1)-per-sample filters a sink
+// node can stack on the fused output stream.  bench_filters quantifies how
+// much each one sharpens the Fig. 7 proximity decision.
+//
+// All filters share a tiny protocol: `double Step(double x)` consumes one
+// sample and returns the filtered value; `Reset()` clears state.  Missing
+// rounds are the caller's concern (skip or hold — see ApplyWithGaps).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "util/status.h"
+
+namespace avoc::stats {
+
+/// Exponentially weighted moving average: y += alpha * (x - y).
+class EwmaFilter {
+ public:
+  /// alpha in (0, 1]; 1 = no smoothing.
+  static Result<EwmaFilter> Create(double alpha);
+
+  double Step(double x);
+  void Reset();
+
+ private:
+  explicit EwmaFilter(double alpha) : alpha_(alpha) {}
+  double alpha_;
+  std::optional<double> state_;
+};
+
+/// Simple moving average over the last `window` samples.
+class MovingAverageFilter {
+ public:
+  static Result<MovingAverageFilter> Create(size_t window);
+
+  double Step(double x);
+  void Reset();
+
+ private:
+  explicit MovingAverageFilter(size_t window) : window_(window) {}
+  size_t window_;
+  std::deque<double> buffer_;
+  double sum_ = 0.0;
+};
+
+/// Moving median over the last `window` samples (robust to spikes).
+class MovingMedianFilter {
+ public:
+  static Result<MovingMedianFilter> Create(size_t window);
+
+  double Step(double x);
+  void Reset();
+
+ private:
+  explicit MovingMedianFilter(size_t window) : window_(window) {}
+  size_t window_;
+  std::deque<double> buffer_;
+};
+
+/// Slew limiter: the output moves towards the input by at most `max_step`
+/// per sample — a crude but effective spike clamp.
+class SlewLimitFilter {
+ public:
+  static Result<SlewLimitFilter> Create(double max_step);
+
+  double Step(double x);
+  void Reset();
+
+ private:
+  explicit SlewLimitFilter(double max_step) : max_step_(max_step) {}
+  double max_step_;
+  std::optional<double> state_;
+};
+
+/// Scalar Kalman filter with a constant-position process model: state x,
+/// process variance q (per step), measurement variance r.
+class KalmanFilter {
+ public:
+  static Result<KalmanFilter> Create(double process_variance,
+                                     double measurement_variance);
+
+  double Step(double x);
+  void Reset();
+
+  /// Current error variance (grows between resets, shrinks with samples).
+  double variance() const { return p_; }
+
+ private:
+  KalmanFilter(double q, double r) : q_(q), r_(r) {}
+  double q_;
+  double r_;
+  double p_ = 1e9;  // uninformative prior
+  std::optional<double> state_;
+};
+
+/// Applies a filter over a dense series.
+template <typename Filter>
+std::vector<double> Apply(Filter& filter, std::span<const double> series) {
+  std::vector<double> out;
+  out.reserve(series.size());
+  for (const double x : series) out.push_back(filter.Step(x));
+  return out;
+}
+
+/// Applies a filter over a gappy series: missing samples pass through as
+/// missing and do not advance the filter (sample-and-hold semantics).
+template <typename Filter>
+std::vector<std::optional<double>> ApplyWithGaps(
+    Filter& filter, std::span<const std::optional<double>> series) {
+  std::vector<std::optional<double>> out;
+  out.reserve(series.size());
+  for (const auto& x : series) {
+    if (x.has_value()) {
+      out.emplace_back(filter.Step(*x));
+    } else {
+      out.emplace_back(std::nullopt);
+    }
+  }
+  return out;
+}
+
+}  // namespace avoc::stats

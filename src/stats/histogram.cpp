@@ -1,0 +1,55 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace avoc::stats {
+
+Result<Histogram> Histogram::Create(double lo, double hi, size_t bins) {
+  if (bins == 0) return InvalidArgumentError("histogram needs >= 1 bin");
+  if (!(lo < hi)) return InvalidArgumentError("histogram needs lo < hi");
+  return Histogram(lo, hi, bins);
+}
+
+void Histogram::Add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  size_t bin = static_cast<size_t>((x - lo_) / width);
+  bin = std::min(bin, counts_.size() - 1);  // guard FP edge at hi_
+  ++counts_[bin];
+}
+
+double Histogram::BinCenter(size_t i) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(i) + 0.5) * width;
+}
+
+double Histogram::BinEdge(size_t i) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + static_cast<double>(i) * width;
+}
+
+std::string Histogram::Render(size_t width) const {
+  size_t peak = 1;
+  for (const size_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const size_t bar = counts_[i] * width / peak;
+    out += StrFormat("%12.4g | %-*s %zu\n", BinCenter(i),
+                     static_cast<int>(width),
+                     std::string(bar, '#').c_str(), counts_[i]);
+  }
+  return out;
+}
+
+}  // namespace avoc::stats

@@ -1,0 +1,48 @@
+// Fixed-bin histogram used by the comparison example (ASCII plots of the
+// Fig. 6 / Fig. 7 series) and the benches' distribution summaries.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace avoc::stats {
+
+class Histogram {
+ public:
+  /// `bins` uniform-width bins covering [lo, hi); values outside are
+  /// counted in underflow/overflow.  Requires bins >= 1 and lo < hi.
+  static Result<Histogram> Create(double lo, double hi, size_t bins);
+
+  void Add(double x);
+
+  size_t bin_count() const { return counts_.size(); }
+  size_t count(size_t bin) const { return counts_.at(bin); }
+  size_t underflow() const { return underflow_; }
+  size_t overflow() const { return overflow_; }
+  size_t total() const { return total_; }
+
+  /// Center of bin `i`.
+  double BinCenter(size_t i) const;
+
+  /// Lower edge of bin `i` (BinEdge(bin_count()) is the upper bound).
+  double BinEdge(size_t i) const;
+
+  /// Multi-line ASCII rendering, one row per bin, bars scaled to `width`.
+  std::string Render(size_t width = 50) const;
+
+ private:
+  Histogram(double lo, double hi, size_t bins)
+      : lo_(lo), hi_(hi), counts_(bins, 0) {}
+
+  double lo_;
+  double hi_;
+  std::vector<size_t> counts_;
+  size_t underflow_ = 0;
+  size_t overflow_ = 0;
+  size_t total_ = 0;
+};
+
+}  // namespace avoc::stats

@@ -1,0 +1,55 @@
+#include "stats/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace avoc::stats {
+namespace {
+
+double QuantileOfSorted(const std::vector<double>& sorted, double q) {
+  // Type-7 interpolation: h = (n-1)q.
+  const double h = static_cast<double>(sorted.size() - 1) * q;
+  const size_t lo = static_cast<size_t>(std::floor(h));
+  const size_t hi = static_cast<size_t>(std::ceil(h));
+  if (lo == hi) return sorted[lo];
+  const double frac = h - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+Result<double> Quantile(std::span<const double> data, double q) {
+  if (data.empty()) return InvalidArgumentError("quantile of empty data");
+  if (q < 0.0 || q > 1.0) return InvalidArgumentError("q outside [0,1]");
+  std::vector<double> sorted(data.begin(), data.end());
+  std::sort(sorted.begin(), sorted.end());
+  return QuantileOfSorted(sorted, q);
+}
+
+Result<double> Median(std::span<const double> data) {
+  return Quantile(data, 0.5);
+}
+
+Result<std::vector<double>> Quantiles(std::span<const double> data,
+                                      std::span<const double> qs) {
+  if (data.empty()) return InvalidArgumentError("quantile of empty data");
+  std::vector<double> sorted(data.begin(), data.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (const double q : qs) {
+    if (q < 0.0 || q > 1.0) return InvalidArgumentError("q outside [0,1]");
+    out.push_back(QuantileOfSorted(sorted, q));
+  }
+  return out;
+}
+
+Result<double> MedianAbsoluteDeviation(std::span<const double> data) {
+  AVOC_ASSIGN_OR_RETURN(const double med, Median(data));
+  std::vector<double> deviations;
+  deviations.reserve(data.size());
+  for (const double x : data) deviations.push_back(std::abs(x - med));
+  return Median(deviations);
+}
+
+}  // namespace avoc::stats

@@ -1,0 +1,28 @@
+// Exact quantiles over finite samples, plus the median helpers the voting
+// algorithms use for tie-breaking and the benches use for latency
+// percentiles.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/status.h"
+
+namespace avoc::stats {
+
+/// Exact quantile with linear interpolation (type-7, same as numpy's
+/// default).  q must lie in [0, 1]; data must be non-empty.
+Result<double> Quantile(std::span<const double> data, double q);
+
+/// Median (Quantile 0.5); errors on empty input.
+Result<double> Median(std::span<const double> data);
+
+/// Convenience multi-quantile over one shared sort.
+Result<std::vector<double>> Quantiles(std::span<const double> data,
+                                      std::span<const double> qs);
+
+/// Median absolute deviation (robust spread), scaled by 1 (no consistency
+/// constant applied).  Errors on empty input.
+Result<double> MedianAbsoluteDeviation(std::span<const double> data);
+
+}  // namespace avoc::stats

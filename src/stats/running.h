@@ -1,0 +1,49 @@
+// Streaming descriptive statistics (Welford's online algorithm).
+//
+// Used throughout the evaluation harness: per-sensor calibration summaries,
+// per-algorithm error summaries, latency aggregation.  Numerically stable
+// for long streams (the UC-1 dataset is 10,000 rounds).
+#pragma once
+
+#include <cstddef>
+
+namespace avoc::stats {
+
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Merges another accumulator (parallel reduction identity holds).
+  void Merge(const RunningStats& other);
+
+  size_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Mean of the observations; 0 when empty.
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+  /// Unbiased sample variance (n-1 denominator); 0 when count < 2.
+  double variance() const;
+
+  /// Population variance (n denominator); 0 when empty.
+  double population_variance() const;
+
+  /// sqrt(variance()).
+  double stddev() const;
+
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// Sum of all observations.
+  double sum() const { return count_ == 0 ? 0.0 : mean_ * static_cast<double>(count_); }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace avoc::stats

@@ -1,0 +1,86 @@
+#include "util/cli.h"
+
+#include "util/strings.h"
+
+namespace avoc {
+
+Result<CommandLine> CommandLine::Parse(int argc, const char* const* argv) {
+  CommandLine cl;
+  for (int i = 0; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      cl.positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    if (arg.empty()) {
+      // "--" terminates flag parsing; the rest is positional.
+      for (int j = i + 1; j < argc; ++j) cl.positional_.emplace_back(argv[j]);
+      break;
+    }
+    const size_t eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      cl.flags_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+      continue;
+    }
+    // `--name value` when the next token is not itself a flag; otherwise a
+    // bare boolean flag.
+    if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+      cl.flags_[std::string(arg)] = argv[i + 1];
+      ++i;
+    } else {
+      cl.flags_[std::string(arg)] = "";
+    }
+  }
+  return cl;
+}
+
+std::string CommandLine::GetString(std::string_view name,
+                                   std::string_view fallback) const {
+  consumed_[std::string(name)] = true;
+  auto it = flags_.find(name);
+  return it == flags_.end() ? std::string(fallback) : it->second;
+}
+
+double CommandLine::GetDouble(std::string_view name, double fallback) const {
+  consumed_[std::string(name)] = true;
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  auto parsed = ParseDouble(it->second);
+  return parsed.ok() ? *parsed : fallback;
+}
+
+int64_t CommandLine::GetInt(std::string_view name, int64_t fallback) const {
+  consumed_[std::string(name)] = true;
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  auto parsed = ParseInt(it->second);
+  return parsed.ok() ? *parsed : fallback;
+}
+
+bool CommandLine::GetBool(std::string_view name, bool fallback) const {
+  consumed_[std::string(name)] = true;
+  consumed_["no-" + std::string(name)] = true;
+  if (flags_.count("no-" + std::string(name))) return false;
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  if (it->second.empty()) return true;
+  const std::string lower = AsciiToLower(it->second);
+  return lower == "1" || lower == "true" || lower == "yes" || lower == "on";
+}
+
+bool CommandLine::HasFlag(std::string_view name) const {
+  consumed_[std::string(name)] = true;
+  return flags_.count(std::string(name)) > 0;
+}
+
+std::vector<std::string> CommandLine::UnconsumedFlags() const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : flags_) {
+    (void)value;
+    if (!consumed_.count(name)) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace avoc

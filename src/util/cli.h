@@ -1,0 +1,44 @@
+// Tiny command-line flag parser used by the example binaries and the
+// benchmark harness front-ends.  Supports `--name value`, `--name=value`
+// and boolean `--flag` / `--no-flag` forms plus positional arguments.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace avoc {
+
+class CommandLine {
+ public:
+  /// Parses argv (excluding argv[0]).  Unknown flags are kept and can be
+  /// rejected by the caller via UnconsumedFlags().
+  static Result<CommandLine> Parse(int argc, const char* const* argv);
+
+  /// String flag with default.
+  std::string GetString(std::string_view name, std::string_view fallback) const;
+
+  /// Numeric flags with defaults; malformed values fall back too.
+  double GetDouble(std::string_view name, double fallback) const;
+  int64_t GetInt(std::string_view name, int64_t fallback) const;
+
+  /// Boolean flag: `--x` => true, `--no-x` => false, else fallback.
+  bool GetBool(std::string_view name, bool fallback) const;
+
+  bool HasFlag(std::string_view name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Flags never queried by any Get*/HasFlag call (catches typos).
+  std::vector<std::string> UnconsumedFlags() const;
+
+ private:
+  std::map<std::string, std::string, std::less<>> flags_;
+  mutable std::map<std::string, bool, std::less<>> consumed_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace avoc

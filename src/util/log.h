@@ -1,0 +1,50 @@
+// Minimal leveled logger.  The middleware runtime logs node lifecycle and
+// fault-policy events through this; library code stays silent below WARN.
+//
+// The logger is intentionally tiny: a global level, a single sink callback,
+// and printf-style helpers.  It is thread-safe (sink invocation is
+// serialised) because the runtime's threaded mode logs from worker threads.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace avoc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+std::string_view LogLevelName(LogLevel level);
+
+/// Sink receives fully formatted messages (no trailing newline).
+using LogSink = std::function<void(LogLevel, std::string_view)>;
+
+/// Replaces the global sink.  Passing nullptr restores the stderr default.
+void SetLogSink(LogSink sink);
+
+/// Sets the global minimum level; messages below are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Core logging entry point; prefer the AVOC_LOG_* macros.
+void LogMessage(LogLevel level, std::string_view message);
+
+namespace internal {
+std::string FormatLog(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+}  // namespace internal
+
+}  // namespace avoc
+
+#define AVOC_LOG(level, ...)                                       \
+  do {                                                             \
+    if (static_cast<int>(level) >=                                 \
+        static_cast<int>(::avoc::GetLogLevel())) {                 \
+      ::avoc::LogMessage(level, ::avoc::internal::FormatLog(__VA_ARGS__)); \
+    }                                                              \
+  } while (false)
+
+#define AVOC_LOG_DEBUG(...) AVOC_LOG(::avoc::LogLevel::kDebug, __VA_ARGS__)
+#define AVOC_LOG_INFO(...) AVOC_LOG(::avoc::LogLevel::kInfo, __VA_ARGS__)
+#define AVOC_LOG_WARN(...) AVOC_LOG(::avoc::LogLevel::kWarn, __VA_ARGS__)
+#define AVOC_LOG_ERROR(...) AVOC_LOG(::avoc::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,72 @@
+// Deterministic pseudo-random number generation for the simulation
+// substrate.  Every scenario generator in src/sim is seeded explicitly so
+// experiments replay bit-identically across runs and platforms, which is
+// the property the paper's pre-recorded datasets were used for.
+//
+// We implement xoshiro256++ (Blackman & Vigna) seeded through SplitMix64
+// instead of relying on std::mt19937 so that the stream is (a) identical
+// across standard-library implementations and (b) cheap on constrained
+// edge hardware.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace avoc {
+
+/// SplitMix64: tiny 64-bit generator used to expand seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next();
+
+ private:
+  uint64_t state_;
+};
+
+/// xoshiro256++ PRNG.  Satisfies std::uniform_random_bit_generator, so it
+/// can also be used with <random> distributions when cross-platform
+/// determinism of the *distribution* is not required.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the four 64-bit state words via SplitMix64(seed).
+  explicit Rng(uint64_t seed = 0xA5A5'5A5A'DEAD'BEEFull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~uint64_t{0}; }
+
+  /// Raw 64 random bits.
+  uint64_t operator()();
+
+  /// Uniform double in [0, 1).  Uses the top 53 bits.
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n).  n must be > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  /// Standard normal via Box-Muller (deterministic, no libm rounding
+  /// surprises in practice across glibc versions at our tolerances).
+  double Gaussian();
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Derives an independent-stream generator (e.g. one per sensor).
+  Rng Fork();
+
+ private:
+  std::array<uint64_t, 4> s_;
+  bool has_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+}  // namespace avoc

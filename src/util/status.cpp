@@ -1,0 +1,63 @@
+#include "util/status.h"
+
+namespace avoc {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kParseError: return "parse_error";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kOutOfRange: return "out_of_range";
+    case ErrorCode::kFailedPrecondition: return "failed_precondition";
+    case ErrorCode::kUnsupported: return "unsupported";
+    case ErrorCode::kNoQuorum: return "no_quorum";
+    case ErrorCode::kNoMajority: return "no_majority";
+    case ErrorCode::kIoError: return "io_error";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out(ErrorCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status InvalidArgumentError(std::string message) {
+  return Status(ErrorCode::kInvalidArgument, std::move(message));
+}
+Status ParseError(std::string message) {
+  return Status(ErrorCode::kParseError, std::move(message));
+}
+Status NotFoundError(std::string message) {
+  return Status(ErrorCode::kNotFound, std::move(message));
+}
+Status OutOfRangeError(std::string message) {
+  return Status(ErrorCode::kOutOfRange, std::move(message));
+}
+Status FailedPreconditionError(std::string message) {
+  return Status(ErrorCode::kFailedPrecondition, std::move(message));
+}
+Status UnsupportedError(std::string message) {
+  return Status(ErrorCode::kUnsupported, std::move(message));
+}
+Status NoQuorumError(std::string message) {
+  return Status(ErrorCode::kNoQuorum, std::move(message));
+}
+Status NoMajorityError(std::string message) {
+  return Status(ErrorCode::kNoMajority, std::move(message));
+}
+Status IoError(std::string message) {
+  return Status(ErrorCode::kIoError, std::move(message));
+}
+Status InternalError(std::string message) {
+  return Status(ErrorCode::kInternal, std::move(message));
+}
+
+}  // namespace avoc

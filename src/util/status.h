@@ -1,0 +1,137 @@
+// Lightweight status / result types used across the AVOC libraries.
+//
+// Most of the library reports recoverable failures (malformed VDX documents,
+// bad CSV rows, quorum failures, ...) by value rather than by exception, so
+// that callers on constrained edge devices can compile with -fno-exceptions
+// if they wish.  `Status` carries an error code plus a human-readable
+// message; `Result<T>` is a status-or-value union in the spirit of
+// std::expected (which is C++23, one standard beyond this project).
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace avoc {
+
+/// Coarse error taxonomy shared by all AVOC subsystems.
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,   ///< caller passed something out of contract
+  kParseError,        ///< malformed JSON / CSV / VDX input
+  kNotFound,          ///< lookup miss (key, module id, file)
+  kOutOfRange,        ///< index or numeric range violation
+  kFailedPrecondition,///< object not in the right state for the call
+  kUnsupported,       ///< valid request, feature intentionally unavailable
+  kNoQuorum,          ///< vote could not be triggered (too few candidates)
+  kNoMajority,        ///< vote triggered but no agreement group won
+  kIoError,           ///< filesystem failure
+  kInternal,          ///< invariant violation inside the library
+};
+
+/// Human-readable name of an error code ("parse_error", ...).
+std::string_view ErrorCodeName(ErrorCode code);
+
+/// A success-or-error value.  Cheap to copy on success (empty message).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code-name>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+// Convenience factories mirroring the ErrorCode enumerators.
+Status InvalidArgumentError(std::string message);
+Status ParseError(std::string message);
+Status NotFoundError(std::string message);
+Status OutOfRangeError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status UnsupportedError(std::string message);
+Status NoQuorumError(std::string message);
+Status NoMajorityError(std::string message);
+Status IoError(std::string message);
+Status InternalError(std::string message);
+
+/// Status-or-value.  On success holds a T; on failure holds a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: `return 42;`
+  Result(T value) : value_(std::move(value)) {}
+  /// Implicit from error: `return ParseError("...")`.  Must not be OK.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Status& status() const { return status_; }
+
+  /// Value access; asserts ok() in debug builds.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when this result is an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ engaged
+};
+
+}  // namespace avoc
+
+/// Propagates a non-OK Status from an expression, like absl's RETURN_IF_ERROR.
+#define AVOC_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::avoc::Status avoc_status_ = (expr);           \
+    if (!avoc_status_.ok()) return avoc_status_;    \
+  } while (false)
+
+/// Unwraps a Result<T> into `lhs` or propagates its error status.
+#define AVOC_ASSIGN_OR_RETURN(lhs, expr)            \
+  AVOC_ASSIGN_OR_RETURN_IMPL_(                      \
+      AVOC_STATUS_CONCAT_(avoc_result_, __LINE__), lhs, expr)
+#define AVOC_STATUS_CONCAT_INNER_(a, b) a##b
+#define AVOC_STATUS_CONCAT_(a, b) AVOC_STATUS_CONCAT_INNER_(a, b)
+#define AVOC_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()

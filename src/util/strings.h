@@ -1,0 +1,45 @@
+// Small string utilities shared by the CSV, JSON and CLI layers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace avoc {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view s);
+
+/// Splits on every occurrence of `sep` (no merging of empty fields).
+/// Splitting "" yields {""} to keep CSV row arity stable.
+std::vector<std::string> SplitString(std::string_view s, char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// ASCII lower-casing (locale-independent).
+std::string AsciiToLower(std::string_view s);
+
+/// ASCII upper-casing (locale-independent).
+std::string AsciiToUpper(std::string_view s);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True if `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Strict double parsing: the whole string must be consumed.
+Result<double> ParseDouble(std::string_view s);
+
+/// Strict integer parsing (base 10, whole string consumed).
+Result<int64_t> ParseInt(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace avoc

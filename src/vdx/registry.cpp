@@ -1,0 +1,91 @@
+#include "vdx/registry.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/algorithms.h"
+#include "util/strings.h"
+#include "vdx/factory.h"
+
+namespace avoc::vdx {
+
+Result<Spec> ReadSpecFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return IoError("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto spec = Spec::Parse(buffer.str());
+  if (!spec.ok()) {
+    return Status(spec.status().code(),
+                  path + ": " + spec.status().message());
+  }
+  return spec;
+}
+
+Status WriteSpecFile(const std::string& path, const Spec& spec) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return IoError("cannot open '" + path + "' for writing");
+  out << spec.Serialize() << "\n";
+  if (!out.good()) return IoError("write failure on '" + path + "'");
+  return Status::Ok();
+}
+
+void SpecRegistry::Register(std::string name, Spec spec) {
+  specs_[std::move(name)] = std::move(spec);
+}
+
+void SpecRegistry::Register(Spec spec) {
+  std::string name = AsciiToLower(spec.algorithm_name);
+  specs_[std::move(name)] = std::move(spec);
+}
+
+Result<Spec> SpecRegistry::Get(std::string_view name) const {
+  auto it = specs_.find(name);
+  if (it == specs_.end()) {
+    return NotFoundError("no spec named '" + std::string(name) + "'");
+  }
+  return it->second;
+}
+
+bool SpecRegistry::contains(std::string_view name) const {
+  return specs_.find(name) != specs_.end();
+}
+
+std::vector<std::string> SpecRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(specs_.size());
+  for (const auto& [name, spec] : specs_) {
+    (void)spec;
+    names.push_back(name);
+  }
+  return names;
+}
+
+Result<size_t> SpecRegistry::LoadDirectory(const std::string& directory) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(directory, ec);
+  if (ec) {
+    return IoError("cannot list '" + directory + "': " + ec.message());
+  }
+  size_t loaded = 0;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file()) continue;
+    const std::string extension = entry.path().extension().string();
+    if (extension != ".json" && extension != ".vdx") continue;
+    AVOC_ASSIGN_OR_RETURN(Spec spec, ReadSpecFile(entry.path().string()));
+    Register(entry.path().stem().string(), std::move(spec));
+    ++loaded;
+  }
+  return loaded;
+}
+
+SpecRegistry SpecRegistry::WithBuiltins() {
+  SpecRegistry registry;
+  for (const core::AlgorithmId id : core::AllAlgorithms()) {
+    registry.Register(std::string(core::AlgorithmName(id)), ExportSpec(id));
+  }
+  return registry;
+}
+
+}  // namespace avoc::vdx

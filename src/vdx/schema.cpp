@@ -1,0 +1,69 @@
+#include "vdx/schema.h"
+
+#include "json/parse.h"
+
+namespace avoc::vdx {
+
+std::string_view VdxJsonSchema() {
+  // Keep in sync with docs/vdx.schema.json (tested by vdx_schema_test).
+  static constexpr char kSchema[] = R"({
+  "$schema": "http://json-schema.org/draft-07/schema#",
+  "title": "VDX voting definition",
+  "type": "object",
+  "required": ["algorithm_name"],
+  "additionalProperties": false,
+  "properties": {
+    "algorithm_name": { "type": "string", "minLength": 1 },
+    "value_type": { "enum": ["NUMERIC", "CATEGORICAL"] },
+    "quorum": { "enum": ["ANY", "COUNT", "PERCENT", "UNTIL"] },
+    "quorum_percentage": {
+      "type": "number", "exclusiveMinimum": 0, "maximum": 100
+    },
+    "quorum_count": { "type": "integer", "minimum": 1 },
+    "exclusion": { "enum": ["NONE", "STDDEV", "MAD"] },
+    "exclusion_threshold": { "type": "number", "minimum": 0 },
+    "history": {
+      "enum": ["NONE", "STANDARD", "MODULE_ELIMINATION", "SDT", "HYBRID"]
+    },
+    "params": {
+      "type": "object",
+      "additionalProperties": { "type": ["number", "string"] }
+    },
+    "collation": {
+      "enum": ["WEIGHTED_AVERAGE", "MEAN_NEAREST_NEIGHBOR",
+               "WEIGHTED_MEDIAN", "MAJORITY"]
+    },
+    "bootstrapping": { "type": "boolean" },
+    "clustering_always": { "type": "boolean" },
+    "fault_policy": {
+      "type": "object",
+      "additionalProperties": false,
+      "properties": {
+        "on_no_quorum": {
+          "enum": ["ACCEPT", "EMIT_NOTHING", "REVERT_LAST", "RAISE"]
+        },
+        "on_no_majority": {
+          "enum": ["ACCEPT", "EMIT_NOTHING", "REVERT_LAST", "RAISE"]
+        }
+      }
+    }
+  }
+})";
+  return kSchema;
+}
+
+Result<json::ValidationReport> ValidateAgainstSchema(
+    const json::Value& document) {
+  AVOC_ASSIGN_OR_RETURN(const json::Value schema,
+                        json::Parse(VdxJsonSchema()));
+  return json::ValidateSchema(schema, document);
+}
+
+Result<json::ValidationReport> ValidateTextAgainstSchema(
+    std::string_view document_text) {
+  AVOC_ASSIGN_OR_RETURN(const json::Value document,
+                        json::Parse(document_text));
+  return ValidateAgainstSchema(document);
+}
+
+}  // namespace avoc::vdx

@@ -1,0 +1,29 @@
+// The machine-readable VDX schema (§6: "The full schema, as well as a
+// sample implementation and usage examples can be found at" the paper's
+// repository — this is our equivalent).
+//
+// The schema is embedded so validation needs no files at runtime; the
+// same text ships as docs/vdx.schema.json for external tooling.
+#pragma once
+
+#include <string_view>
+
+#include "json/schema.h"
+#include "util/status.h"
+
+namespace avoc::vdx {
+
+/// The VDX JSON Schema document (draft-07 subset, see json/schema.h).
+std::string_view VdxJsonSchema();
+
+/// Validates a raw JSON document against the VDX schema.  This is the
+/// *structural* check; Spec::Validate adds the semantic/capability rules.
+Result<json::ValidationReport> ValidateAgainstSchema(
+    const json::Value& document);
+
+/// Text-form convenience.  (Named distinctly because json::Value converts
+/// implicitly from strings.)
+Result<json::ValidationReport> ValidateTextAgainstSchema(
+    std::string_view document_text);
+
+}  // namespace avoc::vdx

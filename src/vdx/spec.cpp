@@ -1,0 +1,347 @@
+#include "vdx/spec.h"
+
+#include "json/parse.h"
+#include "json/write.h"
+#include "util/strings.h"
+
+namespace avoc::vdx {
+namespace {
+
+Status UnknownToken(std::string_view what, std::string_view token) {
+  return ParseError("unknown " + std::string(what) + " token '" +
+                    std::string(token) + "'");
+}
+
+}  // namespace
+
+std::string_view ToToken(QuorumMode mode) {
+  switch (mode) {
+    case QuorumMode::kAny: return "ANY";
+    case QuorumMode::kCount: return "COUNT";
+    case QuorumMode::kPercent: return "PERCENT";
+    case QuorumMode::kUntil: return "UNTIL";
+  }
+  return "?";
+}
+
+std::string_view ToToken(ExclusionKind kind) {
+  switch (kind) {
+    case ExclusionKind::kNone: return "NONE";
+    case ExclusionKind::kStdDev: return "STDDEV";
+    case ExclusionKind::kMad: return "MAD";
+  }
+  return "?";
+}
+
+std::string_view ToToken(HistoryKind kind) {
+  switch (kind) {
+    case HistoryKind::kNone: return "NONE";
+    case HistoryKind::kStandard: return "STANDARD";
+    case HistoryKind::kModuleElimination: return "MODULE_ELIMINATION";
+    case HistoryKind::kSoftDynamicThreshold: return "SDT";
+    case HistoryKind::kHybrid: return "HYBRID";
+  }
+  return "?";
+}
+
+std::string_view ToToken(CollationKind kind) {
+  switch (kind) {
+    case CollationKind::kWeightedAverage: return "WEIGHTED_AVERAGE";
+    case CollationKind::kMeanNearestNeighbor: return "MEAN_NEAREST_NEIGHBOR";
+    case CollationKind::kWeightedMedian: return "WEIGHTED_MEDIAN";
+    case CollationKind::kMajority: return "MAJORITY";
+  }
+  return "?";
+}
+
+std::string_view ToToken(ValueKind kind) {
+  switch (kind) {
+    case ValueKind::kNumeric: return "NUMERIC";
+    case ValueKind::kCategorical: return "CATEGORICAL";
+  }
+  return "?";
+}
+
+std::string_view ToToken(FaultAction action) {
+  switch (action) {
+    case FaultAction::kAccept: return "ACCEPT";
+    case FaultAction::kEmitNothing: return "EMIT_NOTHING";
+    case FaultAction::kRevertLast: return "REVERT_LAST";
+    case FaultAction::kRaise: return "RAISE";
+  }
+  return "?";
+}
+
+Result<QuorumMode> ParseQuorumMode(std::string_view token) {
+  const std::string upper = AsciiToUpper(TrimWhitespace(token));
+  if (upper == "ANY") return QuorumMode::kAny;
+  if (upper == "COUNT") return QuorumMode::kCount;
+  if (upper == "PERCENT" || upper == "PERCENTAGE") return QuorumMode::kPercent;
+  if (upper == "UNTIL") return QuorumMode::kUntil;
+  return UnknownToken("quorum", token);
+}
+
+Result<ExclusionKind> ParseExclusionKind(std::string_view token) {
+  const std::string upper = AsciiToUpper(TrimWhitespace(token));
+  if (upper == "NONE") return ExclusionKind::kNone;
+  if (upper == "STDDEV" || upper == "STD_DEV" || upper == "SIGMA") {
+    return ExclusionKind::kStdDev;
+  }
+  if (upper == "MAD") return ExclusionKind::kMad;
+  return UnknownToken("exclusion", token);
+}
+
+Result<HistoryKind> ParseHistoryKind(std::string_view token) {
+  const std::string upper = AsciiToUpper(TrimWhitespace(token));
+  if (upper == "NONE") return HistoryKind::kNone;
+  if (upper == "STANDARD") return HistoryKind::kStandard;
+  if (upper == "MODULE_ELIMINATION" || upper == "ME") {
+    return HistoryKind::kModuleElimination;
+  }
+  if (upper == "SDT" || upper == "SOFT_DYNAMIC_THRESHOLD") {
+    return HistoryKind::kSoftDynamicThreshold;
+  }
+  if (upper == "HYBRID") return HistoryKind::kHybrid;
+  return UnknownToken("history", token);
+}
+
+Result<CollationKind> ParseCollationKind(std::string_view token) {
+  const std::string upper = AsciiToUpper(TrimWhitespace(token));
+  if (upper == "WEIGHTED_AVERAGE" || upper == "MEAN" || upper == "AVERAGE") {
+    return CollationKind::kWeightedAverage;
+  }
+  if (upper == "MEAN_NEAREST_NEIGHBOR" || upper == "MEAN_NEAREST_NEIGHBOUR" ||
+      upper == "MNN") {
+    return CollationKind::kMeanNearestNeighbor;
+  }
+  if (upper == "WEIGHTED_MEDIAN" || upper == "MEDIAN") {
+    return CollationKind::kWeightedMedian;
+  }
+  if (upper == "MAJORITY" || upper == "WEIGHTED_MAJORITY" ||
+      upper == "PLURALITY") {
+    return CollationKind::kMajority;
+  }
+  return UnknownToken("collation", token);
+}
+
+Result<ValueKind> ParseValueKind(std::string_view token) {
+  const std::string upper = AsciiToUpper(TrimWhitespace(token));
+  if (upper == "NUMERIC" || upper == "NUMBER") return ValueKind::kNumeric;
+  if (upper == "CATEGORICAL" || upper == "STRING") {
+    return ValueKind::kCategorical;
+  }
+  return UnknownToken("value_type", token);
+}
+
+Result<FaultAction> ParseFaultAction(std::string_view token) {
+  const std::string upper = AsciiToUpper(TrimWhitespace(token));
+  if (upper == "ACCEPT") return FaultAction::kAccept;
+  if (upper == "EMIT_NOTHING" || upper == "NOTHING" || upper == "SKIP") {
+    return FaultAction::kEmitNothing;
+  }
+  if (upper == "REVERT_LAST" || upper == "LAST") {
+    return FaultAction::kRevertLast;
+  }
+  if (upper == "RAISE" || upper == "ERROR") return FaultAction::kRaise;
+  return UnknownToken("fault action", token);
+}
+
+double Spec::ParamOr(std::string_view key, double fallback) const {
+  auto it = params.find(std::string(key));
+  return it == params.end() ? fallback : it->second;
+}
+
+std::string Spec::StringParamOr(std::string_view key,
+                                std::string_view fallback) const {
+  auto it = string_params.find(std::string(key));
+  return it == string_params.end() ? std::string(fallback) : it->second;
+}
+
+Status Spec::Validate(bool has_custom_distance) const {
+  if (algorithm_name.empty()) {
+    return InvalidArgumentError("algorithm_name must be non-empty");
+  }
+  switch (quorum) {
+    case QuorumMode::kAny:
+      break;
+    case QuorumMode::kCount:
+      if (quorum_amount < 1.0) {
+        return InvalidArgumentError("COUNT quorum needs >= 1 candidate");
+      }
+      break;
+    case QuorumMode::kPercent:
+    case QuorumMode::kUntil:
+      if (quorum_amount <= 0.0 || quorum_amount > 100.0) {
+        return InvalidArgumentError(
+            "quorum_percentage must lie in (0, 100]");
+      }
+      break;
+  }
+  if (exclusion != ExclusionKind::kNone && exclusion_threshold <= 0.0) {
+    return InvalidArgumentError(
+        "exclusion_threshold must be > 0 when exclusion is enabled");
+  }
+  if (history != HistoryKind::kNone) {
+    const double error = ParamOr("error", 0.05);
+    if (error <= 0.0) {
+      return InvalidArgumentError("params.error must be > 0");
+    }
+  }
+  if (history == HistoryKind::kSoftDynamicThreshold ||
+      history == HistoryKind::kHybrid) {
+    if (ParamOr("soft_threshold", 2.0) < 1.0) {
+      return InvalidArgumentError("params.soft_threshold must be >= 1");
+    }
+  }
+
+  if (value_type == ValueKind::kCategorical) {
+    // §6 capability matrix for categorical values.
+    if (exclusion != ExclusionKind::kNone) {
+      return UnsupportedError(
+          "value-based exclusion cannot be applied to categorical values "
+          "(no mean or standard deviation)");
+    }
+    if (collation != CollationKind::kMajority) {
+      return UnsupportedError(
+          "the only collation method for categorical values is the "
+          "weighted majority vote");
+    }
+    if (!has_custom_distance) {
+      if (history == HistoryKind::kHybrid ||
+          history == HistoryKind::kSoftDynamicThreshold) {
+        return UnsupportedError(
+            "the hybrid/SDT history algorithms need a fine-grained "
+            "agreement definition; supply a custom distance metric to "
+            "re-enable them for categorical values");
+      }
+      if (bootstrapping || clustering_always) {
+        return UnsupportedError(
+            "clustering-based bootstrapping cannot be applied to "
+            "categorical values without a custom distance metric");
+      }
+    }
+  } else {
+    if (collation == CollationKind::kMajority) {
+      return UnsupportedError(
+          "majority collation applies to categorical values; numeric votes "
+          "use WEIGHTED_AVERAGE, MEAN_NEAREST_NEIGHBOR or WEIGHTED_MEDIAN");
+    }
+  }
+  return Status::Ok();
+}
+
+json::Value Spec::ToJson() const {
+  json::Object obj;
+  obj.Set("algorithm_name", algorithm_name);
+  obj.Set("value_type", ToToken(value_type));
+  obj.Set("quorum", ToToken(quorum));
+  if (quorum == QuorumMode::kCount) {
+    obj.Set("quorum_count", quorum_amount);
+  } else {
+    obj.Set("quorum_percentage", quorum_amount);
+  }
+  obj.Set("exclusion", ToToken(exclusion));
+  obj.Set("exclusion_threshold", exclusion_threshold);
+  obj.Set("history", ToToken(history));
+  json::Object params_obj;
+  for (const auto& [key, value] : params) params_obj.Set(key, value);
+  for (const auto& [key, value] : string_params) params_obj.Set(key, value);
+  obj.Set("params", std::move(params_obj));
+  obj.Set("collation", ToToken(collation));
+  obj.Set("bootstrapping", bootstrapping);
+  if (clustering_always) obj.Set("clustering_always", true);
+  json::Object fault;
+  fault.Set("on_no_quorum", ToToken(fault_policy.on_no_quorum));
+  fault.Set("on_no_majority", ToToken(fault_policy.on_no_majority));
+  obj.Set("fault_policy", std::move(fault));
+  return json::Value(std::move(obj));
+}
+
+Result<Spec> Spec::FromJson(const json::Value& value) {
+  if (!value.is_object()) {
+    return ParseError("VDX document must be a JSON object");
+  }
+  Spec spec;
+
+  const json::Value* name = value.Find("algorithm_name");
+  if (name == nullptr) return ParseError("missing algorithm_name");
+  AVOC_ASSIGN_OR_RETURN(spec.algorithm_name, name->AsString());
+
+  if (const json::Value* v = value.Find("value_type")) {
+    AVOC_ASSIGN_OR_RETURN(const std::string token, v->AsString());
+    AVOC_ASSIGN_OR_RETURN(spec.value_type, ParseValueKind(token));
+  }
+
+  if (const json::Value* v = value.Find("quorum")) {
+    AVOC_ASSIGN_OR_RETURN(const std::string token, v->AsString());
+    AVOC_ASSIGN_OR_RETURN(spec.quorum, ParseQuorumMode(token));
+  }
+  if (const json::Value* v = value.Find("quorum_percentage")) {
+    AVOC_ASSIGN_OR_RETURN(spec.quorum_amount, v->AsDouble());
+  }
+  if (const json::Value* v = value.Find("quorum_count")) {
+    AVOC_ASSIGN_OR_RETURN(spec.quorum_amount, v->AsDouble());
+  }
+
+  if (const json::Value* v = value.Find("exclusion")) {
+    AVOC_ASSIGN_OR_RETURN(const std::string token, v->AsString());
+    AVOC_ASSIGN_OR_RETURN(spec.exclusion, ParseExclusionKind(token));
+  }
+  if (const json::Value* v = value.Find("exclusion_threshold")) {
+    AVOC_ASSIGN_OR_RETURN(spec.exclusion_threshold, v->AsDouble());
+  }
+
+  if (const json::Value* v = value.Find("history")) {
+    AVOC_ASSIGN_OR_RETURN(const std::string token, v->AsString());
+    AVOC_ASSIGN_OR_RETURN(spec.history, ParseHistoryKind(token));
+  }
+
+  if (const json::Value* v = value.Find("params")) {
+    if (!v->is_object()) return ParseError("params must be an object");
+    for (const auto& [key, member] : v->object().entries()) {
+      if (member.is_number()) {
+        spec.params[key] = member.DoubleOr(0);
+      } else if (member.is_string()) {
+        spec.string_params[key] = member.StringOr("");
+      } else {
+        return ParseError("params values must be numbers or strings");
+      }
+    }
+  }
+
+  if (const json::Value* v = value.Find("collation")) {
+    AVOC_ASSIGN_OR_RETURN(const std::string token, v->AsString());
+    AVOC_ASSIGN_OR_RETURN(spec.collation, ParseCollationKind(token));
+  }
+
+  if (const json::Value* v = value.Find("bootstrapping")) {
+    AVOC_ASSIGN_OR_RETURN(spec.bootstrapping, v->AsBool());
+  }
+  if (const json::Value* v = value.Find("clustering_always")) {
+    AVOC_ASSIGN_OR_RETURN(spec.clustering_always, v->AsBool());
+  }
+
+  if (const json::Value* v = value.Find("fault_policy")) {
+    if (!v->is_object()) return ParseError("fault_policy must be an object");
+    if (const json::Value* q = v->Find("on_no_quorum")) {
+      AVOC_ASSIGN_OR_RETURN(const std::string token, q->AsString());
+      AVOC_ASSIGN_OR_RETURN(spec.fault_policy.on_no_quorum,
+                            ParseFaultAction(token));
+    }
+    if (const json::Value* m = v->Find("on_no_majority")) {
+      AVOC_ASSIGN_OR_RETURN(const std::string token, m->AsString());
+      AVOC_ASSIGN_OR_RETURN(spec.fault_policy.on_no_majority,
+                            ParseFaultAction(token));
+    }
+  }
+  return spec;
+}
+
+Result<Spec> Spec::Parse(std::string_view text) {
+  AVOC_ASSIGN_OR_RETURN(const json::Value value, json::Parse(text));
+  return FromJson(value);
+}
+
+std::string Spec::Serialize() const { return json::WritePretty(ToJson()); }
+
+}  // namespace avoc::vdx

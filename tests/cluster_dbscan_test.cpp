@@ -1,0 +1,96 @@
+#include "cluster/dbscan.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace avoc::cluster {
+namespace {
+
+DbscanOptions Options(double eps, size_t min_points) {
+  DbscanOptions options;
+  options.eps = eps;
+  options.min_points = min_points;
+  return options;
+}
+
+TEST(DbscanTest, EmptyInput) {
+  const std::vector<double> empty;
+  const auto result = Dbscan1D(empty, Options(1.0, 2));
+  EXPECT_EQ(result.cluster_count, 0);
+  EXPECT_TRUE(result.labels.empty());
+}
+
+TEST(DbscanTest, TwoWellSeparatedClusters) {
+  const std::vector<double> values = {1.0, 1.1, 1.2, 10.0, 10.1, 10.2};
+  const auto result = Dbscan1D(values, Options(0.5, 2));
+  EXPECT_EQ(result.cluster_count, 2);
+  EXPECT_EQ(result.labels[0], result.labels[1]);
+  EXPECT_EQ(result.labels[3], result.labels[5]);
+  EXPECT_NE(result.labels[0], result.labels[3]);
+}
+
+TEST(DbscanTest, IsolatedPointIsNoise) {
+  const std::vector<double> values = {1.0, 1.1, 50.0};
+  const auto result = Dbscan1D(values, Options(0.5, 2));
+  EXPECT_EQ(result.labels[2], DbscanResult::kNoise);
+  EXPECT_EQ(result.cluster_count, 1);
+}
+
+TEST(DbscanTest, MinPointsOneMakesEverythingCore) {
+  const std::vector<double> values = {1.0, 50.0};
+  const auto result = Dbscan1D(values, Options(0.5, 1));
+  EXPECT_EQ(result.cluster_count, 2);
+  EXPECT_NE(result.labels[0], DbscanResult::kNoise);
+  EXPECT_NE(result.labels[1], DbscanResult::kNoise);
+}
+
+TEST(DbscanTest, HighMinPointsTurnsSparseDataToNoise) {
+  const std::vector<double> values = {1.0, 1.1, 1.2};
+  const auto result = Dbscan1D(values, Options(0.5, 5));
+  EXPECT_EQ(result.cluster_count, 0);
+  for (const int label : result.labels) {
+    EXPECT_EQ(label, DbscanResult::kNoise);
+  }
+}
+
+TEST(DbscanTest, BorderPointsJoinAdjacentCluster) {
+  // 2.0 is not core (only 1 neighbour within 0.5 besides itself... it has
+  // 1.6? no), but lies within eps of the core at 1.6.
+  const std::vector<double> values = {1.0, 1.2, 1.4, 1.6, 2.0};
+  const auto result = Dbscan1D(values, Options(0.45, 3));
+  EXPECT_EQ(result.cluster_count, 1);
+  EXPECT_NE(result.labels[4], DbscanResult::kNoise);
+}
+
+TEST(DbscanTest, ClustersNumberedByAscendingValue) {
+  const std::vector<double> values = {10.0, 10.1, 1.0, 1.1};
+  const auto result = Dbscan1D(values, Options(0.5, 2));
+  ASSERT_EQ(result.cluster_count, 2);
+  EXPECT_EQ(result.labels[2], 0);  // low cluster gets id 0
+  EXPECT_EQ(result.labels[0], 1);
+}
+
+TEST(DbscanTest, LabelsIndexOriginalOrder) {
+  const std::vector<double> values = {5.0, 1.0, 5.1, 1.1};
+  const auto result = Dbscan1D(values, Options(0.5, 2));
+  EXPECT_EQ(result.labels[1], result.labels[3]);
+  EXPECT_EQ(result.labels[0], result.labels[2]);
+  EXPECT_NE(result.labels[0], result.labels[1]);
+}
+
+TEST(DbscanTest, ChainedCoresMergeIntoOneCluster) {
+  const std::vector<double> values = {0.0, 0.4, 0.8, 1.2, 1.6, 2.0};
+  const auto result = Dbscan1D(values, Options(0.45, 2));
+  EXPECT_EQ(result.cluster_count, 1);
+}
+
+TEST(DbscanTest, DuplicateValuesClusterTogether) {
+  const std::vector<double> values = {3.0, 3.0, 3.0, 3.0};
+  const auto result = Dbscan1D(values, Options(0.1, 3));
+  EXPECT_EQ(result.cluster_count, 1);
+  for (const int label : result.labels) EXPECT_EQ(label, 0);
+}
+
+}  // namespace
+}  // namespace avoc::cluster

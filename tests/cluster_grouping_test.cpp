@@ -1,0 +1,162 @@
+#include "cluster/grouping.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace avoc::cluster {
+namespace {
+
+GroupingOptions Absolute(double threshold) {
+  GroupingOptions options;
+  options.threshold = threshold;
+  options.mode = ThresholdMode::kAbsolute;
+  return options;
+}
+
+GroupingOptions Relative(double threshold) {
+  GroupingOptions options;
+  options.threshold = threshold;
+  options.mode = ThresholdMode::kRelative;
+  return options;
+}
+
+TEST(GroupingTest, EmptyInputYieldsNoGroups) {
+  const std::vector<double> empty;
+  EXPECT_TRUE(GroupByThreshold(empty, Absolute(1.0)).groups.empty());
+}
+
+TEST(GroupingTest, SingleValueIsOneGroup) {
+  const std::vector<double> values = {5.0};
+  const auto result = GroupByThreshold(values, Absolute(1.0));
+  ASSERT_EQ(result.groups.size(), 1u);
+  EXPECT_EQ(result.largest().size(), 1u);
+  EXPECT_DOUBLE_EQ(result.largest().mean, 5.0);
+}
+
+TEST(GroupingTest, SplitsOnLargeGaps) {
+  const std::vector<double> values = {1.0, 1.2, 1.4, 10.0, 10.1};
+  const auto result = GroupByThreshold(values, Absolute(0.5));
+  ASSERT_EQ(result.groups.size(), 2u);
+  EXPECT_EQ(result.largest().size(), 3u);
+  EXPECT_NEAR(result.largest().mean, 1.2, 1e-12);
+}
+
+TEST(GroupingTest, SingleLinkageChains) {
+  // Consecutive gaps of 0.4 chain into one group even though the ends are
+  // 1.6 apart.
+  const std::vector<double> values = {0.0, 0.4, 0.8, 1.2, 1.6};
+  const auto result = GroupByThreshold(values, Absolute(0.5));
+  EXPECT_EQ(result.groups.size(), 1u);
+}
+
+TEST(GroupingTest, MembersIndexOriginalPositions) {
+  const std::vector<double> values = {10.0, 1.0, 10.2, 1.1};
+  const auto result = GroupByThreshold(values, Absolute(0.5));
+  ASSERT_EQ(result.groups.size(), 2u);
+  // Largest-tie broken by ascending mean: {1.0, 1.1} group first.
+  std::vector<size_t> low = result.groups[0].members;
+  std::sort(low.begin(), low.end());
+  EXPECT_EQ(low, (std::vector<size_t>{1, 3}));
+}
+
+TEST(GroupingTest, GroupsSortedBySizeThenMean) {
+  const std::vector<double> values = {1.0, 1.1, 1.2, 5.0, 9.0, 9.1, 9.2};
+  const auto result = GroupByThreshold(values, Absolute(0.5));
+  ASSERT_EQ(result.groups.size(), 3u);
+  EXPECT_EQ(result.groups[0].size(), 3u);
+  EXPECT_LT(result.groups[0].mean, result.groups[1].mean);
+  EXPECT_EQ(result.groups[2].size(), 1u);
+}
+
+TEST(GroupingTest, RelativeThresholdScalesWithMagnitude) {
+  // 5% of ~18500 is ~925: a 800 gap chains, an 1800 gap splits.
+  const std::vector<double> close = {18000.0, 18800.0};
+  EXPECT_EQ(GroupByThreshold(close, Relative(0.05)).groups.size(), 1u);
+  const std::vector<double> far = {18000.0, 19800.0};
+  EXPECT_EQ(GroupByThreshold(far, Relative(0.05)).groups.size(), 2u);
+}
+
+TEST(GroupingTest, RelativeFloorProtectsNearZero) {
+  GroupingOptions options = Relative(0.05);
+  options.relative_floor = 1.0;
+  const std::vector<double> values = {0.0, 0.04, -0.03};
+  EXPECT_EQ(GroupByThreshold(values, options).groups.size(), 1u);
+}
+
+TEST(GroupingTest, ThresholdMonotonicity) {
+  // Growing the threshold can only merge groups, never split them.
+  const std::vector<double> values = {0.0, 0.3, 1.0, 2.0, 2.2, 7.0};
+  size_t previous = 100;
+  for (const double t : {0.1, 0.35, 1.05, 5.0}) {
+    const size_t count = GroupByThreshold(values, Absolute(t)).groups.size();
+    EXPECT_LE(count, previous);
+    previous = count;
+  }
+  EXPECT_EQ(previous, 1u);
+}
+
+TEST(GroupingTest, DeterministicAcrossPermutations) {
+  std::vector<double> values = {3.0, 1.0, 2.0, 10.0, 11.0};
+  const auto baseline = GroupByThreshold(values, Absolute(1.5));
+  std::vector<double> shuffled = {11.0, 2.0, 10.0, 1.0, 3.0};
+  const auto permuted = GroupByThreshold(shuffled, Absolute(1.5));
+  ASSERT_EQ(baseline.groups.size(), permuted.groups.size());
+  for (size_t g = 0; g < baseline.groups.size(); ++g) {
+    EXPECT_DOUBLE_EQ(baseline.groups[g].mean, permuted.groups[g].mean);
+    EXPECT_EQ(baseline.groups[g].size(), permuted.groups[g].size());
+  }
+}
+
+TEST(GroupingTest, PartitionCoversAllIndicesOnce) {
+  const std::vector<double> values = {5.0, 1.0, 9.0, 5.1, 1.2, 8.9, 4.9};
+  const auto result = GroupByThreshold(values, Absolute(0.5));
+  std::vector<size_t> seen;
+  for (const Group& group : result.groups) {
+    seen.insert(seen.end(), group.members.begin(), group.members.end());
+  }
+  std::sort(seen.begin(), seen.end());
+  std::vector<size_t> expected(values.size());
+  std::iota(expected.begin(), expected.end(), size_t{0});
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(SelectWinningGroupTest, LargestWinsOutright) {
+  const std::vector<double> values = {1.0, 1.1, 9.0};
+  const auto grouping = GroupByThreshold(values, Absolute(0.5));
+  auto winner = SelectWinningGroup(grouping, values);
+  ASSERT_TRUE(winner.ok());
+  EXPECT_EQ(winner->size(), 2u);
+}
+
+TEST(SelectWinningGroupTest, TieBrokenByPreviousOutput) {
+  const std::vector<double> values = {1.0, 1.1, 9.0, 9.1};
+  const auto grouping = GroupByThreshold(values, Absolute(0.5));
+  const double near_high = 8.0;
+  auto winner = SelectWinningGroup(grouping, values, &near_high);
+  ASSERT_TRUE(winner.ok());
+  EXPECT_NEAR(winner->mean, 9.05, 1e-12);
+  const double near_low = 2.0;
+  winner = SelectWinningGroup(grouping, values, &near_low);
+  ASSERT_TRUE(winner.ok());
+  EXPECT_NEAR(winner->mean, 1.05, 1e-12);
+}
+
+TEST(SelectWinningGroupTest, TieWithoutPreviousUsesMedianProximity) {
+  const std::vector<double> values = {1.0, 9.0, 9.1, 1.1, 4.0};
+  const auto grouping = GroupByThreshold(values, Absolute(0.5));
+  // Median of values is 4.0; the low group (mean 1.05) is 2.95 away, the
+  // high group (9.05) is 5.05 away -> low group wins.
+  auto winner = SelectWinningGroup(grouping, values);
+  ASSERT_TRUE(winner.ok());
+  EXPECT_NEAR(winner->mean, 1.05, 1e-12);
+}
+
+TEST(SelectWinningGroupTest, ErrorsOnEmptyGrouping) {
+  GroupingResult empty;
+  const std::vector<double> values;
+  EXPECT_FALSE(SelectWinningGroup(empty, values).ok());
+}
+
+}  // namespace
+}  // namespace avoc::cluster

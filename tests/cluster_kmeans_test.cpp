@@ -1,0 +1,103 @@
+#include "cluster/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.h"
+
+namespace avoc::cluster {
+namespace {
+
+std::vector<Point> TwoBlobs(Rng& rng, size_t per_blob) {
+  std::vector<Point> points;
+  for (size_t i = 0; i < per_blob; ++i) {
+    points.push_back({rng.Gaussian(0.0, 0.5), rng.Gaussian(0.0, 0.5)});
+  }
+  for (size_t i = 0; i < per_blob; ++i) {
+    points.push_back({rng.Gaussian(10.0, 0.5), rng.Gaussian(10.0, 0.5)});
+  }
+  return points;
+}
+
+TEST(SquaredDistanceTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(SquaredDistance({0.0, 0.0}, {3.0, 4.0}), 25.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance({1.0}, {1.0}), 0.0);
+}
+
+TEST(KMeansTest, RejectsBadArguments) {
+  Rng rng(1);
+  const std::vector<Point> empty;
+  EXPECT_FALSE(KMeans(empty, 1, rng).ok());
+  const std::vector<Point> two = {{1.0}, {2.0}};
+  EXPECT_FALSE(KMeans(two, 0, rng).ok());
+  EXPECT_FALSE(KMeans(two, 3, rng).ok());
+  const std::vector<Point> ragged = {{1.0}, {2.0, 3.0}};
+  EXPECT_FALSE(KMeans(ragged, 1, rng).ok());
+}
+
+TEST(KMeansTest, KEqualsOneYieldsCentroidAtMean) {
+  Rng rng(2);
+  const std::vector<Point> points = {{0.0, 0.0}, {2.0, 2.0}, {4.0, 4.0}};
+  auto result = KMeans(points, 1, rng);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->centroids.size(), 1u);
+  EXPECT_NEAR(result->centroids[0][0], 2.0, 1e-9);
+  EXPECT_NEAR(result->centroids[0][1], 2.0, 1e-9);
+}
+
+TEST(KMeansTest, SeparatesTwoBlobs) {
+  Rng rng(3);
+  const std::vector<Point> points = TwoBlobs(rng, 50);
+  auto result = KMeans(points, 2, rng);
+  ASSERT_TRUE(result.ok());
+  // All points of the same blob share a label.
+  const size_t label_a = result->labels[0];
+  for (size_t i = 1; i < 50; ++i) EXPECT_EQ(result->labels[i], label_a);
+  const size_t label_b = result->labels[50];
+  for (size_t i = 51; i < 100; ++i) EXPECT_EQ(result->labels[i], label_b);
+  EXPECT_NE(label_a, label_b);
+}
+
+TEST(KMeansTest, InertiaIsSumOfSquaredResiduals) {
+  Rng rng(4);
+  const std::vector<Point> points = {{0.0}, {1.0}, {10.0}, {11.0}};
+  auto result = KMeans(points, 2, rng);
+  ASSERT_TRUE(result.ok());
+  // Optimal clustering: {0,1} and {10,11}, inertia = 0.25*4 = 1.0.
+  EXPECT_NEAR(result->inertia, 1.0, 1e-9);
+}
+
+TEST(KMeansTest, KEqualsNGivesZeroInertia) {
+  Rng rng(5);
+  const std::vector<Point> points = {{1.0}, {5.0}, {9.0}};
+  auto result = KMeans(points, 3, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->inertia, 0.0, 1e-12);
+}
+
+TEST(KMeansTest, DeterministicForSameSeed) {
+  Rng rng_a(6);
+  Rng rng_b(6);
+  const std::vector<Point> points = TwoBlobs(rng_a, 20);
+  Rng rng_c(6);
+  std::vector<Point> points_b = TwoBlobs(rng_c, 20);
+  auto a = KMeans(points, 2, rng_a);
+  Rng rng_a2(6);
+  (void)TwoBlobs(rng_a2, 20);
+  auto b = KMeans(points_b, 2, rng_a2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->labels, b->labels);
+}
+
+TEST(KMeansTest, DuplicatePointsDoNotCrashSeeding) {
+  Rng rng(7);
+  const std::vector<Point> points(10, Point{5.0, 5.0});
+  auto result = KMeans(points, 3, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->inertia, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace avoc::cluster

@@ -1,0 +1,103 @@
+#include "cluster/xmeans.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace avoc::cluster {
+namespace {
+
+std::vector<Point> Blobs(Rng& rng, std::vector<Point> centers,
+                         size_t per_blob, double spread) {
+  std::vector<Point> points;
+  for (const Point& center : centers) {
+    for (size_t i = 0; i < per_blob; ++i) {
+      Point p;
+      for (const double c : center) p.push_back(rng.Gaussian(c, spread));
+      points.push_back(std::move(p));
+    }
+  }
+  return points;
+}
+
+TEST(XMeansTest, RejectsBadArguments) {
+  Rng rng(1);
+  const std::vector<Point> empty;
+  EXPECT_FALSE(XMeans(empty, rng).ok());
+  const std::vector<Point> one = {{1.0}};
+  XMeansOptions bad;
+  bad.k_min = 0;
+  EXPECT_FALSE(XMeans(one, rng, bad).ok());
+  bad.k_min = 5;
+  bad.k_max = 2;
+  EXPECT_FALSE(XMeans(one, rng, bad).ok());
+}
+
+TEST(XMeansTest, FindsTwoClusters) {
+  Rng rng(2);
+  const auto points = Blobs(rng, {{0.0, 0.0}, {20.0, 20.0}}, 60, 0.5);
+  auto result = XMeans(points, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->centroids.size(), 2u);
+}
+
+TEST(XMeansTest, FindsThreeClusters) {
+  Rng rng(3);
+  const auto points =
+      Blobs(rng, {{0.0}, {50.0}, {100.0}}, 80, 1.0);
+  auto result = XMeans(points, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->centroids.size(), 3u);
+}
+
+TEST(XMeansTest, SingleTightBlobStaysOneCluster) {
+  Rng rng(4);
+  const auto points = Blobs(rng, {{5.0, 5.0}}, 100, 0.3);
+  auto result = XMeans(points, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->centroids.size(), 1u);
+}
+
+TEST(XMeansTest, RespectsKMax) {
+  Rng rng(5);
+  const auto points =
+      Blobs(rng, {{0.0}, {30.0}, {60.0}, {90.0}}, 40, 0.5);
+  XMeansOptions options;
+  options.k_max = 2;
+  auto result = XMeans(points, rng, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->centroids.size(), 2u);
+}
+
+TEST(XMeansTest, RespectsKMin) {
+  Rng rng(6);
+  const auto points = Blobs(rng, {{5.0}}, 50, 0.2);
+  XMeansOptions options;
+  options.k_min = 2;
+  auto result = XMeans(points, rng, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->centroids.size(), 2u);
+}
+
+TEST(BicScoreTest, TwoClusterModelBeatsOneForSeparatedData) {
+  Rng rng(7);
+  const auto points = Blobs(rng, {{0.0}, {100.0}}, 50, 1.0);
+  auto one = KMeans(points, 1, rng);
+  auto two = KMeans(points, 2, rng);
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(two.ok());
+  EXPECT_GT(BicScore(points, *two), BicScore(points, *one));
+}
+
+TEST(BicScoreTest, PenalisesOverfittingOnOneBlob) {
+  Rng rng(8);
+  const auto points = Blobs(rng, {{0.0}}, 100, 1.0);
+  auto one = KMeans(points, 1, rng);
+  auto five = KMeans(points, 5, rng);
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(five.ok());
+  EXPECT_GT(BicScore(points, *one), BicScore(points, *five));
+}
+
+}  // namespace
+}  // namespace avoc::cluster

@@ -1,0 +1,141 @@
+#include "core/agreement.h"
+
+#include <gtest/gtest.h>
+
+namespace avoc::core {
+namespace {
+
+AgreementParams Binary(double error, ThresholdScale scale) {
+  AgreementParams params;
+  params.error = error;
+  params.mode = AgreementMode::kBinary;
+  params.scale = scale;
+  return params;
+}
+
+AgreementParams Soft(double error, double multiple, ThresholdScale scale) {
+  AgreementParams params;
+  params.error = error;
+  params.soft_multiple = multiple;
+  params.mode = AgreementMode::kSoftDynamic;
+  params.scale = scale;
+  return params;
+}
+
+TEST(AgreementTest, BinaryAbsoluteThreshold) {
+  const auto params = Binary(1.0, ThresholdScale::kAbsolute);
+  EXPECT_DOUBLE_EQ(AgreementScore(5.0, 5.5, params), 1.0);
+  EXPECT_DOUBLE_EQ(AgreementScore(5.0, 6.0, params), 1.0);  // boundary in
+  EXPECT_DOUBLE_EQ(AgreementScore(5.0, 6.1, params), 0.0);
+}
+
+TEST(AgreementTest, BinaryRelativeScalesWithMagnitude) {
+  const auto params = Binary(0.05, ThresholdScale::kRelative);
+  // margin = 0.05 * 18500 = 925.
+  EXPECT_DOUBLE_EQ(AgreementScore(18500.0, 18500.0 + 900.0, params), 1.0);
+  EXPECT_DOUBLE_EQ(AgreementScore(18500.0, 18500.0 + 1000.0, params), 0.0);
+  // Same absolute gap at small magnitude disagrees.
+  EXPECT_DOUBLE_EQ(AgreementScore(10.0, 910.0, params), 0.0);
+}
+
+TEST(AgreementTest, SymmetricInArguments) {
+  const auto soft = Soft(0.05, 2.0, ThresholdScale::kRelative);
+  const auto binary = Binary(0.05, ThresholdScale::kRelative);
+  for (const double a : {10.0, 100.0, -50.0}) {
+    for (const double b : {12.0, 104.0, -53.0}) {
+      EXPECT_DOUBLE_EQ(AgreementScore(a, b, soft), AgreementScore(b, a, soft));
+      EXPECT_DOUBLE_EQ(AgreementScore(a, b, binary),
+                       AgreementScore(b, a, binary));
+    }
+  }
+}
+
+TEST(AgreementTest, SelfAgreementIsOne) {
+  const auto params = Soft(0.05, 2.0, ThresholdScale::kRelative);
+  EXPECT_DOUBLE_EQ(AgreementScore(42.0, 42.0, params), 1.0);
+  EXPECT_DOUBLE_EQ(AgreementScore(0.0, 0.0, params), 1.0);
+  EXPECT_DOUBLE_EQ(AgreementScore(-7.0, -7.0, params), 1.0);
+}
+
+TEST(AgreementTest, SoftTaperIsLinearBetweenThresholds) {
+  // Absolute: margin 1, soft multiple 3 -> taper from 1 at d=1 to 0 at d=3.
+  const auto params = Soft(1.0, 3.0, ThresholdScale::kAbsolute);
+  EXPECT_DOUBLE_EQ(AgreementScore(0.0, 1.0, params), 1.0);
+  EXPECT_DOUBLE_EQ(AgreementScore(0.0, 2.0, params), 0.5);
+  EXPECT_DOUBLE_EQ(AgreementScore(0.0, 3.0, params), 0.0);
+  EXPECT_DOUBLE_EQ(AgreementScore(0.0, 4.0, params), 0.0);
+  // Monotone decrease across the band.
+  double previous = 1.1;
+  for (double d = 0.0; d <= 4.0; d += 0.1) {
+    const double score = AgreementScore(0.0, d, params);
+    EXPECT_LE(score, previous + 1e-12);
+    previous = score;
+  }
+}
+
+TEST(AgreementTest, SoftMultipleBelowOneActsBinary) {
+  const auto params = Soft(1.0, 0.5, ThresholdScale::kAbsolute);
+  EXPECT_DOUBLE_EQ(AgreementScore(0.0, 0.9, params), 1.0);
+  EXPECT_DOUBLE_EQ(AgreementScore(0.0, 1.1, params), 0.0);
+}
+
+TEST(AgreementTest, RelativeFloorGuardsZeroNeighbourhood) {
+  auto params = Binary(0.05, ThresholdScale::kRelative);
+  params.relative_floor = 1.0;
+  // Without the floor the margin at (0, 0.01) would be 0.05*0.01.
+  EXPECT_DOUBLE_EQ(AgreementScore(0.0, 0.01, params), 1.0);
+}
+
+TEST(AgreementTest, NegativeValuesUseMagnitude) {
+  const auto params = Binary(0.1, ThresholdScale::kRelative);
+  // margin = 0.1 * 80 = 8: RSSI-style negative values work.
+  EXPECT_DOUBLE_EQ(AgreementScore(-80.0, -75.0, params), 1.0);
+  EXPECT_DOUBLE_EQ(AgreementScore(-80.0, -70.0, params), 0.0);
+}
+
+TEST(EffectiveMarginTest, ModesAndScale) {
+  const auto abs_params = Binary(2.5, ThresholdScale::kAbsolute);
+  EXPECT_DOUBLE_EQ(EffectiveMargin(100.0, 200.0, abs_params), 2.5);
+  const auto rel_params = Binary(0.1, ThresholdScale::kRelative);
+  EXPECT_DOUBLE_EQ(EffectiveMargin(100.0, 200.0, rel_params), 20.0);
+  EXPECT_DOUBLE_EQ(EffectiveMargin(-300.0, 200.0, rel_params), 30.0);
+}
+
+TEST(AgreementScoresTest, SingleAndEmpty) {
+  const auto params = Binary(1.0, ThresholdScale::kAbsolute);
+  const std::vector<double> one = {5.0};
+  EXPECT_EQ(AgreementScores(one, params), (std::vector<double>{1.0}));
+  const std::vector<double> none;
+  EXPECT_TRUE(AgreementScores(none, params).empty());
+}
+
+TEST(AgreementScoresTest, MeanPairwiseAgreement) {
+  const auto params = Binary(1.0, ThresholdScale::kAbsolute);
+  // {0, 0.5, 10}: 0 and 0.5 agree; 10 agrees with nobody.
+  const std::vector<double> values = {0.0, 0.5, 10.0};
+  const auto scores = AgreementScores(values, params);
+  EXPECT_DOUBLE_EQ(scores[0], 0.5);
+  EXPECT_DOUBLE_EQ(scores[1], 0.5);
+  EXPECT_DOUBLE_EQ(scores[2], 0.0);
+}
+
+TEST(AgreementScoresTest, FullConsensusScoresOne) {
+  const auto params = Binary(1.0, ThresholdScale::kAbsolute);
+  const std::vector<double> values = {1.0, 1.2, 0.9, 1.1};
+  for (const double s : AgreementScores(values, params)) {
+    EXPECT_DOUBLE_EQ(s, 1.0);
+  }
+}
+
+TEST(LargestAgreementGroupTest, CountsChainedGroup) {
+  const auto params = Binary(1.0, ThresholdScale::kAbsolute);
+  const std::vector<double> values = {0.0, 0.8, 1.6, 10.0};
+  EXPECT_EQ(LargestAgreementGroup(values, params), 3u);
+  const std::vector<double> spread = {0.0, 5.0, 10.0};
+  EXPECT_EQ(LargestAgreementGroup(spread, params), 1u);
+  const std::vector<double> empty;
+  EXPECT_EQ(LargestAgreementGroup(empty, params), 0u);
+}
+
+}  // namespace
+}  // namespace avoc::core

@@ -1,0 +1,93 @@
+#include "core/batch.h"
+
+#include <gtest/gtest.h>
+
+namespace avoc::core {
+namespace {
+
+data::RoundTable SmallTable() {
+  data::RoundTable table({"a", "b", "c"});
+  EXPECT_TRUE(table.AppendRound({10.0, 10.2, 9.8}).ok());
+  EXPECT_TRUE(table.AppendRound({10.1, 10.3, 9.9}).ok());
+  EXPECT_TRUE(table.AppendRound({{10.0}, std::nullopt, {10.2}}).ok());
+  return table;
+}
+
+TEST(BatchTest, RunsEveryRound) {
+  auto batch = RunAlgorithm(AlgorithmId::kAverage, SmallTable());
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->rounds.size(), 3u);
+  EXPECT_EQ(batch->outputs.size(), 3u);
+  EXPECT_EQ(batch->voted_rounds(), 3u);
+  EXPECT_NEAR(*batch->outputs[0], 10.0, 1e-9);
+  EXPECT_NEAR(*batch->outputs[2], 10.1, 1e-9);
+}
+
+TEST(BatchTest, ModuleCountMismatchRejected) {
+  auto engine = MakeEngine(AlgorithmId::kAverage, 5);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_FALSE(RunOverTable(*engine, SmallTable()).ok());
+}
+
+TEST(BatchTest, EngineStatePersistsAcrossRounds) {
+  data::RoundTable table({"a", "b", "c"});
+  for (int r = 0; r < 5; ++r) {
+    ASSERT_TRUE(table.AppendRound({10.0, 10.2, 11.0}).ok());
+  }
+  // Absolute 0.5 margin: the outlier at 11.0 is the only module outside
+  // the margin of the fused output.
+  PresetParams params;
+  params.error = 0.5;
+  params.scale = ThresholdScale::kAbsolute;
+  auto batch = RunAlgorithm(AlgorithmId::kModuleElimination, table, params);
+  ASSERT_TRUE(batch.ok());
+  // The chronic outlier gets eliminated from round 2 on.
+  EXPECT_FALSE(batch->rounds[0].eliminated[2]);
+  for (size_t r = 1; r < 5; ++r) {
+    EXPECT_TRUE(batch->rounds[r].eliminated[2]) << "round " << r;
+  }
+}
+
+TEST(BatchTest, ContinuousOutputsFillGaps) {
+  BatchResult batch;
+  batch.outputs = {std::nullopt, 5.0, std::nullopt, 7.0};
+  const auto continuous = batch.ContinuousOutputs();
+  EXPECT_EQ(continuous, (std::vector<double>{5.0, 5.0, 5.0, 7.0}));
+}
+
+TEST(BatchTest, ContinuousOutputsAllMissing) {
+  BatchResult batch;
+  batch.outputs = {std::nullopt, std::nullopt};
+  EXPECT_EQ(batch.ContinuousOutputs(), (std::vector<double>{0.0, 0.0}));
+}
+
+TEST(BatchTest, ClusteredRoundsCounted) {
+  auto cov = RunAlgorithm(AlgorithmId::kClusteringOnly, SmallTable());
+  ASSERT_TRUE(cov.ok());
+  EXPECT_EQ(cov->clustered_rounds(), 3u);
+  auto avg = RunAlgorithm(AlgorithmId::kAverage, SmallTable());
+  ASSERT_TRUE(avg.ok());
+  EXPECT_EQ(avg->clustered_rounds(), 0u);
+}
+
+TEST(BatchTest, EmptyTableYieldsEmptyBatch) {
+  data::RoundTable empty({"a", "b"});
+  auto batch = RunAlgorithm(AlgorithmId::kAverage, empty);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_TRUE(batch->rounds.empty());
+  EXPECT_TRUE(batch->ContinuousOutputs().empty());
+}
+
+TEST(BatchTest, PresetParamsReachTheEngine) {
+  // With an absurdly small absolute threshold every candidate disagrees;
+  // COV still votes but each value forms its own cluster.
+  PresetParams params;
+  params.error = 1e-9;
+  params.scale = ThresholdScale::kAbsolute;
+  auto batch = RunAlgorithm(AlgorithmId::kAverage, SmallTable(), params);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_FALSE(batch->rounds[0].had_majority);
+}
+
+}  // namespace
+}  // namespace avoc::core

@@ -1,0 +1,216 @@
+#include "core/categorical.h"
+
+#include <gtest/gtest.h>
+
+namespace avoc::core {
+namespace {
+
+using Label = CategoricalEngine::Label;
+
+CategoricalConfig StandardConfig() {
+  CategoricalConfig config;
+  config.history.rule = HistoryRule::kCumulativeRatio;
+  config.quorum_fraction = 0.5;
+  return config;
+}
+
+CategoricalEngine MustCreate(size_t modules, CategoricalConfig config) {
+  auto engine = CategoricalEngine::Create(modules, std::move(config));
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  return std::move(*engine);
+}
+
+std::vector<Label> Round(std::initializer_list<const char*> labels) {
+  std::vector<Label> round;
+  for (const char* label : labels) {
+    if (label == nullptr) {
+      round.push_back(std::nullopt);
+    } else {
+      round.emplace_back(label);
+    }
+  }
+  return round;
+}
+
+TEST(CategoricalTest, CreateValidates) {
+  CategoricalConfig config = StandardConfig();
+  config.quorum_fraction = 0.0;
+  EXPECT_FALSE(CategoricalEngine::Create(3, config).ok());
+  config = StandardConfig();
+  config.quorum_min_count = 0;
+  EXPECT_FALSE(CategoricalEngine::Create(3, config).ok());
+  config = StandardConfig();
+  config.distance = LevenshteinDistance;
+  config.error = 1.5;
+  EXPECT_FALSE(CategoricalEngine::Create(3, config).ok());
+  EXPECT_FALSE(CategoricalEngine::Create(0, StandardConfig()).ok());
+}
+
+TEST(CategoricalTest, PluralityWinner) {
+  CategoricalEngine engine = MustCreate(3, StandardConfig());
+  auto result = engine.CastVote(Round({"open", "open", "closed"}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcome, RoundOutcome::kVoted);
+  EXPECT_EQ(*result->value, "open");
+  EXPECT_TRUE(result->had_majority);
+}
+
+TEST(CategoricalTest, ArityEnforced) {
+  CategoricalEngine engine = MustCreate(3, StandardConfig());
+  EXPECT_FALSE(engine.CastVote(Round({"a", "b"})).ok());
+}
+
+TEST(CategoricalTest, MissingValuesIgnored) {
+  CategoricalEngine engine = MustCreate(4, StandardConfig());
+  auto result = engine.CastVote(Round({"x", nullptr, "x", "y"}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result->value, "x");
+  EXPECT_EQ(result->present_count, 3u);
+}
+
+TEST(CategoricalTest, QuorumFailureReverts) {
+  CategoricalConfig config = StandardConfig();
+  config.quorum_fraction = 0.75;
+  CategoricalEngine engine = MustCreate(4, config);
+  ASSERT_TRUE(engine.CastVote(Round({"a", "a", "a", "a"})).ok());
+  auto result = engine.CastVote(Round({"b", nullptr, nullptr, nullptr}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcome, RoundOutcome::kRevertedLast);
+  EXPECT_EQ(*result->value, "a");
+}
+
+TEST(CategoricalTest, QuorumRaisePolicy) {
+  CategoricalConfig config = StandardConfig();
+  config.quorum_fraction = 1.0;
+  config.on_no_quorum = NoQuorumPolicy::kRaise;
+  CategoricalEngine engine = MustCreate(2, config);
+  auto result = engine.CastVote(Round({"a", nullptr}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcome, RoundOutcome::kError);
+  EXPECT_EQ(result->status.code(), ErrorCode::kNoQuorum);
+}
+
+TEST(CategoricalTest, HistoryWeighsChronicDisagreers) {
+  CategoricalEngine engine = MustCreate(3, StandardConfig());
+  // Module 2 always dissents; its record decays.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(engine.CastVote(Round({"up", "up", "down"})).ok());
+  }
+  EXPECT_LT(engine.history().record(2), 0.2);
+  EXPECT_DOUBLE_EQ(engine.history().record(0), 1.0);
+}
+
+TEST(CategoricalTest, WeightedPluralityCanOverruleRawCount) {
+  CategoricalEngine engine = MustCreate(5, StandardConfig());
+  // Modules 3 and 4 destroy their records first.
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        engine.CastVote(Round({"up", "up", "up", "down", "down"})).ok());
+  }
+  // Now 3 reliable modules say "left"... two say "right" plus the two
+  // distrusted ones: raw count would be 3 vs 2, weighted too.  Flip it:
+  // two reliable say "right", one reliable says "left", two distrusted say
+  // "left": raw count left=3, right=2; weighted right ≈ 2, left ≈ 1+ε.
+  auto result = engine.CastVote(Round({"left", "right", "right", "left",
+                                       "left"}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result->value, "right");
+  EXPECT_FALSE(result->had_majority);  // 2 of 5 supporters
+}
+
+TEST(CategoricalTest, ModuleEliminationExcludesBadModules) {
+  CategoricalConfig config = StandardConfig();
+  config.module_elimination = true;
+  CategoricalEngine engine = MustCreate(3, config);
+  ASSERT_TRUE(engine.CastVote(Round({"a", "a", "z"})).ok());
+  auto result = engine.CastVote(Round({"a", "a", "z"}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->eliminated[2]);
+  EXPECT_DOUBLE_EQ(result->weights[2], 0.0);
+}
+
+TEST(CategoricalTest, TieBreaksTowardPreviousOutput) {
+  CategoricalConfig config;
+  config.history.rule = HistoryRule::kNone;
+  CategoricalEngine engine = MustCreate(2, config);
+  ASSERT_TRUE(engine.CastVote(Round({"b", "b"})).ok());
+  auto result = engine.CastVote(Round({"a", "b"}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result->value, "b");  // previous output wins the tie
+}
+
+TEST(CategoricalTest, TieWithoutPreviousIsDeterministic) {
+  CategoricalConfig config;
+  config.history.rule = HistoryRule::kNone;
+  CategoricalEngine engine = MustCreate(2, config);
+  auto result = engine.CastVote(Round({"b", "a"}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result->value, "a");  // lexicographically smallest
+}
+
+TEST(CategoricalTest, NoMajorityPolicyEmitNothing) {
+  CategoricalConfig config = StandardConfig();
+  config.on_no_majority = NoMajorityPolicy::kEmitNothing;
+  CategoricalEngine engine = MustCreate(4, config);
+  auto result = engine.CastVote(Round({"a", "a", "b", "b"}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcome, RoundOutcome::kNoOutput);
+}
+
+TEST(CategoricalTest, AllRecordsZeroFallsBackToUnweighted) {
+  CategoricalConfig config = StandardConfig();
+  config.history.rule = HistoryRule::kRewardPenalty;
+  config.history.penalty = 1.0;
+  CategoricalEngine engine = MustCreate(2, config);
+  // Both modules always disagree with each other; records hit 0 fast.
+  ASSERT_TRUE(engine.CastVote(Round({"a", "b"})).ok());
+  ASSERT_TRUE(engine.CastVote(Round({"c", "d"})).ok());
+  auto result = engine.CastVote(Round({"e", "f"}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcome, RoundOutcome::kVoted);
+  ASSERT_TRUE(result->value.has_value());
+}
+
+TEST(CategoricalTest, CustomDistanceEnablesFuzzyAgreement) {
+  CategoricalConfig config = StandardConfig();
+  config.distance = LevenshteinDistance;
+  config.error = 0.25;  // up to a quarter of characters may differ
+  CategoricalEngine engine = MustCreate(3, config);
+  // "colour" vs "color": distance 1/6 ≈ 0.17 <= 0.25 -> agreement.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(engine.CastVote(Round({"colour", "color", "colour"})).ok());
+  }
+  // The dissenting spelling still counts as agreeing with the output.
+  EXPECT_DOUBLE_EQ(engine.history().record(1), 1.0);
+}
+
+TEST(CategoricalTest, ResetClearsState) {
+  CategoricalEngine engine = MustCreate(2, StandardConfig());
+  ASSERT_TRUE(engine.CastVote(Round({"a", "b"})).ok());
+  engine.Reset();
+  EXPECT_FALSE(engine.last_output().has_value());
+  EXPECT_TRUE(engine.history().AllRecordsAre(1.0));
+}
+
+TEST(LevenshteinTest, KnownDistances) {
+  EXPECT_DOUBLE_EQ(LevenshteinDistance("abc", "abc"), 0.0);
+  EXPECT_DOUBLE_EQ(LevenshteinDistance("", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinDistance("abc", ""), 1.0);
+  EXPECT_NEAR(LevenshteinDistance("kitten", "sitting"), 3.0 / 7.0, 1e-12);
+  EXPECT_NEAR(LevenshteinDistance("abcd", "abxd"), 0.25, 1e-12);
+}
+
+TEST(LevenshteinTest, SymmetricAndBounded) {
+  const std::vector<std::string> words = {"alpha", "beta", "alphabet", ""};
+  for (const auto& a : words) {
+    for (const auto& b : words) {
+      const double d = LevenshteinDistance(a, b);
+      EXPECT_DOUBLE_EQ(d, LevenshteinDistance(b, a));
+      EXPECT_GE(d, 0.0);
+      EXPECT_LE(d, 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace avoc::core

@@ -1,0 +1,146 @@
+#include "core/collation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace avoc::core {
+namespace {
+
+const std::optional<double> kNoPrevious;
+
+TEST(CollationTest, WeightedAverageBasic) {
+  const std::vector<double> values = {10.0, 20.0};
+  const std::vector<double> weights = {1.0, 3.0};
+  auto result = Collate(Collation::kWeightedAverage, values, weights,
+                        kNoPrevious);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(*result, 17.5);
+}
+
+TEST(CollationTest, UniformWeightsGiveMean) {
+  const std::vector<double> values = {1.0, 2.0, 6.0};
+  const std::vector<double> weights = {1.0, 1.0, 1.0};
+  auto result =
+      Collate(Collation::kWeightedAverage, values, weights, kNoPrevious);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(*result, 3.0);
+}
+
+TEST(CollationTest, ZeroWeightCandidatesIgnored) {
+  const std::vector<double> values = {10.0, 9999.0};
+  const std::vector<double> weights = {2.0, 0.0};
+  auto result =
+      Collate(Collation::kWeightedAverage, values, weights, kNoPrevious);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(*result, 10.0);
+}
+
+TEST(CollationTest, ErrorsOnDegenerateInputs) {
+  const std::vector<double> none;
+  EXPECT_FALSE(Collate(Collation::kWeightedAverage, none, none, kNoPrevious)
+                   .ok());
+  const std::vector<double> values = {1.0, 2.0};
+  const std::vector<double> short_weights = {1.0};
+  EXPECT_FALSE(Collate(Collation::kWeightedAverage, values, short_weights,
+                       kNoPrevious)
+                   .ok());
+  const std::vector<double> zero_weights = {0.0, 0.0};
+  EXPECT_FALSE(Collate(Collation::kWeightedAverage, values, zero_weights,
+                       kNoPrevious)
+                   .ok());
+  EXPECT_FALSE(Collate(Collation::kMeanNearestNeighbor, values, zero_weights,
+                       kNoPrevious)
+                   .ok());
+  EXPECT_FALSE(Collate(Collation::kWeightedMedian, values, zero_weights,
+                       kNoPrevious)
+                   .ok());
+}
+
+TEST(CollationTest, MnnSelectsRealCandidate) {
+  const std::vector<double> values = {10.0, 20.0, 30.0};
+  const std::vector<double> weights = {1.0, 1.0, 2.0};
+  // Weighted mean = 22.5 -> nearest candidate is 20.
+  auto result =
+      Collate(Collation::kMeanNearestNeighbor, values, weights, kNoPrevious);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(*result, 20.0);
+}
+
+TEST(CollationTest, MnnNeverSelectsZeroWeightCandidate) {
+  // Mean of weighted candidates is 15; the zero-weight 15.1 is nearest but
+  // ineligible.
+  const std::vector<double> values = {10.0, 20.0, 15.1};
+  const std::vector<double> weights = {1.0, 1.0, 0.0};
+  auto result =
+      Collate(Collation::kMeanNearestNeighbor, values, weights, kNoPrevious);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(*result == 10.0 || *result == 20.0);
+}
+
+TEST(CollationTest, MnnTieBrokenByPreviousOutput) {
+  // Mean = 15: candidates 10 and 20 are equidistant.
+  const std::vector<double> values = {10.0, 20.0};
+  const std::vector<double> weights = {1.0, 1.0};
+  auto high = Collate(Collation::kMeanNearestNeighbor, values, weights,
+                      std::optional<double>(19.0));
+  ASSERT_TRUE(high.ok());
+  EXPECT_DOUBLE_EQ(*high, 20.0);
+  auto low = Collate(Collation::kMeanNearestNeighbor, values, weights,
+                     std::optional<double>(11.0));
+  ASSERT_TRUE(low.ok());
+  EXPECT_DOUBLE_EQ(*low, 10.0);
+}
+
+TEST(CollationTest, MnnOutputIsAlwaysACandidate) {
+  const std::vector<double> values = {3.0, 7.0, 12.0, 40.0};
+  const std::vector<double> weights = {0.2, 0.9, 0.4, 0.1};
+  auto result =
+      Collate(Collation::kMeanNearestNeighbor, values, weights, kNoPrevious);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(std::find(values.begin(), values.end(), *result) !=
+              values.end());
+}
+
+TEST(CollationTest, WeightedMedianOddUniform) {
+  const std::vector<double> values = {5.0, 1.0, 9.0};
+  const std::vector<double> weights = {1.0, 1.0, 1.0};
+  auto result =
+      Collate(Collation::kWeightedMedian, values, weights, kNoPrevious);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(*result, 5.0);
+}
+
+TEST(CollationTest, WeightedMedianFollowsWeightMass) {
+  const std::vector<double> values = {1.0, 2.0, 3.0};
+  const std::vector<double> weights = {10.0, 1.0, 1.0};
+  auto result =
+      Collate(Collation::kWeightedMedian, values, weights, kNoPrevious);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(*result, 1.0);
+}
+
+TEST(CollationTest, WeightedMedianEvenSplitTakesMidpoint) {
+  const std::vector<double> values = {1.0, 3.0};
+  const std::vector<double> weights = {1.0, 1.0};
+  auto result =
+      Collate(Collation::kWeightedMedian, values, weights, kNoPrevious);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(*result, 2.0);
+}
+
+TEST(CollationTest, OutputInsideCandidateHull) {
+  const std::vector<double> values = {2.0, 8.0, 5.0};
+  const std::vector<double> weights = {0.5, 0.3, 0.9};
+  for (const Collation method :
+       {Collation::kWeightedAverage, Collation::kMeanNearestNeighbor,
+        Collation::kWeightedMedian}) {
+    auto result = Collate(method, values, weights, kNoPrevious);
+    ASSERT_TRUE(result.ok());
+    EXPECT_GE(*result, 2.0);
+    EXPECT_LE(*result, 8.0);
+  }
+}
+
+}  // namespace
+}  // namespace avoc::core

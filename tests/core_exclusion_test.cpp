@@ -1,0 +1,94 @@
+#include "core/exclusion.h"
+
+#include <gtest/gtest.h>
+
+namespace avoc::core {
+namespace {
+
+ExclusionParams StdDev(double threshold) {
+  ExclusionParams params;
+  params.mode = ExclusionMode::kStdDev;
+  params.threshold = threshold;
+  return params;
+}
+
+ExclusionParams Mad(double threshold) {
+  ExclusionParams params;
+  params.mode = ExclusionMode::kMad;
+  params.threshold = threshold;
+  return params;
+}
+
+size_t CountExcluded(const std::vector<bool>& flags) {
+  size_t count = 0;
+  for (const bool f : flags) {
+    if (f) ++count;
+  }
+  return count;
+}
+
+TEST(ExclusionTest, NoneKeepsEverything) {
+  const std::vector<double> values = {1.0, 100.0, -50.0};
+  const auto flags = ComputeExclusions(values, ExclusionParams{});
+  EXPECT_EQ(CountExcluded(flags), 0u);
+}
+
+TEST(ExclusionTest, StdDevDropsGrossOutlier) {
+  const std::vector<double> values = {10.0, 10.1, 9.9, 10.0, 10.2, 500.0};
+  const auto flags = ComputeExclusions(values, StdDev(2.0));
+  EXPECT_EQ(CountExcluded(flags), 1u);
+  EXPECT_TRUE(flags[5]);
+}
+
+TEST(ExclusionTest, StdDevKeepsTightCluster) {
+  const std::vector<double> values = {10.0, 10.1, 9.9, 10.05, 9.95};
+  const auto flags = ComputeExclusions(values, StdDev(3.0));
+  EXPECT_EQ(CountExcluded(flags), 0u);
+}
+
+TEST(ExclusionTest, MadIsRobustWhereStdDevIsNot) {
+  // The 1e6 outlier inflates the stddev so much that sigma-based exclusion
+  // at 2 sigma keeps it; MAD still rejects it.
+  const std::vector<double> values = {10.0, 10.5, 9.5, 10.2, 9.8, 1e6};
+  const auto sigma_flags = ComputeExclusions(values, StdDev(2.0));
+  EXPECT_TRUE(sigma_flags[5]);  // 2-sigma happens to catch it here
+  const auto mad_flags = ComputeExclusions(values, Mad(3.0));
+  EXPECT_TRUE(mad_flags[5]);
+  EXPECT_EQ(CountExcluded(mad_flags), 1u);
+}
+
+TEST(ExclusionTest, FewerThanThreeCandidatesNeverExcluded) {
+  const std::vector<double> two = {1.0, 100.0};
+  EXPECT_EQ(CountExcluded(ComputeExclusions(two, StdDev(0.1))), 0u);
+  const std::vector<double> one = {1.0};
+  EXPECT_EQ(CountExcluded(ComputeExclusions(one, StdDev(0.1))), 0u);
+}
+
+TEST(ExclusionTest, ZeroSpreadExcludesNothing) {
+  const std::vector<double> constant = {5.0, 5.0, 5.0, 5.0};
+  EXPECT_EQ(CountExcluded(ComputeExclusions(constant, StdDev(1.0))), 0u);
+  EXPECT_EQ(CountExcluded(ComputeExclusions(constant, Mad(1.0))), 0u);
+}
+
+TEST(ExclusionTest, NonPositiveThresholdDisables) {
+  const std::vector<double> values = {1.0, 2.0, 100.0};
+  EXPECT_EQ(CountExcluded(ComputeExclusions(values, StdDev(0.0))), 0u);
+  EXPECT_EQ(CountExcluded(ComputeExclusions(values, StdDev(-1.0))), 0u);
+}
+
+TEST(ExclusionTest, NeverExcludesEveryone) {
+  // Every value sits far from the mean; a tiny threshold would flag all of
+  // them, and the guard keeps them all instead.
+  const std::vector<double> values = {1.0, 9.0, 1.0, 9.0};
+  const auto flags = ComputeExclusions(values, StdDev(1e-6));
+  EXPECT_EQ(CountExcluded(flags), 0u);
+}
+
+TEST(ExclusionTest, MadZeroWithMajorityConstant) {
+  // Median 5, MAD 0 (3 of 5 identical): degenerate spread, keep all.
+  const std::vector<double> values = {5.0, 5.0, 5.0, 7.0, 3.0};
+  EXPECT_EQ(CountExcluded(ComputeExclusions(values, Mad(2.0))), 0u);
+}
+
+}  // namespace
+}  // namespace avoc::core

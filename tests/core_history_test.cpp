@@ -1,0 +1,180 @@
+#include "core/history.h"
+
+#include <gtest/gtest.h>
+
+namespace avoc::core {
+namespace {
+
+HistoryParams RewardPenalty(double reward, double penalty,
+                            double missing_penalty = 0.0) {
+  HistoryParams params;
+  params.rule = HistoryRule::kRewardPenalty;
+  params.reward = reward;
+  params.penalty = penalty;
+  params.missing_penalty = missing_penalty;
+  return params;
+}
+
+HistoryParams Cumulative() {
+  HistoryParams params;
+  params.rule = HistoryRule::kCumulativeRatio;
+  return params;
+}
+
+std::vector<double> Agreements(std::initializer_list<double> values) {
+  return std::vector<double>(values);
+}
+
+TEST(HistoryLedgerTest, FreshSetStartsAtOne) {
+  const HistoryLedger ledger(4, Cumulative());
+  EXPECT_EQ(ledger.module_count(), 4u);
+  EXPECT_TRUE(ledger.AllRecordsAre(1.0));
+  EXPECT_DOUBLE_EQ(ledger.MeanRecord(), 1.0);
+  EXPECT_EQ(ledger.round_count(), 0u);
+}
+
+TEST(HistoryLedgerTest, UpdateRejectsArityMismatch) {
+  HistoryLedger ledger(2, Cumulative());
+  EXPECT_FALSE(ledger.Update(Agreements({1.0}), {true, true}).ok());
+  EXPECT_FALSE(ledger.Update(Agreements({1.0, 1.0}), {true}).ok());
+}
+
+TEST(HistoryLedgerTest, NoneRuleKeepsRecordsPinned) {
+  HistoryParams params;
+  params.rule = HistoryRule::kNone;
+  HistoryLedger ledger(2, params);
+  ASSERT_TRUE(ledger.Update(Agreements({0.0, 0.0}), {true, true}).ok());
+  EXPECT_TRUE(ledger.AllRecordsAre(1.0));
+  EXPECT_EQ(ledger.round_count(), 1u);
+}
+
+TEST(HistoryLedgerTest, CumulativeRatioDecaysLikeOneOverT) {
+  HistoryLedger ledger(1, Cumulative());
+  // Chronic disagreer: record after t rounds = 1/(1+t).
+  for (size_t t = 1; t <= 10; ++t) {
+    ASSERT_TRUE(ledger.Update(Agreements({0.0}), {true}).ok());
+    EXPECT_NEAR(ledger.record(0), 1.0 / (1.0 + static_cast<double>(t)),
+                1e-12);
+  }
+  // Never reaches zero exactly — the paper's "skew is not eliminated
+  // completely" behaviour.
+  EXPECT_GT(ledger.record(0), 0.0);
+}
+
+TEST(HistoryLedgerTest, CumulativeRatioStaysAtOneWhileAgreeing) {
+  HistoryLedger ledger(1, Cumulative());
+  for (int t = 0; t < 5; ++t) {
+    ASSERT_TRUE(ledger.Update(Agreements({1.0}), {true}).ok());
+    EXPECT_DOUBLE_EQ(ledger.record(0), 1.0);
+  }
+}
+
+TEST(HistoryLedgerTest, CumulativeRatioRecovers) {
+  HistoryLedger ledger(1, Cumulative());
+  ASSERT_TRUE(ledger.Update(Agreements({0.0}), {true}).ok());
+  const double damaged = ledger.record(0);
+  for (int t = 0; t < 20; ++t) {
+    ASSERT_TRUE(ledger.Update(Agreements({1.0}), {true}).ok());
+  }
+  EXPECT_GT(ledger.record(0), damaged);
+  EXPECT_GT(ledger.record(0), 0.9);
+}
+
+TEST(HistoryLedgerTest, RewardPenaltyDropsToZeroAndClamps) {
+  HistoryLedger ledger(1, RewardPenalty(0.05, 0.3));
+  for (int t = 0; t < 10; ++t) {
+    ASSERT_TRUE(ledger.Update(Agreements({0.0}), {true}).ok());
+  }
+  // 1 - 10*0.3 clamps at 0 — "weights can drop to 0".
+  EXPECT_DOUBLE_EQ(ledger.record(0), 0.0);
+  EXPECT_TRUE(ledger.AllRecordsAre(0.0));
+}
+
+TEST(HistoryLedgerTest, RewardPenaltyClampsAtOne) {
+  HistoryLedger ledger(1, RewardPenalty(0.5, 0.3));
+  ASSERT_TRUE(ledger.Update(Agreements({1.0}), {true}).ok());
+  EXPECT_DOUBLE_EQ(ledger.record(0), 1.0);
+}
+
+TEST(HistoryLedgerTest, PartialAgreementBlendsRewardAndPenalty) {
+  HistoryLedger ledger(1, RewardPenalty(0.1, 0.4));
+  ASSERT_TRUE(ledger.Update(Agreements({0.5}), {true}).ok());
+  // 1 + 0.5*0.1 - 0.5*0.4 = 0.85.
+  EXPECT_NEAR(ledger.record(0), 0.85, 1e-12);
+}
+
+TEST(HistoryLedgerTest, RecordsAlwaysBounded) {
+  HistoryLedger ledger(3, RewardPenalty(1.0, 1.0));
+  for (int t = 0; t < 50; ++t) {
+    const double g = (t % 3) / 2.0;
+    ASSERT_TRUE(
+        ledger.Update(Agreements({g, 1.0 - g, 0.5}), {true, true, true}).ok());
+    for (size_t m = 0; m < 3; ++m) {
+      EXPECT_GE(ledger.record(m), 0.0);
+      EXPECT_LE(ledger.record(m), 1.0);
+    }
+  }
+}
+
+TEST(HistoryLedgerTest, MissingModulesUntouchedByDefault) {
+  HistoryLedger ledger(2, RewardPenalty(0.05, 0.3));
+  ASSERT_TRUE(ledger.Update(Agreements({0.0, 0.0}), {true, false}).ok());
+  EXPECT_LT(ledger.record(0), 1.0);
+  EXPECT_DOUBLE_EQ(ledger.record(1), 1.0);
+}
+
+TEST(HistoryLedgerTest, MissingPenaltyApplies) {
+  HistoryLedger ledger(1, RewardPenalty(0.05, 0.3, /*missing=*/0.1));
+  ASSERT_TRUE(ledger.Update(Agreements({0.0}), {false}).ok());
+  EXPECT_NEAR(ledger.record(0), 0.9, 1e-12);
+}
+
+TEST(HistoryLedgerTest, MeanRecord) {
+  HistoryLedger ledger(2, RewardPenalty(0.05, 0.5));
+  ASSERT_TRUE(ledger.Update(Agreements({1.0, 0.0}), {true, true}).ok());
+  EXPECT_NEAR(ledger.MeanRecord(), (1.0 + 0.5) / 2.0, 1e-12);
+}
+
+TEST(HistoryLedgerTest, ResetRestoresFreshSet) {
+  HistoryLedger ledger(2, Cumulative());
+  ASSERT_TRUE(ledger.Update(Agreements({0.0, 1.0}), {true, true}).ok());
+  ledger.Reset();
+  EXPECT_TRUE(ledger.AllRecordsAre(1.0));
+  EXPECT_EQ(ledger.round_count(), 0u);
+  // Cumulative state also cleared: one disagreement decays as from fresh.
+  ASSERT_TRUE(ledger.Update(Agreements({0.0, 1.0}), {true, true}).ok());
+  EXPECT_NEAR(ledger.record(0), 0.5, 1e-12);
+}
+
+TEST(HistoryLedgerTest, RestoreRoundTripsThroughCumulativeState) {
+  HistoryLedger ledger(2, Cumulative());
+  const std::vector<double> records = {0.25, 0.75};
+  ASSERT_TRUE(ledger.Restore(records, 10).ok());
+  EXPECT_NEAR(ledger.record(0), 0.25, 1e-12);
+  EXPECT_NEAR(ledger.record(1), 0.75, 1e-12);
+  EXPECT_EQ(ledger.round_count(), 10u);
+  // Updates continue consistently from the restored state.
+  ASSERT_TRUE(ledger.Update(Agreements({1.0, 1.0}), {true, true}).ok());
+  EXPECT_GT(ledger.record(0), 0.25);
+  EXPECT_LE(ledger.record(1), 1.0);
+}
+
+TEST(HistoryLedgerTest, RestoreClampsAndValidates) {
+  HistoryLedger ledger(2, Cumulative());
+  const std::vector<double> wrong_arity = {0.5};
+  EXPECT_FALSE(ledger.Restore(wrong_arity, 1).ok());
+  const std::vector<double> out_of_range = {-0.5, 1.5};
+  ASSERT_TRUE(ledger.Restore(out_of_range, 1).ok());
+  EXPECT_DOUBLE_EQ(ledger.record(0), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.record(1), 1.0);
+}
+
+TEST(HistoryLedgerTest, AllRecordsAreRespectsEpsilon) {
+  HistoryLedger ledger(2, RewardPenalty(0.05, 0.3));
+  EXPECT_TRUE(ledger.AllRecordsAre(1.0));
+  EXPECT_FALSE(ledger.AllRecordsAre(0.0));
+  EXPECT_TRUE(ledger.AllRecordsAre(0.999, 0.01));
+}
+
+}  // namespace
+}  // namespace avoc::core

@@ -1,0 +1,160 @@
+#include "core/mlv.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace avoc::core {
+namespace {
+
+using Label = MlvEngine::Label;
+
+MlvConfig Config(size_t space = 4) {
+  MlvConfig config;
+  config.output_space_size = space;
+  return config;
+}
+
+MlvEngine MustCreate(size_t modules, MlvConfig config) {
+  auto engine = MlvEngine::Create(modules, config);
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  return std::move(*engine);
+}
+
+std::vector<Label> Round(std::initializer_list<const char*> labels) {
+  std::vector<Label> round;
+  for (const char* label : labels) {
+    if (label == nullptr) {
+      round.push_back(std::nullopt);
+    } else {
+      round.emplace_back(label);
+    }
+  }
+  return round;
+}
+
+TEST(MlvTest, CreateValidates) {
+  EXPECT_FALSE(MlvEngine::Create(0, Config()).ok());
+  MlvConfig bad = Config();
+  bad.output_space_size = 1;
+  EXPECT_FALSE(MlvEngine::Create(3, bad).ok());
+  bad = Config();
+  bad.reliability_clamp = 0.6;
+  EXPECT_FALSE(MlvEngine::Create(3, bad).ok());
+  bad = Config();
+  bad.quorum_fraction = 0.0;
+  EXPECT_FALSE(MlvEngine::Create(3, bad).ok());
+}
+
+TEST(MlvTest, UnanimousRound) {
+  MlvEngine engine = MustCreate(3, Config());
+  auto result = engine.CastVote(Round({"x", "x", "x"}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result->value, "x");
+  EXPECT_EQ(result->outcome, RoundOutcome::kVoted);
+}
+
+TEST(MlvTest, FreshModulesActAsPlurality) {
+  MlvEngine engine = MustCreate(5, Config());
+  auto result = engine.CastVote(Round({"a", "a", "a", "b", "b"}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result->value, "a");
+}
+
+TEST(MlvTest, ReliabilityLearnsOverRounds) {
+  MlvEngine engine = MustCreate(3, Config());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(engine.CastVote(Round({"up", "up", "down"})).ok());
+  }
+  EXPECT_GT(engine.reliability(0), 0.9);
+  EXPECT_LT(engine.reliability(2), 0.2);
+}
+
+TEST(MlvTest, ReliableMinorityBeatsUnreliableMajority) {
+  // Train: modules 0 and 1 are right, modules 2-4 are chronically wrong
+  // (they disagree with the fused output most rounds).
+  MlvEngine engine = MustCreate(5, Config(6));
+  for (int i = 0; i < 30; ++i) {
+    // Three mutually distinct junk values: "ok" is the unique plurality.
+    std::vector<Label> round = {std::string("ok"), std::string("ok"),
+                                "junk" + std::to_string(i % 3),
+                                "junk" + std::to_string((i + 1) % 3),
+                                "junk" + std::to_string((i + 2) % 3)};
+    ASSERT_TRUE(engine.CastVote(round).ok());
+  }
+  // Now the three unreliable modules happen to agree on a wrong value;
+  // the two reliable ones say the truth.  Plurality would pick "wrong";
+  // maximum likelihood picks "right".
+  auto result = engine.CastVote(
+      Round({"right", "right", "wrong", "wrong", "wrong"}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result->value, "right");
+}
+
+TEST(MlvTest, LargerOutputSpaceStrengthensAgreement) {
+  // With a huge output space, two modules agreeing by chance is nearly
+  // impossible, so agreement dominates even against a reliable dissenter.
+  MlvConfig config = Config(1000);
+  MlvEngine engine = MustCreate(3, config);
+  auto result = engine.CastVote(Round({"v1", "v2", "v2"}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result->value, "v2");
+}
+
+TEST(MlvTest, RejectsRoundsExceedingOutputSpace) {
+  MlvConfig config = Config(2);
+  MlvEngine engine = MustCreate(3, config);
+  auto result = engine.CastVote(Round({"a", "b", "c"}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcome, RoundOutcome::kError);
+}
+
+TEST(MlvTest, MissingValuesAndQuorum) {
+  MlvConfig config = Config();
+  config.quorum_fraction = 0.75;
+  MlvEngine engine = MustCreate(4, config);
+  ASSERT_TRUE(engine.CastVote(Round({"a", "a", "a", "a"})).ok());
+  auto starved = engine.CastVote(Round({"b", nullptr, nullptr, nullptr}));
+  ASSERT_TRUE(starved.ok());
+  EXPECT_EQ(starved->outcome, RoundOutcome::kRevertedLast);
+  EXPECT_EQ(*starved->value, "a");
+}
+
+TEST(MlvTest, TieBreaksTowardPreviousOutput) {
+  MlvEngine engine = MustCreate(2, Config());
+  ASSERT_TRUE(engine.CastVote(Round({"b", "b"})).ok());
+  auto result = engine.CastVote(Round({"a", "b"}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result->value, "b");
+}
+
+TEST(MlvTest, LogLikelihoodIsExact) {
+  // Two fresh modules (reliability (1+0)/(1+0)=1 clamped to 0.99), space
+  // 4: unanimous round's LL = 2*log(0.99).
+  MlvEngine engine = MustCreate(2, Config(4));
+  auto result = engine.CastVote(Round({"x", "x"}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->log_likelihood, 2.0 * std::log(0.99), 1e-9);
+}
+
+TEST(MlvTest, ReliabilityClampPreventsCertainty) {
+  MlvConfig config = Config();
+  config.reliability_clamp = 0.05;
+  MlvEngine engine = MustCreate(2, config);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(engine.CastVote(Round({"x", "y"})).ok());
+  }
+  EXPECT_LE(engine.reliability(0), 0.95);
+  EXPECT_GE(engine.reliability(1), 0.05);
+}
+
+TEST(MlvTest, ResetForgets) {
+  MlvEngine engine = MustCreate(2, Config());
+  ASSERT_TRUE(engine.CastVote(Round({"x", "y"})).ok());
+  engine.Reset();
+  EXPECT_FALSE(engine.last_output().has_value());
+  EXPECT_NEAR(engine.reliability(1), 0.99, 1e-9);
+}
+
+}  // namespace
+}  // namespace avoc::core

@@ -1,0 +1,171 @@
+#include "core/multidim.h"
+
+#include <gtest/gtest.h>
+
+#include "core/algorithms.h"
+
+namespace avoc::core {
+namespace {
+
+MultiDimConfig HybridConfig() {
+  MultiDimConfig config;
+  config.scalar = MakeConfig(AlgorithmId::kHybrid);
+  return config;
+}
+
+MultiDimEngine MustCreate(size_t modules, size_t dims,
+                          const MultiDimConfig& config) {
+  auto engine = MultiDimEngine::Create(modules, dims, config);
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  return std::move(*engine);
+}
+
+std::vector<VectorReading> Round(
+    std::initializer_list<std::vector<double>> vectors) {
+  std::vector<VectorReading> round;
+  for (const auto& v : vectors) round.emplace_back(v);
+  return round;
+}
+
+TEST(MultiDimTest, CreateValidates) {
+  EXPECT_FALSE(MultiDimEngine::Create(3, 0, HybridConfig()).ok());
+  EXPECT_FALSE(MultiDimEngine::Create(0, 2, HybridConfig()).ok());
+  MultiDimConfig bad = HybridConfig();
+  bad.bandwidth_fraction = 0.0;
+  EXPECT_FALSE(MultiDimEngine::Create(3, 2, bad).ok());
+}
+
+TEST(MultiDimTest, ScalarClusteringForcedOff) {
+  // §5: per-dimension voting "without incorporating the clustering".
+  MultiDimConfig config;
+  config.scalar = MakeConfig(AlgorithmId::kAvoc);  // asks for bootstrap
+  MultiDimEngine engine = MustCreate(4, 2, config);
+  auto result = engine.CastVote(Round(
+      {{10.0, 1.0}, {10.1, 1.1}, {9.9, 0.9}, {60.0, 7.0}}));
+  ASSERT_TRUE(result.ok());
+  // No scalar clustering happened in any dimension.
+  for (const VoteResult& dim : result->dimensions) {
+    EXPECT_FALSE(dim.used_clustering);
+  }
+}
+
+TEST(MultiDimTest, FusesEachDimensionIndependently) {
+  MultiDimConfig config;
+  config.scalar = MakeConfig(AlgorithmId::kAverage);
+  MultiDimEngine engine = MustCreate(3, 2, config);
+  auto result =
+      engine.CastVote(Round({{1.0, 100.0}, {2.0, 200.0}, {3.0, 300.0}}));
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->value.has_value());
+  EXPECT_DOUBLE_EQ((*result->value)[0], 2.0);
+  EXPECT_DOUBLE_EQ((*result->value)[1], 200.0);
+  EXPECT_EQ(result->outcome, RoundOutcome::kVoted);
+  EXPECT_EQ(result->dimensions.size(), 2u);
+}
+
+TEST(MultiDimTest, ArityAndDimensionValidation) {
+  MultiDimEngine engine = MustCreate(3, 2, HybridConfig());
+  // Wrong module count.
+  EXPECT_FALSE(engine.CastVote(Round({{1.0, 2.0}, {1.0, 2.0}})).ok());
+  // Wrong dimension count in one vector.
+  EXPECT_FALSE(
+      engine.CastVote(Round({{1.0, 2.0}, {1.0}, {1.0, 2.0}})).ok());
+}
+
+TEST(MultiDimTest, MissingModulesPropagateToEveryDimension) {
+  MultiDimConfig config;
+  config.scalar = MakeConfig(AlgorithmId::kAverage);
+  MultiDimEngine engine = MustCreate(3, 2, config);
+  std::vector<VectorReading> round = {std::vector<double>{1.0, 10.0},
+                                      std::nullopt,
+                                      std::vector<double>{3.0, 30.0}};
+  auto result = engine.CastVote(round);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->value.has_value());
+  EXPECT_DOUBLE_EQ((*result->value)[0], 2.0);
+  EXPECT_DOUBLE_EQ((*result->value)[1], 20.0);
+  EXPECT_EQ(result->dimensions[0].present_count, 2u);
+}
+
+TEST(MultiDimTest, OutcomeIsWorstAcrossDimensions) {
+  MultiDimConfig config;
+  config.scalar = MakeConfig(AlgorithmId::kAverage);
+  config.scalar.quorum.fraction = 1.0;
+  config.scalar.on_no_quorum = NoQuorumPolicy::kEmitNothing;
+  MultiDimEngine engine = MustCreate(2, 2, config);
+  std::vector<VectorReading> starved = {std::vector<double>{1.0, 10.0},
+                                        std::nullopt};
+  auto result = engine.CastVote(starved);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outcome, RoundOutcome::kNoOutput);
+  EXPECT_FALSE(result->value.has_value());
+}
+
+TEST(MultiDimTest, PerDimensionHistoryTracksPerDimensionFaults) {
+  // Module 2 is faulty only in dimension 1; dimension 0 trusts it fully.
+  MultiDimEngine engine = MustCreate(3, 2, HybridConfig());
+  for (int r = 0; r < 5; ++r) {
+    auto result = engine.CastVote(
+        Round({{10.0, 1.0}, {10.1, 1.05}, {10.05, 9.0}}));
+    ASSERT_TRUE(result.ok());
+  }
+  EXPECT_DOUBLE_EQ(engine.history(0).record(2), 1.0);
+  EXPECT_LT(engine.history(1).record(2), 0.5);
+}
+
+TEST(MultiDimTest, MeanShiftBootstrapExcludesVectorOutlier) {
+  MultiDimConfig config = HybridConfig();
+  config.bootstrap = VectorBootstrap::kMeanShift;
+  config.bandwidth_fraction = 0.05;
+  MultiDimEngine engine = MustCreate(4, 2, config);
+  // Module 3 is wrong in *both* dimensions; the vector clusterer catches
+  // it in round 1, before any history exists.
+  auto result = engine.CastVote(Round(
+      {{100.0, 50.0}, {101.0, 50.5}, {99.5, 49.5}, {160.0, 80.0}}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->used_vector_clustering);
+  EXPECT_TRUE(result->vector_outliers[3]);
+  ASSERT_TRUE(result->value.has_value());
+  EXPECT_NEAR((*result->value)[0], 100.0, 1.5);
+  EXPECT_NEAR((*result->value)[1], 50.0, 1.0);
+}
+
+TEST(MultiDimTest, MeanShiftBootstrapOnlyGatesTheFirstRound) {
+  MultiDimConfig config = HybridConfig();
+  config.bootstrap = VectorBootstrap::kMeanShift;
+  MultiDimEngine engine = MustCreate(4, 2, config);
+  auto first = engine.CastVote(Round(
+      {{100.0, 50.0}, {101.0, 50.5}, {99.5, 49.5}, {160.0, 80.0}}));
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first->used_vector_clustering);
+  auto second = engine.CastVote(Round(
+      {{100.0, 50.0}, {101.0, 50.5}, {99.5, 49.5}, {160.0, 80.0}}));
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->used_vector_clustering);
+}
+
+TEST(MultiDimTest, NoBootstrapWhenVectorsAgree) {
+  MultiDimConfig config = HybridConfig();
+  config.bootstrap = VectorBootstrap::kMeanShift;
+  MultiDimEngine engine = MustCreate(3, 2, config);
+  auto result = engine.CastVote(Round(
+      {{100.0, 50.0}, {100.5, 50.2}, {99.8, 49.9}}));
+  ASSERT_TRUE(result.ok());
+  // Mean-shift found a single mode: no outliers flagged.
+  for (const bool outlier : result->vector_outliers) {
+    EXPECT_FALSE(outlier);
+  }
+}
+
+TEST(MultiDimTest, ResetClearsEveryDimension) {
+  MultiDimEngine engine = MustCreate(3, 2, HybridConfig());
+  ASSERT_TRUE(
+      engine.CastVote(Round({{10.0, 1.0}, {10.1, 1.0}, {50.0, 9.0}})).ok());
+  EXPECT_FALSE(engine.history(1).AllRecordsAre(1.0));
+  engine.Reset();
+  EXPECT_TRUE(engine.history(0).AllRecordsAre(1.0));
+  EXPECT_TRUE(engine.history(1).AllRecordsAre(1.0));
+}
+
+}  // namespace
+}  // namespace avoc::core

@@ -1,0 +1,243 @@
+// Property-style invariant sweeps over every algorithm preset (TEST_P).
+//
+// These pin down the contracts the evaluation relies on: outputs stay
+// inside the candidate hull, weights stay non-negative, histories stay in
+// [0,1], result-selection outputs are real candidate values, permutation
+// of module order permutes (but never changes) results, and relative-
+// threshold algorithms are scale-equivariant.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/algorithms.h"
+#include "core/batch.h"
+#include "util/rng.h"
+
+namespace avoc::core {
+namespace {
+
+class AlgorithmPropertyTest : public ::testing::TestWithParam<AlgorithmId> {
+ protected:
+  static data::RoundTable NoisyTable(uint64_t seed, size_t modules,
+                                     size_t rounds, double base,
+                                     double spread, double outlier_offset) {
+    Rng rng(seed);
+    data::RoundTable table = data::RoundTable::WithModuleCount(modules);
+    std::vector<double> biases;
+    for (size_t m = 0; m < modules; ++m) {
+      biases.push_back(rng.Uniform(-spread, spread));
+    }
+    for (size_t r = 0; r < rounds; ++r) {
+      std::vector<double> row;
+      for (size_t m = 0; m < modules; ++m) {
+        double v = base + biases[m] + rng.Gaussian(0.0, spread / 10.0);
+        if (m == modules - 1) v += outlier_offset;
+        row.push_back(v);
+      }
+      EXPECT_TRUE(table.AppendRound(row).ok());
+    }
+    return table;
+  }
+};
+
+TEST_P(AlgorithmPropertyTest, OutputStaysInsideCandidateHull) {
+  const auto table = NoisyTable(11, 5, 200, 1000.0, 20.0, 300.0);
+  auto batch = RunAlgorithm(GetParam(), table);
+  ASSERT_TRUE(batch.ok());
+  for (size_t r = 0; r < table.round_count(); ++r) {
+    if (!batch->outputs[r].has_value()) continue;
+    const auto round = table.Round(r);
+    double lo = 1e300;
+    double hi = -1e300;
+    for (const auto& reading : round) {
+      if (reading.has_value()) {
+        lo = std::min(lo, *reading);
+        hi = std::max(hi, *reading);
+      }
+    }
+    EXPECT_GE(*batch->outputs[r], lo - 1e-9) << "round " << r;
+    EXPECT_LE(*batch->outputs[r], hi + 1e-9) << "round " << r;
+  }
+}
+
+TEST_P(AlgorithmPropertyTest, WeightsNonNegativeAndHistoriesBounded) {
+  const auto table = NoisyTable(13, 6, 150, 500.0, 15.0, 200.0);
+  auto batch = RunAlgorithm(GetParam(), table);
+  ASSERT_TRUE(batch.ok());
+  for (const VoteResult& result : batch->rounds) {
+    for (const double w : result.weights) EXPECT_GE(w, 0.0);
+    for (const double h : result.history) {
+      EXPECT_GE(h, 0.0);
+      EXPECT_LE(h, 1.0);
+    }
+  }
+}
+
+TEST_P(AlgorithmPropertyTest, ModulePermutationPermutesResults) {
+  const auto table = NoisyTable(17, 5, 80, 2000.0, 30.0, 500.0);
+  const std::vector<size_t> permutation = {3, 0, 4, 1, 2};
+  auto permuted_table = table.SelectModules(permutation);
+  ASSERT_TRUE(permuted_table.ok());
+
+  auto original = RunAlgorithm(GetParam(), table);
+  auto permuted = RunAlgorithm(GetParam(), *permuted_table);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(permuted.ok());
+  for (size_t r = 0; r < table.round_count(); ++r) {
+    ASSERT_EQ(original->outputs[r].has_value(),
+              permuted->outputs[r].has_value());
+    if (original->outputs[r].has_value()) {
+      EXPECT_NEAR(*original->outputs[r], *permuted->outputs[r], 1e-9)
+          << "round " << r;
+    }
+    for (size_t m = 0; m < permutation.size(); ++m) {
+      EXPECT_NEAR(original->rounds[r].weights[permutation[m]],
+                  permuted->rounds[r].weights[m], 1e-9);
+      EXPECT_NEAR(original->rounds[r].history[permutation[m]],
+                  permuted->rounds[r].history[m], 1e-9);
+    }
+  }
+}
+
+TEST_P(AlgorithmPropertyTest, RelativeThresholdIsScaleEquivariant) {
+  const auto table = NoisyTable(19, 5, 60, 1000.0, 25.0, 400.0);
+  // Scale every reading by a constant: with relative thresholds the fused
+  // outputs must scale by the same constant.
+  const double factor = 7.5;
+  data::RoundTable scaled = table;
+  for (size_t r = 0; r < scaled.round_count(); ++r) {
+    for (size_t m = 0; m < scaled.module_count(); ++m) {
+      if (scaled.At(r, m).has_value()) *scaled.At(r, m) *= factor;
+    }
+  }
+  auto original = RunAlgorithm(GetParam(), table);
+  auto rescaled = RunAlgorithm(GetParam(), scaled);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(rescaled.ok());
+  for (size_t r = 0; r < table.round_count(); ++r) {
+    if (!original->outputs[r].has_value()) continue;
+    ASSERT_TRUE(rescaled->outputs[r].has_value());
+    EXPECT_NEAR(*rescaled->outputs[r], *original->outputs[r] * factor,
+                std::abs(*original->outputs[r]) * factor * 1e-9)
+        << "round " << r;
+  }
+}
+
+TEST_P(AlgorithmPropertyTest, DeterministicAcrossRuns) {
+  const auto table = NoisyTable(23, 5, 100, 800.0, 10.0, 250.0);
+  auto first = RunAlgorithm(GetParam(), table);
+  auto second = RunAlgorithm(GetParam(), table);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  for (size_t r = 0; r < table.round_count(); ++r) {
+    ASSERT_EQ(first->outputs[r].has_value(), second->outputs[r].has_value());
+    if (first->outputs[r].has_value()) {
+      EXPECT_DOUBLE_EQ(*first->outputs[r], *second->outputs[r]);
+    }
+  }
+}
+
+TEST_P(AlgorithmPropertyTest, UnanimousRoundsFuseToTheSharedValue) {
+  data::RoundTable table = data::RoundTable::WithModuleCount(4);
+  for (int r = 0; r < 10; ++r) {
+    const double v = 100.0 + r;
+    ASSERT_TRUE(table.AppendRound(std::vector<double>(4, v)).ok());
+  }
+  auto batch = RunAlgorithm(GetParam(), table);
+  ASSERT_TRUE(batch.ok());
+  for (size_t r = 0; r < 10; ++r) {
+    ASSERT_TRUE(batch->outputs[r].has_value());
+    EXPECT_NEAR(*batch->outputs[r], 100.0 + static_cast<double>(r), 1e-9);
+  }
+}
+
+TEST_P(AlgorithmPropertyTest, SurvivesHeavyDropout) {
+  Rng rng(29);
+  data::RoundTable table = data::RoundTable::WithModuleCount(5);
+  for (int r = 0; r < 100; ++r) {
+    std::vector<data::Reading> row;
+    size_t present = 0;
+    for (int m = 0; m < 5; ++m) {
+      if (rng.Bernoulli(0.5)) {
+        row.emplace_back(50.0 + rng.Gaussian(0.0, 1.0));
+        ++present;
+      } else {
+        row.push_back(std::nullopt);
+      }
+    }
+    ASSERT_TRUE(table.AppendRound(std::move(row)).ok());
+  }
+  PresetParams params;
+  params.quorum_fraction = 0.4;
+  auto batch = RunAlgorithm(GetParam(), table, params);
+  ASSERT_TRUE(batch.ok());
+  // Every round yields either a vote, a revert, or (early, with nothing to
+  // revert to) no output — never a hard failure.
+  for (const VoteResult& result : batch->rounds) {
+    EXPECT_NE(result.outcome, RoundOutcome::kError);
+  }
+  // And voted outputs stay plausible.
+  for (const auto& value : batch->outputs) {
+    if (value.has_value()) {
+      EXPECT_NEAR(*value, 50.0, 5.0);
+    }
+  }
+}
+
+TEST_P(AlgorithmPropertyTest, SingleModuleGroupEchoesInput) {
+  data::RoundTable table = data::RoundTable::WithModuleCount(1);
+  for (int r = 0; r < 5; ++r) {
+    ASSERT_TRUE(table.AppendRound(std::vector<double>{3.5 + r}).ok());
+  }
+  PresetParams params;
+  params.quorum_fraction = 1.0;
+  auto batch = RunAlgorithm(GetParam(), table, params);
+  ASSERT_TRUE(batch.ok());
+  for (size_t r = 0; r < 5; ++r) {
+    ASSERT_TRUE(batch->outputs[r].has_value());
+    EXPECT_DOUBLE_EQ(*batch->outputs[r], 3.5 + static_cast<double>(r));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, AlgorithmPropertyTest,
+    ::testing::Values(AlgorithmId::kAverage, AlgorithmId::kStandard,
+                      AlgorithmId::kModuleElimination,
+                      AlgorithmId::kSoftDynamicThreshold, AlgorithmId::kHybrid,
+                      AlgorithmId::kClusteringOnly, AlgorithmId::kAvoc),
+    [](const ::testing::TestParamInfo<AlgorithmId>& info) {
+      return std::string(AlgorithmName(info.param));
+    });
+
+// Selection collations must output real candidate values.
+class SelectionCollationTest : public AlgorithmPropertyTest {};
+
+TEST_P(SelectionCollationTest, OutputIsACandidateValue) {
+  const auto table = NoisyTable(31, 5, 100, 1500.0, 40.0, 600.0);
+  auto batch = RunAlgorithm(GetParam(), table);
+  ASSERT_TRUE(batch.ok());
+  for (size_t r = 0; r < table.round_count(); ++r) {
+    if (!batch->outputs[r].has_value()) continue;
+    const auto round = table.Round(r);
+    bool found = false;
+    for (const auto& reading : round) {
+      if (reading.has_value() &&
+          std::abs(*reading - *batch->outputs[r]) < 1e-9) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "round " << r << " output " << *batch->outputs[r];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MnnAlgorithms, SelectionCollationTest,
+    ::testing::Values(AlgorithmId::kHybrid, AlgorithmId::kAvoc),
+    [](const ::testing::TestParamInfo<AlgorithmId>& info) {
+      return std::string(AlgorithmName(info.param));
+    });
+
+}  // namespace
+}  // namespace avoc::core

@@ -1,0 +1,110 @@
+#include "data/round_table.h"
+
+#include <gtest/gtest.h>
+
+namespace avoc::data {
+namespace {
+
+RoundTable SmallTable() {
+  RoundTable table({"E1", "E2", "E3"});
+  EXPECT_TRUE(table.AppendRound({1.0, 2.0, 3.0}).ok());
+  EXPECT_TRUE(table.AppendRound({{4.0}, std::nullopt, {6.0}}).ok());
+  EXPECT_TRUE(table.AppendRound({7.0, 8.0, 9.0}).ok());
+  return table;
+}
+
+TEST(RoundTableTest, ConstructionAndNames) {
+  const RoundTable table({"a", "b"});
+  EXPECT_EQ(table.module_count(), 2u);
+  EXPECT_EQ(table.round_count(), 0u);
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.module_names()[1], "b");
+}
+
+TEST(RoundTableTest, WithModuleCountNamesModules) {
+  const RoundTable table = RoundTable::WithModuleCount(3);
+  EXPECT_EQ(table.module_names(),
+            (std::vector<std::string>{"m0", "m1", "m2"}));
+}
+
+TEST(RoundTableTest, ModuleIndexLookup) {
+  const RoundTable table = SmallTable();
+  EXPECT_EQ(*table.ModuleIndex("E2"), 1u);
+  EXPECT_FALSE(table.ModuleIndex("E9").ok());
+}
+
+TEST(RoundTableTest, AppendRejectsWrongArity) {
+  RoundTable table({"a", "b"});
+  EXPECT_FALSE(table.AppendRound({1.0}).ok());
+  EXPECT_FALSE(table.AppendRound({1.0, 2.0, 3.0}).ok());
+  EXPECT_EQ(table.round_count(), 0u);
+}
+
+TEST(RoundTableTest, RoundAccess) {
+  const RoundTable table = SmallTable();
+  const auto round = table.Round(1);
+  ASSERT_EQ(round.size(), 3u);
+  EXPECT_DOUBLE_EQ(*round[0], 4.0);
+  EXPECT_FALSE(round[1].has_value());
+}
+
+TEST(RoundTableTest, AtMutatesCells) {
+  RoundTable table = SmallTable();
+  table.At(0, 0) = 99.0;
+  EXPECT_DOUBLE_EQ(*table.At(0, 0), 99.0);
+  table.At(0, 0).reset();
+  EXPECT_FALSE(table.At(0, 0).has_value());
+}
+
+TEST(RoundTableTest, ModuleSeriesAndValues) {
+  const RoundTable table = SmallTable();
+  const auto series = table.ModuleSeries(1);
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_FALSE(series[1].has_value());
+  const auto values = table.ModuleValues(1);
+  EXPECT_EQ(values, (std::vector<double>{2.0, 8.0}));
+}
+
+TEST(RoundTableTest, MissingCount) {
+  EXPECT_EQ(SmallTable().missing_count(), 1u);
+}
+
+TEST(RoundTableTest, SliceExtractsRounds) {
+  const RoundTable table = SmallTable();
+  auto slice = table.Slice(1, 3);
+  ASSERT_TRUE(slice.ok());
+  EXPECT_EQ(slice->round_count(), 2u);
+  EXPECT_DOUBLE_EQ(*slice->At(0, 0), 4.0);
+  EXPECT_FALSE(table.Slice(2, 1).ok());
+  EXPECT_FALSE(table.Slice(0, 9).ok());
+}
+
+TEST(RoundTableTest, SelectModulesExtractsColumns) {
+  const RoundTable table = SmallTable();
+  const std::vector<size_t> picks = {2, 0};
+  auto selected = table.SelectModules(picks);
+  ASSERT_TRUE(selected.ok());
+  EXPECT_EQ(selected->module_names(),
+            (std::vector<std::string>{"E3", "E1"}));
+  EXPECT_DOUBLE_EQ(*selected->At(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(*selected->At(0, 1), 1.0);
+  const std::vector<size_t> bad = {5};
+  EXPECT_FALSE(table.SelectModules(bad).ok());
+}
+
+TEST(CategoricalRoundTableTest, AppendAndAccess) {
+  CategoricalRoundTable table({"s1", "s2"});
+  EXPECT_TRUE(table.AppendRound({{"open"}, {"closed"}}).ok());
+  EXPECT_TRUE(table.AppendRound({{"open"}, std::nullopt}).ok());
+  EXPECT_EQ(table.round_count(), 2u);
+  EXPECT_EQ(*table.Round(0)[1], "closed");
+  EXPECT_FALSE(table.Round(1)[1].has_value());
+}
+
+TEST(CategoricalRoundTableTest, ArityEnforced) {
+  CategoricalRoundTable table({"s1", "s2"});
+  EXPECT_FALSE(table.AppendRound({{"only-one"}}).ok());
+}
+
+}  // namespace
+}  // namespace avoc::data

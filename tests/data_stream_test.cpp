@@ -1,0 +1,155 @@
+#include "data/stream.h"
+
+#include <gtest/gtest.h>
+
+namespace avoc::data {
+namespace {
+
+SampleStream MakeStream(std::string name,
+                        std::initializer_list<Sample> samples) {
+  SampleStream stream(std::move(name));
+  for (const Sample& s : samples) stream.Push(s.timestamp, s.value);
+  return stream;
+}
+
+ResampleOptions Options(double period, ResampleMethod method,
+                        double max_age = -1.0) {
+  ResampleOptions options;
+  options.period = period;
+  options.method = method;
+  if (max_age > 0.0) options.max_age = max_age;
+  return options;
+}
+
+TEST(SampleStreamTest, PushKeepsTimestampOrder) {
+  SampleStream stream("s");
+  stream.Push(3.0, 30.0);
+  stream.Push(1.0, 10.0);  // out-of-order arrival
+  stream.Push(2.0, 20.0);
+  ASSERT_EQ(stream.size(), 3u);
+  EXPECT_DOUBLE_EQ(stream.samples()[0].timestamp, 1.0);
+  EXPECT_DOUBLE_EQ(stream.samples()[1].timestamp, 2.0);
+  EXPECT_DOUBLE_EQ(stream.samples()[2].timestamp, 3.0);
+  EXPECT_DOUBLE_EQ(stream.first_timestamp(), 1.0);
+  EXPECT_DOUBLE_EQ(stream.last_timestamp(), 3.0);
+}
+
+TEST(SampleStreamTest, DuplicateTimestampsAllowed) {
+  SampleStream stream("s");
+  stream.Push(1.0, 10.0);
+  stream.Push(1.0, 11.0);
+  EXPECT_EQ(stream.size(), 2u);
+}
+
+TEST(ResampleTest, ValidatesInputs) {
+  std::vector<SampleStream> empty;
+  EXPECT_FALSE(ResampleToRounds(empty).ok());
+  std::vector<SampleStream> no_samples = {SampleStream("a")};
+  EXPECT_FALSE(ResampleToRounds(no_samples).ok());
+  std::vector<SampleStream> one = {MakeStream("a", {{0.0, 1.0}})};
+  ResampleOptions bad;
+  bad.period = 0.0;
+  EXPECT_FALSE(ResampleToRounds(one, bad).ok());
+  bad = ResampleOptions{};
+  bad.max_age = -2.0;
+  EXPECT_FALSE(ResampleToRounds(one, bad).ok());
+}
+
+TEST(ResampleTest, NearestPicksClosestSample) {
+  std::vector<SampleStream> streams = {
+      MakeStream("a", {{0.0, 10.0}, {0.9, 20.0}, {2.1, 30.0}})};
+  auto table =
+      ResampleToRounds(streams, Options(1.0, ResampleMethod::kNearest));
+  ASSERT_TRUE(table.ok());
+  // Rounds at t = 0, 1, 2 (start defaults to earliest sample).
+  ASSERT_EQ(table->round_count(), 3u);
+  EXPECT_DOUBLE_EQ(*table->At(0, 0), 10.0);  // t=0: exact
+  EXPECT_DOUBLE_EQ(*table->At(1, 0), 20.0);  // t=1: 0.9 closer than 2.1
+  EXPECT_DOUBLE_EQ(*table->At(2, 0), 30.0);  // t=2: 2.1 closest
+}
+
+TEST(ResampleTest, StalenessYieldsMissing) {
+  std::vector<SampleStream> streams = {
+      MakeStream("a", {{0.0, 10.0}, {5.0, 50.0}})};
+  ResampleOptions options = Options(1.0, ResampleMethod::kNearest, 0.4);
+  options.rounds = 6;
+  auto table = ResampleToRounds(streams, options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE(table->At(0, 0).has_value());
+  EXPECT_FALSE(table->At(1, 0).has_value());  // nearest is 1.0 away > 0.4
+  EXPECT_FALSE(table->At(3, 0).has_value());
+  EXPECT_TRUE(table->At(5, 0).has_value());
+}
+
+TEST(ResampleTest, SampleAndHoldNeverLooksAhead) {
+  std::vector<SampleStream> streams = {
+      MakeStream("a", {{0.5, 10.0}, {2.5, 20.0}})};
+  ResampleOptions options = Options(1.0, ResampleMethod::kSampleAndHold, 2.0);
+  options.start = 0.0;
+  options.rounds = 4;
+  auto table = ResampleToRounds(streams, options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_FALSE(table->At(0, 0).has_value());  // t=0: nothing yet
+  EXPECT_DOUBLE_EQ(*table->At(1, 0), 10.0);   // t=1: holds 0.5 sample
+  EXPECT_DOUBLE_EQ(*table->At(2, 0), 10.0);   // t=2: still holding
+  EXPECT_DOUBLE_EQ(*table->At(3, 0), 20.0);   // t=3: 2.5 sample
+}
+
+TEST(ResampleTest, WindowMeanAveragesTheRound) {
+  std::vector<SampleStream> streams = {
+      MakeStream("a", {{0.1, 10.0}, {0.5, 20.0}, {0.9, 30.0}, {1.5, 100.0}})};
+  ResampleOptions options = Options(1.0, ResampleMethod::kWindowMean);
+  options.start = 1.0;  // round 0 covers (0, 1]
+  options.rounds = 2;
+  auto table = ResampleToRounds(streams, options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_DOUBLE_EQ(*table->At(0, 0), 20.0);   // mean of 10,20,30
+  EXPECT_DOUBLE_EQ(*table->At(1, 0), 100.0);  // (1, 2] holds one sample
+}
+
+TEST(ResampleTest, MultipleStreamsShareTheGrid) {
+  std::vector<SampleStream> streams = {
+      MakeStream("fast", {{0.0, 1.0}, {0.5, 2.0}, {1.0, 3.0}, {1.5, 4.0}}),
+      MakeStream("slow", {{0.2, 10.0}})};
+  ResampleOptions options = Options(0.5, ResampleMethod::kNearest, 0.25);
+  auto table = ResampleToRounds(streams, options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->module_count(), 2u);
+  EXPECT_EQ(table->module_names()[0], "fast");
+  // The slow stream is fresh only near t=0.0/0.5 rounds within 0.25 s.
+  EXPECT_TRUE(table->At(0, 1).has_value());
+  EXPECT_FALSE(table->At(2, 1).has_value());
+  // The fast stream covers every round.
+  for (size_t r = 0; r < table->round_count(); ++r) {
+    EXPECT_TRUE(table->At(r, 0).has_value()) << r;
+  }
+}
+
+TEST(ResampleTest, RoundCountDerivedFromLatestSample) {
+  std::vector<SampleStream> streams = {
+      MakeStream("a", {{10.0, 1.0}, {14.2, 2.0}})};
+  auto table =
+      ResampleToRounds(streams, Options(1.0, ResampleMethod::kNearest, 10.0));
+  ASSERT_TRUE(table.ok());
+  // start 10.0, latest 14.2 -> rounds at 10,11,12,13,14 = 5.
+  EXPECT_EQ(table->round_count(), 5u);
+}
+
+TEST(ResampleTest, ExplicitStartBeyondSamplesFails) {
+  std::vector<SampleStream> streams = {MakeStream("a", {{0.0, 1.0}})};
+  ResampleOptions options = Options(1.0, ResampleMethod::kNearest);
+  options.start = 100.0;
+  EXPECT_FALSE(ResampleToRounds(streams, options).ok());
+}
+
+TEST(ResampleTest, UnnamedStreamsGetDefaultNames) {
+  SampleStream anonymous;
+  anonymous.Push(0.0, 1.0);
+  std::vector<SampleStream> streams = {anonymous};
+  auto table = ResampleToRounds(streams, Options(1.0, ResampleMethod::kNearest));
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->module_names()[0], "m0");
+}
+
+}  // namespace
+}  // namespace avoc::data

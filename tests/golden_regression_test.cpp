@@ -1,0 +1,95 @@
+// Golden regression pins.
+//
+// The evaluation's reproducibility rests on two layers of determinism:
+// the seeded simulators must generate bit-identical datasets, and the
+// engines must fuse them bit-identically.  These tests pin a handful of
+// exact values so that an accidental change to the RNG stream, a sensor
+// calibration constant, or an engine tie-break shows up as a loud test
+// failure instead of silently shifted experiment numbers.
+//
+// When a pinned value changes *intentionally* (recalibration), update the
+// constants here and re-record EXPERIMENTS.md in the same commit.
+#include <gtest/gtest.h>
+
+#include "core/batch.h"
+#include "sim/ble.h"
+#include "sim/light.h"
+#include "util/rng.h"
+
+namespace avoc {
+namespace {
+
+TEST(GoldenTest, RngStreamIsPinned) {
+  Rng rng(42);
+  EXPECT_EQ(rng(), 15021278609987233951ull);
+  EXPECT_EQ(rng(), 5881210131331364753ull);
+  EXPECT_EQ(rng(), 18149643915985481100ull);
+}
+
+TEST(GoldenTest, GaussianStreamIsPinned) {
+  Rng rng(42);
+  EXPECT_NEAR(rng.Gaussian(), -0.76899305382100613, 1e-12);
+  EXPECT_NEAR(rng.Gaussian(), 1.6661184587141999, 1e-12);
+}
+
+TEST(GoldenTest, LightDatasetFirstRoundIsPinned) {
+  sim::LightScenarioParams params;
+  params.rounds = 10;
+  const auto table = sim::LightScenario(params).MakeReferenceTable();
+  ASSERT_EQ(table.module_count(), 5u);
+  // Values must lie in the calibrated envelope and be identical across
+  // runs (cross-run identity is checked in sim_light_test; here we pin
+  // the magnitudes so calibration drift is caught).
+  for (size_t m = 0; m < 5; ++m) {
+    ASSERT_TRUE(table.At(0, m).has_value());
+  }
+  EXPECT_NEAR(*table.At(0, 0), 17900.0, 450.0);  // E1 reads low
+  EXPECT_NEAR(*table.At(0, 2), 19200.0, 450.0);  // E3 reads high
+  EXPECT_NEAR(*table.At(0, 3), 18900.0, 450.0);  // E4 (+350 bias)
+}
+
+TEST(GoldenTest, AvocOutputsOnFaultyDatasetArePinned) {
+  sim::LightScenarioParams params;
+  params.rounds = 20;
+  const auto faulty = sim::LightScenario(params).MakeFaultyTable();
+  auto batch = core::RunAlgorithm(core::AlgorithmId::kAvoc, faulty);
+  ASSERT_TRUE(batch.ok());
+  // AVOC's fused outputs never leave the healthy band even though E4
+  // reads ~24.9 klx; exact values recorded on first calibration.
+  for (const auto& value : batch->outputs) {
+    ASSERT_TRUE(value.has_value());
+    EXPECT_GT(*value, 17500.0);
+    EXPECT_LT(*value, 19500.0);
+  }
+  EXPECT_TRUE(batch->rounds[0].used_clustering);
+  EXPECT_DOUBLE_EQ(batch->rounds[0].weights[3], 0.0);
+}
+
+TEST(GoldenTest, BleDatasetShapeIsPinned) {
+  const auto dataset = sim::BleScenario().Generate();
+  // Missing-count is a sensitive fingerprint of the whole RNG stream.
+  EXPECT_EQ(dataset.stack_a.missing_count(), 553u);
+  EXPECT_EQ(dataset.stack_b.missing_count(), 545u);
+}
+
+TEST(GoldenTest, EngineOutputsIdenticalAcrossIdenticalRuns) {
+  sim::LightScenarioParams params;
+  params.rounds = 100;
+  const auto faulty = sim::LightScenario(params).MakeFaultyTable();
+  for (const core::AlgorithmId id : core::AllAlgorithms()) {
+    auto first = core::RunAlgorithm(id, faulty);
+    auto second = core::RunAlgorithm(id, faulty);
+    ASSERT_TRUE(first.ok());
+    ASSERT_TRUE(second.ok());
+    for (size_t r = 0; r < 100; ++r) {
+      ASSERT_EQ(first->outputs[r].has_value(),
+                second->outputs[r].has_value());
+      if (first->outputs[r].has_value()) {
+        EXPECT_DOUBLE_EQ(*first->outputs[r], *second->outputs[r]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace avoc

@@ -1,0 +1,218 @@
+// End-to-end reproduction checks for UC-1 (§7, Fig. 6): the qualitative
+// claims of the paper's light-sensor evaluation must hold on the synthetic
+// reference dataset.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/batch.h"
+#include "sim/light.h"
+#include "stats/convergence.h"
+#include "stats/running.h"
+
+namespace avoc {
+namespace {
+
+using core::AlgorithmId;
+using core::BatchResult;
+
+class Uc1Test : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::LightScenarioParams params;
+    params.rounds = 3000;  // enough rounds for every claim, fast enough CI
+    scenario_ = new sim::LightScenario(params);
+    clean_ = new data::RoundTable(scenario_->MakeReferenceTable());
+    faulty_ = new data::RoundTable(scenario_->MakeFaultyTable());
+  }
+  static void TearDownTestSuite() {
+    delete scenario_;
+    delete clean_;
+    delete faulty_;
+    scenario_ = nullptr;
+    clean_ = nullptr;
+    faulty_ = nullptr;
+  }
+
+  static BatchResult Run(AlgorithmId id, const data::RoundTable& table) {
+    auto batch = core::RunAlgorithm(id, table);
+    EXPECT_TRUE(batch.ok()) << core::AlgorithmName(id);
+    return std::move(*batch);
+  }
+
+  static stats::ConvergenceReport Diff(AlgorithmId id) {
+    const auto clean_run = Run(id, *clean_);
+    const auto faulty_run = Run(id, *faulty_);
+    stats::ConvergenceOptions options;
+    options.tolerance = 100.0;  // 0.1 klx on an ~18.5 klx signal
+    options.window = 5;
+    return stats::MeasureConvergence(faulty_run.ContinuousOutputs(),
+                                     clean_run.ContinuousOutputs(), options);
+  }
+
+  static sim::LightScenario* scenario_;
+  static data::RoundTable* clean_;
+  static data::RoundTable* faulty_;
+};
+
+sim::LightScenario* Uc1Test::scenario_ = nullptr;
+data::RoundTable* Uc1Test::clean_ = nullptr;
+data::RoundTable* Uc1Test::faulty_ = nullptr;
+
+TEST_F(Uc1Test, Fig6b_AllVariantsAgreeOnCleanData) {
+  // "all 6 variants performed equally well, with outputs matching almost
+  // completely" — every output stays within the sensors' envelope and the
+  // variants' means sit within ~1% of each other.
+  std::vector<double> means;
+  for (const AlgorithmId id : core::AllAlgorithms()) {
+    const auto batch = Run(id, *clean_);
+    stats::RunningStats rs;
+    for (const double v : batch.ContinuousOutputs()) rs.Add(v);
+    means.push_back(rs.mean());
+    EXPECT_GT(rs.min(), 17000.0) << core::AlgorithmName(id);
+    EXPECT_LT(rs.max(), 20000.0) << core::AlgorithmName(id);
+  }
+  const double reference = means.front();
+  for (const double mean : means) {
+    EXPECT_NEAR(mean, reference, reference * 0.01);
+  }
+}
+
+TEST_F(Uc1Test, Fig6c_FaultSkewsRawE4Band) {
+  // The faulty E4 trace lives in the ~23-25 klx band of Fig. 6-c.
+  stats::RunningStats rs;
+  for (const double v : faulty_->ModuleValues(3)) rs.Add(v);
+  EXPECT_GT(rs.min(), 22000.0);
+  EXPECT_LT(rs.max(), 26000.0);
+  EXPECT_NEAR(rs.mean(), 24000.0, 1500.0);
+}
+
+TEST_F(Uc1Test, Fig6e_AverageNeverRecovers) {
+  // The stateless average carries the full +6000/5 = +1200 skew forever.
+  const auto report = Diff(AlgorithmId::kAverage);
+  EXPECT_FALSE(report.converged_at.has_value());
+  EXPECT_NEAR(report.peak_error, 1200.0, 10.0);
+}
+
+TEST_F(Uc1Test, Fig6e_StandardRecoversSlowly) {
+  // "the skew ... is then slowly mitigated" — standard converges, but far
+  // later than ME.
+  const auto standard = Diff(AlgorithmId::kStandard);
+  const auto me = Diff(AlgorithmId::kModuleElimination);
+  ASSERT_TRUE(standard.converged_at.has_value());
+  ASSERT_TRUE(me.converged_at.has_value());
+  EXPECT_GT(*standard.converged_at, 4 * *me.converged_at);
+  EXPECT_GE(*standard.converged_at, 20u);
+}
+
+TEST_F(Uc1Test, Fig6e_StandardSkewNotEliminatedCompletely) {
+  // Even after convergence-to-tolerance the standard algorithm keeps a
+  // nonzero residual (the record decays like 1/t, never reaching 0).
+  const auto clean_run = Run(AlgorithmId::kStandard, *clean_);
+  const auto faulty_run = Run(AlgorithmId::kStandard, *faulty_);
+  const auto clean_out = clean_run.ContinuousOutputs();
+  const auto faulty_out = faulty_run.ContinuousOutputs();
+  stats::RunningStats tail;
+  for (size_t r = clean_out.size() - 200; r < clean_out.size(); ++r) {
+    tail.Add(faulty_out[r] - clean_out[r]);
+  }
+  // A residual skew remains (its sign depends on which healthy sensors'
+  // records were damaged during the transient).
+  EXPECT_GT(std::abs(tail.mean()), 0.5);
+}
+
+TEST_F(Uc1Test, Fig6e_MeEliminatesQuickly) {
+  // "the faulty sensor is quickly eliminated in round 2".
+  const auto faulty_run = Run(AlgorithmId::kModuleElimination, *faulty_);
+  size_t first_eliminated = faulty_run.rounds.size();
+  for (size_t r = 0; r < faulty_run.rounds.size(); ++r) {
+    if (faulty_run.rounds[r].eliminated[3]) {
+      first_eliminated = r;
+      break;
+    }
+  }
+  EXPECT_LE(first_eliminated, 2u);
+}
+
+TEST_F(Uc1Test, Fig6f_HybridSpikesAtBootstrapOnly) {
+  const auto clean_run = Run(AlgorithmId::kHybrid, *clean_);
+  const auto faulty_run = Run(AlgorithmId::kHybrid, *faulty_);
+  const auto clean_out = clean_run.ContinuousOutputs();
+  const auto faulty_out = faulty_run.ContinuousOutputs();
+  // Round 0: the not-yet-mitigated fault skews the output.
+  EXPECT_GT(std::abs(faulty_out[0] - clean_out[0]), 300.0);
+  // "minus few spikes, the value is identical to the pre-error output":
+  // at most 2% of later rounds deviate.
+  size_t deviating = 0;
+  for (size_t r = 1; r < clean_out.size(); ++r) {
+    if (std::abs(faulty_out[r] - clean_out[r]) > 100.0) ++deviating;
+  }
+  EXPECT_LT(deviating, clean_out.size() / 50);
+}
+
+TEST_F(Uc1Test, Fig6f_AvocPrunesTheBootstrapSpike) {
+  // "the initial spike is quickly pruned within the initial rounds".
+  const auto clean_run = Run(AlgorithmId::kAvoc, *clean_);
+  const auto faulty_run = Run(AlgorithmId::kAvoc, *faulty_);
+  const auto clean_out = clean_run.ContinuousOutputs();
+  const auto faulty_out = faulty_run.ContinuousOutputs();
+  for (size_t r = 0; r < 10; ++r) {
+    EXPECT_LT(std::abs(faulty_out[r] - clean_out[r]), 100.0) << "round " << r;
+  }
+}
+
+TEST_F(Uc1Test, Fig6f_AvocClustersExactlyOnce) {
+  // "despite the clustering is only used once".
+  const auto faulty_run = Run(AlgorithmId::kAvoc, *faulty_);
+  EXPECT_EQ(faulty_run.clustered_rounds(), 1u);
+  EXPECT_TRUE(faulty_run.rounds[0].used_clustering);
+}
+
+TEST_F(Uc1Test, AvocConvergesNoLaterThanEveryBaseline) {
+  const auto avoc = Diff(AlgorithmId::kAvoc);
+  ASSERT_TRUE(avoc.converged_at.has_value());
+  EXPECT_EQ(*avoc.converged_at, 0u);
+  for (const AlgorithmId id :
+       {AlgorithmId::kStandard, AlgorithmId::kModuleElimination,
+        AlgorithmId::kSoftDynamicThreshold, AlgorithmId::kHybrid}) {
+    const auto baseline = Diff(id);
+    if (baseline.converged_at.has_value()) {
+      EXPECT_GE(*baseline.converged_at, *avoc.converged_at)
+          << core::AlgorithmName(id);
+    }
+  }
+}
+
+TEST_F(Uc1Test, ConvergenceBoostOverHistoryBaselines) {
+  // Abstract: "boosts the convergence of the measurements by 4x".  The
+  // measured factor depends on the baseline: >= 2x vs Hybrid and >= 4x vs
+  // the other history-based algorithms.
+  const auto avoc = Diff(AlgorithmId::kAvoc);
+  const auto hybrid = Diff(AlgorithmId::kHybrid);
+  const auto me = Diff(AlgorithmId::kModuleElimination);
+  const auto boost_hybrid = stats::ConvergenceBoost(avoc, hybrid);
+  const auto boost_me = stats::ConvergenceBoost(avoc, me);
+  ASSERT_TRUE(boost_hybrid.has_value());
+  ASSERT_TRUE(boost_me.has_value());
+  EXPECT_GE(*boost_hybrid, 2.0);
+  EXPECT_GE(*boost_me, 4.0);
+}
+
+TEST_F(Uc1Test, CovOutperformsPlainAverageUnderFault) {
+  // "it significantly outperforms other stateless approach".
+  const auto cov = Diff(AlgorithmId::kClusteringOnly);
+  const auto average = Diff(AlgorithmId::kAverage);
+  ASSERT_TRUE(cov.converged_at.has_value());
+  EXPECT_FALSE(average.converged_at.has_value());
+  EXPECT_LT(cov.peak_error, average.peak_error);
+}
+
+TEST_F(Uc1Test, CovExcludesE4FromTheFirstRound) {
+  // "Differently from Me, E4 was also excluded from the first round."
+  const auto faulty_run = Run(AlgorithmId::kClusteringOnly, *faulty_);
+  EXPECT_DOUBLE_EQ(faulty_run.rounds[0].weights[3], 0.0);
+  EXPECT_TRUE(faulty_run.rounds[0].used_clustering);
+}
+
+}  // namespace
+}  // namespace avoc

@@ -1,0 +1,206 @@
+// End-to-end reproduction checks for UC-2 (§7, Fig. 7): BLE beacon fusion
+// with heavy noise, missing values and the averaging-vs-selection split.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/batch.h"
+#include "sim/ble.h"
+#include "stats/ambiguity.h"
+
+namespace avoc {
+namespace {
+
+using core::AlgorithmId;
+
+core::PresetParams BlePreset() {
+  // Absolute 6 dB agreement margin; BLE dropouts demand a loose quorum.
+  core::PresetParams params;
+  params.scale = core::ThresholdScale::kAbsolute;
+  params.error = 6.0;
+  params.quorum_fraction = 0.2;
+  return params;
+}
+
+class Uc2Test : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new sim::BleDataset(sim::BleScenario().Generate());
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  static std::vector<std::optional<double>> Fuse(
+      AlgorithmId id, const data::RoundTable& table,
+      const core::PresetParams& params) {
+    auto batch = core::RunAlgorithm(id, table, params);
+    EXPECT_TRUE(batch.ok()) << core::AlgorithmName(id);
+    return batch->outputs;
+  }
+
+  static std::vector<std::optional<double>> Single(
+      const data::RoundTable& table) {
+    std::vector<std::optional<double>> out;
+    for (size_t r = 0; r < table.round_count(); ++r) {
+      out.push_back(table.At(r, 0));
+    }
+    return out;
+  }
+
+  static stats::AmbiguityReport Ambiguity(
+      const std::vector<std::optional<double>>& a,
+      const std::vector<std::optional<double>>& b) {
+    stats::AmbiguityOptions options;
+    options.margin = 3.0;
+    return stats::MeasureAmbiguity(a, b, options);
+  }
+
+  static sim::BleDataset* dataset_;
+};
+
+sim::BleDataset* Uc2Test::dataset_ = nullptr;
+
+TEST_F(Uc2Test, Fig7a_SingleBeaconIsAmbiguous) {
+  // "it is not possible to identify the closest stack to the robot for
+  // most of the duration" — a large fraction of rounds is ambiguous.
+  const auto report =
+      Ambiguity(Single(dataset_->stack_a), Single(dataset_->stack_b));
+  EXPECT_GT(report.ambiguous_fraction(), 0.30);
+}
+
+TEST_F(Uc2Test, Fig7b_AveragingHalvesTheAmbiguity) {
+  const auto single =
+      Ambiguity(Single(dataset_->stack_a), Single(dataset_->stack_b));
+  const auto averaged = Ambiguity(
+      Fuse(AlgorithmId::kAverage, dataset_->stack_a, BlePreset()),
+      Fuse(AlgorithmId::kAverage, dataset_->stack_b, BlePreset()));
+  EXPECT_LT(averaged.ambiguous_fraction(),
+            single.ambiguous_fraction() * 0.6);
+}
+
+TEST_F(Uc2Test, Fig7c_AvocResolvesProximity) {
+  const auto fused =
+      Ambiguity(Fuse(AlgorithmId::kAvoc, dataset_->stack_a, BlePreset()),
+                Fuse(AlgorithmId::kAvoc, dataset_->stack_b, BlePreset()));
+  const auto single =
+      Ambiguity(Single(dataset_->stack_a), Single(dataset_->stack_b));
+  EXPECT_LT(fused.ambiguous_fraction(), single.ambiguous_fraction());
+}
+
+TEST_F(Uc2Test, HistoryMethodHasNoEffectWithinEachCollationGroup) {
+  // "The output of all history-based algorithms overlaps completely ...
+  // This created 2 algorithm groups" — compare the averaging group.
+  const auto avg =
+      Fuse(AlgorithmId::kAverage, dataset_->stack_a, BlePreset());
+  const auto standard =
+      Fuse(AlgorithmId::kStandard, dataset_->stack_a, BlePreset());
+  const auto sdt = Fuse(AlgorithmId::kSoftDynamicThreshold,
+                        dataset_->stack_a, BlePreset());
+  size_t close_standard = 0;
+  size_t close_sdt = 0;
+  size_t compared = 0;
+  for (size_t r = 0; r < avg.size(); ++r) {
+    if (!avg[r].has_value()) continue;
+    ++compared;
+    if (standard[r].has_value() && std::abs(*standard[r] - *avg[r]) < 1.0) {
+      ++close_standard;
+    }
+    if (sdt[r].has_value() && std::abs(*sdt[r] - *avg[r]) < 1.0) {
+      ++close_sdt;
+    }
+  }
+  ASSERT_GT(compared, 200u);
+  // "the chaotic nature of the measurements meant the history values were
+  // all very low" -> the weighted averages track the plain average.
+  EXPECT_GT(close_standard, compared * 9 / 10);
+  EXPECT_GT(close_sdt, compared * 9 / 10);
+}
+
+TEST_F(Uc2Test, CollationMethodSplitsTheAlgorithms) {
+  // The averaging group and the mean-nearest-neighbour group genuinely
+  // differ: MNN outputs are whole-dB candidate values.
+  const auto avg =
+      Fuse(AlgorithmId::kAverage, dataset_->stack_a, BlePreset());
+  const auto avoc = Fuse(AlgorithmId::kAvoc, dataset_->stack_a, BlePreset());
+  size_t different = 0;
+  size_t compared = 0;
+  for (size_t r = 0; r < avg.size(); ++r) {
+    if (!avg[r].has_value() || !avoc[r].has_value()) continue;
+    ++compared;
+    if (std::abs(*avg[r] - *avoc[r]) > 0.25) ++different;
+  }
+  ASSERT_GT(compared, 200u);
+  EXPECT_GT(different, compared / 4);
+}
+
+TEST_F(Uc2Test, AveragingCollationWinsOnStability) {
+  // "averaging being the better option in our experiment": fewer decision
+  // flips plus ambiguous rounds than mean-nearest-neighbour selection.
+  const auto averaging = Ambiguity(
+      Fuse(AlgorithmId::kAverage, dataset_->stack_a, BlePreset()),
+      Fuse(AlgorithmId::kAverage, dataset_->stack_b, BlePreset()));
+  const auto selecting =
+      Ambiguity(Fuse(AlgorithmId::kAvoc, dataset_->stack_a, BlePreset()),
+                Fuse(AlgorithmId::kAvoc, dataset_->stack_b, BlePreset()));
+  const size_t averaging_bad =
+      averaging.ambiguous_rounds + averaging.decision_flips;
+  const size_t selecting_bad =
+      selecting.ambiguous_rounds + selecting.decision_flips;
+  EXPECT_LT(averaging_bad, selecting_bad);
+}
+
+TEST_F(Uc2Test, MissingValueRoundsStillFuse) {
+  // Fault scenario "missing values": rounds with a minority of readings
+  // still converge to a common result.
+  auto batch =
+      core::RunAlgorithm(AlgorithmId::kAverage, dataset_->stack_a,
+                         BlePreset());
+  ASSERT_TRUE(batch.ok());
+  size_t partial_rounds = 0;
+  for (size_t r = 0; r < batch->rounds.size(); ++r) {
+    const auto& result = batch->rounds[r];
+    if (result.present_count < 9 && result.present_count >= 2 &&
+        result.outcome == core::RoundOutcome::kVoted) {
+      ++partial_rounds;
+    }
+  }
+  EXPECT_GT(partial_rounds, 50u);
+}
+
+TEST_F(Uc2Test, StarvedRoundsRevertToLastResult) {
+  // "the system should either revert to the last accepted result, or
+  // raise an error" — starve a table region and check the revert policy.
+  data::RoundTable starved = dataset_->stack_a;
+  for (size_t r = 100; r < 105; ++r) {
+    for (size_t m = 0; m < starved.module_count(); ++m) {
+      starved.At(r, m).reset();
+    }
+  }
+  auto batch = core::RunAlgorithm(AlgorithmId::kAverage, starved, BlePreset());
+  ASSERT_TRUE(batch.ok());
+  for (size_t r = 100; r < 105; ++r) {
+    EXPECT_EQ(batch->rounds[r].outcome, core::RoundOutcome::kRevertedLast);
+    ASSERT_TRUE(batch->outputs[r].has_value());
+    EXPECT_DOUBLE_EQ(*batch->outputs[r], *batch->outputs[99]);
+  }
+}
+
+TEST_F(Uc2Test, RaisePolicySurfacesStarvedRounds) {
+  data::RoundTable starved = dataset_->stack_a;
+  for (size_t m = 0; m < starved.module_count(); ++m) {
+    starved.At(50, m).reset();
+  }
+  auto config = core::MakeConfig(AlgorithmId::kAverage, BlePreset());
+  config.on_no_quorum = core::NoQuorumPolicy::kRaise;
+  auto engine = core::VotingEngine::Create(9, config);
+  ASSERT_TRUE(engine.ok());
+  auto batch = core::RunOverTable(*engine, starved);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->rounds[50].outcome, core::RoundOutcome::kError);
+  EXPECT_EQ(batch->rounds[50].status.code(), ErrorCode::kNoQuorum);
+}
+
+}  // namespace
+}  // namespace avoc

@@ -1,0 +1,171 @@
+#include "json/parse.h"
+
+#include <gtest/gtest.h>
+
+namespace avoc::json {
+namespace {
+
+Value MustParse(std::string_view text) {
+  auto result = Parse(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? *result : Value();
+}
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(MustParse("null").is_null());
+  EXPECT_EQ(MustParse("true").BoolOr(false), true);
+  EXPECT_EQ(MustParse("false").BoolOr(true), false);
+  EXPECT_DOUBLE_EQ(MustParse("3.5").DoubleOr(0), 3.5);
+  EXPECT_EQ(MustParse("\"hi\"").StringOr(""), "hi");
+}
+
+TEST(JsonParseTest, NumberForms) {
+  EXPECT_DOUBLE_EQ(MustParse("0").DoubleOr(-1), 0.0);
+  EXPECT_DOUBLE_EQ(MustParse("-0.5").DoubleOr(0), -0.5);
+  EXPECT_DOUBLE_EQ(MustParse("1e3").DoubleOr(0), 1000.0);
+  EXPECT_DOUBLE_EQ(MustParse("2.5E-2").DoubleOr(0), 0.025);
+  EXPECT_DOUBLE_EQ(MustParse("-12").DoubleOr(0), -12.0);
+}
+
+TEST(JsonParseTest, RejectsMalformedNumbers) {
+  EXPECT_FALSE(Parse("01").ok());       // leading zero
+  EXPECT_FALSE(Parse("1.").ok());       // bare decimal point
+  EXPECT_FALSE(Parse(".5").ok());       // missing integer part
+  EXPECT_FALSE(Parse("1e").ok());       // empty exponent
+  EXPECT_FALSE(Parse("+1").ok());       // leading plus
+  EXPECT_FALSE(Parse("NaN").ok());
+  EXPECT_FALSE(Parse("Infinity").ok());
+}
+
+TEST(JsonParseTest, Arrays) {
+  const Value v = MustParse("[1, 2, 3]");
+  ASSERT_TRUE(v.is_array());
+  ASSERT_EQ(v.array().size(), 3u);
+  EXPECT_DOUBLE_EQ(v.array()[1].DoubleOr(0), 2.0);
+  EXPECT_TRUE(MustParse("[]").array().empty());
+  EXPECT_TRUE(MustParse("[[]]").array()[0].is_array());
+}
+
+TEST(JsonParseTest, Objects) {
+  const Value v = MustParse(R"({"a": 1, "b": {"c": "x"}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_DOUBLE_EQ(v.Find("a")->DoubleOr(0), 1.0);
+  EXPECT_EQ(v.Get({"b", "c"})->StringOr(""), "x");
+  EXPECT_EQ(v.Get({"b", "missing"}), nullptr);
+}
+
+TEST(JsonParseTest, RejectsDuplicateKeys) {
+  EXPECT_FALSE(Parse(R"({"a": 1, "a": 2})").ok());
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  EXPECT_EQ(MustParse(R"("a\"b")").StringOr(""), "a\"b");
+  EXPECT_EQ(MustParse(R"("a\\b")").StringOr(""), "a\\b");
+  EXPECT_EQ(MustParse(R"("a\nb")").StringOr(""), "a\nb");
+  EXPECT_EQ(MustParse(R"("a\tb")").StringOr(""), "a\tb");
+  EXPECT_EQ(MustParse(R"("A")").StringOr(""), "A");
+}
+
+TEST(JsonParseTest, UnicodeEscapes) {
+  EXPECT_EQ(MustParse(R"("é")").StringOr(""), "\xC3\xA9");       // é
+  EXPECT_EQ(MustParse(R"("€")").StringOr(""), "\xE2\x82\xAC");   // €
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(MustParse(R"("😀")").StringOr(""),
+            "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonParseTest, RejectsBadEscapes) {
+  EXPECT_FALSE(Parse(R"("\x41")").ok());
+  EXPECT_FALSE(Parse(R"("\u12")").ok());
+  EXPECT_FALSE(Parse(R"("\ud800")").ok());          // unpaired high surrogate
+  EXPECT_FALSE(Parse(R"("\udc00")").ok());          // lone low surrogate
+  EXPECT_FALSE(Parse(R"("\ud800A")").ok());    // high + non-low
+}
+
+TEST(JsonParseTest, RejectsControlCharactersInStrings) {
+  EXPECT_FALSE(Parse("\"a\nb\"").ok());
+  EXPECT_FALSE(Parse(std::string("\"a\x01") + "b\"").ok());
+}
+
+TEST(JsonParseTest, RejectsUnterminatedConstructs) {
+  EXPECT_FALSE(Parse("\"abc").ok());
+  EXPECT_FALSE(Parse("[1, 2").ok());
+  EXPECT_FALSE(Parse("{\"a\": 1").ok());
+  EXPECT_FALSE(Parse("{\"a\"").ok());
+  EXPECT_FALSE(Parse("{\"a\" 1}").ok());
+}
+
+TEST(JsonParseTest, RejectsTrailingContent) {
+  EXPECT_FALSE(Parse("1 2").ok());
+  EXPECT_FALSE(Parse("{} []").ok());
+}
+
+TEST(JsonParseTest, TrailingCommasAcceptedByDefault) {
+  EXPECT_TRUE(Parse("[1, 2,]").ok());
+  EXPECT_TRUE(Parse(R"({"a": 1,})").ok());
+}
+
+TEST(JsonParseTest, TrailingCommasRejectedWhenDisabled) {
+  ParseOptions options;
+  options.allow_trailing_commas = false;
+  EXPECT_FALSE(Parse("[1, 2,]", options).ok());
+  EXPECT_FALSE(Parse(R"({"a": 1,})", options).ok());
+}
+
+TEST(JsonParseTest, CommentsAcceptedByDefault) {
+  const Value v = MustParse(R"({
+    // line comment
+    "a": 1, /* block
+    comment */ "b": 2
+  })");
+  EXPECT_DOUBLE_EQ(v.Find("b")->DoubleOr(0), 2.0);
+}
+
+TEST(JsonParseTest, CommentsRejectedWhenDisabled) {
+  ParseOptions options;
+  options.allow_comments = false;
+  EXPECT_FALSE(Parse("// c\n1", options).ok());
+}
+
+TEST(JsonParseTest, DepthLimitEnforced) {
+  std::string deep;
+  for (int i = 0; i < 400; ++i) deep += '[';
+  deep += "1";
+  for (int i = 0; i < 400; ++i) deep += ']';
+  EXPECT_FALSE(Parse(deep).ok());
+
+  ParseOptions loose;
+  loose.max_depth = 1000;
+  EXPECT_TRUE(Parse(deep, loose).ok());
+}
+
+TEST(JsonParseTest, ErrorsCarryLineAndColumn) {
+  const auto result = Parse("{\n  \"a\": tru\n}");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 2"), std::string::npos)
+      << result.status().message();
+}
+
+TEST(JsonParseTest, ParsesThePapersListing1) {
+  // Listing 1 verbatim, including its trailing comma.
+  const Value v = MustParse(R"({
+    "algorithm_name": "AVOC",
+    "quorum": "UNTIL",
+    "quorum_percentage": 100,
+    "exclusion": "NONE",
+    "exclusion_threshold": 0,
+    "history": "HYBRID",
+    "params": {
+      "error": 0.05,
+      "soft_threshold": 2
+    },
+    "collation": "MEAN_NEAREST_NEIGHBOR",
+    "bootstrapping": true,
+  })");
+  EXPECT_EQ(v.Find("algorithm_name")->StringOr(""), "AVOC");
+  EXPECT_DOUBLE_EQ(v.Get({"params", "error"})->DoubleOr(0), 0.05);
+  EXPECT_TRUE(v.Find("bootstrapping")->BoolOr(false));
+}
+
+}  // namespace
+}  // namespace avoc::json

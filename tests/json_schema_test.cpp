@@ -1,0 +1,178 @@
+#include "json/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "json/parse.h"
+
+namespace avoc::json {
+namespace {
+
+bool Valid(std::string_view schema, std::string_view instance) {
+  auto report = ValidateSchemaText(schema, instance);
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return report.ok() && report->ok();
+}
+
+std::string FirstViolation(std::string_view schema,
+                           std::string_view instance) {
+  auto report = ValidateSchemaText(schema, instance);
+  EXPECT_TRUE(report.ok());
+  EXPECT_FALSE(report->ok());
+  return report->violations.empty() ? ""
+                                    : report->violations.front().path + ": " +
+                                          report->violations.front().message;
+}
+
+TEST(JsonSchemaTest, TypeKeyword) {
+  EXPECT_TRUE(Valid(R"({"type":"number"})", "1.5"));
+  EXPECT_FALSE(Valid(R"({"type":"number"})", "\"x\""));
+  EXPECT_TRUE(Valid(R"({"type":"integer"})", "3"));
+  EXPECT_FALSE(Valid(R"({"type":"integer"})", "3.5"));
+  EXPECT_TRUE(Valid(R"({"type":"string"})", "\"x\""));
+  EXPECT_TRUE(Valid(R"({"type":"boolean"})", "true"));
+  EXPECT_TRUE(Valid(R"({"type":"null"})", "null"));
+  EXPECT_TRUE(Valid(R"({"type":"array"})", "[]"));
+  EXPECT_TRUE(Valid(R"({"type":"object"})", "{}"));
+}
+
+TEST(JsonSchemaTest, TypeUnion) {
+  const char* schema = R"({"type":["number","string"]})";
+  EXPECT_TRUE(Valid(schema, "1"));
+  EXPECT_TRUE(Valid(schema, "\"x\""));
+  EXPECT_FALSE(Valid(schema, "true"));
+}
+
+TEST(JsonSchemaTest, EnumAndConst) {
+  EXPECT_TRUE(Valid(R"({"enum":["A","B"]})", "\"A\""));
+  EXPECT_FALSE(Valid(R"({"enum":["A","B"]})", "\"C\""));
+  EXPECT_TRUE(Valid(R"({"const":42})", "42"));
+  EXPECT_FALSE(Valid(R"({"const":42})", "43"));
+}
+
+TEST(JsonSchemaTest, NumericBounds) {
+  EXPECT_TRUE(Valid(R"({"minimum":0,"maximum":100})", "50"));
+  EXPECT_FALSE(Valid(R"({"minimum":0})", "-1"));
+  EXPECT_FALSE(Valid(R"({"maximum":100})", "101"));
+  EXPECT_TRUE(Valid(R"({"minimum":0})", "0"));
+  EXPECT_FALSE(Valid(R"({"exclusiveMinimum":0})", "0"));
+  EXPECT_TRUE(Valid(R"({"exclusiveMinimum":0})", "0.001"));
+  EXPECT_FALSE(Valid(R"({"exclusiveMaximum":10})", "10"));
+}
+
+TEST(JsonSchemaTest, StringLength) {
+  EXPECT_TRUE(Valid(R"({"minLength":1,"maxLength":3})", "\"ab\""));
+  EXPECT_FALSE(Valid(R"({"minLength":1})", "\"\""));
+  EXPECT_FALSE(Valid(R"({"maxLength":2})", "\"abc\""));
+}
+
+TEST(JsonSchemaTest, ArrayConstraints) {
+  EXPECT_TRUE(Valid(R"({"minItems":1,"maxItems":3})", "[1,2]"));
+  EXPECT_FALSE(Valid(R"({"minItems":1})", "[]"));
+  EXPECT_FALSE(Valid(R"({"maxItems":1})", "[1,2]"));
+  EXPECT_TRUE(Valid(R"({"items":{"type":"number"}})", "[1,2,3]"));
+  EXPECT_FALSE(Valid(R"({"items":{"type":"number"}})", "[1,\"x\"]"));
+}
+
+TEST(JsonSchemaTest, ObjectPropertiesAndRequired) {
+  const char* schema = R"({
+    "type": "object",
+    "required": ["name"],
+    "properties": {
+      "name": {"type": "string"},
+      "age": {"type": "integer", "minimum": 0}
+    }
+  })";
+  EXPECT_TRUE(Valid(schema, R"({"name":"x","age":3})"));
+  EXPECT_FALSE(Valid(schema, R"({"age":3})"));         // missing required
+  EXPECT_FALSE(Valid(schema, R"({"name":1})"));        // wrong type
+  EXPECT_FALSE(Valid(schema, R"({"name":"x","age":-1})"));
+}
+
+TEST(JsonSchemaTest, AdditionalPropertiesFalse) {
+  const char* schema = R"({
+    "type": "object",
+    "properties": {"a": {"type": "number"}},
+    "additionalProperties": false
+  })";
+  EXPECT_TRUE(Valid(schema, R"({"a":1})"));
+  EXPECT_FALSE(Valid(schema, R"({"a":1,"b":2})"));
+}
+
+TEST(JsonSchemaTest, AdditionalPropertiesSchema) {
+  const char* schema = R"({
+    "type": "object",
+    "additionalProperties": {"type": "number"}
+  })";
+  EXPECT_TRUE(Valid(schema, R"({"x":1,"y":2})"));
+  EXPECT_FALSE(Valid(schema, R"({"x":"s"})"));
+}
+
+TEST(JsonSchemaTest, AnyOf) {
+  const char* schema =
+      R"({"anyOf":[{"type":"number"},{"type":"string","minLength":2}]})";
+  EXPECT_TRUE(Valid(schema, "1"));
+  EXPECT_TRUE(Valid(schema, "\"ab\""));
+  EXPECT_FALSE(Valid(schema, "\"a\""));
+  EXPECT_FALSE(Valid(schema, "true"));
+}
+
+TEST(JsonSchemaTest, BooleanSchemas) {
+  EXPECT_TRUE(Valid("true", "42"));
+  EXPECT_FALSE(Valid("false", "42"));
+}
+
+TEST(JsonSchemaTest, NestedPathsInViolations) {
+  const char* schema = R"({
+    "type": "object",
+    "properties": {
+      "outer": {
+        "type": "object",
+        "properties": {"inner": {"type": "number"}}
+      }
+    }
+  })";
+  const std::string violation =
+      FirstViolation(schema, R"({"outer":{"inner":"no"}})");
+  EXPECT_NE(violation.find("/outer/inner"), std::string::npos) << violation;
+}
+
+TEST(JsonSchemaTest, TypeMismatchSuppressesNoiseChecks) {
+  // A string where an object was expected: exactly one violation, not a
+  // cascade of required/properties failures.
+  const char* schema = R"({
+    "type": "object",
+    "required": ["a", "b", "c"]
+  })";
+  auto report = ValidateSchemaText(schema, "\"oops\"");
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->violations.size(), 1u);
+}
+
+TEST(JsonSchemaTest, MalformedSchemaIsAnError) {
+  EXPECT_FALSE(ValidateSchemaText(R"({"type":3})", "1").ok());
+  EXPECT_FALSE(ValidateSchemaText(R"({"enum":5})", "1").ok());
+  EXPECT_FALSE(ValidateSchemaText(R"({"required":"name"})", "{}").ok());
+  EXPECT_FALSE(ValidateSchemaText("[1]", "{}").ok());
+}
+
+TEST(JsonSchemaTest, ReportToStringListsEverything) {
+  const char* schema = R"({
+    "type": "object",
+    "required": ["a"],
+    "properties": {"b": {"type": "number"}}
+  })";
+  auto report = ValidateSchemaText(schema, R"({"b":"x"})");
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->violations.size(), 2u);
+  const std::string text = report->ToString();
+  EXPECT_NE(text.find("required"), std::string::npos);
+  EXPECT_NE(text.find("/b"), std::string::npos);
+}
+
+TEST(JsonSchemaTest, UnknownKeywordsIgnored) {
+  EXPECT_TRUE(Valid(R"({"type":"number","$comment":"hi","format":"x"})",
+                    "1"));
+}
+
+}  // namespace
+}  // namespace avoc::json

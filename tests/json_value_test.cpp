@@ -1,0 +1,133 @@
+#include "json/value.h"
+
+#include <gtest/gtest.h>
+
+namespace avoc::json {
+namespace {
+
+TEST(JsonValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), Type::kNull);
+}
+
+TEST(JsonValueTest, ConstructorsSetTypes) {
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(1.5).is_number());
+  EXPECT_TRUE(Value(3).is_number());
+  EXPECT_TRUE(Value(int64_t{7}).is_number());
+  EXPECT_TRUE(Value("s").is_string());
+  EXPECT_TRUE(Value(std::string("s")).is_string());
+  EXPECT_TRUE(Value(Array{}).is_array());
+  EXPECT_TRUE(Value(Object{}).is_object());
+  EXPECT_TRUE(Value(nullptr).is_null());
+}
+
+TEST(JsonValueTest, CheckedAccessorsEnforceType) {
+  const Value number(2.0);
+  EXPECT_TRUE(number.AsDouble().ok());
+  EXPECT_FALSE(number.AsBool().ok());
+  EXPECT_FALSE(number.AsString().ok());
+  const Value text("x");
+  EXPECT_TRUE(text.AsString().ok());
+  EXPECT_FALSE(text.AsDouble().ok());
+}
+
+TEST(JsonValueTest, AsIntRequiresIntegralValue) {
+  EXPECT_EQ(*Value(5.0).AsInt(), 5);
+  EXPECT_EQ(*Value(-3.0).AsInt(), -3);
+  EXPECT_FALSE(Value(5.5).AsInt().ok());
+  EXPECT_FALSE(Value(1e20).AsInt().ok());
+}
+
+TEST(JsonValueTest, DefaultedAccessors) {
+  EXPECT_EQ(Value("x").StringOr("d"), "x");
+  EXPECT_EQ(Value(1.0).StringOr("d"), "d");
+  EXPECT_DOUBLE_EQ(Value(2.5).DoubleOr(0), 2.5);
+  EXPECT_DOUBLE_EQ(Value("x").DoubleOr(9), 9.0);
+  EXPECT_TRUE(Value(true).BoolOr(false));
+  EXPECT_TRUE(Value("x").BoolOr(true));
+  EXPECT_EQ(Value(7.0).IntOr(0), 7);
+  EXPECT_EQ(Value(7.5).IntOr(1), 1);
+}
+
+TEST(JsonObjectTest, SetAndFind) {
+  Object obj;
+  obj.Set("a", 1.0);
+  obj.Set("b", "two");
+  EXPECT_EQ(obj.size(), 2u);
+  EXPECT_TRUE(obj.contains("a"));
+  EXPECT_FALSE(obj.contains("c"));
+  EXPECT_DOUBLE_EQ(obj.find("a")->DoubleOr(0), 1.0);
+  EXPECT_EQ(obj.find("c"), nullptr);
+}
+
+TEST(JsonObjectTest, SetOverwritesInPlace) {
+  Object obj;
+  obj.Set("a", 1.0);
+  obj.Set("b", 2.0);
+  obj.Set("a", 9.0);
+  EXPECT_EQ(obj.size(), 2u);
+  EXPECT_DOUBLE_EQ(obj.find("a")->DoubleOr(0), 9.0);
+  // Insertion order preserved even after overwrite.
+  EXPECT_EQ(obj.entries()[0].first, "a");
+  EXPECT_EQ(obj.entries()[1].first, "b");
+}
+
+TEST(JsonObjectTest, SubscriptInsertsNull) {
+  Object obj;
+  EXPECT_TRUE(obj["fresh"].is_null());
+  EXPECT_EQ(obj.size(), 1u);
+  obj["fresh"] = Value(3.0);
+  EXPECT_DOUBLE_EQ(obj.find("fresh")->DoubleOr(0), 3.0);
+}
+
+TEST(JsonObjectTest, EraseRemovesKey) {
+  Object obj;
+  obj.Set("a", 1.0);
+  EXPECT_TRUE(obj.Erase("a"));
+  EXPECT_FALSE(obj.Erase("a"));
+  EXPECT_TRUE(obj.empty());
+}
+
+TEST(JsonObjectTest, EqualityIsOrderInsensitive) {
+  Object a;
+  a.Set("x", 1.0);
+  a.Set("y", 2.0);
+  Object b;
+  b.Set("y", 2.0);
+  b.Set("x", 1.0);
+  EXPECT_TRUE(a == b);
+  b.Set("y", 3.0);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(JsonValueTest, EqualityDeep) {
+  const Value a(MakeObject({{"k", MakeArray({1.0, "s", true})}}));
+  const Value b(MakeObject({{"k", MakeArray({1.0, "s", true})}}));
+  const Value c(MakeObject({{"k", MakeArray({1.0, "s", false})}}));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(JsonValueTest, GetDescendsPaths) {
+  const Value v(MakeObject(
+      {{"outer", MakeObject({{"inner", MakeObject({{"leaf", 5.0}})}})}}));
+  EXPECT_DOUBLE_EQ(v.Get({"outer", "inner", "leaf"})->DoubleOr(0), 5.0);
+  EXPECT_EQ(v.Get({"outer", "nope"}), nullptr);
+  EXPECT_EQ(v.Get({"outer", "inner", "leaf", "deeper"}), nullptr);
+}
+
+TEST(JsonValueTest, FindOnNonObjectIsNull) {
+  EXPECT_EQ(Value(1.0).Find("x"), nullptr);
+  EXPECT_EQ(Value(Array{}).Find("x"), nullptr);
+}
+
+TEST(JsonValueTest, TypeNames) {
+  EXPECT_EQ(TypeName(Type::kNull), "null");
+  EXPECT_EQ(TypeName(Type::kObject), "object");
+  EXPECT_EQ(TypeName(Type::kArray), "array");
+}
+
+}  // namespace
+}  // namespace avoc::json

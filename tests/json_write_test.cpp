@@ -1,0 +1,90 @@
+#include "json/write.h"
+
+#include <gtest/gtest.h>
+
+#include "json/parse.h"
+
+namespace avoc::json {
+namespace {
+
+TEST(JsonWriteTest, Scalars) {
+  EXPECT_EQ(Write(Value()), "null");
+  EXPECT_EQ(Write(Value(true)), "true");
+  EXPECT_EQ(Write(Value(false)), "false");
+  EXPECT_EQ(Write(Value("hi")), "\"hi\"");
+}
+
+TEST(JsonWriteTest, IntegralNumbersHaveNoDecimalPoint) {
+  EXPECT_EQ(Write(Value(5.0)), "5");
+  EXPECT_EQ(Write(Value(-17.0)), "-17");
+  EXPECT_EQ(Write(Value(0.0)), "0");
+}
+
+TEST(JsonWriteTest, FractionalNumbersRoundTripExactly) {
+  for (const double d : {0.05, 3.14159, -2.5, 1e-9, 6.02e23}) {
+    const std::string text = Write(Value(d));
+    auto parsed = Parse(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    EXPECT_DOUBLE_EQ(parsed->DoubleOr(0), d) << text;
+  }
+}
+
+TEST(JsonWriteTest, NonFiniteBecomesNull) {
+  EXPECT_EQ(Write(Value(std::numeric_limits<double>::quiet_NaN())), "null");
+  EXPECT_EQ(Write(Value(std::numeric_limits<double>::infinity())), "null");
+}
+
+TEST(JsonWriteTest, StringEscaping) {
+  EXPECT_EQ(Write(Value("a\"b")), R"("a\"b")");
+  EXPECT_EQ(Write(Value("a\\b")), R"("a\\b")");
+  EXPECT_EQ(Write(Value("a\nb")), R"("a\nb")");
+  EXPECT_EQ(Write(Value(std::string("a\x01") + "b")), "\"a\\u0001b\"");
+}
+
+TEST(JsonWriteTest, CompactContainers) {
+  EXPECT_EQ(Write(Value(MakeArray({1.0, 2.0}))), "[1,2]");
+  EXPECT_EQ(Write(Value(MakeObject({{"a", 1.0}}))), R"({"a":1})");
+  EXPECT_EQ(Write(Value(Array{})), "[]");
+  EXPECT_EQ(Write(Value(Object{})), "{}");
+}
+
+TEST(JsonWriteTest, PrettyIndents) {
+  const std::string pretty =
+      WritePretty(Value(MakeObject({{"a", MakeArray({1.0})}})));
+  EXPECT_EQ(pretty, "{\n  \"a\": [\n    1\n  ]\n}");
+}
+
+TEST(JsonWriteTest, ObjectOrderPreserved) {
+  Object obj;
+  obj.Set("z", 1.0);
+  obj.Set("a", 2.0);
+  EXPECT_EQ(Write(Value(std::move(obj))), R"({"z":1,"a":2})");
+}
+
+class JsonRoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(JsonRoundTripTest, ParseWriteParseIsIdentity) {
+  auto first = Parse(GetParam());
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  const std::string compact = Write(*first);
+  auto second = Parse(compact);
+  ASSERT_TRUE(second.ok()) << compact;
+  EXPECT_EQ(*first, *second) << compact;
+  // Pretty output parses back to the same value too.
+  auto third = Parse(WritePretty(*first));
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(*first, *third);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Documents, JsonRoundTripTest,
+    ::testing::Values(
+        "null", "true", "42", "-0.5", "\"text with \\\"quotes\\\"\"", "[]",
+        "{}", "[1, [2, [3, [4]]]]",
+        R"({"nested": {"deep": {"array": [1, 2, {"x": null}]}}})",
+        R"({"unicode": "café €"})",
+        R"([true, false, null, 0, -1, 1.5, "mix"])",
+        R"({"algorithm_name":"AVOC","params":{"error":0.05},"bootstrapping":true})"));
+
+}  // namespace
+}  // namespace avoc::json

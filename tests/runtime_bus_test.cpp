@@ -1,0 +1,85 @@
+#include "runtime/bus.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace avoc::runtime {
+namespace {
+
+TEST(TopicTest, DeliversToSubscriber) {
+  Topic<int> topic;
+  std::vector<int> received;
+  topic.Subscribe([&](const int& v) { received.push_back(v); });
+  topic.Publish(1);
+  topic.Publish(2);
+  EXPECT_EQ(received, (std::vector<int>{1, 2}));
+}
+
+TEST(TopicTest, MultipleSubscribersInOrder) {
+  Topic<std::string> topic;
+  std::string log;
+  topic.Subscribe([&](const std::string& v) { log += "a:" + v + ";"; });
+  topic.Subscribe([&](const std::string& v) { log += "b:" + v + ";"; });
+  topic.Publish("x");
+  EXPECT_EQ(log, "a:x;b:x;");
+  EXPECT_EQ(topic.subscriber_count(), 2u);
+}
+
+TEST(TopicTest, UnsubscribeStopsDelivery) {
+  Topic<int> topic;
+  int count = 0;
+  const SubscriptionId id = topic.Subscribe([&](const int&) { ++count; });
+  topic.Publish(1);
+  EXPECT_TRUE(topic.Unsubscribe(id));
+  topic.Publish(2);
+  EXPECT_EQ(count, 1);
+  EXPECT_FALSE(topic.Unsubscribe(id));  // second removal is a no-op
+  EXPECT_EQ(topic.subscriber_count(), 0u);
+}
+
+TEST(TopicTest, PublishWithoutSubscribersIsSafe) {
+  Topic<int> topic;
+  topic.Publish(42);  // must not crash
+  EXPECT_EQ(topic.subscriber_count(), 0u);
+}
+
+TEST(TopicTest, SubscriptionIdsAreUnique) {
+  Topic<int> topic;
+  const SubscriptionId a = topic.Subscribe([](const int&) {});
+  const SubscriptionId b = topic.Subscribe([](const int&) {});
+  EXPECT_NE(a, b);
+}
+
+TEST(TopicTest, ConcurrentPublishersDeliverEverything) {
+  Topic<int> topic;
+  std::atomic<int> sum{0};
+  topic.Subscribe([&](const int& v) { sum += v; });
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&topic] {
+      for (int i = 0; i < kPerThread; ++i) topic.Publish(1);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(sum.load(), kThreads * kPerThread);
+}
+
+TEST(TopicTest, ChainedTopicsDispatchSynchronously) {
+  // sensor -> hub -> voter style chaining across distinct topics.
+  Topic<int> first;
+  Topic<int> second;
+  std::vector<int> out;
+  second.Subscribe([&](const int& v) { out.push_back(v); });
+  first.Subscribe([&](const int& v) { second.Publish(v * 10); });
+  first.Publish(7);
+  EXPECT_EQ(out, (std::vector<int>{70}));
+}
+
+}  // namespace
+}  // namespace avoc::runtime

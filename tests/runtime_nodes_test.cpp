@@ -1,0 +1,250 @@
+#include "runtime/nodes.h"
+
+#include <gtest/gtest.h>
+
+#include "core/algorithms.h"
+
+namespace avoc::runtime {
+namespace {
+
+core::VotingEngine AverageEngine(size_t modules) {
+  auto engine = core::MakeEngine(core::AlgorithmId::kAverage, modules);
+  EXPECT_TRUE(engine.ok());
+  return std::move(*engine);
+}
+
+TEST(SensorNodeTest, PublishesGeneratorValues) {
+  GroupChannels channels;
+  std::vector<ReadingMessage> received;
+  channels.readings.Subscribe(
+      [&](const ReadingMessage& m) { received.push_back(m); });
+  SensorNode sensor(2, [](size_t round) { return 10.0 + round; },
+                    channels.readings);
+  sensor.Emit(0);
+  sensor.Emit(1);
+  ASSERT_EQ(received.size(), 2u);
+  EXPECT_EQ(received[0].module, 2u);
+  EXPECT_DOUBLE_EQ(received[0].value, 10.0);
+  EXPECT_DOUBLE_EQ(received[1].value, 11.0);
+  EXPECT_EQ(received[1].round, 1u);
+}
+
+TEST(SensorNodeTest, SilentWhenGeneratorReturnsNothing) {
+  GroupChannels channels;
+  size_t count = 0;
+  channels.readings.Subscribe([&](const ReadingMessage&) { ++count; });
+  SensorNode sensor(0, [](size_t) { return std::optional<double>(); },
+                    channels.readings);
+  sensor.Emit(0);
+  EXPECT_EQ(count, 0u);
+}
+
+TEST(HubNodeTest, ClosesRoundWhenAllModulesReport) {
+  GroupChannels channels;
+  std::vector<RoundMessage> rounds;
+  channels.rounds.Subscribe(
+      [&](const RoundMessage& m) { rounds.push_back(m); });
+  HubNode hub(3, channels);
+  channels.readings.Publish({0, 0, 1.0});
+  channels.readings.Publish({1, 0, 2.0});
+  EXPECT_TRUE(rounds.empty());
+  EXPECT_EQ(hub.open_rounds(), 1u);
+  channels.readings.Publish({2, 0, 3.0});
+  ASSERT_EQ(rounds.size(), 1u);
+  EXPECT_EQ(rounds[0].round, 0u);
+  EXPECT_DOUBLE_EQ(*rounds[0].readings[2], 3.0);
+  EXPECT_EQ(hub.open_rounds(), 0u);
+}
+
+TEST(HubNodeTest, FlushPublishesPartialRound) {
+  GroupChannels channels;
+  std::vector<RoundMessage> rounds;
+  channels.rounds.Subscribe(
+      [&](const RoundMessage& m) { rounds.push_back(m); });
+  HubNode hub(3, channels);
+  channels.readings.Publish({0, 5, 1.0});
+  hub.Flush(5);
+  ASSERT_EQ(rounds.size(), 1u);
+  EXPECT_TRUE(rounds[0].readings[0].has_value());
+  EXPECT_FALSE(rounds[0].readings[1].has_value());
+  EXPECT_FALSE(rounds[0].readings[2].has_value());
+}
+
+TEST(HubNodeTest, LateReadingsAfterCloseAreDropped) {
+  GroupChannels channels;
+  std::vector<RoundMessage> rounds;
+  channels.rounds.Subscribe(
+      [&](const RoundMessage& m) { rounds.push_back(m); });
+  HubNode hub(2, channels);
+  channels.readings.Publish({0, 0, 1.0});
+  hub.Flush(0);
+  channels.readings.Publish({1, 0, 2.0});  // too late
+  EXPECT_EQ(rounds.size(), 1u);
+  EXPECT_EQ(hub.open_rounds(), 0u);
+}
+
+TEST(HubNodeTest, FlushOfUnknownRoundOptionallyPublishesEmpty) {
+  GroupChannels channels;
+  std::vector<RoundMessage> rounds;
+  channels.rounds.Subscribe(
+      [&](const RoundMessage& m) { rounds.push_back(m); });
+  HubNode hub(2, channels);
+  hub.Flush(9);  // publish_empty defaults to false
+  EXPECT_TRUE(rounds.empty());
+  hub.Flush(10, /*publish_empty=*/true);
+  ASSERT_EQ(rounds.size(), 1u);
+  EXPECT_FALSE(rounds[0].readings[0].has_value());
+}
+
+TEST(HubNodeTest, UnknownModuleIgnored) {
+  GroupChannels channels;
+  std::vector<RoundMessage> rounds;
+  channels.rounds.Subscribe(
+      [&](const RoundMessage& m) { rounds.push_back(m); });
+  HubNode hub(2, channels);
+  channels.readings.Publish({7, 0, 1.0});  // module out of range
+  EXPECT_EQ(hub.open_rounds(), 0u);
+}
+
+TEST(HubNodeTest, InterleavedRoundsAssembleIndependently) {
+  GroupChannels channels;
+  std::vector<RoundMessage> rounds;
+  channels.rounds.Subscribe(
+      [&](const RoundMessage& m) { rounds.push_back(m); });
+  HubNode hub(2, channels);
+  channels.readings.Publish({0, 0, 1.0});
+  channels.readings.Publish({0, 1, 10.0});
+  channels.readings.Publish({1, 1, 11.0});  // round 1 completes first
+  channels.readings.Publish({1, 0, 2.0});   // then round 0
+  ASSERT_EQ(rounds.size(), 2u);
+  EXPECT_EQ(rounds[0].round, 1u);
+  EXPECT_EQ(rounds[1].round, 0u);
+}
+
+
+TEST(HubNodeTest, UntilQuorumClosesEarly) {
+  GroupChannels channels;
+  std::vector<RoundMessage> rounds;
+  channels.rounds.Subscribe(
+      [&](const RoundMessage& m) { rounds.push_back(m); });
+  HubNode hub(5, channels, /*close_at_count=*/3);
+  channels.readings.Publish({0, 0, 1.0});
+  channels.readings.Publish({1, 0, 2.0});
+  EXPECT_TRUE(rounds.empty());
+  channels.readings.Publish({2, 0, 3.0});  // quorum reached: round closes
+  ASSERT_EQ(rounds.size(), 1u);
+  EXPECT_FALSE(rounds[0].readings[3].has_value());
+  EXPECT_FALSE(rounds[0].readings[4].has_value());
+  // Stragglers are dropped against the closed round.
+  channels.readings.Publish({3, 0, 4.0});
+  EXPECT_EQ(rounds.size(), 1u);
+}
+
+TEST(HubNodeTest, UntilQuorumCappedAtModuleCount) {
+  GroupChannels channels;
+  std::vector<RoundMessage> rounds;
+  channels.rounds.Subscribe(
+      [&](const RoundMessage& m) { rounds.push_back(m); });
+  HubNode hub(2, channels, /*close_at_count=*/99);
+  channels.readings.Publish({0, 0, 1.0});
+  EXPECT_TRUE(rounds.empty());
+  channels.readings.Publish({1, 0, 2.0});
+  EXPECT_EQ(rounds.size(), 1u);
+}
+
+TEST(VoterNodeTest, VotesOnIncomingRounds) {
+  GroupChannels channels;
+  std::vector<OutputMessage> outputs;
+  channels.outputs.Subscribe(
+      [&](const OutputMessage& m) { outputs.push_back(m); });
+  VoterNode voter(AverageEngine(3), channels);
+  core::Round round = {10.0, 20.0, 30.0};
+  channels.rounds.Publish({0, round});
+  ASSERT_EQ(outputs.size(), 1u);
+  EXPECT_DOUBLE_EQ(*outputs[0].result.value, 20.0);
+  EXPECT_TRUE(voter.last_status().ok());
+}
+
+TEST(VoterNodeTest, PersistsHistoryToStore) {
+  HistoryStore store;
+  GroupChannels channels;
+  VoterOptions options;
+  options.group = "test-group";
+  options.store = &store;
+  auto engine = core::MakeEngine(core::AlgorithmId::kHybrid, 3);
+  ASSERT_TRUE(engine.ok());
+  VoterNode voter(std::move(*engine), channels, options);
+  core::Round round = {10.0, 10.1, 90.0};
+  channels.rounds.Publish({0, round});
+  auto snapshot = store.Get("test-group");
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot->rounds, 1u);
+  ASSERT_EQ(snapshot->records.size(), 3u);
+  EXPECT_LT(snapshot->records[2], 1.0);  // the outlier's record dropped
+}
+
+TEST(VoterNodeTest, RestoresHistoryFromStore) {
+  HistoryStore store;
+  HistorySnapshot seed;
+  seed.records = {1.0, 1.0, 0.0};
+  seed.rounds = 50;
+  ASSERT_TRUE(store.Put("warm", seed).ok());
+
+  GroupChannels channels;
+  std::vector<OutputMessage> outputs;
+  channels.outputs.Subscribe(
+      [&](const OutputMessage& m) { outputs.push_back(m); });
+  VoterOptions options;
+  options.group = "warm";
+  options.store = &store;
+  auto engine = core::MakeEngine(core::AlgorithmId::kHybrid, 3);
+  ASSERT_TRUE(engine.ok());
+  VoterNode voter(std::move(*engine), channels, options);
+  // Module 2's restored record is 0 -> eliminated on the very first round.
+  core::Round round = {10.0, 10.1, 10.05};
+  channels.rounds.Publish({0, round});
+  ASSERT_EQ(outputs.size(), 1u);
+  EXPECT_TRUE(outputs[0].result.eliminated[2]);
+}
+
+TEST(SinkNodeTest, CollectsOutputs) {
+  GroupChannels channels;
+  SinkNode sink(channels);
+  VoterNode voter(AverageEngine(2), channels);
+  core::Round round_a = {1.0, 3.0};
+  core::Round round_b = {5.0, 7.0};
+  channels.rounds.Publish({0, round_a});
+  channels.rounds.Publish({1, round_b});
+  EXPECT_EQ(sink.output_count(), 2u);
+  ASSERT_TRUE(sink.last_value().has_value());
+  EXPECT_DOUBLE_EQ(*sink.last_value(), 6.0);
+  EXPECT_DOUBLE_EQ(*sink.outputs()[0].result.value, 2.0);
+}
+
+TEST(SinkNodeTest, LastValueSkipsSuppressedRounds) {
+  GroupChannels channels;
+  SinkNode sink(channels);
+  auto config = core::MakeConfig(core::AlgorithmId::kAverage);
+  config.quorum.fraction = 1.0;
+  config.on_no_quorum = core::NoQuorumPolicy::kEmitNothing;
+  auto engine = core::VotingEngine::Create(2, config);
+  ASSERT_TRUE(engine.ok());
+  VoterNode voter(std::move(*engine), channels);
+  core::Round full = {4.0, 6.0};
+  core::Round starved = {std::nullopt, 6.0};
+  channels.rounds.Publish({0, full});
+  channels.rounds.Publish({1, starved});
+  EXPECT_EQ(sink.output_count(), 2u);
+  ASSERT_TRUE(sink.last_value().has_value());
+  EXPECT_DOUBLE_EQ(*sink.last_value(), 5.0);  // from round 0
+}
+
+TEST(SinkNodeTest, EmptySinkHasNoValue) {
+  GroupChannels channels;
+  SinkNode sink(channels);
+  EXPECT_FALSE(sink.last_value().has_value());
+  EXPECT_EQ(sink.output_count(), 0u);
+}
+
+}  // namespace
+}  // namespace avoc::runtime

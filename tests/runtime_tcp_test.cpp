@@ -1,0 +1,135 @@
+#include "runtime/tcp.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace avoc::runtime {
+namespace {
+
+struct Pair {
+  TcpConnection server;
+  TcpConnection client;
+};
+
+/// Opens a loopback connection pair through an ephemeral listener.
+Pair MakePair() {
+  auto listener = TcpListener::Listen(0);
+  EXPECT_TRUE(listener.ok()) << listener.status().ToString();
+  TcpConnection client_side = [&] {
+    auto client = TcpConnection::Connect("127.0.0.1", listener->port());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(*client);
+  }();
+  auto server_side = listener->Accept();
+  EXPECT_TRUE(server_side.ok()) << server_side.status().ToString();
+  return Pair{std::move(*server_side), std::move(client_side)};
+}
+
+TEST(TcpTest, ListenOnEphemeralPortReportsIt) {
+  auto listener = TcpListener::Listen(0);
+  ASSERT_TRUE(listener.ok());
+  EXPECT_GT(listener->port(), 0u);
+}
+
+TEST(TcpTest, ConnectToClosedPortFails) {
+  // Grab a port, close it, then connect: must fail cleanly.
+  uint16_t port = 0;
+  {
+    auto listener = TcpListener::Listen(0);
+    ASSERT_TRUE(listener.ok());
+    port = listener->port();
+  }
+  auto client = TcpConnection::Connect("127.0.0.1", port);
+  EXPECT_FALSE(client.ok());
+}
+
+TEST(TcpTest, ConnectRejectsGarbageHost) {
+  EXPECT_FALSE(TcpConnection::Connect("not-an-address", 1).ok());
+}
+
+TEST(TcpTest, SendLineReceiveLine) {
+  Pair pair = MakePair();
+  ASSERT_TRUE(pair.client.SendLine("hello").ok());
+  auto line = pair.server.ReceiveLine();
+  ASSERT_TRUE(line.ok());
+  EXPECT_EQ(*line, "hello");
+}
+
+TEST(TcpTest, MultipleLinesInOneSegment) {
+  Pair pair = MakePair();
+  ASSERT_TRUE(pair.client.SendAll("a\nb\nc\n").ok());
+  EXPECT_EQ(*pair.server.ReceiveLine(), "a");
+  EXPECT_EQ(*pair.server.ReceiveLine(), "b");
+  EXPECT_EQ(*pair.server.ReceiveLine(), "c");
+}
+
+TEST(TcpTest, LineSplitAcrossSends) {
+  Pair pair = MakePair();
+  ASSERT_TRUE(pair.client.SendAll("par").ok());
+  ASSERT_TRUE(pair.client.SendAll("tial\nrest\n").ok());
+  EXPECT_EQ(*pair.server.ReceiveLine(), "partial");
+  EXPECT_EQ(*pair.server.ReceiveLine(), "rest");
+}
+
+TEST(TcpTest, CrlfStripped) {
+  Pair pair = MakePair();
+  ASSERT_TRUE(pair.client.SendAll("dos line\r\n").ok());
+  EXPECT_EQ(*pair.server.ReceiveLine(), "dos line");
+}
+
+TEST(TcpTest, EofReturnsFinalUnterminatedLine) {
+  Pair pair = MakePair();
+  ASSERT_TRUE(pair.client.SendAll("no newline").ok());
+  pair.client.Close();
+  auto line = pair.server.ReceiveLine();
+  ASSERT_TRUE(line.ok());
+  EXPECT_EQ(*line, "no newline");
+  auto eof = pair.server.ReceiveLine();
+  EXPECT_FALSE(eof.ok());
+  EXPECT_EQ(eof.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(TcpTest, ReceiveTimeoutSurfacesAsIoError) {
+  Pair pair = MakePair();
+  ASSERT_TRUE(pair.server.SetReceiveTimeoutMs(50).ok());
+  auto line = pair.server.ReceiveLine();
+  EXPECT_FALSE(line.ok());
+  EXPECT_EQ(line.status().code(), ErrorCode::kIoError);
+}
+
+TEST(TcpTest, BidirectionalTraffic) {
+  Pair pair = MakePair();
+  ASSERT_TRUE(pair.client.SendLine("ping").ok());
+  ASSERT_EQ(*pair.server.ReceiveLine(), "ping");
+  ASSERT_TRUE(pair.server.SendLine("pong").ok());
+  EXPECT_EQ(*pair.client.ReceiveLine(), "pong");
+}
+
+TEST(TcpTest, CloseUnblocksAccept) {
+  auto listener = TcpListener::Listen(0);
+  ASSERT_TRUE(listener.ok());
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    listener->Close();
+  });
+  auto connection = listener->Accept();
+  EXPECT_FALSE(connection.ok());
+  closer.join();
+}
+
+TEST(TcpTest, LargePayloadRoundTrips) {
+  Pair pair = MakePair();
+  const std::string payload(64 * 1024, 'x');
+  std::thread sender([&] {
+    ASSERT_TRUE(pair.client.SendLine(payload).ok());
+  });
+  auto line = pair.server.ReceiveLine();
+  sender.join();
+  ASSERT_TRUE(line.ok());
+  EXPECT_EQ(line->size(), payload.size());
+  EXPECT_EQ(*line, payload);
+}
+
+}  // namespace
+}  // namespace avoc::runtime

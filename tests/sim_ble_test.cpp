@@ -1,0 +1,176 @@
+#include "sim/ble.h"
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "stats/running.h"
+
+namespace avoc::sim {
+namespace {
+
+TEST(BleScenarioTest, TableShapeMatchesPaper) {
+  const BleScenario scenario;
+  const BleDataset dataset = scenario.Generate();
+  // 297 measurements per beacon, 9 beacons per stack (§3).
+  EXPECT_EQ(dataset.stack_a.round_count(), 297u);
+  EXPECT_EQ(dataset.stack_b.round_count(), 297u);
+  EXPECT_EQ(dataset.stack_a.module_count(), 9u);
+  EXPECT_EQ(dataset.stack_b.module_count(), 9u);
+  EXPECT_EQ(dataset.stack_a.module_names().front(), "A1");
+  EXPECT_EQ(dataset.stack_b.module_names().back(), "B9");
+}
+
+TEST(BleScenarioTest, RobotTraversesTrack) {
+  const BleScenario scenario;
+  EXPECT_DOUBLE_EQ(scenario.RobotPosition(0), 0.0);
+  EXPECT_DOUBLE_EQ(scenario.RobotPosition(296), 15.0);
+  EXPECT_NEAR(scenario.RobotPosition(148), 7.5, 0.05);
+  // Monotone.
+  for (size_t r = 1; r < 297; r += 31) {
+    EXPECT_GT(scenario.RobotPosition(r), scenario.RobotPosition(r - 1));
+  }
+}
+
+TEST(BleScenarioTest, ExpectedRssiDecaysWithDistance) {
+  const BleScenario scenario;
+  EXPECT_GT(scenario.ExpectedRssi(1.0), scenario.ExpectedRssi(5.0));
+  EXPECT_GT(scenario.ExpectedRssi(5.0), scenario.ExpectedRssi(15.0));
+  // At 1 m the RSSI equals the configured TX power.
+  EXPECT_DOUBLE_EQ(scenario.ExpectedRssi(1.0), scenario.params().tx_power_dbm);
+  // Distances clamp below 0.3 m.
+  EXPECT_DOUBLE_EQ(scenario.ExpectedRssi(0.0), scenario.ExpectedRssi(0.3));
+}
+
+TEST(BleScenarioTest, ReadingsWithinReceiverRange) {
+  const BleDataset dataset = BleScenario().Generate();
+  for (const auto* stack : {&dataset.stack_a, &dataset.stack_b}) {
+    for (size_t r = 0; r < stack->round_count(); ++r) {
+      for (size_t m = 0; m < stack->module_count(); ++m) {
+        const auto& reading = stack->At(r, m);
+        if (!reading.has_value()) continue;
+        EXPECT_GE(*reading, -100.0);
+        EXPECT_LE(*reading, -45.0);
+        // Whole-dB reporting.
+        EXPECT_DOUBLE_EQ(*reading, std::round(*reading));
+      }
+    }
+  }
+}
+
+TEST(BleScenarioTest, HasSubstantialMissingValues) {
+  // "The resulting data lacks several values" — the missing-value fault
+  // scenario needs real holes.
+  const BleDataset dataset = BleScenario().Generate();
+  const size_t total = 297 * 9;
+  const size_t missing_a = dataset.stack_a.missing_count();
+  EXPECT_GT(missing_a, total / 20);   // at least ~5%
+  EXPECT_LT(missing_a, total / 2);    // but not a majority
+}
+
+TEST(BleScenarioTest, DropoutGrowsWithDistance) {
+  const BleDataset dataset = BleScenario().Generate();
+  // Stack A: robot starts adjacent and drives away -> more holes late.
+  size_t early_missing = 0;
+  size_t late_missing = 0;
+  for (size_t r = 0; r < 100; ++r) {
+    for (size_t m = 0; m < 9; ++m) {
+      if (!dataset.stack_a.At(r, m).has_value()) ++early_missing;
+      if (!dataset.stack_a.At(r + 197, m).has_value()) ++late_missing;
+    }
+  }
+  EXPECT_GT(late_missing, early_missing);
+}
+
+TEST(BleScenarioTest, SignalStrengthCrossesOver) {
+  // Early rounds: stack A much stronger; late rounds: stack B.  This is
+  // the physical ground truth Fig. 7 relies on.
+  const BleDataset dataset = BleScenario().Generate();
+  auto stack_mean = [](const data::RoundTable& table, size_t r0, size_t r1) {
+    stats::RunningStats rs;
+    for (size_t r = r0; r < r1; ++r) {
+      for (size_t m = 0; m < table.module_count(); ++m) {
+        if (table.At(r, m).has_value()) rs.Add(*table.At(r, m));
+      }
+    }
+    return rs.mean();
+  };
+  EXPECT_GT(stack_mean(dataset.stack_a, 0, 50),
+            stack_mean(dataset.stack_b, 0, 50) + 5.0);
+  EXPECT_GT(stack_mean(dataset.stack_b, 247, 297),
+            stack_mean(dataset.stack_a, 247, 297) + 5.0);
+}
+
+TEST(BleScenarioTest, SingleBeaconIsNoisierThanStackAverage) {
+  // The premise of UC-2: one beacon's trace is too chaotic to resolve
+  // proximity; the 9-beacon average is smoother.
+  const BleDataset dataset = BleScenario().Generate();
+  stats::RunningStats single_diffs;
+  stats::RunningStats average_diffs;
+  double previous_single = 0.0;
+  double previous_average = 0.0;
+  bool have_previous = false;
+  for (size_t r = 0; r < 297; ++r) {
+    const auto& single = dataset.stack_a.At(r, 0);
+    stats::RunningStats row;
+    for (size_t m = 0; m < 9; ++m) {
+      if (dataset.stack_a.At(r, m).has_value()) {
+        row.Add(*dataset.stack_a.At(r, m));
+      }
+    }
+    if (!single.has_value() || row.empty()) {
+      have_previous = false;
+      continue;
+    }
+    if (have_previous) {
+      single_diffs.Add(std::abs(*single - previous_single));
+      average_diffs.Add(std::abs(row.mean() - previous_average));
+    }
+    previous_single = *single;
+    previous_average = row.mean();
+    have_previous = true;
+  }
+  EXPECT_GT(single_diffs.mean(), average_diffs.mean() * 1.5);
+}
+
+TEST(BleScenarioTest, DeterministicForSameSeed) {
+  const BleDataset a = BleScenario().Generate();
+  const BleDataset b = BleScenario().Generate();
+  for (size_t r = 0; r < 297; r += 13) {
+    for (size_t m = 0; m < 9; ++m) {
+      ASSERT_EQ(a.stack_a.At(r, m).has_value(),
+                b.stack_a.At(r, m).has_value());
+      if (a.stack_a.At(r, m).has_value()) {
+        EXPECT_DOUBLE_EQ(*a.stack_a.At(r, m), *b.stack_a.At(r, m));
+      }
+    }
+  }
+}
+
+TEST(BleScenarioTest, StacksUseIndependentStreams) {
+  const BleDataset dataset = BleScenario().Generate();
+  // Same geometry at mirrored rounds but different noise: the stacks must
+  // not be copies of each other.
+  size_t equal = 0;
+  size_t compared = 0;
+  for (size_t r = 0; r < 297; ++r) {
+    const auto& a = dataset.stack_a.At(r, 0);
+    const auto& b = dataset.stack_b.At(296 - r, 0);
+    if (a.has_value() && b.has_value()) {
+      ++compared;
+      if (*a == *b) ++equal;
+    }
+  }
+  ASSERT_GT(compared, 50u);
+  EXPECT_LT(equal, compared / 4);
+}
+
+TEST(BleScenarioTest, MetadataSampleRateFromKinematics) {
+  const auto meta = BleScenario().Metadata();
+  EXPECT_EQ(meta.scenario, "uc2-ble");
+  EXPECT_EQ(meta.units, "dBm");
+  // 297 samples over 15 m at 0.09 m/s ≈ 166.7 s -> ≈ 1.78 Hz.
+  EXPECT_NEAR(meta.sample_rate_hz, 1.782, 0.01);
+}
+
+}  // namespace
+}  // namespace avoc::sim

@@ -1,0 +1,118 @@
+#include "sim/fault.h"
+
+#include <gtest/gtest.h>
+
+namespace avoc::sim {
+namespace {
+
+data::RoundTable UniformTable(size_t rounds = 10, size_t modules = 3,
+                              double value = 100.0) {
+  data::RoundTable table = data::RoundTable::WithModuleCount(modules);
+  for (size_t r = 0; r < rounds; ++r) {
+    EXPECT_TRUE(
+        table.AppendRound(std::vector<double>(modules, value)).ok());
+  }
+  return table;
+}
+
+TEST(FaultTest, InjectBiasWholeCapture) {
+  data::RoundTable table = UniformTable();
+  ASSERT_TRUE(InjectBias(table, 1, 6000.0).ok());
+  for (size_t r = 0; r < table.round_count(); ++r) {
+    EXPECT_DOUBLE_EQ(*table.At(r, 0), 100.0);
+    EXPECT_DOUBLE_EQ(*table.At(r, 1), 6100.0);
+  }
+}
+
+TEST(FaultTest, InjectBiasWindowed) {
+  data::RoundTable table = UniformTable(10);
+  ASSERT_TRUE(InjectBias(table, 0, 5.0, 3, 6).ok());
+  EXPECT_DOUBLE_EQ(*table.At(2, 0), 100.0);
+  EXPECT_DOUBLE_EQ(*table.At(3, 0), 105.0);
+  EXPECT_DOUBLE_EQ(*table.At(5, 0), 105.0);
+  EXPECT_DOUBLE_EQ(*table.At(6, 0), 100.0);
+}
+
+TEST(FaultTest, InjectBiasSkipsMissingReadings) {
+  data::RoundTable table = UniformTable(3);
+  table.At(1, 0).reset();
+  ASSERT_TRUE(InjectBias(table, 0, 10.0).ok());
+  EXPECT_FALSE(table.At(1, 0).has_value());
+  EXPECT_DOUBLE_EQ(*table.At(0, 0), 110.0);
+}
+
+TEST(FaultTest, InjectBiasValidatesModule) {
+  data::RoundTable table = UniformTable();
+  EXPECT_FALSE(InjectBias(table, 99, 1.0).ok());
+}
+
+TEST(FaultTest, InjectDropoutRemovesRoughlyPFraction) {
+  data::RoundTable table = UniformTable(2000);
+  Rng rng(1);
+  ASSERT_TRUE(InjectDropout(table, 2, 0.25, rng).ok());
+  size_t missing = 0;
+  for (size_t r = 0; r < table.round_count(); ++r) {
+    if (!table.At(r, 2).has_value()) ++missing;
+  }
+  EXPECT_NEAR(static_cast<double>(missing) / 2000.0, 0.25, 0.04);
+  // Other modules untouched.
+  for (size_t r = 0; r < table.round_count(); ++r) {
+    EXPECT_TRUE(table.At(r, 0).has_value());
+  }
+}
+
+TEST(FaultTest, InjectDropoutValidatesProbability) {
+  data::RoundTable table = UniformTable();
+  Rng rng(2);
+  EXPECT_FALSE(InjectDropout(table, 0, -0.1, rng).ok());
+  EXPECT_FALSE(InjectDropout(table, 0, 1.1, rng).ok());
+}
+
+TEST(FaultTest, InjectOutageKillsRange) {
+  data::RoundTable table = UniformTable(10);
+  ASSERT_TRUE(InjectOutage(table, 1, 4).ok());
+  EXPECT_TRUE(table.At(3, 1).has_value());
+  for (size_t r = 4; r < 10; ++r) {
+    EXPECT_FALSE(table.At(r, 1).has_value());
+  }
+}
+
+TEST(FaultTest, InjectSpikeSingleRound) {
+  data::RoundTable table = UniformTable(5);
+  ASSERT_TRUE(InjectSpike(table, 0, 2, -50.0).ok());
+  EXPECT_DOUBLE_EQ(*table.At(2, 0), 50.0);
+  EXPECT_DOUBLE_EQ(*table.At(1, 0), 100.0);
+  EXPECT_FALSE(InjectSpike(table, 0, 99, 1.0).ok());
+}
+
+TEST(FaultTest, InjectStuckAtFreezesValue) {
+  data::RoundTable table = data::RoundTable::WithModuleCount(1);
+  for (int r = 0; r < 6; ++r) {
+    ASSERT_TRUE(table.AppendRound(std::vector<double>{r * 10.0}).ok());
+  }
+  ASSERT_TRUE(InjectStuckAt(table, 0, 2).ok());
+  EXPECT_DOUBLE_EQ(*table.At(1, 0), 10.0);
+  for (size_t r = 2; r < 6; ++r) {
+    EXPECT_DOUBLE_EQ(*table.At(r, 0), 20.0);
+  }
+  EXPECT_FALSE(InjectStuckAt(table, 0, 99).ok());
+}
+
+TEST(FaultTest, InjectConflictSplitsCamps) {
+  data::RoundTable table = UniformTable(4, 5);
+  ASSERT_TRUE(InjectConflict(table, 3, 500.0).ok());
+  for (size_t r = 0; r < 4; ++r) {
+    EXPECT_DOUBLE_EQ(*table.At(r, 2), 100.0);
+    EXPECT_DOUBLE_EQ(*table.At(r, 3), 600.0);
+    EXPECT_DOUBLE_EQ(*table.At(r, 4), 600.0);
+  }
+}
+
+TEST(FaultTest, InjectConflictNeedsBothCamps) {
+  data::RoundTable table = UniformTable(2, 3);
+  EXPECT_FALSE(InjectConflict(table, 0, 1.0).ok());
+  EXPECT_FALSE(InjectConflict(table, 3, 1.0).ok());
+}
+
+}  // namespace
+}  // namespace avoc::sim

@@ -1,0 +1,125 @@
+#include "sim/light.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/running.h"
+
+namespace avoc::sim {
+namespace {
+
+LightScenarioParams SmallParams() {
+  LightScenarioParams params;
+  params.rounds = 2000;
+  params.seed = 42;
+  return params;
+}
+
+TEST(LightScenarioTest, TableShapeMatchesPaper) {
+  LightScenarioParams params;  // paper defaults
+  const LightScenario scenario(params);
+  EXPECT_EQ(params.rounds, 10000u);
+  EXPECT_EQ(params.sensor_count, 5u);
+  EXPECT_DOUBLE_EQ(params.sample_rate_hz, 8.0);
+  // 10000 rounds at 8 S/s = 1250 s of data collection, as in §3.
+  EXPECT_DOUBLE_EQ(static_cast<double>(params.rounds) / params.sample_rate_hz,
+                   1250.0);
+  const auto table = LightScenario(SmallParams()).MakeReferenceTable();
+  EXPECT_EQ(table.module_count(), 5u);
+  EXPECT_EQ(table.round_count(), 2000u);
+  EXPECT_EQ(table.module_names().front(), "E1");
+  EXPECT_EQ(table.module_names().back(), "E5");
+}
+
+TEST(LightScenarioTest, EnvelopeMatchesFig6a) {
+  const auto table = LightScenario(SmallParams()).MakeReferenceTable();
+  // Raw sensor traces span roughly 17-20 klx (Fig. 6-a axis).
+  for (size_t m = 0; m < table.module_count(); ++m) {
+    stats::RunningStats rs;
+    for (const double v : table.ModuleValues(m)) rs.Add(v);
+    EXPECT_GT(rs.min(), 16500.0) << "module " << m;
+    EXPECT_LT(rs.max(), 20500.0) << "module " << m;
+    EXPECT_GT(rs.mean(), 17500.0) << "module " << m;
+    EXPECT_LT(rs.mean(), 19500.0) << "module " << m;
+  }
+}
+
+TEST(LightScenarioTest, SensorsMostlyAgreeWithGroupMean) {
+  // The healthy sensors must form one agreement group most of the time,
+  // or Fig. 6-b's "all variants identical" would not reproduce.
+  const auto table = LightScenario(SmallParams()).MakeReferenceTable();
+  size_t coherent_rounds = 0;
+  for (size_t r = 0; r < table.round_count(); ++r) {
+    const auto round = table.Round(r);
+    double mean = 0.0;
+    for (const auto& v : round) mean += *v;
+    mean /= static_cast<double>(round.size());
+    bool all_close = true;
+    for (const auto& v : round) {
+      if (std::abs(*v - mean) > 0.05 * mean) all_close = false;
+    }
+    if (all_close) ++coherent_rounds;
+  }
+  EXPECT_GT(coherent_rounds, table.round_count() * 95 / 100);
+}
+
+TEST(LightScenarioTest, NoMissingReadings) {
+  // Wired light sensors never drop readings.
+  EXPECT_EQ(LightScenario(SmallParams()).MakeReferenceTable().missing_count(),
+            0u);
+}
+
+TEST(LightScenarioTest, DeterministicForSameSeed) {
+  const auto a = LightScenario(SmallParams()).MakeReferenceTable();
+  const auto b = LightScenario(SmallParams()).MakeReferenceTable();
+  for (size_t r = 0; r < a.round_count(); r += 97) {
+    for (size_t m = 0; m < a.module_count(); ++m) {
+      EXPECT_DOUBLE_EQ(*a.At(r, m), *b.At(r, m));
+    }
+  }
+}
+
+TEST(LightScenarioTest, DifferentSeedsDiffer) {
+  LightScenarioParams other = SmallParams();
+  other.seed = 43;
+  const auto a = LightScenario(SmallParams()).MakeReferenceTable();
+  const auto b = LightScenario(other).MakeReferenceTable();
+  EXPECT_NE(*a.At(0, 0), *b.At(0, 0));
+}
+
+TEST(LightScenarioTest, FaultyTableShiftsOnlyE4) {
+  const LightScenario scenario(SmallParams());
+  const auto clean = scenario.MakeReferenceTable();
+  const auto faulty = scenario.MakeFaultyTable();
+  for (size_t r = 0; r < clean.round_count(); r += 113) {
+    EXPECT_DOUBLE_EQ(*faulty.At(r, 3), *clean.At(r, 3) + 6000.0);
+    EXPECT_DOUBLE_EQ(*faulty.At(r, 0), *clean.At(r, 0));
+    EXPECT_DOUBLE_EQ(*faulty.At(r, 4), *clean.At(r, 4));
+  }
+}
+
+TEST(LightScenarioTest, FaultFromRoundRespected) {
+  const LightScenario scenario(SmallParams());
+  const auto clean = scenario.MakeReferenceTable();
+  const auto faulty = scenario.MakeFaultyTable(/*fault_from=*/1000);
+  EXPECT_DOUBLE_EQ(*faulty.At(999, 3), *clean.At(999, 3));
+  EXPECT_DOUBLE_EQ(*faulty.At(1000, 3), *clean.At(1000, 3) + 6000.0);
+}
+
+TEST(LightScenarioTest, TruthVariesSlowly) {
+  const LightScenario scenario(SmallParams());
+  // Adjacent rounds differ by far less than the agreement margin.
+  for (size_t r = 1; r < 2000; r += 53) {
+    EXPECT_LT(std::abs(scenario.Truth(r) - scenario.Truth(r - 1)), 10.0);
+  }
+}
+
+TEST(LightScenarioTest, MetadataDescribesGeneration) {
+  const auto meta = LightScenario(SmallParams()).Metadata();
+  EXPECT_EQ(meta.scenario, "uc1-light");
+  EXPECT_EQ(meta.seed, 42u);
+  EXPECT_EQ(meta.units, "lux");
+  EXPECT_DOUBLE_EQ(meta.sample_rate_hz, 8.0);
+}
+
+}  // namespace
+}  // namespace avoc::sim

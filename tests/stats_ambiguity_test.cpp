@@ -1,0 +1,86 @@
+#include "stats/ambiguity.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace avoc::stats {
+namespace {
+
+AmbiguityOptions Margin(double margin) {
+  AmbiguityOptions options;
+  options.margin = margin;
+  return options;
+}
+
+TEST(AmbiguityTest, ClearSeparationIsUnambiguous) {
+  const std::vector<double> a = {-60.0, -61.0, -62.0};
+  const std::vector<double> b = {-80.0, -81.0, -82.0};
+  const auto report = MeasureAmbiguity(a, b, Margin(3.0));
+  EXPECT_EQ(report.rounds, 3u);
+  EXPECT_EQ(report.ambiguous_rounds, 0u);
+  EXPECT_EQ(report.decision_flips, 0u);
+  EXPECT_DOUBLE_EQ(report.ambiguous_fraction(), 0.0);
+}
+
+TEST(AmbiguityTest, CloseValuesAreAmbiguous) {
+  const std::vector<double> a = {-70.0, -70.0};
+  const std::vector<double> b = {-71.0, -72.9};
+  const auto report = MeasureAmbiguity(a, b, Margin(3.0));
+  EXPECT_EQ(report.ambiguous_rounds, 2u);
+  EXPECT_DOUBLE_EQ(report.ambiguous_fraction(), 1.0);
+}
+
+TEST(AmbiguityTest, BoundaryIsExclusive) {
+  const std::vector<double> a = {-70.0};
+  const std::vector<double> b = {-73.0};  // exactly margin apart
+  EXPECT_EQ(MeasureAmbiguity(a, b, Margin(3.0)).ambiguous_rounds, 0u);
+}
+
+TEST(AmbiguityTest, MissingValuesCountAsAmbiguous) {
+  const std::vector<std::optional<double>> a = {-60.0, std::nullopt, -60.0};
+  const std::vector<std::optional<double>> b = {-80.0, -80.0, std::nullopt};
+  const auto report = MeasureAmbiguity(a, b, Margin(3.0));
+  EXPECT_EQ(report.ambiguous_rounds, 2u);
+}
+
+TEST(AmbiguityTest, LongestRunTracksConsecutiveRounds) {
+  const std::vector<double> a = {-60, -70, -70, -70, -60, -70, -70};
+  const std::vector<double> b = {-80, -70, -70, -70, -80, -70, -70};
+  const auto report = MeasureAmbiguity(a, b, Margin(3.0));
+  EXPECT_EQ(report.ambiguous_rounds, 5u);
+  EXPECT_EQ(report.longest_ambiguous_run, 3u);
+}
+
+TEST(AmbiguityTest, DecisionFlipsCounted) {
+  // A closer, then B closer, then A closer: two flips.
+  const std::vector<double> a = {-60.0, -90.0, -60.0};
+  const std::vector<double> b = {-90.0, -60.0, -90.0};
+  const auto report = MeasureAmbiguity(a, b, Margin(3.0));
+  EXPECT_EQ(report.decision_flips, 2u);
+}
+
+TEST(AmbiguityTest, AmbiguousRoundsDoNotFlipDecision) {
+  // A closer, ambiguous, A closer again: no flip.
+  const std::vector<double> a = {-60.0, -70.0, -60.0};
+  const std::vector<double> b = {-90.0, -70.5, -90.0};
+  const auto report = MeasureAmbiguity(a, b, Margin(3.0));
+  EXPECT_EQ(report.decision_flips, 0u);
+  EXPECT_EQ(report.ambiguous_rounds, 1u);
+}
+
+TEST(AmbiguityTest, MismatchedLengthsUseShorter) {
+  const std::vector<double> a = {-60.0, -60.0, -60.0};
+  const std::vector<double> b = {-80.0};
+  EXPECT_EQ(MeasureAmbiguity(a, b, Margin(3.0)).rounds, 1u);
+}
+
+TEST(AmbiguityTest, EmptySeries) {
+  const std::vector<double> empty;
+  const auto report = MeasureAmbiguity(empty, empty, Margin(3.0));
+  EXPECT_EQ(report.rounds, 0u);
+  EXPECT_DOUBLE_EQ(report.ambiguous_fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace avoc::stats

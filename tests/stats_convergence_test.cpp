@@ -1,0 +1,134 @@
+#include "stats/convergence.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace avoc::stats {
+namespace {
+
+ConvergenceOptions Options(double tolerance, size_t window,
+                           bool permanent = false) {
+  ConvergenceOptions options;
+  options.tolerance = tolerance;
+  options.window = window;
+  options.require_permanent = permanent;
+  return options;
+}
+
+TEST(ConvergenceTest, ImmediateConvergence) {
+  const std::vector<double> series = {1.0, 1.0, 1.0, 1.0, 1.0};
+  const auto report = MeasureConvergence(series, 1.0, Options(0.1, 3));
+  ASSERT_TRUE(report.converged_at.has_value());
+  EXPECT_EQ(*report.converged_at, 0u);
+  EXPECT_NEAR(report.residual_bias, 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(report.peak_error, 0.0);
+}
+
+TEST(ConvergenceTest, SpikeThenSettle) {
+  const std::vector<double> series = {5.0, 3.0, 1.1, 1.0, 1.0, 1.0, 1.0};
+  const auto report = MeasureConvergence(series, 1.0, Options(0.2, 3));
+  ASSERT_TRUE(report.converged_at.has_value());
+  EXPECT_EQ(*report.converged_at, 2u);
+  EXPECT_DOUBLE_EQ(report.peak_error, 4.0);
+}
+
+TEST(ConvergenceTest, NeverConverges) {
+  const std::vector<double> series = {2.0, 2.0, 2.0};
+  const auto report = MeasureConvergence(series, 1.0, Options(0.1, 2));
+  EXPECT_FALSE(report.converged_at.has_value());
+  EXPECT_TRUE(std::isnan(report.residual_bias));
+  EXPECT_DOUBLE_EQ(report.peak_error, 1.0);
+}
+
+TEST(ConvergenceTest, WindowRequiresConsecutiveRounds) {
+  // Single in-tolerance rounds interleaved with excursions: a window of 3
+  // never fills.
+  const std::vector<double> series = {1.0, 5.0, 1.0, 5.0, 1.0, 5.0};
+  const auto report = MeasureConvergence(series, 1.0, Options(0.1, 3));
+  EXPECT_FALSE(report.converged_at.has_value());
+}
+
+TEST(ConvergenceTest, LaterSpikeAllowedByDefault) {
+  std::vector<double> series(20, 1.0);
+  series[0] = 9.0;
+  series[15] = 9.0;  // isolated late spike
+  const auto report = MeasureConvergence(series, 1.0, Options(0.1, 5));
+  ASSERT_TRUE(report.converged_at.has_value());
+  EXPECT_EQ(*report.converged_at, 1u);
+}
+
+TEST(ConvergenceTest, PermanentModeRejectsLaterSpike) {
+  std::vector<double> series(20, 1.0);
+  series[0] = 9.0;
+  series[13] = 9.0;
+  const auto report =
+      MeasureConvergence(series, 1.0, Options(0.1, 5, /*permanent=*/true));
+  ASSERT_TRUE(report.converged_at.has_value());
+  EXPECT_EQ(*report.converged_at, 14u);  // after the last excursion
+}
+
+TEST(ConvergenceTest, PerRoundReferenceSeries) {
+  const std::vector<double> reference = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> series = {9.0, 2.05, 3.05, 4.05};
+  const auto report =
+      MeasureConvergence(series, reference, Options(0.1, 2));
+  ASSERT_TRUE(report.converged_at.has_value());
+  EXPECT_EQ(*report.converged_at, 1u);
+  EXPECT_NEAR(report.residual_bias, 0.05, 1e-12);
+}
+
+TEST(ConvergenceTest, ShortTailOfLongSeriesDoesNotCount) {
+  // The series ends in-tolerance but with fewer rounds than the window:
+  // not enough evidence of stability.
+  const std::vector<double> series = {9.0, 9.0, 1.0, 1.0};
+  const auto report = MeasureConvergence(series, 1.0, Options(0.1, 5));
+  EXPECT_FALSE(report.converged_at.has_value());
+}
+
+TEST(ConvergenceTest, WholeSeriesShorterThanWindowCounts) {
+  // A fully in-tolerance series shorter than the window converges at 0
+  // (the capture was simply short).
+  const std::vector<double> series = {1.0, 1.0};
+  const auto report = MeasureConvergence(series, 1.0, Options(0.1, 5));
+  ASSERT_TRUE(report.converged_at.has_value());
+  EXPECT_EQ(*report.converged_at, 0u);
+}
+
+TEST(ConvergenceTest, EmptySeries) {
+  const std::vector<double> empty;
+  const auto report = MeasureConvergence(empty, 1.0, Options(0.1, 3));
+  EXPECT_FALSE(report.converged_at.has_value());
+  EXPECT_DOUBLE_EQ(report.peak_error, 0.0);
+}
+
+TEST(ConvergenceTest, ResidualBiasOverStableTail) {
+  const std::vector<double> series = {9.0, 1.2, 1.2, 1.2, 1.2};
+  const auto report = MeasureConvergence(series, 1.0, Options(0.3, 2));
+  ASSERT_TRUE(report.converged_at.has_value());
+  EXPECT_EQ(*report.converged_at, 1u);
+  EXPECT_NEAR(report.residual_bias, 0.2, 1e-12);
+}
+
+TEST(ConvergenceBoostTest, RatioOfOneBasedDurations) {
+  ConvergenceReport fast;
+  fast.converged_at = 0;  // 1 round
+  ConvergenceReport slow;
+  slow.converged_at = 7;  // 8 rounds
+  const auto boost = ConvergenceBoost(fast, slow);
+  ASSERT_TRUE(boost.has_value());
+  EXPECT_DOUBLE_EQ(*boost, 8.0);
+}
+
+TEST(ConvergenceBoostTest, UnconvergedYieldsNullopt) {
+  ConvergenceReport fast;
+  fast.converged_at = 0;
+  ConvergenceReport never;
+  never.converged_at = std::nullopt;
+  EXPECT_FALSE(ConvergenceBoost(fast, never).has_value());
+  EXPECT_FALSE(ConvergenceBoost(never, fast).has_value());
+}
+
+}  // namespace
+}  // namespace avoc::stats

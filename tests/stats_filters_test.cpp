@@ -1,0 +1,176 @@
+#include "stats/filters.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace avoc::stats {
+namespace {
+
+TEST(EwmaFilterTest, CreateValidates) {
+  EXPECT_FALSE(EwmaFilter::Create(0.0).ok());
+  EXPECT_FALSE(EwmaFilter::Create(1.5).ok());
+  EXPECT_TRUE(EwmaFilter::Create(1.0).ok());
+}
+
+TEST(EwmaFilterTest, FirstSampleSeedsState) {
+  auto filter = EwmaFilter::Create(0.2);
+  ASSERT_TRUE(filter.ok());
+  EXPECT_DOUBLE_EQ(filter->Step(10.0), 10.0);
+}
+
+TEST(EwmaFilterTest, ConvergesToConstant) {
+  auto filter = EwmaFilter::Create(0.3);
+  ASSERT_TRUE(filter.ok());
+  filter->Step(0.0);
+  double y = 0.0;
+  for (int i = 0; i < 50; ++i) y = filter->Step(10.0);
+  EXPECT_NEAR(y, 10.0, 1e-6);
+}
+
+TEST(EwmaFilterTest, AlphaOneIsIdentity) {
+  auto filter = EwmaFilter::Create(1.0);
+  ASSERT_TRUE(filter.ok());
+  for (const double x : {3.0, -7.0, 42.0}) {
+    EXPECT_DOUBLE_EQ(filter->Step(x), x);
+  }
+}
+
+TEST(EwmaFilterTest, KnownRecursion) {
+  auto filter = EwmaFilter::Create(0.5);
+  ASSERT_TRUE(filter.ok());
+  EXPECT_DOUBLE_EQ(filter->Step(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(filter->Step(10.0), 5.0);
+  EXPECT_DOUBLE_EQ(filter->Step(10.0), 7.5);
+}
+
+TEST(EwmaFilterTest, ResetForgets) {
+  auto filter = EwmaFilter::Create(0.1);
+  ASSERT_TRUE(filter.ok());
+  filter->Step(100.0);
+  filter->Reset();
+  EXPECT_DOUBLE_EQ(filter->Step(5.0), 5.0);
+}
+
+TEST(MovingAverageFilterTest, WindowSemantics) {
+  auto filter = MovingAverageFilter::Create(3);
+  ASSERT_TRUE(filter.ok());
+  EXPECT_DOUBLE_EQ(filter->Step(3.0), 3.0);
+  EXPECT_DOUBLE_EQ(filter->Step(6.0), 4.5);
+  EXPECT_DOUBLE_EQ(filter->Step(9.0), 6.0);
+  EXPECT_DOUBLE_EQ(filter->Step(12.0), 9.0);  // 3 dropped
+}
+
+TEST(MovingAverageFilterTest, CreateValidates) {
+  EXPECT_FALSE(MovingAverageFilter::Create(0).ok());
+}
+
+TEST(MovingMedianFilterTest, RejectsSpikes) {
+  auto filter = MovingMedianFilter::Create(5);
+  ASSERT_TRUE(filter.ok());
+  double y = 0.0;
+  for (const double x : {10.0, 10.0, 10.0, 500.0, 10.0}) y = filter->Step(x);
+  EXPECT_DOUBLE_EQ(y, 10.0);  // the spike never surfaces
+}
+
+TEST(MovingMedianFilterTest, EvenWindowMidpoint) {
+  auto filter = MovingMedianFilter::Create(2);
+  ASSERT_TRUE(filter.ok());
+  filter->Step(1.0);
+  EXPECT_DOUBLE_EQ(filter->Step(3.0), 2.0);
+}
+
+TEST(SlewLimitFilterTest, ClampsStepSize) {
+  auto filter = SlewLimitFilter::Create(1.0);
+  ASSERT_TRUE(filter.ok());
+  EXPECT_DOUBLE_EQ(filter->Step(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(filter->Step(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(filter->Step(10.0), 2.0);
+  EXPECT_DOUBLE_EQ(filter->Step(-10.0), 1.0);
+}
+
+TEST(SlewLimitFilterTest, SmallMovesPassThrough) {
+  auto filter = SlewLimitFilter::Create(5.0);
+  ASSERT_TRUE(filter.ok());
+  filter->Step(10.0);
+  EXPECT_DOUBLE_EQ(filter->Step(12.0), 12.0);
+}
+
+TEST(KalmanFilterTest, CreateValidates) {
+  EXPECT_FALSE(KalmanFilter::Create(-1.0, 1.0).ok());
+  EXPECT_FALSE(KalmanFilter::Create(0.1, 0.0).ok());
+  EXPECT_TRUE(KalmanFilter::Create(0.0, 1.0).ok());
+}
+
+TEST(KalmanFilterTest, VarianceShrinksWithSamples) {
+  auto filter = KalmanFilter::Create(0.01, 4.0);
+  ASSERT_TRUE(filter.ok());
+  filter->Step(10.0);
+  const double after_one = filter->variance();
+  for (int i = 0; i < 20; ++i) filter->Step(10.0);
+  EXPECT_LT(filter->variance(), after_one);
+}
+
+TEST(KalmanFilterTest, SmoothsNoiseTowardsTruth) {
+  auto filter = KalmanFilter::Create(0.001, 25.0);
+  ASSERT_TRUE(filter.ok());
+  avoc::Rng rng(1);
+  double y = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    y = filter->Step(50.0 + rng.Gaussian(0.0, 5.0));
+  }
+  EXPECT_NEAR(y, 50.0, 1.0);
+}
+
+TEST(KalmanFilterTest, TracksSlowDrift) {
+  auto filter = KalmanFilter::Create(0.5, 4.0);
+  ASSERT_TRUE(filter.ok());
+  double y = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    y = filter->Step(static_cast<double>(i) * 0.1);
+  }
+  EXPECT_NEAR(y, 19.9, 1.5);
+}
+
+TEST(ApplyTest, DenseSeries) {
+  auto filter = EwmaFilter::Create(0.5);
+  ASSERT_TRUE(filter.ok());
+  const std::vector<double> series = {0.0, 10.0, 10.0};
+  const auto out = Apply(*filter, series);
+  EXPECT_EQ(out, (std::vector<double>{0.0, 5.0, 7.5}));
+}
+
+TEST(ApplyTest, GappySeriesHoldsState) {
+  auto filter = EwmaFilter::Create(0.5);
+  ASSERT_TRUE(filter.ok());
+  const std::vector<std::optional<double>> series = {0.0, std::nullopt, 10.0};
+  const auto out = ApplyWithGaps(*filter, series);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(*out[0], 0.0);
+  EXPECT_FALSE(out[1].has_value());
+  EXPECT_DOUBLE_EQ(*out[2], 5.0);  // gap did not advance the filter
+}
+
+TEST(FilterVarianceReduction, EwmaReducesNoiseVariance) {
+  auto filter = EwmaFilter::Create(0.2);
+  ASSERT_TRUE(filter.ok());
+  avoc::Rng rng(2);
+  double raw_var = 0.0;
+  double filtered_var = 0.0;
+  double previous_filtered = 0.0;
+  filter->Step(0.0);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.Gaussian(0.0, 1.0);
+    const double y = filter->Step(x);
+    raw_var += x * x;
+    filtered_var += y * y;
+    previous_filtered = y;
+  }
+  (void)previous_filtered;
+  EXPECT_LT(filtered_var, raw_var * 0.3);
+}
+
+}  // namespace
+}  // namespace avoc::stats

@@ -1,0 +1,67 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace avoc::stats {
+namespace {
+
+TEST(HistogramTest, RejectsBadConstruction) {
+  EXPECT_FALSE(Histogram::Create(0.0, 1.0, 0).ok());
+  EXPECT_FALSE(Histogram::Create(1.0, 1.0, 5).ok());
+  EXPECT_FALSE(Histogram::Create(2.0, 1.0, 5).ok());
+}
+
+TEST(HistogramTest, BinsValuesUniformly) {
+  auto hist = Histogram::Create(0.0, 10.0, 5);
+  ASSERT_TRUE(hist.ok());
+  for (const double x : {0.5, 1.5, 2.5, 4.5, 9.5}) hist->Add(x);
+  EXPECT_EQ(hist->count(0), 2u);  // [0,2)
+  EXPECT_EQ(hist->count(1), 1u);  // [2,4)
+  EXPECT_EQ(hist->count(2), 1u);  // [4,6)
+  EXPECT_EQ(hist->count(3), 0u);
+  EXPECT_EQ(hist->count(4), 1u);  // [8,10)
+  EXPECT_EQ(hist->total(), 5u);
+}
+
+TEST(HistogramTest, UnderOverflowTracked) {
+  auto hist = Histogram::Create(0.0, 1.0, 2);
+  ASSERT_TRUE(hist.ok());
+  hist->Add(-0.1);
+  hist->Add(1.0);  // hi is exclusive
+  hist->Add(0.5);
+  EXPECT_EQ(hist->underflow(), 1u);
+  EXPECT_EQ(hist->overflow(), 1u);
+  EXPECT_EQ(hist->total(), 3u);
+}
+
+TEST(HistogramTest, BinGeometry) {
+  auto hist = Histogram::Create(0.0, 10.0, 5);
+  ASSERT_TRUE(hist.ok());
+  EXPECT_DOUBLE_EQ(hist->BinEdge(0), 0.0);
+  EXPECT_DOUBLE_EQ(hist->BinEdge(5), 10.0);
+  EXPECT_DOUBLE_EQ(hist->BinCenter(0), 1.0);
+  EXPECT_DOUBLE_EQ(hist->BinCenter(4), 9.0);
+}
+
+TEST(HistogramTest, LowerEdgeInclusive) {
+  auto hist = Histogram::Create(0.0, 10.0, 5);
+  ASSERT_TRUE(hist.ok());
+  hist->Add(0.0);
+  hist->Add(2.0);
+  EXPECT_EQ(hist->count(0), 1u);
+  EXPECT_EQ(hist->count(1), 1u);
+}
+
+TEST(HistogramTest, RenderShowsEveryBin) {
+  auto hist = Histogram::Create(0.0, 4.0, 4);
+  ASSERT_TRUE(hist.ok());
+  hist->Add(0.5);
+  hist->Add(0.6);
+  hist->Add(3.5);
+  const std::string render = hist->Render(10);
+  EXPECT_EQ(std::count(render.begin(), render.end(), '\n'), 4);
+  EXPECT_NE(render.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace avoc::stats

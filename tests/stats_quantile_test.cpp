@@ -1,0 +1,91 @@
+#include "stats/quantile.h"
+
+#include <gtest/gtest.h>
+
+namespace avoc::stats {
+namespace {
+
+TEST(QuantileTest, MedianOddAndEven) {
+  const std::vector<double> odd = {3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(*Median(odd), 2.0);
+  const std::vector<double> even = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(*Median(even), 2.5);
+}
+
+TEST(QuantileTest, ExtremesAreMinMax) {
+  const std::vector<double> data = {5.0, 1.0, 9.0, 3.0};
+  EXPECT_DOUBLE_EQ(*Quantile(data, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(*Quantile(data, 1.0), 9.0);
+}
+
+TEST(QuantileTest, LinearInterpolationType7) {
+  const std::vector<double> data = {1.0, 2.0, 3.0, 4.0};
+  // h = 3 * 0.25 = 0.75 -> 1 + 0.75*(2-1) = 1.75 (numpy default).
+  EXPECT_DOUBLE_EQ(*Quantile(data, 0.25), 1.75);
+  EXPECT_DOUBLE_EQ(*Quantile(data, 0.75), 3.25);
+}
+
+TEST(QuantileTest, SingleElement) {
+  const std::vector<double> data = {7.0};
+  EXPECT_DOUBLE_EQ(*Quantile(data, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(*Quantile(data, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(*Quantile(data, 1.0), 7.0);
+}
+
+TEST(QuantileTest, RejectsEmptyAndBadQ) {
+  const std::vector<double> empty;
+  EXPECT_FALSE(Quantile(empty, 0.5).ok());
+  const std::vector<double> data = {1.0};
+  EXPECT_FALSE(Quantile(data, -0.1).ok());
+  EXPECT_FALSE(Quantile(data, 1.1).ok());
+}
+
+TEST(QuantileTest, InputOrderIrrelevant) {
+  const std::vector<double> a = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> b = {5.0, 3.0, 1.0, 4.0, 2.0};
+  for (const double q : {0.1, 0.25, 0.5, 0.9}) {
+    EXPECT_DOUBLE_EQ(*Quantile(a, q), *Quantile(b, q));
+  }
+}
+
+TEST(QuantilesTest, MultiQuantileMatchesSingle) {
+  const std::vector<double> data = {8.0, 6.0, 7.0, 5.0, 3.0, 0.0, 9.0};
+  const std::vector<double> qs = {0.1, 0.5, 0.9};
+  const auto multi = Quantiles(data, qs);
+  ASSERT_TRUE(multi.ok());
+  ASSERT_EQ(multi->size(), 3u);
+  for (size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_DOUBLE_EQ((*multi)[i], *Quantile(data, qs[i]));
+  }
+}
+
+TEST(QuantilesTest, RejectsBadInputs) {
+  const std::vector<double> data = {1.0};
+  const std::vector<double> bad_q = {0.5, 2.0};
+  EXPECT_FALSE(Quantiles(data, bad_q).ok());
+  const std::vector<double> empty;
+  const std::vector<double> ok_q = {0.5};
+  EXPECT_FALSE(Quantiles(empty, ok_q).ok());
+}
+
+TEST(MadTest, KnownValues) {
+  // median = 3, |x - 3| = {2,1,0,1,2} -> MAD = 1.
+  const std::vector<double> data = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(*MedianAbsoluteDeviation(data), 1.0);
+}
+
+TEST(MadTest, RobustToOneOutlier) {
+  const std::vector<double> clean = {10.0, 11.0, 12.0, 13.0, 14.0};
+  std::vector<double> polluted = clean;
+  polluted.back() = 1e6;
+  EXPECT_NEAR(*MedianAbsoluteDeviation(polluted),
+              *MedianAbsoluteDeviation(clean), 1.0);
+}
+
+TEST(MadTest, ZeroForConstantData) {
+  const std::vector<double> data = {4.0, 4.0, 4.0};
+  EXPECT_DOUBLE_EQ(*MedianAbsoluteDeviation(data), 0.0);
+}
+
+}  // namespace
+}  // namespace avoc::stats

@@ -1,0 +1,99 @@
+#include "stats/running.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace avoc::stats {
+namespace {
+
+TEST(RunningStatsTest, EmptyDefaults) {
+  RunningStats rs;
+  EXPECT_TRUE(rs.empty());
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.sum(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleObservation) {
+  RunningStats rs;
+  rs.Add(5.0);
+  EXPECT_EQ(rs.count(), 1u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 5.0);
+}
+
+TEST(RunningStatsTest, KnownSmallSample) {
+  RunningStats rs;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.Add(x);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.population_variance(), 4.0);
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+  EXPECT_DOUBLE_EQ(rs.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, NegativeValues) {
+  RunningStats rs;
+  rs.Add(-3.0);
+  rs.Add(3.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.min(), -3.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 18.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  Rng rng(5);
+  RunningStats all;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Gaussian(10.0, 3.0);
+    all.Add(x);
+    (i < 400 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptySides) {
+  RunningStats filled;
+  filled.Add(1.0);
+  filled.Add(3.0);
+  RunningStats empty;
+  RunningStats copy = filled;
+  copy.Merge(empty);
+  EXPECT_EQ(copy.count(), 2u);
+  EXPECT_DOUBLE_EQ(copy.mean(), 2.0);
+  empty.Merge(filled);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(RunningStatsTest, NumericallyStableForLargeOffsets) {
+  // Welford survives a huge common offset where naive sum-of-squares dies.
+  RunningStats rs;
+  const double offset = 1e12;
+  for (const double x : {1.0, 2.0, 3.0}) rs.Add(offset + x);
+  EXPECT_NEAR(rs.variance(), 1.0, 1e-3);
+  EXPECT_NEAR(rs.mean() - offset, 2.0, 1e-3);
+}
+
+TEST(RunningStatsTest, StddevIsSqrtVariance) {
+  RunningStats rs;
+  for (const double x : {1.0, 5.0, 9.0}) rs.Add(x);
+  EXPECT_DOUBLE_EQ(rs.stddev(), std::sqrt(rs.variance()));
+}
+
+}  // namespace
+}  // namespace avoc::stats

@@ -1,0 +1,89 @@
+#include "util/cli.h"
+
+#include <gtest/gtest.h>
+
+namespace avoc {
+namespace {
+
+CommandLine Parse(std::vector<const char*> args) {
+  auto result =
+      CommandLine::Parse(static_cast<int>(args.size()), args.data());
+  EXPECT_TRUE(result.ok());
+  return std::move(*result);
+}
+
+TEST(CommandLineTest, ParsesSpaceSeparatedValue) {
+  const CommandLine cli = Parse({"--name", "value"});
+  EXPECT_EQ(cli.GetString("name", ""), "value");
+}
+
+TEST(CommandLineTest, ParsesEqualsForm) {
+  const CommandLine cli = Parse({"--name=value"});
+  EXPECT_EQ(cli.GetString("name", ""), "value");
+}
+
+TEST(CommandLineTest, FallbackWhenAbsent) {
+  const CommandLine cli = Parse({});
+  EXPECT_EQ(cli.GetString("missing", "dflt"), "dflt");
+  EXPECT_EQ(cli.GetInt("missing", 5), 5);
+  EXPECT_DOUBLE_EQ(cli.GetDouble("missing", 2.5), 2.5);
+  EXPECT_TRUE(cli.GetBool("missing", true));
+}
+
+TEST(CommandLineTest, NumericParsing) {
+  const CommandLine cli = Parse({"--count", "12", "--ratio=0.5"});
+  EXPECT_EQ(cli.GetInt("count", 0), 12);
+  EXPECT_DOUBLE_EQ(cli.GetDouble("ratio", 0), 0.5);
+}
+
+TEST(CommandLineTest, MalformedNumberFallsBack) {
+  const CommandLine cli = Parse({"--count", "abc"});
+  EXPECT_EQ(cli.GetInt("count", 7), 7);
+}
+
+TEST(CommandLineTest, BareBooleanFlag) {
+  const CommandLine cli = Parse({"--verbose"});
+  EXPECT_TRUE(cli.GetBool("verbose", false));
+  EXPECT_TRUE(cli.HasFlag("verbose"));
+}
+
+TEST(CommandLineTest, NoPrefixDisablesBoolean) {
+  const CommandLine cli = Parse({"--no-verbose"});
+  EXPECT_FALSE(cli.GetBool("verbose", true));
+}
+
+TEST(CommandLineTest, BooleanValueSpellings) {
+  EXPECT_TRUE(Parse({"--x=true"}).GetBool("x", false));
+  EXPECT_TRUE(Parse({"--x=1"}).GetBool("x", false));
+  EXPECT_TRUE(Parse({"--x=YES"}).GetBool("x", false));
+  EXPECT_FALSE(Parse({"--x=false"}).GetBool("x", true));
+  EXPECT_FALSE(Parse({"--x=0"}).GetBool("x", true));
+}
+
+TEST(CommandLineTest, PositionalArguments) {
+  const CommandLine cli = Parse({"input.csv", "--mode", "fast", "out.csv"});
+  EXPECT_EQ(cli.positional(),
+            (std::vector<std::string>{"input.csv", "out.csv"}));
+  EXPECT_EQ(cli.GetString("mode", ""), "fast");
+}
+
+TEST(CommandLineTest, DoubleDashEndsFlagParsing) {
+  const CommandLine cli = Parse({"--a", "1", "--", "--not-a-flag"});
+  EXPECT_EQ(cli.GetString("a", ""), "1");
+  EXPECT_EQ(cli.positional(), (std::vector<std::string>{"--not-a-flag"}));
+}
+
+TEST(CommandLineTest, FlagFollowedByFlagIsBoolean) {
+  const CommandLine cli = Parse({"--a", "--b", "v"});
+  EXPECT_TRUE(cli.GetBool("a", false));
+  EXPECT_EQ(cli.GetString("b", ""), "v");
+}
+
+TEST(CommandLineTest, UnconsumedFlagsDetectTypos) {
+  const CommandLine cli = Parse({"--typo", "x", "--used", "y"});
+  EXPECT_EQ(cli.GetString("used", ""), "y");
+  EXPECT_EQ(cli.UnconsumedFlags(), (std::vector<std::string>{"typo"}));
+}
+
+}  // namespace
+}  // namespace avoc

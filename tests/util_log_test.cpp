@@ -1,0 +1,70 @@
+#include "util/log.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace avoc {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetLogSink([this](LogLevel level, std::string_view message) {
+      captured_.emplace_back(level, std::string(message));
+    });
+    SetLogLevel(LogLevel::kDebug);
+  }
+
+  void TearDown() override {
+    SetLogSink(nullptr);
+    SetLogLevel(LogLevel::kWarn);
+  }
+
+  std::vector<std::pair<LogLevel, std::string>> captured_;
+};
+
+TEST_F(LogTest, MessagesReachTheSink) {
+  AVOC_LOG_INFO("hello %d", 42);
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].first, LogLevel::kInfo);
+  EXPECT_EQ(captured_[0].second, "hello 42");
+}
+
+TEST_F(LogTest, LevelFiltersLowerMessages) {
+  SetLogLevel(LogLevel::kError);
+  AVOC_LOG_DEBUG("d");
+  AVOC_LOG_INFO("i");
+  AVOC_LOG_WARN("w");
+  AVOC_LOG_ERROR("e");
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].second, "e");
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  SetLogLevel(LogLevel::kOff);
+  AVOC_LOG_ERROR("e");
+  EXPECT_TRUE(captured_.empty());
+}
+
+TEST_F(LogTest, AllLevelsPassAtDebug) {
+  AVOC_LOG_DEBUG("a");
+  AVOC_LOG_INFO("b");
+  AVOC_LOG_WARN("c");
+  AVOC_LOG_ERROR("d");
+  EXPECT_EQ(captured_.size(), 4u);
+}
+
+TEST_F(LogTest, LevelNames) {
+  EXPECT_EQ(LogLevelName(LogLevel::kDebug), "DEBUG");
+  EXPECT_EQ(LogLevelName(LogLevel::kError), "ERROR");
+  EXPECT_EQ(LogLevelName(LogLevel::kOff), "OFF");
+}
+
+TEST_F(LogTest, GetLogLevelReflectsSetting) {
+  SetLogLevel(LogLevel::kInfo);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kInfo);
+}
+
+}  // namespace
+}  // namespace avoc

@@ -1,0 +1,104 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace avoc {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kOk);
+  EXPECT_EQ(status.ToString(), "ok");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  EXPECT_EQ(InvalidArgumentError("x").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(ParseError("x").code(), ErrorCode::kParseError);
+  EXPECT_EQ(NotFoundError("x").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(OutOfRangeError("x").code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(FailedPreconditionError("x").code(),
+            ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(UnsupportedError("x").code(), ErrorCode::kUnsupported);
+  EXPECT_EQ(NoQuorumError("x").code(), ErrorCode::kNoQuorum);
+  EXPECT_EQ(NoMajorityError("x").code(), ErrorCode::kNoMajority);
+  EXPECT_EQ(IoError("x").code(), ErrorCode::kIoError);
+  EXPECT_EQ(InternalError("x").code(), ErrorCode::kInternal);
+  EXPECT_EQ(ParseError("broken").message(), "broken");
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  EXPECT_EQ(ParseError("bad token").ToString(), "parse_error: bad token");
+  EXPECT_EQ(Status(ErrorCode::kNotFound, "").ToString(), "not_found");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(ParseError("a"), ParseError("a"));
+  EXPECT_FALSE(ParseError("a") == ParseError("b"));
+  EXPECT_FALSE(ParseError("a") == NotFoundError("a"));
+}
+
+TEST(StatusTest, ErrorCodeNamesAreDistinct) {
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kNoQuorum), "no_quorum");
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kNoMajority), "no_majority");
+  EXPECT_NE(ErrorCodeName(ErrorCode::kIoError),
+            ErrorCodeName(ErrorCode::kInternal));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = NotFoundError("missing");
+  EXPECT_FALSE(result.ok());
+  EXPECT_FALSE(static_cast<bool>(result));
+  EXPECT_EQ(result.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(ResultTest, ValueOrFallsBack) {
+  Result<int> good(7);
+  Result<int> bad = InternalError("boom");
+  EXPECT_EQ(good.value_or(0), 7);
+  EXPECT_EQ(bad.value_or(9), 9);
+}
+
+TEST(ResultTest, MoveOnlyValueWorks) {
+  Result<std::unique_ptr<int>> result(std::make_unique<int>(5));
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> extracted = std::move(result).value();
+  EXPECT_EQ(*extracted, 5);
+}
+
+TEST(ResultTest, ArrowOperatorAccessesMembers) {
+  Result<std::string> result(std::string("hello"));
+  EXPECT_EQ(result->size(), 5u);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return InvalidArgumentError("odd");
+  return x / 2;
+}
+
+Status UseMacros(int x, int* out) {
+  AVOC_ASSIGN_OR_RETURN(const int half, Half(x));
+  *out = half;
+  AVOC_RETURN_IF_ERROR(Status::Ok());
+  return Status::Ok();
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesErrors) {
+  int out = 0;
+  EXPECT_TRUE(UseMacros(8, &out).ok());
+  EXPECT_EQ(out, 4);
+  const Status failed = UseMacros(7, &out);
+  EXPECT_EQ(failed.code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(out, 4);  // untouched on failure
+}
+
+}  // namespace
+}  // namespace avoc

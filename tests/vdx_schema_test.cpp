@@ -1,0 +1,110 @@
+#include "vdx/schema.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/algorithms.h"
+#include "json/parse.h"
+#include "vdx/factory.h"
+
+namespace avoc::vdx {
+namespace {
+
+bool SchemaAccepts(std::string_view document) {
+  auto report = ValidateTextAgainstSchema(document);
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return report.ok() && report->ok();
+}
+
+TEST(VdxSchemaTest, SchemaItselfParses) {
+  auto schema = json::Parse(VdxJsonSchema());
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  EXPECT_TRUE(schema->is_object());
+}
+
+TEST(VdxSchemaTest, AcceptsListing1) {
+  EXPECT_TRUE(SchemaAccepts(R"({
+    "algorithm_name": "AVOC",
+    "quorum": "UNTIL",
+    "quorum_percentage": 100,
+    "exclusion": "NONE",
+    "exclusion_threshold": 0,
+    "history": "HYBRID",
+    "params": {"error": 0.05, "soft_threshold": 2},
+    "collation": "MEAN_NEAREST_NEIGHBOR",
+    "bootstrapping": true
+  })"));
+}
+
+TEST(VdxSchemaTest, AcceptsEveryBuiltinExport) {
+  for (const core::AlgorithmId id : core::AllAlgorithms()) {
+    const Spec spec = ExportSpec(id);
+    auto report = ValidateAgainstSchema(spec.ToJson());
+    ASSERT_TRUE(report.ok()) << core::AlgorithmName(id);
+    EXPECT_TRUE(report->ok())
+        << core::AlgorithmName(id) << ":\n" << report->ToString();
+  }
+}
+
+TEST(VdxSchemaTest, RejectsMissingAlgorithmName) {
+  EXPECT_FALSE(SchemaAccepts(R"({"history": "STANDARD"})"));
+}
+
+TEST(VdxSchemaTest, RejectsUnknownTopLevelMembers) {
+  EXPECT_FALSE(SchemaAccepts(
+      R"({"algorithm_name": "x", "surprise_field": 1})"));
+}
+
+TEST(VdxSchemaTest, RejectsBadEnumTokens) {
+  EXPECT_FALSE(SchemaAccepts(
+      R"({"algorithm_name": "x", "history": "MAGIC"})"));
+  EXPECT_FALSE(SchemaAccepts(
+      R"({"algorithm_name": "x", "collation": "VIBES"})"));
+  EXPECT_FALSE(SchemaAccepts(
+      R"({"algorithm_name": "x", "quorum": "MAYBE"})"));
+}
+
+TEST(VdxSchemaTest, RejectsOutOfRangeQuorum) {
+  EXPECT_FALSE(SchemaAccepts(
+      R"({"algorithm_name": "x", "quorum_percentage": 0})"));
+  EXPECT_FALSE(SchemaAccepts(
+      R"({"algorithm_name": "x", "quorum_percentage": 101})"));
+  EXPECT_FALSE(SchemaAccepts(
+      R"({"algorithm_name": "x", "quorum_count": 0})"));
+}
+
+TEST(VdxSchemaTest, RejectsNonScalarParams) {
+  EXPECT_FALSE(SchemaAccepts(
+      R"({"algorithm_name": "x", "params": {"a": [1]}})"));
+  EXPECT_TRUE(SchemaAccepts(
+      R"({"algorithm_name": "x", "params": {"a": 1, "b": "RELATIVE"}})"));
+}
+
+TEST(VdxSchemaTest, RejectsUnknownFaultPolicyMembers) {
+  EXPECT_FALSE(SchemaAccepts(R"({
+    "algorithm_name": "x",
+    "fault_policy": {"on_meltdown": "PANIC"}
+  })"));
+  EXPECT_TRUE(SchemaAccepts(R"({
+    "algorithm_name": "x",
+    "fault_policy": {"on_no_quorum": "RAISE"}
+  })"));
+}
+
+TEST(VdxSchemaTest, EmbeddedSchemaMatchesDocsFile) {
+  // docs/vdx.schema.json must stay in sync with the embedded text.
+  std::ifstream in(std::string(AVOC_SOURCE_DIR) + "/docs/vdx.schema.json");
+  ASSERT_TRUE(in) << "docs/vdx.schema.json missing";
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto embedded = json::Parse(VdxJsonSchema());
+  auto on_disk = json::Parse(buffer.str());
+  ASSERT_TRUE(embedded.ok());
+  ASSERT_TRUE(on_disk.ok());
+  EXPECT_TRUE(*embedded == *on_disk);
+}
+
+}  // namespace
+}  // namespace avoc::vdx

@@ -1,0 +1,243 @@
+#include "vdx/spec.h"
+
+#include <gtest/gtest.h>
+
+namespace avoc::vdx {
+namespace {
+
+// The paper's Listing 1, verbatim (trailing comma included).
+constexpr char kListing1[] = R"({
+  "algorithm_name": "AVOC",
+  "quorum": "UNTIL",
+  "quorum_percentage": 100,
+  "exclusion": "NONE",
+  "exclusion_threshold": 0,
+  "history": "HYBRID",
+  "params": {
+    "error": 0.05,
+    "soft_threshold": 2
+  },
+  "collation": "MEAN_NEAREST_NEIGHBOR",
+  "bootstrapping": true,
+})";
+
+TEST(VdxSpecTest, ParsesListing1) {
+  auto spec = Spec::Parse(kListing1);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->algorithm_name, "AVOC");
+  EXPECT_EQ(spec->quorum, QuorumMode::kUntil);
+  EXPECT_DOUBLE_EQ(spec->quorum_amount, 100.0);
+  EXPECT_EQ(spec->exclusion, ExclusionKind::kNone);
+  EXPECT_EQ(spec->history, HistoryKind::kHybrid);
+  EXPECT_DOUBLE_EQ(spec->ParamOr("error", 0), 0.05);
+  EXPECT_DOUBLE_EQ(spec->ParamOr("soft_threshold", 0), 2.0);
+  EXPECT_EQ(spec->collation, CollationKind::kMeanNearestNeighbor);
+  EXPECT_TRUE(spec->bootstrapping);
+  EXPECT_EQ(spec->value_type, ValueKind::kNumeric);
+  EXPECT_TRUE(spec->Validate().ok());
+}
+
+TEST(VdxSpecTest, MissingAlgorithmNameRejected) {
+  EXPECT_FALSE(Spec::Parse(R"({"history": "STANDARD"})").ok());
+  EXPECT_FALSE(Spec::Parse("[1,2]").ok());
+}
+
+TEST(VdxSpecTest, UnknownTokensRejected) {
+  EXPECT_FALSE(
+      Spec::Parse(R"({"algorithm_name":"x","quorum":"SOMETIMES"})").ok());
+  EXPECT_FALSE(
+      Spec::Parse(R"({"algorithm_name":"x","history":"MAGIC"})").ok());
+  EXPECT_FALSE(
+      Spec::Parse(R"({"algorithm_name":"x","collation":"VIBES"})").ok());
+  EXPECT_FALSE(
+      Spec::Parse(R"({"algorithm_name":"x","exclusion":"YES"})").ok());
+  EXPECT_FALSE(
+      Spec::Parse(R"({"algorithm_name":"x","value_type":"BLOB"})").ok());
+}
+
+TEST(VdxSpecTest, TokenParsingIsCaseInsensitive) {
+  EXPECT_EQ(*ParseQuorumMode("until"), QuorumMode::kUntil);
+  EXPECT_EQ(*ParseHistoryKind("hybrid"), HistoryKind::kHybrid);
+  EXPECT_EQ(*ParseCollationKind("mean_nearest_neighbour"),
+            CollationKind::kMeanNearestNeighbor);
+  EXPECT_EQ(*ParseExclusionKind(" stddev "), ExclusionKind::kStdDev);
+  EXPECT_EQ(*ParseValueKind("categorical"), ValueKind::kCategorical);
+  EXPECT_EQ(*ParseFaultAction("revert_last"), FaultAction::kRevertLast);
+}
+
+TEST(VdxSpecTest, EnumTokensRoundTrip) {
+  for (const auto mode : {QuorumMode::kAny, QuorumMode::kCount,
+                          QuorumMode::kPercent, QuorumMode::kUntil}) {
+    EXPECT_EQ(*ParseQuorumMode(ToToken(mode)), mode);
+  }
+  for (const auto kind :
+       {HistoryKind::kNone, HistoryKind::kStandard,
+        HistoryKind::kModuleElimination, HistoryKind::kSoftDynamicThreshold,
+        HistoryKind::kHybrid}) {
+    EXPECT_EQ(*ParseHistoryKind(ToToken(kind)), kind);
+  }
+  for (const auto kind :
+       {CollationKind::kWeightedAverage, CollationKind::kMeanNearestNeighbor,
+        CollationKind::kWeightedMedian, CollationKind::kMajority}) {
+    EXPECT_EQ(*ParseCollationKind(ToToken(kind)), kind);
+  }
+  for (const auto action :
+       {FaultAction::kAccept, FaultAction::kEmitNothing,
+        FaultAction::kRevertLast, FaultAction::kRaise}) {
+    EXPECT_EQ(*ParseFaultAction(ToToken(action)), action);
+  }
+}
+
+TEST(VdxSpecTest, SerializeParseRoundTrip) {
+  auto spec = Spec::Parse(kListing1);
+  ASSERT_TRUE(spec.ok());
+  spec->fault_policy.on_no_quorum = FaultAction::kRaise;
+  spec->string_params["threshold_scale"] = "ABSOLUTE";
+  spec->params["penalty"] = 0.4;
+  auto reparsed = Spec::Parse(spec->Serialize());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->algorithm_name, spec->algorithm_name);
+  EXPECT_EQ(reparsed->quorum, spec->quorum);
+  EXPECT_EQ(reparsed->history, spec->history);
+  EXPECT_EQ(reparsed->collation, spec->collation);
+  EXPECT_EQ(reparsed->bootstrapping, spec->bootstrapping);
+  EXPECT_EQ(reparsed->params, spec->params);
+  EXPECT_EQ(reparsed->string_params, spec->string_params);
+  EXPECT_EQ(reparsed->fault_policy.on_no_quorum, FaultAction::kRaise);
+}
+
+TEST(VdxSpecTest, QuorumCountSerialization) {
+  Spec spec;
+  spec.algorithm_name = "counted";
+  spec.quorum = QuorumMode::kCount;
+  spec.quorum_amount = 3;
+  auto reparsed = Spec::Parse(spec.Serialize());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->quorum, QuorumMode::kCount);
+  EXPECT_DOUBLE_EQ(reparsed->quorum_amount, 3.0);
+}
+
+TEST(VdxSpecTest, ValidateQuorumRanges) {
+  Spec spec;
+  spec.algorithm_name = "x";
+  spec.quorum = QuorumMode::kPercent;
+  spec.quorum_amount = 0.0;
+  EXPECT_FALSE(spec.Validate().ok());
+  spec.quorum_amount = 101.0;
+  EXPECT_FALSE(spec.Validate().ok());
+  spec.quorum_amount = 100.0;
+  EXPECT_TRUE(spec.Validate().ok());
+  spec.quorum = QuorumMode::kCount;
+  spec.quorum_amount = 0.0;
+  EXPECT_FALSE(spec.Validate().ok());
+}
+
+TEST(VdxSpecTest, ValidateExclusionThreshold) {
+  Spec spec;
+  spec.algorithm_name = "x";
+  spec.exclusion = ExclusionKind::kStdDev;
+  spec.exclusion_threshold = 0.0;
+  EXPECT_FALSE(spec.Validate().ok());
+  spec.exclusion_threshold = 2.0;
+  EXPECT_TRUE(spec.Validate().ok());
+}
+
+TEST(VdxSpecTest, ValidateParams) {
+  Spec spec;
+  spec.algorithm_name = "x";
+  spec.history = HistoryKind::kStandard;
+  spec.params["error"] = -1.0;
+  EXPECT_FALSE(spec.Validate().ok());
+  spec.params["error"] = 0.05;
+  EXPECT_TRUE(spec.Validate().ok());
+  spec.history = HistoryKind::kSoftDynamicThreshold;
+  spec.params["soft_threshold"] = 0.5;
+  EXPECT_FALSE(spec.Validate().ok());
+}
+
+// --- §6 categorical capability matrix ------------------------------------
+
+Spec CategoricalBase() {
+  Spec spec;
+  spec.algorithm_name = "labels";
+  spec.value_type = ValueKind::kCategorical;
+  spec.history = HistoryKind::kStandard;
+  spec.collation = CollationKind::kMajority;
+  return spec;
+}
+
+TEST(VdxCapabilityTest, CategoricalBaseIsValid) {
+  EXPECT_TRUE(CategoricalBase().Validate().ok());
+}
+
+TEST(VdxCapabilityTest, CategoricalRejectsValueExclusion) {
+  Spec spec = CategoricalBase();
+  spec.exclusion = ExclusionKind::kStdDev;
+  spec.exclusion_threshold = 2.0;
+  const Status status = spec.Validate();
+  EXPECT_EQ(status.code(), ErrorCode::kUnsupported);
+}
+
+TEST(VdxCapabilityTest, CategoricalRejectsNonMajorityCollation) {
+  Spec spec = CategoricalBase();
+  spec.collation = CollationKind::kWeightedAverage;
+  EXPECT_EQ(spec.Validate().code(), ErrorCode::kUnsupported);
+}
+
+TEST(VdxCapabilityTest, CategoricalRejectsHybridWithoutDistance) {
+  Spec spec = CategoricalBase();
+  spec.history = HistoryKind::kHybrid;
+  EXPECT_EQ(spec.Validate().code(), ErrorCode::kUnsupported);
+  // The paper's escape hatch: a custom distance metric re-enables it.
+  EXPECT_TRUE(spec.Validate(/*has_custom_distance=*/true).ok());
+}
+
+TEST(VdxCapabilityTest, CategoricalRejectsClusteringWithoutDistance) {
+  Spec spec = CategoricalBase();
+  spec.bootstrapping = true;
+  EXPECT_EQ(spec.Validate().code(), ErrorCode::kUnsupported);
+  EXPECT_TRUE(spec.Validate(/*has_custom_distance=*/true).ok());
+}
+
+TEST(VdxCapabilityTest, NumericRejectsMajorityCollation) {
+  Spec spec;
+  spec.algorithm_name = "x";
+  spec.collation = CollationKind::kMajority;
+  EXPECT_EQ(spec.Validate().code(), ErrorCode::kUnsupported);
+}
+
+TEST(VdxSpecTest, ModuleEliminationHistoryAlias) {
+  auto spec = Spec::Parse(
+      R"({"algorithm_name":"me","history":"MODULE_ELIMINATION"})");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->history, HistoryKind::kModuleElimination);
+}
+
+TEST(VdxSpecTest, ParamsRejectNonScalarValues) {
+  EXPECT_FALSE(
+      Spec::Parse(R"({"algorithm_name":"x","params":{"a":[1,2]}})").ok());
+  EXPECT_FALSE(
+      Spec::Parse(R"({"algorithm_name":"x","params":"flat"})").ok());
+}
+
+TEST(VdxSpecTest, StringParamsPreserved) {
+  auto spec = Spec::Parse(
+      R"({"algorithm_name":"x","params":{"threshold_scale":"ABSOLUTE","error":0.1}})");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->StringParamOr("threshold_scale", ""), "ABSOLUTE");
+  EXPECT_DOUBLE_EQ(spec->ParamOr("error", 0), 0.1);
+  EXPECT_EQ(spec->StringParamOr("missing", "dflt"), "dflt");
+}
+
+TEST(VdxSpecTest, FaultPolicyParsing) {
+  auto spec = Spec::Parse(R"({
+    "algorithm_name": "x",
+    "fault_policy": {"on_no_quorum": "RAISE", "on_no_majority": "REVERT_LAST"}
+  })");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->fault_policy.on_no_quorum, FaultAction::kRaise);
+  EXPECT_EQ(spec->fault_policy.on_no_majority, FaultAction::kRevertLast);
+}
+
+}  // namespace
+}  // namespace avoc::vdx
