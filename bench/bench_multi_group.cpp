@@ -1,0 +1,131 @@
+// Sharded multi-group throughput (the smart-shopping motivation: one
+// voter group per shelf, hundreds of shelves per store).
+//
+// Runs the same per-group batch workload through MultiGroupEngine twice —
+// sequentially on one thread and sharded across the worker pool — and
+// reports rounds/s plus the parallel speedup.  Groups are independent, so
+// the speedup should track the worker count until memory bandwidth wins.
+// Flags: --groups N --modules M --rounds R --threads T --seed S
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "core/algorithms.h"
+#include "runtime/multi_group.h"
+#include "util/cli.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+std::vector<avoc::data::RoundTable> MakeTables(size_t groups, size_t modules,
+                                               size_t rounds, uint64_t seed) {
+  std::vector<avoc::data::RoundTable> tables;
+  tables.reserve(groups);
+  for (size_t g = 0; g < groups; ++g) {
+    avoc::Rng rng(seed + g);
+    avoc::data::RoundTable table =
+        avoc::data::RoundTable::WithModuleCount(modules);
+    for (size_t r = 0; r < rounds; ++r) {
+      std::vector<double> row(modules);
+      for (size_t m = 0; m < modules; ++m) {
+        // One drifting module per group keeps the history machinery busy.
+        const double bias = (m == 0) ? 2.0 : 0.0;
+        row[m] = 20.0 + bias + rng.Gaussian(0.0, 0.2);
+      }
+      (void)table.AppendRound(row);
+    }
+    tables.push_back(std::move(table));
+  }
+  return tables;
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto cli = avoc::CommandLine::Parse(argc - 1, argv + 1);
+  if (!cli.ok()) return 1;
+  const size_t groups = static_cast<size_t>(cli->GetInt("groups", 64));
+  const size_t modules = static_cast<size_t>(cli->GetInt("modules", 5));
+  const size_t rounds = static_cast<size_t>(cli->GetInt("rounds", 2000));
+  const size_t threads = static_cast<size_t>(cli->GetInt("threads", 0));
+  const uint64_t seed = static_cast<uint64_t>(cli->GetInt("seed", 7));
+
+  auto config_engine = avoc::core::MakeEngine(avoc::core::AlgorithmId::kAvoc,
+                                              modules);
+  if (!config_engine.ok()) {
+    std::fprintf(stderr, "engine: %s\n",
+                 config_engine.status().ToString().c_str());
+    return 1;
+  }
+  const auto tables = MakeTables(groups, modules, rounds, seed);
+  const double total_rounds = static_cast<double>(groups * rounds);
+
+  avoc::runtime::MultiGroupOptions options;
+  options.threads = threads;
+  auto sequential = avoc::runtime::MultiGroupEngine::Create(
+      groups, modules, config_engine->config());
+  auto parallel = avoc::runtime::MultiGroupEngine::Create(
+      groups, modules, config_engine->config(), options);
+  if (!sequential.ok() || !parallel.ok()) {
+    const auto& status =
+        sequential.ok() ? parallel.status() : sequential.status();
+    std::fprintf(stderr, "multi-group setup failed: %s\n",
+                 status.message().c_str());
+    return 1;
+  }
+
+  std::printf("=== sharded multi-group batch: %zu groups x %zu modules x "
+              "%zu rounds (AVOC) ===\n",
+              groups, modules, rounds);
+
+  auto start = std::chrono::steady_clock::now();
+  auto seq_results = sequential->RunBatchSequential(tables);
+  const double seq_seconds = SecondsSince(start);
+  if (!seq_results.ok()) {
+    std::fprintf(stderr, "sequential: %s\n",
+                 seq_results.status().ToString().c_str());
+    return 1;
+  }
+
+  start = std::chrono::steady_clock::now();
+  auto par_results = parallel->RunBatch(tables);
+  const double par_seconds = SecondsSince(start);
+  if (!par_results.ok()) {
+    std::fprintf(stderr, "parallel: %s\n",
+                 par_results.status().ToString().c_str());
+    return 1;
+  }
+
+  // Cross-check: sharding must not change a single fused value.
+  size_t mismatches = 0;
+  for (size_t g = 0; g < groups; ++g) {
+    for (size_t r = 0; r < rounds; ++r) {
+      if ((*seq_results)[g].rounds[r].value !=
+          (*par_results)[g].rounds[r].value) {
+        ++mismatches;
+      }
+    }
+  }
+
+  const size_t workers = avoc::util::ThreadPool(threads).thread_count();
+  std::printf("%-12s, %10s, %14s\n", "mode", "seconds", "rounds/s");
+  std::printf("%-12s, %10.3f, %14.0f\n", "sequential", seq_seconds,
+              total_rounds / seq_seconds);
+  std::printf("%-12s, %10.3f, %14.0f\n", "parallel", par_seconds,
+              total_rounds / par_seconds);
+  std::printf("\nspeedup: %.2fx on %zu workers; output mismatches: %zu\n",
+              seq_seconds / par_seconds, workers, mismatches);
+  if (mismatches != 0) return 1;
+  std::printf(
+      "(each worker owns whole groups, so there is no cross-group\n"
+      " synchronisation on the round hot path; the contiguous history\n"
+      " block is re-synced once per batch.)\n");
+  return 0;
+}

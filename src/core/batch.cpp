@@ -15,7 +15,9 @@ std::vector<double> BatchResult::ContinuousOutputs() const {
       break;
     }
   }
-  if (!seeded) return std::vector<double>(outputs.size(), 0.0);
+  // No round ever produced a value: there is nothing to continue, and a
+  // series of fabricated zeros would skew every downstream metric.
+  if (!seeded) return {};
   for (const auto& value : outputs) {
     if (value.has_value()) current = *value;
     out.push_back(current);

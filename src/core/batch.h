@@ -24,7 +24,8 @@ struct BatchResult {
 
   /// Outputs with gaps filled by the previous value (first gaps dropped
   /// from the front are filled with the first real output).  Convenient
-  /// for plotting and series metrics.
+  /// for plotting and series metrics.  Empty when no round produced a
+  /// value at all — a fully-suppressed series has nothing to continue.
   std::vector<double> ContinuousOutputs() const;
 
   /// Number of rounds whose outcome was kVoted.

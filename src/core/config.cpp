@@ -1,0 +1,43 @@
+#include "core/config.h"
+
+namespace avoc::core {
+
+Status EngineConfig::Validate() const {
+  if (agreement.error <= 0.0) {
+    return InvalidArgumentError("agreement error threshold must be > 0");
+  }
+  if (agreement.mode == AgreementMode::kSoftDynamic &&
+      agreement.soft_multiple < 1.0) {
+    return InvalidArgumentError("soft threshold multiple must be >= 1");
+  }
+  if (history.rule == HistoryRule::kRewardPenalty) {
+    if (history.reward < 0.0 || history.reward > 1.0 ||
+        history.penalty < 0.0 || history.penalty > 1.0) {
+      return InvalidArgumentError("reward/penalty must lie in [0,1]");
+    }
+  }
+  if (history.missing_penalty < 0.0 || history.missing_penalty > 1.0) {
+    return InvalidArgumentError("missing penalty must lie in [0,1]");
+  }
+  if (quorum.fraction <= 0.0 || quorum.fraction > 1.0) {
+    return InvalidArgumentError("quorum fraction must lie in (0,1]");
+  }
+  if (quorum.min_count < 1) {
+    return InvalidArgumentError("quorum min count must be >= 1");
+  }
+  if (exclusion.mode != ExclusionMode::kNone && exclusion.threshold <= 0.0) {
+    return InvalidArgumentError("exclusion threshold must be > 0");
+  }
+  if (elimination_margin < 0.0 || elimination_margin >= 1.0) {
+    return InvalidArgumentError("elimination margin must lie in [0,1)");
+  }
+  if ((weighting == RoundWeighting::kHistory ||
+       weighting == RoundWeighting::kCombined) &&
+      history.rule == HistoryRule::kNone) {
+    return InvalidArgumentError(
+        "history-based weighting requires a history rule");
+  }
+  return Status::Ok();
+}
+
+}  // namespace avoc::core

@@ -1,70 +1,15 @@
 #include "core/engine.h"
 
 #include <algorithm>
-#include <cmath>
 
-#include "cluster/grouping.h"
 #include "util/strings.h"
 
 namespace avoc::core {
-namespace {
-
-cluster::GroupingOptions MirroredGroupingOptions(
-    const AgreementParams& agreement) {
-  // §5: the clustering threshold "is selected to mirror the parameters of
-  // the given algorithm".
-  cluster::GroupingOptions options;
-  options.threshold = agreement.error;
-  options.mode = agreement.scale == ThresholdScale::kRelative
-                     ? cluster::ThresholdMode::kRelative
-                     : cluster::ThresholdMode::kAbsolute;
-  options.relative_floor = agreement.relative_floor;
-  return options;
-}
-
-}  // namespace
-
-Status EngineConfig::Validate() const {
-  if (agreement.error <= 0.0) {
-    return InvalidArgumentError("agreement error threshold must be > 0");
-  }
-  if (agreement.mode == AgreementMode::kSoftDynamic &&
-      agreement.soft_multiple < 1.0) {
-    return InvalidArgumentError("soft threshold multiple must be >= 1");
-  }
-  if (history.rule == HistoryRule::kRewardPenalty) {
-    if (history.reward < 0.0 || history.reward > 1.0 ||
-        history.penalty < 0.0 || history.penalty > 1.0) {
-      return InvalidArgumentError("reward/penalty must lie in [0,1]");
-    }
-  }
-  if (history.missing_penalty < 0.0 || history.missing_penalty > 1.0) {
-    return InvalidArgumentError("missing penalty must lie in [0,1]");
-  }
-  if (quorum.fraction <= 0.0 || quorum.fraction > 1.0) {
-    return InvalidArgumentError("quorum fraction must lie in (0,1]");
-  }
-  if (quorum.min_count < 1) {
-    return InvalidArgumentError("quorum min count must be >= 1");
-  }
-  if (exclusion.mode != ExclusionMode::kNone && exclusion.threshold <= 0.0) {
-    return InvalidArgumentError("exclusion threshold must be > 0");
-  }
-  if (elimination_margin < 0.0 || elimination_margin >= 1.0) {
-    return InvalidArgumentError("elimination margin must lie in [0,1)");
-  }
-  if ((weighting == RoundWeighting::kHistory ||
-       weighting == RoundWeighting::kCombined) &&
-      history.rule == HistoryRule::kNone) {
-    return InvalidArgumentError(
-        "history-based weighting requires a history rule");
-  }
-  return Status::Ok();
-}
 
 VotingEngine::VotingEngine(size_t module_count, const EngineConfig& config)
     : module_count_(module_count),
       config_(config),
+      pipeline_(StagePipeline::Compile(module_count, config)),
       ledger_(module_count, config.history) {}
 
 Result<VotingEngine> VotingEngine::Create(size_t module_count,
@@ -74,21 +19,6 @@ Result<VotingEngine> VotingEngine::Create(size_t module_count,
   }
   AVOC_RETURN_IF_ERROR(config.Validate());
   return VotingEngine(module_count, config);
-}
-
-bool VotingEngine::ShouldCluster() const {
-  switch (config_.clustering) {
-    case ClusteringMode::kOff:
-      return false;
-    case ClusteringMode::kAlways:
-      return true;
-    case ClusteringMode::kBootstrap:
-      // §5: "the clustering approach should be used when all records are 1
-      // (indicating a new set) or 0 (indicating a failure of the system or
-      // an extreme data spike)".
-      return ledger_.AllRecordsAre(1.0) || ledger_.AllRecordsAre(0.0);
-  }
-  return false;
 }
 
 VoteResult VotingEngine::MakeFaultResult(RoundOutcome fallback_outcome,
@@ -122,6 +52,31 @@ VoteResult VotingEngine::MakeFaultResult(RoundOutcome fallback_outcome,
   return result;
 }
 
+VoteResult VotingEngine::AssembleVotedResult(
+    const VoteContext& context) const {
+  VoteResult result;
+  result.value = *context.output;
+  result.outcome = RoundOutcome::kVoted;
+  result.used_clustering = context.used_clustering;
+  result.present_count = context.present_count;
+  result.had_majority = context.had_majority;
+  result.weights.assign(module_count_, 0.0);
+  result.agreement.assign(module_count_, 0.0);
+  result.excluded.assign(module_count_, false);
+  result.eliminated.assign(module_count_, false);
+  for (size_t k = 0; k < context.present_count; ++k) {
+    result.excluded[context.present_index[k]] = context.excluded_present[k];
+  }
+  for (size_t k = 0; k < context.included_index.size(); ++k) {
+    result.weights[context.included_index[k]] = context.weights[k];
+    result.agreement[context.included_index[k]] = context.scores[k];
+    result.eliminated[context.included_index[k]] =
+        context.eliminated_included[k];
+  }
+  result.history.assign(ledger_.records().begin(), ledger_.records().end());
+  return result;
+}
+
 Result<VoteResult> VotingEngine::CastVote(std::span<const double> values) {
   Round round;
   round.reserve(values.size());
@@ -137,192 +92,23 @@ Result<VoteResult> VotingEngine::CastVote(const Round& round) {
   }
   ++round_index_;
 
-  // --- Gather present candidates ------------------------------------------
-  std::vector<size_t> present_index;  // module index of each candidate
-  std::vector<double> present_values;
-  std::vector<bool> present(module_count_, false);
-  for (size_t i = 0; i < module_count_; ++i) {
-    if (round[i].has_value()) {
-      present[i] = true;
-      present_index.push_back(i);
-      present_values.push_back(*round[i]);
-    }
-  }
-  const size_t present_count = present_index.size();
-
-  // --- Quorum ---------------------------------------------------------------
-  const size_t required = std::max<size_t>(
-      config_.quorum.min_count,
-      static_cast<size_t>(std::ceil(
-          config_.quorum.fraction * static_cast<double>(module_count_) -
-          1e-9)));
-  if (present_count < required) {
-    switch (config_.on_no_quorum) {
-      case NoQuorumPolicy::kEmitNothing:
-        return MakeFaultResult(RoundOutcome::kNoOutput, Status::Ok(),
-                               present_count);
-      case NoQuorumPolicy::kRevertLast:
-        return MakeFaultResult(RoundOutcome::kRevertedLast, Status::Ok(),
-                               present_count);
-      case NoQuorumPolicy::kRaise:
-        return MakeFaultResult(
-            RoundOutcome::kError,
-            NoQuorumError(StrFormat("%zu of %zu candidates, %zu required",
-                                    present_count, module_count_, required)),
-            present_count);
-    }
+  scratch_.Begin(round, config_, ledger_, last_output_);
+  if (observer_ != nullptr) observer_->OnRoundBegin(round_index_, scratch_);
+  for (const auto& stage : pipeline_->stages()) {
+    AVOC_RETURN_IF_ERROR(stage->Run(scratch_));
+    if (observer_ != nullptr) observer_->OnStageDone(stage->name(), scratch_);
+    if (scratch_.faulted()) break;
   }
 
-  // --- Value-based exclusion -------------------------------------------------
-  const std::vector<bool> excluded_present =
-      ComputeExclusions(present_values, config_.exclusion);
-  std::vector<size_t> included_index;   // module index per included candidate
-  std::vector<double> included_values;  // candidate values after exclusion
-  for (size_t k = 0; k < present_count; ++k) {
-    if (!excluded_present[k]) {
-      included_index.push_back(present_index[k]);
-      included_values.push_back(present_values[k]);
-    }
-  }
-
-  // --- Clustering gate (AVOC bootstrap / COV) --------------------------------
-  bool used_clustering = false;
-  std::vector<bool> in_winning_cluster(included_values.size(), true);
-  auto apply_clustering = [&]() -> Status {
-    const cluster::GroupingResult grouping = cluster::GroupByThreshold(
-        included_values, MirroredGroupingOptions(config_.agreement));
-    const double* prev =
-        last_output_.has_value() ? &*last_output_ : nullptr;
-    AVOC_ASSIGN_OR_RETURN(
-        const cluster::Group winner,
-        cluster::SelectWinningGroup(grouping, included_values, prev));
-    std::fill(in_winning_cluster.begin(), in_winning_cluster.end(), false);
-    for (const size_t member : winner.members) {
-      in_winning_cluster[member] = true;
-    }
-    used_clustering = true;
-    return Status::Ok();
-  };
-  if (ShouldCluster() && !included_values.empty()) {
-    AVOC_RETURN_IF_ERROR(apply_clustering());
-  }
-
-  // --- Agreement scores -------------------------------------------------------
-  const std::vector<double> scores =
-      AgreementScores(included_values, config_.agreement);
-
-  // --- Module elimination (ME) -------------------------------------------------
-  std::vector<bool> eliminated_included(included_values.size(), false);
-  if (config_.module_elimination && included_values.size() > 1) {
-    double mean_record = 0.0;
-    for (const size_t m : included_index) mean_record += ledger_.record(m);
-    mean_record /= static_cast<double>(included_index.size());
-    for (size_t k = 0; k < included_index.size(); ++k) {
-      // Strictly below average (minus the rejoin slack): at least one
-      // candidate always survives.
-      eliminated_included[k] =
-          ledger_.record(included_index[k]) <
-          mean_record - config_.elimination_margin - 1e-12;
-    }
-  }
-
-  // --- Round weights ------------------------------------------------------------
-  std::vector<double> weights(included_values.size(), 0.0);
-  auto base_weight = [&](size_t k) {
-    switch (config_.weighting) {
-      case RoundWeighting::kUniform:
-        return 1.0;
-      case RoundWeighting::kHistory:
-        return ledger_.record(included_index[k]);
-      case RoundWeighting::kAgreement:
-        return scores[k];
-      case RoundWeighting::kCombined:
-        return ledger_.record(included_index[k]) * scores[k];
-    }
-    return 0.0;
-  };
-  double weight_sum = 0.0;
-  for (size_t k = 0; k < included_values.size(); ++k) {
-    if (eliminated_included[k] || !in_winning_cluster[k]) continue;
-    weights[k] = base_weight(k);
-    weight_sum += weights[k];
-  }
-
-  // --- Zero-weight fallback -------------------------------------------------------
-  // §5: engines fall back to an unweighted approach "when the weights
-  // become 0 due to severe issues with the data"; with clustering enabled
-  // the clustering step itself is the fallback.
-  if (weight_sum <= 0.0 && !included_values.empty()) {
-    if (config_.clustering != ClusteringMode::kOff && !used_clustering) {
-      AVOC_RETURN_IF_ERROR(apply_clustering());
-    }
-    for (size_t k = 0; k < included_values.size(); ++k) {
-      weights[k] = in_winning_cluster[k] ? 1.0 : 0.0;
-      weight_sum += weights[k];
-    }
-  }
-
-  // --- Majority check ----------------------------------------------------------------
-  const size_t largest_group =
-      LargestAgreementGroup(included_values, config_.agreement);
-  const bool had_majority = 2 * largest_group > included_values.size();
-  if (!had_majority) {
-    switch (config_.on_no_majority) {
-      case NoMajorityPolicy::kAccept:
-        break;
-      case NoMajorityPolicy::kEmitNothing:
-        return MakeFaultResult(RoundOutcome::kNoOutput, Status::Ok(),
-                               present_count);
-      case NoMajorityPolicy::kRevertLast:
-        return MakeFaultResult(RoundOutcome::kRevertedLast, Status::Ok(),
-                               present_count);
-      case NoMajorityPolicy::kRaise:
-        return MakeFaultResult(
-            RoundOutcome::kError,
-            NoMajorityError(StrFormat(
-                "largest agreement group %zu of %zu candidates",
-                largest_group, included_values.size())),
-            present_count);
-    }
-  }
-
-  // --- Collation -------------------------------------------------------------------
-  AVOC_ASSIGN_OR_RETURN(
-      const double output,
-      Collate(config_.collation, included_values, weights, last_output_));
-
-  // --- History update ----------------------------------------------------------------
-  // Every *present* module is scored against the voted output, including
-  // excluded and eliminated ones ("even if discarded in the voting
-  // itself"), so discarded modules can rehabilitate.
-  std::vector<double> agreement_with_output(module_count_, 0.0);
-  for (size_t k = 0; k < present_count; ++k) {
-    agreement_with_output[present_index[k]] =
-        AgreementScore(present_values[k], output, config_.agreement);
-  }
-  AVOC_RETURN_IF_ERROR(ledger_.Update(agreement_with_output, present));
-
-  // --- Assemble result ------------------------------------------------------------------
   VoteResult result;
-  result.value = output;
-  result.outcome = RoundOutcome::kVoted;
-  result.used_clustering = used_clustering;
-  result.present_count = present_count;
-  result.had_majority = had_majority;
-  result.weights.assign(module_count_, 0.0);
-  result.agreement.assign(module_count_, 0.0);
-  result.excluded.assign(module_count_, false);
-  result.eliminated.assign(module_count_, false);
-  for (size_t k = 0; k < present_count; ++k) {
-    result.excluded[present_index[k]] = excluded_present[k];
+  if (scratch_.faulted()) {
+    result = MakeFaultResult(*scratch_.fault, std::move(scratch_.fault_status),
+                             scratch_.present_count);
+  } else {
+    result = AssembleVotedResult(scratch_);
+    last_output_ = *scratch_.output;
   }
-  for (size_t k = 0; k < included_index.size(); ++k) {
-    result.weights[included_index[k]] = weights[k];
-    result.agreement[included_index[k]] = scores[k];
-    result.eliminated[included_index[k]] = eliminated_included[k];
-  }
-  result.history.assign(ledger_.records().begin(), ledger_.records().end());
-  last_output_ = output;
+  if (observer_ != nullptr) observer_->OnRoundEnd(round_index_, result);
   return result;
 }
 

@@ -2,8 +2,9 @@
 //
 // One engine instance owns the state of one logical sensor group: the
 // per-module history ledger and the last accepted output.  Each call to
-// CastVote consumes one Round and executes the steps every §4 algorithm
-// shares, in VDX's declared order:
+// CastVote consumes one Round and threads a VoteContext through the
+// stage chain StagePipeline::Compile lowered from the EngineConfig (see
+// core/stages.h), in VDX's declared order:
 //
 //   quorum check → value exclusion → clustering (bootstrap/fallback/always)
 //   → agreement scoring → module elimination → round weighting → collation
@@ -19,67 +20,13 @@
 #include <string>
 #include <vector>
 
-#include "core/agreement.h"
-#include "core/collation.h"
-#include "core/exclusion.h"
+#include "core/config.h"
 #include "core/history.h"
+#include "core/stages.h"
 #include "core/types.h"
 #include "util/status.h"
 
 namespace avoc::core {
-
-/// How a module's effective voting weight for the round is derived.
-enum class RoundWeighting {
-  kUniform,    ///< every surviving candidate weighs 1 (plain average)
-  kHistory,    ///< weight = history record h_i
-  kAgreement,  ///< weight = this round's agreement score s_i
-  kCombined,   ///< weight = h_i * s_i
-};
-
-/// When the clustering step (cluster::GroupByThreshold) gates the vote.
-enum class ClusteringMode {
-  kOff,
-  /// AVOC: only when the ledger indicates a new set (all records 1) or a
-  /// collapse (all records 0) — bootstrap and fallback.
-  kBootstrap,
-  /// COV: every round, statelessly.
-  kAlways,
-};
-
-struct QuorumParams {
-  /// Candidates present / modules registered must reach this fraction for
-  /// a vote to trigger (VDX `quorum_percentage` / 100).
-  double fraction = 0.5;
-  /// At least this many candidates regardless of fraction.
-  size_t min_count = 1;
-};
-
-struct EngineConfig {
-  AgreementParams agreement;
-  HistoryParams history;
-  ExclusionParams exclusion;
-  QuorumParams quorum;
-  RoundWeighting weighting = RoundWeighting::kHistory;
-  Collation collation = Collation::kWeightedAverage;
-  ClusteringMode clustering = ClusteringMode::kOff;
-
-  /// Module elimination (ME): zero-weight modules whose history record is
-  /// below the mean record of the present modules.
-  bool module_elimination = false;
-  /// Slack below the mean record before a module is eliminated.  Without
-  /// it, a module that blemished once could never rejoin a group of
-  /// perfect peers (its record approaches but never reaches theirs),
-  /// violating the paper's "until their historical records improve by
-  /// submitting better values".
-  double elimination_margin = 0.05;
-
-  /// Fault policies (§7 "fault scenario" discussion).
-  NoQuorumPolicy on_no_quorum = NoQuorumPolicy::kRevertLast;
-  NoMajorityPolicy on_no_majority = NoMajorityPolicy::kAccept;
-
-  /// Validates parameter ranges (error > 0, quorum fraction in (0,1], ...).
-  Status Validate() const;
-};
 
 class VotingEngine {
  public:
@@ -89,6 +36,15 @@ class VotingEngine {
 
   size_t module_count() const { return module_count_; }
   const EngineConfig& config() const { return config_; }
+
+  /// The compiled stage chain this engine runs (shared, immutable).
+  const StagePipeline& stage_pipeline() const { return *pipeline_; }
+
+  /// Attaches a non-owning observer receiving per-stage hooks for every
+  /// subsequent round; nullptr detaches.  The observer must outlive its
+  /// attachment and must not mutate the engine from within a hook.
+  void set_observer(StageObserver* observer) { observer_ = observer; }
+  StageObserver* observer() const { return observer_; }
 
   /// Consumes one round.  Always returns a VoteResult describing what
   /// happened; hard errors (arity mismatch) surface as a non-OK Result.
@@ -114,17 +70,19 @@ class VotingEngine {
  private:
   VotingEngine(size_t module_count, const EngineConfig& config);
 
-  /// Resolves the clustering gate for this round.
-  bool ShouldCluster() const;
-
   VoteResult MakeFaultResult(RoundOutcome fallback_outcome, Status status,
                              size_t present_count) const;
+  VoteResult AssembleVotedResult(const VoteContext& context) const;
 
   size_t module_count_;
   EngineConfig config_;
+  StagePipeline::Ptr pipeline_;
   HistoryLedger ledger_;
   std::optional<double> last_output_;
   size_t round_index_ = 0;
+  StageObserver* observer_ = nullptr;
+  /// Reused round scratch state (see VoteContext); reset by Begin.
+  VoteContext scratch_;
 };
 
 /// One-shot stateless vote: plain (exclusion + collation) fusion of a

@@ -55,4 +55,19 @@ std::string ExplainResult(const VoteResult& result, const Round& round,
   return out;
 }
 
+std::string FormatStageTrace(std::span<const StageTraceEntry> entries) {
+  std::string out;
+  out += StrFormat("%-12s %10s %10s  %s\n", "stage", "candidates", "w-sum",
+                   "flags");
+  for (const StageTraceEntry& entry : entries) {
+    std::string flags;
+    if (entry.used_clustering) flags += " clustered";
+    if (entry.faulted) flags += " faulted";
+    out += StrFormat("%-12s %10zu %10.3f %s\n", entry.stage.c_str(),
+                     entry.candidates, entry.weight_sum,
+                     flags.empty() ? " -" : flags.c_str());
+  }
+  return out;
+}
+
 }  // namespace avoc::core

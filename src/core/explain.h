@@ -6,9 +6,11 @@
 // names and the raw round) becomes a compact table or one-line summary.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
+#include "core/stages.h"
 #include "core/types.h"
 
 namespace avoc::core {
@@ -22,5 +24,10 @@ std::string SummarizeResult(const VoteResult& result);
 /// then the outcome line.  `names` may be empty (indices are used).
 std::string ExplainResult(const VoteResult& result, const Round& round,
                           const std::vector<std::string>& names = {});
+
+/// Multi-line rendering of a StageTraceObserver recording: one row per
+/// executed stage with the surviving candidate count, the weight mass and
+/// the clustering/fault flags — how a round moved through the chain.
+std::string FormatStageTrace(std::span<const StageTraceEntry> entries);
 
 }  // namespace avoc::core

@@ -1,0 +1,430 @@
+#include "core/stages.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace avoc::core {
+namespace {
+
+cluster::GroupingOptions MirroredGroupingOptions(
+    const AgreementParams& agreement) {
+  // §5: the clustering threshold "is selected to mirror the parameters of
+  // the given algorithm".
+  cluster::GroupingOptions options;
+  options.threshold = agreement.error;
+  options.mode = agreement.scale == ThresholdScale::kRelative
+                     ? cluster::ThresholdMode::kRelative
+                     : cluster::ThresholdMode::kAbsolute;
+  options.relative_floor = agreement.relative_floor;
+  return options;
+}
+
+// --- Quorum -----------------------------------------------------------------
+
+class QuorumStage final : public VoteStage {
+ public:
+  QuorumStage(size_t module_count, const QuorumParams& params,
+              NoQuorumPolicy policy)
+      : module_count_(module_count),
+        required_(std::max<size_t>(
+            params.min_count,
+            static_cast<size_t>(std::ceil(
+                params.fraction * static_cast<double>(module_count) - 1e-9)))),
+        policy_(policy) {}
+
+  std::string_view name() const override { return "quorum"; }
+
+  Status Run(VoteContext& context) const override {
+    if (context.present_count >= required_) return Status::Ok();
+    switch (policy_) {
+      case NoQuorumPolicy::kEmitNothing:
+        context.Fault(RoundOutcome::kNoOutput);
+        break;
+      case NoQuorumPolicy::kRevertLast:
+        context.Fault(RoundOutcome::kRevertedLast);
+        break;
+      case NoQuorumPolicy::kRaise:
+        context.Fault(
+            RoundOutcome::kError,
+            NoQuorumError(StrFormat("%zu of %zu candidates, %zu required",
+                                    context.present_count, module_count_,
+                                    required_)));
+        break;
+    }
+    return Status::Ok();
+  }
+
+ private:
+  size_t module_count_;
+  size_t required_;
+  NoQuorumPolicy policy_;
+};
+
+// --- Value-based exclusion --------------------------------------------------
+
+class ExclusionStage final : public VoteStage {
+ public:
+  explicit ExclusionStage(const ExclusionParams& params) : params_(params) {}
+
+  std::string_view name() const override { return "exclusion"; }
+
+  Status Run(VoteContext& context) const override {
+    context.excluded_present =
+        ComputeExclusions(context.present_values, params_);
+    context.included_index.clear();
+    context.included_values.clear();
+    for (size_t k = 0; k < context.present_count; ++k) {
+      if (!context.excluded_present[k]) {
+        context.included_index.push_back(context.present_index[k]);
+        context.included_values.push_back(context.present_values[k]);
+      }
+    }
+    return Status::Ok();
+  }
+
+ private:
+  ExclusionParams params_;
+};
+
+// --- Clustering gate (AVOC bootstrap / COV) ---------------------------------
+
+class ClusteringStage final : public VoteStage {
+ public:
+  ClusteringStage(ClusteringMode mode, const cluster::GroupingOptions& options)
+      : mode_(mode), options_(options) {}
+
+  std::string_view name() const override { return "clustering"; }
+
+  Status Run(VoteContext& context) const override {
+    context.in_winning_cluster.assign(context.included_values.size(), true);
+    if (!ShouldCluster(context) || context.included_values.empty()) {
+      return Status::Ok();
+    }
+    return context.ApplyClustering(options_);
+  }
+
+ private:
+  bool ShouldCluster(const VoteContext& context) const {
+    switch (mode_) {
+      case ClusteringMode::kOff:
+        return false;
+      case ClusteringMode::kAlways:
+        return true;
+      case ClusteringMode::kBootstrap:
+        // §5: "the clustering approach should be used when all records are
+        // 1 (indicating a new set) or 0 (indicating a failure of the
+        // system or an extreme data spike)".
+        return context.ledger->AllRecordsAre(1.0) ||
+               context.ledger->AllRecordsAre(0.0);
+    }
+    return false;
+  }
+
+  ClusteringMode mode_;
+  cluster::GroupingOptions options_;
+};
+
+// --- Agreement scores -------------------------------------------------------
+
+class AgreementStage final : public VoteStage {
+ public:
+  explicit AgreementStage(const AgreementParams& params) : params_(params) {}
+
+  std::string_view name() const override { return "agreement"; }
+
+  Status Run(VoteContext& context) const override {
+    context.scores = AgreementScores(context.included_values, params_);
+    return Status::Ok();
+  }
+
+ private:
+  AgreementParams params_;
+};
+
+// --- Module elimination (ME) ------------------------------------------------
+
+class EliminationStage final : public VoteStage {
+ public:
+  EliminationStage(bool enabled, double margin)
+      : enabled_(enabled), margin_(margin) {}
+
+  std::string_view name() const override { return "elimination"; }
+
+  Status Run(VoteContext& context) const override {
+    context.eliminated_included.assign(context.included_values.size(), false);
+    if (!enabled_ || context.included_values.size() <= 1) return Status::Ok();
+    double mean_record = 0.0;
+    for (const size_t m : context.included_index) {
+      mean_record += context.ledger->record(m);
+    }
+    mean_record /= static_cast<double>(context.included_index.size());
+    for (size_t k = 0; k < context.included_index.size(); ++k) {
+      // Strictly below average (minus the rejoin slack): at least one
+      // candidate always survives.
+      context.eliminated_included[k] =
+          context.ledger->record(context.included_index[k]) <
+          mean_record - margin_ - 1e-12;
+    }
+    return Status::Ok();
+  }
+
+ private:
+  bool enabled_;
+  double margin_;
+};
+
+// --- Round weights ----------------------------------------------------------
+
+class WeightingStage final : public VoteStage {
+ public:
+  WeightingStage(RoundWeighting weighting, ClusteringMode clustering,
+                 const cluster::GroupingOptions& options)
+      : weighting_(weighting), clustering_(clustering), options_(options) {}
+
+  std::string_view name() const override { return "weighting"; }
+
+  Status Run(VoteContext& context) const override {
+    const size_t count = context.included_values.size();
+    context.weights.assign(count, 0.0);
+    context.weight_sum = 0.0;
+    for (size_t k = 0; k < count; ++k) {
+      if (context.eliminated_included[k] || !context.in_winning_cluster[k]) {
+        continue;
+      }
+      context.weights[k] = BaseWeight(context, k);
+      context.weight_sum += context.weights[k];
+    }
+
+    // Zero-weight fallback.  §5: engines fall back to an unweighted
+    // approach "when the weights become 0 due to severe issues with the
+    // data"; with clustering enabled the clustering step itself is the
+    // fallback.
+    if (context.weight_sum <= 0.0 && count > 0) {
+      if (clustering_ != ClusteringMode::kOff && !context.used_clustering) {
+        AVOC_RETURN_IF_ERROR(context.ApplyClustering(options_));
+      }
+      for (size_t k = 0; k < count; ++k) {
+        context.weights[k] = context.in_winning_cluster[k] ? 1.0 : 0.0;
+        context.weight_sum += context.weights[k];
+      }
+    }
+    return Status::Ok();
+  }
+
+ private:
+  double BaseWeight(const VoteContext& context, size_t k) const {
+    switch (weighting_) {
+      case RoundWeighting::kUniform:
+        return 1.0;
+      case RoundWeighting::kHistory:
+        return context.ledger->record(context.included_index[k]);
+      case RoundWeighting::kAgreement:
+        return context.scores[k];
+      case RoundWeighting::kCombined:
+        return context.ledger->record(context.included_index[k]) *
+               context.scores[k];
+    }
+    return 0.0;
+  }
+
+  RoundWeighting weighting_;
+  ClusteringMode clustering_;
+  cluster::GroupingOptions options_;
+};
+
+// --- Collation --------------------------------------------------------------
+
+class CollationStage final : public VoteStage {
+ public:
+  explicit CollationStage(Collation method) : method_(method) {}
+
+  std::string_view name() const override { return "collation"; }
+
+  Status Run(VoteContext& context) const override {
+    AVOC_ASSIGN_OR_RETURN(
+        const double output,
+        Collate(method_, context.included_values, context.weights,
+                context.previous_output));
+    context.output = output;
+    return Status::Ok();
+  }
+
+ private:
+  Collation method_;
+};
+
+// --- Majority check ---------------------------------------------------------
+
+class MajorityStage final : public VoteStage {
+ public:
+  MajorityStage(const AgreementParams& params, NoMajorityPolicy policy)
+      : params_(params), policy_(policy) {}
+
+  std::string_view name() const override { return "majority"; }
+
+  Status Run(VoteContext& context) const override {
+    const size_t largest_group =
+        LargestAgreementGroup(context.included_values, params_);
+    context.had_majority =
+        2 * largest_group > context.included_values.size();
+    if (context.had_majority) return Status::Ok();
+    switch (policy_) {
+      case NoMajorityPolicy::kAccept:
+        break;
+      case NoMajorityPolicy::kEmitNothing:
+        context.Fault(RoundOutcome::kNoOutput);
+        break;
+      case NoMajorityPolicy::kRevertLast:
+        context.Fault(RoundOutcome::kRevertedLast);
+        break;
+      case NoMajorityPolicy::kRaise:
+        context.Fault(
+            RoundOutcome::kError,
+            NoMajorityError(StrFormat(
+                "largest agreement group %zu of %zu candidates",
+                largest_group, context.included_values.size())));
+        break;
+    }
+    return Status::Ok();
+  }
+
+ private:
+  AgreementParams params_;
+  NoMajorityPolicy policy_;
+};
+
+// --- History update ---------------------------------------------------------
+
+class HistoryUpdateStage final : public VoteStage {
+ public:
+  explicit HistoryUpdateStage(const AgreementParams& params)
+      : params_(params) {}
+
+  std::string_view name() const override { return "history"; }
+
+  Status Run(VoteContext& context) const override {
+    // Every *present* module is scored against the voted output, including
+    // excluded and eliminated ones ("even if discarded in the voting
+    // itself"), so discarded modules can rehabilitate.
+    std::vector<double> agreement_with_output(context.module_count, 0.0);
+    for (size_t k = 0; k < context.present_count; ++k) {
+      agreement_with_output[context.present_index[k]] =
+          AgreementScore(context.present_values[k], *context.output, params_);
+    }
+    return context.ledger->Update(agreement_with_output, context.present);
+  }
+
+ private:
+  AgreementParams params_;
+};
+
+}  // namespace
+
+void VoteContext::Begin(const Round& round, const EngineConfig& engine_config,
+                        HistoryLedger& engine_ledger,
+                        std::optional<double> previous) {
+  config = &engine_config;
+  ledger = &engine_ledger;
+  module_count = round.size();
+  previous_output = previous;
+
+  present_index.clear();
+  present_values.clear();
+  present.assign(module_count, false);
+  for (size_t i = 0; i < module_count; ++i) {
+    if (round[i].has_value()) {
+      present[i] = true;
+      present_index.push_back(i);
+      present_values.push_back(*round[i]);
+    }
+  }
+  present_count = present_index.size();
+
+  excluded_present.clear();
+  included_index.clear();
+  included_values.clear();
+  used_clustering = false;
+  in_winning_cluster.clear();
+  scores.clear();
+  eliminated_included.clear();
+  weights.clear();
+  weight_sum = 0.0;
+  output.reset();
+  had_majority = true;
+  fault.reset();
+  fault_status = Status::Ok();
+}
+
+void VoteContext::Fault(RoundOutcome outcome, Status status) {
+  fault = outcome;
+  fault_status = std::move(status);
+}
+
+Status VoteContext::ApplyClustering(const cluster::GroupingOptions& options) {
+  const cluster::GroupingResult grouping =
+      cluster::GroupByThreshold(included_values, options);
+  const double* prev =
+      previous_output.has_value() ? &*previous_output : nullptr;
+  AVOC_ASSIGN_OR_RETURN(
+      const cluster::Group winner,
+      cluster::SelectWinningGroup(grouping, included_values, prev));
+  std::fill(in_winning_cluster.begin(), in_winning_cluster.end(), false);
+  for (const size_t member : winner.members) {
+    in_winning_cluster[member] = true;
+  }
+  used_clustering = true;
+  return Status::Ok();
+}
+
+void StageTraceObserver::OnRoundBegin(size_t round_index,
+                                      const VoteContext& context) {
+  (void)context;
+  round_index_ = round_index;
+  entries_.clear();
+}
+
+void StageTraceObserver::OnStageDone(std::string_view stage,
+                                     const VoteContext& context) {
+  StageTraceEntry entry;
+  entry.stage = std::string(stage);
+  entry.candidates = context.included_values.size();
+  entry.weight_sum = context.weight_sum;
+  entry.used_clustering = context.used_clustering;
+  entry.faulted = context.faulted();
+  entries_.push_back(std::move(entry));
+}
+
+StagePipeline::Ptr StagePipeline::Compile(size_t module_count,
+                                          const EngineConfig& config) {
+  const cluster::GroupingOptions grouping =
+      MirroredGroupingOptions(config.agreement);
+  auto pipeline = std::shared_ptr<StagePipeline>(new StagePipeline());
+  auto& stages = pipeline->stages_;
+  stages.reserve(9);
+  stages.push_back(std::make_unique<QuorumStage>(module_count, config.quorum,
+                                                 config.on_no_quorum));
+  stages.push_back(std::make_unique<ExclusionStage>(config.exclusion));
+  stages.push_back(
+      std::make_unique<ClusteringStage>(config.clustering, grouping));
+  stages.push_back(std::make_unique<AgreementStage>(config.agreement));
+  stages.push_back(std::make_unique<EliminationStage>(
+      config.module_elimination, config.elimination_margin));
+  stages.push_back(std::make_unique<WeightingStage>(
+      config.weighting, config.clustering, grouping));
+  stages.push_back(std::make_unique<CollationStage>(config.collation));
+  stages.push_back(
+      std::make_unique<MajorityStage>(config.agreement, config.on_no_majority));
+  stages.push_back(std::make_unique<HistoryUpdateStage>(config.agreement));
+  return pipeline;
+}
+
+std::vector<std::string_view> StagePipeline::StageNames() const {
+  std::vector<std::string_view> names;
+  names.reserve(stages_.size());
+  for (const auto& stage : stages_) names.push_back(stage->name());
+  return names;
+}
+
+}  // namespace avoc::core

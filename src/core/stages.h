@@ -1,0 +1,179 @@
+// The voting round as an explicit stage pipeline.
+//
+// Every §4 algorithm is a composition of the same ordered steps; here each
+// step is one VoteStage object and a round is one pass of a VoteContext
+// through the fixed chain
+//
+//   quorum → exclusion → clustering → agreement → elimination
+//          → weighting → collation → majority → history
+//
+// StagePipeline::Compile lowers an EngineConfig into that chain exactly
+// once per engine: per-stage constants (the quorum count, the mirrored
+// clustering threshold, ...) are resolved at compile time, and the round
+// hot path only threads the context through.  The chain is immutable and
+// stateless across rounds, so engine copies share one compiled pipeline.
+//
+// StageObserver is the extension seam: tracing, metrics and debugging
+// attach from the outside (VotingEngine::set_observer) without touching
+// the stages themselves.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/grouping.h"
+#include "core/config.h"
+#include "core/history.h"
+#include "core/types.h"
+#include "util/status.h"
+
+namespace avoc::core {
+
+/// One round's scratch state, threaded through the stage chain.  Owned by
+/// the engine and reused across rounds (Begin resets everything), so the
+/// hot path performs no per-round vector allocations once warmed up.
+struct VoteContext {
+  // --- round inputs (set by Begin) -----------------------------------------
+  const EngineConfig* config = nullptr;
+  HistoryLedger* ledger = nullptr;
+  size_t module_count = 0;
+  /// Last accepted output before this round (MNN tie-break, clustering
+  /// winner selection, revert-last).
+  std::optional<double> previous_output;
+
+  // --- presence (set by Begin) ---------------------------------------------
+  std::vector<size_t> present_index;   ///< module index of each candidate
+  std::vector<double> present_values;  ///< value of each candidate
+  std::vector<bool> present;           ///< per-module submitted-a-reading mask
+  size_t present_count = 0;
+
+  // --- exclusion -----------------------------------------------------------
+  std::vector<bool> excluded_present;  ///< per present candidate
+  std::vector<size_t> included_index;  ///< module index per included candidate
+  std::vector<double> included_values;
+
+  // --- clustering ----------------------------------------------------------
+  bool used_clustering = false;
+  std::vector<bool> in_winning_cluster;  ///< per included candidate
+
+  // --- agreement / elimination / weighting ---------------------------------
+  std::vector<double> scores;             ///< per included candidate
+  std::vector<bool> eliminated_included;  ///< per included candidate
+  std::vector<double> weights;            ///< per included candidate
+  double weight_sum = 0.0;
+
+  // --- collation / majority ------------------------------------------------
+  std::optional<double> output;
+  bool had_majority = true;
+
+  // --- fault short-circuit -------------------------------------------------
+  /// Engaged when a fault policy fired; the remaining stages are skipped
+  /// and the engine emits a fault result with this outcome.
+  std::optional<RoundOutcome> fault;
+  Status fault_status;
+
+  /// Resets the context for a new round and gathers the present candidates.
+  void Begin(const Round& round, const EngineConfig& engine_config,
+             HistoryLedger& engine_ledger, std::optional<double> previous);
+
+  bool faulted() const { return fault.has_value(); }
+
+  /// Ends the round with a fault outcome (quorum / majority policies).
+  void Fault(RoundOutcome outcome, Status status = Status::Ok());
+
+  /// Runs the clustering step over the included candidates and keeps only
+  /// the winning group.  Shared by the clustering stage and the weighting
+  /// stage's zero-weight fallback.
+  Status ApplyClustering(const cluster::GroupingOptions& options);
+};
+
+/// One step of the voting round.  Stages are immutable after compilation
+/// and hold no per-round state, so a compiled chain is safe to share
+/// between engine copies and across threads (each engine brings its own
+/// context and ledger).
+class VoteStage {
+ public:
+  virtual ~VoteStage() = default;
+
+  /// Stable lower-case stage name ("quorum", "exclusion", ...).
+  virtual std::string_view name() const = 0;
+
+  /// Advances the context.  Non-OK only on hard errors (these surface as
+  /// a non-OK CastVote result); policy outcomes go through context.Fault.
+  virtual Status Run(VoteContext& context) const = 0;
+};
+
+/// Observation seam for tracing/metrics.  Hooks are no-ops by default;
+/// implementations must not mutate engine state.
+class StageObserver {
+ public:
+  virtual ~StageObserver() = default;
+
+  /// Before the first stage of a round (context holds the presence scan).
+  virtual void OnRoundBegin(size_t /*round_index*/,
+                            const VoteContext& /*context*/) {}
+
+  /// After each stage that ran.  Stages skipped by a fault short-circuit
+  /// are not reported.
+  virtual void OnStageDone(std::string_view /*stage*/,
+                           const VoteContext& /*context*/) {}
+
+  /// With the assembled result, before CastVote returns.
+  virtual void OnRoundEnd(size_t /*round_index*/,
+                          const VoteResult& /*result*/) {}
+};
+
+/// One observed stage transition, as recorded by StageTraceObserver.
+struct StageTraceEntry {
+  std::string stage;
+  size_t candidates = 0;  ///< included candidates after the stage
+  double weight_sum = 0.0;
+  bool used_clustering = false;
+  bool faulted = false;
+};
+
+/// Ready-made observer that records one StageTraceEntry per stage of the
+/// most recent round — the substrate of core::FormatStageTrace and a
+/// template for richer metrics observers.
+class StageTraceObserver : public StageObserver {
+ public:
+  void OnRoundBegin(size_t round_index, const VoteContext& context) override;
+  void OnStageDone(std::string_view stage,
+                   const VoteContext& context) override;
+
+  size_t round_index() const { return round_index_; }
+  const std::vector<StageTraceEntry>& entries() const { return entries_; }
+
+ private:
+  size_t round_index_ = 0;
+  std::vector<StageTraceEntry> entries_;
+};
+
+/// The compiled, immutable stage chain for one EngineConfig.
+class StagePipeline {
+ public:
+  using Ptr = std::shared_ptr<const StagePipeline>;
+
+  /// Lowers `config` (assumed validated) for a `module_count`-ary round
+  /// into the fixed nine-stage chain.
+  static Ptr Compile(size_t module_count, const EngineConfig& config);
+
+  std::span<const std::unique_ptr<VoteStage>> stages() const {
+    return stages_;
+  }
+  size_t size() const { return stages_.size(); }
+
+  /// Stage names in execution order.
+  std::vector<std::string_view> StageNames() const;
+
+ private:
+  StagePipeline() = default;
+
+  std::vector<std::unique_ptr<VoteStage>> stages_;
+};
+
+}  // namespace avoc::core

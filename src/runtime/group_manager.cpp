@@ -12,17 +12,13 @@ Status VoterGroupManager::AddGroup(const std::string& name,
   if (groups_.count(name)) {
     return InvalidArgumentError("group '" + name + "' already exists");
   }
-  Group group;
-  group.channels = std::make_unique<GroupChannels>();
-  group.hub =
-      std::make_unique<HubNode>(engine.module_count(), *group.channels);
-  VoterOptions options;
+  GroupRunner::Options options;
   options.group = name;
   options.store = store_;
-  group.voter = std::make_unique<VoterNode>(std::move(engine),
-                                            *group.channels, options);
-  group.sink = std::make_unique<SinkNode>(*group.channels);
-  groups_.emplace(name, std::move(group));
+  AVOC_ASSIGN_OR_RETURN(
+      std::unique_ptr<GroupRunner> runner,
+      GroupRunner::Create(std::move(engine), std::move(options)));
+  groups_.emplace(name, std::move(runner));
   return Status::Ok();
 }
 
@@ -41,56 +37,50 @@ bool VoterGroupManager::HasGroup(const std::string& name) const {
 std::vector<std::string> VoterGroupManager::GroupNames() const {
   std::vector<std::string> names;
   names.reserve(groups_.size());
-  for (const auto& [name, group] : groups_) {
-    (void)group;
+  for (const auto& [name, runner] : groups_) {
+    (void)runner;
     names.push_back(name);
   }
   return names;
 }
 
-Result<const VoterGroupManager::Group*> VoterGroupManager::Find(
-    const std::string& name) const {
+Result<GroupRunner*> VoterGroupManager::Find(const std::string& name) const {
   auto it = groups_.find(name);
   if (it == groups_.end()) {
     return NotFoundError("no voter group named '" + name + "'");
   }
-  return &it->second;
+  return it->second.get();
 }
 
 Status VoterGroupManager::Submit(const std::string& group, size_t module,
                                  size_t round, double value) {
-  AVOC_ASSIGN_OR_RETURN(const Group* g, Find(group));
-  if (module >= g->hub->module_count()) {
-    return OutOfRangeError("module index out of range for group '" + group +
-                           "'");
-  }
-  g->channels->readings.Publish(ReadingMessage{module, round, value});
-  return Status::Ok();
+  AVOC_ASSIGN_OR_RETURN(GroupRunner * runner, Find(group));
+  return runner->Submit(module, round, value);
 }
 
 Status VoterGroupManager::CloseRound(const std::string& group, size_t round) {
-  AVOC_ASSIGN_OR_RETURN(const Group* g, Find(group));
-  g->hub->Flush(round, /*publish_empty=*/true);
+  AVOC_ASSIGN_OR_RETURN(GroupRunner * runner, Find(group));
+  runner->FlushRound(round);
   return Status::Ok();
 }
 
 void VoterGroupManager::CloseRoundAll(size_t round) {
-  for (auto& [name, group] : groups_) {
+  for (auto& [name, runner] : groups_) {
     (void)name;
-    group.hub->Flush(round, /*publish_empty=*/true);
+    runner->FlushRound(round);
   }
 }
 
 Result<const SinkNode*> VoterGroupManager::sink(
     const std::string& group) const {
-  AVOC_ASSIGN_OR_RETURN(const Group* g, Find(group));
-  return static_cast<const SinkNode*>(g->sink.get());
+  AVOC_ASSIGN_OR_RETURN(GroupRunner * runner, Find(group));
+  return &runner->sink();
 }
 
 Result<const VoterNode*> VoterGroupManager::voter(
     const std::string& group) const {
-  AVOC_ASSIGN_OR_RETURN(const Group* g, Find(group));
-  return static_cast<const VoterNode*>(g->voter.get());
+  AVOC_ASSIGN_OR_RETURN(GroupRunner * runner, Find(group));
+  return &runner->voter();
 }
 
 }  // namespace avoc::runtime

@@ -2,9 +2,9 @@
 //
 // Real deployments fuse several logical sensors at once — UC-2 alone runs
 // two beacon stacks, and the paper's smart-shopping motivation has one
-// voter group per shelf.  VoterGroupManager owns one sensor→hub→voter→sink
-// chain per named group, routes submitted readings to the right hub, and
-// closes rounds per group or across all groups.  Groups can be
+// voter group per shelf.  VoterGroupManager owns one externally-fed
+// GroupRunner per named group, routes submitted readings to the right
+// hub, and closes rounds per group or across all groups.  Groups can be
 // instantiated directly from VDX specs, which is the paper's "voter
 // service running on an edge node" picture: applications ship definitions,
 // the service manages the voters.
@@ -16,7 +16,7 @@
 #include <vector>
 
 #include "core/engine.h"
-#include "runtime/nodes.h"
+#include "runtime/group_runner.h"
 #include "vdx/spec.h"
 
 namespace avoc::runtime {
@@ -55,17 +55,10 @@ class VoterGroupManager {
   Result<const VoterNode*> voter(const std::string& group) const;
 
  private:
-  struct Group {
-    std::unique_ptr<GroupChannels> channels;
-    std::unique_ptr<HubNode> hub;
-    std::unique_ptr<VoterNode> voter;
-    std::unique_ptr<SinkNode> sink;
-  };
-
-  Result<const Group*> Find(const std::string& name) const;
+  Result<GroupRunner*> Find(const std::string& name) const;
 
   HistoryStore* store_;
-  std::map<std::string, Group> groups_;
+  std::map<std::string, std::unique_ptr<GroupRunner>> groups_;
 };
 
 }  // namespace avoc::runtime

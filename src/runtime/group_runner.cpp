@@ -1,0 +1,97 @@
+#include "runtime/group_runner.h"
+
+namespace avoc::runtime {
+
+GroupRunner::GroupRunner(std::vector<SensorNode::Generator> generators,
+                         core::VotingEngine engine, Options options)
+    : options_(std::move(options)),
+      channels_(std::make_unique<GroupChannels>()) {
+  hub_ = std::make_unique<HubNode>(engine.module_count(), *channels_,
+                                   options_.hub_close_at_count);
+  VoterOptions voter_options;
+  voter_options.group = options_.group;
+  voter_options.store = options_.store;
+  voter_ = std::make_unique<VoterNode>(std::move(engine), *channels_,
+                                       std::move(voter_options));
+  sink_ = std::make_unique<SinkNode>(*channels_);
+  for (size_t m = 0; m < generators.size(); ++m) {
+    sensors_.push_back(std::make_unique<SensorNode>(
+        m, std::move(generators[m]), channels_->readings));
+  }
+}
+
+Result<std::unique_ptr<GroupRunner>> GroupRunner::Create(
+    core::VotingEngine engine, Options options) {
+  if (options.group.empty()) {
+    return InvalidArgumentError("group name must not be empty");
+  }
+  return std::unique_ptr<GroupRunner>(
+      new GroupRunner({}, std::move(engine), std::move(options)));
+}
+
+Result<std::unique_ptr<GroupRunner>> GroupRunner::WithGenerators(
+    std::vector<SensorNode::Generator> generators, core::VotingEngine engine,
+    Options options) {
+  if (generators.size() != engine.module_count()) {
+    return InvalidArgumentError("generator/engine module count mismatch");
+  }
+  if (generators.empty()) {
+    return InvalidArgumentError("pipeline needs at least one sensor");
+  }
+  if (options.group.empty()) {
+    return InvalidArgumentError("group name must not be empty");
+  }
+  return std::unique_ptr<GroupRunner>(new GroupRunner(
+      std::move(generators), std::move(engine), std::move(options)));
+}
+
+Result<std::unique_ptr<GroupRunner>> GroupRunner::FromTable(
+    const data::RoundTable& table, core::VotingEngine engine,
+    Options options) {
+  // Copy the table into a shared replay buffer the generators index into.
+  auto shared = std::make_shared<data::RoundTable>(table);
+  std::vector<SensorNode::Generator> generators;
+  generators.reserve(table.module_count());
+  for (size_t m = 0; m < table.module_count(); ++m) {
+    generators.push_back(
+        [shared, m](size_t round) -> std::optional<double> {
+          if (round >= shared->round_count()) return std::nullopt;
+          return shared->At(round, m);
+        });
+  }
+  return WithGenerators(std::move(generators), std::move(engine),
+                        std::move(options));
+}
+
+void GroupRunner::RunRound(size_t round) {
+  for (const auto& sensor : sensors_) {
+    sensor->Emit(round);
+  }
+  // Timeout stand-in: whatever has not arrived by now is missing.
+  hub_->Flush(round, /*publish_empty=*/true);
+}
+
+std::vector<std::thread> GroupRunner::EmitAsync(size_t round) {
+  std::vector<std::thread> workers;
+  workers.reserve(sensors_.size());
+  for (const auto& sensor : sensors_) {
+    SensorNode* raw = sensor.get();
+    workers.emplace_back([raw, round] { raw->Emit(round); });
+  }
+  return workers;
+}
+
+Status GroupRunner::Submit(size_t module, size_t round, double value) {
+  if (module >= hub_->module_count()) {
+    return OutOfRangeError("module index out of range for group '" +
+                           options_.group + "'");
+  }
+  channels_->readings.Publish(ReadingMessage{module, round, value});
+  return Status::Ok();
+}
+
+void GroupRunner::FlushRound(size_t round) {
+  hub_->Flush(round, /*publish_empty=*/true);
+}
+
+}  // namespace avoc::runtime

@@ -1,0 +1,107 @@
+// GroupRunner: the one driver behind every execution mode.
+//
+// Exactly one sensor→hub→voter→sink chain per voter group used to be
+// wired by hand in three places (the replay Pipeline, the threaded
+// VoterService, the multi-group manager).  GroupRunner owns that wiring
+// once and exposes the three ways a round can be dispatched:
+//
+//   * RunRound    — synchronous emit-then-close (deterministic replay),
+//   * EmitAsync + FlushRound — per-sensor worker threads with a
+//     caller-controlled timeout (soft real-time service),
+//   * Submit + FlushRound    — externally-fed readings (group manager,
+//     TCP voter service).
+//
+// The drivers above are thin adapters over these calls; a new execution
+// mode (sharded batch, remote shard, ...) starts here instead of
+// re-wiring nodes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "data/round_table.h"
+#include "runtime/nodes.h"
+#include "util/status.h"
+
+namespace avoc::runtime {
+
+/// GroupRunner configuration.
+struct GroupRunnerOptions {
+  /// Group name: store key and log tag.
+  std::string group = "default";
+  /// Persist/restore voter history through this store (optional).
+  HistoryStore* store = nullptr;
+  /// Hub UNTIL-quorum: close a round once this many readings arrived
+  /// (0 = close when every module reported or the round is flushed).
+  size_t hub_close_at_count = 0;
+};
+
+class GroupRunner {
+ public:
+  using Options = GroupRunnerOptions;
+
+  /// Externally-fed group: no sensor nodes, readings arrive via Submit.
+  static Result<std::unique_ptr<GroupRunner>> Create(
+      core::VotingEngine engine, Options options = {});
+
+  /// Sensor-driven group: one SensorNode per generator (one per module).
+  static Result<std::unique_ptr<GroupRunner>> WithGenerators(
+      std::vector<SensorNode::Generator> generators,
+      core::VotingEngine engine, Options options = {});
+
+  /// Replays a recorded table; rounds beyond the table produce only
+  /// missing values.
+  static Result<std::unique_ptr<GroupRunner>> FromTable(
+      const data::RoundTable& table, core::VotingEngine engine,
+      Options options = {});
+
+  GroupRunner(const GroupRunner&) = delete;
+  GroupRunner& operator=(const GroupRunner&) = delete;
+
+  // --- Round dispatch -------------------------------------------------------
+
+  /// Synchronous round: every sensor emits in registration order, then the
+  /// round closes (silent sensors become missing values).
+  void RunRound(size_t round);
+
+  /// Concurrent round: every sensor emits from its own short-lived worker
+  /// so a slow sensor cannot stall the others.  The caller closes the
+  /// round (FlushRound) at its timeout, then joins the returned workers;
+  /// a publish that loses the race is dropped against the closed round.
+  std::vector<std::thread> EmitAsync(size_t round);
+
+  /// Routes one external reading into the hub.  The round closes on its
+  /// own once every module (or the UNTIL count) reported.
+  Status Submit(size_t module, size_t round, double value);
+
+  /// Force-closes `round`: whatever has not arrived is missing.  No-op
+  /// when the round was already closed.
+  void FlushRound(size_t round);
+
+  // --- Introspection --------------------------------------------------------
+
+  const std::string& group() const { return options_.group; }
+  size_t module_count() const { return hub_->module_count(); }
+  size_t sensor_count() const { return sensors_.size(); }
+  const SinkNode& sink() const { return *sink_; }
+  const VoterNode& voter() const { return *voter_; }
+  const HubNode& hub() const { return *hub_; }
+
+ private:
+  GroupRunner(std::vector<SensorNode::Generator> generators,
+              core::VotingEngine engine, Options options);
+
+  Options options_;
+  // Channels must outlive the nodes; heap allocation keeps addresses
+  // stable for the node back-references.
+  std::unique_ptr<GroupChannels> channels_;
+  std::vector<std::unique_ptr<SensorNode>> sensors_;
+  std::unique_ptr<HubNode> hub_;
+  std::unique_ptr<VoterNode> voter_;
+  std::unique_ptr<SinkNode> sink_;
+};
+
+}  // namespace avoc::runtime

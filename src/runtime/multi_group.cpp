@@ -1,0 +1,139 @@
+#include "runtime/multi_group.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/strings.h"
+#include "vdx/factory.h"
+
+namespace avoc::runtime {
+
+MultiGroupEngine::MultiGroupEngine(std::vector<core::VotingEngine> engines,
+                                   size_t module_count,
+                                   MultiGroupOptions options)
+    : module_count_(module_count),
+      options_(options),
+      engines_(std::move(engines)),
+      history_block_(engines_.size() * module_count, 1.0) {
+  SyncHistory();
+}
+
+Result<MultiGroupEngine> MultiGroupEngine::Create(
+    size_t group_count, size_t module_count, const core::EngineConfig& config,
+    MultiGroupOptions options) {
+  if (group_count == 0) {
+    return InvalidArgumentError("multi-group engine needs at least one group");
+  }
+  // One prototype compiles the stage pipeline; the copies share it.
+  AVOC_ASSIGN_OR_RETURN(core::VotingEngine prototype,
+                        core::VotingEngine::Create(module_count, config));
+  std::vector<core::VotingEngine> engines(group_count, prototype);
+  return MultiGroupEngine(std::move(engines), module_count, options);
+}
+
+Result<MultiGroupEngine> MultiGroupEngine::FromSpec(const vdx::Spec& spec,
+                                                    size_t group_count,
+                                                    size_t module_count,
+                                                    MultiGroupOptions options) {
+  if (group_count == 0) {
+    return InvalidArgumentError("multi-group engine needs at least one group");
+  }
+  AVOC_ASSIGN_OR_RETURN(core::VotingEngine prototype,
+                        vdx::MakeVoter(spec, module_count));
+  std::vector<core::VotingEngine> engines(group_count, prototype);
+  return MultiGroupEngine(std::move(engines), module_count, options);
+}
+
+Status MultiGroupEngine::ValidateTables(
+    std::span<const data::RoundTable> tables) const {
+  if (tables.size() != engines_.size()) {
+    return InvalidArgumentError(
+        StrFormat("%zu tables for %zu groups", tables.size(), engines_.size()));
+  }
+  for (size_t g = 0; g < tables.size(); ++g) {
+    if (tables[g].module_count() != module_count_) {
+      return InvalidArgumentError(
+          StrFormat("table %zu has %zu modules, groups have %zu", g,
+                    tables[g].module_count(), module_count_));
+    }
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<core::BatchResult>> MultiGroupEngine::RunBatch(
+    std::span<const data::RoundTable> tables) {
+  AVOC_RETURN_IF_ERROR(ValidateTables(tables));
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<util::ThreadPool>(options_.threads);
+  }
+  // Every worker writes only its own group's slots — no shared state.
+  std::vector<core::BatchResult> results(engines_.size());
+  std::vector<Status> statuses(engines_.size());
+  pool_->ParallelFor(engines_.size(), [this, tables, &results,
+                                       &statuses](size_t g) {
+    Result<core::BatchResult> result = core::RunOverTable(engines_[g],
+                                                          tables[g]);
+    if (result.ok()) {
+      results[g] = std::move(result).value();
+    } else {
+      statuses[g] = result.status();
+    }
+  });
+  for (const Status& status : statuses) {
+    AVOC_RETURN_IF_ERROR(status);
+  }
+  SyncHistory();
+  return results;
+}
+
+Result<std::vector<core::BatchResult>> MultiGroupEngine::RunBatchSequential(
+    std::span<const data::RoundTable> tables) {
+  AVOC_RETURN_IF_ERROR(ValidateTables(tables));
+  std::vector<core::BatchResult> results;
+  results.reserve(engines_.size());
+  for (size_t g = 0; g < engines_.size(); ++g) {
+    AVOC_ASSIGN_OR_RETURN(core::BatchResult result,
+                          core::RunOverTable(engines_[g], tables[g]));
+    results.push_back(std::move(result));
+  }
+  SyncHistory();
+  return results;
+}
+
+std::span<const double> MultiGroupEngine::GroupHistory(size_t g) const {
+  return std::span<const double>(history_block_)
+      .subspan(g * module_count_, module_count_);
+}
+
+void MultiGroupEngine::SyncHistory() {
+  for (size_t g = 0; g < engines_.size(); ++g) {
+    const std::span<const double> records = engines_[g].history().records();
+    std::copy(records.begin(), records.end(),
+              history_block_.begin() +
+                  static_cast<ptrdiff_t>(g * module_count_));
+  }
+}
+
+Status MultiGroupEngine::RestoreAll(std::span<const double> block,
+                                    size_t rounds) {
+  if (block.size() != history_block_.size()) {
+    return InvalidArgumentError(
+        StrFormat("restore block has %zu records, deployment has %zu",
+                  block.size(), history_block_.size()));
+  }
+  for (size_t g = 0; g < engines_.size(); ++g) {
+    AVOC_RETURN_IF_ERROR(engines_[g].RestoreHistory(
+        block.subspan(g * module_count_, module_count_), rounds));
+  }
+  SyncHistory();
+  return Status::Ok();
+}
+
+void MultiGroupEngine::ResetAll() {
+  for (core::VotingEngine& engine : engines_) {
+    engine.Reset();
+  }
+  SyncHistory();
+}
+
+}  // namespace avoc::runtime

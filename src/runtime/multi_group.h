@@ -1,0 +1,107 @@
+// Sharded multi-group batch execution.
+//
+// The paper's smart-shopping motivation is one voter group per shelf —
+// hundreds of independent fusion problems with identical configuration.
+// MultiGroupEngine owns N VotingEngines compiled from one EngineConfig
+// (they share the immutable stage pipeline), keeps every group's history
+// records in one contiguous group-major block for cache-friendly
+// persistence snapshots, and runs batch workloads across groups on a
+// worker pool (util/thread_pool.h): groups are independent, so each
+// worker drives whole groups with no cross-group synchronisation.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/batch.h"
+#include "core/engine.h"
+#include "data/round_table.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+#include "vdx/spec.h"
+
+namespace avoc::runtime {
+
+/// MultiGroupEngine configuration.
+struct MultiGroupOptions {
+  /// Worker threads for RunBatch (0 = one per hardware thread).
+  size_t threads = 0;
+};
+
+class MultiGroupEngine {
+ public:
+  /// `group_count` identical engines of `module_count` modules each.
+  static Result<MultiGroupEngine> Create(size_t group_count,
+                                         size_t module_count,
+                                         const core::EngineConfig& config,
+                                         MultiGroupOptions options = {});
+
+  /// Groups configured from a VDX definition.
+  static Result<MultiGroupEngine> FromSpec(const vdx::Spec& spec,
+                                           size_t group_count,
+                                           size_t module_count,
+                                           MultiGroupOptions options = {});
+
+  MultiGroupEngine(MultiGroupEngine&&) = default;
+  MultiGroupEngine& operator=(MultiGroupEngine&&) = default;
+
+  size_t group_count() const { return engines_.size(); }
+  size_t module_count() const { return module_count_; }
+
+  core::VotingEngine& group(size_t g) { return engines_[g]; }
+  const core::VotingEngine& group(size_t g) const { return engines_[g]; }
+
+  /// Runs one table per group across the worker pool and returns one
+  /// BatchResult per group (same order).  Requires tables.size() ==
+  /// group_count() and every table to have module_count() modules.
+  /// Groups are sharded across workers; the history block is synced
+  /// before returning.
+  Result<std::vector<core::BatchResult>> RunBatch(
+      std::span<const data::RoundTable> tables);
+
+  /// Same contract as RunBatch on the calling thread only — the
+  /// correctness baseline for the parallel path (bit-for-bit identical
+  /// results) and its speedup reference.
+  Result<std::vector<core::BatchResult>> RunBatchSequential(
+      std::span<const data::RoundTable> tables);
+
+  // --- Contiguous history block --------------------------------------------
+  //
+  // Group-major layout: record of module m in group g lives at
+  // [g * module_count() + m].  One snapshot of the whole deployment is a
+  // single contiguous copy — the unit a datastore round-trip works in.
+
+  /// The block as of the last SyncHistory / RunBatch / RestoreAll.
+  std::span<const double> history_block() const { return history_block_; }
+
+  /// One group's slice of the block.
+  std::span<const double> GroupHistory(size_t g) const;
+
+  /// Copies every engine's live ledger into the block.
+  void SyncHistory();
+
+  /// Restores every group's ledger from a full block (datastore restore);
+  /// `rounds` is the per-group absorbed-round count.
+  Status RestoreAll(std::span<const double> block, size_t rounds);
+
+  /// Resets every group to a fresh set and re-syncs the block.
+  void ResetAll();
+
+ private:
+  MultiGroupEngine(std::vector<core::VotingEngine> engines,
+                   size_t module_count, MultiGroupOptions options);
+
+  Status ValidateTables(std::span<const data::RoundTable> tables) const;
+
+  size_t module_count_ = 0;
+  MultiGroupOptions options_;
+  std::vector<core::VotingEngine> engines_;
+  /// Group-major record snapshot; see the layout note above.
+  std::vector<double> history_block_;
+  /// Created on first RunBatch; sequential use never pays for threads.
+  std::unique_ptr<util::ThreadPool> pool_;
+};
+
+}  // namespace avoc::runtime

@@ -2,61 +2,38 @@
 
 namespace avoc::runtime {
 
-Pipeline::Pipeline(std::vector<SensorNode::Generator> generators,
-                   core::VotingEngine engine, PipelineOptions options)
-    : channels_(std::make_unique<GroupChannels>()) {
-  hub_ = std::make_unique<HubNode>(generators.size(), *channels_);
-  VoterOptions voter_options;
-  voter_options.group = options.group;
-  voter_options.store = options.store;
-  voter_ = std::make_unique<VoterNode>(std::move(engine), *channels_,
-                                       std::move(voter_options));
-  sink_ = std::make_unique<SinkNode>(*channels_);
-  for (size_t m = 0; m < generators.size(); ++m) {
-    sensors_.push_back(std::make_unique<SensorNode>(
-        m, std::move(generators[m]), channels_->readings));
-  }
+namespace {
+
+GroupRunner::Options ToRunnerOptions(PipelineOptions options) {
+  GroupRunner::Options runner_options;
+  runner_options.group = std::move(options.group);
+  runner_options.store = options.store;
+  return runner_options;
 }
+
+}  // namespace
 
 Result<Pipeline> Pipeline::FromGenerators(
     std::vector<SensorNode::Generator> generators, core::VotingEngine engine,
     PipelineOptions options) {
-  if (generators.size() != engine.module_count()) {
-    return InvalidArgumentError("generator/engine module count mismatch");
-  }
-  if (generators.empty()) {
-    return InvalidArgumentError("pipeline needs at least one sensor");
-  }
-  return Pipeline(std::move(generators), std::move(engine),
-                  std::move(options));
+  AVOC_ASSIGN_OR_RETURN(
+      std::unique_ptr<GroupRunner> runner,
+      GroupRunner::WithGenerators(std::move(generators), std::move(engine),
+                                  ToRunnerOptions(std::move(options))));
+  return Pipeline(std::move(runner));
 }
 
 Result<Pipeline> Pipeline::FromTable(const data::RoundTable& table,
                                      core::VotingEngine engine,
                                      PipelineOptions options) {
-  // Copy the table into a shared replay buffer the generators index into.
-  auto shared = std::make_shared<data::RoundTable>(table);
-  std::vector<SensorNode::Generator> generators;
-  generators.reserve(table.module_count());
-  for (size_t m = 0; m < table.module_count(); ++m) {
-    generators.push_back(
-        [shared, m](size_t round) -> std::optional<double> {
-          if (round >= shared->round_count()) return std::nullopt;
-          return shared->At(round, m);
-        });
-  }
-  return FromGenerators(std::move(generators), std::move(engine),
-                        std::move(options));
+  AVOC_ASSIGN_OR_RETURN(
+      std::unique_ptr<GroupRunner> runner,
+      GroupRunner::FromTable(table, std::move(engine),
+                             ToRunnerOptions(std::move(options))));
+  return Pipeline(std::move(runner));
 }
 
-void Pipeline::Step() {
-  const size_t round = next_round_++;
-  for (const auto& sensor : sensors_) {
-    sensor->Emit(round);
-  }
-  // Timeout stand-in: whatever has not arrived by now is missing.
-  hub_->Flush(round, /*publish_empty=*/true);
-}
+void Pipeline::Step() { runner_->RunRound(next_round_++); }
 
 void Pipeline::Run(size_t rounds) {
   for (size_t i = 0; i < rounds; ++i) Step();

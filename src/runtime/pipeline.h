@@ -1,10 +1,10 @@
 // Deterministic replay pipeline.
 //
-// Wires sensor/hub/voter/sink nodes for one voter group and steps them
-// round by round — the reproducible counterpart of the threaded service
-// (service.h).  Sensors replay a RoundTable or sample arbitrary
-// generators; each Step() is fully synchronous, so tests and benches
-// observe exact per-round behaviour.
+// A thin adapter over GroupRunner (group_runner.h): each Step() is one
+// fully synchronous RunRound, so tests and benches observe exact
+// per-round behaviour — the reproducible counterpart of the threaded
+// service (service.h).  Sensors replay a RoundTable or sample arbitrary
+// generators.
 #pragma once
 
 #include <memory>
@@ -12,7 +12,7 @@
 
 #include "core/engine.h"
 #include "data/round_table.h"
-#include "runtime/nodes.h"
+#include "runtime/group_runner.h"
 #include "util/status.h"
 
 namespace avoc::runtime {
@@ -50,20 +50,15 @@ class Pipeline {
   /// Rounds stepped so far.
   size_t rounds_run() const { return next_round_; }
 
-  const SinkNode& sink() const { return *sink_; }
-  const VoterNode& voter() const { return *voter_; }
+  const SinkNode& sink() const { return runner_->sink(); }
+  const VoterNode& voter() const { return runner_->voter(); }
+  const GroupRunner& runner() const { return *runner_; }
 
  private:
-  Pipeline(std::vector<SensorNode::Generator> generators,
-           core::VotingEngine engine, PipelineOptions options);
+  explicit Pipeline(std::unique_ptr<GroupRunner> runner)
+      : runner_(std::move(runner)) {}
 
-  // Channels must outlive the nodes; unique_ptr keeps addresses stable
-  // across Pipeline moves.
-  std::unique_ptr<GroupChannels> channels_;
-  std::vector<std::unique_ptr<SensorNode>> sensors_;
-  std::unique_ptr<HubNode> hub_;
-  std::unique_ptr<VoterNode> voter_;
-  std::unique_ptr<SinkNode> sink_;
+  std::unique_ptr<GroupRunner> runner_;
   size_t next_round_ = 0;
 };
 

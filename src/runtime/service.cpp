@@ -4,22 +4,9 @@
 
 namespace avoc::runtime {
 
-VoterService::VoterService(std::vector<SensorNode::Generator> samplers,
-                           core::VotingEngine engine, ServiceOptions options)
-    : options_(std::move(options)),
-      channels_(std::make_unique<GroupChannels>()) {
-  hub_ = std::make_unique<HubNode>(samplers.size(), *channels_);
-  VoterOptions voter_options;
-  voter_options.group = options_.group;
-  voter_options.store = options_.store;
-  voter_ = std::make_unique<VoterNode>(std::move(engine), *channels_,
-                                       std::move(voter_options));
-  sink_ = std::make_unique<SinkNode>(*channels_);
-  for (size_t m = 0; m < samplers.size(); ++m) {
-    sensors_.push_back(std::make_unique<SensorNode>(
-        m, std::move(samplers[m]), channels_->readings));
-  }
-}
+VoterService::VoterService(std::unique_ptr<GroupRunner> runner,
+                           ServiceOptions options)
+    : options_(std::move(options)), runner_(std::move(runner)) {}
 
 Result<std::unique_ptr<VoterService>> VoterService::Create(
     std::vector<SensorNode::Generator> samplers, core::VotingEngine engine,
@@ -33,16 +20,28 @@ Result<std::unique_ptr<VoterService>> VoterService::Create(
   if (options.round_period.count() <= 0) {
     return InvalidArgumentError("round period must be positive");
   }
-  return std::unique_ptr<VoterService>(new VoterService(
-      std::move(samplers), std::move(engine), std::move(options)));
+  GroupRunner::Options runner_options;
+  runner_options.group = options.group;
+  runner_options.store = options.store;
+  AVOC_ASSIGN_OR_RETURN(
+      std::unique_ptr<GroupRunner> runner,
+      GroupRunner::WithGenerators(std::move(samplers), std::move(engine),
+                                  std::move(runner_options)));
+  return std::unique_ptr<VoterService>(
+      new VoterService(std::move(runner), std::move(options)));
 }
 
 VoterService::~VoterService() { Stop(); }
 
-void VoterService::Start() {
-  bool expected = false;
-  if (!running_.compare_exchange_strong(expected, true)) return;
+Status VoterService::Start() {
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  if (running_.load()) return Status::Ok();
+  // A previous run's scheduler is joined by Stop(); a stale handle here
+  // would mean Stop() was never called, which the flag above rules out.
+  if (scheduler_.joinable()) scheduler_.join();
+  running_.store(true);
   scheduler_ = std::thread([this] { SchedulerLoop(); });
+  return Status::Ok();
 }
 
 void VoterService::SchedulerLoop() {
@@ -54,17 +53,13 @@ void VoterService::SchedulerLoop() {
     // Fan the sampling out to one short-lived worker per sensor so a slow
     // sensor cannot stall the others — its reading simply misses the
     // timeout and the round proceeds without it.
-    std::vector<std::thread> workers;
-    workers.reserve(sensors_.size());
-    for (const auto& sensor : sensors_) {
-      workers.emplace_back([&sensor, round] { sensor->Emit(round); });
-    }
+    std::vector<std::thread> workers = runner_->EmitAsync(round);
     std::this_thread::sleep_for(
         std::min(options_.round_timeout, options_.round_period));
     // Close the round at the timeout: whatever has not arrived becomes a
     // missing value, and a late worker's publish is discarded by the hub
     // against the already-closed round.
-    hub_->Flush(round, /*publish_empty=*/true);
+    runner_->FlushRound(round);
     for (std::thread& worker : workers) {
       worker.join();
     }
@@ -76,13 +71,17 @@ void VoterService::SchedulerLoop() {
 }
 
 void VoterService::Stop() {
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
   bool expected = true;
   if (!running_.compare_exchange_strong(expected, false)) return;
+  // Joining the scheduler lets it finish the round it already opened:
+  // the loop flushes that round and joins its sensor workers before it
+  // rechecks the flag, so the last output reaches the sink here.
   if (scheduler_.joinable()) scheduler_.join();
 }
 
 size_t VoterService::rounds_completed() const {
-  return sink_->output_count();
+  return runner_->sink().output_count();
 }
 
 }  // namespace avoc::runtime

@@ -1,20 +1,23 @@
 // Threaded voter service — the "shoe-box demonstrator" analogue (Fig. 2).
 //
-// Each sensor samples from its own thread at a configurable rate; the hub
-// closes rounds on a timer (late/absent sensors become missing values);
-// the voter fuses and the sink records, all live.  This is the soft
-// real-time configuration the paper's implementation notes describe; the
-// deterministic experiments use runtime/pipeline.h instead.
+// A thin adapter over GroupRunner (group_runner.h): each scheduler tick
+// fans sampling out through EmitAsync, closes the round at the timeout
+// with FlushRound, and joins the workers.  Each sensor samples from its
+// own thread at a configurable rate; late/absent sensors become missing
+// values; the voter fuses and the sink records, all live.  This is the
+// soft real-time configuration the paper's implementation notes describe;
+// the deterministic experiments use runtime/pipeline.h instead.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "core/engine.h"
-#include "runtime/nodes.h"
+#include "runtime/group_runner.h"
 #include "util/status.h"
 
 namespace avoc::runtime {
@@ -44,32 +47,39 @@ class VoterService {
 
   ~VoterService();
 
-  /// Starts the sensor threads and the round scheduler.  No-op if running.
-  void Start();
+  /// Starts the sensor threads and the round scheduler.  Idempotent while
+  /// running, and well-defined after Stop(): the service restarts and
+  /// round numbering continues where the previous run left off (the
+  /// voter's history carries across the restart).
+  Status Start();
 
-  /// Stops all threads and drains in-flight rounds.  No-op if stopped.
+  /// Stops the scheduler and drains the in-flight round: the round that
+  /// was open when Stop() was called is flushed and its output reaches
+  /// the sink before Stop() returns.  No-op if already stopped.
   void Stop();
 
   bool running() const { return running_.load(); }
 
+  /// Rounds opened by the scheduler so far (every opened round is flushed
+  /// to the sink before the scheduler exits).
+  size_t rounds_opened() const { return current_round_.load(); }
+
   /// Rounds closed so far.
   size_t rounds_completed() const;
 
-  const SinkNode& sink() const { return *sink_; }
+  const SinkNode& sink() const { return runner_->sink(); }
+  const GroupRunner& runner() const { return *runner_; }
 
  private:
-  VoterService(std::vector<SensorNode::Generator> samplers,
-               core::VotingEngine engine, ServiceOptions options);
+  VoterService(std::unique_ptr<GroupRunner> runner, ServiceOptions options);
 
   void SchedulerLoop();
 
   ServiceOptions options_;
-  std::unique_ptr<GroupChannels> channels_;
-  std::vector<std::unique_ptr<SensorNode>> sensors_;
-  std::unique_ptr<HubNode> hub_;
-  std::unique_ptr<VoterNode> voter_;
-  std::unique_ptr<SinkNode> sink_;
+  std::unique_ptr<GroupRunner> runner_;
 
+  // Serializes Start/Stop so a restart never races the old scheduler.
+  std::mutex lifecycle_mutex_;
   std::atomic<bool> running_{false};
   std::atomic<size_t> current_round_{0};
   std::thread scheduler_;

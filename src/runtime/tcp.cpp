@@ -24,23 +24,22 @@ Status Errno(const char* what) {
 
 Socket::~Socket() { Close(); }
 
-Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_.exchange(-1)) {}
 
 Socket& Socket::operator=(Socket&& other) noexcept {
   if (this != &other) {
     Close();
-    fd_ = other.fd_;
-    other.fd_ = -1;
+    fd_.store(other.fd_.exchange(-1));
   }
   return *this;
 }
 
 void Socket::Close() {
-  if (fd_ >= 0) {
+  const int fd = fd_.exchange(-1);
+  if (fd >= 0) {
     // shutdown unblocks any thread sitting in accept/recv on this fd.
-    ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
   }
 }
 

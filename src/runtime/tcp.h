@@ -7,6 +7,7 @@
 // optional receive timeouts — deliberately boring.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -15,7 +16,10 @@
 
 namespace avoc::runtime {
 
-/// An owned socket file descriptor.
+/// An owned socket file descriptor.  The descriptor is atomic because
+/// Close() is the documented way to unblock another thread sitting in
+/// accept/recv on the same socket (see TcpListener::Close) — the loser
+/// of that race sees -1 or EBADF, never a torn read.
 class Socket {
  public:
   Socket() = default;
@@ -27,14 +31,14 @@ class Socket {
   Socket(const Socket&) = delete;
   Socket& operator=(const Socket&) = delete;
 
-  bool valid() const { return fd_ >= 0; }
-  int fd() const { return fd_; }
+  bool valid() const { return fd_.load() >= 0; }
+  int fd() const { return fd_.load(); }
 
-  /// Closes the descriptor now (idempotent).
+  /// Closes the descriptor now (idempotent, thread-safe).
   void Close();
 
  private:
-  int fd_ = -1;
+  std::atomic<int> fd_{-1};
 };
 
 /// A connected TCP stream with line-oriented helpers.

@@ -1,0 +1,55 @@
+// A small fixed-size worker pool for sharded batch execution.
+//
+// MultiGroupEngine fans independent voter groups out across these
+// workers; nothing here knows about voting.  The design favours being
+// obviously race-free (one mutex, two condition variables, counters
+// only touched under the lock) over raw throughput — the unit of work
+// is an entire group's batch, so dispatch overhead is noise.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace avoc::util {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` means one worker per hardware thread (at least one).
+  explicit ThreadPool(size_t threads = 0);
+
+  /// Drains queued and running tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueues one task.  Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  /// Runs body(0) .. body(count-1) across the pool and waits for all of
+  /// them.  The caller must ensure distinct indices touch distinct data.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& body);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // queued + currently running tasks
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace avoc::util

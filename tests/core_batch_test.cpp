@@ -56,9 +56,30 @@ TEST(BatchTest, ContinuousOutputsFillGaps) {
 }
 
 TEST(BatchTest, ContinuousOutputsAllMissing) {
+  // An all-suppressed series yields an empty continuation, not fabricated
+  // zeros (which would poison series metrics like MAE against a truth).
   BatchResult batch;
   batch.outputs = {std::nullopt, std::nullopt};
-  EXPECT_EQ(batch.ContinuousOutputs(), (std::vector<double>{0.0, 0.0}));
+  EXPECT_TRUE(batch.ContinuousOutputs().empty());
+}
+
+TEST(BatchTest, ContinuousOutputsAllMissingFromEngine) {
+  // End-to-end: a quorum of 3 over rounds with a single present module
+  // suppresses every round, so the continuous series must come back empty.
+  data::RoundTable table({"a", "b", "c"});
+  ASSERT_TRUE(table.AppendRound({{10.0}, std::nullopt, std::nullopt}).ok());
+  ASSERT_TRUE(table.AppendRound({{10.1}, std::nullopt, std::nullopt}).ok());
+  EngineConfig config;
+  config.quorum.min_count = 3;
+  config.on_no_quorum = NoQuorumPolicy::kEmitNothing;
+  auto engine = VotingEngine::Create(3, config);
+  ASSERT_TRUE(engine.ok());
+  auto batch = RunOverTable(*engine, table);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->voted_rounds(), 0u);
+  ASSERT_EQ(batch->outputs.size(), 2u);
+  EXPECT_FALSE(batch->outputs[0].has_value());
+  EXPECT_TRUE(batch->ContinuousOutputs().empty());
 }
 
 TEST(BatchTest, ClusteredRoundsCounted) {

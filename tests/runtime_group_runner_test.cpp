@@ -1,0 +1,124 @@
+#include "runtime/group_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "core/algorithms.h"
+#include "core/batch.h"
+
+namespace avoc::runtime {
+namespace {
+
+core::VotingEngine AverageEngine(size_t modules) {
+  auto engine = core::MakeEngine(core::AlgorithmId::kAverage, modules);
+  EXPECT_TRUE(engine.ok());
+  return std::move(*engine);
+}
+
+data::RoundTable SmallTable() {
+  data::RoundTable table({"a", "b", "c"});
+  EXPECT_TRUE(table.AppendRound({10.0, 10.2, 9.8}).ok());
+  EXPECT_TRUE(table.AppendRound({10.1, 10.3, 9.9}).ok());
+  EXPECT_TRUE(table.AppendRound({{10.0}, std::nullopt, {10.2}}).ok());
+  return table;
+}
+
+TEST(GroupRunnerTest, FactoriesValidate) {
+  EXPECT_FALSE(GroupRunner::WithGenerators({}, AverageEngine(1)).ok());
+  std::vector<SensorNode::Generator> two(2,
+                                         [](size_t) {
+                                           return std::optional<double>(1.0);
+                                         });
+  EXPECT_FALSE(GroupRunner::WithGenerators(two, AverageEngine(3)).ok());
+  GroupRunner::Options unnamed;
+  unnamed.group = "";
+  EXPECT_FALSE(GroupRunner::Create(AverageEngine(2), unnamed).ok());
+}
+
+TEST(GroupRunnerTest, SynchronousRoundsMatchBatchRunner) {
+  const data::RoundTable table = SmallTable();
+  auto runner = GroupRunner::FromTable(table, AverageEngine(3));
+  ASSERT_TRUE(runner.ok());
+  EXPECT_EQ((*runner)->module_count(), 3u);
+  EXPECT_EQ((*runner)->sensor_count(), 3u);
+  for (size_t r = 0; r < table.round_count(); ++r) {
+    (*runner)->RunRound(r);
+  }
+  core::VotingEngine reference = AverageEngine(3);
+  auto batch = core::RunOverTable(reference, table);
+  ASSERT_TRUE(batch.ok());
+  const auto outputs = (*runner)->sink().outputs();
+  ASSERT_EQ(outputs.size(), batch->rounds.size());
+  for (size_t r = 0; r < outputs.size(); ++r) {
+    EXPECT_EQ(outputs[r].result.value, batch->rounds[r].value) << "round " << r;
+  }
+}
+
+TEST(GroupRunnerTest, ExternalSubmitClosesRoundWhenComplete) {
+  auto runner = GroupRunner::Create(AverageEngine(2));
+  ASSERT_TRUE(runner.ok());
+  EXPECT_EQ((*runner)->sensor_count(), 0u);
+  EXPECT_TRUE((*runner)->Submit(0, 0, 4.0).ok());
+  EXPECT_EQ((*runner)->sink().output_count(), 0u);
+  EXPECT_TRUE((*runner)->Submit(1, 0, 6.0).ok());
+  ASSERT_EQ((*runner)->sink().output_count(), 1u);
+  EXPECT_DOUBLE_EQ(*(*runner)->sink().last_value(), 5.0);
+}
+
+TEST(GroupRunnerTest, SubmitRejectsOutOfRangeModule) {
+  GroupRunner::Options options;
+  options.group = "shelf-1";
+  auto runner = GroupRunner::Create(AverageEngine(2), options);
+  ASSERT_TRUE(runner.ok());
+  const Status status = (*runner)->Submit(7, 0, 1.0);
+  EXPECT_EQ(status.code(), ErrorCode::kOutOfRange);
+  EXPECT_NE(status.message().find("shelf-1"), std::string::npos);
+}
+
+TEST(GroupRunnerTest, FlushTurnsSilenceIntoMissingValues) {
+  auto runner = GroupRunner::Create(AverageEngine(3));
+  ASSERT_TRUE(runner.ok());
+  EXPECT_TRUE((*runner)->Submit(0, 0, 8.0).ok());
+  EXPECT_TRUE((*runner)->Submit(2, 0, 10.0).ok());
+  (*runner)->FlushRound(0);
+  ASSERT_EQ((*runner)->sink().output_count(), 1u);
+  const auto outputs = (*runner)->sink().outputs();
+  EXPECT_EQ(outputs[0].result.present_count, 2u);
+  EXPECT_DOUBLE_EQ(*outputs[0].result.value, 9.0);
+}
+
+TEST(GroupRunnerTest, EmitAsyncWithFlushDeliversTheRound) {
+  auto runner = GroupRunner::WithGenerators(
+      {[](size_t) { return std::optional<double>(3.0); },
+       [](size_t) { return std::optional<double>(5.0); }},
+      AverageEngine(2));
+  ASSERT_TRUE(runner.ok());
+  std::vector<std::thread> workers = (*runner)->EmitAsync(0);
+  for (std::thread& worker : workers) worker.join();
+  (*runner)->FlushRound(0);
+  ASSERT_EQ((*runner)->sink().output_count(), 1u);
+  EXPECT_DOUBLE_EQ(*(*runner)->sink().last_value(), 4.0);
+}
+
+TEST(GroupRunnerTest, PersistsHistoryThroughStore) {
+  HistoryStore store;
+  GroupRunner::Options options;
+  options.group = "gr";
+  options.store = &store;
+  auto engine = core::MakeEngine(core::AlgorithmId::kHybrid, 3);
+  ASSERT_TRUE(engine.ok());
+  auto runner = GroupRunner::FromTable(SmallTable(), std::move(*engine),
+                                       options);
+  ASSERT_TRUE(runner.ok());
+  (*runner)->RunRound(0);
+  (*runner)->RunRound(1);
+  auto snapshot = store.Get("gr");
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot->rounds, 2u);
+  EXPECT_EQ(snapshot->records.size(), 3u);
+}
+
+}  // namespace
+}  // namespace avoc::runtime

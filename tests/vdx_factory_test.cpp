@@ -198,6 +198,22 @@ TEST(VdxExportTest, ExportedSpecMatchesPresetBehaviour) {
   }
 }
 
+TEST(VdxFactoryTest, CompileStagePipelineLowersSpecToStageChain) {
+  const Spec spec = ExportSpec(core::AlgorithmId::kAvoc);
+  auto pipeline = CompileStagePipeline(spec, 5);
+  ASSERT_TRUE(pipeline.ok());
+  EXPECT_EQ((*pipeline)->size(), 9u);
+  const auto names = (*pipeline)->StageNames();
+  ASSERT_FALSE(names.empty());
+  EXPECT_EQ(names.front(), "quorum");
+  EXPECT_EQ(names.back(), "history");
+  // Invalid inputs are rejected before compilation.
+  EXPECT_FALSE(CompileStagePipeline(spec, 0).ok());
+  Spec categorical = spec;
+  categorical.value_type = ValueKind::kCategorical;
+  EXPECT_FALSE(CompileStagePipeline(categorical, 5).ok());
+}
+
 TEST(VdxExportTest, AvocExportMatchesListing1Semantics) {
   const Spec spec = ExportSpec(core::AlgorithmId::kAvoc);
   EXPECT_EQ(spec.algorithm_name, "AVOC");
