@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_convergence.dir/bench_convergence.cpp.o"
+  "CMakeFiles/bench_convergence.dir/bench_convergence.cpp.o.d"
+  "bench_convergence"
+  "bench_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fault_policies.dir/bench_fault_policies.cpp.o"
+  "CMakeFiles/bench_fault_policies.dir/bench_fault_policies.cpp.o.d"
+  "bench_fault_policies"
+  "bench_fault_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fault_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

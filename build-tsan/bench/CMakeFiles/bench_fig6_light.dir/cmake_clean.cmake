@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_light.dir/bench_fig6_light.cpp.o"
+  "CMakeFiles/bench_fig6_light.dir/bench_fig6_light.cpp.o.d"
+  "bench_fig6_light"
+  "bench_fig6_light.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_light.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_ble.dir/bench_fig7_ble.cpp.o"
+  "CMakeFiles/bench_fig7_ble.dir/bench_fig7_ble.cpp.o.d"
+  "bench_fig7_ble"
+  "bench_fig7_ble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_ble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mlv.dir/bench_mlv.cpp.o"
+  "CMakeFiles/bench_mlv.dir/bench_mlv.cpp.o.d"
+  "bench_mlv"
+  "bench_mlv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mlv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

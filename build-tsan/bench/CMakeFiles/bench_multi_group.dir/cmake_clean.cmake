@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multi_group.dir/bench_multi_group.cpp.o"
+  "CMakeFiles/bench_multi_group.dir/bench_multi_group.cpp.o.d"
+  "bench_multi_group"
+  "bench_multi_group.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multi_group.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

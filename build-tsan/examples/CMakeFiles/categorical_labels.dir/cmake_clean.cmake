@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/categorical_labels.dir/categorical_labels.cpp.o"
+  "CMakeFiles/categorical_labels.dir/categorical_labels.cpp.o.d"
+  "categorical_labels"
+  "categorical_labels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/categorical_labels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for categorical_labels.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_algorithms.dir/compare_algorithms.cpp.o"
+  "CMakeFiles/compare_algorithms.dir/compare_algorithms.cpp.o.d"
+  "compare_algorithms"
+  "compare_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

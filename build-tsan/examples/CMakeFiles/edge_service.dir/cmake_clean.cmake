@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_service.dir/edge_service.cpp.o"
+  "CMakeFiles/edge_service.dir/edge_service.cpp.o.d"
+  "edge_service"
+  "edge_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for edge_service.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robot_tracking.dir/robot_tracking.cpp.o"
+  "CMakeFiles/robot_tracking.dir/robot_tracking.cpp.o.d"
+  "robot_tracking"
+  "robot_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robot_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for robot_tracking.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_building.dir/smart_building.cpp.o"
+  "CMakeFiles/smart_building.dir/smart_building.cpp.o.d"
+  "smart_building"
+  "smart_building.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_building.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for smart_building.
+# This may be replaced when dependencies are built.

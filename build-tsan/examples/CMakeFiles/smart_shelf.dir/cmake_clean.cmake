@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_shelf.dir/smart_shelf.cpp.o"
+  "CMakeFiles/smart_shelf.dir/smart_shelf.cpp.o.d"
+  "smart_shelf"
+  "smart_shelf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_shelf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

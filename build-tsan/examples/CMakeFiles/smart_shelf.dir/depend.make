@@ -1,0 +1,2 @@
+# Empty dependencies file for smart_shelf.
+# This may be replaced when dependencies are built.

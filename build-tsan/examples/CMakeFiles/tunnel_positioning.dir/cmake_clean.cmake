@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tunnel_positioning.dir/tunnel_positioning.cpp.o"
+  "CMakeFiles/tunnel_positioning.dir/tunnel_positioning.cpp.o.d"
+  "tunnel_positioning"
+  "tunnel_positioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tunnel_positioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

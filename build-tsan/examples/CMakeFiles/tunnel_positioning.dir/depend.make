@@ -1,0 +1,2 @@
+# Empty dependencies file for tunnel_positioning.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdx_tool.dir/vdx_tool.cpp.o"
+  "CMakeFiles/vdx_tool.dir/vdx_tool.cpp.o.d"
+  "vdx_tool"
+  "vdx_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdx_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voter_service.dir/voter_service.cpp.o"
+  "CMakeFiles/voter_service.dir/voter_service.cpp.o.d"
+  "voter_service"
+  "voter_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voter_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

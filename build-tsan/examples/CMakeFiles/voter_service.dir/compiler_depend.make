@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for voter_service.
+# This may be replaced when dependencies are built.

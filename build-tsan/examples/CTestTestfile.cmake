@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build-tsan/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build-tsan/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_smart_building "/root/repo/build-tsan/examples/smart_building" "--rounds" "300")
+set_tests_properties(example_smart_building PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_tunnel_positioning "/root/repo/build-tsan/examples/tunnel_positioning")
+set_tests_properties(example_tunnel_positioning PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_compare_algorithms "/root/repo/build-tsan/examples/compare_algorithms" "--scenario" "uc1" "--rounds" "200")
+set_tests_properties(example_compare_algorithms PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_voter_service "/root/repo/build-tsan/examples/voter_service" "--seconds" "1")
+set_tests_properties(example_voter_service PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_categorical_labels "/root/repo/build-tsan/examples/categorical_labels")
+set_tests_properties(example_categorical_labels PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_robot_tracking "/root/repo/build-tsan/examples/robot_tracking" "--rounds" "15")
+set_tests_properties(example_robot_tracking PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_smart_shelf "/root/repo/build-tsan/examples/smart_shelf" "--rounds" "30")
+set_tests_properties(example_smart_shelf PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;30;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_edge_service "/root/repo/build-tsan/examples/edge_service" "--rounds" "3")
+set_tests_properties(example_edge_service PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;31;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_vdx_tool "/root/repo/build-tsan/examples/vdx_tool" "list")
+set_tests_properties(example_vdx_tool PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;32;add_test;/root/repo/examples/CMakeLists.txt;0;")

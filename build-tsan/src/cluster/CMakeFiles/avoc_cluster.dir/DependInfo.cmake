@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/dbscan.cpp" "src/cluster/CMakeFiles/avoc_cluster.dir/dbscan.cpp.o" "gcc" "src/cluster/CMakeFiles/avoc_cluster.dir/dbscan.cpp.o.d"
+  "/root/repo/src/cluster/grouping.cpp" "src/cluster/CMakeFiles/avoc_cluster.dir/grouping.cpp.o" "gcc" "src/cluster/CMakeFiles/avoc_cluster.dir/grouping.cpp.o.d"
+  "/root/repo/src/cluster/kmeans.cpp" "src/cluster/CMakeFiles/avoc_cluster.dir/kmeans.cpp.o" "gcc" "src/cluster/CMakeFiles/avoc_cluster.dir/kmeans.cpp.o.d"
+  "/root/repo/src/cluster/meanshift.cpp" "src/cluster/CMakeFiles/avoc_cluster.dir/meanshift.cpp.o" "gcc" "src/cluster/CMakeFiles/avoc_cluster.dir/meanshift.cpp.o.d"
+  "/root/repo/src/cluster/xmeans.cpp" "src/cluster/CMakeFiles/avoc_cluster.dir/xmeans.cpp.o" "gcc" "src/cluster/CMakeFiles/avoc_cluster.dir/xmeans.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/avoc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

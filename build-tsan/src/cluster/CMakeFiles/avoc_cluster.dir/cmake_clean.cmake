@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avoc_cluster.dir/dbscan.cpp.o"
+  "CMakeFiles/avoc_cluster.dir/dbscan.cpp.o.d"
+  "CMakeFiles/avoc_cluster.dir/grouping.cpp.o"
+  "CMakeFiles/avoc_cluster.dir/grouping.cpp.o.d"
+  "CMakeFiles/avoc_cluster.dir/kmeans.cpp.o"
+  "CMakeFiles/avoc_cluster.dir/kmeans.cpp.o.d"
+  "CMakeFiles/avoc_cluster.dir/meanshift.cpp.o"
+  "CMakeFiles/avoc_cluster.dir/meanshift.cpp.o.d"
+  "CMakeFiles/avoc_cluster.dir/xmeans.cpp.o"
+  "CMakeFiles/avoc_cluster.dir/xmeans.cpp.o.d"
+  "libavoc_cluster.a"
+  "libavoc_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avoc_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

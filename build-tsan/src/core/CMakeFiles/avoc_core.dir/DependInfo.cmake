@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/agreement.cpp" "src/core/CMakeFiles/avoc_core.dir/agreement.cpp.o" "gcc" "src/core/CMakeFiles/avoc_core.dir/agreement.cpp.o.d"
+  "/root/repo/src/core/algorithms.cpp" "src/core/CMakeFiles/avoc_core.dir/algorithms.cpp.o" "gcc" "src/core/CMakeFiles/avoc_core.dir/algorithms.cpp.o.d"
+  "/root/repo/src/core/batch.cpp" "src/core/CMakeFiles/avoc_core.dir/batch.cpp.o" "gcc" "src/core/CMakeFiles/avoc_core.dir/batch.cpp.o.d"
+  "/root/repo/src/core/categorical.cpp" "src/core/CMakeFiles/avoc_core.dir/categorical.cpp.o" "gcc" "src/core/CMakeFiles/avoc_core.dir/categorical.cpp.o.d"
+  "/root/repo/src/core/collation.cpp" "src/core/CMakeFiles/avoc_core.dir/collation.cpp.o" "gcc" "src/core/CMakeFiles/avoc_core.dir/collation.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/avoc_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/avoc_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/core/CMakeFiles/avoc_core.dir/engine.cpp.o" "gcc" "src/core/CMakeFiles/avoc_core.dir/engine.cpp.o.d"
+  "/root/repo/src/core/exclusion.cpp" "src/core/CMakeFiles/avoc_core.dir/exclusion.cpp.o" "gcc" "src/core/CMakeFiles/avoc_core.dir/exclusion.cpp.o.d"
+  "/root/repo/src/core/explain.cpp" "src/core/CMakeFiles/avoc_core.dir/explain.cpp.o" "gcc" "src/core/CMakeFiles/avoc_core.dir/explain.cpp.o.d"
+  "/root/repo/src/core/history.cpp" "src/core/CMakeFiles/avoc_core.dir/history.cpp.o" "gcc" "src/core/CMakeFiles/avoc_core.dir/history.cpp.o.d"
+  "/root/repo/src/core/mlv.cpp" "src/core/CMakeFiles/avoc_core.dir/mlv.cpp.o" "gcc" "src/core/CMakeFiles/avoc_core.dir/mlv.cpp.o.d"
+  "/root/repo/src/core/multidim.cpp" "src/core/CMakeFiles/avoc_core.dir/multidim.cpp.o" "gcc" "src/core/CMakeFiles/avoc_core.dir/multidim.cpp.o.d"
+  "/root/repo/src/core/stages.cpp" "src/core/CMakeFiles/avoc_core.dir/stages.cpp.o" "gcc" "src/core/CMakeFiles/avoc_core.dir/stages.cpp.o.d"
+  "/root/repo/src/core/types.cpp" "src/core/CMakeFiles/avoc_core.dir/types.cpp.o" "gcc" "src/core/CMakeFiles/avoc_core.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/avoc_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cluster/CMakeFiles/avoc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stats/CMakeFiles/avoc_stats.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/data/CMakeFiles/avoc_data.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/json/CMakeFiles/avoc_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avoc_core.dir/agreement.cpp.o"
+  "CMakeFiles/avoc_core.dir/agreement.cpp.o.d"
+  "CMakeFiles/avoc_core.dir/algorithms.cpp.o"
+  "CMakeFiles/avoc_core.dir/algorithms.cpp.o.d"
+  "CMakeFiles/avoc_core.dir/batch.cpp.o"
+  "CMakeFiles/avoc_core.dir/batch.cpp.o.d"
+  "CMakeFiles/avoc_core.dir/categorical.cpp.o"
+  "CMakeFiles/avoc_core.dir/categorical.cpp.o.d"
+  "CMakeFiles/avoc_core.dir/collation.cpp.o"
+  "CMakeFiles/avoc_core.dir/collation.cpp.o.d"
+  "CMakeFiles/avoc_core.dir/config.cpp.o"
+  "CMakeFiles/avoc_core.dir/config.cpp.o.d"
+  "CMakeFiles/avoc_core.dir/engine.cpp.o"
+  "CMakeFiles/avoc_core.dir/engine.cpp.o.d"
+  "CMakeFiles/avoc_core.dir/exclusion.cpp.o"
+  "CMakeFiles/avoc_core.dir/exclusion.cpp.o.d"
+  "CMakeFiles/avoc_core.dir/explain.cpp.o"
+  "CMakeFiles/avoc_core.dir/explain.cpp.o.d"
+  "CMakeFiles/avoc_core.dir/history.cpp.o"
+  "CMakeFiles/avoc_core.dir/history.cpp.o.d"
+  "CMakeFiles/avoc_core.dir/mlv.cpp.o"
+  "CMakeFiles/avoc_core.dir/mlv.cpp.o.d"
+  "CMakeFiles/avoc_core.dir/multidim.cpp.o"
+  "CMakeFiles/avoc_core.dir/multidim.cpp.o.d"
+  "CMakeFiles/avoc_core.dir/stages.cpp.o"
+  "CMakeFiles/avoc_core.dir/stages.cpp.o.d"
+  "CMakeFiles/avoc_core.dir/types.cpp.o"
+  "CMakeFiles/avoc_core.dir/types.cpp.o.d"
+  "libavoc_core.a"
+  "libavoc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avoc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/csv.cpp" "src/data/CMakeFiles/avoc_data.dir/csv.cpp.o" "gcc" "src/data/CMakeFiles/avoc_data.dir/csv.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/avoc_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/avoc_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/round_table.cpp" "src/data/CMakeFiles/avoc_data.dir/round_table.cpp.o" "gcc" "src/data/CMakeFiles/avoc_data.dir/round_table.cpp.o.d"
+  "/root/repo/src/data/stream.cpp" "src/data/CMakeFiles/avoc_data.dir/stream.cpp.o" "gcc" "src/data/CMakeFiles/avoc_data.dir/stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/avoc_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/json/CMakeFiles/avoc_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

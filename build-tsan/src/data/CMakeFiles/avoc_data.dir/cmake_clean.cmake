@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avoc_data.dir/csv.cpp.o"
+  "CMakeFiles/avoc_data.dir/csv.cpp.o.d"
+  "CMakeFiles/avoc_data.dir/dataset.cpp.o"
+  "CMakeFiles/avoc_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/avoc_data.dir/round_table.cpp.o"
+  "CMakeFiles/avoc_data.dir/round_table.cpp.o.d"
+  "CMakeFiles/avoc_data.dir/stream.cpp.o"
+  "CMakeFiles/avoc_data.dir/stream.cpp.o.d"
+  "libavoc_data.a"
+  "libavoc_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avoc_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

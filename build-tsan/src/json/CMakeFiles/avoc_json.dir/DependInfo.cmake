@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/json/parse.cpp" "src/json/CMakeFiles/avoc_json.dir/parse.cpp.o" "gcc" "src/json/CMakeFiles/avoc_json.dir/parse.cpp.o.d"
+  "/root/repo/src/json/schema.cpp" "src/json/CMakeFiles/avoc_json.dir/schema.cpp.o" "gcc" "src/json/CMakeFiles/avoc_json.dir/schema.cpp.o.d"
+  "/root/repo/src/json/value.cpp" "src/json/CMakeFiles/avoc_json.dir/value.cpp.o" "gcc" "src/json/CMakeFiles/avoc_json.dir/value.cpp.o.d"
+  "/root/repo/src/json/write.cpp" "src/json/CMakeFiles/avoc_json.dir/write.cpp.o" "gcc" "src/json/CMakeFiles/avoc_json.dir/write.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/avoc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

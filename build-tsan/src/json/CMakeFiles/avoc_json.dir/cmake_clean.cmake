@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avoc_json.dir/parse.cpp.o"
+  "CMakeFiles/avoc_json.dir/parse.cpp.o.d"
+  "CMakeFiles/avoc_json.dir/schema.cpp.o"
+  "CMakeFiles/avoc_json.dir/schema.cpp.o.d"
+  "CMakeFiles/avoc_json.dir/value.cpp.o"
+  "CMakeFiles/avoc_json.dir/value.cpp.o.d"
+  "CMakeFiles/avoc_json.dir/write.cpp.o"
+  "CMakeFiles/avoc_json.dir/write.cpp.o.d"
+  "libavoc_json.a"
+  "libavoc_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avoc_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/datastore.cpp" "src/runtime/CMakeFiles/avoc_runtime.dir/datastore.cpp.o" "gcc" "src/runtime/CMakeFiles/avoc_runtime.dir/datastore.cpp.o.d"
+  "/root/repo/src/runtime/group_manager.cpp" "src/runtime/CMakeFiles/avoc_runtime.dir/group_manager.cpp.o" "gcc" "src/runtime/CMakeFiles/avoc_runtime.dir/group_manager.cpp.o.d"
+  "/root/repo/src/runtime/group_runner.cpp" "src/runtime/CMakeFiles/avoc_runtime.dir/group_runner.cpp.o" "gcc" "src/runtime/CMakeFiles/avoc_runtime.dir/group_runner.cpp.o.d"
+  "/root/repo/src/runtime/multi_group.cpp" "src/runtime/CMakeFiles/avoc_runtime.dir/multi_group.cpp.o" "gcc" "src/runtime/CMakeFiles/avoc_runtime.dir/multi_group.cpp.o.d"
+  "/root/repo/src/runtime/nodes.cpp" "src/runtime/CMakeFiles/avoc_runtime.dir/nodes.cpp.o" "gcc" "src/runtime/CMakeFiles/avoc_runtime.dir/nodes.cpp.o.d"
+  "/root/repo/src/runtime/pipeline.cpp" "src/runtime/CMakeFiles/avoc_runtime.dir/pipeline.cpp.o" "gcc" "src/runtime/CMakeFiles/avoc_runtime.dir/pipeline.cpp.o.d"
+  "/root/repo/src/runtime/remote.cpp" "src/runtime/CMakeFiles/avoc_runtime.dir/remote.cpp.o" "gcc" "src/runtime/CMakeFiles/avoc_runtime.dir/remote.cpp.o.d"
+  "/root/repo/src/runtime/service.cpp" "src/runtime/CMakeFiles/avoc_runtime.dir/service.cpp.o" "gcc" "src/runtime/CMakeFiles/avoc_runtime.dir/service.cpp.o.d"
+  "/root/repo/src/runtime/tcp.cpp" "src/runtime/CMakeFiles/avoc_runtime.dir/tcp.cpp.o" "gcc" "src/runtime/CMakeFiles/avoc_runtime.dir/tcp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/avoc_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/json/CMakeFiles/avoc_json.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/avoc_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/vdx/CMakeFiles/avoc_vdx.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/avoc_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cluster/CMakeFiles/avoc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stats/CMakeFiles/avoc_stats.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/data/CMakeFiles/avoc_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avoc_runtime.dir/datastore.cpp.o"
+  "CMakeFiles/avoc_runtime.dir/datastore.cpp.o.d"
+  "CMakeFiles/avoc_runtime.dir/group_manager.cpp.o"
+  "CMakeFiles/avoc_runtime.dir/group_manager.cpp.o.d"
+  "CMakeFiles/avoc_runtime.dir/group_runner.cpp.o"
+  "CMakeFiles/avoc_runtime.dir/group_runner.cpp.o.d"
+  "CMakeFiles/avoc_runtime.dir/multi_group.cpp.o"
+  "CMakeFiles/avoc_runtime.dir/multi_group.cpp.o.d"
+  "CMakeFiles/avoc_runtime.dir/nodes.cpp.o"
+  "CMakeFiles/avoc_runtime.dir/nodes.cpp.o.d"
+  "CMakeFiles/avoc_runtime.dir/pipeline.cpp.o"
+  "CMakeFiles/avoc_runtime.dir/pipeline.cpp.o.d"
+  "CMakeFiles/avoc_runtime.dir/remote.cpp.o"
+  "CMakeFiles/avoc_runtime.dir/remote.cpp.o.d"
+  "CMakeFiles/avoc_runtime.dir/service.cpp.o"
+  "CMakeFiles/avoc_runtime.dir/service.cpp.o.d"
+  "CMakeFiles/avoc_runtime.dir/tcp.cpp.o"
+  "CMakeFiles/avoc_runtime.dir/tcp.cpp.o.d"
+  "libavoc_runtime.a"
+  "libavoc_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avoc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

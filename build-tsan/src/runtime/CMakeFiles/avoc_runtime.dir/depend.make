@@ -1,0 +1,2 @@
+# Empty dependencies file for avoc_runtime.
+# This may be replaced when dependencies are built.

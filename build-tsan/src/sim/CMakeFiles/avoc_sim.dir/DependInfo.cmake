@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/ble.cpp" "src/sim/CMakeFiles/avoc_sim.dir/ble.cpp.o" "gcc" "src/sim/CMakeFiles/avoc_sim.dir/ble.cpp.o.d"
+  "/root/repo/src/sim/fault.cpp" "src/sim/CMakeFiles/avoc_sim.dir/fault.cpp.o" "gcc" "src/sim/CMakeFiles/avoc_sim.dir/fault.cpp.o.d"
+  "/root/repo/src/sim/light.cpp" "src/sim/CMakeFiles/avoc_sim.dir/light.cpp.o" "gcc" "src/sim/CMakeFiles/avoc_sim.dir/light.cpp.o.d"
+  "/root/repo/src/sim/sensor.cpp" "src/sim/CMakeFiles/avoc_sim.dir/sensor.cpp.o" "gcc" "src/sim/CMakeFiles/avoc_sim.dir/sensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/avoc_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/data/CMakeFiles/avoc_data.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/json/CMakeFiles/avoc_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

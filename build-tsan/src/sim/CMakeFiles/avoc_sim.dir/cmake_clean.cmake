@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avoc_sim.dir/ble.cpp.o"
+  "CMakeFiles/avoc_sim.dir/ble.cpp.o.d"
+  "CMakeFiles/avoc_sim.dir/fault.cpp.o"
+  "CMakeFiles/avoc_sim.dir/fault.cpp.o.d"
+  "CMakeFiles/avoc_sim.dir/light.cpp.o"
+  "CMakeFiles/avoc_sim.dir/light.cpp.o.d"
+  "CMakeFiles/avoc_sim.dir/sensor.cpp.o"
+  "CMakeFiles/avoc_sim.dir/sensor.cpp.o.d"
+  "libavoc_sim.a"
+  "libavoc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avoc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

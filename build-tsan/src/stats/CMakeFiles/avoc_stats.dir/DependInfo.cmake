@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/ambiguity.cpp" "src/stats/CMakeFiles/avoc_stats.dir/ambiguity.cpp.o" "gcc" "src/stats/CMakeFiles/avoc_stats.dir/ambiguity.cpp.o.d"
+  "/root/repo/src/stats/convergence.cpp" "src/stats/CMakeFiles/avoc_stats.dir/convergence.cpp.o" "gcc" "src/stats/CMakeFiles/avoc_stats.dir/convergence.cpp.o.d"
+  "/root/repo/src/stats/filters.cpp" "src/stats/CMakeFiles/avoc_stats.dir/filters.cpp.o" "gcc" "src/stats/CMakeFiles/avoc_stats.dir/filters.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/avoc_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/avoc_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/quantile.cpp" "src/stats/CMakeFiles/avoc_stats.dir/quantile.cpp.o" "gcc" "src/stats/CMakeFiles/avoc_stats.dir/quantile.cpp.o.d"
+  "/root/repo/src/stats/running.cpp" "src/stats/CMakeFiles/avoc_stats.dir/running.cpp.o" "gcc" "src/stats/CMakeFiles/avoc_stats.dir/running.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/avoc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

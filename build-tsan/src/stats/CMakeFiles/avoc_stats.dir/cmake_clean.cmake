@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avoc_stats.dir/ambiguity.cpp.o"
+  "CMakeFiles/avoc_stats.dir/ambiguity.cpp.o.d"
+  "CMakeFiles/avoc_stats.dir/convergence.cpp.o"
+  "CMakeFiles/avoc_stats.dir/convergence.cpp.o.d"
+  "CMakeFiles/avoc_stats.dir/filters.cpp.o"
+  "CMakeFiles/avoc_stats.dir/filters.cpp.o.d"
+  "CMakeFiles/avoc_stats.dir/histogram.cpp.o"
+  "CMakeFiles/avoc_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/avoc_stats.dir/quantile.cpp.o"
+  "CMakeFiles/avoc_stats.dir/quantile.cpp.o.d"
+  "CMakeFiles/avoc_stats.dir/running.cpp.o"
+  "CMakeFiles/avoc_stats.dir/running.cpp.o.d"
+  "libavoc_stats.a"
+  "libavoc_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avoc_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avoc_util.dir/cli.cpp.o"
+  "CMakeFiles/avoc_util.dir/cli.cpp.o.d"
+  "CMakeFiles/avoc_util.dir/log.cpp.o"
+  "CMakeFiles/avoc_util.dir/log.cpp.o.d"
+  "CMakeFiles/avoc_util.dir/rng.cpp.o"
+  "CMakeFiles/avoc_util.dir/rng.cpp.o.d"
+  "CMakeFiles/avoc_util.dir/status.cpp.o"
+  "CMakeFiles/avoc_util.dir/status.cpp.o.d"
+  "CMakeFiles/avoc_util.dir/strings.cpp.o"
+  "CMakeFiles/avoc_util.dir/strings.cpp.o.d"
+  "CMakeFiles/avoc_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/avoc_util.dir/thread_pool.cpp.o.d"
+  "libavoc_util.a"
+  "libavoc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avoc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

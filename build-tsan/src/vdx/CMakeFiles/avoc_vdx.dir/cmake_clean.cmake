@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avoc_vdx.dir/factory.cpp.o"
+  "CMakeFiles/avoc_vdx.dir/factory.cpp.o.d"
+  "CMakeFiles/avoc_vdx.dir/registry.cpp.o"
+  "CMakeFiles/avoc_vdx.dir/registry.cpp.o.d"
+  "CMakeFiles/avoc_vdx.dir/schema.cpp.o"
+  "CMakeFiles/avoc_vdx.dir/schema.cpp.o.d"
+  "CMakeFiles/avoc_vdx.dir/spec.cpp.o"
+  "CMakeFiles/avoc_vdx.dir/spec.cpp.o.d"
+  "libavoc_vdx.a"
+  "libavoc_vdx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avoc_vdx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libavoc_vdx.a"
+)

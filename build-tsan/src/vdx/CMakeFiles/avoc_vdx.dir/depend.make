@@ -1,0 +1,2 @@
+# Empty dependencies file for avoc_vdx.
+# This may be replaced when dependencies are built.

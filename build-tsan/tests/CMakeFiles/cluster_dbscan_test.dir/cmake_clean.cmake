@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_dbscan_test.dir/cluster_dbscan_test.cpp.o"
+  "CMakeFiles/cluster_dbscan_test.dir/cluster_dbscan_test.cpp.o.d"
+  "cluster_dbscan_test"
+  "cluster_dbscan_test.pdb"
+  "cluster_dbscan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_dbscan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

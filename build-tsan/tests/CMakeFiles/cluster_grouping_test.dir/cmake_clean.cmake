@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_grouping_test.dir/cluster_grouping_test.cpp.o"
+  "CMakeFiles/cluster_grouping_test.dir/cluster_grouping_test.cpp.o.d"
+  "cluster_grouping_test"
+  "cluster_grouping_test.pdb"
+  "cluster_grouping_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_grouping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_kmeans_test.dir/cluster_kmeans_test.cpp.o"
+  "CMakeFiles/cluster_kmeans_test.dir/cluster_kmeans_test.cpp.o.d"
+  "cluster_kmeans_test"
+  "cluster_kmeans_test.pdb"
+  "cluster_kmeans_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_kmeans_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

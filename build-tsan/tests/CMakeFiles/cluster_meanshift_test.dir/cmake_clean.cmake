@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_meanshift_test.dir/cluster_meanshift_test.cpp.o"
+  "CMakeFiles/cluster_meanshift_test.dir/cluster_meanshift_test.cpp.o.d"
+  "cluster_meanshift_test"
+  "cluster_meanshift_test.pdb"
+  "cluster_meanshift_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_meanshift_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

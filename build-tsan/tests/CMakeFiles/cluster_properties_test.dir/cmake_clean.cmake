@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_properties_test.dir/cluster_properties_test.cpp.o"
+  "CMakeFiles/cluster_properties_test.dir/cluster_properties_test.cpp.o.d"
+  "cluster_properties_test"
+  "cluster_properties_test.pdb"
+  "cluster_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_xmeans_test.dir/cluster_xmeans_test.cpp.o"
+  "CMakeFiles/cluster_xmeans_test.dir/cluster_xmeans_test.cpp.o.d"
+  "cluster_xmeans_test"
+  "cluster_xmeans_test.pdb"
+  "cluster_xmeans_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_xmeans_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_agreement_test.dir/core_agreement_test.cpp.o"
+  "CMakeFiles/core_agreement_test.dir/core_agreement_test.cpp.o.d"
+  "core_agreement_test"
+  "core_agreement_test.pdb"
+  "core_agreement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_agreement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_algorithms_test.dir/core_algorithms_test.cpp.o"
+  "CMakeFiles/core_algorithms_test.dir/core_algorithms_test.cpp.o.d"
+  "core_algorithms_test"
+  "core_algorithms_test.pdb"
+  "core_algorithms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_algorithms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

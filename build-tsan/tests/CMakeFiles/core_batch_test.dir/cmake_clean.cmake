@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_batch_test.dir/core_batch_test.cpp.o"
+  "CMakeFiles/core_batch_test.dir/core_batch_test.cpp.o.d"
+  "core_batch_test"
+  "core_batch_test.pdb"
+  "core_batch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_batch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_categorical_test.dir/core_categorical_test.cpp.o"
+  "CMakeFiles/core_categorical_test.dir/core_categorical_test.cpp.o.d"
+  "core_categorical_test"
+  "core_categorical_test.pdb"
+  "core_categorical_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_categorical_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

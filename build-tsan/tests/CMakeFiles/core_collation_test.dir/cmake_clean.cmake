@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_collation_test.dir/core_collation_test.cpp.o"
+  "CMakeFiles/core_collation_test.dir/core_collation_test.cpp.o.d"
+  "core_collation_test"
+  "core_collation_test.pdb"
+  "core_collation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_collation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_engine_edge_test.dir/core_engine_edge_test.cpp.o"
+  "CMakeFiles/core_engine_edge_test.dir/core_engine_edge_test.cpp.o.d"
+  "core_engine_edge_test"
+  "core_engine_edge_test.pdb"
+  "core_engine_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_engine_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

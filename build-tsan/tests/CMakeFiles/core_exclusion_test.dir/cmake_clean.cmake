@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_exclusion_test.dir/core_exclusion_test.cpp.o"
+  "CMakeFiles/core_exclusion_test.dir/core_exclusion_test.cpp.o.d"
+  "core_exclusion_test"
+  "core_exclusion_test.pdb"
+  "core_exclusion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_exclusion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_explain_test.dir/core_explain_test.cpp.o"
+  "CMakeFiles/core_explain_test.dir/core_explain_test.cpp.o.d"
+  "core_explain_test"
+  "core_explain_test.pdb"
+  "core_explain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_explain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_history_test.dir/core_history_test.cpp.o"
+  "CMakeFiles/core_history_test.dir/core_history_test.cpp.o.d"
+  "core_history_test"
+  "core_history_test.pdb"
+  "core_history_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_history_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_mlv_test.dir/core_mlv_test.cpp.o"
+  "CMakeFiles/core_mlv_test.dir/core_mlv_test.cpp.o.d"
+  "core_mlv_test"
+  "core_mlv_test.pdb"
+  "core_mlv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_mlv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

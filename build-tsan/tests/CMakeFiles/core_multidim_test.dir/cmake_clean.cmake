@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_multidim_test.dir/core_multidim_test.cpp.o"
+  "CMakeFiles/core_multidim_test.dir/core_multidim_test.cpp.o.d"
+  "core_multidim_test"
+  "core_multidim_test.pdb"
+  "core_multidim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_multidim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

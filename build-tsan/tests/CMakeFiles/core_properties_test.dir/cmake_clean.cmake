@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_properties_test.dir/core_properties_test.cpp.o"
+  "CMakeFiles/core_properties_test.dir/core_properties_test.cpp.o.d"
+  "core_properties_test"
+  "core_properties_test.pdb"
+  "core_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_stages_test.dir/core_stages_test.cpp.o"
+  "CMakeFiles/core_stages_test.dir/core_stages_test.cpp.o.d"
+  "core_stages_test"
+  "core_stages_test.pdb"
+  "core_stages_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_stages_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_csv_test.dir/data_csv_test.cpp.o"
+  "CMakeFiles/data_csv_test.dir/data_csv_test.cpp.o.d"
+  "data_csv_test"
+  "data_csv_test.pdb"
+  "data_csv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_csv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

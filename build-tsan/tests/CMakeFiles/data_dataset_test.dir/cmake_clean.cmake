@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_dataset_test.dir/data_dataset_test.cpp.o"
+  "CMakeFiles/data_dataset_test.dir/data_dataset_test.cpp.o.d"
+  "data_dataset_test"
+  "data_dataset_test.pdb"
+  "data_dataset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_dataset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_round_table_test.dir/data_round_table_test.cpp.o"
+  "CMakeFiles/data_round_table_test.dir/data_round_table_test.cpp.o.d"
+  "data_round_table_test"
+  "data_round_table_test.pdb"
+  "data_round_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_round_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_stream_test.dir/data_stream_test.cpp.o"
+  "CMakeFiles/data_stream_test.dir/data_stream_test.cpp.o.d"
+  "data_stream_test"
+  "data_stream_test.pdb"
+  "data_stream_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_stream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

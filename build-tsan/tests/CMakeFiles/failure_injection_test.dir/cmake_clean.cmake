@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_injection_test.dir/failure_injection_test.cpp.o"
+  "CMakeFiles/failure_injection_test.dir/failure_injection_test.cpp.o.d"
+  "failure_injection_test"
+  "failure_injection_test.pdb"
+  "failure_injection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_injection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_roundtrip_test.dir/fuzz_roundtrip_test.cpp.o"
+  "CMakeFiles/fuzz_roundtrip_test.dir/fuzz_roundtrip_test.cpp.o.d"
+  "fuzz_roundtrip_test"
+  "fuzz_roundtrip_test.pdb"
+  "fuzz_roundtrip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golden_regression_test.dir/golden_regression_test.cpp.o"
+  "CMakeFiles/golden_regression_test.dir/golden_regression_test.cpp.o.d"
+  "golden_regression_test"
+  "golden_regression_test.pdb"
+  "golden_regression_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golden_regression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_groups_test.dir/integration_groups_test.cpp.o"
+  "CMakeFiles/integration_groups_test.dir/integration_groups_test.cpp.o.d"
+  "integration_groups_test"
+  "integration_groups_test.pdb"
+  "integration_groups_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_groups_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

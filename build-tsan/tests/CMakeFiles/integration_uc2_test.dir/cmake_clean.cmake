@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_uc2_test.dir/integration_uc2_test.cpp.o"
+  "CMakeFiles/integration_uc2_test.dir/integration_uc2_test.cpp.o.d"
+  "integration_uc2_test"
+  "integration_uc2_test.pdb"
+  "integration_uc2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_uc2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_vdx_e2e_test.dir/integration_vdx_e2e_test.cpp.o"
+  "CMakeFiles/integration_vdx_e2e_test.dir/integration_vdx_e2e_test.cpp.o.d"
+  "integration_vdx_e2e_test"
+  "integration_vdx_e2e_test.pdb"
+  "integration_vdx_e2e_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_vdx_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/json_parse_test.dir/json_parse_test.cpp.o"
+  "CMakeFiles/json_parse_test.dir/json_parse_test.cpp.o.d"
+  "json_parse_test"
+  "json_parse_test.pdb"
+  "json_parse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/json_parse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

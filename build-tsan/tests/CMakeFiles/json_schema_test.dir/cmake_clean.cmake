@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/json_schema_test.dir/json_schema_test.cpp.o"
+  "CMakeFiles/json_schema_test.dir/json_schema_test.cpp.o.d"
+  "json_schema_test"
+  "json_schema_test.pdb"
+  "json_schema_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/json_schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/json_value_test.dir/json_value_test.cpp.o"
+  "CMakeFiles/json_value_test.dir/json_value_test.cpp.o.d"
+  "json_value_test"
+  "json_value_test.pdb"
+  "json_value_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/json_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/json_write_test.dir/json_write_test.cpp.o"
+  "CMakeFiles/json_write_test.dir/json_write_test.cpp.o.d"
+  "json_write_test"
+  "json_write_test.pdb"
+  "json_write_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/json_write_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

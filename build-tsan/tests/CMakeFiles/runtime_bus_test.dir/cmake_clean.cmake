@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_bus_test.dir/runtime_bus_test.cpp.o"
+  "CMakeFiles/runtime_bus_test.dir/runtime_bus_test.cpp.o.d"
+  "runtime_bus_test"
+  "runtime_bus_test.pdb"
+  "runtime_bus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_bus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_datastore_test.dir/runtime_datastore_test.cpp.o"
+  "CMakeFiles/runtime_datastore_test.dir/runtime_datastore_test.cpp.o.d"
+  "runtime_datastore_test"
+  "runtime_datastore_test.pdb"
+  "runtime_datastore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_datastore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_group_runner_test.dir/runtime_group_runner_test.cpp.o"
+  "CMakeFiles/runtime_group_runner_test.dir/runtime_group_runner_test.cpp.o.d"
+  "runtime_group_runner_test"
+  "runtime_group_runner_test.pdb"
+  "runtime_group_runner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_group_runner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_multi_group_test.dir/runtime_multi_group_test.cpp.o"
+  "CMakeFiles/runtime_multi_group_test.dir/runtime_multi_group_test.cpp.o.d"
+  "runtime_multi_group_test"
+  "runtime_multi_group_test.pdb"
+  "runtime_multi_group_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_multi_group_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_nodes_test.dir/runtime_nodes_test.cpp.o"
+  "CMakeFiles/runtime_nodes_test.dir/runtime_nodes_test.cpp.o.d"
+  "runtime_nodes_test"
+  "runtime_nodes_test.pdb"
+  "runtime_nodes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_nodes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_pipeline_test.dir/runtime_pipeline_test.cpp.o"
+  "CMakeFiles/runtime_pipeline_test.dir/runtime_pipeline_test.cpp.o.d"
+  "runtime_pipeline_test"
+  "runtime_pipeline_test.pdb"
+  "runtime_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_remote_test.dir/runtime_remote_test.cpp.o"
+  "CMakeFiles/runtime_remote_test.dir/runtime_remote_test.cpp.o.d"
+  "runtime_remote_test"
+  "runtime_remote_test.pdb"
+  "runtime_remote_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_remote_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_service_test.dir/runtime_service_test.cpp.o"
+  "CMakeFiles/runtime_service_test.dir/runtime_service_test.cpp.o.d"
+  "runtime_service_test"
+  "runtime_service_test.pdb"
+  "runtime_service_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_tcp_test.dir/runtime_tcp_test.cpp.o"
+  "CMakeFiles/runtime_tcp_test.dir/runtime_tcp_test.cpp.o.d"
+  "runtime_tcp_test"
+  "runtime_tcp_test.pdb"
+  "runtime_tcp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_tcp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_ble_test.dir/sim_ble_test.cpp.o"
+  "CMakeFiles/sim_ble_test.dir/sim_ble_test.cpp.o.d"
+  "sim_ble_test"
+  "sim_ble_test.pdb"
+  "sim_ble_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_ble_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim_fault_test.cpp" "tests/CMakeFiles/sim_fault_test.dir/sim_fault_test.cpp.o" "gcc" "tests/CMakeFiles/sim_fault_test.dir/sim_fault_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/avoc_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/json/CMakeFiles/avoc_json.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/stats/CMakeFiles/avoc_stats.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/data/CMakeFiles/avoc_data.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cluster/CMakeFiles/avoc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/avoc_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/vdx/CMakeFiles/avoc_vdx.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/avoc_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/runtime/CMakeFiles/avoc_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_fault_test.dir/sim_fault_test.cpp.o"
+  "CMakeFiles/sim_fault_test.dir/sim_fault_test.cpp.o.d"
+  "sim_fault_test"
+  "sim_fault_test.pdb"
+  "sim_fault_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_fault_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

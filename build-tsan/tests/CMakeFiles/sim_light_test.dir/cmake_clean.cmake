@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_light_test.dir/sim_light_test.cpp.o"
+  "CMakeFiles/sim_light_test.dir/sim_light_test.cpp.o.d"
+  "sim_light_test"
+  "sim_light_test.pdb"
+  "sim_light_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_light_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

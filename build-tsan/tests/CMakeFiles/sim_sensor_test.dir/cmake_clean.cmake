@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_sensor_test.dir/sim_sensor_test.cpp.o"
+  "CMakeFiles/sim_sensor_test.dir/sim_sensor_test.cpp.o.d"
+  "sim_sensor_test"
+  "sim_sensor_test.pdb"
+  "sim_sensor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_sensor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_ambiguity_test.dir/stats_ambiguity_test.cpp.o"
+  "CMakeFiles/stats_ambiguity_test.dir/stats_ambiguity_test.cpp.o.d"
+  "stats_ambiguity_test"
+  "stats_ambiguity_test.pdb"
+  "stats_ambiguity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_ambiguity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_convergence_test.dir/stats_convergence_test.cpp.o"
+  "CMakeFiles/stats_convergence_test.dir/stats_convergence_test.cpp.o.d"
+  "stats_convergence_test"
+  "stats_convergence_test.pdb"
+  "stats_convergence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_convergence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

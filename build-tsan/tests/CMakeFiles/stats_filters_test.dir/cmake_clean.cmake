@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_filters_test.dir/stats_filters_test.cpp.o"
+  "CMakeFiles/stats_filters_test.dir/stats_filters_test.cpp.o.d"
+  "stats_filters_test"
+  "stats_filters_test.pdb"
+  "stats_filters_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_filters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

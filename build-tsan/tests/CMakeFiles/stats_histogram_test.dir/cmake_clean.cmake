@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_histogram_test.dir/stats_histogram_test.cpp.o"
+  "CMakeFiles/stats_histogram_test.dir/stats_histogram_test.cpp.o.d"
+  "stats_histogram_test"
+  "stats_histogram_test.pdb"
+  "stats_histogram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_histogram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_quantile_test.dir/stats_quantile_test.cpp.o"
+  "CMakeFiles/stats_quantile_test.dir/stats_quantile_test.cpp.o.d"
+  "stats_quantile_test"
+  "stats_quantile_test.pdb"
+  "stats_quantile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_quantile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

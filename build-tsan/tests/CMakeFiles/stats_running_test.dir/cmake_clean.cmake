@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_running_test.dir/stats_running_test.cpp.o"
+  "CMakeFiles/stats_running_test.dir/stats_running_test.cpp.o.d"
+  "stats_running_test"
+  "stats_running_test.pdb"
+  "stats_running_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_running_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

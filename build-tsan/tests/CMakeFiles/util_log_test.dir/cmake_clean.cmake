@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_log_test.dir/util_log_test.cpp.o"
+  "CMakeFiles/util_log_test.dir/util_log_test.cpp.o.d"
+  "util_log_test"
+  "util_log_test.pdb"
+  "util_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_status_test.dir/util_status_test.cpp.o"
+  "CMakeFiles/util_status_test.dir/util_status_test.cpp.o.d"
+  "util_status_test"
+  "util_status_test.pdb"
+  "util_status_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_status_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_strings_test.dir/util_strings_test.cpp.o"
+  "CMakeFiles/util_strings_test.dir/util_strings_test.cpp.o.d"
+  "util_strings_test"
+  "util_strings_test.pdb"
+  "util_strings_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_strings_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

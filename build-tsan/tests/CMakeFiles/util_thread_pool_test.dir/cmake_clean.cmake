@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_thread_pool_test.dir/util_thread_pool_test.cpp.o"
+  "CMakeFiles/util_thread_pool_test.dir/util_thread_pool_test.cpp.o.d"
+  "util_thread_pool_test"
+  "util_thread_pool_test.pdb"
+  "util_thread_pool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_thread_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdx_factory_test.dir/vdx_factory_test.cpp.o"
+  "CMakeFiles/vdx_factory_test.dir/vdx_factory_test.cpp.o.d"
+  "vdx_factory_test"
+  "vdx_factory_test.pdb"
+  "vdx_factory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdx_factory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

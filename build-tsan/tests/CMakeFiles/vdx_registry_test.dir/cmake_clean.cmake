@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdx_registry_test.dir/vdx_registry_test.cpp.o"
+  "CMakeFiles/vdx_registry_test.dir/vdx_registry_test.cpp.o.d"
+  "vdx_registry_test"
+  "vdx_registry_test.pdb"
+  "vdx_registry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdx_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

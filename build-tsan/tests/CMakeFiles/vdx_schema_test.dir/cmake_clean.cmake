@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdx_schema_test.dir/vdx_schema_test.cpp.o"
+  "CMakeFiles/vdx_schema_test.dir/vdx_schema_test.cpp.o.d"
+  "vdx_schema_test"
+  "vdx_schema_test.pdb"
+  "vdx_schema_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdx_schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdx_spec_test.dir/vdx_spec_test.cpp.o"
+  "CMakeFiles/vdx_spec_test.dir/vdx_spec_test.cpp.o.d"
+  "vdx_spec_test"
+  "vdx_spec_test.pdb"
+  "vdx_spec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdx_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
