@@ -37,7 +37,7 @@ std::optional<size_t> Converge(const avoc::core::BatchResult& clean,
   options.tolerance = 100.0;
   options.window = 5;
   const auto report = avoc::stats::MeasureConvergence(
-      faulty.ContinuousOutputs(), clean.ContinuousOutputs(), options);
+      faulty.values(), faulty.engaged(), clean.ContinuousOutputs(), options);
   if (!report.converged_at.has_value()) return std::nullopt;
   return *report.converged_at + 1;
 }

@@ -45,15 +45,16 @@ OutcomeCounts RunWithPolicy(const avoc::data::RoundTable& table,
   if (!batch.ok()) return counts;
 
   avoc::stats::RunningStats error;
-  for (size_t r = 0; r < batch->rounds.size(); ++r) {
-    switch (batch->rounds[r].outcome) {
+  for (size_t r = 0; r < batch->round_count(); ++r) {
+    switch (batch->outcome(r)) {
       case RoundOutcome::kVoted: ++counts.voted; break;
       case RoundOutcome::kRevertedLast: ++counts.reverted; break;
       case RoundOutcome::kNoOutput: ++counts.suppressed; break;
       case RoundOutcome::kError: ++counts.raised; break;
     }
-    if (batch->outputs[r].has_value()) {
-      error.Add(std::abs(*batch->outputs[r] - truth[r]));
+    const auto output = batch->output(r);
+    if (output.has_value()) {
+      error.Add(std::abs(*output - truth[r]));
     }
   }
   counts.mean_abs_error = error.mean();
@@ -139,14 +140,14 @@ int main(int argc, char** argv) {
     if (!batch.ok()) continue;
     OutcomeCounts counts;
     size_t no_majority = 0;
-    for (const auto& result : batch->rounds) {
-      switch (result.outcome) {
+    for (size_t r = 0; r < batch->round_count(); ++r) {
+      switch (batch->outcome(r)) {
         case RoundOutcome::kVoted: ++counts.voted; break;
         case RoundOutcome::kRevertedLast: ++counts.reverted; break;
         case RoundOutcome::kNoOutput: ++counts.suppressed; break;
         case RoundOutcome::kError: ++counts.raised; break;
       }
-      if (!result.had_majority) ++no_majority;
+      if (!batch->had_majority(r)) ++no_majority;
     }
     const char* name = "?";
     switch (policy) {

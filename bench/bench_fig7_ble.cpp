@@ -47,7 +47,7 @@ Series Fuse(AlgorithmId id, const avoc::data::RoundTable& table,
                  batch.status().ToString().c_str());
     std::exit(1);
   }
-  return batch->outputs;
+  return batch->Outputs();
 }
 
 void PrintAmbiguityRow(const char* label, const Series& a, const Series& b,

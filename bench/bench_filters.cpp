@@ -32,7 +32,7 @@ avoc::core::PresetParams BlePreset() {
 Series Fuse(AlgorithmId id, const avoc::data::RoundTable& table) {
   auto batch = avoc::core::RunAlgorithm(id, table, BlePreset());
   if (!batch.ok()) std::exit(1);
-  return batch->outputs;
+  return batch->Outputs();
 }
 
 void Report(const char* label, const Series& a, const Series& b,

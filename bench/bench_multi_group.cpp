@@ -1,16 +1,24 @@
 // Sharded multi-group throughput (the smart-shopping motivation: one
 // voter group per shelf, hundreds of shelves per store).
 //
-// Runs the same per-group batch workload through MultiGroupEngine twice —
-// sequentially on one thread and sharded across the worker pool — and
-// reports rounds/s plus the parallel speedup.  Groups are independent, so
-// the speedup should track the worker count until memory bandwidth wins.
-// Flags: --groups N --modules M --rounds R --threads T --seed S
+// Three modes over the identical per-group workload:
+//   legacy            one-VoteResult-per-round allocation path
+//                     (core::RunOverTableLegacy), single thread
+//   columnar          group-major SoA block (MultiGroupTrace), single
+//                     thread, trace reused across repeats
+//   columnar-parallel same block sharded across the worker pool
+// Cross-checks that all three produce bit-identical fused outputs, then
+// writes machine-readable BENCH_multi_group.json next to the stdout
+// report.  Flags: --groups N --modules M --rounds R --threads T
+// --repeat K --seed S --json PATH
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "core/algorithms.h"
+#include "core/batch.h"
 #include "runtime/multi_group.h"
 #include "util/cli.h"
 #include "util/rng.h"
@@ -46,6 +54,14 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+struct ModeResult {
+  const char* mode;
+  const char* allocation;
+  size_t threads = 1;
+  double seconds = 0.0;  ///< best of the repeats
+  double rounds_per_sec = 0.0;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -55,7 +71,11 @@ int main(int argc, char** argv) {
   const size_t modules = static_cast<size_t>(cli->GetInt("modules", 5));
   const size_t rounds = static_cast<size_t>(cli->GetInt("rounds", 2000));
   const size_t threads = static_cast<size_t>(cli->GetInt("threads", 0));
+  const size_t repeat =
+      std::max<size_t>(1, static_cast<size_t>(cli->GetInt("repeat", 3)));
   const uint64_t seed = static_cast<uint64_t>(cli->GetInt("seed", 7));
+  const std::string json_path =
+      cli->GetString("json", "BENCH_multi_group.json");
 
   auto config_engine = avoc::core::MakeEngine(avoc::core::AlgorithmId::kAvoc,
                                               modules);
@@ -64,15 +84,44 @@ int main(int argc, char** argv) {
                  config_engine.status().ToString().c_str());
     return 1;
   }
+  const auto config = config_engine->config();
   const auto tables = MakeTables(groups, modules, rounds, seed);
   const double total_rounds = static_cast<double>(groups * rounds);
 
+  std::printf("=== sharded multi-group batch: %zu groups x %zu modules x "
+              "%zu rounds (AVOC), best of %zu ===\n",
+              groups, modules, rounds, repeat);
+
+  // --- legacy: per-round VoteResult allocations, fresh engines ------------
+  ModeResult legacy{"legacy", "per-round", 1};
+  std::vector<avoc::core::LegacyBatchResult> legacy_results;
+  for (size_t it = 0; it < repeat; ++it) {
+    std::vector<avoc::core::LegacyBatchResult> results;
+    results.reserve(groups);
+    const auto start = std::chrono::steady_clock::now();
+    for (size_t g = 0; g < groups; ++g) {
+      auto engine = avoc::core::VotingEngine::Create(modules, config);
+      if (!engine.ok()) return 1;
+      auto batch = avoc::core::RunOverTableLegacy(*engine, tables[g]);
+      if (!batch.ok()) {
+        std::fprintf(stderr, "legacy: %s\n",
+                     batch.status().ToString().c_str());
+        return 1;
+      }
+      results.push_back(std::move(batch).value());
+    }
+    const double seconds = SecondsSince(start);
+    if (it == 0 || seconds < legacy.seconds) legacy.seconds = seconds;
+    if (it == 0) legacy_results = std::move(results);
+  }
+
+  // --- columnar: group-major trace, reused across repeats -----------------
   avoc::runtime::MultiGroupOptions options;
   options.threads = threads;
-  auto sequential = avoc::runtime::MultiGroupEngine::Create(
-      groups, modules, config_engine->config());
-  auto parallel = avoc::runtime::MultiGroupEngine::Create(
-      groups, modules, config_engine->config(), options);
+  auto sequential =
+      avoc::runtime::MultiGroupEngine::Create(groups, modules, config);
+  auto parallel = avoc::runtime::MultiGroupEngine::Create(groups, modules,
+                                                          config, options);
   if (!sequential.ok() || !parallel.ok()) {
     const auto& status =
         sequential.ok() ? parallel.status() : sequential.status();
@@ -81,51 +130,95 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::printf("=== sharded multi-group batch: %zu groups x %zu modules x "
-              "%zu rounds (AVOC) ===\n",
-              groups, modules, rounds);
-
-  auto start = std::chrono::steady_clock::now();
-  auto seq_results = sequential->RunBatchSequential(tables);
-  const double seq_seconds = SecondsSince(start);
-  if (!seq_results.ok()) {
-    std::fprintf(stderr, "sequential: %s\n",
-                 seq_results.status().ToString().c_str());
-    return 1;
+  ModeResult columnar{"columnar", "columnar", 1};
+  avoc::runtime::MultiGroupTrace seq_trace;
+  for (size_t it = 0; it < repeat; ++it) {
+    sequential->ResetAll();
+    const auto start = std::chrono::steady_clock::now();
+    const auto status = sequential->RunBatchSequential(tables, seq_trace);
+    const double seconds = SecondsSince(start);
+    if (!status.ok()) {
+      std::fprintf(stderr, "sequential: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    if (it == 0 || seconds < columnar.seconds) columnar.seconds = seconds;
   }
 
-  start = std::chrono::steady_clock::now();
-  auto par_results = parallel->RunBatch(tables);
-  const double par_seconds = SecondsSince(start);
-  if (!par_results.ok()) {
-    std::fprintf(stderr, "parallel: %s\n",
-                 par_results.status().ToString().c_str());
-    return 1;
+  const size_t workers = avoc::util::ThreadPool(threads).thread_count();
+  ModeResult par{"columnar-parallel", "columnar", workers};
+  avoc::runtime::MultiGroupTrace par_trace;
+  for (size_t it = 0; it < repeat; ++it) {
+    parallel->ResetAll();
+    const auto start = std::chrono::steady_clock::now();
+    const auto status = parallel->RunBatch(tables, par_trace);
+    const double seconds = SecondsSince(start);
+    if (!status.ok()) {
+      std::fprintf(stderr, "parallel: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    if (it == 0 || seconds < par.seconds) par.seconds = seconds;
   }
 
-  // Cross-check: sharding must not change a single fused value.
+  // Cross-check: neither the columnar layout nor sharding may change a
+  // single fused value relative to the legacy path.
   size_t mismatches = 0;
   for (size_t g = 0; g < groups; ++g) {
+    const avoc::core::TraceView seq_view = seq_trace.group(g);
+    const avoc::core::TraceView par_view = par_trace.group(g);
     for (size_t r = 0; r < rounds; ++r) {
-      if ((*seq_results)[g].rounds[r].value !=
-          (*par_results)[g].rounds[r].value) {
+      const auto& legacy_output = legacy_results[g].outputs[r];
+      if (seq_view.output(r) != legacy_output ||
+          par_view.output(r) != legacy_output) {
         ++mismatches;
       }
     }
   }
 
-  const size_t workers = avoc::util::ThreadPool(threads).thread_count();
-  std::printf("%-12s, %10s, %14s\n", "mode", "seconds", "rounds/s");
-  std::printf("%-12s, %10.3f, %14.0f\n", "sequential", seq_seconds,
-              total_rounds / seq_seconds);
-  std::printf("%-12s, %10.3f, %14.0f\n", "parallel", par_seconds,
-              total_rounds / par_seconds);
-  std::printf("\nspeedup: %.2fx on %zu workers; output mismatches: %zu\n",
-              seq_seconds / par_seconds, workers, mismatches);
-  if (mismatches != 0) return 1;
+  std::vector<ModeResult*> modes = {&legacy, &columnar, &par};
+  std::printf("%-18s, %12s, %8s, %10s, %14s\n", "mode", "allocation",
+              "threads", "seconds", "rounds/s");
+  for (ModeResult* m : modes) {
+    m->rounds_per_sec = total_rounds / m->seconds;
+    std::printf("%-18s, %12s, %8zu, %10.3f, %14.0f\n", m->mode, m->allocation,
+                m->threads, m->seconds, m->rounds_per_sec);
+  }
   std::printf(
-      "(each worker owns whole groups, so there is no cross-group\n"
-      " synchronisation on the round hot path; the contiguous history\n"
-      " block is re-synced once per batch.)\n");
+      "\ncolumnar vs legacy: %.2fx; parallel vs columnar: %.2fx on %zu "
+      "workers; output mismatches: %zu\n",
+      legacy.seconds / columnar.seconds, columnar.seconds / par.seconds,
+      workers, mismatches);
+
+  std::FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n"
+                 "  \"bench\": \"multi_group\",\n"
+                 "  \"groups\": %zu,\n"
+                 "  \"modules\": %zu,\n"
+                 "  \"rounds_per_group\": %zu,\n"
+                 "  \"repeat\": %zu,\n"
+                 "  \"workers\": %zu,\n"
+                 "  \"mismatches\": %zu,\n"
+                 "  \"speedup_columnar_vs_legacy\": %.3f,\n"
+                 "  \"speedup_parallel_vs_columnar\": %.3f,\n"
+                 "  \"results\": [\n",
+                 groups, modules, rounds, repeat, workers, mismatches,
+                 legacy.seconds / columnar.seconds,
+                 columnar.seconds / par.seconds);
+    for (size_t i = 0; i < modes.size(); ++i) {
+      std::fprintf(json,
+                   "    {\"mode\": \"%s\", \"allocation\": \"%s\", "
+                   "\"threads\": %zu, \"seconds\": %.6f, "
+                   "\"rounds_per_sec\": %.1f}%s\n",
+                   modes[i]->mode, modes[i]->allocation, modes[i]->threads,
+                   modes[i]->seconds, modes[i]->rounds_per_sec,
+                   i + 1 < modes.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (mismatches != 0) return 1;
   return 0;
 }

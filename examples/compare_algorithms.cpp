@@ -142,7 +142,8 @@ int main(int argc, char** argv) {
               "min", "max", "stddev", "voted", "clustered");
   for (const NamedRun& run : runs) {
     avoc::stats::RunningStats stats;
-    for (const auto& value : run.batch.outputs) {
+    for (size_t r = 0; r < run.batch.round_count(); ++r) {
+      const auto value = run.batch.output(r);
       if (value.has_value()) stats.Add(*value);
     }
     std::printf("%-16s %10.1f %10.1f %10.1f %10.1f %8zu %8zu\n",
@@ -155,13 +156,12 @@ int main(int argc, char** argv) {
     const size_t round_index =
         static_cast<size_t>(cli.GetInt("explain", 0));
     if (round_index < table.round_count()) {
-      const auto row = table.Round(round_index);
-      const avoc::core::Round round(row.begin(), row.end());
+      const avoc::core::Round round = table.MaterializeRound(round_index);
       for (const NamedRun& run : runs) {
         std::printf("\n--- %s, round %zu ---\n", run.name.c_str(),
                     round_index);
         std::printf("%s", avoc::core::ExplainResult(
-                              run.batch.rounds[round_index], round,
+                              run.batch.MaterializeRound(round_index), round,
                               table.module_names())
                               .c_str());
       }
@@ -177,8 +177,9 @@ int main(int argc, char** argv) {
     for (size_t r = 0; r < print_rounds && r < table.round_count(); ++r) {
       std::printf("%zu", r);
       for (const NamedRun& run : runs) {
-        if (run.batch.outputs[r].has_value()) {
-          std::printf(", %.1f", *run.batch.outputs[r]);
+        const auto value = run.batch.output(r);
+        if (value.has_value()) {
+          std::printf(", %.1f", *value);
         } else {
           std::printf(", -");
         }

@@ -38,7 +38,7 @@ avoc::Result<std::vector<std::optional<double>>> Fused(
     const avoc::core::PresetParams& params) {
   AVOC_ASSIGN_OR_RETURN(const avoc::core::BatchResult batch,
                         avoc::core::RunAlgorithm(id, table, params));
-  return batch.outputs;
+  return batch.Outputs();
 }
 
 void PrintAmbiguity(const char* label,

@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <cmath>
 
-#include "cluster/grouping.h"
-
 namespace avoc::core {
 
 double EffectiveMargin(double a, double b, const AgreementParams& params) {
@@ -27,9 +25,17 @@ double AgreementScore(double a, double b, const AgreementParams& params) {
 
 std::vector<double> AgreementScores(std::span<const double> values,
                                     const AgreementParams& params) {
+  std::vector<double> scores;
+  AgreementScoresInto(values, params, scores);
+  return scores;
+}
+
+void AgreementScoresInto(std::span<const double> values,
+                         const AgreementParams& params,
+                         std::vector<double>& scores) {
   const size_t n = values.size();
-  std::vector<double> scores(n, 1.0);
-  if (n <= 1) return scores;
+  scores.assign(n, 1.0);
+  if (n <= 1) return;
   for (size_t i = 0; i < n; ++i) {
     double sum = 0.0;
     for (size_t j = 0; j < n; ++j) {
@@ -38,19 +44,36 @@ std::vector<double> AgreementScores(std::span<const double> values,
     }
     scores[i] = sum / static_cast<double>(n - 1);
   }
-  return scores;
 }
 
 size_t LargestAgreementGroup(std::span<const double> values,
                              const AgreementParams& params) {
+  std::vector<double> scratch;
+  return LargestAgreementGroup(values, params, scratch);
+}
+
+size_t LargestAgreementGroup(std::span<const double> values,
+                             const AgreementParams& params,
+                             std::vector<double>& scratch) {
   if (values.empty()) return 0;
-  cluster::GroupingOptions options;
-  options.threshold = params.error;
-  options.mode = params.scale == ThresholdScale::kRelative
-                     ? cluster::ThresholdMode::kRelative
-                     : cluster::ThresholdMode::kAbsolute;
-  options.relative_floor = params.relative_floor;
-  return cluster::GroupByThreshold(values, options).largest().size();
+  // 1-D threshold linkage over sorted values: a group is a maximal run
+  // whose consecutive gaps stay within the agreement margin — the same
+  // chaining cluster::GroupByThreshold builds, reduced to run lengths.
+  scratch.assign(values.begin(), values.end());
+  std::sort(scratch.begin(), scratch.end());
+  size_t largest = 1;
+  size_t run = 1;
+  for (size_t i = 1; i < scratch.size(); ++i) {
+    const double prev = scratch[i - 1];
+    const double next = scratch[i];
+    if (next - prev <= EffectiveMargin(prev, next, params)) {
+      ++run;
+    } else {
+      run = 1;
+    }
+    largest = std::max(largest, run);
+  }
+  return largest;
 }
 
 }  // namespace avoc::core

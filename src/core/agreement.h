@@ -53,10 +53,22 @@ double EffectiveMargin(double a, double b, const AgreementParams& params);
 std::vector<double> AgreementScores(std::span<const double> values,
                                     const AgreementParams& params);
 
+/// In-place form of AgreementScores: writes into `scores` (resized to
+/// `values.size()`), reusing its capacity — the per-round hot path.
+void AgreementScoresInto(std::span<const double> values,
+                         const AgreementParams& params,
+                         std::vector<double>& scores);
+
 /// Size of the largest mutually-chained agreement group among `values`
 /// (threshold-linkage by binary agreement, regardless of mode).  Used for
 /// the absolute-majority check of the conflicting-results fault scenario.
 size_t LargestAgreementGroup(std::span<const double> values,
                              const AgreementParams& params);
+
+/// Allocation-free form: sorts a copy of `values` in `scratch` (capacity
+/// reused across rounds) and scans threshold-linkage runs directly.
+size_t LargestAgreementGroup(std::span<const double> values,
+                             const AgreementParams& params,
+                             std::vector<double>& scratch);
 
 }  // namespace avoc::core

@@ -2,68 +2,49 @@
 
 namespace avoc::core {
 
-std::vector<double> BatchResult::ContinuousOutputs() const {
-  std::vector<double> out;
-  out.reserve(outputs.size());
-  // First engaged value seeds any leading gaps.
-  double current = 0.0;
-  bool seeded = false;
-  for (const auto& value : outputs) {
-    if (value.has_value()) {
-      current = *value;
-      seeded = true;
-      break;
-    }
-  }
-  // No round ever produced a value: there is nothing to continue, and a
-  // series of fabricated zeros would skew every downstream metric.
-  if (!seeded) return {};
-  for (const auto& value : outputs) {
-    if (value.has_value()) current = *value;
-    out.push_back(current);
-  }
-  return out;
-}
-
-size_t BatchResult::voted_rounds() const {
-  size_t count = 0;
-  for (const auto& r : rounds) {
-    if (r.outcome == RoundOutcome::kVoted) ++count;
-  }
-  return count;
-}
-
-size_t BatchResult::clustered_rounds() const {
-  size_t count = 0;
-  for (const auto& r : rounds) {
-    if (r.used_clustering) ++count;
-  }
-  return count;
-}
-
-Result<BatchResult> RunOverTable(VotingEngine& engine,
-                                 const data::RoundTable& table) {
+Status RunOverTable(VotingEngine& engine, const data::RoundTable& table,
+                    VoteSink& sink) {
   if (table.module_count() != engine.module_count()) {
     return InvalidArgumentError("table/engine module count mismatch");
   }
-  BatchResult batch;
+  for (size_t r = 0; r < table.round_count(); ++r) {
+    const data::RoundView view = table.View(r);
+    AVOC_RETURN_IF_ERROR(
+        engine.CastVote(RoundSpan{view.values, view.present}, sink));
+  }
+  return Status::Ok();
+}
+
+Result<BatchTrace> RunOverTable(VotingEngine& engine,
+                                const data::RoundTable& table) {
+  BatchTrace trace(engine.module_count());
+  trace.ReserveRounds(table.round_count());
+  AVOC_RETURN_IF_ERROR(RunOverTable(engine, table, trace));
+  return trace;
+}
+
+Result<BatchTrace> RunAlgorithm(AlgorithmId id, const data::RoundTable& table,
+                                const PresetParams& params) {
+  AVOC_ASSIGN_OR_RETURN(VotingEngine engine,
+                        MakeEngine(id, table.module_count(), params));
+  return RunOverTable(engine, table);
+}
+
+Result<LegacyBatchResult> RunOverTableLegacy(VotingEngine& engine,
+                                             const data::RoundTable& table) {
+  if (table.module_count() != engine.module_count()) {
+    return InvalidArgumentError("table/engine module count mismatch");
+  }
+  LegacyBatchResult batch;
   batch.rounds.reserve(table.round_count());
   batch.outputs.reserve(table.round_count());
   for (size_t r = 0; r < table.round_count(); ++r) {
-    const auto row = table.Round(r);
-    Round round(row.begin(), row.end());
+    const Round round = table.MaterializeRound(r);
     AVOC_ASSIGN_OR_RETURN(VoteResult result, engine.CastVote(round));
     batch.outputs.push_back(result.value);
     batch.rounds.push_back(std::move(result));
   }
   return batch;
-}
-
-Result<BatchResult> RunAlgorithm(AlgorithmId id, const data::RoundTable& table,
-                                 const PresetParams& params) {
-  AVOC_ASSIGN_OR_RETURN(VotingEngine engine,
-                        MakeEngine(id, table.module_count(), params));
-  return RunOverTable(engine, table);
 }
 
 }  // namespace avoc::core

@@ -3,6 +3,13 @@
 // This is how the paper evaluates ("the evaluation was done with
 // pre-recorded data for reproducibility purposes"): every algorithm sees
 // the identical table of raw readings and produces one output series.
+//
+// The result path is columnar: each round flows RoundTable::View →
+// CastVote(RoundSpan, VoteSink) → BatchTrace, so the hot loop performs no
+// per-round Round materialization and no VoteResult allocation.  The
+// legacy one-VoteResult-per-round path survives as RunOverTableLegacy —
+// the bit-parity baseline the golden tests and bench_multi_group's
+// "legacy" mode compare against.
 #pragma once
 
 #include <optional>
@@ -10,37 +17,39 @@
 
 #include "core/algorithms.h"
 #include "core/engine.h"
+#include "core/trace.h"
 #include "data/round_table.h"
 #include "util/status.h"
 
 namespace avoc::core {
 
-struct BatchResult {
-  /// Per-round full results.
-  std::vector<VoteResult> rounds;
+/// The batch result IS the columnar trace; the old name stays usable.
+using BatchResult = BatchTrace;
 
-  /// Per-round fused values; nullopt for suppressed/errored rounds.
-  std::vector<std::optional<double>> outputs;
+/// Runs `engine` over every round of `table`, appending into the
+/// caller-owned sink (reusable across batches).  The engine keeps its
+/// state, so a fresh engine gives the from-bootstrap behaviour of the
+/// figures.
+Status RunOverTable(VotingEngine& engine, const data::RoundTable& table,
+                    VoteSink& sink);
 
-  /// Outputs with gaps filled by the previous value (first gaps dropped
-  /// from the front are filled with the first real output).  Convenient
-  /// for plotting and series metrics.  Empty when no round produced a
-  /// value at all — a fully-suppressed series has nothing to continue.
-  std::vector<double> ContinuousOutputs() const;
-
-  /// Number of rounds whose outcome was kVoted.
-  size_t voted_rounds() const;
-  /// Rounds where the clustering step gated the vote.
-  size_t clustered_rounds() const;
-};
-
-/// Runs `engine` over every round of `table`.  The engine keeps its state,
-/// so a fresh engine gives the from-bootstrap behaviour of the figures.
-Result<BatchResult> RunOverTable(VotingEngine& engine,
-                                 const data::RoundTable& table);
+/// Convenience wrapper returning a freshly-built trace.
+Result<BatchTrace> RunOverTable(VotingEngine& engine,
+                                const data::RoundTable& table);
 
 /// Convenience: fresh preset engine over the table.
-Result<BatchResult> RunAlgorithm(AlgorithmId id, const data::RoundTable& table,
-                                 const PresetParams& params = {});
+Result<BatchTrace> RunAlgorithm(AlgorithmId id, const data::RoundTable& table,
+                                const PresetParams& params = {});
+
+/// Pre-refactor result shape: one heap-allocated VoteResult per round.
+struct LegacyBatchResult {
+  std::vector<VoteResult> rounds;
+  std::vector<std::optional<double>> outputs;
+};
+
+/// The pre-refactor per-round-allocation path, kept verbatim as the
+/// correctness and throughput baseline of the columnar trace.
+Result<LegacyBatchResult> RunOverTableLegacy(VotingEngine& engine,
+                                             const data::RoundTable& table);
 
 }  // namespace avoc::core

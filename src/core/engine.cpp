@@ -21,95 +21,125 @@ Result<VotingEngine> VotingEngine::Create(size_t module_count,
   return VotingEngine(module_count, config);
 }
 
-VoteResult VotingEngine::MakeFaultResult(RoundOutcome fallback_outcome,
-                                         Status status,
-                                         size_t present_count) const {
-  VoteResult result;
-  result.present_count = present_count;
-  result.weights.assign(module_count_, 0.0);
-  result.agreement.assign(module_count_, 0.0);
-  result.history.assign(ledger_.records().begin(), ledger_.records().end());
-  result.excluded.assign(module_count_, false);
-  result.eliminated.assign(module_count_, false);
-  switch (fallback_outcome) {
-    case RoundOutcome::kRevertedLast:
-      if (last_output_.has_value()) {
-        result.outcome = RoundOutcome::kRevertedLast;
-        result.value = last_output_;
-      } else {
-        // Nothing to revert to: degrade to no-output.
-        result.outcome = RoundOutcome::kNoOutput;
-      }
-      break;
-    case RoundOutcome::kError:
-      result.outcome = RoundOutcome::kError;
-      result.status = std::move(status);
-      break;
-    default:
-      result.outcome = RoundOutcome::kNoOutput;
-      break;
-  }
-  return result;
+namespace {
+
+Status ArityError(size_t readings, size_t modules) {
+  return InvalidArgumentError(
+      StrFormat("round has %zu readings, engine has %zu modules", readings,
+                modules));
 }
 
-VoteResult VotingEngine::AssembleVotedResult(
-    const VoteContext& context) const {
-  VoteResult result;
-  result.value = *context.output;
-  result.outcome = RoundOutcome::kVoted;
-  result.used_clustering = context.used_clustering;
-  result.present_count = context.present_count;
-  result.had_majority = context.had_majority;
-  result.weights.assign(module_count_, 0.0);
-  result.agreement.assign(module_count_, 0.0);
-  result.excluded.assign(module_count_, false);
-  result.eliminated.assign(module_count_, false);
-  for (size_t k = 0; k < context.present_count; ++k) {
-    result.excluded[context.present_index[k]] = context.excluded_present[k];
+}  // namespace
+
+RoundScalars VotingEngine::EmitColumns(VoteSink& sink, RoundColumns* columns) {
+  RoundColumns cols = sink.BeginRound(module_count_);
+  RoundScalars scalars;
+  scalars.present_count = static_cast<uint32_t>(scratch_.present_count);
+  std::fill(cols.weights.begin(), cols.weights.end(), 0.0);
+  std::fill(cols.agreement.begin(), cols.agreement.end(), 0.0);
+  std::fill(cols.excluded.begin(), cols.excluded.end(), 0);
+  std::fill(cols.eliminated.begin(), cols.eliminated.end(), 0);
+  const std::span<const double> records = ledger_.records();
+  std::copy(records.begin(), records.end(), cols.history.begin());
+
+  if (scratch_.faulted()) {
+    // Fault rounds keep the default used_clustering / had_majority fields,
+    // matching the historical VoteResult shape bit for bit.
+    switch (*scratch_.fault) {
+      case RoundOutcome::kRevertedLast:
+        if (last_output_.has_value()) {
+          scalars.outcome = RoundOutcome::kRevertedLast;
+          scalars.has_value = true;
+          scalars.value = *last_output_;
+        } else {
+          // Nothing to revert to: degrade to no-output.
+          scalars.outcome = RoundOutcome::kNoOutput;
+        }
+        break;
+      case RoundOutcome::kError:
+        scalars.outcome = RoundOutcome::kError;
+        scalars.status = &scratch_.fault_status;
+        break;
+      default:
+        scalars.outcome = RoundOutcome::kNoOutput;
+        break;
+    }
+  } else {
+    scalars.outcome = RoundOutcome::kVoted;
+    scalars.has_value = true;
+    scalars.value = *scratch_.output;
+    scalars.used_clustering = scratch_.used_clustering;
+    scalars.had_majority = scratch_.had_majority;
+    for (size_t k = 0; k < scratch_.present_count; ++k) {
+      cols.excluded[scratch_.present_index[k]] =
+          scratch_.excluded_present[k] ? 1 : 0;
+    }
+    for (size_t k = 0; k < scratch_.included_index.size(); ++k) {
+      cols.weights[scratch_.included_index[k]] = scratch_.weights[k];
+      cols.agreement[scratch_.included_index[k]] = scratch_.scores[k];
+      cols.eliminated[scratch_.included_index[k]] =
+          scratch_.eliminated_included[k] ? 1 : 0;
+    }
   }
-  for (size_t k = 0; k < context.included_index.size(); ++k) {
-    result.weights[context.included_index[k]] = context.weights[k];
-    result.agreement[context.included_index[k]] = context.scores[k];
-    result.eliminated[context.included_index[k]] =
-        context.eliminated_included[k];
-  }
-  result.history.assign(ledger_.records().begin(), ledger_.records().end());
-  return result;
+  sink.EndRound(scalars);
+  if (columns != nullptr) *columns = cols;
+  return scalars;
 }
 
-Result<VoteResult> VotingEngine::CastVote(std::span<const double> values) {
-  Round round;
-  round.reserve(values.size());
-  for (const double v : values) round.emplace_back(v);
-  return CastVote(round);
-}
-
-Result<VoteResult> VotingEngine::CastVote(const Round& round) {
-  if (round.size() != module_count_) {
-    return InvalidArgumentError(
-        StrFormat("round has %zu readings, engine has %zu modules",
-                  round.size(), module_count_));
-  }
+Status VotingEngine::FinishRound(VoteSink& sink) {
   ++round_index_;
-
-  scratch_.Begin(round, config_, ledger_, last_output_);
   if (observer_ != nullptr) observer_->OnRoundBegin(round_index_, scratch_);
   for (const auto& stage : pipeline_->stages()) {
     AVOC_RETURN_IF_ERROR(stage->Run(scratch_));
     if (observer_ != nullptr) observer_->OnStageDone(stage->name(), scratch_);
     if (scratch_.faulted()) break;
   }
-
-  VoteResult result;
-  if (scratch_.faulted()) {
-    result = MakeFaultResult(*scratch_.fault, std::move(scratch_.fault_status),
-                             scratch_.present_count);
-  } else {
-    result = AssembleVotedResult(scratch_);
-    last_output_ = *scratch_.output;
+  RoundColumns columns;
+  const RoundScalars scalars = EmitColumns(sink, &columns);
+  if (!scratch_.faulted()) last_output_ = *scratch_.output;
+  if (observer_ != nullptr) {
+    // Observers still speak VoteResult; materialize only for them.
+    observer_->OnRoundEnd(round_index_,
+                          MaterializeVoteResult(columns, scalars));
   }
-  if (observer_ != nullptr) observer_->OnRoundEnd(round_index_, result);
-  return result;
+  return Status::Ok();
+}
+
+Status VotingEngine::CastVote(RoundSpan round, VoteSink& sink) {
+  if (round.size() != module_count_ ||
+      round.present.size() != module_count_) {
+    return ArityError(round.size(), module_count_);
+  }
+  scratch_.Begin(round, config_, ledger_, last_output_);
+  return FinishRound(sink);
+}
+
+Status VotingEngine::CastVote(const Round& round, VoteSink& sink) {
+  if (round.size() != module_count_) {
+    return ArityError(round.size(), module_count_);
+  }
+  scratch_.Begin(round, config_, ledger_, last_output_);
+  return FinishRound(sink);
+}
+
+Status VotingEngine::CastVote(std::span<const double> values, VoteSink& sink) {
+  if (values.size() != module_count_) {
+    return ArityError(values.size(), module_count_);
+  }
+  scratch_.Begin(values, config_, ledger_, last_output_);
+  return FinishRound(sink);
+}
+
+Result<VoteResult> VotingEngine::CastVote(std::span<const double> values) {
+  VoteResultSink sink;
+  AVOC_RETURN_IF_ERROR(CastVote(values, sink));
+  return sink.TakeResult();
+}
+
+Result<VoteResult> VotingEngine::CastVote(const Round& round) {
+  VoteResultSink sink;
+  AVOC_RETURN_IF_ERROR(CastVote(round, sink));
+  return sink.TakeResult();
 }
 
 Status VotingEngine::RestoreHistory(std::span<const double> records,

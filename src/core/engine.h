@@ -24,6 +24,7 @@
 #include "core/history.h"
 #include "core/stages.h"
 #include "core/types.h"
+#include "core/vote_sink.h"
 #include "util/status.h"
 
 namespace avoc::core {
@@ -48,10 +49,31 @@ class VotingEngine {
 
   /// Consumes one round.  Always returns a VoteResult describing what
   /// happened; hard errors (arity mismatch) surface as a non-OK Result.
+  /// Allocates one VoteResult per call — batch hot loops should use the
+  /// VoteSink overloads below instead.
   Result<VoteResult> CastVote(const Round& round);
 
   /// Convenience overload for fully-populated rounds.
   Result<VoteResult> CastVote(std::span<const double> values);
+
+  // --- Columnar (zero-allocation) result path -------------------------------
+  //
+  // The engine writes the round's outputs straight into the caller-owned
+  // sink (flat columns, see core/vote_sink.h): no VoteResult, no per-round
+  // vectors.  Outcomes that the legacy overloads report as a VoteResult
+  // (kNoOutput, kRevertedLast, kError) are committed to the sink the same
+  // way; only hard errors (arity mismatch, stage failure) return non-OK —
+  // then nothing was written.
+
+  /// Zero-copy round: contiguous values + present-bitmask (a
+  /// data::RoundTable::View), written into `sink`.
+  Status CastVote(RoundSpan round, VoteSink& sink);
+
+  /// Legacy-shaped round, written into `sink`.
+  Status CastVote(const Round& round, VoteSink& sink);
+
+  /// Fully-populated round, written into `sink`.
+  Status CastVote(std::span<const double> values, VoteSink& sink);
 
   /// Last accepted output (from a kVoted round), if any.
   const std::optional<double>& last_output() const { return last_output_; }
@@ -70,9 +92,13 @@ class VotingEngine {
  private:
   VotingEngine(size_t module_count, const EngineConfig& config);
 
-  VoteResult MakeFaultResult(RoundOutcome fallback_outcome, Status status,
-                             size_t present_count) const;
-  VoteResult AssembleVotedResult(const VoteContext& context) const;
+  /// Runs the compiled stage chain over the Begin-initialized scratch and
+  /// commits the round into `sink`.  Shared tail of every CastVote.
+  Status FinishRound(VoteSink& sink);
+
+  /// Writes the scratch state into one sink round; returns the committed
+  /// scalars (for the observer hook).
+  RoundScalars EmitColumns(VoteSink& sink, RoundColumns* columns);
 
   size_t module_count_;
   EngineConfig config_;

@@ -10,17 +10,25 @@ namespace avoc::core {
 
 std::vector<bool> ComputeExclusions(std::span<const double> values,
                                     const ExclusionParams& params) {
-  std::vector<bool> excluded(values.size(), false);
+  std::vector<bool> excluded;
+  ComputeExclusionsInto(values, params, excluded);
+  return excluded;
+}
+
+void ComputeExclusionsInto(std::span<const double> values,
+                           const ExclusionParams& params,
+                           std::vector<bool>& excluded) {
+  excluded.assign(values.size(), false);
   if (params.mode == ExclusionMode::kNone || values.size() < 3 ||
       params.threshold <= 0.0) {
-    return excluded;
+    return;
   }
 
   double center = 0.0;
   double spread = 0.0;
   switch (params.mode) {
     case ExclusionMode::kNone:
-      return excluded;
+      return;
     case ExclusionMode::kStdDev: {
       stats::RunningStats rs;
       for (const double v : values) rs.Add(v);
@@ -31,13 +39,13 @@ std::vector<bool> ComputeExclusions(std::span<const double> values,
     case ExclusionMode::kMad: {
       auto median = stats::Median(values);
       auto mad = stats::MedianAbsoluteDeviation(values);
-      if (!median.ok() || !mad.ok()) return excluded;
+      if (!median.ok() || !mad.ok()) return;
       center = *median;
       spread = *mad;
       break;
     }
   }
-  if (spread <= 0.0) return excluded;
+  if (spread <= 0.0) return;
 
   size_t kept = 0;
   for (size_t i = 0; i < values.size(); ++i) {
@@ -47,7 +55,6 @@ std::vector<bool> ComputeExclusions(std::span<const double> values,
   if (kept == 0) {
     std::fill(excluded.begin(), excluded.end(), false);
   }
-  return excluded;
 }
 
 }  // namespace avoc::core

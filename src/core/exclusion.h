@@ -31,4 +31,10 @@ struct ExclusionParams {
 std::vector<bool> ComputeExclusions(std::span<const double> values,
                                     const ExclusionParams& params);
 
+/// In-place form: writes the mask into `excluded` (resized to
+/// `values.size()`), reusing its capacity — the per-round hot path.
+void ComputeExclusionsInto(std::span<const double> values,
+                           const ExclusionParams& params,
+                           std::vector<bool>& excluded);
+
 }  // namespace avoc::core

@@ -71,8 +71,8 @@ class ExclusionStage final : public VoteStage {
   std::string_view name() const override { return "exclusion"; }
 
   Status Run(VoteContext& context) const override {
-    context.excluded_present =
-        ComputeExclusions(context.present_values, params_);
+    ComputeExclusionsInto(context.present_values, params_,
+                          context.excluded_present);
     context.included_index.clear();
     context.included_values.clear();
     for (size_t k = 0; k < context.present_count; ++k) {
@@ -135,7 +135,7 @@ class AgreementStage final : public VoteStage {
   std::string_view name() const override { return "agreement"; }
 
   Status Run(VoteContext& context) const override {
-    context.scores = AgreementScores(context.included_values, params_);
+    AgreementScoresInto(context.included_values, params_, context.scores);
     return Status::Ok();
   }
 
@@ -265,8 +265,8 @@ class MajorityStage final : public VoteStage {
   std::string_view name() const override { return "majority"; }
 
   Status Run(VoteContext& context) const override {
-    const size_t largest_group =
-        LargestAgreementGroup(context.included_values, params_);
+    const size_t largest_group = LargestAgreementGroup(
+        context.included_values, params_, context.majority_scratch);
     context.had_majority =
         2 * largest_group > context.included_values.size();
     if (context.had_majority) return Status::Ok();
@@ -308,12 +308,12 @@ class HistoryUpdateStage final : public VoteStage {
     // Every *present* module is scored against the voted output, including
     // excluded and eliminated ones ("even if discarded in the voting
     // itself"), so discarded modules can rehabilitate.
-    std::vector<double> agreement_with_output(context.module_count, 0.0);
+    context.output_agreement.assign(context.module_count, 0.0);
     for (size_t k = 0; k < context.present_count; ++k) {
-      agreement_with_output[context.present_index[k]] =
+      context.output_agreement[context.present_index[k]] =
           AgreementScore(context.present_values[k], *context.output, params_);
     }
-    return context.ledger->Update(agreement_with_output, context.present);
+    return context.ledger->Update(context.output_agreement, context.present);
   }
 
  private:
@@ -325,14 +325,7 @@ class HistoryUpdateStage final : public VoteStage {
 void VoteContext::Begin(const Round& round, const EngineConfig& engine_config,
                         HistoryLedger& engine_ledger,
                         std::optional<double> previous) {
-  config = &engine_config;
-  ledger = &engine_ledger;
-  module_count = round.size();
-  previous_output = previous;
-
-  present_index.clear();
-  present_values.clear();
-  present.assign(module_count, false);
+  BeginCommon(round.size(), engine_config, engine_ledger, previous);
   for (size_t i = 0; i < module_count; ++i) {
     if (round[i].has_value()) {
       present[i] = true;
@@ -341,6 +334,48 @@ void VoteContext::Begin(const Round& round, const EngineConfig& engine_config,
     }
   }
   present_count = present_index.size();
+}
+
+void VoteContext::Begin(RoundSpan round, const EngineConfig& engine_config,
+                        HistoryLedger& engine_ledger,
+                        std::optional<double> previous) {
+  BeginCommon(round.size(), engine_config, engine_ledger, previous);
+  for (size_t i = 0; i < module_count; ++i) {
+    if (round.present[i] != 0) {
+      present[i] = true;
+      present_index.push_back(i);
+      present_values.push_back(round.values[i]);
+    }
+  }
+  present_count = present_index.size();
+}
+
+void VoteContext::Begin(std::span<const double> values,
+                        const EngineConfig& engine_config,
+                        HistoryLedger& engine_ledger,
+                        std::optional<double> previous) {
+  BeginCommon(values.size(), engine_config, engine_ledger, previous);
+  present.assign(module_count, true);
+  for (size_t i = 0; i < module_count; ++i) {
+    present_index.push_back(i);
+    present_values.push_back(values[i]);
+  }
+  present_count = module_count;
+}
+
+void VoteContext::BeginCommon(size_t modules,
+                              const EngineConfig& engine_config,
+                              HistoryLedger& engine_ledger,
+                              std::optional<double> previous) {
+  config = &engine_config;
+  ledger = &engine_ledger;
+  module_count = modules;
+  previous_output = previous;
+
+  present_index.clear();
+  present_values.clear();
+  present.assign(module_count, false);
+  present_count = 0;
 
   excluded_present.clear();
   included_index.clear();

@@ -70,6 +70,12 @@ struct VoteContext {
   std::optional<double> output;
   bool had_majority = true;
 
+  // --- reusable stage scratch ----------------------------------------------
+  /// Per-module agreement-with-output column of the history update.
+  std::vector<double> output_agreement;
+  /// Sort buffer of the majority check's largest-group scan.
+  std::vector<double> majority_scratch;
+
   // --- fault short-circuit -------------------------------------------------
   /// Engaged when a fault policy fired; the remaining stages are skipped
   /// and the engine emits a fault result with this outcome.
@@ -78,6 +84,15 @@ struct VoteContext {
 
   /// Resets the context for a new round and gathers the present candidates.
   void Begin(const Round& round, const EngineConfig& engine_config,
+             HistoryLedger& engine_ledger, std::optional<double> previous);
+
+  /// Zero-copy Begin: the round arrives as contiguous values plus a
+  /// present-bitmask (data::RoundTable::View), no Round vector involved.
+  void Begin(RoundSpan round, const EngineConfig& engine_config,
+             HistoryLedger& engine_ledger, std::optional<double> previous);
+
+  /// Fully-populated Begin: every module present.
+  void Begin(std::span<const double> values, const EngineConfig& engine_config,
              HistoryLedger& engine_ledger, std::optional<double> previous);
 
   bool faulted() const { return fault.has_value(); }
@@ -89,6 +104,12 @@ struct VoteContext {
   /// the winning group.  Shared by the clustering stage and the weighting
   /// stage's zero-weight fallback.
   Status ApplyClustering(const cluster::GroupingOptions& options);
+
+ private:
+  /// Shared reset of everything but the presence scan.
+  void BeginCommon(size_t modules, const EngineConfig& engine_config,
+                   HistoryLedger& engine_ledger,
+                   std::optional<double> previous);
 };
 
 /// One step of the voting round.  Stages are immutable after compilation

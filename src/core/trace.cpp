@@ -1,0 +1,187 @@
+#include "core/trace.h"
+
+#include <algorithm>
+
+namespace avoc::core {
+
+Status TraceView::status(size_t r) const {
+  const auto it = std::lower_bound(
+      c_.errors.begin(), c_.errors.end(), r,
+      [](const RoundError& e, size_t round) { return e.round < round; });
+  if (it != c_.errors.end() && it->round == r) return it->status;
+  return Status::Ok();
+}
+
+std::vector<std::optional<double>> TraceView::Outputs() const {
+  std::vector<std::optional<double>> out;
+  out.reserve(c_.rounds);
+  for (size_t r = 0; r < c_.rounds; ++r) out.push_back(output(r));
+  return out;
+}
+
+std::vector<double> TraceView::ContinuousOutputs() const {
+  std::vector<double> out;
+  out.reserve(c_.rounds);
+  // First engaged value seeds any leading gaps.
+  double current = 0.0;
+  bool seeded = false;
+  for (size_t r = 0; r < c_.rounds; ++r) {
+    if (c_.engaged[r] != 0) {
+      current = c_.values[r];
+      seeded = true;
+      break;
+    }
+  }
+  // No round ever produced a value: there is nothing to continue, and a
+  // series of fabricated zeros would skew every downstream metric.
+  if (!seeded) return out;
+  for (size_t r = 0; r < c_.rounds; ++r) {
+    if (c_.engaged[r] != 0) current = c_.values[r];
+    out.push_back(current);
+  }
+  return out;
+}
+
+size_t TraceView::voted_rounds() const {
+  size_t count = 0;
+  for (size_t r = 0; r < c_.rounds; ++r) {
+    if (c_.outcomes[r] == RoundOutcome::kVoted) ++count;
+  }
+  return count;
+}
+
+size_t TraceView::clustered_rounds() const {
+  size_t count = 0;
+  for (size_t r = 0; r < c_.rounds; ++r) {
+    if (c_.used_clustering[r] != 0) ++count;
+  }
+  return count;
+}
+
+VoteResult TraceView::MaterializeRound(size_t r) const {
+  VoteResult result;
+  if (c_.engaged[r] != 0) result.value = c_.values[r];
+  result.outcome = c_.outcomes[r];
+  result.status = status(r);
+  result.used_clustering = c_.used_clustering[r] != 0;
+  result.had_majority = c_.had_majority[r] != 0;
+  result.present_count = c_.present_counts[r];
+  const auto w = weights(r);
+  const auto a = agreement(r);
+  const auto h = history(r);
+  const auto ex = excluded(r);
+  const auto el = eliminated(r);
+  result.weights.assign(w.begin(), w.end());
+  result.agreement.assign(a.begin(), a.end());
+  result.history.assign(h.begin(), h.end());
+  result.excluded.assign(ex.begin(), ex.end());
+  result.eliminated.assign(el.begin(), el.end());
+  return result;
+}
+
+void BatchTrace::Reset(size_t modules) {
+  modules_ = modules;
+  rounds_ = 0;
+  open_round_ = false;
+  values_.clear();
+  engaged_.clear();
+  outcomes_.clear();
+  used_clustering_.clear();
+  had_majority_.clear();
+  present_counts_.clear();
+  weights_.clear();
+  agreement_.clear();
+  history_.clear();
+  excluded_.clear();
+  eliminated_.clear();
+  errors_.clear();
+}
+
+void BatchTrace::ReserveRounds(size_t rounds) {
+  values_.reserve(rounds);
+  engaged_.reserve(rounds);
+  outcomes_.reserve(rounds);
+  used_clustering_.reserve(rounds);
+  had_majority_.reserve(rounds);
+  present_counts_.reserve(rounds);
+  weights_.reserve(rounds * modules_);
+  agreement_.reserve(rounds * modules_);
+  history_.reserve(rounds * modules_);
+  excluded_.reserve(rounds * modules_);
+  eliminated_.reserve(rounds * modules_);
+}
+
+RoundColumns BatchTrace::BeginRound(size_t module_count) {
+  if (modules_ == 0) modules_ = module_count;
+  const size_t offset = rounds_ * modules_;
+  weights_.resize(offset + modules_);
+  agreement_.resize(offset + modules_);
+  history_.resize(offset + modules_);
+  excluded_.resize(offset + modules_);
+  eliminated_.resize(offset + modules_);
+  open_round_ = true;
+  return RoundColumns{
+      std::span<double>(weights_).subspan(offset, modules_),
+      std::span<double>(agreement_).subspan(offset, modules_),
+      std::span<double>(history_).subspan(offset, modules_),
+      std::span<uint8_t>(excluded_).subspan(offset, modules_),
+      std::span<uint8_t>(eliminated_).subspan(offset, modules_)};
+}
+
+void BatchTrace::EndRound(const RoundScalars& scalars) {
+  values_.push_back(scalars.has_value ? scalars.value : 0.0);
+  engaged_.push_back(scalars.has_value ? 1 : 0);
+  outcomes_.push_back(scalars.outcome);
+  used_clustering_.push_back(scalars.used_clustering ? 1 : 0);
+  had_majority_.push_back(scalars.had_majority ? 1 : 0);
+  present_counts_.push_back(scalars.present_count);
+  if (scalars.status != nullptr && !scalars.status->ok()) {
+    errors_.push_back(
+        RoundError{static_cast<uint32_t>(rounds_), *scalars.status});
+  }
+  ++rounds_;
+  open_round_ = false;
+}
+
+void BatchTrace::Append(const VoteResult& result) {
+  if (modules_ == 0) modules_ = result.weights.size();
+  RoundColumns columns = BeginRound(modules_);
+  const size_t n = std::min(modules_, result.weights.size());
+  std::copy_n(result.weights.begin(), n, columns.weights.begin());
+  std::copy_n(result.agreement.begin(), n, columns.agreement.begin());
+  std::copy_n(result.history.begin(), n, columns.history.begin());
+  for (size_t m = 0; m < n; ++m) {
+    columns.excluded[m] = result.excluded[m] ? 1 : 0;
+    columns.eliminated[m] = result.eliminated[m] ? 1 : 0;
+  }
+  RoundScalars scalars;
+  scalars.has_value = result.value.has_value();
+  scalars.value = result.value.value_or(0.0);
+  scalars.outcome = result.outcome;
+  scalars.used_clustering = result.used_clustering;
+  scalars.had_majority = result.had_majority;
+  scalars.present_count = static_cast<uint32_t>(result.present_count);
+  scalars.status = &result.status;
+  EndRound(scalars);
+}
+
+TraceView BatchTrace::view() const {
+  TraceColumns columns;
+  columns.rounds = rounds_;
+  columns.modules = modules_;
+  columns.values = values_;
+  columns.engaged = engaged_;
+  columns.outcomes = outcomes_;
+  columns.used_clustering = used_clustering_;
+  columns.had_majority = had_majority_;
+  columns.present_counts = present_counts_;
+  columns.weights = weights_;
+  columns.agreement = agreement_;
+  columns.history = history_;
+  columns.excluded = excluded_;
+  columns.eliminated = eliminated_;
+  columns.errors = errors_;
+  return TraceView(columns);
+}
+
+}  // namespace avoc::core

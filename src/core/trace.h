@@ -1,0 +1,204 @@
+// Columnar batch traces (structure-of-arrays result path).
+//
+// A batch run over R rounds x M modules used to produce R VoteResults —
+// R * 6 heap vectors.  BatchTrace stores the same information as eleven
+// flat columns: one rounds-long column per scalar field and one
+// (rounds x modules) row-major block per per-module field.  The layout is
+// the unit of every downstream consumer: span accessors for metrics and
+// benches, a VoteResult materializer for explain/tests, and a contiguous
+// block a future SIMD or persistence pass can work on directly.
+//
+// TraceView is the non-owning read surface over that layout; BatchTrace
+// owns the storage, implements VoteSink (core/vote_sink.h) so an engine
+// writes rounds straight into it, and is reusable: Reset keeps capacity,
+// so a warmed-up trace adds no allocations on subsequent batches.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/types.h"
+#include "core/vote_sink.h"
+#include "util/status.h"
+
+namespace avoc::core {
+
+/// Sparse error record: the Status of one kError round.
+struct RoundError {
+  uint32_t round = 0;
+  Status status;
+};
+
+/// The raw columns of a trace; all round-indexed spans have `rounds`
+/// entries, all block spans have `rounds * modules` entries (row-major:
+/// round r, module m at [r * modules + m]).  `errors` is sparse and
+/// ordered by round.
+struct TraceColumns {
+  size_t rounds = 0;
+  size_t modules = 0;
+  std::span<const double> values;          ///< fused value where engaged
+  std::span<const uint8_t> engaged;        ///< 1 = round produced a value
+  std::span<const RoundOutcome> outcomes;
+  std::span<const uint8_t> used_clustering;
+  std::span<const uint8_t> had_majority;
+  std::span<const uint32_t> present_counts;
+  std::span<const double> weights;    ///< block
+  std::span<const double> agreement;  ///< block
+  std::span<const double> history;    ///< block
+  std::span<const uint8_t> excluded;    ///< block
+  std::span<const uint8_t> eliminated;  ///< block
+  std::span<const RoundError> errors;
+};
+
+/// Non-owning read surface over one trace (or one group's slice of a
+/// multi-group block).  Copyable, cheap, and valid as long as the
+/// underlying storage is.
+class TraceView {
+ public:
+  TraceView() = default;
+  explicit TraceView(TraceColumns columns) : c_(columns) {}
+
+  size_t round_count() const { return c_.rounds; }
+  size_t module_count() const { return c_.modules; }
+  bool empty() const { return c_.rounds == 0; }
+
+  const TraceColumns& columns() const { return c_; }
+
+  // --- per-round scalars ----------------------------------------------------
+  std::optional<double> output(size_t r) const {
+    return c_.engaged[r] != 0 ? std::optional<double>(c_.values[r])
+                              : std::nullopt;
+  }
+  RoundOutcome outcome(size_t r) const { return c_.outcomes[r]; }
+  bool used_clustering(size_t r) const { return c_.used_clustering[r] != 0; }
+  bool had_majority(size_t r) const { return c_.had_majority[r] != 0; }
+  size_t present_count(size_t r) const { return c_.present_counts[r]; }
+  /// Status of round r; Ok unless the outcome was kError.
+  Status status(size_t r) const;
+
+  // --- per-round module columns ---------------------------------------------
+  std::span<const double> weights(size_t r) const { return Row(c_.weights, r); }
+  std::span<const double> agreement(size_t r) const {
+    return Row(c_.agreement, r);
+  }
+  std::span<const double> history(size_t r) const { return Row(c_.history, r); }
+  std::span<const uint8_t> excluded(size_t r) const {
+    return Row(c_.excluded, r);
+  }
+  std::span<const uint8_t> eliminated(size_t r) const {
+    return Row(c_.eliminated, r);
+  }
+
+  // --- derived series -------------------------------------------------------
+  /// Per-round fused values; nullopt for suppressed/errored rounds.
+  std::vector<std::optional<double>> Outputs() const;
+
+  /// Outputs with gaps filled by the previous value (leading gaps seeded
+  /// with the first real output).  Empty when no round produced a value.
+  std::vector<double> ContinuousOutputs() const;
+
+  /// Number of rounds whose outcome was kVoted.
+  size_t voted_rounds() const;
+  /// Rounds where the clustering step gated the vote.
+  size_t clustered_rounds() const;
+
+  /// Legacy materializer: round r as a full VoteResult (for explain,
+  /// goldens, and APIs that still speak per-round results).
+  VoteResult MaterializeRound(size_t r) const;
+
+ private:
+  template <typename T>
+  std::span<const T> Row(std::span<const T> block, size_t r) const {
+    return block.subspan(r * c_.modules, c_.modules);
+  }
+
+  TraceColumns c_;
+};
+
+/// Owning, growable SoA trace; the canonical VoteSink.  One BatchTrace is
+/// one engine's result series; reuse it across batches via Reset to keep
+/// the warmed-up capacity.
+class BatchTrace final : public VoteSink {
+ public:
+  BatchTrace() = default;
+  explicit BatchTrace(size_t modules) { Reset(modules); }
+
+  /// Drops all rounds and fixes the module arity; keeps capacity.
+  void Reset(size_t modules);
+
+  /// Pre-grows every column for `rounds` rounds.
+  void ReserveRounds(size_t rounds);
+
+  // --- VoteSink -------------------------------------------------------------
+  RoundColumns BeginRound(size_t module_count) override;
+  void EndRound(const RoundScalars& scalars) override;
+
+  /// Copies a legacy VoteResult in as one round (message-driven sinks).
+  /// Adopts the result's arity when the trace is still empty/unsized.
+  void Append(const VoteResult& result);
+
+  // --- read surface ---------------------------------------------------------
+  size_t round_count() const { return rounds_; }
+  size_t module_count() const { return modules_; }
+  bool empty() const { return rounds_ == 0; }
+
+  TraceView view() const;
+
+  std::optional<double> output(size_t r) const { return view().output(r); }
+  RoundOutcome outcome(size_t r) const { return outcomes_[r]; }
+  bool used_clustering(size_t r) const { return used_clustering_[r] != 0; }
+  bool had_majority(size_t r) const { return had_majority_[r] != 0; }
+  size_t present_count(size_t r) const { return present_counts_[r]; }
+  Status status(size_t r) const { return view().status(r); }
+
+  std::span<const double> weights(size_t r) const { return view().weights(r); }
+  std::span<const double> agreement(size_t r) const {
+    return view().agreement(r);
+  }
+  std::span<const double> history(size_t r) const { return view().history(r); }
+  std::span<const uint8_t> excluded(size_t r) const {
+    return view().excluded(r);
+  }
+  std::span<const uint8_t> eliminated(size_t r) const {
+    return view().eliminated(r);
+  }
+
+  /// Raw value/engaged columns — the inputs of the columnar convergence
+  /// overloads in stats/convergence.h.
+  std::span<const double> values() const { return values_; }
+  std::span<const uint8_t> engaged() const { return engaged_; }
+
+  std::vector<std::optional<double>> Outputs() const {
+    return view().Outputs();
+  }
+  std::vector<double> ContinuousOutputs() const {
+    return view().ContinuousOutputs();
+  }
+  size_t voted_rounds() const { return view().voted_rounds(); }
+  size_t clustered_rounds() const { return view().clustered_rounds(); }
+  VoteResult MaterializeRound(size_t r) const {
+    return view().MaterializeRound(r);
+  }
+
+ private:
+  size_t modules_ = 0;
+  size_t rounds_ = 0;       ///< committed rounds
+  bool open_round_ = false;  ///< BeginRound issued, EndRound pending
+
+  std::vector<double> values_;
+  std::vector<uint8_t> engaged_;
+  std::vector<RoundOutcome> outcomes_;
+  std::vector<uint8_t> used_clustering_;
+  std::vector<uint8_t> had_majority_;
+  std::vector<uint32_t> present_counts_;
+  std::vector<double> weights_;
+  std::vector<double> agreement_;
+  std::vector<double> history_;
+  std::vector<uint8_t> excluded_;
+  std::vector<uint8_t> eliminated_;
+  std::vector<RoundError> errors_;
+};
+
+}  // namespace avoc::core

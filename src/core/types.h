@@ -5,7 +5,9 @@
 // possibly missing); a *vote* reconciles a round into a single output.
 #pragma once
 
+#include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -21,8 +23,20 @@ using Reading = std::optional<double>;
 /// registration order.
 using Round = std::vector<Reading>;
 
-/// What the engine did with a round.
-enum class RoundOutcome {
+/// A borrowed columnar round: contiguous per-module candidate values plus
+/// a present-bitmask.  values[m] is meaningful only where present[m] != 0.
+/// This is the zero-copy shape data::RoundTable::View hands to batch runs,
+/// so the hot loop never materializes a Round of std::optional.
+struct RoundSpan {
+  std::span<const double> values;
+  std::span<const uint8_t> present;
+
+  size_t size() const { return values.size(); }
+};
+
+/// What the engine did with a round.  uint8_t-backed so result traces can
+/// store outcomes as a flat byte column.
+enum class RoundOutcome : uint8_t {
   kVoted,         ///< normal vote, `value` is the fused output
   kRevertedLast,  ///< fault policy returned the last accepted output
   kNoOutput,      ///< fault policy suppressed the output

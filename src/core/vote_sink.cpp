@@ -1,0 +1,45 @@
+#include "core/vote_sink.h"
+
+namespace avoc::core {
+
+VoteResult MaterializeVoteResult(const RoundColumns& columns,
+                                 const RoundScalars& scalars) {
+  VoteResult result;
+  if (scalars.has_value) result.value = scalars.value;
+  result.outcome = scalars.outcome;
+  if (scalars.status != nullptr) result.status = *scalars.status;
+  result.used_clustering = scalars.used_clustering;
+  result.had_majority = scalars.had_majority;
+  result.present_count = scalars.present_count;
+  result.weights.assign(columns.weights.begin(), columns.weights.end());
+  result.agreement.assign(columns.agreement.begin(), columns.agreement.end());
+  result.history.assign(columns.history.begin(), columns.history.end());
+  result.excluded.assign(columns.excluded.begin(), columns.excluded.end());
+  result.eliminated.assign(columns.eliminated.begin(),
+                           columns.eliminated.end());
+  return result;
+}
+
+RoundColumns VoteResultSink::BeginRound(size_t module_count) {
+  result_ = VoteResult{};
+  result_.weights.resize(module_count);
+  result_.agreement.resize(module_count);
+  result_.history.resize(module_count);
+  excluded_.assign(module_count, 0);
+  eliminated_.assign(module_count, 0);
+  return RoundColumns{result_.weights, result_.agreement, result_.history,
+                      excluded_, eliminated_};
+}
+
+void VoteResultSink::EndRound(const RoundScalars& scalars) {
+  if (scalars.has_value) result_.value = scalars.value;
+  result_.outcome = scalars.outcome;
+  if (scalars.status != nullptr) result_.status = *scalars.status;
+  result_.used_clustering = scalars.used_clustering;
+  result_.had_majority = scalars.had_majority;
+  result_.present_count = scalars.present_count;
+  result_.excluded.assign(excluded_.begin(), excluded_.end());
+  result_.eliminated.assign(eliminated_.begin(), eliminated_.end());
+}
+
+}  // namespace avoc::core

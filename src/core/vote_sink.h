@@ -1,0 +1,85 @@
+// VoteSink: the zero-allocation result seam of CastVote.
+//
+// The legacy CastVote materializes one VoteResult per round — six
+// heap-backed vectors every time, which makes large batch runs
+// allocator-bound rather than compute-bound.  VoteSink inverts the
+// ownership: the *caller* owns flat, reusable column storage and the
+// engine writes each round's outputs straight into it.  A round is two
+// virtual calls:
+//
+//   RoundColumns cols = sink.BeginRound(module_count);  // where to write
+//   ... engine fills the per-module columns in place ...
+//   sink.EndRound(scalars);                             // commit scalars
+//
+// BatchTrace (core/trace.h) is the canonical SoA sink; VoteResultSink
+// adapts the seam back to a single legacy VoteResult for the
+// compatibility overloads and for explain/tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/types.h"
+#include "util/status.h"
+
+namespace avoc::core {
+
+/// Writable per-module columns of one round.  Every span has exactly the
+/// module count handed to BeginRound and stays valid (and readable) until
+/// the next BeginRound on the same sink.
+struct RoundColumns {
+  std::span<double> weights;      ///< effective voting weight (0 when out)
+  std::span<double> agreement;    ///< pairwise agreement score in [0,1]
+  std::span<double> history;      ///< history record after the update
+  std::span<uint8_t> excluded;    ///< 1 = pruned by value exclusion
+  std::span<uint8_t> eliminated;  ///< 1 = eliminated by history (ME)
+};
+
+/// Scalar fields of one round, committed by EndRound.
+struct RoundScalars {
+  double value = 0.0;  ///< fused output; meaningful iff has_value
+  bool has_value = false;
+  RoundOutcome outcome = RoundOutcome::kVoted;
+  bool used_clustering = false;
+  bool had_majority = true;
+  uint32_t present_count = 0;
+  /// Non-null only when outcome == kError; borrowed for the call.
+  const Status* status = nullptr;
+};
+
+/// Caller-owned columnar receiver for CastVote outputs.
+class VoteSink {
+ public:
+  virtual ~VoteSink() = default;
+
+  /// Opens the next round and returns its writable columns.
+  virtual RoundColumns BeginRound(size_t module_count) = 0;
+
+  /// Commits the round after the columns were filled.
+  virtual void EndRound(const RoundScalars& scalars) = 0;
+};
+
+/// Builds a legacy VoteResult from a filled round (columns are read back,
+/// mask bytes become vector<bool>).  The substrate of every
+/// trace-to-VoteResult materializer.
+VoteResult MaterializeVoteResult(const RoundColumns& columns,
+                                 const RoundScalars& scalars);
+
+/// Adapter sink producing one legacy VoteResult per round — the
+/// compatibility bridge for the allocating CastVote overloads.
+class VoteResultSink final : public VoteSink {
+ public:
+  RoundColumns BeginRound(size_t module_count) override;
+  void EndRound(const RoundScalars& scalars) override;
+
+  const VoteResult& result() const { return result_; }
+  VoteResult TakeResult() { return std::move(result_); }
+
+ private:
+  VoteResult result_;
+  std::vector<uint8_t> excluded_;
+  std::vector<uint8_t> eliminated_;
+};
+
+}  // namespace avoc::core

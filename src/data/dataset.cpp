@@ -64,7 +64,9 @@ CsvTable RoundTableToCsv(const RoundTable& table) {
     std::vector<std::string> row;
     row.reserve(table.module_count() + 1);
     row.push_back(std::to_string(r));
-    for (const Reading& reading : table.Round(r)) {
+    const RoundView view = table.View(r);
+    for (size_t m = 0; m < view.module_count(); ++m) {
+      const Reading reading = view.at(m);
       row.push_back(reading.has_value() ? FormatReading(*reading) : "");
     }
     csv.rows.push_back(std::move(row));

@@ -1,5 +1,7 @@
 #include "data/round_table.h"
 
+#include <stdexcept>
+
 #include "util/strings.h"
 
 namespace avoc::data {
@@ -27,60 +29,102 @@ Status RoundTable::AppendRound(std::vector<Reading> readings) {
         StrFormat("round has %zu readings, table has %zu modules",
                   readings.size(), module_count()));
   }
-  rows_.push_back(std::move(readings));
+  for (const Reading& reading : readings) {
+    values_.push_back(reading.value_or(0.0));
+    presents_.push_back(reading.has_value() ? 1 : 0);
+  }
+  ++rounds_;
   return Status::Ok();
 }
 
 Status RoundTable::AppendRound(std::span<const double> readings) {
-  std::vector<Reading> row;
-  row.reserve(readings.size());
-  for (const double v : readings) row.emplace_back(v);
-  return AppendRound(std::move(row));
+  if (readings.size() != module_count()) {
+    return InvalidArgumentError(
+        StrFormat("round has %zu readings, table has %zu modules",
+                  readings.size(), module_count()));
+  }
+  values_.insert(values_.end(), readings.begin(), readings.end());
+  presents_.insert(presents_.end(), readings.size(), 1);
+  ++rounds_;
+  return Status::Ok();
 }
 
-Reading& RoundTable::At(size_t round, size_t module) {
-  return rows_.at(round).at(module);
+RoundView RoundTable::View(size_t r) const {
+  if (r >= rounds_) {
+    throw std::out_of_range(
+        StrFormat("round %zu of %zu", r, rounds_));
+  }
+  const size_t offset = r * module_count();
+  return RoundView{
+      std::span<const double>(values_).subspan(offset, module_count()),
+      std::span<const uint8_t>(presents_).subspan(offset, module_count())};
 }
 
-const Reading& RoundTable::At(size_t round, size_t module) const {
-  return rows_.at(round).at(module);
+std::vector<Reading> RoundTable::MaterializeRound(size_t r) const {
+  const RoundView view = View(r);
+  std::vector<Reading> out;
+  out.reserve(module_count());
+  for (size_t m = 0; m < module_count(); ++m) out.push_back(view.at(m));
+  return out;
+}
+
+void RoundTable::CheckCell(size_t round, size_t module) const {
+  if (round >= rounds_ || module >= module_count()) {
+    throw std::out_of_range(StrFormat("cell (%zu, %zu) of %zu x %zu", round,
+                                      module, rounds_, module_count()));
+  }
+}
+
+RoundTable::CellRef RoundTable::At(size_t round, size_t module) {
+  CheckCell(round, module);
+  const size_t i = round * module_count() + module;
+  return CellRef(&values_[i], &presents_[i]);
+}
+
+Reading RoundTable::At(size_t round, size_t module) const {
+  CheckCell(round, module);
+  const size_t i = round * module_count() + module;
+  return presents_[i] != 0 ? Reading(values_[i]) : std::nullopt;
 }
 
 std::vector<Reading> RoundTable::ModuleSeries(size_t module) const {
   std::vector<Reading> out;
-  out.reserve(rows_.size());
-  for (const auto& row : rows_) out.push_back(row.at(module));
+  out.reserve(rounds_);
+  for (size_t r = 0; r < rounds_; ++r) out.push_back(At(r, module));
   return out;
 }
 
 std::vector<double> RoundTable::ModuleValues(size_t module) const {
   std::vector<double> out;
-  out.reserve(rows_.size());
-  for (const auto& row : rows_) {
-    if (row.at(module).has_value()) out.push_back(*row.at(module));
+  out.reserve(rounds_);
+  for (size_t r = 0; r < rounds_; ++r) {
+    const size_t i = r * module_count() + module;
+    if (presents_.at(i) != 0) out.push_back(values_[i]);
   }
   return out;
 }
 
 size_t RoundTable::missing_count() const {
   size_t missing = 0;
-  for (const auto& row : rows_) {
-    for (const auto& reading : row) {
-      if (!reading.has_value()) ++missing;
-    }
+  for (const uint8_t present : presents_) {
+    if (present == 0) ++missing;
   }
   return missing;
 }
 
 Result<RoundTable> RoundTable::Slice(size_t begin, size_t end) const {
-  if (begin > end || end > rows_.size()) {
+  if (begin > end || end > rounds_) {
     return OutOfRangeError(StrFormat("slice [%zu, %zu) of %zu rounds", begin,
-                                     end, rows_.size()));
+                                     end, rounds_));
   }
   RoundTable out(module_names_);
-  for (size_t r = begin; r < end; ++r) {
-    AVOC_RETURN_IF_ERROR(out.AppendRound(rows_[r]));
-  }
+  const size_t modules = module_count();
+  out.values_.assign(values_.begin() + static_cast<ptrdiff_t>(begin * modules),
+                     values_.begin() + static_cast<ptrdiff_t>(end * modules));
+  out.presents_.assign(
+      presents_.begin() + static_cast<ptrdiff_t>(begin * modules),
+      presents_.begin() + static_cast<ptrdiff_t>(end * modules));
+  out.rounds_ = end - begin;
   return out;
 }
 
@@ -94,12 +138,16 @@ Result<RoundTable> RoundTable::SelectModules(
     names.push_back(module_names_[m]);
   }
   RoundTable out(std::move(names));
-  for (const auto& row : rows_) {
-    std::vector<Reading> selected;
-    selected.reserve(modules.size());
-    for (const size_t m : modules) selected.push_back(row[m]);
-    AVOC_RETURN_IF_ERROR(out.AppendRound(std::move(selected)));
+  out.values_.reserve(rounds_ * modules.size());
+  out.presents_.reserve(rounds_ * modules.size());
+  for (size_t r = 0; r < rounds_; ++r) {
+    const size_t offset = r * module_count();
+    for (const size_t m : modules) {
+      out.values_.push_back(values_[offset + m]);
+      out.presents_.push_back(presents_[offset + m]);
+    }
   }
+  out.rounds_ = rounds_;
   return out;
 }
 

@@ -5,8 +5,14 @@
 // rounds x 5 light sensors) and UC-2 (297 rounds x 9 beacons per stack).
 // `nullopt` encodes a missing value (unreachable BLE beacon), which is a
 // first-class fault scenario in §7.
+//
+// Storage is columnar-friendly structure-of-arrays: one flat row-major
+// value block plus a present-bitmask, so View(r) hands a batch run the
+// round as two contiguous spans (core::RoundSpan-shaped) with zero copies
+// and zero per-round materialization.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <string>
@@ -17,6 +23,19 @@
 namespace avoc::data {
 
 using Reading = std::optional<double>;
+
+/// Zero-copy view of one round: per-module contiguous values plus a
+/// present-bitmask.  values[m] is meaningful only where present[m] != 0.
+/// Valid until the table is modified.
+struct RoundView {
+  std::span<const double> values;
+  std::span<const uint8_t> present;
+
+  size_t module_count() const { return values.size(); }
+  Reading at(size_t m) const {
+    return present[m] != 0 ? Reading(values[m]) : std::nullopt;
+  }
+};
 
 class RoundTable {
  public:
@@ -29,8 +48,8 @@ class RoundTable {
   static RoundTable WithModuleCount(size_t modules);
 
   size_t module_count() const { return module_names_.size(); }
-  size_t round_count() const { return rows_.size(); }
-  bool empty() const { return rows_.empty(); }
+  size_t round_count() const { return rounds_; }
+  bool empty() const { return rounds_ == 0; }
 
   const std::vector<std::string>& module_names() const { return module_names_; }
 
@@ -43,12 +62,49 @@ class RoundTable {
   /// Appends a fully populated round.
   Status AppendRound(std::span<const double> readings);
 
-  /// Readings of round r (span valid until the table is modified).
-  std::span<const Reading> Round(size_t r) const { return rows_.at(r); }
+  /// Zero-copy view of round r (spans valid until the table is modified).
+  RoundView View(size_t r) const;
 
-  /// Mutable access for fault injection.
-  Reading& At(size_t round, size_t module);
-  const Reading& At(size_t round, size_t module) const;
+  /// Readings of round r, materialized (prefer View on hot paths).
+  std::vector<Reading> MaterializeRound(size_t r) const;
+
+  /// Mutable cell proxy for fault injection; mimics optional<double>.
+  class CellRef {
+   public:
+    bool has_value() const { return *present_ != 0; }
+    /// Value slot; meaningful (and assignable) only when present.
+    double& operator*() { return *value_; }
+    double operator*() const { return *value_; }
+    void reset() { *present_ = 0; }
+    CellRef& operator=(double v) {
+      *value_ = v;
+      *present_ = 1;
+      return *this;
+    }
+    CellRef& operator=(const Reading& reading) {
+      if (reading.has_value()) {
+        *this = *reading;
+      } else {
+        reset();
+      }
+      return *this;
+    }
+    operator Reading() const {
+      return has_value() ? Reading(*value_) : std::nullopt;
+    }
+
+   private:
+    friend class RoundTable;
+    CellRef(double* value, uint8_t* present)
+        : value_(value), present_(present) {}
+    double* value_;
+    uint8_t* present_;
+  };
+
+  /// Mutable access for fault injection; throws std::out_of_range on bad
+  /// indices (matching the historical .at semantics).
+  CellRef At(size_t round, size_t module);
+  Reading At(size_t round, size_t module) const;
 
   /// Column extraction: all rounds of one module.
   std::vector<Reading> ModuleSeries(size_t module) const;
@@ -66,8 +122,14 @@ class RoundTable {
   Result<RoundTable> SelectModules(std::span<const size_t> modules) const;
 
  private:
+  void CheckCell(size_t round, size_t module) const;
+
   std::vector<std::string> module_names_;
-  std::vector<std::vector<Reading>> rows_;
+  size_t rounds_ = 0;
+  /// Row-major value block (rounds x modules); slots of missing readings
+  /// hold 0 and are masked off by presents_.
+  std::vector<double> values_;
+  std::vector<uint8_t> presents_;
 };
 
 /// Categorical analogue: rounds of optional strings, for the VDX

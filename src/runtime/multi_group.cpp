@@ -8,6 +8,87 @@
 
 namespace avoc::runtime {
 
+void MultiGroupTrace::Resize(std::span<const data::RoundTable> tables,
+                             size_t modules) {
+  modules_ = modules;
+  offsets_.assign(1, 0);
+  offsets_.reserve(tables.size() + 1);
+  for (const data::RoundTable& table : tables) {
+    offsets_.push_back(offsets_.back() + table.round_count());
+  }
+  const size_t rounds = offsets_.back();
+  values_.resize(rounds);
+  engaged_.resize(rounds);
+  outcomes_.resize(rounds);
+  used_clustering_.resize(rounds);
+  had_majority_.resize(rounds);
+  present_counts_.resize(rounds);
+  weights_.resize(rounds * modules);
+  agreement_.resize(rounds * modules);
+  history_.resize(rounds * modules);
+  excluded_.resize(rounds * modules);
+  eliminated_.resize(rounds * modules);
+  errors_.resize(tables.size());
+  for (std::vector<core::RoundError>& errors : errors_) errors.clear();
+}
+
+core::RoundColumns MultiGroupTrace::GroupSink::BeginRound(size_t module_count) {
+  MultiGroupTrace& t = *trace_;
+  const size_t row = (base_ + cursor_) * t.modules_;
+  return core::RoundColumns{
+      std::span<double>(t.weights_).subspan(row, module_count),
+      std::span<double>(t.agreement_).subspan(row, module_count),
+      std::span<double>(t.history_).subspan(row, module_count),
+      std::span<uint8_t>(t.excluded_).subspan(row, module_count),
+      std::span<uint8_t>(t.eliminated_).subspan(row, module_count)};
+}
+
+void MultiGroupTrace::GroupSink::EndRound(const core::RoundScalars& scalars) {
+  MultiGroupTrace& t = *trace_;
+  const size_t r = base_ + cursor_;
+  t.values_[r] = scalars.value;
+  t.engaged_[r] = scalars.has_value ? 1 : 0;
+  t.outcomes_[r] = scalars.outcome;
+  t.used_clustering_[r] = scalars.used_clustering ? 1 : 0;
+  t.had_majority_[r] = scalars.had_majority ? 1 : 0;
+  t.present_counts_[r] = scalars.present_count;
+  if (scalars.status != nullptr) {
+    t.errors_[group_].push_back(
+        {static_cast<uint32_t>(cursor_), *scalars.status});
+  }
+  ++cursor_;
+}
+
+core::TraceView MultiGroupTrace::group(size_t g) const {
+  const size_t begin = offsets_[g];
+  const size_t rounds = offsets_[g + 1] - begin;
+  core::TraceColumns columns;
+  columns.rounds = rounds;
+  columns.modules = modules_;
+  columns.values = std::span<const double>(values_).subspan(begin, rounds);
+  columns.engaged = std::span<const uint8_t>(engaged_).subspan(begin, rounds);
+  columns.outcomes =
+      std::span<const core::RoundOutcome>(outcomes_).subspan(begin, rounds);
+  columns.used_clustering =
+      std::span<const uint8_t>(used_clustering_).subspan(begin, rounds);
+  columns.had_majority =
+      std::span<const uint8_t>(had_majority_).subspan(begin, rounds);
+  columns.present_counts =
+      std::span<const uint32_t>(present_counts_).subspan(begin, rounds);
+  const size_t block = begin * modules_;
+  const size_t block_len = rounds * modules_;
+  columns.weights = std::span<const double>(weights_).subspan(block, block_len);
+  columns.agreement =
+      std::span<const double>(agreement_).subspan(block, block_len);
+  columns.history = std::span<const double>(history_).subspan(block, block_len);
+  columns.excluded =
+      std::span<const uint8_t>(excluded_).subspan(block, block_len);
+  columns.eliminated =
+      std::span<const uint8_t>(eliminated_).subspan(block, block_len);
+  columns.errors = errors_[g];
+  return core::TraceView(columns);
+}
+
 MultiGroupEngine::MultiGroupEngine(std::vector<core::VotingEngine> engines,
                                    size_t module_count,
                                    MultiGroupOptions options)
@@ -60,44 +141,53 @@ Status MultiGroupEngine::ValidateTables(
   return Status::Ok();
 }
 
-Result<std::vector<core::BatchResult>> MultiGroupEngine::RunBatch(
-    std::span<const data::RoundTable> tables) {
+Status MultiGroupEngine::RunBatch(std::span<const data::RoundTable> tables,
+                                  MultiGroupTrace& trace) {
   AVOC_RETURN_IF_ERROR(ValidateTables(tables));
   if (pool_ == nullptr) {
     pool_ = std::make_unique<util::ThreadPool>(options_.threads);
   }
-  // Every worker writes only its own group's slots — no shared state.
-  std::vector<core::BatchResult> results(engines_.size());
+  trace.Resize(tables, module_count_);
+  // Every worker writes only its own group's disjoint slice of the block
+  // through its own sink — no shared mutable state.
   std::vector<Status> statuses(engines_.size());
-  pool_->ParallelFor(engines_.size(), [this, tables, &results,
-                                       &statuses](size_t g) {
-    Result<core::BatchResult> result = core::RunOverTable(engines_[g],
-                                                          tables[g]);
-    if (result.ok()) {
-      results[g] = std::move(result).value();
-    } else {
-      statuses[g] = result.status();
-    }
-  });
+  pool_->ParallelFor(engines_.size(),
+                     [this, tables, &trace, &statuses](size_t g) {
+                       MultiGroupTrace::GroupSink sink(&trace, g);
+                       statuses[g] =
+                           core::RunOverTable(engines_[g], tables[g], sink);
+                     });
   for (const Status& status : statuses) {
     AVOC_RETURN_IF_ERROR(status);
   }
   SyncHistory();
-  return results;
+  return Status::Ok();
 }
 
-Result<std::vector<core::BatchResult>> MultiGroupEngine::RunBatchSequential(
+Result<MultiGroupTrace> MultiGroupEngine::RunBatch(
     std::span<const data::RoundTable> tables) {
+  MultiGroupTrace trace;
+  AVOC_RETURN_IF_ERROR(RunBatch(tables, trace));
+  return trace;
+}
+
+Status MultiGroupEngine::RunBatchSequential(
+    std::span<const data::RoundTable> tables, MultiGroupTrace& trace) {
   AVOC_RETURN_IF_ERROR(ValidateTables(tables));
-  std::vector<core::BatchResult> results;
-  results.reserve(engines_.size());
+  trace.Resize(tables, module_count_);
   for (size_t g = 0; g < engines_.size(); ++g) {
-    AVOC_ASSIGN_OR_RETURN(core::BatchResult result,
-                          core::RunOverTable(engines_[g], tables[g]));
-    results.push_back(std::move(result));
+    MultiGroupTrace::GroupSink sink(&trace, g);
+    AVOC_RETURN_IF_ERROR(core::RunOverTable(engines_[g], tables[g], sink));
   }
   SyncHistory();
-  return results;
+  return Status::Ok();
+}
+
+Result<MultiGroupTrace> MultiGroupEngine::RunBatchSequential(
+    std::span<const data::RoundTable> tables) {
+  MultiGroupTrace trace;
+  AVOC_RETURN_IF_ERROR(RunBatchSequential(tables, trace));
+  return trace;
 }
 
 std::span<const double> MultiGroupEngine::GroupHistory(size_t g) const {

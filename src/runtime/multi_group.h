@@ -17,6 +17,7 @@
 
 #include "core/batch.h"
 #include "core/engine.h"
+#include "core/trace.h"
 #include "data/round_table.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -28,6 +29,74 @@ namespace avoc::runtime {
 struct MultiGroupOptions {
   /// Worker threads for RunBatch (0 = one per hardware thread).
   size_t threads = 0;
+};
+
+/// Results of one multi-group batch as a single group-major SoA block:
+/// group g's rounds occupy the contiguous row range
+/// [round_offset(g), round_offset(g + 1)) of every column, so the whole
+/// deployment's outputs live in one allocation and each worker writes a
+/// disjoint slice with no synchronisation.  Reusable: a second RunBatch
+/// into the same trace reuses the block when the shape still fits.
+class MultiGroupTrace {
+ public:
+  MultiGroupTrace() = default;
+
+  size_t group_count() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  size_t module_count() const { return modules_; }
+  /// Rounds across all groups (the row count of the block).
+  size_t total_rounds() const { return offsets_.empty() ? 0 : offsets_.back(); }
+
+  /// First block row of group g; offsets are prefix sums, so
+  /// round_offset(group_count()) == total_rounds().
+  size_t round_offset(size_t g) const { return offsets_[g]; }
+  size_t group_rounds(size_t g) const { return offsets_[g + 1] - offsets_[g]; }
+
+  /// Read surface of group g's slice: a plain TraceView, indexed by the
+  /// group-local round number.
+  core::TraceView group(size_t g) const;
+
+ private:
+  friend class MultiGroupEngine;
+
+  /// One group's writable slice of the block, handed to a worker.
+  class GroupSink final : public core::VoteSink {
+   public:
+    GroupSink() = default;
+    GroupSink(MultiGroupTrace* trace, size_t group)
+        : trace_(trace), base_(trace->offsets_[group]), group_(group) {}
+
+    core::RoundColumns BeginRound(size_t module_count) override;
+    void EndRound(const core::RoundScalars& scalars) override;
+
+   private:
+    MultiGroupTrace* trace_ = nullptr;
+    size_t base_ = 0;   ///< first block row of this group
+    size_t group_ = 0;
+    size_t cursor_ = 0; ///< group-local round index
+  };
+
+  /// Sizes the block for one round-range per group; keeps capacity.
+  void Resize(std::span<const data::RoundTable> tables, size_t modules);
+
+  size_t modules_ = 0;
+  /// group_count() + 1 prefix sums of per-group round counts.
+  std::vector<size_t> offsets_;
+  std::vector<double> values_;
+  std::vector<uint8_t> engaged_;
+  std::vector<core::RoundOutcome> outcomes_;
+  std::vector<uint8_t> used_clustering_;
+  std::vector<uint8_t> had_majority_;
+  std::vector<uint32_t> present_counts_;
+  std::vector<double> weights_;
+  std::vector<double> agreement_;
+  std::vector<double> history_;
+  std::vector<uint8_t> excluded_;
+  std::vector<uint8_t> eliminated_;
+  /// Sparse per-group error records (group-local round numbers); one
+  /// vector per group so workers never share a growing container.
+  std::vector<std::vector<core::RoundError>> errors_;
 };
 
 class MultiGroupEngine {
@@ -53,18 +122,26 @@ class MultiGroupEngine {
   core::VotingEngine& group(size_t g) { return engines_[g]; }
   const core::VotingEngine& group(size_t g) const { return engines_[g]; }
 
-  /// Runs one table per group across the worker pool and returns one
-  /// BatchResult per group (same order).  Requires tables.size() ==
-  /// group_count() and every table to have module_count() modules.
-  /// Groups are sharded across workers; the history block is synced
-  /// before returning.
-  Result<std::vector<core::BatchResult>> RunBatch(
-      std::span<const data::RoundTable> tables);
+  /// Runs one table per group across the worker pool, writing all groups
+  /// into `trace`'s group-major block (resized to fit, capacity kept
+  /// across calls).  Requires tables.size() == group_count() and every
+  /// table to have module_count() modules.  Groups are sharded across
+  /// workers, each writing its own disjoint slice; the history block is
+  /// synced before returning.
+  Status RunBatch(std::span<const data::RoundTable> tables,
+                  MultiGroupTrace& trace);
+
+  /// Convenience wrapper returning a fresh trace.
+  Result<MultiGroupTrace> RunBatch(std::span<const data::RoundTable> tables);
 
   /// Same contract as RunBatch on the calling thread only — the
   /// correctness baseline for the parallel path (bit-for-bit identical
   /// results) and its speedup reference.
-  Result<std::vector<core::BatchResult>> RunBatchSequential(
+  Status RunBatchSequential(std::span<const data::RoundTable> tables,
+                            MultiGroupTrace& trace);
+
+  /// Convenience wrapper returning a fresh trace.
+  Result<MultiGroupTrace> RunBatchSequential(
       std::span<const data::RoundTable> tables);
 
   // --- Contiguous history block --------------------------------------------

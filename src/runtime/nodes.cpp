@@ -143,23 +143,30 @@ SinkNode::~SinkNode() { channels_->outputs.Unsubscribe(subscription_); }
 
 void SinkNode::OnOutput(const OutputMessage& message) {
   std::lock_guard<std::mutex> lock(mutex_);
-  outputs_.push_back(message);
+  trace_.Append(message.result);
+  rounds_.push_back(message.round);
 }
 
 std::vector<OutputMessage> SinkNode::outputs() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return outputs_;
+  std::vector<OutputMessage> out;
+  out.reserve(rounds_.size());
+  for (size_t i = 0; i < rounds_.size(); ++i) {
+    out.push_back(OutputMessage{rounds_[i], trace_.MaterializeRound(i)});
+  }
+  return out;
 }
 
 size_t SinkNode::output_count() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return outputs_.size();
+  return rounds_.size();
 }
 
 std::optional<double> SinkNode::last_value() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  for (auto it = outputs_.rbegin(); it != outputs_.rend(); ++it) {
-    if (it->result.value.has_value()) return it->result.value;
+  for (size_t i = rounds_.size(); i-- > 0;) {
+    const auto value = trace_.output(i);
+    if (value.has_value()) return value;
   }
   return std::nullopt;
 }

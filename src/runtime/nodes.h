@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "core/trace.h"
 #include "runtime/bus.h"
 #include "runtime/datastore.h"
 #include "util/status.h"
@@ -140,6 +141,10 @@ class VoterNode {
 };
 
 /// Records outputs (the LCD display / downstream consumer stand-in).
+/// Storage is columnar: arriving results land in a BatchTrace (one flat
+/// column per field) plus a round-number column, so a long-running sink
+/// holds no per-round heap objects; outputs() materializes messages on
+/// demand for consumers that still speak VoteResult.
 class SinkNode {
  public:
   explicit SinkNode(GroupChannels& channels);
@@ -148,12 +153,22 @@ class SinkNode {
   SinkNode(const SinkNode&) = delete;
   SinkNode& operator=(const SinkNode&) = delete;
 
-  /// Outputs received so far, in arrival order.
+  /// Outputs received so far, in arrival order (materialized per call;
+  /// prefer trace() for bulk reads).
   std::vector<OutputMessage> outputs() const;
   size_t output_count() const;
 
   /// Most recent fused value, if any round voted successfully.
   std::optional<double> last_value() const;
+
+  /// Columnar read access under the sink lock: calls `fn(trace, rounds)`
+  /// where rounds[i] is the round number of trace row i.
+  template <typename Fn>
+  void WithTrace(Fn&& fn) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fn(static_cast<const core::BatchTrace&>(trace_),
+       static_cast<const std::vector<size_t>&>(rounds_));
+  }
 
  private:
   void OnOutput(const OutputMessage& message);
@@ -161,7 +176,8 @@ class SinkNode {
   GroupChannels* channels_;
   SubscriptionId subscription_;
   mutable std::mutex mutex_;
-  std::vector<OutputMessage> outputs_;
+  core::BatchTrace trace_;
+  std::vector<size_t> rounds_;  ///< round number of each trace row
 };
 
 }  // namespace avoc::runtime

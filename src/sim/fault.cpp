@@ -22,8 +22,8 @@ Status InjectBias(data::RoundTable& table, size_t module, double offset,
   AVOC_RETURN_IF_ERROR(CheckModule(table, module));
   const size_t end = std::min(to_round, table.round_count());
   for (size_t r = from_round; r < end; ++r) {
-    data::Reading& reading = table.At(r, module);
-    if (reading.has_value()) *reading += offset;
+    auto cell = table.At(r, module);
+    if (cell.has_value()) *cell += offset;
   }
   return Status::Ok();
 }
@@ -59,8 +59,8 @@ Status InjectSpike(data::RoundTable& table, size_t module, size_t round,
     return OutOfRangeError(StrFormat("round %zu of %zu", round,
                                      table.round_count()));
   }
-  data::Reading& reading = table.At(round, module);
-  if (reading.has_value()) *reading += magnitude;
+  auto cell = table.At(round, module);
+  if (cell.has_value()) *cell += magnitude;
   return Status::Ok();
 }
 

@@ -67,6 +67,31 @@ ConvergenceReport Measure(std::span<const double> series,
   return report;
 }
 
+// Continuation of a masked value column (TraceView::ContinuousOutputs
+// semantics): carry the last engaged value forward, seed leading gaps
+// with the first engaged value, empty when nothing ever engaged.
+std::vector<double> ContinueColumn(std::span<const double> values,
+                                   std::span<const uint8_t> engaged) {
+  const size_t n = std::min(values.size(), engaged.size());
+  std::vector<double> out;
+  double current = 0.0;
+  bool seeded = false;
+  for (size_t r = 0; r < n; ++r) {
+    if (engaged[r] != 0) {
+      current = values[r];
+      seeded = true;
+      break;
+    }
+  }
+  if (!seeded) return out;
+  out.reserve(n);
+  for (size_t r = 0; r < n; ++r) {
+    if (engaged[r] != 0) current = values[r];
+    out.push_back(current);
+  }
+  return out;
+}
+
 }  // namespace
 
 ConvergenceReport MeasureConvergence(std::span<const double> series,
@@ -81,6 +106,22 @@ ConvergenceReport MeasureConvergence(std::span<const double> series,
                                      const ConvergenceOptions& options) {
   return Measure(series, std::vector<double>(series.size(), reference),
                  options);
+}
+
+ConvergenceReport MeasureConvergence(std::span<const double> values,
+                                     std::span<const uint8_t> engaged,
+                                     std::span<const double> reference,
+                                     const ConvergenceOptions& options) {
+  return MeasureConvergence(ContinueColumn(values, engaged), reference,
+                            options);
+}
+
+ConvergenceReport MeasureConvergence(std::span<const double> values,
+                                     std::span<const uint8_t> engaged,
+                                     double reference,
+                                     const ConvergenceOptions& options) {
+  return MeasureConvergence(ContinueColumn(values, engaged), reference,
+                            options);
 }
 
 std::optional<double> ConvergenceBoost(const ConvergenceReport& fast,

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <span>
 
@@ -44,6 +45,24 @@ ConvergenceReport MeasureConvergence(std::span<const double> series,
 
 /// Compares `series` against one constant reference value.
 ConvergenceReport MeasureConvergence(std::span<const double> series,
+                                     double reference,
+                                     const ConvergenceOptions& options = {});
+
+// Columnar forms: `values` and `engaged` are a batch trace's raw output
+// columns (values[r] is meaningful where engaged[r] != 0).  Suppressed
+// rounds carry the previous value forward, with leading gaps seeded by
+// the first engaged value — the same continuation as the materialized
+// ContinuousOutputs series — so these measure identically to the
+// span-of-double forms without building that series at every call site.
+// An all-suppressed column never converges.
+
+ConvergenceReport MeasureConvergence(std::span<const double> values,
+                                     std::span<const uint8_t> engaged,
+                                     std::span<const double> reference,
+                                     const ConvergenceOptions& options = {});
+
+ConvergenceReport MeasureConvergence(std::span<const double> values,
+                                     std::span<const uint8_t> engaged,
                                      double reference,
                                      const ConvergenceOptions& options = {});
 

@@ -16,11 +16,11 @@ data::RoundTable SmallTable() {
 TEST(BatchTest, RunsEveryRound) {
   auto batch = RunAlgorithm(AlgorithmId::kAverage, SmallTable());
   ASSERT_TRUE(batch.ok());
-  EXPECT_EQ(batch->rounds.size(), 3u);
-  EXPECT_EQ(batch->outputs.size(), 3u);
+  EXPECT_EQ(batch->round_count(), 3u);
+  EXPECT_EQ(batch->Outputs().size(), 3u);
   EXPECT_EQ(batch->voted_rounds(), 3u);
-  EXPECT_NEAR(*batch->outputs[0], 10.0, 1e-9);
-  EXPECT_NEAR(*batch->outputs[2], 10.1, 1e-9);
+  EXPECT_NEAR(*batch->output(0), 10.0, 1e-9);
+  EXPECT_NEAR(*batch->output(2), 10.1, 1e-9);
 }
 
 TEST(BatchTest, ModuleCountMismatchRejected) {
@@ -42,15 +42,36 @@ TEST(BatchTest, EngineStatePersistsAcrossRounds) {
   auto batch = RunAlgorithm(AlgorithmId::kModuleElimination, table, params);
   ASSERT_TRUE(batch.ok());
   // The chronic outlier gets eliminated from round 2 on.
-  EXPECT_FALSE(batch->rounds[0].eliminated[2]);
+  EXPECT_FALSE(batch->eliminated(0)[2]);
   for (size_t r = 1; r < 5; ++r) {
-    EXPECT_TRUE(batch->rounds[r].eliminated[2]) << "round " << r;
+    EXPECT_TRUE(batch->eliminated(r)[2]) << "round " << r;
   }
 }
 
+// Builds a single-module trace whose per-round outputs match `outputs`
+// (nullopt rounds become suppressed kNoOutput rounds).
+BatchResult TraceOf(const std::vector<std::optional<double>>& outputs) {
+  BatchResult batch(1);
+  for (const auto& output : outputs) {
+    VoteResult result;
+    result.weights = {1.0};
+    result.agreement = {1.0};
+    result.history = {0.0};
+    result.excluded = {false};
+    result.eliminated = {false};
+    if (output.has_value()) {
+      result.value = *output;
+      result.outcome = RoundOutcome::kVoted;
+    } else {
+      result.outcome = RoundOutcome::kNoOutput;
+    }
+    batch.Append(result);
+  }
+  return batch;
+}
+
 TEST(BatchTest, ContinuousOutputsFillGaps) {
-  BatchResult batch;
-  batch.outputs = {std::nullopt, 5.0, std::nullopt, 7.0};
+  const BatchResult batch = TraceOf({std::nullopt, 5.0, std::nullopt, 7.0});
   const auto continuous = batch.ContinuousOutputs();
   EXPECT_EQ(continuous, (std::vector<double>{5.0, 5.0, 5.0, 7.0}));
 }
@@ -58,8 +79,7 @@ TEST(BatchTest, ContinuousOutputsFillGaps) {
 TEST(BatchTest, ContinuousOutputsAllMissing) {
   // An all-suppressed series yields an empty continuation, not fabricated
   // zeros (which would poison series metrics like MAE against a truth).
-  BatchResult batch;
-  batch.outputs = {std::nullopt, std::nullopt};
+  const BatchResult batch = TraceOf({std::nullopt, std::nullopt});
   EXPECT_TRUE(batch.ContinuousOutputs().empty());
 }
 
@@ -77,8 +97,8 @@ TEST(BatchTest, ContinuousOutputsAllMissingFromEngine) {
   auto batch = RunOverTable(*engine, table);
   ASSERT_TRUE(batch.ok());
   EXPECT_EQ(batch->voted_rounds(), 0u);
-  ASSERT_EQ(batch->outputs.size(), 2u);
-  EXPECT_FALSE(batch->outputs[0].has_value());
+  ASSERT_EQ(batch->round_count(), 2u);
+  EXPECT_FALSE(batch->output(0).has_value());
   EXPECT_TRUE(batch->ContinuousOutputs().empty());
 }
 
@@ -95,7 +115,7 @@ TEST(BatchTest, EmptyTableYieldsEmptyBatch) {
   data::RoundTable empty({"a", "b"});
   auto batch = RunAlgorithm(AlgorithmId::kAverage, empty);
   ASSERT_TRUE(batch.ok());
-  EXPECT_TRUE(batch->rounds.empty());
+  EXPECT_TRUE(batch->empty());
   EXPECT_TRUE(batch->ContinuousOutputs().empty());
 }
 
@@ -107,7 +127,7 @@ TEST(BatchTest, PresetParamsReachTheEngine) {
   params.scale = ThresholdScale::kAbsolute;
   auto batch = RunAlgorithm(AlgorithmId::kAverage, SmallTable(), params);
   ASSERT_TRUE(batch.ok());
-  EXPECT_FALSE(batch->rounds[0].had_majority);
+  EXPECT_FALSE(batch->had_majority(0));
 }
 
 }  // namespace

@@ -139,13 +139,13 @@ TEST(EngineEdgeTest, StuckAtSensorGetsEliminated) {
   auto batch = RunAlgorithm(AlgorithmId::kAvoc, table);
   ASSERT_TRUE(batch.ok());
   size_t eliminated_rounds = 0;
-  for (const VoteResult& result : batch->rounds) {
-    if (result.weights[1] == 0.0) ++eliminated_rounds;
+  for (size_t r = 0; r < batch->round_count(); ++r) {
+    if (batch->weights(r)[1] == 0.0) ++eliminated_rounds;
   }
   // The frozen sensor loses its vote for a substantial part of the
   // capture (the daylight peaks), and the fused output keeps tracking the
   // live sensors: its span covers most of the amplified swing.
-  EXPECT_GT(eliminated_rounds, batch->rounds.size() / 4);
+  EXPECT_GT(eliminated_rounds, batch->round_count() / 4);
   const auto outputs = batch->ContinuousOutputs();
   const auto [lo, hi] = std::minmax_element(outputs.begin(), outputs.end());
   EXPECT_GT(*hi - *lo, 4000.0);

@@ -46,18 +46,20 @@ TEST_P(AlgorithmPropertyTest, OutputStaysInsideCandidateHull) {
   auto batch = RunAlgorithm(GetParam(), table);
   ASSERT_TRUE(batch.ok());
   for (size_t r = 0; r < table.round_count(); ++r) {
-    if (!batch->outputs[r].has_value()) continue;
-    const auto round = table.Round(r);
+    const auto output = batch->output(r);
+    if (!output.has_value()) continue;
+    const auto round = table.View(r);
     double lo = 1e300;
     double hi = -1e300;
-    for (const auto& reading : round) {
+    for (size_t m = 0; m < round.module_count(); ++m) {
+      const auto reading = round.at(m);
       if (reading.has_value()) {
         lo = std::min(lo, *reading);
         hi = std::max(hi, *reading);
       }
     }
-    EXPECT_GE(*batch->outputs[r], lo - 1e-9) << "round " << r;
-    EXPECT_LE(*batch->outputs[r], hi + 1e-9) << "round " << r;
+    EXPECT_GE(*output, lo - 1e-9) << "round " << r;
+    EXPECT_LE(*output, hi + 1e-9) << "round " << r;
   }
 }
 
@@ -65,9 +67,9 @@ TEST_P(AlgorithmPropertyTest, WeightsNonNegativeAndHistoriesBounded) {
   const auto table = NoisyTable(13, 6, 150, 500.0, 15.0, 200.0);
   auto batch = RunAlgorithm(GetParam(), table);
   ASSERT_TRUE(batch.ok());
-  for (const VoteResult& result : batch->rounds) {
-    for (const double w : result.weights) EXPECT_GE(w, 0.0);
-    for (const double h : result.history) {
+  for (size_t r = 0; r < batch->round_count(); ++r) {
+    for (const double w : batch->weights(r)) EXPECT_GE(w, 0.0);
+    for (const double h : batch->history(r)) {
       EXPECT_GE(h, 0.0);
       EXPECT_LE(h, 1.0);
     }
@@ -85,17 +87,17 @@ TEST_P(AlgorithmPropertyTest, ModulePermutationPermutesResults) {
   ASSERT_TRUE(original.ok());
   ASSERT_TRUE(permuted.ok());
   for (size_t r = 0; r < table.round_count(); ++r) {
-    ASSERT_EQ(original->outputs[r].has_value(),
-              permuted->outputs[r].has_value());
-    if (original->outputs[r].has_value()) {
-      EXPECT_NEAR(*original->outputs[r], *permuted->outputs[r], 1e-9)
-          << "round " << r;
+    const auto original_output = original->output(r);
+    const auto permuted_output = permuted->output(r);
+    ASSERT_EQ(original_output.has_value(), permuted_output.has_value());
+    if (original_output.has_value()) {
+      EXPECT_NEAR(*original_output, *permuted_output, 1e-9) << "round " << r;
     }
     for (size_t m = 0; m < permutation.size(); ++m) {
-      EXPECT_NEAR(original->rounds[r].weights[permutation[m]],
-                  permuted->rounds[r].weights[m], 1e-9);
-      EXPECT_NEAR(original->rounds[r].history[permutation[m]],
-                  permuted->rounds[r].history[m], 1e-9);
+      EXPECT_NEAR(original->weights(r)[permutation[m]],
+                  permuted->weights(r)[m], 1e-9);
+      EXPECT_NEAR(original->history(r)[permutation[m]],
+                  permuted->history(r)[m], 1e-9);
     }
   }
 }
@@ -116,10 +118,12 @@ TEST_P(AlgorithmPropertyTest, RelativeThresholdIsScaleEquivariant) {
   ASSERT_TRUE(original.ok());
   ASSERT_TRUE(rescaled.ok());
   for (size_t r = 0; r < table.round_count(); ++r) {
-    if (!original->outputs[r].has_value()) continue;
-    ASSERT_TRUE(rescaled->outputs[r].has_value());
-    EXPECT_NEAR(*rescaled->outputs[r], *original->outputs[r] * factor,
-                std::abs(*original->outputs[r]) * factor * 1e-9)
+    const auto original_output = original->output(r);
+    if (!original_output.has_value()) continue;
+    const auto rescaled_output = rescaled->output(r);
+    ASSERT_TRUE(rescaled_output.has_value());
+    EXPECT_NEAR(*rescaled_output, *original_output * factor,
+                std::abs(*original_output) * factor * 1e-9)
         << "round " << r;
   }
 }
@@ -131,9 +135,11 @@ TEST_P(AlgorithmPropertyTest, DeterministicAcrossRuns) {
   ASSERT_TRUE(first.ok());
   ASSERT_TRUE(second.ok());
   for (size_t r = 0; r < table.round_count(); ++r) {
-    ASSERT_EQ(first->outputs[r].has_value(), second->outputs[r].has_value());
-    if (first->outputs[r].has_value()) {
-      EXPECT_DOUBLE_EQ(*first->outputs[r], *second->outputs[r]);
+    const auto first_output = first->output(r);
+    const auto second_output = second->output(r);
+    ASSERT_EQ(first_output.has_value(), second_output.has_value());
+    if (first_output.has_value()) {
+      EXPECT_DOUBLE_EQ(*first_output, *second_output);
     }
   }
 }
@@ -147,8 +153,9 @@ TEST_P(AlgorithmPropertyTest, UnanimousRoundsFuseToTheSharedValue) {
   auto batch = RunAlgorithm(GetParam(), table);
   ASSERT_TRUE(batch.ok());
   for (size_t r = 0; r < 10; ++r) {
-    ASSERT_TRUE(batch->outputs[r].has_value());
-    EXPECT_NEAR(*batch->outputs[r], 100.0 + static_cast<double>(r), 1e-9);
+    const auto output = batch->output(r);
+    ASSERT_TRUE(output.has_value());
+    EXPECT_NEAR(*output, 100.0 + static_cast<double>(r), 1e-9);
   }
 }
 
@@ -174,11 +181,12 @@ TEST_P(AlgorithmPropertyTest, SurvivesHeavyDropout) {
   ASSERT_TRUE(batch.ok());
   // Every round yields either a vote, a revert, or (early, with nothing to
   // revert to) no output — never a hard failure.
-  for (const VoteResult& result : batch->rounds) {
-    EXPECT_NE(result.outcome, RoundOutcome::kError);
+  for (size_t r = 0; r < batch->round_count(); ++r) {
+    EXPECT_NE(batch->outcome(r), RoundOutcome::kError);
   }
   // And voted outputs stay plausible.
-  for (const auto& value : batch->outputs) {
+  for (size_t r = 0; r < batch->round_count(); ++r) {
+    const auto value = batch->output(r);
     if (value.has_value()) {
       EXPECT_NEAR(*value, 50.0, 5.0);
     }
@@ -195,8 +203,9 @@ TEST_P(AlgorithmPropertyTest, SingleModuleGroupEchoesInput) {
   auto batch = RunAlgorithm(GetParam(), table, params);
   ASSERT_TRUE(batch.ok());
   for (size_t r = 0; r < 5; ++r) {
-    ASSERT_TRUE(batch->outputs[r].has_value());
-    EXPECT_DOUBLE_EQ(*batch->outputs[r], 3.5 + static_cast<double>(r));
+    const auto output = batch->output(r);
+    ASSERT_TRUE(output.has_value());
+    EXPECT_DOUBLE_EQ(*output, 3.5 + static_cast<double>(r));
   }
 }
 
@@ -218,17 +227,18 @@ TEST_P(SelectionCollationTest, OutputIsACandidateValue) {
   auto batch = RunAlgorithm(GetParam(), table);
   ASSERT_TRUE(batch.ok());
   for (size_t r = 0; r < table.round_count(); ++r) {
-    if (!batch->outputs[r].has_value()) continue;
-    const auto round = table.Round(r);
+    const auto output = batch->output(r);
+    if (!output.has_value()) continue;
+    const auto round = table.View(r);
     bool found = false;
-    for (const auto& reading : round) {
-      if (reading.has_value() &&
-          std::abs(*reading - *batch->outputs[r]) < 1e-9) {
+    for (size_t m = 0; m < round.module_count(); ++m) {
+      const auto reading = round.at(m);
+      if (reading.has_value() && std::abs(*reading - *output) < 1e-9) {
         found = true;
         break;
       }
     }
-    EXPECT_TRUE(found) << "round " << r << " output " << *batch->outputs[r];
+    EXPECT_TRUE(found) << "round " << r << " output " << *output;
   }
 }
 

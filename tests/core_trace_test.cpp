@@ -1,0 +1,225 @@
+// Units for the SoA result path: BatchTrace as a VoteSink, the TraceView
+// read surface, sparse error storage, and the legacy materializers.
+#include "core/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/types.h"
+#include "core/vote_sink.h"
+
+namespace avoc::core {
+namespace {
+
+// Writes one round through the sink seam the way the engine does.
+void PushRound(VoteSink& sink, size_t modules, double base,
+               const RoundScalars& scalars) {
+  RoundColumns cols = sink.BeginRound(modules);
+  ASSERT_EQ(cols.weights.size(), modules);
+  ASSERT_EQ(cols.agreement.size(), modules);
+  ASSERT_EQ(cols.history.size(), modules);
+  ASSERT_EQ(cols.excluded.size(), modules);
+  ASSERT_EQ(cols.eliminated.size(), modules);
+  for (size_t m = 0; m < modules; ++m) {
+    cols.weights[m] = base + static_cast<double>(m);
+    cols.agreement[m] = base * 0.1 + static_cast<double>(m);
+    cols.history[m] = base * 0.01 + static_cast<double>(m);
+    cols.excluded[m] = m % 2;
+    cols.eliminated[m] = m == modules - 1 ? 1 : 0;
+  }
+  sink.EndRound(scalars);
+}
+
+RoundScalars VotedScalars(double value, uint32_t present) {
+  RoundScalars scalars;
+  scalars.value = value;
+  scalars.has_value = true;
+  scalars.outcome = RoundOutcome::kVoted;
+  scalars.used_clustering = false;
+  scalars.had_majority = true;
+  scalars.present_count = present;
+  return scalars;
+}
+
+TEST(BatchTraceTest, SinkRoundsLandInColumns) {
+  BatchTrace trace(3);
+  PushRound(trace, 3, 10.0, VotedScalars(42.5, 3));
+  RoundScalars suppressed;
+  suppressed.has_value = false;
+  suppressed.outcome = RoundOutcome::kNoOutput;
+  suppressed.present_count = 1;
+  PushRound(trace, 3, 20.0, suppressed);
+
+  ASSERT_EQ(trace.round_count(), 2u);
+  EXPECT_EQ(trace.module_count(), 3u);
+  ASSERT_TRUE(trace.output(0).has_value());
+  EXPECT_DOUBLE_EQ(*trace.output(0), 42.5);
+  EXPECT_FALSE(trace.output(1).has_value());
+  EXPECT_EQ(trace.outcome(0), RoundOutcome::kVoted);
+  EXPECT_EQ(trace.outcome(1), RoundOutcome::kNoOutput);
+  EXPECT_EQ(trace.present_count(0), 3u);
+  EXPECT_EQ(trace.present_count(1), 1u);
+  EXPECT_EQ(trace.voted_rounds(), 1u);
+
+  // Per-module rows are the disjoint subspans of the block columns.
+  EXPECT_DOUBLE_EQ(trace.weights(0)[2], 12.0);
+  EXPECT_DOUBLE_EQ(trace.weights(1)[0], 20.0);
+  EXPECT_DOUBLE_EQ(trace.agreement(1)[1], 3.0);
+  EXPECT_DOUBLE_EQ(trace.history(0)[0], 0.1);
+  EXPECT_EQ(trace.excluded(0)[1], 1);
+  EXPECT_EQ(trace.excluded(0)[0], 0);
+  EXPECT_EQ(trace.eliminated(1)[2], 1);
+}
+
+TEST(BatchTraceTest, SparseStatusLookup) {
+  BatchTrace trace(2);
+  PushRound(trace, 2, 1.0, VotedScalars(5.0, 2));
+  const Status no_quorum(ErrorCode::kNoQuorum, "starved");
+  RoundScalars errored;
+  errored.has_value = false;
+  errored.outcome = RoundOutcome::kError;
+  errored.status = &no_quorum;
+  PushRound(trace, 2, 2.0, errored);
+  PushRound(trace, 2, 3.0, VotedScalars(6.0, 2));
+  const Status no_majority(ErrorCode::kNoMajority, "split");
+  errored.status = &no_majority;
+  PushRound(trace, 2, 4.0, errored);
+
+  EXPECT_TRUE(trace.status(0).ok());
+  EXPECT_EQ(trace.status(1).code(), ErrorCode::kNoQuorum);
+  EXPECT_TRUE(trace.status(2).ok());
+  EXPECT_EQ(trace.status(3).code(), ErrorCode::kNoMajority);
+  // The borrowed Status was copied, not kept by pointer.
+  EXPECT_EQ(trace.status(1).message(), "starved");
+}
+
+TEST(BatchTraceTest, ResetKeepsArityDropsRounds) {
+  BatchTrace trace(4);
+  PushRound(trace, 4, 1.0, VotedScalars(1.0, 4));
+  PushRound(trace, 4, 2.0, VotedScalars(2.0, 4));
+  trace.Reset(4);
+  EXPECT_EQ(trace.round_count(), 0u);
+  EXPECT_EQ(trace.module_count(), 4u);
+  EXPECT_TRUE(trace.empty());
+  // Reusable after Reset; the new round is round 0.
+  PushRound(trace, 4, 9.0, VotedScalars(9.0, 4));
+  ASSERT_EQ(trace.round_count(), 1u);
+  EXPECT_DOUBLE_EQ(*trace.output(0), 9.0);
+  EXPECT_DOUBLE_EQ(trace.weights(0)[0], 9.0);
+}
+
+TEST(BatchTraceTest, AppendAdoptsArityWhenEmpty) {
+  VoteResult result;
+  result.value = 7.0;
+  result.outcome = RoundOutcome::kVoted;
+  result.weights = {1.0, 0.0, 1.0};
+  result.agreement = {0.9, 0.1, 0.8};
+  result.history = {1.0, 0.2, 1.0};
+  result.excluded = {false, true, false};
+  result.eliminated = {false, false, false};
+  result.present_count = 3;
+
+  BatchTrace trace;  // unsized
+  trace.Append(result);
+  EXPECT_EQ(trace.module_count(), 3u);
+  ASSERT_EQ(trace.round_count(), 1u);
+  EXPECT_DOUBLE_EQ(trace.weights(0)[0], 1.0);
+  EXPECT_EQ(trace.excluded(0)[1], 1);
+}
+
+TEST(BatchTraceTest, MaterializeRoundTripsAppend) {
+  VoteResult result;
+  result.value = std::nullopt;
+  result.outcome = RoundOutcome::kError;
+  result.status = Status(ErrorCode::kNoQuorum, "too few");
+  result.used_clustering = true;
+  result.had_majority = false;
+  result.present_count = 1;
+  result.weights = {0.0, 0.5};
+  result.agreement = {0.0, 1.0};
+  result.history = {0.3, 0.6};
+  result.excluded = {true, false};
+  result.eliminated = {false, true};
+
+  BatchTrace trace(2);
+  trace.Append(result);
+  const VoteResult back = trace.MaterializeRound(0);
+  EXPECT_EQ(back.value, result.value);
+  EXPECT_EQ(back.outcome, result.outcome);
+  EXPECT_EQ(back.status.code(), result.status.code());
+  EXPECT_EQ(back.used_clustering, result.used_clustering);
+  EXPECT_EQ(back.had_majority, result.had_majority);
+  EXPECT_EQ(back.present_count, result.present_count);
+  EXPECT_EQ(back.weights, result.weights);
+  EXPECT_EQ(back.agreement, result.agreement);
+  EXPECT_EQ(back.history, result.history);
+  EXPECT_EQ(back.excluded, result.excluded);
+  EXPECT_EQ(back.eliminated, result.eliminated);
+}
+
+TEST(BatchTraceTest, OutputsAndContinuousOutputs) {
+  BatchTrace trace(1);
+  RoundScalars gap;
+  gap.has_value = false;
+  gap.outcome = RoundOutcome::kNoOutput;
+  PushRound(trace, 1, 0.0, gap);                    // leading gap
+  PushRound(trace, 1, 0.0, VotedScalars(3.0, 1));
+  PushRound(trace, 1, 0.0, gap);                    // carried forward
+  PushRound(trace, 1, 0.0, VotedScalars(4.0, 1));
+
+  const auto outputs = trace.Outputs();
+  ASSERT_EQ(outputs.size(), 4u);
+  EXPECT_FALSE(outputs[0].has_value());
+  EXPECT_EQ(outputs[1], std::optional<double>(3.0));
+  EXPECT_FALSE(outputs[2].has_value());
+  EXPECT_EQ(outputs[3], std::optional<double>(4.0));
+
+  const auto continuous = trace.ContinuousOutputs();
+  const std::vector<double> expected = {3.0, 3.0, 3.0, 4.0};
+  EXPECT_EQ(continuous, expected);
+}
+
+TEST(TraceViewTest, ViewIsNonOwningWindowOverTrace) {
+  BatchTrace trace(2);
+  RoundScalars clustered = VotedScalars(8.0, 2);
+  clustered.used_clustering = true;
+  PushRound(trace, 2, 5.0, clustered);
+  const TraceView view = trace.view();
+  EXPECT_EQ(view.round_count(), 1u);
+  EXPECT_EQ(view.module_count(), 2u);
+  EXPECT_EQ(view.clustered_rounds(), 1u);
+  EXPECT_TRUE(view.used_clustering(0));
+  EXPECT_DOUBLE_EQ(view.weights(0)[1], 6.0);
+  // columns() exposes the raw block layout: round r module m at
+  // [r * modules + m].
+  EXPECT_DOUBLE_EQ(view.columns().weights[1], 6.0);
+  EXPECT_EQ(view.columns().engaged[0], 1);
+}
+
+TEST(VoteResultSinkTest, AdaptsSeamToLegacyResult) {
+  VoteResultSink sink;
+  RoundScalars scalars = VotedScalars(11.0, 3);
+  scalars.used_clustering = true;
+  RoundColumns cols = sink.BeginRound(3);
+  for (size_t m = 0; m < 3; ++m) {
+    cols.weights[m] = static_cast<double>(m);
+    cols.agreement[m] = 0.5;
+    cols.history[m] = 1.0;
+    cols.excluded[m] = 0;
+    cols.eliminated[m] = 0;
+  }
+  cols.excluded[2] = 1;
+  sink.EndRound(scalars);
+
+  const VoteResult result = sink.TakeResult();
+  ASSERT_TRUE(result.value.has_value());
+  EXPECT_DOUBLE_EQ(*result.value, 11.0);
+  EXPECT_TRUE(result.used_clustering);
+  EXPECT_EQ(result.present_count, 3u);
+  EXPECT_EQ(result.weights, (std::vector<double>{0.0, 1.0, 2.0}));
+  EXPECT_EQ(result.excluded, (std::vector<bool>{false, false, true}));
+}
+
+}  // namespace
+}  // namespace avoc::core

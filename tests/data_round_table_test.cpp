@@ -42,10 +42,21 @@ TEST(RoundTableTest, AppendRejectsWrongArity) {
 
 TEST(RoundTableTest, RoundAccess) {
   const RoundTable table = SmallTable();
-  const auto round = table.Round(1);
+  const auto round = table.MaterializeRound(1);
   ASSERT_EQ(round.size(), 3u);
   EXPECT_DOUBLE_EQ(*round[0], 4.0);
   EXPECT_FALSE(round[1].has_value());
+}
+
+TEST(RoundTableTest, ViewExposesValuesAndPresence) {
+  const RoundTable table = SmallTable();
+  const RoundView view = table.View(1);
+  ASSERT_EQ(view.module_count(), 3u);
+  EXPECT_DOUBLE_EQ(view.values[0], 4.0);
+  EXPECT_EQ(view.present[0], 1);
+  EXPECT_EQ(view.present[1], 0);
+  EXPECT_FALSE(view.at(1).has_value());
+  EXPECT_THROW((void)table.View(99), std::out_of_range);
 }
 
 TEST(RoundTableTest, AtMutatesCells) {

@@ -56,13 +56,14 @@ TEST(GoldenTest, AvocOutputsOnFaultyDatasetArePinned) {
   ASSERT_TRUE(batch.ok());
   // AVOC's fused outputs never leave the healthy band even though E4
   // reads ~24.9 klx; exact values recorded on first calibration.
-  for (const auto& value : batch->outputs) {
+  for (size_t r = 0; r < batch->round_count(); ++r) {
+    const auto value = batch->output(r);
     ASSERT_TRUE(value.has_value());
     EXPECT_GT(*value, 17500.0);
     EXPECT_LT(*value, 19500.0);
   }
-  EXPECT_TRUE(batch->rounds[0].used_clustering);
-  EXPECT_DOUBLE_EQ(batch->rounds[0].weights[3], 0.0);
+  EXPECT_TRUE(batch->used_clustering(0));
+  EXPECT_DOUBLE_EQ(batch->weights(0)[3], 0.0);
 }
 
 TEST(GoldenTest, BleDatasetShapeIsPinned) {
@@ -82,10 +83,11 @@ TEST(GoldenTest, EngineOutputsIdenticalAcrossIdenticalRuns) {
     ASSERT_TRUE(first.ok());
     ASSERT_TRUE(second.ok());
     for (size_t r = 0; r < 100; ++r) {
-      ASSERT_EQ(first->outputs[r].has_value(),
-                second->outputs[r].has_value());
-      if (first->outputs[r].has_value()) {
-        EXPECT_DOUBLE_EQ(*first->outputs[r], *second->outputs[r]);
+      const auto first_output = first->output(r);
+      const auto second_output = second->output(r);
+      ASSERT_EQ(first_output.has_value(), second_output.has_value());
+      if (first_output.has_value()) {
+        EXPECT_DOUBLE_EQ(*first_output, *second_output);
       }
     }
   }

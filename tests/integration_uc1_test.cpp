@@ -46,7 +46,9 @@ class Uc1Test : public ::testing::Test {
     stats::ConvergenceOptions options;
     options.tolerance = 100.0;  // 0.1 klx on an ~18.5 klx signal
     options.window = 5;
-    return stats::MeasureConvergence(faulty_run.ContinuousOutputs(),
+    // Columnar form: the faulty trace's raw value/engaged columns feed the
+    // measurement directly, no materialized series.
+    return stats::MeasureConvergence(faulty_run.values(), faulty_run.engaged(),
                                      clean_run.ContinuousOutputs(), options);
   }
 
@@ -124,9 +126,9 @@ TEST_F(Uc1Test, Fig6e_StandardSkewNotEliminatedCompletely) {
 TEST_F(Uc1Test, Fig6e_MeEliminatesQuickly) {
   // "the faulty sensor is quickly eliminated in round 2".
   const auto faulty_run = Run(AlgorithmId::kModuleElimination, *faulty_);
-  size_t first_eliminated = faulty_run.rounds.size();
-  for (size_t r = 0; r < faulty_run.rounds.size(); ++r) {
-    if (faulty_run.rounds[r].eliminated[3]) {
+  size_t first_eliminated = faulty_run.round_count();
+  for (size_t r = 0; r < faulty_run.round_count(); ++r) {
+    if (faulty_run.eliminated(r)[3]) {
       first_eliminated = r;
       break;
     }
@@ -165,7 +167,7 @@ TEST_F(Uc1Test, Fig6f_AvocClustersExactlyOnce) {
   // "despite the clustering is only used once".
   const auto faulty_run = Run(AlgorithmId::kAvoc, *faulty_);
   EXPECT_EQ(faulty_run.clustered_rounds(), 1u);
-  EXPECT_TRUE(faulty_run.rounds[0].used_clustering);
+  EXPECT_TRUE(faulty_run.used_clustering(0));
 }
 
 TEST_F(Uc1Test, AvocConvergesNoLaterThanEveryBaseline) {
@@ -210,8 +212,8 @@ TEST_F(Uc1Test, CovOutperformsPlainAverageUnderFault) {
 TEST_F(Uc1Test, CovExcludesE4FromTheFirstRound) {
   // "Differently from Me, E4 was also excluded from the first round."
   const auto faulty_run = Run(AlgorithmId::kClusteringOnly, *faulty_);
-  EXPECT_DOUBLE_EQ(faulty_run.rounds[0].weights[3], 0.0);
-  EXPECT_TRUE(faulty_run.rounds[0].used_clustering);
+  EXPECT_DOUBLE_EQ(faulty_run.weights(0)[3], 0.0);
+  EXPECT_TRUE(faulty_run.used_clustering(0));
 }
 
 }  // namespace

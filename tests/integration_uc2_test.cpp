@@ -37,7 +37,7 @@ class Uc2Test : public ::testing::Test {
       const core::PresetParams& params) {
     auto batch = core::RunAlgorithm(id, table, params);
     EXPECT_TRUE(batch.ok()) << core::AlgorithmName(id);
-    return batch->outputs;
+    return batch->Outputs();
   }
 
   static std::vector<std::optional<double>> Single(
@@ -159,10 +159,9 @@ TEST_F(Uc2Test, MissingValueRoundsStillFuse) {
                          BlePreset());
   ASSERT_TRUE(batch.ok());
   size_t partial_rounds = 0;
-  for (size_t r = 0; r < batch->rounds.size(); ++r) {
-    const auto& result = batch->rounds[r];
-    if (result.present_count < 9 && result.present_count >= 2 &&
-        result.outcome == core::RoundOutcome::kVoted) {
+  for (size_t r = 0; r < batch->round_count(); ++r) {
+    if (batch->present_count(r) < 9 && batch->present_count(r) >= 2 &&
+        batch->outcome(r) == core::RoundOutcome::kVoted) {
       ++partial_rounds;
     }
   }
@@ -181,9 +180,9 @@ TEST_F(Uc2Test, StarvedRoundsRevertToLastResult) {
   auto batch = core::RunAlgorithm(AlgorithmId::kAverage, starved, BlePreset());
   ASSERT_TRUE(batch.ok());
   for (size_t r = 100; r < 105; ++r) {
-    EXPECT_EQ(batch->rounds[r].outcome, core::RoundOutcome::kRevertedLast);
-    ASSERT_TRUE(batch->outputs[r].has_value());
-    EXPECT_DOUBLE_EQ(*batch->outputs[r], *batch->outputs[99]);
+    EXPECT_EQ(batch->outcome(r), core::RoundOutcome::kRevertedLast);
+    ASSERT_TRUE(batch->output(r).has_value());
+    EXPECT_DOUBLE_EQ(*batch->output(r), *batch->output(99));
   }
 }
 
@@ -198,8 +197,8 @@ TEST_F(Uc2Test, RaisePolicySurfacesStarvedRounds) {
   ASSERT_TRUE(engine.ok());
   auto batch = core::RunOverTable(*engine, starved);
   ASSERT_TRUE(batch.ok());
-  EXPECT_EQ(batch->rounds[50].outcome, core::RoundOutcome::kError);
-  EXPECT_EQ(batch->rounds[50].status.code(), ErrorCode::kNoQuorum);
+  EXPECT_EQ(batch->outcome(50), core::RoundOutcome::kError);
+  EXPECT_EQ(batch->status(50).code(), ErrorCode::kNoQuorum);
 }
 
 }  // namespace

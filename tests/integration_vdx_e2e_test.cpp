@@ -134,9 +134,9 @@ TEST_F(VdxE2eTest, FaultPolicyFromSpecControlsPipeline) {
   ASSERT_TRUE(table.AppendRound({{1.0}, std::nullopt, {1.0}}).ok());
   auto batch = core::RunOverTable(*voter, table);
   ASSERT_TRUE(batch.ok());
-  EXPECT_EQ(batch->rounds[0].outcome, core::RoundOutcome::kVoted);
-  EXPECT_EQ(batch->rounds[1].outcome, core::RoundOutcome::kNoOutput);
-  EXPECT_FALSE(batch->outputs[1].has_value());
+  EXPECT_EQ(batch->outcome(0), core::RoundOutcome::kVoted);
+  EXPECT_EQ(batch->outcome(1), core::RoundOutcome::kNoOutput);
+  EXPECT_FALSE(batch->output(1).has_value());
 }
 
 }  // namespace

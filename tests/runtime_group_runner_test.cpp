@@ -50,9 +50,9 @@ TEST(GroupRunnerTest, SynchronousRoundsMatchBatchRunner) {
   auto batch = core::RunOverTable(reference, table);
   ASSERT_TRUE(batch.ok());
   const auto outputs = (*runner)->sink().outputs();
-  ASSERT_EQ(outputs.size(), batch->rounds.size());
+  ASSERT_EQ(outputs.size(), batch->round_count());
   for (size_t r = 0; r < outputs.size(); ++r) {
-    EXPECT_EQ(outputs[r].result.value, batch->rounds[r].value) << "round " << r;
+    EXPECT_EQ(outputs[r].result.value, batch->output(r)) << "round " << r;
   }
 }
 

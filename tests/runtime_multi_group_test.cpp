@@ -81,18 +81,20 @@ TEST(MultiGroupEngineTest, ParallelMatchesSequentialBitForBit) {
   auto seq = sequential->RunBatchSequential(tables);
   ASSERT_TRUE(par.ok());
   ASSERT_TRUE(seq.ok());
-  ASSERT_EQ(par->size(), seq->size());
-  for (size_t g = 0; g < par->size(); ++g) {
-    const auto& p = (*par)[g];
-    const auto& s = (*seq)[g];
-    ASSERT_EQ(p.rounds.size(), s.rounds.size()) << "group " << g;
-    for (size_t r = 0; r < p.rounds.size(); ++r) {
-      EXPECT_EQ(p.rounds[r].value, s.rounds[r].value)
+  ASSERT_EQ(par->group_count(), seq->group_count());
+  for (size_t g = 0; g < par->group_count(); ++g) {
+    const core::TraceView p = par->group(g);
+    const core::TraceView s = seq->group(g);
+    ASSERT_EQ(p.round_count(), s.round_count()) << "group " << g;
+    for (size_t r = 0; r < p.round_count(); ++r) {
+      EXPECT_EQ(p.output(r), s.output(r))
           << "group " << g << " round " << r;
-      EXPECT_EQ(p.rounds[r].weights, s.rounds[r].weights)
-          << "group " << g << " round " << r;
-      EXPECT_EQ(p.rounds[r].history, s.rounds[r].history)
-          << "group " << g << " round " << r;
+      for (size_t m = 0; m < p.module_count(); ++m) {
+        EXPECT_EQ(p.weights(r)[m], s.weights(r)[m])
+            << "group " << g << " round " << r << " module " << m;
+        EXPECT_EQ(p.history(r)[m], s.history(r)[m])
+            << "group " << g << " round " << r << " module " << m;
+      }
     }
   }
   // The contiguous history snapshots agree as well.

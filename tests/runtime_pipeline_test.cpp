@@ -113,10 +113,10 @@ TEST(PipelineTest, MatchesBatchRunnerExactly) {
   const auto outputs = pipeline->sink().outputs();
   ASSERT_EQ(outputs.size(), table.round_count());
   for (size_t r = 0; r < table.round_count(); ++r) {
-    ASSERT_EQ(outputs[r].result.value.has_value(),
-              batch->outputs[r].has_value());
-    if (batch->outputs[r].has_value()) {
-      EXPECT_DOUBLE_EQ(*outputs[r].result.value, *batch->outputs[r])
+    const auto batch_output = batch->output(r);
+    ASSERT_EQ(outputs[r].result.value.has_value(), batch_output.has_value());
+    if (batch_output.has_value()) {
+      EXPECT_DOUBLE_EQ(*outputs[r].result.value, *batch_output)
           << "round " << r;
     }
   }

@@ -49,13 +49,13 @@ TEST(LightScenarioTest, SensorsMostlyAgreeWithGroupMean) {
   const auto table = LightScenario(SmallParams()).MakeReferenceTable();
   size_t coherent_rounds = 0;
   for (size_t r = 0; r < table.round_count(); ++r) {
-    const auto round = table.Round(r);
+    const auto round = table.View(r);
     double mean = 0.0;
-    for (const auto& v : round) mean += *v;
-    mean /= static_cast<double>(round.size());
+    for (const double v : round.values) mean += v;
+    mean /= static_cast<double>(round.module_count());
     bool all_close = true;
-    for (const auto& v : round) {
-      if (std::abs(*v - mean) > 0.05 * mean) all_close = false;
+    for (const double v : round.values) {
+      if (std::abs(v - mean) > 0.05 * mean) all_close = false;
     }
     if (all_close) ++coherent_rounds;
   }

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 namespace avoc::stats {
@@ -119,6 +120,36 @@ TEST(ConvergenceBoostTest, RatioOfOneBasedDurations) {
   const auto boost = ConvergenceBoost(fast, slow);
   ASSERT_TRUE(boost.has_value());
   EXPECT_DOUBLE_EQ(*boost, 8.0);
+}
+
+TEST(ConvergenceColumnarTest, MatchesMaterializedSeries) {
+  // A masked value column must measure exactly like the continuous series
+  // it encodes (suppressed rounds carry the last value forward).
+  const std::vector<double> values = {9.0, 1.05, 0.0, 1.02, 1.01, 0.0, 1.0};
+  const std::vector<uint8_t> engaged = {1, 1, 0, 1, 1, 0, 1};
+  const std::vector<double> continuous = {9.0,  1.05, 1.05, 1.02,
+                                          1.01, 1.01, 1.0};
+  const auto options = Options(0.1, 3);
+  const auto columnar = MeasureConvergence(values, engaged, 1.0, options);
+  const auto dense = MeasureConvergence(continuous, 1.0, options);
+  ASSERT_EQ(columnar.converged_at, dense.converged_at);
+  EXPECT_DOUBLE_EQ(columnar.peak_error, dense.peak_error);
+  EXPECT_DOUBLE_EQ(columnar.residual_bias, dense.residual_bias);
+}
+
+TEST(ConvergenceColumnarTest, LeadingGapsSeededWithFirstEngagedValue) {
+  const std::vector<double> values = {0.0, 0.0, 1.0, 1.0, 1.0};
+  const std::vector<uint8_t> engaged = {0, 0, 1, 1, 1};
+  const auto report = MeasureConvergence(values, engaged, 1.0, Options(0.1, 3));
+  ASSERT_TRUE(report.converged_at.has_value());
+  EXPECT_EQ(*report.converged_at, 0u);
+}
+
+TEST(ConvergenceColumnarTest, AllSuppressedNeverConverges) {
+  const std::vector<double> values = {0.0, 0.0, 0.0};
+  const std::vector<uint8_t> engaged = {0, 0, 0};
+  const auto report = MeasureConvergence(values, engaged, 0.0, Options(1.0, 1));
+  EXPECT_FALSE(report.converged_at.has_value());
 }
 
 TEST(ConvergenceBoostTest, UnconvergedYieldsNullopt) {

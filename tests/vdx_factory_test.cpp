@@ -188,10 +188,11 @@ TEST(VdxExportTest, ExportedSpecMatchesPresetBehaviour) {
     auto via_vdx = core::RunOverTable(*voter, table);
     ASSERT_TRUE(via_vdx.ok());
     for (size_t r = 0; r < table.round_count(); ++r) {
-      ASSERT_EQ(direct->outputs[r].has_value(),
-                via_vdx->outputs[r].has_value());
-      if (direct->outputs[r].has_value()) {
-        EXPECT_DOUBLE_EQ(*direct->outputs[r], *via_vdx->outputs[r])
+      const auto direct_output = direct->output(r);
+      const auto vdx_output = via_vdx->output(r);
+      ASSERT_EQ(direct_output.has_value(), vdx_output.has_value());
+      if (direct_output.has_value()) {
+        EXPECT_DOUBLE_EQ(*direct_output, *vdx_output)
             << core::AlgorithmName(id) << " round " << r;
       }
     }
