@@ -6,13 +6,21 @@
 // The absolute numbers here are far smaller (C++ on a workstation vs
 // Python 3.9 on constrained hardware); what must reproduce is the *shape*:
 // stateless << history-aware << history-aware + datastore persistence.
+// Besides the google-benchmark suite, main() first runs a percentile pass:
+// per algorithm/width it times individual CastVote rounds with the
+// telemetry clock path (obs::LatencyHistogram) and writes the p50/p95/p99
+// tail to BENCH_latency.json — mean-only numbers hide exactly the tail a
+// soft real-time voter cares about.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
 #include <filesystem>
 #include <vector>
 
 #include "core/algorithms.h"
 #include "core/engine.h"
+#include "obs/metrics.h"
 #include "runtime/datastore.h"
 #include "util/rng.h"
 
@@ -158,6 +166,89 @@ void BM_HistoryAwareRoundWithFileStore(benchmark::State& state) {
 }
 BENCHMARK(BM_HistoryAwareRoundWithFileStore)->Arg(5)->Arg(9);
 
+// One percentile-pass config: an algorithm preset at a round width.
+struct PercentileConfig {
+  const char* name;
+  AlgorithmId id;
+  size_t modules;
+};
+
+constexpr size_t kPercentileWarmup = 2000;
+constexpr size_t kPercentileRounds = 20000;
+
+/// Times kPercentileRounds individual rounds per config and writes their
+/// p50/p95/p99/mean to `path`; returns false on setup failure.
+bool RunPercentilePass(const std::string& path) {
+  const PercentileConfig configs[] = {
+      {"standard", AlgorithmId::kStandard, 5},
+      {"standard", AlgorithmId::kStandard, 9},
+      {"me", AlgorithmId::kModuleElimination, 5},
+      {"me", AlgorithmId::kModuleElimination, 9},
+      {"avoc", AlgorithmId::kAvoc, 5},
+      {"avoc", AlgorithmId::kAvoc, 9},
+  };
+  std::FILE* json = std::fopen(path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(json,
+               "{\n"
+               "  \"bench\": \"latency\",\n"
+               "  \"rounds_per_config\": %zu,\n"
+               "  \"results\": [\n",
+               kPercentileRounds);
+  std::printf("%-10s %8s %12s %12s %12s %12s\n", "algorithm", "modules",
+              "p50_ns", "p95_ns", "p99_ns", "mean_ns");
+  const size_t config_count = sizeof(configs) / sizeof(configs[0]);
+  for (size_t c = 0; c < config_count; ++c) {
+    const PercentileConfig& config = configs[c];
+    auto engine = avoc::core::MakeEngine(config.id, config.modules);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "engine %s/%zu: %s\n", config.name, config.modules,
+                   engine.status().ToString().c_str());
+      std::fclose(json);
+      return false;
+    }
+    avoc::Rng rng(11 + c);
+    avoc::obs::LatencyHistogram histogram;
+    for (size_t r = 0; r < kPercentileWarmup + kPercentileRounds; ++r) {
+      const std::vector<double> round = MakeRound(config.modules, rng);
+      const auto start = std::chrono::steady_clock::now();
+      auto result = engine->CastVote(round);
+      const auto stop = std::chrono::steady_clock::now();
+      benchmark::DoNotOptimize(result);
+      if (r >= kPercentileWarmup) {
+        histogram.Record(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+                .count()));
+      }
+    }
+    const avoc::obs::LatencySnapshot snapshot = histogram.Snapshot();
+    std::printf("%-10s %8zu %12.0f %12.0f %12.0f %12.1f\n", config.name,
+                config.modules, snapshot.p50(), snapshot.p95(), snapshot.p99(),
+                snapshot.Mean());
+    std::fprintf(json,
+                 "    {\"algorithm\": \"%s\", \"modules\": %zu, "
+                 "\"p50_ns\": %.1f, \"p95_ns\": %.1f, \"p99_ns\": %.1f, "
+                 "\"mean_ns\": %.1f}%s\n",
+                 config.name, config.modules, snapshot.p50(), snapshot.p95(),
+                 snapshot.p99(), snapshot.Mean(),
+                 c + 1 < config_count ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote %s\n\n", path.c_str());
+  return true;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (!RunPercentilePass("BENCH_latency.json")) return 1;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

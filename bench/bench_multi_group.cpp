@@ -1,13 +1,16 @@
 // Sharded multi-group throughput (the smart-shopping motivation: one
 // voter group per shelf, hundreds of shelves per store).
 //
-// Three modes over the identical per-group workload:
-//   legacy            one-VoteResult-per-round allocation path
-//                     (core::RunOverTableLegacy), single thread
-//   columnar          group-major SoA block (MultiGroupTrace), single
-//                     thread, trace reused across repeats
-//   columnar-parallel same block sharded across the worker pool
-// Cross-checks that all three produce bit-identical fused outputs, then
+// Four modes over the identical per-group workload:
+//   legacy               one-VoteResult-per-round allocation path
+//                        (core::RunOverTableLegacy), single thread
+//   columnar             group-major SoA block (MultiGroupTrace), single
+//                        thread, trace reused across repeats
+//   columnar-instrumented columnar with a live obs::Registry and
+//                        per-group MetricsObservers attached — the
+//                        telemetry-overhead probe (<3% target)
+//   columnar-parallel    same block sharded across the worker pool
+// Cross-checks that all four produce bit-identical fused outputs, then
 // writes machine-readable BENCH_multi_group.json next to the stdout
 // report.  Flags: --groups N --modules M --rounds R --threads T
 // --repeat K --seed S --json PATH
@@ -19,6 +22,7 @@
 
 #include "core/algorithms.h"
 #include "core/batch.h"
+#include "obs/metrics.h"
 #include "runtime/multi_group.h"
 #include "util/cli.h"
 #include "util/rng.h"
@@ -74,6 +78,8 @@ int main(int argc, char** argv) {
   const size_t repeat =
       std::max<size_t>(1, static_cast<size_t>(cli->GetInt("repeat", 3)));
   const uint64_t seed = static_cast<uint64_t>(cli->GetInt("seed", 7));
+  const size_t sample_every =
+      static_cast<size_t>(cli->GetInt("sample", 256));
   const std::string json_path =
       cli->GetString("json", "BENCH_multi_group.json");
 
@@ -130,19 +136,61 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // --- columnar bare vs columnar + telemetry, interleaved -----------------
+  // The two modes alternate inside one loop so the <3%-overhead comparison
+  // sees the same machine conditions; best-of per mode then cancels the
+  // shared noise floor instead of measuring drift between two blocks.
+  avoc::obs::Registry registry;
+  avoc::runtime::MultiGroupOptions instr_options;
+  instr_options.registry = &registry;
+  instr_options.metrics_sample_every = sample_every;
+  auto instrumented = avoc::runtime::MultiGroupEngine::Create(
+      groups, modules, config, instr_options);
+  if (!instrumented.ok()) {
+    std::fprintf(stderr, "instrumented setup failed: %s\n",
+                 instrumented.status().message().c_str());
+    return 1;
+  }
   ModeResult columnar{"columnar", "columnar", 1};
+  ModeResult instr{"columnar-instrumented", "columnar", 1};
   avoc::runtime::MultiGroupTrace seq_trace;
+  avoc::runtime::MultiGroupTrace instr_trace;
+  std::vector<double> pair_ratio;  ///< instrumented/bare per iteration
+  pair_ratio.reserve(repeat);
   for (size_t it = 0; it < repeat; ++it) {
     sequential->ResetAll();
-    const auto start = std::chrono::steady_clock::now();
-    const auto status = sequential->RunBatchSequential(tables, seq_trace);
-    const double seconds = SecondsSince(start);
+    auto start = std::chrono::steady_clock::now();
+    auto status = sequential->RunBatchSequential(tables, seq_trace);
+    const double bare_seconds = SecondsSince(start);
     if (!status.ok()) {
       std::fprintf(stderr, "sequential: %s\n", status.ToString().c_str());
       return 1;
     }
-    if (it == 0 || seconds < columnar.seconds) columnar.seconds = seconds;
+    if (it == 0 || bare_seconds < columnar.seconds) {
+      columnar.seconds = bare_seconds;
+    }
+
+    instrumented->ResetAll();
+    start = std::chrono::steady_clock::now();
+    status = instrumented->RunBatchSequential(tables, instr_trace);
+    const double instr_seconds = SecondsSince(start);
+    if (!status.ok()) {
+      std::fprintf(stderr, "instrumented: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    if (it == 0 || instr_seconds < instr.seconds) {
+      instr.seconds = instr_seconds;
+    }
+    pair_ratio.push_back(instr_seconds / bare_seconds);
   }
+  // The overhead statistic is the median of the per-iteration ratios:
+  // each back-to-back pair shares its machine conditions, and the median
+  // discards iterations where a noise spike hit one side of a pair.
+  std::nth_element(pair_ratio.begin(),
+                   pair_ratio.begin() + pair_ratio.size() / 2,
+                   pair_ratio.end());
+  const double median_ratio = pair_ratio[pair_ratio.size() / 2];
+  const avoc::runtime::MultiGroupStats stats = instrumented->Stats();
 
   const size_t workers = avoc::util::ThreadPool(threads).thread_count();
   ModeResult par{"columnar-parallel", "columnar", workers};
@@ -165,16 +213,28 @@ int main(int argc, char** argv) {
   for (size_t g = 0; g < groups; ++g) {
     const avoc::core::TraceView seq_view = seq_trace.group(g);
     const avoc::core::TraceView par_view = par_trace.group(g);
+    const avoc::core::TraceView instr_view = instr_trace.group(g);
     for (size_t r = 0; r < rounds; ++r) {
       const auto& legacy_output = legacy_results[g].outputs[r];
       if (seq_view.output(r) != legacy_output ||
-          par_view.output(r) != legacy_output) {
+          par_view.output(r) != legacy_output ||
+          instr_view.output(r) != legacy_output) {
         ++mismatches;
       }
     }
   }
+  // Telemetry sanity: the registry must have seen every round of every
+  // repeat, or the "overhead" number measured a broken observer.
+  const uint64_t expected_rounds =
+      static_cast<uint64_t>(groups) * rounds * repeat;
+  if (stats.rounds != expected_rounds) {
+    std::fprintf(stderr, "telemetry: %llu rounds counted, expected %llu\n",
+                 static_cast<unsigned long long>(stats.rounds),
+                 static_cast<unsigned long long>(expected_rounds));
+    return 1;
+  }
 
-  std::vector<ModeResult*> modes = {&legacy, &columnar, &par};
+  std::vector<ModeResult*> modes = {&legacy, &columnar, &instr, &par};
   std::printf("%-18s, %12s, %8s, %10s, %14s\n", "mode", "allocation",
               "threads", "seconds", "rounds/s");
   for (ModeResult* m : modes) {
@@ -182,11 +242,20 @@ int main(int argc, char** argv) {
     std::printf("%-18s, %12s, %8zu, %10.3f, %14.0f\n", m->mode, m->allocation,
                 m->threads, m->seconds, m->rounds_per_sec);
   }
+  const double overhead_pct = (median_ratio - 1.0) * 100.0;
   std::printf(
       "\ncolumnar vs legacy: %.2fx; parallel vs columnar: %.2fx on %zu "
       "workers; output mismatches: %zu\n",
       legacy.seconds / columnar.seconds, columnar.seconds / par.seconds,
       workers, mismatches);
+  std::printf(
+      "telemetry overhead: %.2f%% (median of %zu paired runs; best bare "
+      "%.3fs, best instrumented %.3fs); "
+      "round p50/p95/p99: %.0f/%.0f/%.0f ns over %llu samples\n",
+      overhead_pct, pair_ratio.size(), columnar.seconds, instr.seconds,
+      stats.round_latency.p50(),
+      stats.round_latency.p95(), stats.round_latency.p99(),
+      static_cast<unsigned long long>(stats.round_latency.count));
 
   std::FILE* json = std::fopen(json_path.c_str(), "w");
   if (json != nullptr) {
@@ -201,10 +270,14 @@ int main(int argc, char** argv) {
                  "  \"mismatches\": %zu,\n"
                  "  \"speedup_columnar_vs_legacy\": %.3f,\n"
                  "  \"speedup_parallel_vs_columnar\": %.3f,\n"
+                 "  \"instrumented_overhead_pct\": %.3f,\n"
+                 "  \"instrumented_round_p50_ns\": %.1f,\n"
+                 "  \"instrumented_round_p99_ns\": %.1f,\n"
                  "  \"results\": [\n",
                  groups, modules, rounds, repeat, workers, mismatches,
                  legacy.seconds / columnar.seconds,
-                 columnar.seconds / par.seconds);
+                 columnar.seconds / par.seconds, overhead_pct,
+                 stats.round_latency.p50(), stats.round_latency.p99());
     for (size_t i = 0; i < modes.size(); ++i) {
       std::fprintf(json,
                    "    {\"mode\": \"%s\", \"allocation\": \"%s\", "

@@ -19,6 +19,9 @@
 #include "data/dataset.h"      // dataset persistence
 #include "data/round_table.h"  // the rounds x modules container
 #include "data/stream.h"       // asynchronous streams -> rounds
+#include "obs/events.h"        // structured JSON event logging
+#include "obs/metrics.h"       // lock-free metrics registry
+#include "obs/stage_metrics.h"      // the production metrics observer
 #include "runtime/group_manager.h"  // multi-group voter management
 #include "runtime/pipeline.h"  // deterministic replay middleware
 #include "runtime/remote.h"    // the TCP voter service + client

@@ -70,16 +70,22 @@ RoundScalars VotingEngine::EmitColumns(VoteSink& sink, RoundColumns* columns) {
     scalars.value = *scratch_.output;
     scalars.used_clustering = scratch_.used_clustering;
     scalars.had_majority = scratch_.had_majority;
+    uint32_t excluded_count = 0;
     for (size_t k = 0; k < scratch_.present_count; ++k) {
-      cols.excluded[scratch_.present_index[k]] =
-          scratch_.excluded_present[k] ? 1 : 0;
+      const uint8_t bit = scratch_.excluded_present[k] ? 1 : 0;
+      cols.excluded[scratch_.present_index[k]] = bit;
+      excluded_count += bit;
     }
+    uint32_t eliminated_count = 0;
     for (size_t k = 0; k < scratch_.included_index.size(); ++k) {
       cols.weights[scratch_.included_index[k]] = scratch_.weights[k];
       cols.agreement[scratch_.included_index[k]] = scratch_.scores[k];
-      cols.eliminated[scratch_.included_index[k]] =
-          scratch_.eliminated_included[k] ? 1 : 0;
+      const uint8_t bit = scratch_.eliminated_included[k] ? 1 : 0;
+      cols.eliminated[scratch_.included_index[k]] = bit;
+      eliminated_count += bit;
     }
+    scalars.excluded_count = excluded_count;
+    scalars.eliminated_count = eliminated_count;
   }
   sink.EndRound(scalars);
   if (columns != nullptr) *columns = cols;
@@ -88,19 +94,25 @@ RoundScalars VotingEngine::EmitColumns(VoteSink& sink, RoundColumns* columns) {
 
 Status VotingEngine::FinishRound(VoteSink& sink) {
   ++round_index_;
-  if (observer_ != nullptr) observer_->OnRoundBegin(round_index_, scratch_);
+  const bool stage_hooks =
+      observer_ != nullptr && observer_->stage_hooks_enabled();
+  if (stage_hooks) observer_->OnRoundBegin(round_index_, scratch_);
   for (const auto& stage : pipeline_->stages()) {
     AVOC_RETURN_IF_ERROR(stage->Run(scratch_));
-    if (observer_ != nullptr) observer_->OnStageDone(stage->name(), scratch_);
+    if (stage_hooks) observer_->OnStageDone(stage->name(), scratch_);
     if (scratch_.faulted()) break;
   }
   RoundColumns columns;
   const RoundScalars scalars = EmitColumns(sink, &columns);
   if (!scratch_.faulted()) last_output_ = *scratch_.output;
   if (observer_ != nullptr) {
-    // Observers still speak VoteResult; materialize only for them.
-    observer_->OnRoundEnd(round_index_,
-                          MaterializeVoteResult(columns, scalars));
+    observer_->OnRoundCommitted(round_index_, columns, scalars);
+    if (observer_wants_result_) {
+      // Legacy-shaped observers speak VoteResult; materialize only for
+      // them — hot-path observers opt out and stay allocation-free.
+      observer_->OnRoundEnd(round_index_,
+                            MaterializeVoteResult(columns, scalars));
+    }
   }
   return Status::Ok();
 }

@@ -44,7 +44,13 @@ class VotingEngine {
   /// Attaches a non-owning observer receiving per-stage hooks for every
   /// subsequent round; nullptr detaches.  The observer must outlive its
   /// attachment and must not mutate the engine from within a hook.
-  void set_observer(StageObserver* observer) { observer_ = observer; }
+  void set_observer(StageObserver* observer) {
+    observer_ = observer;
+    // Cached once: answering this per round would cost a virtual call on
+    // the hot path for a property that never changes mid-attachment.
+    observer_wants_result_ =
+        observer != nullptr && observer->wants_vote_result();
+  }
   StageObserver* observer() const { return observer_; }
 
   /// Consumes one round.  Always returns a VoteResult describing what
@@ -107,6 +113,7 @@ class VotingEngine {
   std::optional<double> last_output_;
   size_t round_index_ = 0;
   StageObserver* observer_ = nullptr;
+  bool observer_wants_result_ = false;  ///< cached observer_->wants_vote_result()
   /// Reused round scratch state (see VoteContext); reset by Begin.
   VoteContext scratch_;
 };

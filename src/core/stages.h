@@ -18,6 +18,7 @@
 // the stages themselves.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <optional>
 #include <span>
@@ -32,6 +33,17 @@
 #include "util/status.h"
 
 namespace avoc::core {
+
+struct RoundColumns;  // core/vote_sink.h
+struct RoundScalars;  // core/vote_sink.h
+
+/// The nine stage names in execution order — the contract between
+/// StagePipeline::Compile and everything that keys per-stage data (the
+/// stage trace renderer, the metrics observer, the tests).
+inline constexpr std::array<std::string_view, 9> kStageNames = {
+    "quorum",     "exclusion", "clustering",
+    "agreement",  "elimination", "weighting",
+    "collation",  "majority",  "history"};
 
 /// One round's scratch state, threaded through the stage chain.  Owned by
 /// the engine and reused across rounds (Begin resets everything), so the
@@ -143,9 +155,36 @@ class StageObserver {
   virtual void OnStageDone(std::string_view /*stage*/,
                            const VoteContext& /*context*/) {}
 
-  /// With the assembled result, before CastVote returns.
+  /// With the committed sink columns and scalars, before CastVote
+  /// returns.  This is the allocation-free hook: it fires identically on
+  /// the legacy and columnar result paths and hands over the same flat
+  /// columns the sink received (valid until the sink's next BeginRound).
+  virtual void OnRoundCommitted(size_t /*round_index*/,
+                                const RoundColumns& /*columns*/,
+                                const RoundScalars& /*scalars*/) {}
+
+  /// With the assembled result, before CastVote returns.  Fires on both
+  /// result paths, but materializing the VoteResult costs one set of
+  /// per-round allocations — hot-path observers should override
+  /// wants_vote_result() to false and use OnRoundCommitted instead.
   virtual void OnRoundEnd(size_t /*round_index*/,
                           const VoteResult& /*result*/) {}
+
+  /// Whether the engine should materialize a VoteResult for OnRoundEnd.
+  virtual bool wants_vote_result() const { return true; }
+
+  /// Inline gate the engine reads once per round (before OnRoundBegin)
+  /// to decide whether the per-round tracing hooks — OnRoundBegin and the
+  /// nine OnStageDone calls — are dispatched at all.  A sampling observer
+  /// clears the flag from OnRoundCommitted for the rounds it does not
+  /// time, shrinking an untimed round to a single virtual call; the
+  /// committed/end hooks always fire, so counting stays exact.
+  bool stage_hooks_enabled() const { return stage_hooks_enabled_; }
+
+ protected:
+  /// Derived observers may toggle this between rounds (i.e. from
+  /// OnRoundCommitted); see stage_hooks_enabled.
+  bool stage_hooks_enabled_ = true;
 };
 
 /// One observed stage transition, as recorded by StageTraceObserver.

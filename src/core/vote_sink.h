@@ -44,6 +44,11 @@ struct RoundScalars {
   bool used_clustering = false;
   bool had_majority = true;
   uint32_t present_count = 0;
+  /// Set-bit totals of the excluded/eliminated columns, counted while the
+  /// engine fills them — consumers (the metrics observer) read the rates
+  /// without rescanning the masks.  Zero on fault rounds.
+  uint32_t excluded_count = 0;
+  uint32_t eliminated_count = 0;
   /// Non-null only when outcome == kError; borrowed for the call.
   const Status* status = nullptr;
 };

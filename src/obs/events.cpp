@@ -1,0 +1,53 @@
+#include "obs/events.h"
+
+#include "util/strings.h"
+
+namespace avoc::obs {
+
+Event::Event(std::string_view name) {
+  json_ = "{\"event\":\"";
+  json_ += name;
+  json_ += '"';
+}
+
+Event& Event::Key(std::string_view key) {
+  json_ += ",\"";
+  json_ += key;
+  json_ += "\":";
+  return *this;
+}
+
+Event& Event::Str(std::string_view key, std::string_view value) {
+  Key(key);
+  json_ += '"';
+  for (const char c : value) {
+    if (c == '"' || c == '\\') json_ += '\\';
+    json_ += c;
+  }
+  json_ += '"';
+  return *this;
+}
+
+Event& Event::Num(std::string_view key, double value) {
+  Key(key);
+  json_ += StrFormat("%.17g", value);
+  return *this;
+}
+
+Event& Event::Num(std::string_view key, uint64_t value) {
+  Key(key);
+  json_ += StrFormat("%llu", static_cast<unsigned long long>(value));
+  return *this;
+}
+
+std::string Event::Build() {
+  json_ += '}';
+  return std::move(json_);
+}
+
+void Event::LogAt(LogLevel level) {
+  if (static_cast<int>(level) < static_cast<int>(GetLogLevel())) return;
+  LogMessage(level, Build());
+}
+
+}  // namespace avoc::obs

@@ -1,0 +1,46 @@
+// Structured JSON event logging for rare voter events.
+//
+// Counters answer "how often"; these answer "what exactly happened" for
+// the events an operator must be able to grep out of a long-running
+// service: a history collapse forcing a re-cluster, a sensor excluded for
+// N consecutive rounds, a quorum outage.  Events flow through util::log
+// (so deployments keep one sink) as single-line JSON objects:
+//
+//   {"event":"sensor_excluded_streak","group":"shelf-3","module":2,"rounds":8}
+//
+// This is a cold path: events are rare by construction, so the builder
+// may allocate freely.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/log.h"
+
+namespace avoc::obs {
+
+/// Incremental one-line JSON event.  Keys are code-chosen identifiers
+/// (no escaping applied); string values are escaped for quotes/backslash.
+class Event {
+ public:
+  explicit Event(std::string_view name);
+
+  Event& Str(std::string_view key, std::string_view value);
+  Event& Num(std::string_view key, double value);
+  Event& Num(std::string_view key, uint64_t value);
+
+  /// The JSON object, closed.  Consumes the builder.
+  std::string Build();
+
+  /// Closes the object and emits it through util::log at `level`.
+  /// Consumes the builder.
+  void LogAt(LogLevel level);
+
+ private:
+  Event& Key(std::string_view key);
+
+  std::string json_;
+};
+
+}  // namespace avoc::obs

@@ -4,7 +4,9 @@
 
 namespace avoc::runtime {
 
-VoterGroupManager::VoterGroupManager(HistoryStore* store) : store_(store) {}
+VoterGroupManager::VoterGroupManager(HistoryStore* store,
+                                     obs::Registry* registry)
+    : store_(store), registry_(registry) {}
 
 Status VoterGroupManager::AddGroup(const std::string& name,
                                    core::VotingEngine engine) {
@@ -15,6 +17,7 @@ Status VoterGroupManager::AddGroup(const std::string& name,
   GroupRunner::Options options;
   options.group = name;
   options.store = store_;
+  options.registry = registry_;
   AVOC_ASSIGN_OR_RETURN(
       std::unique_ptr<GroupRunner> runner,
       GroupRunner::Create(std::move(engine), std::move(options)));
@@ -81,6 +84,12 @@ Result<const VoterNode*> VoterGroupManager::voter(
     const std::string& group) const {
   AVOC_ASSIGN_OR_RETURN(GroupRunner * runner, Find(group));
   return &runner->voter();
+}
+
+Result<const GroupRunner*> VoterGroupManager::runner(
+    const std::string& group) const {
+  AVOC_ASSIGN_OR_RETURN(GroupRunner * found, Find(group));
+  return found;
 }
 
 }  // namespace avoc::runtime

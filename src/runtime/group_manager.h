@@ -23,8 +23,11 @@ namespace avoc::runtime {
 
 class VoterGroupManager {
  public:
-  /// `store` (optional) persists every group's history under its name.
-  explicit VoterGroupManager(HistoryStore* store = nullptr);
+  /// `store` (optional) persists every group's history under its name;
+  /// `registry` (optional) instruments every group with group-labeled
+  /// metrics.  Both must outlive the manager.
+  explicit VoterGroupManager(HistoryStore* store = nullptr,
+                             obs::Registry* registry = nullptr);
 
   /// Registers a group with a ready engine.  Fails on duplicate names.
   Status AddGroup(const std::string& name, core::VotingEngine engine);
@@ -54,10 +57,17 @@ class VoterGroupManager {
   /// The group's voter (history inspection).
   Result<const VoterNode*> voter(const std::string& group) const;
 
+  /// The whole runner (health/metrics introspection).
+  Result<const GroupRunner*> runner(const std::string& group) const;
+
+  /// The telemetry registry, or nullptr when metrics are disabled.
+  obs::Registry* registry() const { return registry_; }
+
  private:
   Result<GroupRunner*> Find(const std::string& name) const;
 
   HistoryStore* store_;
+  obs::Registry* registry_;
   std::map<std::string, std::unique_ptr<GroupRunner>> groups_;
 };
 

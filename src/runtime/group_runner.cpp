@@ -6,14 +6,48 @@ GroupRunner::GroupRunner(std::vector<SensorNode::Generator> generators,
                          core::VotingEngine engine, Options options)
     : options_(std::move(options)),
       channels_(std::make_unique<GroupChannels>()) {
+  HubTelemetry hub_telemetry;
+  SinkTelemetry sink_telemetry;
+  if (options_.registry != nullptr) {
+    obs::Registry& reg = *options_.registry;
+    const std::string& g = options_.group;
+    auto counter = [&](std::string_view family) {
+      return &reg.GetCounter(obs::LabeledName(family, "group", g));
+    };
+    auto gauge = [&](std::string_view family) {
+      return &reg.GetGauge(obs::LabeledName(family, "group", g));
+    };
+    hub_telemetry.readings = counter("avoc_hub_readings_total");
+    hub_telemetry.late_readings = counter("avoc_hub_late_readings_total");
+    hub_telemetry.rounds_closed = counter("avoc_hub_rounds_closed_total");
+    hub_telemetry.open_rounds = gauge("avoc_hub_open_rounds");
+    hub_telemetry.last_closed_round = gauge("avoc_hub_last_closed_round");
+    sink_telemetry.outputs = counter("avoc_sink_outputs_total");
+    sink_telemetry.last_round = gauge("avoc_sink_last_round");
+    sink_telemetry.lag_rounds = gauge("avoc_sink_lag_rounds");
+
+    obs::MetricsObserverOptions observer_options;
+    observer_options.scope = options_.group;
+    observer_options.scope_label = "group";
+    observer_options.sample_every = options_.metrics_sample_every;
+    // Live rounds tick at millisecond cadence; flushing every round keeps
+    // scrapes exact for negligible cost.
+    observer_options.flush_every = 1;
+    observer_options.exclusion_streak_alert = options_.exclusion_streak_alert;
+    observer_ = std::make_unique<obs::MetricsObserver>(
+        reg, std::move(observer_options));
+    // The voter serializes rounds under its mutex, satisfying the
+    // observer's one-scope threading contract.
+    engine.set_observer(observer_.get());
+  }
   hub_ = std::make_unique<HubNode>(engine.module_count(), *channels_,
-                                   options_.hub_close_at_count);
+                                   options_.hub_close_at_count, hub_telemetry);
   VoterOptions voter_options;
   voter_options.group = options_.group;
   voter_options.store = options_.store;
   voter_ = std::make_unique<VoterNode>(std::move(engine), *channels_,
                                        std::move(voter_options));
-  sink_ = std::make_unique<SinkNode>(*channels_);
+  sink_ = std::make_unique<SinkNode>(*channels_, sink_telemetry);
   for (size_t m = 0; m < generators.size(); ++m) {
     sensors_.push_back(std::make_unique<SensorNode>(
         m, std::move(generators[m]), channels_->readings));

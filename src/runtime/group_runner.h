@@ -23,12 +23,13 @@
 
 #include "core/engine.h"
 #include "data/round_table.h"
+#include "obs/stage_metrics.h"
 #include "runtime/nodes.h"
 #include "util/status.h"
 
 namespace avoc::runtime {
 
-/// GroupRunner configuration.
+/// GroupRunnerOptions configuration.
 struct GroupRunnerOptions {
   /// Group name: store key and log tag.
   std::string group = "default";
@@ -37,6 +38,15 @@ struct GroupRunnerOptions {
   /// Hub UNTIL-quorum: close a round once this many readings arrived
   /// (0 = close when every module reported or the round is flushed).
   size_t hub_close_at_count = 0;
+  /// Telemetry registry (optional).  When set, the runner attaches an
+  /// obs::MetricsObserver to the voter and instruments the hub and sink;
+  /// all metrics are labeled group="<group>".  The registry must outlive
+  /// the runner.
+  obs::Registry* registry = nullptr;
+  /// Stage/round latency sampling period for the metrics observer.
+  size_t metrics_sample_every = 16;
+  /// Exclusion-streak alert threshold (0 = off); see MetricsObserverOptions.
+  size_t exclusion_streak_alert = 0;
 };
 
 class GroupRunner {
@@ -89,12 +99,17 @@ class GroupRunner {
   const SinkNode& sink() const { return *sink_; }
   const VoterNode& voter() const { return *voter_; }
   const HubNode& hub() const { return *hub_; }
+  /// The attached metrics observer; nullptr without a registry.
+  const obs::MetricsObserver* metrics() const { return observer_.get(); }
 
  private:
   GroupRunner(std::vector<SensorNode::Generator> generators,
               core::VotingEngine engine, Options options);
 
   Options options_;
+  /// Watches the voter engine; must outlive voter_ (declared first so it
+  /// destructs last).  Null without a registry.
+  std::unique_ptr<obs::MetricsObserver> observer_;
   // Channels must outlive the nodes; heap allocation keeps addresses
   // stable for the node back-references.
   std::unique_ptr<GroupChannels> channels_;

@@ -96,6 +96,25 @@ MultiGroupEngine::MultiGroupEngine(std::vector<core::VotingEngine> engines,
       options_(options),
       engines_(std::move(engines)),
       history_block_(engines_.size() * module_count, 1.0) {
+  if (options_.registry != nullptr) {
+    const size_t shards = std::max<size_t>(1, options_.metrics_shards);
+    observers_.reserve(engines_.size());
+    for (size_t g = 0; g < engines_.size(); ++g) {
+      // One observer per group (the engine serializes its own rounds, and
+      // two groups of one shard may vote concurrently on different
+      // workers); the shard label makes same-shard groups share metrics.
+      obs::MetricsObserverOptions observer_options;
+      observer_options.scope = StrFormat("s%zu", g % shards);
+      observer_options.scope_label = "shard";
+      observer_options.sample_every = options_.metrics_sample_every;
+      // Batch rounds are sub-microsecond: amortize the registry writes.
+      observer_options.flush_every = 32;
+      observer_options.log_events = false;
+      observers_.push_back(std::make_unique<obs::MetricsObserver>(
+          *options_.registry, std::move(observer_options)));
+      engines_[g].set_observer(observers_.back().get());
+    }
+  }
   SyncHistory();
 }
 
@@ -160,6 +179,8 @@ Status MultiGroupEngine::RunBatch(std::span<const data::RoundTable> tables,
   for (const Status& status : statuses) {
     AVOC_RETURN_IF_ERROR(status);
   }
+  // The pool join above orders every worker's pending counts before this.
+  FlushObservers();
   SyncHistory();
   return Status::Ok();
 }
@@ -179,6 +200,7 @@ Status MultiGroupEngine::RunBatchSequential(
     MultiGroupTrace::GroupSink sink(&trace, g);
     AVOC_RETURN_IF_ERROR(core::RunOverTable(engines_[g], tables[g], sink));
   }
+  FlushObservers();
   SyncHistory();
   return Status::Ok();
 }
@@ -217,6 +239,34 @@ Status MultiGroupEngine::RestoreAll(std::span<const double> block,
   }
   SyncHistory();
   return Status::Ok();
+}
+
+void MultiGroupEngine::FlushObservers() {
+  for (const auto& observer : observers_) observer->Flush();
+}
+
+MultiGroupStats MultiGroupEngine::Stats() const {
+  MultiGroupStats stats;
+  // Shard metrics are shared by every group of the shard, so summing the
+  // first observer of each distinct shard covers the deployment once.
+  const size_t distinct =
+      std::min(observers_.size(), std::max<size_t>(1, options_.metrics_shards));
+  for (size_t s = 0; s < distinct; ++s) {
+    const obs::MetricsObserver& shard = *observers_[s];
+    stats.rounds += shard.rounds_total().Value();
+    stats.voted += shard.voted_total().Value();
+    stats.reverted += shard.reverted_total().Value();
+    stats.no_output += shard.no_output_total().Value();
+    stats.errors += shard.error_total().Value();
+    stats.excluded_modules += shard.excluded_modules_total().Value();
+    stats.eliminated_modules += shard.eliminated_modules_total().Value();
+    stats.clustered_rounds += shard.clustered_rounds_total().Value();
+    stats.history_collapse += shard.history_collapse_total().Value();
+    stats.quorum_failures += shard.quorum_failures_total().Value();
+    stats.majority_failures += shard.majority_failures_total().Value();
+    stats.round_latency.Merge(shard.round_latency().Snapshot());
+  }
+  return stats;
 }
 
 void MultiGroupEngine::ResetAll() {

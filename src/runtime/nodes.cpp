@@ -17,12 +17,13 @@ void SensorNode::Emit(size_t round) {
 }
 
 HubNode::HubNode(size_t module_count, GroupChannels& channels,
-                 size_t close_at_count)
+                 size_t close_at_count, HubTelemetry telemetry)
     : module_count_(module_count),
       close_at_count_(close_at_count == 0
                           ? module_count
                           : std::min(close_at_count, module_count)),
-      channels_(&channels) {
+      channels_(&channels),
+      telemetry_(telemetry) {
   subscription_ = channels_->readings.Subscribe(
       [this](const ReadingMessage& message) { OnReading(message); });
 }
@@ -38,7 +39,14 @@ void HubNode::OnReading(const ReadingMessage& message) {
   core::Round complete;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (closed_.count(message.round)) return;  // late reading, round gone
+    if (closed_.count(message.round)) {
+      // Late reading, round gone.
+      if (telemetry_.late_readings != nullptr) {
+        telemetry_.late_readings->Increment();
+      }
+      return;
+    }
+    if (telemetry_.readings != nullptr) telemetry_.readings->Increment();
     core::Round& pending = pending_[message.round];
     if (pending.empty()) pending.resize(module_count_);
     pending[message.module] = message.value;
@@ -46,10 +54,16 @@ void HubNode::OnReading(const ReadingMessage& message) {
     for (const auto& reading : pending) {
       if (reading.has_value()) ++present;
     }
-    if (present < close_at_count_) return;
+    if (present < close_at_count_) {
+      if (telemetry_.open_rounds != nullptr) {
+        telemetry_.open_rounds->Set(static_cast<double>(pending_.size()));
+      }
+      return;
+    }
     complete = std::move(pending);
     pending_.erase(message.round);
     closed_[message.round] = true;
+    NoteClosedLocked(message.round);
   }
   channels_->rounds.Publish(RoundMessage{message.round, std::move(complete)});
 }
@@ -68,8 +82,19 @@ void HubNode::Flush(size_t round, bool publish_empty) {
       pending_.erase(it);
     }
     closed_[round] = true;
+    NoteClosedLocked(round);
   }
   channels_->rounds.Publish(RoundMessage{round, std::move(readings)});
+}
+
+void HubNode::NoteClosedLocked(size_t round) {
+  if (telemetry_.rounds_closed != nullptr) telemetry_.rounds_closed->Increment();
+  if (telemetry_.open_rounds != nullptr) {
+    telemetry_.open_rounds->Set(static_cast<double>(pending_.size()));
+  }
+  if (telemetry_.last_closed_round != nullptr) {
+    telemetry_.last_closed_round->Set(static_cast<double>(round));
+  }
 }
 
 size_t HubNode::open_rounds() const {
@@ -134,7 +159,8 @@ Status VoterNode::last_status() const {
   return last_status_;
 }
 
-SinkNode::SinkNode(GroupChannels& channels) : channels_(&channels) {
+SinkNode::SinkNode(GroupChannels& channels, SinkTelemetry telemetry)
+    : channels_(&channels), telemetry_(telemetry) {
   subscription_ = channels_->outputs.Subscribe(
       [this](const OutputMessage& message) { OnOutput(message); });
 }
@@ -145,6 +171,17 @@ void SinkNode::OnOutput(const OutputMessage& message) {
   std::lock_guard<std::mutex> lock(mutex_);
   trace_.Append(message.result);
   rounds_.push_back(message.round);
+  if (telemetry_.outputs != nullptr) telemetry_.outputs->Increment();
+  if (telemetry_.last_round != nullptr) {
+    telemetry_.last_round->Set(static_cast<double>(message.round));
+  }
+  if (telemetry_.lag_rounds != nullptr) {
+    // Round numbers start at 0, so message.round + 1 rounds were dispatched
+    // up to here; anything this sink has not recorded was lost upstream.
+    const double dispatched = static_cast<double>(message.round) + 1.0;
+    telemetry_.lag_rounds->Set(
+        std::max(0.0, dispatched - static_cast<double>(rounds_.size())));
+  }
 }
 
 std::vector<OutputMessage> SinkNode::outputs() const {

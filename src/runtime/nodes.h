@@ -17,11 +17,32 @@
 
 #include "core/engine.h"
 #include "core/trace.h"
+#include "obs/metrics.h"
 #include "runtime/bus.h"
 #include "runtime/datastore.h"
 #include "util/status.h"
 
 namespace avoc::runtime {
+
+/// Optional hub instrumentation: null pointers disable each signal.  The
+/// metric objects live in an obs::Registry and are thread-safe, so hubs
+/// of different groups may share them (labels tell them apart).
+struct HubTelemetry {
+  obs::Counter* readings = nullptr;       ///< readings accepted
+  obs::Counter* late_readings = nullptr;  ///< dropped against a closed round
+  obs::Counter* rounds_closed = nullptr;  ///< rounds published downstream
+  obs::Gauge* open_rounds = nullptr;      ///< pending-round queue depth
+  obs::Gauge* last_closed_round = nullptr;
+};
+
+/// Optional sink instrumentation.
+struct SinkTelemetry {
+  obs::Counter* outputs = nullptr;  ///< fused outputs recorded
+  obs::Gauge* last_round = nullptr;
+  /// Rounds that closed upstream but never produced an output here
+  /// (hard CastVote/persistence errors drop the round before the sink).
+  obs::Gauge* lag_rounds = nullptr;
+};
 
 /// A single sensor reading addressed to a hub.
 struct ReadingMessage {
@@ -77,7 +98,7 @@ class HubNode {
   /// waiting for every module (later readings for the round are dropped).
   /// 0 keeps the default close-when-complete behaviour.
   HubNode(size_t module_count, GroupChannels& channels,
-          size_t close_at_count = 0);
+          size_t close_at_count = 0, HubTelemetry telemetry = {});
   ~HubNode();
 
   HubNode(const HubNode&) = delete;
@@ -96,9 +117,13 @@ class HubNode {
  private:
   void OnReading(const ReadingMessage& message);
 
+  /// Updates the close-side gauges; caller holds mutex_.
+  void NoteClosedLocked(size_t round);
+
   size_t module_count_;
   size_t close_at_count_;
   GroupChannels* channels_;
+  HubTelemetry telemetry_;
   SubscriptionId subscription_;
   mutable std::mutex mutex_;
   std::map<size_t, core::Round> pending_;   // round -> partial readings
@@ -147,7 +172,7 @@ class VoterNode {
 /// demand for consumers that still speak VoteResult.
 class SinkNode {
  public:
-  explicit SinkNode(GroupChannels& channels);
+  explicit SinkNode(GroupChannels& channels, SinkTelemetry telemetry = {});
   ~SinkNode();
 
   SinkNode(const SinkNode&) = delete;
@@ -174,6 +199,7 @@ class SinkNode {
   void OnOutput(const OutputMessage& message);
 
   GroupChannels* channels_;
+  SinkTelemetry telemetry_;
   SubscriptionId subscription_;
   mutable std::mutex mutex_;
   core::BatchTrace trace_;

@@ -85,6 +85,32 @@ std::string RemoteVoterServer::Handle(const std::string& line) {
   if (verb == "PING") return "PONG";
   if (verb == "QUIT") return "BYE";
 
+  if (verb == "METRICS") {
+    obs::Registry* registry = manager_->registry();
+    if (registry == nullptr) {
+      return "ERR metrics disabled (manager has no registry)";
+    }
+    // Multi-line response: the exposition's own '\n'-terminated lines,
+    // then the END sentinel (SendLine appends its newline).
+    return registry->RenderPrometheus() + "END";
+  }
+
+  if (verb == "HEALTH") {
+    const auto names = manager_->GroupNames();
+    std::string response = StrFormat("HEALTH %zu\n", names.size());
+    for (const std::string& name : names) {
+      auto runner = manager_->runner(name);
+      if (!runner.ok()) continue;  // group removed mid-iteration
+      const Status voter_status = (*runner)->voter().last_status();
+      response += StrFormat(
+          "GROUP %s modules=%zu outputs=%zu open=%zu status=%s\n",
+          name.c_str(), (*runner)->module_count(),
+          (*runner)->sink().output_count(), (*runner)->hub().open_rounds(),
+          voter_status.ok() ? "ok" : "error");
+    }
+    return response + "END";
+  }
+
   if (verb == "GROUPS") {
     const auto names = manager_->GroupNames();
     std::string response = StrFormat("GROUPS %zu", names.size());
@@ -189,6 +215,42 @@ Status RemoteVoterClient::Ping() {
   AVOC_ASSIGN_OR_RETURN(const std::string response, RoundTrip("PING"));
   if (response != "PONG") return IoError("unexpected response: " + response);
   return Status::Ok();
+}
+
+Result<std::vector<std::string>> RemoteVoterClient::RoundTripMultiLine(
+    const std::string& line) {
+  AVOC_RETURN_IF_ERROR(connection_.SendLine(line));
+  std::vector<std::string> lines;
+  while (true) {
+    AVOC_ASSIGN_OR_RETURN(std::string response, connection_.ReceiveLine());
+    if (response == "END") return lines;
+    if (lines.empty() && StartsWith(response, "ERR ")) {
+      return IoError("server: " + response.substr(4));
+    }
+    lines.push_back(std::move(response));
+  }
+}
+
+Result<std::string> RemoteVoterClient::Metrics() {
+  AVOC_ASSIGN_OR_RETURN(const std::vector<std::string> lines,
+                        RoundTripMultiLine("METRICS"));
+  std::string text;
+  for (const std::string& line : lines) {
+    text += line;
+    text += '\n';
+  }
+  return text;
+}
+
+Result<std::vector<std::string>> RemoteVoterClient::Health() {
+  AVOC_ASSIGN_OR_RETURN(std::vector<std::string> lines,
+                        RoundTripMultiLine("HEALTH"));
+  if (lines.empty() || !StartsWith(lines[0], "HEALTH ")) {
+    return IoError("unexpected response: " +
+                   (lines.empty() ? std::string("<empty>") : lines[0]));
+  }
+  lines.erase(lines.begin());
+  return lines;
 }
 
 }  // namespace avoc::runtime

@@ -4,12 +4,18 @@
 // its closing vision, "a compatible voter service running on an edge
 // node" receiving VDX definitions.
 //
-// Protocol (UTF-8 lines, space-separated tokens; responses are one line):
+// Protocol (UTF-8 lines, space-separated tokens; responses are one line
+// unless marked multi-line, in which case they end with an "END" line):
 //
 //   SUBMIT <group> <module> <round> <value>   -> OK | ERR <reason>
 //   CLOSE <group> <round>                     -> OK | ERR <reason>
 //   QUERY <group>                             -> VALUE <v> | NONE | ERR ...
 //   GROUPS                                    -> GROUPS <n> <name...>
+//   METRICS      -> multi-line Prometheus text exposition | ERR <reason>
+//                   (requires the manager to carry an obs::Registry)
+//   HEALTH       -> multi-line: "HEALTH <n>" then one
+//                   "GROUP <name> modules=<m> outputs=<o> open=<p>
+//                    status=<ok|error>" line per group
 //   PING                                      -> PONG
 //   QUIT                                      -> BYE (and disconnects)
 //
@@ -81,6 +87,11 @@ class RemoteVoterClient {
   Result<double> Query(const std::string& group);
   Result<std::vector<std::string>> Groups();
   Status Ping();
+  /// The server's Prometheus text exposition (one string, '\n'-separated
+  /// lines, END sentinel stripped).
+  Result<std::string> Metrics();
+  /// Per-group health lines ("GROUP <name> ..."), header/END stripped.
+  Result<std::vector<std::string>> Health();
 
  private:
   explicit RemoteVoterClient(TcpConnection connection)
@@ -88,6 +99,9 @@ class RemoteVoterClient {
 
   /// Sends one line, reads one response line, fails on ERR.
   Result<std::string> RoundTrip(const std::string& line);
+
+  /// Sends one line, reads response lines until "END", fails on ERR.
+  Result<std::vector<std::string>> RoundTripMultiLine(const std::string& line);
 
   TcpConnection connection_;
 };

@@ -6,7 +6,14 @@ namespace avoc::runtime {
 
 VoterService::VoterService(std::unique_ptr<GroupRunner> runner,
                            ServiceOptions options)
-    : options_(std::move(options)), runner_(std::move(runner)) {}
+    : options_(std::move(options)), runner_(std::move(runner)) {
+  if (options_.registry != nullptr) {
+    running_gauge_ = &options_.registry->GetGauge(
+        obs::LabeledName("avoc_service_running", "group", options_.group));
+    rounds_opened_counter_ = &options_.registry->GetCounter(obs::LabeledName(
+        "avoc_service_rounds_opened_total", "group", options_.group));
+  }
+}
 
 Result<std::unique_ptr<VoterService>> VoterService::Create(
     std::vector<SensorNode::Generator> samplers, core::VotingEngine engine,
@@ -23,6 +30,7 @@ Result<std::unique_ptr<VoterService>> VoterService::Create(
   GroupRunner::Options runner_options;
   runner_options.group = options.group;
   runner_options.store = options.store;
+  runner_options.registry = options.registry;
   AVOC_ASSIGN_OR_RETURN(
       std::unique_ptr<GroupRunner> runner,
       GroupRunner::WithGenerators(std::move(samplers), std::move(engine),
@@ -48,8 +56,10 @@ void VoterService::SchedulerLoop() {
   AVOC_LOG_INFO("voter service '%s': started (%lld ms rounds)",
                 options_.group.c_str(),
                 static_cast<long long>(options_.round_period.count()));
+  if (running_gauge_ != nullptr) running_gauge_->Set(1.0);
   while (running_.load()) {
     const size_t round = current_round_.fetch_add(1);
+    if (rounds_opened_counter_ != nullptr) rounds_opened_counter_->Increment();
     // Fan the sampling out to one short-lived worker per sensor so a slow
     // sensor cannot stall the others — its reading simply misses the
     // timeout and the round proceeds without it.
@@ -66,6 +76,7 @@ void VoterService::SchedulerLoop() {
     const auto remainder = options_.round_period - options_.round_timeout;
     if (remainder.count() > 0) std::this_thread::sleep_for(remainder);
   }
+  if (running_gauge_ != nullptr) running_gauge_->Set(0.0);
   AVOC_LOG_INFO("voter service '%s': stopped after %zu rounds",
                 options_.group.c_str(), current_round_.load());
 }

@@ -30,6 +30,9 @@ struct ServiceOptions {
   std::chrono::milliseconds round_timeout{100};
   HistoryStore* store = nullptr;
   std::string group = "live";
+  /// Telemetry registry (optional); forwarded to the GroupRunner and used
+  /// for the service-level gauges.  Must outlive the service.
+  obs::Registry* registry = nullptr;
 };
 
 class VoterService {
@@ -77,6 +80,8 @@ class VoterService {
 
   ServiceOptions options_;
   std::unique_ptr<GroupRunner> runner_;
+  obs::Gauge* running_gauge_ = nullptr;          ///< null when unobserved
+  obs::Counter* rounds_opened_counter_ = nullptr;
 
   // Serializes Start/Stop so a restart never races the old scheduler.
   std::mutex lifecycle_mutex_;

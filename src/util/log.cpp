@@ -1,8 +1,11 @@
 #include "util/log.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <mutex>
 
 namespace avoc {
@@ -10,12 +13,31 @@ namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
 std::mutex g_sink_mutex;
-LogSink g_sink;  // guarded by g_sink_mutex; empty -> stderr default
+/// Guarded by g_sink_mutex for swap; emitters copy the pointer under the
+/// lock and invoke the sink outside it.  null -> stderr default.
+std::shared_ptr<const LogSink> g_sink;
 
 void DefaultSink(LogLevel level, std::string_view message) {
+  // stdio locks the stream per call, so lines never interleave mid-write.
   std::fprintf(stderr, "[%s] %.*s\n", LogLevelName(level).data(),
                static_cast<int>(message.size()), message.data());
 }
+
+bool EqualsIgnoreCase(std::string_view text, std::string_view lower) {
+  if (text.size() != lower.size()) return false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(text[i])) != lower[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Applies AVOC_LOG_LEVEL before main() so early logging honours it.
+[[maybe_unused]] const bool g_env_level_applied = [] {
+  InitLogLevelFromEnv();
+  return true;
+}();
 
 }  // namespace
 
@@ -30,19 +52,51 @@ std::string_view LogLevelName(LogLevel level) {
   return "?";
 }
 
+std::optional<LogLevel> ParseLogLevel(std::string_view text) {
+  if (EqualsIgnoreCase(text, "debug")) return LogLevel::kDebug;
+  if (EqualsIgnoreCase(text, "info")) return LogLevel::kInfo;
+  if (EqualsIgnoreCase(text, "warn") || EqualsIgnoreCase(text, "warning")) {
+    return LogLevel::kWarn;
+  }
+  if (EqualsIgnoreCase(text, "error")) return LogLevel::kError;
+  if (EqualsIgnoreCase(text, "off") || EqualsIgnoreCase(text, "none")) {
+    return LogLevel::kOff;
+  }
+  if (text.size() == 1 && text[0] >= '0' && text[0] <= '4') {
+    return static_cast<LogLevel>(text[0] - '0');
+  }
+  return std::nullopt;
+}
+
 void SetLogSink(LogSink sink) {
+  std::shared_ptr<const LogSink> next =
+      sink ? std::make_shared<const LogSink>(std::move(sink)) : nullptr;
   std::lock_guard<std::mutex> lock(g_sink_mutex);
-  g_sink = std::move(sink);
+  g_sink.swap(next);
+  // next (the old sink) destructs outside emitters' hands only when the
+  // last concurrent LogMessage drops its copy.
 }
 
 void SetLogLevel(LogLevel level) { g_level = static_cast<int>(level); }
 
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
 
+std::optional<LogLevel> InitLogLevelFromEnv() {
+  const char* value = std::getenv("AVOC_LOG_LEVEL");
+  if (value == nullptr) return std::nullopt;
+  const std::optional<LogLevel> parsed = ParseLogLevel(value);
+  if (parsed.has_value()) SetLogLevel(*parsed);
+  return parsed;
+}
+
 void LogMessage(LogLevel level, std::string_view message) {
-  std::lock_guard<std::mutex> lock(g_sink_mutex);
-  if (g_sink) {
-    g_sink(level, message);
+  std::shared_ptr<const LogSink> sink;
+  {
+    std::lock_guard<std::mutex> lock(g_sink_mutex);
+    sink = g_sink;
+  }
+  if (sink != nullptr) {
+    (*sink)(level, message);
   } else {
     DefaultSink(level, message);
   }

@@ -2,11 +2,22 @@
 // fault-policy events through this; library code stays silent below WARN.
 //
 // The logger is intentionally tiny: a global level, a single sink callback,
-// and printf-style helpers.  It is thread-safe (sink invocation is
-// serialised) because the runtime's threaded mode logs from worker threads.
+// and printf-style helpers.  It is thread-safe because the runtime's
+// threaded mode logs from worker threads: the level is one atomic, and the
+// installed sink is published through a shared_ptr that callers copy under
+// a short lock and invoke outside it — a slow sink never blocks SetLogSink,
+// and a sink may itself log (the recursive call simply re-reads the
+// pointer).  Messages through one sink may interleave across threads; sinks
+// needing total order serialize internally (the stderr default relies on
+// stdio's own locking).
+//
+// The initial level comes from the AVOC_LOG_LEVEL environment variable
+// ("debug", "info", "warn", "error", "off", or a numeric 0-4) and defaults
+// to WARN when unset or unparseable.
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -16,15 +27,26 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
 std::string_view LogLevelName(LogLevel level);
 
+/// Parses "debug" / "info" / "warn"("warning") / "error" / "off"("none"),
+/// case-insensitively, or a numeric level 0-4.  nullopt when unparseable.
+std::optional<LogLevel> ParseLogLevel(std::string_view text);
+
 /// Sink receives fully formatted messages (no trailing newline).
 using LogSink = std::function<void(LogLevel, std::string_view)>;
 
 /// Replaces the global sink.  Passing nullptr restores the stderr default.
+/// A sink already running on another thread may still be invoked after
+/// this returns (callers hold a reference while they emit).
 void SetLogSink(LogSink sink);
 
 /// Sets the global minimum level; messages below are dropped.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Re-reads AVOC_LOG_LEVEL and applies it; returns the level applied, or
+/// nullopt (level untouched) when the variable is unset or unparseable.
+/// Runs once automatically at startup; call it again after setenv.
+std::optional<LogLevel> InitLogLevelFromEnv();
 
 /// Core logging entry point; prefer the AVOC_LOG_* macros.
 void LogMessage(LogLevel level, std::string_view message);

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <thread>
 #include <vector>
 
 namespace avoc {
@@ -64,6 +68,77 @@ TEST_F(LogTest, LevelNames) {
 TEST_F(LogTest, GetLogLevelReflectsSetting) {
   SetLogLevel(LogLevel::kInfo);
   EXPECT_EQ(GetLogLevel(), LogLevel::kInfo);
+}
+
+TEST_F(LogTest, ParseLogLevelAcceptsNamesAndDigits) {
+  EXPECT_EQ(ParseLogLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("Warn"), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("warning"), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("error"), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("off"), LogLevel::kOff);
+  EXPECT_EQ(ParseLogLevel("none"), LogLevel::kOff);
+  EXPECT_EQ(ParseLogLevel("0"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("3"), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel(""), std::nullopt);
+  EXPECT_EQ(ParseLogLevel("verbose"), std::nullopt);
+  EXPECT_EQ(ParseLogLevel("7"), std::nullopt);
+}
+
+TEST_F(LogTest, EnvVariableSetsTheLevel) {
+  ASSERT_EQ(setenv("AVOC_LOG_LEVEL", "error", 1), 0);
+  EXPECT_EQ(InitLogLevelFromEnv(), LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+
+  // Unparseable and unset values leave the level untouched.
+  ASSERT_EQ(setenv("AVOC_LOG_LEVEL", "nonsense", 1), 0);
+  EXPECT_EQ(InitLogLevelFromEnv(), std::nullopt);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  ASSERT_EQ(unsetenv("AVOC_LOG_LEVEL"), 0);
+  EXPECT_EQ(InitLogLevelFromEnv(), std::nullopt);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+}
+
+TEST_F(LogTest, ConcurrentLoggersAndSinkSwapsLoseNoMessages) {
+  // TSan target: worker threads log while the main thread re-installs
+  // the sink.  Every message must reach exactly one capturing sink.
+  auto counted = std::make_shared<std::atomic<int>>(0);
+  auto make_sink = [counted](int /*tag*/) {
+    return [counted](LogLevel, std::string_view) {
+      counted->fetch_add(1, std::memory_order_relaxed);
+    };
+  };
+  SetLogSink(make_sink(0));
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> loggers;
+  loggers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    loggers.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        AVOC_LOG_INFO("worker %d message %d", t, i);
+      }
+    });
+  }
+  for (int swap = 0; swap < 50; ++swap) {
+    SetLogSink(make_sink(swap));
+  }
+  for (std::thread& logger : loggers) logger.join();
+  EXPECT_EQ(counted->load(), kThreads * kPerThread);
+}
+
+TEST_F(LogTest, SinkMayLogRecursivelyWithoutDeadlock) {
+  auto depth = std::make_shared<std::atomic<int>>(0);
+  auto messages = std::make_shared<std::atomic<int>>(0);
+  SetLogSink([depth, messages](LogLevel, std::string_view) {
+    messages->fetch_add(1);
+    if (depth->fetch_add(1) == 0) {
+      AVOC_LOG_ERROR("from inside the sink");
+    }
+    depth->fetch_sub(1);
+  });
+  AVOC_LOG_ERROR("outer");
+  EXPECT_EQ(messages->load(), 2);
 }
 
 }  // namespace
