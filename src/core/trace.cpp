@@ -165,6 +165,33 @@ void BatchTrace::Append(const VoteResult& result) {
   EndRound(scalars);
 }
 
+void BatchTrace::AppendFrom(const TraceView& src, size_t r) {
+  if (modules_ == 0) modules_ = src.module_count();
+  RoundColumns columns = BeginRound(modules_);
+  const size_t n = std::min(modules_, src.module_count());
+  const auto w = src.weights(r);
+  const auto a = src.agreement(r);
+  const auto h = src.history(r);
+  const auto ex = src.excluded(r);
+  const auto el = src.eliminated(r);
+  std::copy_n(w.begin(), n, columns.weights.begin());
+  std::copy_n(a.begin(), n, columns.agreement.begin());
+  std::copy_n(h.begin(), n, columns.history.begin());
+  std::copy_n(ex.begin(), n, columns.excluded.begin());
+  std::copy_n(el.begin(), n, columns.eliminated.begin());
+  RoundScalars scalars;
+  const TraceColumns& c = src.columns();
+  scalars.has_value = c.engaged[r] != 0;
+  scalars.value = c.values[r];
+  scalars.outcome = c.outcomes[r];
+  scalars.used_clustering = c.used_clustering[r] != 0;
+  scalars.had_majority = c.had_majority[r] != 0;
+  scalars.present_count = c.present_counts[r];
+  const Status status = src.status(r);
+  scalars.status = &status;
+  EndRound(scalars);
+}
+
 TraceView BatchTrace::view() const {
   TraceColumns columns;
   columns.rounds = rounds_;

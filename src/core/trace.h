@@ -139,6 +139,12 @@ class BatchTrace final : public VoteSink {
   /// Adopts the result's arity when the trace is still empty/unsized.
   void Append(const VoteResult& result);
 
+  /// Copies row `r` of another trace in as one round — the bulk-append
+  /// path of batch-driven sinks, with no intermediate VoteResult (and
+  /// thus no per-round heap vectors).  Adopts the source's arity when the
+  /// trace is still empty/unsized.
+  void AppendFrom(const TraceView& src, size_t r);
+
   // --- read surface ---------------------------------------------------------
   size_t round_count() const { return rounds_; }
   size_t module_count() const { return modules_; }

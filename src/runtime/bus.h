@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <shared_mutex>
 #include <utility>
 #include <vector>
 
@@ -25,15 +26,17 @@ class Topic {
 
   /// Registers a handler; returns an id usable with Unsubscribe.
   SubscriptionId Subscribe(Handler handler) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::shared_mutex> lock(mutex_);
     const SubscriptionId id = next_id_++;
     handlers_.emplace_back(id, std::move(handler));
     return id;
   }
 
-  /// Removes a handler; returns whether it existed.
+  /// Removes a handler; returns whether it existed.  Blocks until every
+  /// in-flight Publish has left the handler list, so a subscriber may
+  /// safely destroy itself right after Unsubscribe returns.
   bool Unsubscribe(SubscriptionId id) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::shared_mutex> lock(mutex_);
     for (auto it = handlers_.begin(); it != handlers_.end(); ++it) {
       if (it->first == id) {
         handlers_.erase(it);
@@ -44,11 +47,15 @@ class Topic {
   }
 
   /// Delivers `message` to every subscriber, in subscription order.
-  /// Handlers run under the topic lock: handlers must not re-enter
-  /// Subscribe/Publish on the *same* topic (the pipeline topology is a
-  /// DAG over distinct topics, so this never bites in practice).
+  /// Handlers run under a SHARED lock: concurrent publishers proceed in
+  /// parallel (a slow handler on one thread no longer serializes every
+  /// other publisher), while Subscribe/Unsubscribe still exclude all
+  /// in-flight deliveries.  Handlers must not call Subscribe/Unsubscribe
+  /// on the *same* topic (the pipeline topology is a DAG over distinct
+  /// topics, so this never bites in practice); re-entrant Publish on the
+  /// same topic is fine.
   void Publish(const Message& message) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::shared_lock<std::shared_mutex> lock(mutex_);
     for (const auto& [id, handler] : handlers_) {
       (void)id;
       handler(message);
@@ -56,12 +63,12 @@ class Topic {
   }
 
   size_t subscriber_count() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::shared_lock<std::shared_mutex> lock(mutex_);
     return handlers_.size();
   }
 
  private:
-  mutable std::mutex mutex_;
+  mutable std::shared_mutex mutex_;
   std::vector<std::pair<SubscriptionId, Handler>> handlers_;
   SubscriptionId next_id_ = 1;
 };

@@ -1,0 +1,297 @@
+#include "runtime/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "util/strings.h"
+
+namespace avoc::runtime {
+namespace {
+
+Status Errno(const char* what) {
+  return IoError(StrFormat("%s: %s", what, std::strerror(errno)));
+}
+
+uint32_t ToEpoll(uint32_t interest) {
+  uint32_t events = 0;
+  if (interest & kIoRead) events |= EPOLLIN;
+  if (interest & kIoWrite) events |= EPOLLOUT;
+  return events;
+}
+
+uint32_t FromEpoll(uint32_t events) {
+  uint32_t ready = 0;
+  if (events & (EPOLLIN | EPOLLHUP)) ready |= kIoRead;
+  if (events & EPOLLOUT) ready |= kIoWrite;
+  if (events & EPOLLERR) ready |= kIoError;
+  return ready;
+}
+
+}  // namespace
+
+// --- TimerWheel --------------------------------------------------------------
+
+TimerWheel::TimerWheel(uint64_t tick_ms, size_t slots)
+    : tick_ms_(tick_ms == 0 ? 1 : tick_ms),
+      slots_(slots == 0 ? 1 : slots) {}
+
+uint64_t TimerWheel::Schedule(uint64_t now_ms, uint64_t delay_ms,
+                              std::function<void()> fn) {
+  const uint64_t now_tick = now_ms / tick_ms_;
+  if (last_tick_ == 0 && pending_ == 0) last_tick_ = now_tick;
+  // Round the deadline up so a timer never fires early.
+  const uint64_t due_tick = (now_ms + delay_ms + tick_ms_ - 1) / tick_ms_;
+  const uint64_t id = next_id_++;
+  slots_[due_tick % slots_.size()].push_back(
+      Entry{id, due_tick, std::move(fn)});
+  ++pending_;
+  return id;
+}
+
+bool TimerWheel::Cancel(uint64_t id) {
+  for (auto& slot : slots_) {
+    for (auto it = slot.begin(); it != slot.end(); ++it) {
+      if (it->id == id) {
+        slot.erase(it);
+        --pending_;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void TimerWheel::Advance(uint64_t now_ms) {
+  if (pending_ == 0) {
+    last_tick_ = now_ms / tick_ms_;
+    return;
+  }
+  const uint64_t now_tick = now_ms / tick_ms_;
+  // Walk at most one full wheel revolution, starting at last_tick_ itself
+  // (a zero-delay timer lands in the current tick).  Entries further out
+  // than `slots_` ticks share slots with nearer ones and are filtered by
+  // due_tick, so a single pass over each slot suffices.
+  const uint64_t first = last_tick_;
+  const uint64_t span = now_tick >= last_tick_ ? now_tick - last_tick_ : 0;
+  const uint64_t steps = std::min<uint64_t>(span + 1, slots_.size());
+  for (uint64_t tick = first; tick < first + steps; ++tick) {
+    auto& slot = slots_[tick % slots_.size()];
+    for (size_t i = 0; i < slot.size();) {
+      if (slot[i].due_tick <= now_tick) {
+        // Move out before invoking: the callback may schedule new timers.
+        std::function<void()> fn = std::move(slot[i].fn);
+        slot.erase(slot.begin() + static_cast<ptrdiff_t>(i));
+        --pending_;
+        fn();
+      } else {
+        ++i;
+      }
+    }
+  }
+  // A long stall (span > slots_) may leave due entries in unvisited
+  // slots; sweep everything in that rare case.
+  if (span > slots_.size() && pending_ > 0) {
+    for (auto& slot : slots_) {
+      for (size_t i = 0; i < slot.size();) {
+        if (slot[i].due_tick <= now_tick) {
+          std::function<void()> fn = std::move(slot[i].fn);
+          slot.erase(slot.begin() + static_cast<ptrdiff_t>(i));
+          --pending_;
+          fn();
+        } else {
+          ++i;
+        }
+      }
+    }
+  }
+  last_tick_ = now_tick;
+}
+
+int64_t TimerWheel::MsUntilNext(uint64_t now_ms) const {
+  if (pending_ == 0) return -1;
+  uint64_t soonest = UINT64_MAX;
+  for (const auto& slot : slots_) {
+    for (const Entry& entry : slot) {
+      soonest = std::min(soonest, entry.due_tick);
+    }
+  }
+  const uint64_t due_ms = soonest * tick_ms_;
+  return due_ms <= now_ms ? 0 : static_cast<int64_t>(due_ms - now_ms);
+}
+
+// --- EventLoop ---------------------------------------------------------------
+
+EventLoop::EventLoop(int epoll_fd, int wake_fd)
+    : epoll_fd_(epoll_fd), wake_fd_(wake_fd) {}
+
+Result<std::unique_ptr<EventLoop>> EventLoop::Create() {
+  const int epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd < 0) return Errno("epoll_create1");
+  const int wake_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd < 0) {
+    const Status status = Errno("eventfd");
+    ::close(epoll_fd);
+    return status;
+  }
+  epoll_event event{};
+  event.events = EPOLLIN;
+  event.data.u64 = 0;  // generation 0 is reserved for the wakeup fd
+  if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, wake_fd, &event) != 0) {
+    const Status status = Errno("epoll_ctl(wakeup)");
+    ::close(wake_fd);
+    ::close(epoll_fd);
+    return status;
+  }
+  return std::unique_ptr<EventLoop>(new EventLoop(epoll_fd, wake_fd));
+}
+
+EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+Status EventLoop::Watch(int fd, uint32_t interest, IoCallback callback) {
+  if (fd < 0) return InvalidArgumentError("cannot watch a closed fd");
+  if (watched_.count(fd)) {
+    return FailedPreconditionError(StrFormat("fd %d already watched", fd));
+  }
+  Watched entry;
+  entry.generation = next_generation_++;
+  entry.interest = interest;
+  entry.callback = std::make_shared<IoCallback>(std::move(callback));
+  epoll_event event{};
+  event.events = ToEpoll(interest);
+  event.data.u64 = (static_cast<uint64_t>(static_cast<uint32_t>(fd)) << 32) |
+                   (entry.generation & 0xFFFFFFFFu);
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) != 0) {
+    return Errno("epoll_ctl(add)");
+  }
+  watched_.emplace(fd, std::move(entry));
+  return Status::Ok();
+}
+
+Status EventLoop::SetInterest(int fd, uint32_t interest) {
+  auto it = watched_.find(fd);
+  if (it == watched_.end()) {
+    return NotFoundError(StrFormat("fd %d is not watched", fd));
+  }
+  if (it->second.interest == interest) return Status::Ok();
+  epoll_event event{};
+  event.events = ToEpoll(interest);
+  event.data.u64 = (static_cast<uint64_t>(static_cast<uint32_t>(fd)) << 32) |
+                   (it->second.generation & 0xFFFFFFFFu);
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &event) != 0) {
+    return Errno("epoll_ctl(mod)");
+  }
+  it->second.interest = interest;
+  return Status::Ok();
+}
+
+Status EventLoop::Unwatch(int fd) {
+  auto it = watched_.find(fd);
+  if (it == watched_.end()) {
+    return NotFoundError(StrFormat("fd %d is not watched", fd));
+  }
+  watched_.erase(it);
+  // The fd may already be closed by the caller; EBADF is then expected.
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr) != 0 &&
+      errno != EBADF && errno != ENOENT) {
+    return Errno("epoll_ctl(del)");
+  }
+  return Status::Ok();
+}
+
+uint64_t EventLoop::ScheduleTimer(uint64_t delay_ms,
+                                  std::function<void()> fn) {
+  return timers_.Schedule(NowMs(), delay_ms, std::move(fn));
+}
+
+bool EventLoop::CancelTimer(uint64_t id) { return timers_.Cancel(id); }
+
+void EventLoop::Post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(posted_mutex_);
+    posted_.push_back(std::move(fn));
+  }
+  const uint64_t one = 1;
+  (void)!::write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::DrainWake() {
+  uint64_t count = 0;
+  while (::read(wake_fd_, &count, sizeof(count)) > 0) {
+  }
+}
+
+void EventLoop::RunPosted() {
+  std::vector<std::function<void()>> batch;
+  {
+    std::lock_guard<std::mutex> lock(posted_mutex_);
+    batch.swap(posted_);
+  }
+  for (auto& fn : batch) fn();
+}
+
+Status EventLoop::RunOnce(int max_wait_ms) {
+  int timeout = max_wait_ms;
+  const int64_t timer_wait = timers_.MsUntilNext(NowMs());
+  if (timer_wait >= 0 && (timeout < 0 || timer_wait < timeout)) {
+    timeout = static_cast<int>(timer_wait);
+  }
+  epoll_event events[64];
+  const int n = ::epoll_wait(epoll_fd_, events, 64, timeout);
+  if (n < 0 && errno != EINTR) return Errno("epoll_wait");
+  for (int i = 0; i < n; ++i) {
+    const uint64_t tag = events[i].data.u64;
+    if (tag == 0) {
+      DrainWake();
+      continue;
+    }
+    // Look up by fd, then verify the generation stamp: a callback earlier
+    // in this batch may have unwatched the fd (or a new registration may
+    // have reused its number), in which case the stale readiness is dropped.
+    const int fd = static_cast<int>(tag >> 32);
+    const uint32_t generation = static_cast<uint32_t>(tag & 0xFFFFFFFFu);
+    auto it = watched_.find(fd);
+    if (it == watched_.end() ||
+        static_cast<uint32_t>(it->second.generation & 0xFFFFFFFFu) !=
+            generation) {
+      continue;
+    }
+    // Hold a reference: the callback may unwatch its own fd.
+    const std::shared_ptr<IoCallback> callback = it->second.callback;
+    (*callback)(FromEpoll(events[i].events));
+  }
+  RunPosted();
+  timers_.Advance(NowMs());
+  return Status::Ok();
+}
+
+void EventLoop::Run() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    (void)RunOnce(-1);
+  }
+  // Run anything posted between the last poll and Stop.
+  RunPosted();
+}
+
+void EventLoop::Stop() {
+  stop_.store(true, std::memory_order_release);
+  const uint64_t one = 1;
+  (void)!::write(wake_fd_, &one, sizeof(one));
+}
+
+uint64_t EventLoop::NowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace avoc::runtime

@@ -1,0 +1,140 @@
+// Single-threaded epoll reactor for the networked voter service.
+//
+// The remote runtime used to spend one blocking thread per connection;
+// this loop multiplexes every connection (plus the listener, a wakeup
+// eventfd, and a timer wheel for idle timeouts) onto one thread with
+// non-blocking I/O.  The design is deliberately small: level-triggered
+// epoll, callbacks keyed by fd with a generation stamp so a slot reused
+// mid-dispatch cannot receive a stale event, and cross-thread input only
+// through Post/Stop (everything else is loop-thread-only).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/status.h"
+
+namespace avoc::runtime {
+
+/// I/O interest / readiness bits (mapped onto EPOLLIN/EPOLLOUT/EPOLLERR
+/// internally so the header stays sys/epoll.h-free).
+inline constexpr uint32_t kIoRead = 1u << 0;
+inline constexpr uint32_t kIoWrite = 1u << 1;
+/// Delivered (never requested): error or hangup on the descriptor.
+inline constexpr uint32_t kIoError = 1u << 2;
+
+/// Hashed timer wheel with fixed tick granularity.  Timers are one-shot;
+/// firing order within a tick is schedule order.  Not thread-safe — it
+/// lives on the event-loop thread.
+class TimerWheel {
+ public:
+  explicit TimerWheel(uint64_t tick_ms = 25, size_t slots = 128);
+
+  /// Schedules `fn` to fire `delay_ms` from `now_ms`; returns a handle.
+  uint64_t Schedule(uint64_t now_ms, uint64_t delay_ms,
+                    std::function<void()> fn);
+
+  /// Cancels a pending timer; false when already fired or unknown.
+  bool Cancel(uint64_t id);
+
+  /// Fires every timer due at or before `now_ms`.
+  void Advance(uint64_t now_ms);
+
+  /// Milliseconds until the next pending timer could fire (tick
+  /// granularity), or -1 when no timer is pending.
+  int64_t MsUntilNext(uint64_t now_ms) const;
+
+  size_t pending() const { return pending_; }
+  uint64_t tick_ms() const { return tick_ms_; }
+
+ private:
+  struct Entry {
+    uint64_t id = 0;
+    uint64_t due_tick = 0;
+    std::function<void()> fn;
+  };
+
+  uint64_t tick_ms_;
+  std::vector<std::vector<Entry>> slots_;
+  uint64_t last_tick_ = 0;
+  uint64_t next_id_ = 1;
+  size_t pending_ = 0;
+};
+
+/// The reactor.  Run() dispatches until Stop(); every callback runs on
+/// the loop thread.  Watch/SetInterest/Unwatch/ScheduleTimer are
+/// loop-thread-only (call them from callbacks or before Run); Post and
+/// Stop are safe from any thread.
+class EventLoop {
+ public:
+  using IoCallback = std::function<void(uint32_t events)>;
+
+  static Result<std::unique_ptr<EventLoop>> Create();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` with the given interest bits.  The callback receives
+  /// the ready bits (kIoRead/kIoWrite/kIoError) and may Unwatch any fd,
+  /// including its own.
+  Status Watch(int fd, uint32_t interest, IoCallback callback);
+
+  /// Replaces the interest bits of a watched fd.
+  Status SetInterest(int fd, uint32_t interest);
+
+  /// Deregisters `fd`.  Safe against in-flight events: pending readiness
+  /// for the old registration is discarded.
+  Status Unwatch(int fd);
+
+  /// One-shot timer on the loop's timer wheel (tick granularity).
+  uint64_t ScheduleTimer(uint64_t delay_ms, std::function<void()> fn);
+  bool CancelTimer(uint64_t id);
+
+  /// Enqueues `fn` to run on the loop thread.  Thread-safe.
+  void Post(std::function<void()> fn);
+
+  /// Dispatches events until Stop().
+  void Run();
+
+  /// One poll-and-dispatch pass, waiting at most `max_wait_ms` (testing
+  /// and embedding; -1 = block until something happens).
+  Status RunOnce(int max_wait_ms);
+
+  /// Wakes the loop and makes Run() return.  Thread-safe, idempotent.
+  void Stop();
+
+  bool stopped() const { return stop_.load(); }
+
+  /// Steady-clock milliseconds (the wheel's time base).
+  static uint64_t NowMs();
+
+ private:
+  EventLoop(int epoll_fd, int wake_fd);
+
+  void DrainWake();
+  void RunPosted();
+
+  struct Watched {
+    uint64_t generation = 0;
+    uint32_t interest = 0;
+    std::shared_ptr<IoCallback> callback;
+  };
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  uint64_t next_generation_ = 1;
+  std::map<int, Watched> watched_;  // loop thread only
+  TimerWheel timers_;
+
+  std::mutex posted_mutex_;
+  std::vector<std::function<void()>> posted_;
+};
+
+}  // namespace avoc::runtime

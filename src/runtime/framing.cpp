@@ -1,0 +1,313 @@
+#include "runtime/framing.h"
+
+#include <cstring>
+
+#include "util/strings.h"
+
+namespace avoc::runtime {
+namespace {
+
+/// Longest accepted varint anywhere (uint64 = 10 LEB128 bytes).
+constexpr size_t kMaxVarintBytes = 10;
+
+uint64_t DoubleBits(double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+double DoubleFromBits(uint64_t bits) {
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+}  // namespace
+
+std::string_view FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kSubmitBatch: return "SUBMIT_BATCH";
+    case FrameType::kClose: return "CLOSE";
+    case FrameType::kQuery: return "QUERY";
+    case FrameType::kGroups: return "GROUPS";
+    case FrameType::kMetrics: return "METRICS";
+    case FrameType::kHealth: return "HEALTH";
+    case FrameType::kPing: return "PING";
+    case FrameType::kQuit: return "QUIT";
+    case FrameType::kOk: return "OK";
+    case FrameType::kError: return "ERR";
+    case FrameType::kValue: return "VALUE";
+    case FrameType::kNone: return "NONE";
+    case FrameType::kGroupList: return "GROUP_LIST";
+    case FrameType::kText: return "TEXT";
+    case FrameType::kPong: return "PONG";
+    case FrameType::kBye: return "BYE";
+  }
+  return "UNKNOWN";
+}
+
+void AppendVarint(std::string& out, uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<char>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  out.push_back(static_cast<char>(value));
+}
+
+void AppendDouble(std::string& out, double value) {
+  uint64_t bits = DoubleBits(value);
+  for (size_t i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>(bits & 0xFF));
+    bits >>= 8;
+  }
+}
+
+void AppendLengthPrefixedString(std::string& out, std::string_view s) {
+  AppendVarint(out, s.size());
+  out.append(s);
+}
+
+std::string EncodeFrame(FrameType type, std::string_view payload) {
+  std::string frame;
+  frame.reserve(payload.size() + 6);
+  AppendVarint(frame, payload.size() + 1);  // body = type byte + payload
+  frame.push_back(static_cast<char>(type));
+  frame.append(payload);
+  return frame;
+}
+
+Result<uint64_t> PayloadReader::ReadVarint() {
+  uint64_t value = 0;
+  int shift = 0;
+  for (size_t i = 0; i < kMaxVarintBytes; ++i) {
+    if (pos_ >= data_.size()) return ParseError("truncated varint");
+    const uint8_t byte = static_cast<uint8_t>(data_[pos_++]);
+    if (i == kMaxVarintBytes - 1 && (byte & 0x80) != 0) {
+      return ParseError("varint too long");
+    }
+    value |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+  return ParseError("varint too long");
+}
+
+Result<double> PayloadReader::ReadDouble() {
+  if (remaining() < 8) return ParseError("truncated double");
+  uint64_t bits = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    bits |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i])) << (8 * i);
+  }
+  pos_ += 8;
+  return DoubleFromBits(bits);
+}
+
+Result<std::string_view> PayloadReader::ReadString() {
+  AVOC_ASSIGN_OR_RETURN(const uint64_t length, ReadVarint());
+  if (length > remaining()) return ParseError("truncated string");
+  std::string_view s = data_.substr(pos_, static_cast<size_t>(length));
+  pos_ += static_cast<size_t>(length);
+  return s;
+}
+
+Status PayloadReader::ExpectEnd() const {
+  if (pos_ != data_.size()) {
+    return ParseError(StrFormat("trailing payload bytes: %zu unread",
+                                data_.size() - pos_));
+  }
+  return Status::Ok();
+}
+
+void FrameDecoder::Feed(std::string_view bytes) {
+  if (poisoned_) return;  // boundaries already lost, don't accumulate
+  // Compact lazily: only when the consumed prefix dominates the buffer.
+  if (pos_ > 4096 && pos_ > buffer_.size() / 2) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buffer_.append(bytes);
+}
+
+Result<Frame> FrameDecoder::Next() {
+  if (poisoned_) return ParseError("frame decoder poisoned by earlier error");
+  // Decode the length prefix byte by byte so a partial varint simply
+  // waits for more input while an over-long one fails immediately.
+  uint64_t body_len = 0;
+  int shift = 0;
+  size_t cursor = pos_;
+  for (size_t i = 0;; ++i) {
+    if (cursor >= buffer_.size()) return NotFoundError("need more bytes");
+    if (i >= kMaxLengthVarintBytes) {
+      poisoned_ = true;
+      return ParseError("frame length varint too long");
+    }
+    const uint8_t byte = static_cast<uint8_t>(buffer_[cursor++]);
+    body_len |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    shift += 7;
+    if ((byte & 0x80) == 0) break;
+  }
+  if (body_len == 0) {
+    poisoned_ = true;
+    return ParseError("zero-length frame body");
+  }
+  if (body_len > max_frame_bytes_) {
+    poisoned_ = true;
+    return ParseError(StrFormat("frame body of %llu bytes exceeds limit %zu",
+                                static_cast<unsigned long long>(body_len),
+                                max_frame_bytes_));
+  }
+  if (buffer_.size() - cursor < body_len) return NotFoundError("need more bytes");
+  Frame frame;
+  frame.type = static_cast<FrameType>(static_cast<uint8_t>(buffer_[cursor]));
+  frame.payload.assign(buffer_, cursor + 1, static_cast<size_t>(body_len) - 1);
+  pos_ = cursor + static_cast<size_t>(body_len);
+  if (pos_ == buffer_.size()) {
+    buffer_.clear();
+    pos_ = 0;
+  }
+  return frame;
+}
+
+std::string EncodeSubmitBatch(std::string_view group,
+                              std::span<const BatchReading> readings) {
+  std::string payload;
+  payload.reserve(group.size() + 4 + readings.size() * 14);
+  AppendLengthPrefixedString(payload, group);
+  AppendVarint(payload, readings.size());
+  for (const BatchReading& reading : readings) {
+    AppendVarint(payload, reading.module);
+    AppendVarint(payload, reading.round);
+    AppendDouble(payload, reading.value);
+  }
+  return payload;
+}
+
+Status DecodeSubmitBatch(std::string_view payload, std::string* group,
+                         std::vector<BatchReading>* readings) {
+  PayloadReader reader(payload);
+  AVOC_ASSIGN_OR_RETURN(const std::string_view name, reader.ReadString());
+  AVOC_ASSIGN_OR_RETURN(const uint64_t count, reader.ReadVarint());
+  // Each reading needs >= 10 payload bytes; an absurd count with a tiny
+  // payload is a pathological-length attack, not an allocation request.
+  if (count > reader.remaining()) {
+    return ParseError("reading count exceeds payload size");
+  }
+  group->assign(name);
+  readings->clear();
+  readings->reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    BatchReading reading;
+    AVOC_ASSIGN_OR_RETURN(reading.module, reader.ReadVarint());
+    AVOC_ASSIGN_OR_RETURN(reading.round, reader.ReadVarint());
+    AVOC_ASSIGN_OR_RETURN(reading.value, reader.ReadDouble());
+    readings->push_back(reading);
+  }
+  return reader.ExpectEnd();
+}
+
+std::string EncodeClose(std::string_view group, uint64_t round) {
+  std::string payload;
+  AppendLengthPrefixedString(payload, group);
+  AppendVarint(payload, round);
+  return payload;
+}
+
+Status DecodeClose(std::string_view payload, std::string* group,
+                   uint64_t* round) {
+  PayloadReader reader(payload);
+  AVOC_ASSIGN_OR_RETURN(const std::string_view name, reader.ReadString());
+  AVOC_ASSIGN_OR_RETURN(*round, reader.ReadVarint());
+  group->assign(name);
+  return reader.ExpectEnd();
+}
+
+std::string EncodeQuery(std::string_view group) {
+  std::string payload;
+  AppendLengthPrefixedString(payload, group);
+  return payload;
+}
+
+Status DecodeQuery(std::string_view payload, std::string* group) {
+  PayloadReader reader(payload);
+  AVOC_ASSIGN_OR_RETURN(const std::string_view name, reader.ReadString());
+  group->assign(name);
+  return reader.ExpectEnd();
+}
+
+std::string EncodeOk(uint64_t accepted) {
+  std::string payload;
+  AppendVarint(payload, accepted);
+  return payload;
+}
+
+Status DecodeOk(std::string_view payload, uint64_t* accepted) {
+  PayloadReader reader(payload);
+  AVOC_ASSIGN_OR_RETURN(*accepted, reader.ReadVarint());
+  return reader.ExpectEnd();
+}
+
+std::string EncodeError(std::string_view reason) {
+  std::string payload;
+  AppendLengthPrefixedString(payload, reason);
+  return payload;
+}
+
+Status DecodeError(std::string_view payload, std::string* reason) {
+  PayloadReader reader(payload);
+  AVOC_ASSIGN_OR_RETURN(const std::string_view text, reader.ReadString());
+  reason->assign(text);
+  return reader.ExpectEnd();
+}
+
+std::string EncodeValue(double value) {
+  std::string payload;
+  AppendDouble(payload, value);
+  return payload;
+}
+
+Status DecodeValue(std::string_view payload, double* value) {
+  PayloadReader reader(payload);
+  AVOC_ASSIGN_OR_RETURN(*value, reader.ReadDouble());
+  return reader.ExpectEnd();
+}
+
+std::string EncodeText(std::string_view text) {
+  std::string payload;
+  AppendLengthPrefixedString(payload, text);
+  return payload;
+}
+
+Status DecodeText(std::string_view payload, std::string* text) {
+  PayloadReader reader(payload);
+  AVOC_ASSIGN_OR_RETURN(const std::string_view s, reader.ReadString());
+  text->assign(s);
+  return reader.ExpectEnd();
+}
+
+std::string EncodeGroupList(std::span<const std::string> groups) {
+  std::string payload;
+  AppendVarint(payload, groups.size());
+  for (const std::string& group : groups) {
+    AppendLengthPrefixedString(payload, group);
+  }
+  return payload;
+}
+
+Status DecodeGroupList(std::string_view payload,
+                       std::vector<std::string>* groups) {
+  PayloadReader reader(payload);
+  AVOC_ASSIGN_OR_RETURN(const uint64_t count, reader.ReadVarint());
+  if (count > reader.remaining()) {
+    return ParseError("group count exceeds payload size");
+  }
+  groups->clear();
+  groups->reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    AVOC_ASSIGN_OR_RETURN(const std::string_view name, reader.ReadString());
+    groups->emplace_back(name);
+  }
+  return reader.ExpectEnd();
+}
+
+}  // namespace avoc::runtime

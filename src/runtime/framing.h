@@ -1,0 +1,197 @@
+// Length-prefixed binary frame protocol for the networked voter service.
+//
+// The line protocol of runtime/remote.h costs one request/response round
+// trip — and one text parse — per reading.  The paper's deployment shape
+// (sensors → VINT hub → WiFi → voting sink-node) fans thousands of edge
+// readings into one ingest tier, so the wire format here is built for
+// batching: a single SUBMIT_BATCH frame carries N readings and the server
+// turns it into one columnar engine pass.
+//
+// Wire format (after the 2-byte connection preamble, see kBinaryMagic):
+//
+//   frame   := varint(body_len) body
+//   body    := type_byte payload            (body_len = 1 + |payload|)
+//   varint  := LEB128 unsigned, low 7 bits first, MSB = continuation
+//   string  := varint(len) bytes            (UTF-8, no terminator)
+//   f64     := IEEE-754 double, little-endian, 8 bytes
+//
+// body_len must be >= 1 (the type byte) and <= max_frame_bytes; a length
+// of 0, an over-long length varint (> 5 bytes), or an oversized length
+// poisons the decoder — the connection is then unrecoverable by design,
+// since byte boundaries are lost.  The decoder tolerates arbitrary
+// fragmentation: bytes may arrive one at a time (slow-loris) or many
+// frames per segment.
+//
+// Message payloads (request -> response):
+//
+//   SUBMIT_BATCH  string group, varint n, n x (varint module, varint
+//                 round, f64 value)                     -> OK | ERR
+//   CLOSE         string group, varint round            -> OK | ERR
+//   QUERY         string group                          -> VALUE | NONE | ERR
+//   GROUPS        (empty)                               -> GROUP_LIST | ERR
+//   METRICS       (empty)                               -> TEXT | ERR
+//   HEALTH        (empty)                               -> TEXT | ERR
+//   PING          (empty)                               -> PONG
+//   QUIT          (empty)                               -> BYE (then close)
+//
+//   OK            varint accepted (readings routed; SUBMIT_BATCH may
+//                 accept fewer than sent when modules are out of range)
+//   ERR           string reason
+//   VALUE         f64
+//   NONE          (empty)
+//   GROUP_LIST    varint n, n x string
+//   TEXT          string (Prometheus exposition / HEALTH lines)
+//   PONG, BYE     (empty)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace avoc::runtime {
+
+/// Connection preamble announcing the binary protocol.  0xAB is outside
+/// printable ASCII, so the first byte alone separates framed clients from
+/// legacy line-protocol clients (whose verbs are uppercase ASCII).
+inline constexpr uint8_t kBinaryMagic[2] = {0xAB, 0x0C};
+
+/// Default ceiling on one frame's body (type byte + payload).
+inline constexpr size_t kMaxFrameBytes = 16u << 20;
+
+/// Longest accepted length-prefix varint: 5 LEB128 bytes cover 2^35 - 1,
+/// far past any sane frame; more is a pathological length by definition.
+inline constexpr size_t kMaxLengthVarintBytes = 5;
+
+enum class FrameType : uint8_t {
+  // Requests.
+  kSubmitBatch = 0x01,
+  kClose = 0x02,
+  kQuery = 0x03,
+  kGroups = 0x04,
+  kMetrics = 0x05,
+  kHealth = 0x06,
+  kPing = 0x07,
+  kQuit = 0x08,
+  // Responses (high bit set).
+  kOk = 0x81,
+  kError = 0x82,
+  kValue = 0x83,
+  kNone = 0x84,
+  kGroupList = 0x85,
+  kText = 0x86,
+  kPong = 0x87,
+  kBye = 0x88,
+};
+
+/// Name of a frame type ("SUBMIT_BATCH", ...); "UNKNOWN" for others.
+std::string_view FrameTypeName(FrameType type);
+
+/// One decoded frame: the type byte plus its raw payload.
+struct Frame {
+  FrameType type = FrameType::kPing;
+  std::string payload;
+};
+
+// --- primitive encoders (append to `out`) -----------------------------------
+
+void AppendVarint(std::string& out, uint64_t value);
+void AppendDouble(std::string& out, double value);
+void AppendLengthPrefixedString(std::string& out, std::string_view s);
+
+/// Wraps a body (type + payload) in its varint length prefix.
+std::string EncodeFrame(FrameType type, std::string_view payload = {});
+
+// --- primitive decoder over one payload --------------------------------------
+
+/// Bounds-checked cursor over a frame payload.  Every read fails with
+/// ParseError instead of walking off the end.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view payload) : data_(payload) {}
+
+  Result<uint64_t> ReadVarint();
+  Result<double> ReadDouble();
+  /// A varint-length-prefixed string (view into the payload).
+  Result<std::string_view> ReadString();
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool empty() const { return remaining() == 0; }
+
+  /// ParseError unless every payload byte was consumed — trailing garbage
+  /// inside a frame is a protocol violation.
+  Status ExpectEnd() const;
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+// --- incremental frame decoder -----------------------------------------------
+
+/// Feeds arbitrary byte fragments in, hands complete frames out.  A
+/// protocol violation (bad length) poisons the decoder permanently: the
+/// caller must drop the connection, because frame boundaries are gone.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_frame_bytes = kMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  void Feed(std::string_view bytes);
+
+  /// Next complete frame.  NotFound = need more bytes (not an error);
+  /// ParseError = protocol violation, decoder poisoned.
+  Result<Frame> Next();
+
+  /// Bytes buffered but not yet returned as frames.
+  size_t buffered() const { return buffer_.size() - pos_; }
+  bool poisoned() const { return poisoned_; }
+
+ private:
+  size_t max_frame_bytes_;
+  std::string buffer_;
+  size_t pos_ = 0;
+  bool poisoned_ = false;
+};
+
+// --- typed messages ----------------------------------------------------------
+
+/// One reading inside a SUBMIT_BATCH frame.
+struct BatchReading {
+  uint64_t module = 0;
+  uint64_t round = 0;
+  double value = 0.0;
+};
+
+std::string EncodeSubmitBatch(std::string_view group,
+                              std::span<const BatchReading> readings);
+Status DecodeSubmitBatch(std::string_view payload, std::string* group,
+                         std::vector<BatchReading>* readings);
+
+std::string EncodeClose(std::string_view group, uint64_t round);
+Status DecodeClose(std::string_view payload, std::string* group,
+                   uint64_t* round);
+
+std::string EncodeQuery(std::string_view group);
+Status DecodeQuery(std::string_view payload, std::string* group);
+
+std::string EncodeOk(uint64_t accepted);
+Status DecodeOk(std::string_view payload, uint64_t* accepted);
+
+std::string EncodeError(std::string_view reason);
+Status DecodeError(std::string_view payload, std::string* reason);
+
+std::string EncodeValue(double value);
+Status DecodeValue(std::string_view payload, double* value);
+
+std::string EncodeText(std::string_view text);
+Status DecodeText(std::string_view payload, std::string* text);
+
+std::string EncodeGroupList(std::span<const std::string> groups);
+Status DecodeGroupList(std::string_view payload,
+                       std::vector<std::string>* groups);
+
+}  // namespace avoc::runtime

@@ -61,6 +61,12 @@ Status VoterGroupManager::Submit(const std::string& group, size_t module,
   return runner->Submit(module, round, value);
 }
 
+Result<BatchIngestStats> VoterGroupManager::SubmitBatch(
+    const std::string& group, std::span<const ReadingMessage> readings) {
+  AVOC_ASSIGN_OR_RETURN(GroupRunner * runner, Find(group));
+  return runner->SubmitBatch(readings);
+}
+
 Status VoterGroupManager::CloseRound(const std::string& group, size_t round) {
   AVOC_ASSIGN_OR_RETURN(GroupRunner * runner, Find(group));
   runner->FlushRound(round);

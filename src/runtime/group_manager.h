@@ -45,6 +45,11 @@ class VoterGroupManager {
   Status Submit(const std::string& group, size_t module, size_t round,
                 double value);
 
+  /// Routes a whole frame of readings into the group's hub under one
+  /// lock; completed rounds are voted in one columnar engine call.
+  Result<BatchIngestStats> SubmitBatch(
+      const std::string& group, std::span<const ReadingMessage> readings);
+
   /// Force-closes `round` in one group (absent modules become missing).
   Status CloseRound(const std::string& group, size_t round);
 

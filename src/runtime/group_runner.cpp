@@ -124,6 +124,11 @@ Status GroupRunner::Submit(size_t module, size_t round, double value) {
   return Status::Ok();
 }
 
+BatchIngestStats GroupRunner::SubmitBatch(
+    std::span<const ReadingMessage> readings) {
+  return hub_->IngestBatch(readings);
+}
+
 void GroupRunner::FlushRound(size_t round) {
   hub_->Flush(round, /*publish_empty=*/true);
 }

@@ -87,6 +87,11 @@ class GroupRunner {
   /// own once every module (or the UNTIL count) reported.
   Status Submit(size_t module, size_t round, double value);
 
+  /// Routes many readings into the hub under one lock; every round the
+  /// batch completes is voted in ONE columnar engine call (the framed
+  /// remote path).  Bad readings are counted in the stats, not fatal.
+  BatchIngestStats SubmitBatch(std::span<const ReadingMessage> readings);
+
   /// Force-closes `round`: whatever has not arrived is missing.  No-op
   /// when the round was already closed.
   void FlushRound(size_t round);

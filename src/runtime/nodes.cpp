@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/batch.h"
 #include "util/log.h"
 
 namespace avoc::runtime {
@@ -87,6 +88,54 @@ void HubNode::Flush(size_t round, bool publish_empty) {
   channels_->rounds.Publish(RoundMessage{round, std::move(readings)});
 }
 
+BatchIngestStats HubNode::IngestBatch(
+    std::span<const ReadingMessage> readings) {
+  BatchIngestStats stats;
+  std::vector<size_t> closed_rounds;
+  data::RoundTable table = data::RoundTable::WithModuleCount(module_count_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const ReadingMessage& message : readings) {
+      if (message.module >= module_count_) {
+        ++stats.rejected;
+        continue;
+      }
+      if (closed_.count(message.round)) {
+        ++stats.late;
+        if (telemetry_.late_readings != nullptr) {
+          telemetry_.late_readings->Increment();
+        }
+        continue;
+      }
+      ++stats.accepted;
+      core::Round& pending = pending_[message.round];
+      if (pending.empty()) pending.resize(module_count_);
+      pending[message.module] = message.value;
+      size_t present = 0;
+      for (const auto& reading : pending) {
+        if (reading.has_value()) ++present;
+      }
+      if (present < close_at_count_) continue;
+      (void)table.AppendRound(std::move(pending));
+      pending_.erase(message.round);
+      closed_[message.round] = true;
+      NoteClosedLocked(message.round);
+      closed_rounds.push_back(message.round);
+    }
+    if (telemetry_.readings != nullptr && stats.accepted > 0) {
+      telemetry_.readings->Add(static_cast<uint64_t>(stats.accepted));
+    }
+    if (telemetry_.open_rounds != nullptr) {
+      telemetry_.open_rounds->Set(static_cast<double>(pending_.size()));
+    }
+  }
+  stats.rounds_closed = closed_rounds.size();
+  if (!closed_rounds.empty()) {
+    channels_->round_batches.Publish(RoundBatchMessage{&closed_rounds, &table});
+  }
+  return stats;
+}
+
 void HubNode::NoteClosedLocked(size_t round) {
   if (telemetry_.rounds_closed != nullptr) telemetry_.rounds_closed->Increment();
   if (telemetry_.open_rounds != nullptr) {
@@ -123,9 +172,14 @@ VoterNode::VoterNode(core::VotingEngine engine, GroupChannels& channels,
   }
   subscription_ = channels_->rounds.Subscribe(
       [this](const RoundMessage& message) { OnRound(message); });
+  batch_subscription_ = channels_->round_batches.Subscribe(
+      [this](const RoundBatchMessage& message) { OnRoundBatch(message); });
 }
 
-VoterNode::~VoterNode() { channels_->rounds.Unsubscribe(subscription_); }
+VoterNode::~VoterNode() {
+  channels_->round_batches.Unsubscribe(batch_subscription_);
+  channels_->rounds.Unsubscribe(subscription_);
+}
 
 void VoterNode::OnRound(const RoundMessage& message) {
   OutputMessage output;
@@ -141,17 +195,43 @@ void VoterNode::OnRound(const RoundMessage& message) {
     }
     output.round = message.round;
     output.result = std::move(*result);
-    if (options_.store != nullptr) {
-      HistorySnapshot snapshot;
-      const auto records = engine_.history().records();
-      snapshot.records.assign(records.begin(), records.end());
-      snapshot.rounds = engine_.history().round_count();
-      last_status_ = options_.store->Put(options_.group, snapshot);
-    } else {
-      last_status_ = Status::Ok();
-    }
+    PersistHistoryLocked();
   }
   channels_->outputs.Publish(output);
+}
+
+void VoterNode::OnRoundBatch(const RoundBatchMessage& message) {
+  // One lock acquisition, one columnar engine call, one history persist
+  // for the whole batch.  The publish happens under the lock because the
+  // message borrows batch_trace_'s storage; subscribers must copy out, not
+  // call back into this voter.
+  std::lock_guard<std::mutex> lock(mutex_);
+  batch_trace_.Reset(engine_.module_count());
+  batch_trace_.ReserveRounds(message.table->round_count());
+  const Status status =
+      core::RunOverTable(engine_, *message.table, batch_trace_);
+  if (!status.ok()) {
+    last_status_ = status;
+    AVOC_LOG_ERROR("voter '%s': batch of %zu rounds failed: %s",
+                   options_.group.c_str(), message.table->round_count(),
+                   status.ToString().c_str());
+    return;
+  }
+  PersistHistoryLocked();
+  channels_->batches.Publish(
+      BatchOutputMessage{message.rounds, batch_trace_.view()});
+}
+
+void VoterNode::PersistHistoryLocked() {
+  if (options_.store != nullptr) {
+    HistorySnapshot snapshot;
+    const auto records = engine_.history().records();
+    snapshot.records.assign(records.begin(), records.end());
+    snapshot.rounds = engine_.history().round_count();
+    last_status_ = options_.store->Put(options_.group, snapshot);
+  } else {
+    last_status_ = Status::Ok();
+  }
 }
 
 Status VoterNode::last_status() const {
@@ -163,22 +243,50 @@ SinkNode::SinkNode(GroupChannels& channels, SinkTelemetry telemetry)
     : channels_(&channels), telemetry_(telemetry) {
   subscription_ = channels_->outputs.Subscribe(
       [this](const OutputMessage& message) { OnOutput(message); });
+  batch_subscription_ = channels_->batches.Subscribe(
+      [this](const BatchOutputMessage& message) { OnBatch(message); });
 }
 
-SinkNode::~SinkNode() { channels_->outputs.Unsubscribe(subscription_); }
+SinkNode::~SinkNode() {
+  channels_->batches.Unsubscribe(batch_subscription_);
+  channels_->outputs.Unsubscribe(subscription_);
+}
 
 void SinkNode::OnOutput(const OutputMessage& message) {
   std::lock_guard<std::mutex> lock(mutex_);
   trace_.Append(message.result);
   rounds_.push_back(message.round);
-  if (telemetry_.outputs != nullptr) telemetry_.outputs->Increment();
+  NoteAppendedLocked(message.round, 1);
+}
+
+void SinkNode::OnBatch(const BatchOutputMessage& message) {
+  const size_t count = message.trace.round_count();
+  if (count == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Column-to-column copy out of the borrowed view; the message's storage
+  // is only valid during this publish.
+  for (size_t i = 0; i < count; ++i) {
+    trace_.AppendFrom(message.trace, i);
+    rounds_.push_back((*message.rounds)[i]);
+  }
+  size_t last_round = (*message.rounds)[0];
+  for (size_t i = 1; i < count; ++i) {
+    last_round = std::max(last_round, (*message.rounds)[i]);
+  }
+  NoteAppendedLocked(last_round, count);
+}
+
+void SinkNode::NoteAppendedLocked(size_t last_round, size_t appended) {
+  if (telemetry_.outputs != nullptr) {
+    telemetry_.outputs->Add(static_cast<uint64_t>(appended));
+  }
   if (telemetry_.last_round != nullptr) {
-    telemetry_.last_round->Set(static_cast<double>(message.round));
+    telemetry_.last_round->Set(static_cast<double>(last_round));
   }
   if (telemetry_.lag_rounds != nullptr) {
-    // Round numbers start at 0, so message.round + 1 rounds were dispatched
+    // Round numbers start at 0, so last_round + 1 rounds were dispatched
     // up to here; anything this sink has not recorded was lost upstream.
-    const double dispatched = static_cast<double>(message.round) + 1.0;
+    const double dispatched = static_cast<double>(last_round) + 1.0;
     telemetry_.lag_rounds->Set(
         std::max(0.0, dispatched - static_cast<double>(rounds_.size())));
   }

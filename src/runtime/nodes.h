@@ -12,11 +12,13 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/engine.h"
 #include "core/trace.h"
+#include "data/round_table.h"
 #include "obs/metrics.h"
 #include "runtime/bus.h"
 #include "runtime/datastore.h"
@@ -63,11 +65,39 @@ struct OutputMessage {
   core::VoteResult result;
 };
 
-/// Topics wiring one voter group's pipeline.
+/// Several rounds closed by one batch ingest, as a columnar table.  The
+/// pointees are borrowed: valid only for the duration of the publish
+/// (subscribers copy what they keep).
+struct RoundBatchMessage {
+  const std::vector<size_t>* rounds = nullptr;  ///< round number per row
+  const data::RoundTable* table = nullptr;
+};
+
+/// The voter's fused outputs for one batch, as a columnar trace view.
+/// Borrowed like RoundBatchMessage: row i of `trace` is round
+/// (*rounds)[i], valid only during the publish.
+struct BatchOutputMessage {
+  const std::vector<size_t>* rounds = nullptr;
+  core::TraceView trace;
+};
+
+/// Topics wiring one voter group's pipeline.  The singular topics carry
+/// the one-reading-at-a-time path; the *batch* topics carry the framed
+/// remote path where one message covers many rounds.
 struct GroupChannels {
   Topic<ReadingMessage> readings;
   Topic<RoundMessage> rounds;
   Topic<OutputMessage> outputs;
+  Topic<RoundBatchMessage> round_batches;
+  Topic<BatchOutputMessage> batches;
+};
+
+/// What one IngestBatch call did with its readings.
+struct BatchIngestStats {
+  size_t accepted = 0;       ///< readings stored into open rounds
+  size_t late = 0;           ///< dropped against already-closed rounds
+  size_t rejected = 0;       ///< dropped for an out-of-range module index
+  size_t rounds_closed = 0;  ///< rounds completed (and voted) by this batch
 };
 
 /// Produces readings for one module.  The generator may return nullopt
@@ -110,6 +140,12 @@ class HubNode {
   /// missing values).  No-op when the round was already closed or never
   /// received a reading and `publish_empty` is false.
   void Flush(size_t round, bool publish_empty = false);
+
+  /// Ingests many readings under ONE hub lock and publishes every round
+  /// they complete as ONE RoundBatchMessage (one downstream engine call),
+  /// instead of N lock/publish cycles.  Readings for closed rounds or
+  /// unknown modules are counted, not fatal.
+  BatchIngestStats IngestBatch(std::span<const ReadingMessage> readings);
 
   /// Rounds currently open (received some but not all readings).
   size_t open_rounds() const;
@@ -156,13 +192,21 @@ class VoterNode {
 
  private:
   void OnRound(const RoundMessage& message);
+  void OnRoundBatch(const RoundBatchMessage& message);
+
+  /// Persists the engine's history ledger; caller holds mutex_.
+  void PersistHistoryLocked();
 
   core::VotingEngine engine_;
   GroupChannels* channels_;
   VoterOptions options_;
   SubscriptionId subscription_;
+  SubscriptionId batch_subscription_;
   mutable std::mutex mutex_;
   Status last_status_;
+  /// Scratch trace reused across batches (guarded by mutex_; published
+  /// views stay valid because the batch publish happens under the lock).
+  core::BatchTrace batch_trace_;
 };
 
 /// Records outputs (the LCD display / downstream consumer stand-in).
@@ -197,10 +241,15 @@ class SinkNode {
 
  private:
   void OnOutput(const OutputMessage& message);
+  void OnBatch(const BatchOutputMessage& message);
+
+  /// Updates the sink gauges after appending rows; caller holds mutex_.
+  void NoteAppendedLocked(size_t last_round, size_t appended);
 
   GroupChannels* channels_;
   SinkTelemetry telemetry_;
   SubscriptionId subscription_;
+  SubscriptionId batch_subscription_;
   mutable std::mutex mutex_;
   core::BatchTrace trace_;
   std::vector<size_t> rounds_;  ///< round number of each trace row

@@ -1,23 +1,72 @@
 #include "runtime/remote.h"
 
+#include <chrono>
+
 #include "util/log.h"
 #include "util/strings.h"
 
 namespace avoc::runtime {
+namespace {
+
+/// Read chunk size per recv call on the loop thread.
+constexpr size_t kReadChunk = 16 * 1024;
+
+/// Per-wakeup read budget so one firehose connection cannot starve the
+/// rest of the loop (level-triggered epoll re-arms what remains).
+constexpr size_t kReadBudget = 256 * 1024;
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 RemoteVoterServer::RemoteVoterServer(VoterGroupManager* manager,
-                                     TcpListener listener)
-    : manager_(manager), listener_(std::move(listener)) {}
+                                     Options options, TcpListener listener,
+                                     std::unique_ptr<EventLoop> loop)
+    : manager_(manager),
+      options_(options),
+      listener_(std::move(listener)),
+      loop_(std::move(loop)) {
+  if (obs::Registry* registry = manager_->registry()) {
+    connections_gauge_ = &registry->GetGauge("avoc_remote_connections");
+    frames_in_ = &registry->GetCounter("avoc_remote_frames_in_total");
+    frames_out_ = &registry->GetCounter("avoc_remote_frames_out_total");
+    bytes_in_ = &registry->GetCounter("avoc_remote_bytes_in_total");
+    bytes_out_ = &registry->GetCounter("avoc_remote_bytes_out_total");
+    backpressure_counter_ =
+        &registry->GetCounter("avoc_remote_backpressure_total");
+    request_latency_ =
+        &registry->GetHistogram("avoc_remote_request_latency_ns");
+  }
+}
 
 Result<std::unique_ptr<RemoteVoterServer>> RemoteVoterServer::Start(
     VoterGroupManager* manager, uint16_t port) {
+  Options options;
+  options.port = port;
+  return StartWithOptions(manager, options);
+}
+
+Result<std::unique_ptr<RemoteVoterServer>> RemoteVoterServer::StartWithOptions(
+    VoterGroupManager* manager, Options options) {
   if (manager == nullptr) {
     return InvalidArgumentError("server needs a group manager");
   }
-  AVOC_ASSIGN_OR_RETURN(TcpListener listener, TcpListener::Listen(port));
-  std::unique_ptr<RemoteVoterServer> server(
-      new RemoteVoterServer(manager, std::move(listener)));
-  server->acceptor_ = std::thread([raw = server.get()] { raw->AcceptLoop(); });
+  AVOC_ASSIGN_OR_RETURN(TcpListener listener,
+                        TcpListener::Listen(options.port));
+  AVOC_RETURN_IF_ERROR(listener.SetNonBlocking(true));
+  AVOC_ASSIGN_OR_RETURN(std::unique_ptr<EventLoop> loop, EventLoop::Create());
+  std::unique_ptr<RemoteVoterServer> server(new RemoteVoterServer(
+      manager, options, std::move(listener), std::move(loop)));
+  RemoteVoterServer* raw = server.get();
+  AVOC_RETURN_IF_ERROR(raw->loop_->Watch(
+      raw->listener_.fd(), kIoRead,
+      [raw](uint32_t) { raw->OnAcceptable(); }));
+  server->loop_thread_ = std::thread([raw] { raw->loop_->Run(); });
   return server;
 }
 
@@ -26,51 +75,391 @@ RemoteVoterServer::~RemoteVoterServer() { Stop(); }
 void RemoteVoterServer::Stop() {
   bool expected = true;
   if (!running_.compare_exchange_strong(expected, false)) return;
+  loop_->Stop();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  // The loop is parked; connection state is now safe to touch here.
+  for (auto& [fd, connection] : connections_) {
+    (void)fd;
+    connection->conn.Close();
+  }
+  connections_.clear();
+  if (connections_gauge_ != nullptr) connections_gauge_->Set(0.0);
   listener_.Close();
-  if (acceptor_.joinable()) acceptor_.join();
-  std::vector<std::thread> workers;
-  {
-    std::lock_guard<std::mutex> lock(workers_mutex_);
-    workers.swap(workers_);
-  }
-  for (std::thread& worker : workers) {
-    if (worker.joinable()) worker.join();
-  }
 }
 
-void RemoteVoterServer::AcceptLoop() {
-  while (running_.load()) {
-    auto connection = listener_.Accept();
-    if (!connection.ok()) {
-      // Normal shutdown path: the listener was closed under us.
-      if (running_.load()) {
+void RemoteVoterServer::OnAcceptable() {
+  for (;;) {
+    auto accepted = listener_.TryAccept();
+    if (!accepted.ok()) {
+      if (accepted.status().code() != ErrorCode::kNotFound &&
+          running_.load()) {
         AVOC_LOG_WARN("voter server: accept failed: %s",
-                      connection.status().ToString().c_str());
+                      accepted.status().ToString().c_str());
       }
       return;
     }
-    std::lock_guard<std::mutex> lock(workers_mutex_);
-    workers_.emplace_back(
-        [this, conn = std::make_shared<TcpConnection>(
-                   std::move(*connection))]() mutable {
-          ServeConnection(std::move(*conn));
+    if (!accepted->SetNonBlocking(true).ok()) continue;
+    if (options_.send_buffer_bytes > 0) {
+      (void)accepted->SetSendBufferBytes(options_.send_buffer_bytes);
+    }
+    const int fd = accepted->fd();
+    auto connection = std::make_unique<Connection>(std::move(*accepted));
+    connection->decoder = FrameDecoder(options_.max_frame_bytes);
+    connection->last_activity_ms = EventLoop::NowMs();
+    const Status watched = loop_->Watch(
+        fd, kIoRead, [this, fd](uint32_t events) {
+          OnConnectionEvent(fd, events);
         });
+    if (!watched.ok()) {
+      AVOC_LOG_WARN("voter server: watch failed: %s",
+                    watched.ToString().c_str());
+      continue;  // Connection closes on scope exit
+    }
+    connections_.emplace(fd, std::move(connection));
+    if (connections_gauge_ != nullptr) {
+      connections_gauge_->Set(static_cast<double>(connections_.size()));
+    }
+    ScheduleIdleTimer(fd);
   }
 }
 
-void RemoteVoterServer::ServeConnection(TcpConnection connection) {
-  // A polling timeout lets the worker notice server shutdown.
-  (void)connection.SetReceiveTimeoutMs(200);
-  while (running_.load()) {
-    auto line = connection.ReceiveLine();
-    if (!line.ok()) {
-      if (line.status().code() == ErrorCode::kNotFound) return;  // EOF
-      continue;  // timeout tick; re-check running_
+void RemoteVoterServer::ScheduleIdleTimer(int fd) {
+  if (options_.idle_timeout_ms == 0) return;
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  Connection& c = *it->second;
+  // Lazy idle tracking: the timer checks last_activity_ms when it fires
+  // and re-arms for the remainder, so the hot path never touches the
+  // wheel.
+  c.idle_timer = loop_->ScheduleTimer(options_.idle_timeout_ms, [this, fd] {
+    auto found = connections_.find(fd);
+    if (found == connections_.end()) return;
+    Connection& conn = *found->second;
+    conn.idle_timer = 0;
+    const uint64_t idle_ms = EventLoop::NowMs() - conn.last_activity_ms;
+    if (idle_ms >= options_.idle_timeout_ms) {
+      CloseConnection(fd);
+      return;
+    }
+    ScheduleIdleTimer(fd);
+  });
+}
+
+void RemoteVoterServer::CloseConnection(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  if (it->second->idle_timer != 0) {
+    loop_->CancelTimer(it->second->idle_timer);
+  }
+  (void)loop_->Unwatch(fd);
+  it->second->conn.Close();
+  connections_.erase(it);
+  if (connections_gauge_ != nullptr) {
+    connections_gauge_->Set(static_cast<double>(connections_.size()));
+  }
+}
+
+void RemoteVoterServer::OnConnectionEvent(int fd, uint32_t events) {
+  if (events & kIoError) {
+    CloseConnection(fd);
+    return;
+  }
+  if (events & kIoWrite) {
+    WritePath(fd);
+    if (connections_.find(fd) == connections_.end()) return;
+  }
+  if (events & kIoRead) ReadPath(fd);
+}
+
+void RemoteVoterServer::ReadPath(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  Connection& c = *it->second;
+  char chunk[kReadChunk];
+  size_t read_total = 0;
+  bool saw_eof = false;
+  while (read_total < kReadBudget) {
+    const IoOp op = c.conn.ReadSome(chunk, sizeof(chunk));
+    if (op.kind == IoOp::Kind::kDone) {
+      read_total += op.bytes;
+      if (bytes_in_ != nullptr) bytes_in_->Add(op.bytes);
+      if (c.mode == Connection::Mode::kBinary) {
+        c.decoder.Feed(std::string_view(chunk, op.bytes));
+      } else {
+        c.inbuf.append(chunk, op.bytes);
+      }
+      continue;
+    }
+    if (op.kind == IoOp::Kind::kWouldBlock) break;
+    saw_eof = true;  // kEof or kError: no more input either way
+    break;
+  }
+  if (read_total > 0) {
+    c.last_activity_ms = EventLoop::NowMs();
+    ProcessInput(fd);
+    if (connections_.find(fd) == connections_.end()) return;
+  }
+  if (saw_eof) {
+    // Flush whatever responses are queued, then drop the connection.
+    Connection& conn = *connections_.find(fd)->second;
+    if (conn.outbuf.size() == conn.out_pos) {
+      CloseConnection(fd);
+      return;
+    }
+    conn.want_close = true;
+    UpdateInterest(fd);
+  }
+}
+
+void RemoteVoterServer::ProcessInput(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  Connection& c = *it->second;
+  if (c.mode == Connection::Mode::kDetecting) {
+    if (c.inbuf.empty()) return;
+    if (static_cast<uint8_t>(c.inbuf[0]) != kBinaryMagic[0]) {
+      c.mode = Connection::Mode::kLegacy;
+    } else {
+      if (c.inbuf.size() < 2) return;  // wait for the second magic byte
+      if (static_cast<uint8_t>(c.inbuf[1]) != kBinaryMagic[1]) {
+        QueueResponse(c, EncodeFrame(FrameType::kError,
+                                     EncodeError("bad protocol preamble")));
+        c.want_close = true;
+        UpdateInterest(fd);
+        return;
+      }
+      c.mode = Connection::Mode::kBinary;
+      if (c.inbuf.size() > 2) {
+        c.decoder.Feed(std::string_view(c.inbuf).substr(2));
+      }
+      c.inbuf.clear();
+      c.inbuf.shrink_to_fit();
+    }
+  }
+  if (c.mode == Connection::Mode::kLegacy) {
+    ProcessLegacyLines(fd);
+  } else {
+    ProcessBinaryFrames(fd);
+  }
+  UpdateInterest(fd);
+}
+
+bool RemoteVoterServer::OverHighWater(const Connection& c) const {
+  return c.outbuf.size() - c.out_pos > options_.write_high_water_bytes;
+}
+
+void RemoteVoterServer::ProcessLegacyLines(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  Connection& c = *it->second;
+  size_t start = 0;
+  while (!c.want_close) {
+    const size_t newline = c.inbuf.find('\n', start);
+    if (newline == std::string::npos) break;
+    std::string line = c.inbuf.substr(start, newline - start);
+    start = newline + 1;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    ++requests_;
+    std::string response;
+    if (OverHighWater(c)) {
+      backpressure_.fetch_add(1);
+      if (backpressure_counter_ != nullptr) {
+        backpressure_counter_->Increment();
+      }
+      response = "ERR busy";
+    } else {
+      const uint64_t begin = NowNanos();
+      response = Handle(line);
+      if (request_latency_ != nullptr) {
+        request_latency_->Record(NowNanos() - begin);
+      }
+    }
+    if (response == "BYE") c.want_close = true;
+    response.push_back('\n');
+    QueueResponse(c, std::move(response));
+  }
+  c.inbuf.erase(0, start);
+}
+
+void RemoteVoterServer::ProcessBinaryFrames(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  Connection& c = *it->second;
+  while (!c.want_close) {
+    auto frame = c.decoder.Next();
+    if (!frame.ok()) {
+      if (frame.status().code() == ErrorCode::kNotFound) break;
+      // Protocol violation: boundaries are lost, report and hang up.
+      QueueResponse(
+          c, EncodeFrame(FrameType::kError,
+                         EncodeError(frame.status().message())));
+      c.want_close = true;
+      break;
     }
     ++requests_;
-    const std::string response = Handle(*line);
-    if (!connection.SendLine(response).ok()) return;
-    if (response == "BYE") return;
+    if (frames_in_ != nullptr) frames_in_->Increment();
+    std::string response;
+    bool close_after = false;
+    if (OverHighWater(c)) {
+      backpressure_.fetch_add(1);
+      if (backpressure_counter_ != nullptr) {
+        backpressure_counter_->Increment();
+      }
+      response = EncodeFrame(FrameType::kError, EncodeError("busy"));
+    } else {
+      const uint64_t begin = NowNanos();
+      response = HandleFrame(*frame, &close_after);
+      if (request_latency_ != nullptr) {
+        request_latency_->Record(NowNanos() - begin);
+      }
+    }
+    if (frames_out_ != nullptr) frames_out_->Increment();
+    if (close_after) c.want_close = true;
+    QueueResponse(c, std::move(response));
+  }
+}
+
+void RemoteVoterServer::QueueResponse(Connection& c, std::string bytes) {
+  if (c.outbuf.empty()) {
+    c.outbuf = std::move(bytes);
+    c.out_pos = 0;
+  } else {
+    c.outbuf.append(bytes);
+  }
+}
+
+void RemoteVoterServer::UpdateInterest(int fd) {
+  if (connections_.find(fd) == connections_.end()) return;
+  // Opportunistic write: most responses fit the socket buffer, so the
+  // common case never arms EPOLLOUT at all.  WritePath re-derives the
+  // interest bits (and may close the connection) itself.
+  WritePath(fd);
+}
+
+void RemoteVoterServer::WritePath(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  Connection& c = *it->second;
+  while (c.out_pos < c.outbuf.size()) {
+    const IoOp op =
+        c.conn.WriteSome(c.outbuf.data() + c.out_pos,
+                         c.outbuf.size() - c.out_pos);
+    if (op.kind == IoOp::Kind::kDone) {
+      c.out_pos += op.bytes;
+      if (bytes_out_ != nullptr) bytes_out_->Add(op.bytes);
+      continue;
+    }
+    if (op.kind == IoOp::Kind::kWouldBlock) break;
+    CloseConnection(fd);
+    return;
+  }
+  if (c.out_pos == c.outbuf.size()) {
+    c.outbuf.clear();
+    c.out_pos = 0;
+    if (c.want_close) {
+      CloseConnection(fd);
+      return;
+    }
+  } else if (c.out_pos > 64 * 1024 && c.out_pos > c.outbuf.size() / 2) {
+    c.outbuf.erase(0, c.out_pos);
+    c.out_pos = 0;
+  }
+  const size_t pending = c.outbuf.size() - c.out_pos;
+  // Backpressure: stop reading past the pause mark, resume below half.
+  if (!c.paused && pending > options_.read_pause_bytes) {
+    c.paused = true;
+    backpressure_.fetch_add(1);
+    if (backpressure_counter_ != nullptr) backpressure_counter_->Increment();
+  } else if (c.paused && pending <= options_.read_pause_bytes / 2) {
+    c.paused = false;
+  }
+  uint32_t interest = 0;
+  if (!c.paused && !c.want_close) interest |= kIoRead;
+  if (pending > 0) interest |= kIoWrite;
+  (void)loop_->SetInterest(fd, interest);
+}
+
+std::string RemoteVoterServer::HealthText() const {
+  const auto names = manager_->GroupNames();
+  std::string text = StrFormat("HEALTH %zu\n", names.size());
+  for (const std::string& name : names) {
+    auto runner = manager_->runner(name);
+    if (!runner.ok()) continue;  // group removed mid-iteration
+    const Status voter_status = (*runner)->voter().last_status();
+    text += StrFormat(
+        "GROUP %s modules=%zu outputs=%zu open=%zu status=%s\n",
+        name.c_str(), (*runner)->module_count(),
+        (*runner)->sink().output_count(), (*runner)->hub().open_rounds(),
+        voter_status.ok() ? "ok" : "error");
+  }
+  return text;
+}
+
+std::string RemoteVoterServer::HandleFrame(const Frame& frame,
+                                           bool* close_after) {
+  auto error = [](const Status& status) {
+    return EncodeFrame(FrameType::kError, EncodeError(status.ToString()));
+  };
+  switch (frame.type) {
+    case FrameType::kPing:
+      return EncodeFrame(FrameType::kPong);
+    case FrameType::kQuit:
+      *close_after = true;
+      return EncodeFrame(FrameType::kBye);
+    case FrameType::kSubmitBatch: {
+      std::string group;
+      std::vector<BatchReading> readings;
+      const Status decoded =
+          DecodeSubmitBatch(frame.payload, &group, &readings);
+      if (!decoded.ok()) return error(decoded);
+      std::vector<ReadingMessage> messages;
+      messages.reserve(readings.size());
+      for (const BatchReading& reading : readings) {
+        messages.push_back(ReadingMessage{
+            static_cast<size_t>(reading.module),
+            static_cast<size_t>(reading.round), reading.value});
+      }
+      auto stats = manager_->SubmitBatch(group, messages);
+      if (!stats.ok()) return error(stats.status());
+      return EncodeFrame(FrameType::kOk, EncodeOk(stats->accepted));
+    }
+    case FrameType::kClose: {
+      std::string group;
+      uint64_t round = 0;
+      const Status decoded = DecodeClose(frame.payload, &group, &round);
+      if (!decoded.ok()) return error(decoded);
+      const Status closed =
+          manager_->CloseRound(group, static_cast<size_t>(round));
+      if (!closed.ok()) return error(closed);
+      return EncodeFrame(FrameType::kOk, EncodeOk(1));
+    }
+    case FrameType::kQuery: {
+      std::string group;
+      const Status decoded = DecodeQuery(frame.payload, &group);
+      if (!decoded.ok()) return error(decoded);
+      auto sink = manager_->sink(group);
+      if (!sink.ok()) return error(sink.status());
+      const auto value = (*sink)->last_value();
+      if (!value.has_value()) return EncodeFrame(FrameType::kNone);
+      return EncodeFrame(FrameType::kValue, EncodeValue(*value));
+    }
+    case FrameType::kGroups:
+      return EncodeFrame(FrameType::kGroupList,
+                         EncodeGroupList(manager_->GroupNames()));
+    case FrameType::kMetrics: {
+      obs::Registry* registry = manager_->registry();
+      if (registry == nullptr) {
+        return error(
+            FailedPreconditionError("metrics disabled (no registry)"));
+      }
+      return EncodeFrame(FrameType::kText,
+                         EncodeText(registry->RenderPrometheus()));
+    }
+    case FrameType::kHealth:
+      return EncodeFrame(FrameType::kText, EncodeText(HealthText()));
+    default:
+      return error(InvalidArgumentError(StrFormat(
+          "unknown frame type 0x%02x", static_cast<unsigned>(frame.type))));
   }
 }
 
@@ -91,25 +480,11 @@ std::string RemoteVoterServer::Handle(const std::string& line) {
       return "ERR metrics disabled (manager has no registry)";
     }
     // Multi-line response: the exposition's own '\n'-terminated lines,
-    // then the END sentinel (SendLine appends its newline).
+    // then the END sentinel (the queued line adds its newline).
     return registry->RenderPrometheus() + "END";
   }
 
-  if (verb == "HEALTH") {
-    const auto names = manager_->GroupNames();
-    std::string response = StrFormat("HEALTH %zu\n", names.size());
-    for (const std::string& name : names) {
-      auto runner = manager_->runner(name);
-      if (!runner.ok()) continue;  // group removed mid-iteration
-      const Status voter_status = (*runner)->voter().last_status();
-      response += StrFormat(
-          "GROUP %s modules=%zu outputs=%zu open=%zu status=%s\n",
-          name.c_str(), (*runner)->module_count(),
-          (*runner)->sink().output_count(), (*runner)->hub().open_rounds(),
-          voter_status.ok() ? "ok" : "error");
-    }
-    return response + "END";
-  }
+  if (verb == "HEALTH") return HealthText() + "END";
 
   if (verb == "GROUPS") {
     const auto names = manager_->GroupNames();
@@ -155,11 +530,24 @@ std::string RemoteVoterServer::Handle(const std::string& line) {
   return "ERR unknown verb '" + verb + "'";
 }
 
+// --- client ------------------------------------------------------------------
+
 Result<RemoteVoterClient> RemoteVoterClient::Connect(const std::string& host,
                                                      uint16_t port) {
   AVOC_ASSIGN_OR_RETURN(TcpConnection connection,
                         TcpConnection::Connect(host, port));
-  return RemoteVoterClient(std::move(connection));
+  return RemoteVoterClient(std::move(connection), Mode::kLegacy);
+}
+
+Result<RemoteVoterClient> RemoteVoterClient::ConnectBinary(
+    const std::string& host, uint16_t port) {
+  AVOC_ASSIGN_OR_RETURN(TcpConnection connection,
+                        TcpConnection::Connect(host, port));
+  const char preamble[2] = {static_cast<char>(kBinaryMagic[0]),
+                            static_cast<char>(kBinaryMagic[1])};
+  AVOC_RETURN_IF_ERROR(
+      connection.SendAll(std::string_view(preamble, sizeof(preamble))));
+  return RemoteVoterClient(std::move(connection), Mode::kBinary);
 }
 
 Result<std::string> RemoteVoterClient::RoundTrip(const std::string& line) {
@@ -171,8 +559,49 @@ Result<std::string> RemoteVoterClient::RoundTrip(const std::string& line) {
   return response;
 }
 
+Result<Frame> RemoteVoterClient::ReadFrame() {
+  for (;;) {
+    auto frame = decoder_.Next();
+    if (frame.ok()) return frame;
+    if (frame.status().code() != ErrorCode::kNotFound) return frame.status();
+    char chunk[4096];
+    AVOC_ASSIGN_OR_RETURN(const size_t n,
+                          connection_.ReceiveSome(chunk, sizeof(chunk)));
+    decoder_.Feed(std::string_view(chunk, n));
+  }
+}
+
+Result<Frame> RemoteVoterClient::CheckFrame(Frame frame) {
+  if (frame.type == FrameType::kError) {
+    std::string reason;
+    if (!DecodeError(frame.payload, &reason).ok()) {
+      reason = "<malformed ERR frame>";
+    }
+    return IoError("server: " + reason);
+  }
+  return frame;
+}
+
+Result<Frame> RemoteVoterClient::FrameRoundTrip(FrameType type,
+                                                std::string_view payload) {
+  if (mode_ != Mode::kBinary) {
+    return FailedPreconditionError(
+        "frame round trip needs a binary connection (ConnectBinary)");
+  }
+  AVOC_RETURN_IF_ERROR(connection_.SendAll(EncodeFrame(type, payload)));
+  AVOC_ASSIGN_OR_RETURN(Frame frame, ReadFrame());
+  return CheckFrame(std::move(frame));
+}
+
 Status RemoteVoterClient::Submit(const std::string& group, size_t module,
                                  size_t round, double value) {
+  if (mode_ == Mode::kBinary) {
+    const BatchReading reading{module, round, value};
+    AVOC_ASSIGN_OR_RETURN(const uint64_t accepted,
+                          SubmitBatch(group, {&reading, 1}));
+    if (accepted != 1) return IoError("reading not accepted");
+    return Status::Ok();
+  }
   AVOC_ASSIGN_OR_RETURN(
       const std::string response,
       RoundTrip(StrFormat("SUBMIT %s %zu %zu %.17g", group.c_str(), module,
@@ -181,7 +610,50 @@ Status RemoteVoterClient::Submit(const std::string& group, size_t module,
   return Status::Ok();
 }
 
+Result<uint64_t> RemoteVoterClient::SubmitBatch(
+    const std::string& group, std::span<const BatchReading> readings) {
+  AVOC_RETURN_IF_ERROR(PipelineSubmitBatch(group, readings));
+  return AwaitSubmitBatch();
+}
+
+Status RemoteVoterClient::PipelineSubmitBatch(
+    const std::string& group, std::span<const BatchReading> readings) {
+  if (mode_ != Mode::kBinary) {
+    return FailedPreconditionError(
+        "SubmitBatch needs a binary connection (ConnectBinary)");
+  }
+  AVOC_RETURN_IF_ERROR(connection_.SendAll(EncodeFrame(
+      FrameType::kSubmitBatch, EncodeSubmitBatch(group, readings))));
+  ++pending_submits_;
+  return Status::Ok();
+}
+
+Result<uint64_t> RemoteVoterClient::AwaitSubmitBatch() {
+  if (pending_submits_ == 0) {
+    return FailedPreconditionError("no pipelined SUBMIT_BATCH pending");
+  }
+  --pending_submits_;
+  AVOC_ASSIGN_OR_RETURN(Frame frame, ReadFrame());
+  AVOC_ASSIGN_OR_RETURN(frame, CheckFrame(std::move(frame)));
+  if (frame.type != FrameType::kOk) {
+    return IoError(StrFormat("unexpected frame %s",
+                             std::string(FrameTypeName(frame.type)).c_str()));
+  }
+  uint64_t accepted = 0;
+  AVOC_RETURN_IF_ERROR(DecodeOk(frame.payload, &accepted));
+  return accepted;
+}
+
 Status RemoteVoterClient::CloseRound(const std::string& group, size_t round) {
+  if (mode_ == Mode::kBinary) {
+    AVOC_ASSIGN_OR_RETURN(
+        const Frame frame,
+        FrameRoundTrip(FrameType::kClose, EncodeClose(group, round)));
+    if (frame.type != FrameType::kOk) {
+      return IoError("unexpected frame in CLOSE reply");
+    }
+    return Status::Ok();
+  }
   AVOC_ASSIGN_OR_RETURN(
       const std::string response,
       RoundTrip(StrFormat("CLOSE %s %zu", group.c_str(), round)));
@@ -190,6 +662,20 @@ Status RemoteVoterClient::CloseRound(const std::string& group, size_t round) {
 }
 
 Result<double> RemoteVoterClient::Query(const std::string& group) {
+  if (mode_ == Mode::kBinary) {
+    AVOC_ASSIGN_OR_RETURN(
+        const Frame frame,
+        FrameRoundTrip(FrameType::kQuery, EncodeQuery(group)));
+    if (frame.type == FrameType::kNone) {
+      return NotFoundError("no fused value yet");
+    }
+    if (frame.type != FrameType::kValue) {
+      return IoError("unexpected frame in QUERY reply");
+    }
+    double value = 0.0;
+    AVOC_RETURN_IF_ERROR(DecodeValue(frame.payload, &value));
+    return value;
+  }
   AVOC_ASSIGN_OR_RETURN(const std::string response,
                         RoundTrip("QUERY " + group));
   if (response == "NONE") return NotFoundError("no fused value yet");
@@ -200,6 +686,16 @@ Result<double> RemoteVoterClient::Query(const std::string& group) {
 }
 
 Result<std::vector<std::string>> RemoteVoterClient::Groups() {
+  if (mode_ == Mode::kBinary) {
+    AVOC_ASSIGN_OR_RETURN(const Frame frame,
+                          FrameRoundTrip(FrameType::kGroups));
+    if (frame.type != FrameType::kGroupList) {
+      return IoError("unexpected frame in GROUPS reply");
+    }
+    std::vector<std::string> groups;
+    AVOC_RETURN_IF_ERROR(DecodeGroupList(frame.payload, &groups));
+    return groups;
+  }
   AVOC_ASSIGN_OR_RETURN(const std::string response, RoundTrip("GROUPS"));
   std::vector<std::string> tokens;
   for (const std::string& token : SplitString(response, ' ')) {
@@ -212,6 +708,13 @@ Result<std::vector<std::string>> RemoteVoterClient::Groups() {
 }
 
 Status RemoteVoterClient::Ping() {
+  if (mode_ == Mode::kBinary) {
+    AVOC_ASSIGN_OR_RETURN(const Frame frame, FrameRoundTrip(FrameType::kPing));
+    if (frame.type != FrameType::kPong) {
+      return IoError("unexpected frame in PING reply");
+    }
+    return Status::Ok();
+  }
   AVOC_ASSIGN_OR_RETURN(const std::string response, RoundTrip("PING"));
   if (response != "PONG") return IoError("unexpected response: " + response);
   return Status::Ok();
@@ -232,6 +735,16 @@ Result<std::vector<std::string>> RemoteVoterClient::RoundTripMultiLine(
 }
 
 Result<std::string> RemoteVoterClient::Metrics() {
+  if (mode_ == Mode::kBinary) {
+    AVOC_ASSIGN_OR_RETURN(const Frame frame,
+                          FrameRoundTrip(FrameType::kMetrics));
+    if (frame.type != FrameType::kText) {
+      return IoError("unexpected frame in METRICS reply");
+    }
+    std::string text;
+    AVOC_RETURN_IF_ERROR(DecodeText(frame.payload, &text));
+    return text;
+  }
   AVOC_ASSIGN_OR_RETURN(const std::vector<std::string> lines,
                         RoundTripMultiLine("METRICS"));
   std::string text;
@@ -243,8 +756,21 @@ Result<std::string> RemoteVoterClient::Metrics() {
 }
 
 Result<std::vector<std::string>> RemoteVoterClient::Health() {
-  AVOC_ASSIGN_OR_RETURN(std::vector<std::string> lines,
-                        RoundTripMultiLine("HEALTH"));
+  std::vector<std::string> lines;
+  if (mode_ == Mode::kBinary) {
+    AVOC_ASSIGN_OR_RETURN(const Frame frame,
+                          FrameRoundTrip(FrameType::kHealth));
+    if (frame.type != FrameType::kText) {
+      return IoError("unexpected frame in HEALTH reply");
+    }
+    std::string text;
+    AVOC_RETURN_IF_ERROR(DecodeText(frame.payload, &text));
+    for (const std::string& line : SplitString(text, '\n')) {
+      if (!line.empty()) lines.push_back(line);
+    }
+  } else {
+    AVOC_ASSIGN_OR_RETURN(lines, RoundTripMultiLine("HEALTH"));
+  }
   if (lines.empty() || !StartsWith(lines[0], "HEALTH ")) {
     return IoError("unexpected response: " +
                    (lines.empty() ? std::string("<empty>") : lines[0]));

@@ -1,47 +1,92 @@
 // The networked voter service: sensors and edge applications talk to the
-// voter over a line-based TCP protocol — the wire realisation of the
-// paper's sensors → hub → WiFi → voting sink-node path (Fig. 1) and of
-// its closing vision, "a compatible voter service running on an edge
-// node" receiving VDX definitions.
+// voter over TCP — the wire realisation of the paper's sensors → hub →
+// WiFi → voting sink-node path (Fig. 1) and of its closing vision, "a
+// compatible voter service running on an edge node" receiving VDX
+// definitions.
 //
-// Protocol (UTF-8 lines, space-separated tokens; responses are one line
-// unless marked multi-line, in which case they end with an "END" line):
+// The server is a single-threaded epoll event loop (runtime/event_loop.h)
+// multiplexing every connection; each connection is a small protocol
+// state machine with a bounded outbound queue.  Two protocols share the
+// port, auto-detected from a connection's first bytes:
 //
-//   SUBMIT <group> <module> <round> <value>   -> OK | ERR <reason>
-//   CLOSE <group> <round>                     -> OK | ERR <reason>
-//   QUERY <group>                             -> VALUE <v> | NONE | ERR ...
-//   GROUPS                                    -> GROUPS <n> <name...>
-//   METRICS      -> multi-line Prometheus text exposition | ERR <reason>
-//                   (requires the manager to carry an obs::Registry)
-//   HEALTH       -> multi-line: "HEALTH <n>" then one
-//                   "GROUP <name> modules=<m> outputs=<o> open=<p>
-//                    status=<ok|error>" line per group
-//   PING                                      -> PONG
-//   QUIT                                      -> BYE (and disconnects)
+//   * Binary frame protocol (runtime/framing.h, docs/PROTOCOL.md).
+//     Announced by the 2-byte magic preamble 0xAB 0x0C.  Length-prefixed
+//     typed frames; SUBMIT_BATCH carries N readings that the server turns
+//     into ONE columnar engine pass (VoterGroupManager::SubmitBatch), and
+//     requests may be pipelined back-to-back without waiting.
 //
-// The server is intentionally plain-text and loopback-bound: §6 notes VDX
-// "has no security features that protect against malicious actors, so
-// this is left up to the client code"; the same stance applies here.
+//   * Legacy line protocol (UTF-8 lines, space-separated tokens;
+//     multi-line responses end with an "END" line).  Any connection whose
+//     first byte is not 0xAB speaks this:
+//
+//       SUBMIT <group> <module> <round> <value>   -> OK | ERR <reason>
+//       CLOSE <group> <round>                     -> OK | ERR <reason>
+//       QUERY <group>                             -> VALUE <v> | NONE | ERR
+//       GROUPS                                    -> GROUPS <n> <name...>
+//       METRICS      -> multi-line Prometheus text exposition | ERR
+//       HEALTH       -> multi-line: "HEALTH <n>" then one GROUP line each
+//       PING                                      -> PONG
+//       QUIT                                      -> BYE (and disconnects)
+//
+// Backpressure: a client that pipelines faster than it reads accumulates
+// an outbound queue.  Past `read_pause_bytes` the server stops reading
+// from that connection (EPOLLIN off) until the queue drains; past
+// `write_high_water_bytes` further requests are answered with "ERR busy"
+// instead of being executed.  Connections idle past `idle_timeout_ms` are
+// dropped by the loop's timer wheel.
+//
+// The server is intentionally plain-text/plain-frame and loopback-bound:
+// §6 notes VDX "has no security features that protect against malicious
+// actors, so this is left up to the client code"; the same stance
+// applies here.
 #pragma once
 
 #include <atomic>
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "runtime/event_loop.h"
+#include "runtime/framing.h"
 #include "runtime/group_manager.h"
 #include "runtime/tcp.h"
 
 namespace avoc::runtime {
 
+/// Server tuning knobs (defaults suit production; tests shrink them).
+struct RemoteServerOptions {
+  /// 127.0.0.1 port; 0 picks an ephemeral port (see port()).
+  uint16_t port = 0;
+  /// Drop connections with no traffic for this long; 0 disables.
+  uint64_t idle_timeout_ms = 0;
+  /// Stop reading from a connection whose outbound queue exceeds this.
+  size_t read_pause_bytes = 256 * 1024;
+  /// Answer "ERR busy" instead of executing requests past this.
+  size_t write_high_water_bytes = 1024 * 1024;
+  /// Largest accepted binary frame body.
+  size_t max_frame_bytes = kMaxFrameBytes;
+  /// Kernel send buffer per accepted connection; 0 keeps the default
+  /// (backpressure tests pin it small for determinism).
+  int send_buffer_bytes = 0;
+};
+
 class RemoteVoterServer {
  public:
+  using Options = RemoteServerOptions;
+
   /// Binds 127.0.0.1:`port` (0 = ephemeral, see port()) and serves the
   /// given manager.  The manager must outlive the server; its groups may
-  /// be registered before or while serving.
+  /// be registered before or while serving.  When the manager carries an
+  /// obs::Registry the server publishes avoc_remote_* metrics into it.
   static Result<std::unique_ptr<RemoteVoterServer>> Start(
       VoterGroupManager* manager, uint16_t port = 0);
+
+  /// Start with explicit tuning knobs.
+  static Result<std::unique_ptr<RemoteVoterServer>> StartWithOptions(
+      VoterGroupManager* manager, Options options);
 
   ~RemoteVoterServer();
 
@@ -50,38 +95,115 @@ class RemoteVoterServer {
 
   uint16_t port() const { return listener_.port(); }
 
-  /// Stops accepting, disconnects clients, joins threads.  Idempotent.
+  /// Stops the loop, disconnects clients, joins the loop thread.
+  /// Idempotent.
   void Stop();
 
-  /// Requests handled so far (all connections).
+  /// Requests handled so far (all connections, both protocols; one
+  /// binary frame or one legacy line each).
   size_t requests_served() const { return requests_.load(); }
 
+  /// Times a connection hit a backpressure threshold (read pause or
+  /// busy-rejection).
+  size_t backpressure_events() const { return backpressure_.load(); }
+
  private:
-  RemoteVoterServer(VoterGroupManager* manager, TcpListener listener);
+  /// One connection's protocol state machine (loop thread only).
+  struct Connection {
+    explicit Connection(TcpConnection c) : conn(std::move(c)) {}
 
-  void AcceptLoop();
-  void ServeConnection(TcpConnection connection);
+    TcpConnection conn;
+    enum class Mode : uint8_t { kDetecting, kLegacy, kBinary };
+    Mode mode = Mode::kDetecting;
+    std::string inbuf;     ///< detection + legacy line assembly
+    FrameDecoder decoder;  ///< binary frame assembly
+    std::string outbuf;    ///< encoded responses not yet written
+    size_t out_pos = 0;    ///< written prefix of outbuf
+    bool want_close = false;  ///< close once outbuf drains
+    bool paused = false;      ///< reading stopped by backpressure
+    uint64_t idle_timer = 0;  ///< timer-wheel handle (0 = none)
+    uint64_t last_activity_ms = 0;
+  };
 
-  /// Handles one request line; returns the response line.
+  RemoteVoterServer(VoterGroupManager* manager, Options options,
+                    TcpListener listener, std::unique_ptr<EventLoop> loop);
+
+  // Loop-thread handlers.
+  void OnAcceptable();
+  void OnConnectionEvent(int fd, uint32_t events);
+  void ReadPath(int fd);
+  void WritePath(int fd);
+  void ProcessInput(int fd);
+  void ProcessLegacyLines(int fd);
+  void ProcessBinaryFrames(int fd);
+  void QueueResponse(Connection& c, std::string bytes);
+  bool OverHighWater(const Connection& c) const;
+  void UpdateInterest(int fd);
+  void ScheduleIdleTimer(int fd);
+  void CloseConnection(int fd);
+
+  /// Handles one legacy request line; returns the response line.
   std::string Handle(const std::string& line);
 
+  /// Handles one binary frame; returns the encoded response frame and
+  /// sets `*close_after` for QUIT.
+  std::string HandleFrame(const Frame& frame, bool* close_after);
+
+  /// The multi-line HEALTH body (shared by both protocols; no END line).
+  std::string HealthText() const;
+
   VoterGroupManager* manager_;
+  Options options_;
   TcpListener listener_;
+  std::unique_ptr<EventLoop> loop_;
+  std::thread loop_thread_;
   std::atomic<bool> running_{true};
   std::atomic<size_t> requests_{0};
-  std::thread acceptor_;
-  std::mutex workers_mutex_;
-  std::vector<std::thread> workers_;
+  std::atomic<size_t> backpressure_{0};
+  std::map<int, std::unique_ptr<Connection>> connections_;  // loop thread
+
+  // Optional telemetry (null without a manager registry).
+  obs::Gauge* connections_gauge_ = nullptr;
+  obs::Counter* frames_in_ = nullptr;
+  obs::Counter* frames_out_ = nullptr;
+  obs::Counter* bytes_in_ = nullptr;
+  obs::Counter* bytes_out_ = nullptr;
+  obs::Counter* backpressure_counter_ = nullptr;
+  obs::LatencyHistogram* request_latency_ = nullptr;
 };
 
-/// Client helper wrapping the protocol.
+/// Client helper speaking either protocol.  Connect() yields a legacy
+/// line-protocol client (bit-compatible with the original); ConnectBinary
+/// sends the 0xAB 0x0C preamble and speaks frames, which unlocks
+/// SubmitBatch and pipelining.  One client is one connection; methods are
+/// not thread-safe.
 class RemoteVoterClient {
  public:
   static Result<RemoteVoterClient> Connect(const std::string& host,
                                            uint16_t port);
 
+  /// Binary-framed connection (preamble sent immediately).
+  static Result<RemoteVoterClient> ConnectBinary(const std::string& host,
+                                                 uint16_t port);
+
   Status Submit(const std::string& group, size_t module, size_t round,
                 double value);
+
+  /// Sends `readings` as one SUBMIT_BATCH frame and awaits the reply;
+  /// returns the number of readings the server accepted.  Binary mode
+  /// only.
+  Result<uint64_t> SubmitBatch(const std::string& group,
+                               std::span<const BatchReading> readings);
+
+  /// Pipelining (binary mode only): queue a SUBMIT_BATCH without reading
+  /// the reply...
+  Status PipelineSubmitBatch(const std::string& group,
+                             std::span<const BatchReading> readings);
+  /// ...then collect one pending reply per earlier Pipeline call, in
+  /// order.
+  Result<uint64_t> AwaitSubmitBatch();
+  size_t pending_replies() const { return pending_submits_; }
+
   Status CloseRound(const std::string& group, size_t round);
   /// Last fused value of the group; NotFound when none yet.
   Result<double> Query(const std::string& group);
@@ -94,8 +216,10 @@ class RemoteVoterClient {
   Result<std::vector<std::string>> Health();
 
  private:
-  explicit RemoteVoterClient(TcpConnection connection)
-      : connection_(std::move(connection)) {}
+  enum class Mode : uint8_t { kLegacy, kBinary };
+
+  RemoteVoterClient(TcpConnection connection, Mode mode)
+      : connection_(std::move(connection)), mode_(mode) {}
 
   /// Sends one line, reads one response line, fails on ERR.
   Result<std::string> RoundTrip(const std::string& line);
@@ -103,7 +227,20 @@ class RemoteVoterClient {
   /// Sends one line, reads response lines until "END", fails on ERR.
   Result<std::vector<std::string>> RoundTripMultiLine(const std::string& line);
 
+  /// Binary mode: blocks until one complete frame arrives.
+  Result<Frame> ReadFrame();
+
+  /// Binary mode: sends a request frame and reads its response frame
+  /// (decoding kError into a Status).
+  Result<Frame> FrameRoundTrip(FrameType type, std::string_view payload = {});
+
+  /// Unwraps a kError frame into a Status; passes others through.
+  Result<Frame> CheckFrame(Frame frame);
+
   TcpConnection connection_;
+  Mode mode_ = Mode::kLegacy;
+  FrameDecoder decoder_;
+  size_t pending_submits_ = 0;
 };
 
 }  // namespace avoc::runtime

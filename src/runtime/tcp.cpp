@@ -1,12 +1,14 @@
 #include "runtime/tcp.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <utility>
@@ -18,6 +20,17 @@ namespace {
 
 Status Errno(const char* what) {
   return IoError(StrFormat("%s: %s", what, std::strerror(errno)));
+}
+
+Status SetFdNonBlocking(int fd, bool enabled) {
+  if (fd < 0) return IoError("socket is closed");
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  const int wanted = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (wanted != flags && ::fcntl(fd, F_SETFL, wanted) < 0) {
+    return Errno("fcntl(F_SETFL)");
+  }
+  return Status::Ok();
 }
 
 }  // namespace
@@ -54,10 +67,12 @@ Result<TcpConnection> TcpConnection::Connect(const std::string& host,
   if (::inet_pton(AF_INET, resolved.c_str(), &address.sin_addr) != 1) {
     return InvalidArgumentError("not an IPv4 address: '" + host + "'");
   }
-  if (::connect(socket.fd(), reinterpret_cast<sockaddr*>(&address),
-                sizeof(address)) != 0) {
-    return Errno("connect");
-  }
+  int rc;
+  do {
+    rc = ::connect(socket.fd(), reinterpret_cast<sockaddr*>(&address),
+                   sizeof(address));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return Errno("connect");
   int one = 1;
   ::setsockopt(socket.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return TcpConnection(std::move(socket));
@@ -108,6 +123,26 @@ Result<std::string> TcpConnection::ReceiveLine() {
   }
 }
 
+Result<size_t> TcpConnection::ReceiveSome(char* buffer, size_t len) {
+  // Serve out of the line buffer first so mixing ReceiveLine and
+  // ReceiveSome on the same connection never loses bytes.
+  if (!buffer_.empty()) {
+    const size_t take = std::min(len, buffer_.size());
+    std::memcpy(buffer, buffer_.data(), take);
+    buffer_.erase(0, take);
+    return take;
+  }
+  for (;;) {
+    const ssize_t n = ::recv(socket_.fd(), buffer, len, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    if (n == 0) return NotFoundError("connection closed");
+    return static_cast<size_t>(n);
+  }
+}
+
 Status TcpConnection::SetReceiveTimeoutMs(int timeout_ms) {
   timeval tv{};
   tv.tv_sec = timeout_ms / 1000;
@@ -117,6 +152,43 @@ Status TcpConnection::SetReceiveTimeoutMs(int timeout_ms) {
     return Errno("setsockopt(SO_RCVTIMEO)");
   }
   return Status::Ok();
+}
+
+Status TcpConnection::SetNonBlocking(bool enabled) {
+  return SetFdNonBlocking(socket_.fd(), enabled);
+}
+
+Status TcpConnection::SetSendBufferBytes(int bytes) {
+  if (::setsockopt(socket_.fd(), SOL_SOCKET, SO_SNDBUF, &bytes,
+                   sizeof(bytes)) != 0) {
+    return Errno("setsockopt(SO_SNDBUF)");
+  }
+  return Status::Ok();
+}
+
+IoOp TcpConnection::ReadSome(char* buffer, size_t len) {
+  for (;;) {
+    const ssize_t n = ::recv(socket_.fd(), buffer, len, 0);
+    if (n > 0) return IoOp{IoOp::Kind::kDone, static_cast<size_t>(n), {}};
+    if (n == 0) return IoOp{IoOp::Kind::kEof, 0, {}};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return IoOp{IoOp::Kind::kWouldBlock, 0, {}};
+    }
+    return IoOp{IoOp::Kind::kError, 0, Errno("recv")};
+  }
+}
+
+IoOp TcpConnection::WriteSome(const char* data, size_t len) {
+  for (;;) {
+    const ssize_t n = ::send(socket_.fd(), data, len, MSG_NOSIGNAL);
+    if (n >= 0) return IoOp{IoOp::Kind::kDone, static_cast<size_t>(n), {}};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return IoOp{IoOp::Kind::kWouldBlock, 0, {}};
+    }
+    return IoOp{IoOp::Kind::kError, 0, Errno("send")};
+  }
 }
 
 Result<TcpListener> TcpListener::Listen(uint16_t port) {
@@ -143,11 +215,34 @@ Result<TcpListener> TcpListener::Listen(uint16_t port) {
 }
 
 Result<TcpConnection> TcpListener::Accept() {
-  const int fd = ::accept(socket_.fd(), nullptr, nullptr);
+  int fd;
+  do {
+    fd = ::accept(socket_.fd(), nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
   if (fd < 0) return Errno("accept");
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return TcpConnection(Socket(fd));
+}
+
+Result<TcpConnection> TcpListener::TryAccept() {
+  int fd;
+  do {
+    fd = ::accept(socket_.fd(), nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return NotFoundError("no pending connection");
+    }
+    return Errno("accept");
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpConnection(Socket(fd));
+}
+
+Status TcpListener::SetNonBlocking(bool enabled) {
+  return SetFdNonBlocking(socket_.fd(), enabled);
 }
 
 }  // namespace avoc::runtime

@@ -2,9 +2,11 @@
 //
 // The paper's deployment streams sensor readings over the network (sensors
 // → VINT hub → WiFi → voting sink-node); runtime/remote.h implements that
-// wire path with a line-based protocol, and these wrappers keep the socket
-// handling exception-free and leak-free.  IPv4 only, blocking I/O with
-// optional receive timeouts — deliberately boring.
+// wire path, and these wrappers keep the socket handling exception-free
+// and leak-free.  IPv4 only.  Two I/O styles coexist: the original
+// blocking line-oriented helpers (SendLine/ReceiveLine, used by clients
+// and the legacy protocol), and non-blocking ReadSome/WriteSome for the
+// epoll event loop (runtime/event_loop.h) behind SetNonBlocking.
 #pragma once
 
 #include <atomic>
@@ -41,6 +43,19 @@ class Socket {
   std::atomic<int> fd_{-1};
 };
 
+/// Outcome of one non-blocking read or write attempt.
+struct IoOp {
+  enum class Kind {
+    kDone,        ///< `bytes` transferred (> 0)
+    kWouldBlock,  ///< no progress possible now (EAGAIN/EWOULDBLOCK)
+    kEof,         ///< orderly peer shutdown (reads only)
+    kError,       ///< hard socket error, see `status`
+  };
+  Kind kind = Kind::kDone;
+  size_t bytes = 0;
+  Status status;
+};
+
 /// A connected TCP stream with line-oriented helpers.
 class TcpConnection {
  public:
@@ -51,6 +66,7 @@ class TcpConnection {
                                        uint16_t port);
 
   bool valid() const { return socket_.valid(); }
+  int fd() const { return socket_.fd(); }
 
   /// Sends the whole buffer (handles partial writes).
   Status SendAll(std::string_view data);
@@ -63,8 +79,27 @@ class TcpConnection {
   /// timeout (when set) or socket errors.
   Result<std::string> ReceiveLine();
 
+  /// Blocking read of up to `len` raw bytes (at least one).  NotFound at
+  /// orderly EOF, IoError on timeout or socket errors.
+  Result<size_t> ReceiveSome(char* buffer, size_t len);
+
   /// Sets a receive timeout; 0 disables.
   Status SetReceiveTimeoutMs(int timeout_ms);
+
+  /// Switches O_NONBLOCK on or off (event-loop connections set it once).
+  Status SetNonBlocking(bool enabled);
+
+  /// Shrinks/grows the kernel send buffer (backpressure tests pin it
+  /// small so write queues fill deterministically).
+  Status SetSendBufferBytes(int bytes);
+
+  // --- non-blocking I/O (requires SetNonBlocking(true)) ---------------------
+
+  /// One recv attempt; never blocks.  EINTR is retried internally.
+  IoOp ReadSome(char* buffer, size_t len);
+
+  /// One send attempt; never blocks.  EINTR is retried internally.
+  IoOp WriteSome(const char* data, size_t len);
 
   void Close() { socket_.Close(); }
 
@@ -80,10 +115,18 @@ class TcpListener {
   static Result<TcpListener> Listen(uint16_t port);
 
   uint16_t port() const { return port_; }
+  int fd() const { return socket_.fd(); }
 
   /// Blocks until a client connects (or the listener is closed from
   /// another thread, which surfaces as an IoError).
   Result<TcpConnection> Accept();
+
+  /// Non-blocking accept (requires SetNonBlocking(true)): NotFound when
+  /// no connection is pending, IoError on socket errors.
+  Result<TcpConnection> TryAccept();
+
+  /// Switches O_NONBLOCK on or off.
+  Status SetNonBlocking(bool enabled);
 
   /// Unblocks pending Accept calls.
   void Close() { socket_.Close(); }

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -68,6 +71,66 @@ TEST(TopicTest, ConcurrentPublishersDeliverEverything) {
   }
   for (auto& thread : threads) thread.join();
   EXPECT_EQ(sum.load(), kThreads * kPerThread);
+}
+
+TEST(TopicTest, ConcurrentPublishersRunHandlersInParallel) {
+  // Regression: Publish used to run handlers under an exclusive topic
+  // mutex, so a slow handler on one publisher thread serialized every
+  // other publisher.  With the shared lock, two publishers must be able
+  // to sit inside the handler at the same time.
+  // Lock-free observation on purpose: the handler runs under the topic's
+  // shared lock, and taking another mutex inside it would hand TSan a
+  // spurious lock-order edge against unrelated tests.
+  Topic<int> topic;
+  std::atomic<int> inside{0};
+  std::atomic<bool> both_seen{false};
+  topic.Subscribe([&](const int&) {
+    inside.fetch_add(1);
+    // Wait (bounded) for the second publisher to join us in here; under
+    // the old exclusive lock this always timed out.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (!both_seen.load()) {
+      if (inside.load() >= 2) {
+        both_seen.store(true);
+        break;
+      }
+      if (std::chrono::steady_clock::now() > deadline) break;
+      std::this_thread::yield();
+    }
+    inside.fetch_sub(1);
+  });
+  std::thread a([&] { topic.Publish(1); });
+  std::thread b([&] { topic.Publish(2); });
+  a.join();
+  b.join();
+  EXPECT_TRUE(both_seen.load());
+}
+
+TEST(TopicTest, UnsubscribeExcludesInFlightPublish) {
+  // Unsubscribe must block until in-flight deliveries finish, so the
+  // subscriber can be destroyed right after it returns.
+  Topic<int> topic;
+  std::atomic<bool> in_handler{false};
+  std::atomic<bool> release{false};
+  std::atomic<bool> unsubscribed{false};
+  const SubscriptionId id = topic.Subscribe([&](const int&) {
+    in_handler = true;
+    while (!release.load()) std::this_thread::yield();
+  });
+  std::thread publisher([&] { topic.Publish(1); });
+  while (!in_handler.load()) std::this_thread::yield();
+  std::thread remover([&] {
+    topic.Unsubscribe(id);
+    unsubscribed = true;
+  });
+  // The handler is still running: Unsubscribe must not have completed.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(unsubscribed.load());
+  release = true;
+  publisher.join();
+  remover.join();
+  EXPECT_TRUE(unsubscribed.load());
 }
 
 TEST(TopicTest, ChainedTopicsDispatchSynchronously) {

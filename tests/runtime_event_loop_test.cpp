@@ -1,0 +1,276 @@
+#include "runtime/event_loop.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace avoc::runtime {
+namespace {
+
+// --- TimerWheel --------------------------------------------------------------
+
+TEST(TimerWheelTest, ZeroDelayFiresOnNextAdvance) {
+  TimerWheel wheel(25, 128);
+  int fired = 0;
+  wheel.Schedule(1000, 0, [&] { ++fired; });
+  EXPECT_EQ(wheel.MsUntilNext(1000), 0);
+  wheel.Advance(1000);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheelTest, TimerNeverFiresEarly) {
+  TimerWheel wheel(25, 128);
+  int fired = 0;
+  wheel.Schedule(1000, 100, [&] { ++fired; });
+  wheel.Advance(1050);  // halfway there
+  EXPECT_EQ(fired, 0);
+  wheel.Advance(1099);  // due at tick ceil(1100/25)=44 -> 1100ms
+  EXPECT_EQ(fired, 0);
+  wheel.Advance(1100);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerWheelTest, CancelPreventsFiring) {
+  TimerWheel wheel(25, 128);
+  int fired = 0;
+  const uint64_t id = wheel.Schedule(0, 50, [&] { ++fired; });
+  EXPECT_TRUE(wheel.Cancel(id));
+  EXPECT_FALSE(wheel.Cancel(id));  // second cancel is a no-op
+  wheel.Advance(1000);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheelTest, FarFutureTimerSharesSlotWithNearOne) {
+  // Two timers that land in the same slot (delays differing by exactly
+  // one wheel revolution) must fire at their own deadlines.
+  TimerWheel wheel(10, 16);
+  std::vector<int> order;
+  wheel.Schedule(0, 20, [&] { order.push_back(1); });
+  wheel.Schedule(0, 20 + 16 * 10, [&] { order.push_back(2); });
+  wheel.Advance(25);
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  wheel.Advance(20 + 16 * 10);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(TimerWheelTest, LongStallFiresEverythingDue) {
+  // Advancing far past several revolutions must not strand entries.
+  TimerWheel wheel(10, 8);
+  int fired = 0;
+  for (uint64_t i = 0; i < 20; ++i) {
+    wheel.Schedule(0, 10 + i * 7, [&] { ++fired; });
+  }
+  wheel.Advance(100000);
+  EXPECT_EQ(fired, 20);
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheelTest, CallbackMayScheduleAnotherTimer) {
+  TimerWheel wheel(10, 16);
+  int chained = 0;
+  wheel.Schedule(0, 10, [&] {
+    wheel.Schedule(10, 10, [&] { ++chained; });
+  });
+  wheel.Advance(10);
+  EXPECT_EQ(chained, 0);
+  wheel.Advance(20);
+  EXPECT_EQ(chained, 1);
+}
+
+TEST(TimerWheelTest, MsUntilNextReportsSoonestDeadline) {
+  TimerWheel wheel(25, 128);
+  EXPECT_EQ(wheel.MsUntilNext(0), -1);  // nothing pending
+  wheel.Schedule(0, 500, [] {});
+  wheel.Schedule(0, 100, [] {});
+  const int64_t wait = wheel.MsUntilNext(0);
+  EXPECT_GE(wait, 100);
+  EXPECT_LE(wait, 125);  // tick rounding may stretch one tick
+}
+
+// --- EventLoop ---------------------------------------------------------------
+
+class EventLoopTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto loop = EventLoop::Create();
+    ASSERT_TRUE(loop.ok()) << loop.status().ToString();
+    loop_ = std::move(*loop);
+  }
+
+  std::unique_ptr<EventLoop> loop_;
+};
+
+TEST_F(EventLoopTest, PostedFunctionRunsOnLoopThread) {
+  std::atomic<bool> ran{false};
+  std::thread runner([&] { loop_->Run(); });
+  loop_->Post([&] { ran = true; });
+  for (int i = 0; i < 500 && !ran.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  loop_->Stop();
+  runner.join();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST_F(EventLoopTest, StopUnblocksRun) {
+  std::thread runner([&] { loop_->Run(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  loop_->Stop();
+  runner.join();  // must return promptly
+  EXPECT_TRUE(loop_->stopped());
+}
+
+TEST_F(EventLoopTest, WatchDeliversReadReadiness) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  std::string received;
+  ASSERT_TRUE(loop_->Watch(fds[0], kIoRead, [&](uint32_t events) {
+                       EXPECT_TRUE(events & kIoRead);
+                       char buffer[64];
+                       const ssize_t n = ::read(fds[0], buffer, sizeof(buffer));
+                       if (n > 0) received.assign(buffer, static_cast<size_t>(n));
+                       loop_->Stop();
+                     })
+                  .ok());
+  ASSERT_EQ(::write(fds[1], "ping", 4), 4);
+  loop_->Run();
+  EXPECT_EQ(received, "ping");
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST_F(EventLoopTest, UnwatchStopsDelivery) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  std::atomic<int> deliveries{0};
+  ASSERT_TRUE(loop_->Watch(fds[0], kIoRead, [&](uint32_t) {
+                       ++deliveries;
+                       // Unwatch from inside the callback (the documented
+                       // self-removal pattern); data stays unread, so a
+                       // stale registration would re-fire forever.
+                       EXPECT_TRUE(loop_->Unwatch(fds[0]).ok());
+                     })
+                  .ok());
+  ASSERT_EQ(::write(fds[1], "x", 1), 1);
+  ASSERT_TRUE(loop_->RunOnce(100).ok());
+  ASSERT_TRUE(loop_->RunOnce(50).ok());
+  EXPECT_EQ(deliveries.load(), 1);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST_F(EventLoopTest, SetInterestSwitchesReadAndWrite) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  // A pipe's write end is immediately writable.
+  std::atomic<bool> writable{false};
+  ASSERT_TRUE(loop_->Watch(fds[1], 0, [&](uint32_t events) {
+                       if (events & kIoWrite) writable = true;
+                       (void)loop_->SetInterest(fds[1], 0);
+                     })
+                  .ok());
+  // Interest 0: nothing may fire.
+  ASSERT_TRUE(loop_->RunOnce(50).ok());
+  EXPECT_FALSE(writable.load());
+  ASSERT_TRUE(loop_->SetInterest(fds[1], kIoWrite).ok());
+  ASSERT_TRUE(loop_->RunOnce(100).ok());
+  EXPECT_TRUE(writable.load());
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST_F(EventLoopTest, DuplicateWatchFails) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ASSERT_TRUE(loop_->Watch(fds[0], kIoRead, [](uint32_t) {}).ok());
+  EXPECT_FALSE(loop_->Watch(fds[0], kIoRead, [](uint32_t) {}).ok());
+  EXPECT_TRUE(loop_->Unwatch(fds[0]).ok());
+  EXPECT_FALSE(loop_->Unwatch(fds[0]).ok());  // already gone
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST_F(EventLoopTest, ScheduledTimerFires) {
+  std::atomic<bool> fired{false};
+  std::thread runner([&] { loop_->Run(); });
+  loop_->Post([&] {
+    loop_->ScheduleTimer(30, [&] {
+      fired = true;
+      loop_->Stop();
+    });
+  });
+  runner.join();
+  EXPECT_TRUE(fired.load());
+}
+
+TEST_F(EventLoopTest, CanceledTimerDoesNotFire) {
+  std::atomic<bool> fired{false};
+  // Drive the loop manually so cancellation is deterministic.
+  uint64_t id = 0;
+  loop_->Post([&] { id = loop_->ScheduleTimer(40, [&] { fired = true; }); });
+  ASSERT_TRUE(loop_->RunOnce(10).ok());
+  loop_->Post([&] { EXPECT_TRUE(loop_->CancelTimer(id)); });
+  ASSERT_TRUE(loop_->RunOnce(10).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  ASSERT_TRUE(loop_->RunOnce(10).ok());
+  EXPECT_FALSE(fired.load());
+}
+
+TEST_F(EventLoopTest, CallbackMayUnwatchAndCloseItsOwnFd) {
+  // Close-in-callback is the server's connection-teardown path; the loop
+  // must tolerate the fd being gone by dispatch time.
+  int first[2];
+  int second[2];
+  ASSERT_EQ(::pipe(first), 0);
+  ASSERT_EQ(::pipe(second), 0);
+  std::atomic<int> handled{0};
+  auto close_self = [&](int read_fd) {
+    return [&, read_fd](uint32_t) {
+      ++handled;
+      EXPECT_TRUE(loop_->Unwatch(read_fd).ok());
+      ::close(read_fd);
+    };
+  };
+  ASSERT_TRUE(loop_->Watch(first[0], kIoRead, close_self(first[0])).ok());
+  ASSERT_TRUE(loop_->Watch(second[0], kIoRead, close_self(second[0])).ok());
+  // Both readable in the same epoll batch.
+  ASSERT_EQ(::write(first[1], "a", 1), 1);
+  ASSERT_EQ(::write(second[1], "b", 1), 1);
+  ASSERT_TRUE(loop_->RunOnce(100).ok());
+  ASSERT_TRUE(loop_->RunOnce(20).ok());
+  EXPECT_EQ(handled.load(), 2);
+  ::close(first[1]);
+  ::close(second[1]);
+}
+
+TEST_F(EventLoopTest, PostIsSafeFromManyThreads) {
+  std::atomic<int> count{0};
+  std::thread runner([&] { loop_->Run(); });
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 250;
+  std::vector<std::thread> posters;
+  for (int t = 0; t < kThreads; ++t) {
+    posters.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        loop_->Post([&] { ++count; });
+      }
+    });
+  }
+  for (auto& poster : posters) poster.join();
+  for (int i = 0; i < 500 && count.load() < kThreads * kPerThread; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  loop_->Stop();
+  runner.join();
+  EXPECT_EQ(count.load(), kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace avoc::runtime

@@ -1,0 +1,322 @@
+#include "runtime/framing.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace avoc::runtime {
+namespace {
+
+TEST(FramingTest, VarintRoundTrips) {
+  const uint64_t cases[] = {0,
+                            1,
+                            127,
+                            128,
+                            300,
+                            16383,
+                            16384,
+                            (1ull << 35) - 1,
+                            std::numeric_limits<uint64_t>::max()};
+  for (const uint64_t value : cases) {
+    std::string buffer;
+    AppendVarint(buffer, value);
+    PayloadReader reader(buffer);
+    auto decoded = reader.ReadVarint();
+    ASSERT_TRUE(decoded.ok()) << value;
+    EXPECT_EQ(*decoded, value);
+    EXPECT_TRUE(reader.ExpectEnd().ok());
+  }
+}
+
+TEST(FramingTest, VarintSingleByteBoundary) {
+  std::string buffer;
+  AppendVarint(buffer, 127);
+  EXPECT_EQ(buffer.size(), 1u);
+  buffer.clear();
+  AppendVarint(buffer, 128);
+  EXPECT_EQ(buffer.size(), 2u);
+}
+
+TEST(FramingTest, TruncatedVarintFails) {
+  std::string buffer;
+  AppendVarint(buffer, 1u << 20);
+  buffer.pop_back();
+  PayloadReader reader(buffer);
+  EXPECT_FALSE(reader.ReadVarint().ok());
+}
+
+TEST(FramingTest, OverlongVarintFails) {
+  // 11 continuation bytes: no uint64 needs that many.
+  std::string buffer(11, static_cast<char>(0x80));
+  PayloadReader reader(buffer);
+  EXPECT_FALSE(reader.ReadVarint().ok());
+}
+
+TEST(FramingTest, DoubleRoundTripsExactly) {
+  const double cases[] = {0.0,
+                          -0.0,
+                          1.5,
+                          -273.15,
+                          1e-300,
+                          std::numeric_limits<double>::max(),
+                          std::numeric_limits<double>::denorm_min(),
+                          std::numeric_limits<double>::infinity()};
+  for (const double value : cases) {
+    std::string buffer;
+    AppendDouble(buffer, value);
+    EXPECT_EQ(buffer.size(), 8u);
+    PayloadReader reader(buffer);
+    auto decoded = reader.ReadDouble();
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, value);
+  }
+}
+
+TEST(FramingTest, StringRoundTrips) {
+  std::string buffer;
+  AppendLengthPrefixedString(buffer, "lights");
+  AppendLengthPrefixedString(buffer, "");
+  PayloadReader reader(buffer);
+  auto first = reader.ReadString();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, "lights");
+  auto second = reader.ReadString();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, "");
+  EXPECT_TRUE(reader.ExpectEnd().ok());
+}
+
+TEST(FramingTest, StringLengthBeyondPayloadFails) {
+  std::string buffer;
+  AppendVarint(buffer, 100);  // promises 100 bytes
+  buffer += "short";
+  PayloadReader reader(buffer);
+  EXPECT_FALSE(reader.ReadString().ok());
+}
+
+TEST(FramingTest, SingleFrameDecodes) {
+  FrameDecoder decoder;
+  decoder.Feed(EncodeFrame(FrameType::kPing));
+  auto frame = decoder.Next();
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->type, FrameType::kPing);
+  EXPECT_TRUE(frame->payload.empty());
+  EXPECT_EQ(decoder.Next().status().code(), ErrorCode::kNotFound);
+}
+
+TEST(FramingTest, EveryByteSplitDecodes) {
+  // The hard fragmentation case: three frames delivered one byte at a
+  // time must decode to exactly the same three frames.
+  std::string stream;
+  stream += EncodeFrame(FrameType::kQuery, EncodeQuery("lights"));
+  stream += EncodeFrame(FrameType::kPing);
+  std::vector<BatchReading> readings = {{0, 1, 2.5}, {1, 1, 2.25}};
+  stream += EncodeFrame(FrameType::kSubmitBatch,
+                        EncodeSubmitBatch("shelf", readings));
+  FrameDecoder decoder;
+  std::vector<Frame> frames;
+  for (const char byte : stream) {
+    decoder.Feed(std::string_view(&byte, 1));
+    for (;;) {
+      auto frame = decoder.Next();
+      if (!frame.ok()) {
+        ASSERT_EQ(frame.status().code(), ErrorCode::kNotFound);
+        break;
+      }
+      frames.push_back(std::move(*frame));
+    }
+  }
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0].type, FrameType::kQuery);
+  EXPECT_EQ(frames[1].type, FrameType::kPing);
+  EXPECT_EQ(frames[2].type, FrameType::kSubmitBatch);
+  std::string group;
+  std::vector<BatchReading> decoded;
+  ASSERT_TRUE(DecodeSubmitBatch(frames[2].payload, &group, &decoded).ok());
+  EXPECT_EQ(group, "shelf");
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(decoded[1].value, 2.25);
+}
+
+TEST(FramingTest, ManyFramesInOneSegmentDecode) {
+  std::string stream;
+  constexpr size_t kFrames = 64;
+  for (size_t i = 0; i < kFrames; ++i) {
+    stream += EncodeFrame(FrameType::kOk, EncodeOk(i));
+  }
+  FrameDecoder decoder;
+  decoder.Feed(stream);
+  for (size_t i = 0; i < kFrames; ++i) {
+    auto frame = decoder.Next();
+    ASSERT_TRUE(frame.ok()) << i;
+    uint64_t accepted = 0;
+    ASSERT_TRUE(DecodeOk(frame->payload, &accepted).ok());
+    EXPECT_EQ(accepted, i);
+  }
+  EXPECT_EQ(decoder.Next().status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(FramingTest, ZeroLengthFramePoisons) {
+  FrameDecoder decoder;
+  decoder.Feed(std::string(1, '\0'));  // body_len = 0
+  auto frame = decoder.Next();
+  EXPECT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), ErrorCode::kParseError);
+  EXPECT_TRUE(decoder.poisoned());
+  // Poison is permanent: later feeds are ignored, Next keeps failing.
+  decoder.Feed(EncodeFrame(FrameType::kPing));
+  EXPECT_FALSE(decoder.Next().ok());
+}
+
+TEST(FramingTest, OversizedLengthPoisons) {
+  std::string stream;
+  AppendVarint(stream, kMaxFrameBytes + 1);
+  FrameDecoder decoder;
+  decoder.Feed(stream);
+  auto frame = decoder.Next();
+  EXPECT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), ErrorCode::kParseError);
+  EXPECT_TRUE(decoder.poisoned());
+}
+
+TEST(FramingTest, MaxLengthFrameDecodesAtLimit) {
+  // Exactly at the decoder's limit must still decode.
+  constexpr size_t kLimit = 4096;
+  FrameDecoder decoder(kLimit);
+  const std::string payload(kLimit - 1, 'x');  // body = type + payload
+  decoder.Feed(EncodeFrame(FrameType::kText, payload));
+  auto frame = decoder.Next();
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->payload.size(), kLimit - 1);
+  // One byte over the limit poisons.
+  FrameDecoder strict(kLimit);
+  strict.Feed(EncodeFrame(FrameType::kText, payload + "y"));
+  EXPECT_EQ(strict.Next().status().code(), ErrorCode::kParseError);
+}
+
+TEST(FramingTest, OverlongLengthVarintPoisons) {
+  // Six continuation bytes in the length prefix exceed the 5-byte cap
+  // even though a uint64 varint could be longer.
+  FrameDecoder decoder;
+  decoder.Feed(std::string(6, static_cast<char>(0x80)));
+  auto frame = decoder.Next();
+  EXPECT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), ErrorCode::kParseError);
+  EXPECT_TRUE(decoder.poisoned());
+}
+
+TEST(FramingTest, PartialLengthVarintWaits) {
+  // A continuation byte with nothing after it is "need more", not error.
+  FrameDecoder decoder;
+  decoder.Feed(std::string(1, static_cast<char>(0x80)));
+  EXPECT_EQ(decoder.Next().status().code(), ErrorCode::kNotFound);
+  EXPECT_FALSE(decoder.poisoned());
+}
+
+TEST(FramingTest, TrailingGarbageInPayloadRejected) {
+  std::string payload = EncodeQuery("lights");
+  payload += "garbage";
+  std::string group;
+  const Status decoded = DecodeQuery(payload, &group);
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.code(), ErrorCode::kParseError);
+}
+
+TEST(FramingTest, SubmitBatchCountBeyondPayloadRejected) {
+  // An absurd reading count with a tiny payload must fail before any
+  // allocation, not reserve gigabytes.
+  std::string payload;
+  AppendLengthPrefixedString(payload, "g");
+  AppendVarint(payload, std::numeric_limits<uint32_t>::max());
+  std::string group;
+  std::vector<BatchReading> readings;
+  const Status decoded = DecodeSubmitBatch(payload, &group, &readings);
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.code(), ErrorCode::kParseError);
+}
+
+TEST(FramingTest, SubmitBatchRoundTrips) {
+  std::vector<BatchReading> readings;
+  for (uint64_t r = 0; r < 4; ++r) {
+    for (uint64_t m = 0; m < 3; ++m) {
+      readings.push_back(BatchReading{m, r, 100.0 + static_cast<double>(r) +
+                                                static_cast<double>(m) * 0.25});
+    }
+  }
+  const std::string payload = EncodeSubmitBatch("lights", readings);
+  std::string group;
+  std::vector<BatchReading> decoded;
+  ASSERT_TRUE(DecodeSubmitBatch(payload, &group, &decoded).ok());
+  EXPECT_EQ(group, "lights");
+  ASSERT_EQ(decoded.size(), readings.size());
+  for (size_t i = 0; i < readings.size(); ++i) {
+    EXPECT_EQ(decoded[i].module, readings[i].module);
+    EXPECT_EQ(decoded[i].round, readings[i].round);
+    EXPECT_EQ(decoded[i].value, readings[i].value);
+  }
+}
+
+TEST(FramingTest, TypedMessagesRoundTrip) {
+  {
+    const std::string payload = EncodeClose("shelf", 17);
+    std::string group;
+    uint64_t round = 0;
+    ASSERT_TRUE(DecodeClose(payload, &group, &round).ok());
+    EXPECT_EQ(group, "shelf");
+    EXPECT_EQ(round, 17u);
+  }
+  {
+    std::string reason;
+    ASSERT_TRUE(DecodeError(EncodeError("busy"), &reason).ok());
+    EXPECT_EQ(reason, "busy");
+  }
+  {
+    double value = 0;
+    ASSERT_TRUE(DecodeValue(EncodeValue(98.75), &value).ok());
+    EXPECT_EQ(value, 98.75);
+  }
+  {
+    std::string text;
+    ASSERT_TRUE(DecodeText(EncodeText("HEALTH 0\n"), &text).ok());
+    EXPECT_EQ(text, "HEALTH 0\n");
+  }
+  {
+    const std::vector<std::string> groups = {"a", "b", "c"};
+    std::vector<std::string> decoded;
+    ASSERT_TRUE(DecodeGroupList(EncodeGroupList(groups), &decoded).ok());
+    EXPECT_EQ(decoded, groups);
+  }
+}
+
+TEST(FramingTest, DecoderCompactionPreservesStream) {
+  // Enough traffic to trigger the lazy compaction path repeatedly.
+  FrameDecoder decoder;
+  const std::string frame =
+      EncodeFrame(FrameType::kText, EncodeText(std::string(1000, 'z')));
+  constexpr size_t kCount = 200;
+  size_t decoded = 0;
+  for (size_t i = 0; i < kCount; ++i) {
+    decoder.Feed(frame);
+    // Drain only every third feed so the buffer grows and compacts.
+    if (i % 3 != 0) continue;
+    for (;;) {
+      auto next = decoder.Next();
+      if (!next.ok()) break;
+      ++decoded;
+      EXPECT_EQ(next->type, FrameType::kText);
+    }
+  }
+  for (;;) {
+    auto next = decoder.Next();
+    if (!next.ok()) break;
+    ++decoded;
+  }
+  EXPECT_EQ(decoded, kCount);
+}
+
+}  // namespace
+}  // namespace avoc::runtime
