@@ -64,52 +64,68 @@ bool TimerWheel::Cancel(uint64_t id) {
       }
     }
   }
+  // The timer may be in the batch Advance() is firing right now (a
+  // callback cancelling a sibling due in the same pass).  Nulling the fn
+  // suppresses it without disturbing the batch walk; pending_ was already
+  // decremented at extraction.
+  for (Entry& entry : firing_) {
+    if (entry.id == id && entry.fn) {
+      entry.fn = nullptr;
+      return true;
+    }
+  }
   return false;
 }
 
 void TimerWheel::Advance(uint64_t now_ms) {
+  const uint64_t now_tick = now_ms / tick_ms_;
   if (pending_ == 0) {
-    last_tick_ = now_ms / tick_ms_;
+    last_tick_ = now_tick;
     return;
   }
-  const uint64_t now_tick = now_ms / tick_ms_;
-  // Walk at most one full wheel revolution, starting at last_tick_ itself
-  // (a zero-delay timer lands in the current tick).  Entries further out
-  // than `slots_` ticks share slots with nearer ones and are filtered by
-  // due_tick, so a single pass over each slot suffices.
+  // Phase 1: extract every due entry.  No user code runs during this
+  // walk, so slot vectors are never mutated under the loop; anything a
+  // callback schedules later lands in the slots and waits for the next
+  // Advance (a zero-delay re-arm can therefore never re-fire within one
+  // Advance).
   const uint64_t first = last_tick_;
   const uint64_t span = now_tick >= last_tick_ ? now_tick - last_tick_ : 0;
-  const uint64_t steps = std::min<uint64_t>(span + 1, slots_.size());
-  for (uint64_t tick = first; tick < first + steps; ++tick) {
-    auto& slot = slots_[tick % slots_.size()];
+  auto extract_due = [&](std::vector<Entry>& slot) {
     for (size_t i = 0; i < slot.size();) {
       if (slot[i].due_tick <= now_tick) {
-        // Move out before invoking: the callback may schedule new timers.
-        std::function<void()> fn = std::move(slot[i].fn);
+        firing_.push_back(std::move(slot[i]));
         slot.erase(slot.begin() + static_cast<ptrdiff_t>(i));
         --pending_;
-        fn();
       } else {
         ++i;
       }
     }
-  }
-  // A long stall (span > slots_) may leave due entries in unvisited
-  // slots; sweep everything in that rare case.
-  if (span > slots_.size() && pending_ > 0) {
-    for (auto& slot : slots_) {
-      for (size_t i = 0; i < slot.size();) {
-        if (slot[i].due_tick <= now_tick) {
-          std::function<void()> fn = std::move(slot[i].fn);
-          slot.erase(slot.begin() + static_cast<ptrdiff_t>(i));
-          --pending_;
-          fn();
-        } else {
-          ++i;
-        }
-      }
+  };
+  if (span >= slots_.size()) {
+    // A long stall may have wrapped the wheel; sweep everything.
+    for (auto& slot : slots_) extract_due(slot);
+  } else {
+    // Walk the revolution segment [last_tick_, now_tick].  Entries
+    // further out than `slots_` ticks share slots with nearer ones and
+    // are filtered by due_tick.
+    for (uint64_t tick = first; tick <= first + span; ++tick) {
+      extract_due(slots_[tick % slots_.size()]);
     }
   }
+  // Phase 2: fire in deadline order, schedule order within a tick.
+  // Index loop: Cancel may null entries in firing_ mid-batch but never
+  // erases them.
+  std::sort(firing_.begin(), firing_.end(),
+            [](const Entry& a, const Entry& b) {
+              return a.due_tick != b.due_tick ? a.due_tick < b.due_tick
+                                              : a.id < b.id;
+            });
+  for (size_t i = 0; i < firing_.size(); ++i) {
+    if (!firing_[i].fn) continue;  // cancelled by an earlier callback
+    std::function<void()> fn = std::move(firing_[i].fn);
+    fn();
+  }
+  firing_.clear();
   last_tick_ = now_tick;
 }
 

@@ -31,6 +31,15 @@ inline constexpr uint32_t kIoError = 1u << 2;
 /// Hashed timer wheel with fixed tick granularity.  Timers are one-shot;
 /// firing order within a tick is schedule order.  Not thread-safe — it
 /// lives on the event-loop thread.
+///
+/// Re-entrancy: Advance() extracts every due timer *before* invoking any
+/// callback, so a callback that schedules a new timer (even zero-delay)
+/// never fires it within the same Advance, and a callback that cancels a
+/// sibling due in the same pass suppresses it without perturbing the
+/// walk.  Both were live bugs in the index-while-firing implementation:
+/// a zero-delay re-arm on a tick boundary re-fired forever, and a cancel
+/// of an earlier not-yet-due entry shifted the slot under the loop and
+/// skipped a due timer for a full revolution.
 class TimerWheel {
  public:
   explicit TimerWheel(uint64_t tick_ms = 25, size_t slots = 128);
@@ -64,55 +73,95 @@ class TimerWheel {
   uint64_t last_tick_ = 0;
   uint64_t next_id_ = 1;
   size_t pending_ = 0;
+  /// Due entries extracted by the current Advance; Cancel nulls their fn.
+  std::vector<Entry> firing_;
 };
 
-/// The reactor.  Run() dispatches until Stop(); every callback runs on
-/// the loop thread.  Watch/SetInterest/Unwatch/ScheduleTimer are
-/// loop-thread-only (call them from callbacks or before Run); Post and
-/// Stop are safe from any thread.
-class EventLoop {
+/// The dispatch seam of the remote runtime: readiness callbacks keyed by
+/// an integer handle, one-shot timers, cross-thread Post/Stop, and a time
+/// base.  EventLoop implements it over epoll and the steady clock; the
+/// deterministic simulation harness (runtime/sim_net.h) implements it
+/// over an in-memory network and a seeded virtual clock, so the same
+/// server state machines run in both worlds.
+class Reactor {
  public:
   using IoCallback = std::function<void(uint32_t events)>;
 
+  virtual ~Reactor() = default;
+
+  /// Registers `handle` with the given interest bits.  The callback
+  /// receives the ready bits (kIoRead/kIoWrite/kIoError) and may Unwatch
+  /// any handle, including its own.
+  virtual Status Watch(int handle, uint32_t interest, IoCallback callback) = 0;
+
+  /// Replaces the interest bits of a watched handle.
+  virtual Status SetInterest(int handle, uint32_t interest) = 0;
+
+  /// Deregisters `handle`.  Safe against in-flight events: pending
+  /// readiness for the old registration is discarded.
+  virtual Status Unwatch(int handle) = 0;
+
+  /// One-shot timer on the reactor's timer wheel (tick granularity).
+  virtual uint64_t ScheduleTimer(uint64_t delay_ms,
+                                 std::function<void()> fn) = 0;
+  virtual bool CancelTimer(uint64_t id) = 0;
+
+  /// Enqueues `fn` to run on the dispatch thread.  Thread-safe.
+  virtual void Post(std::function<void()> fn) = 0;
+
+  /// Dispatches events until Stop().
+  virtual void Run() = 0;
+
+  /// Wakes the loop and makes Run() return.  Thread-safe, idempotent.
+  virtual void Stop() = 0;
+
+  virtual bool stopped() const = 0;
+
+  /// Milliseconds on this reactor's clock (steady for EventLoop, virtual
+  /// for the simulation) — the time base for idle tracking and timers.
+  virtual uint64_t now_ms() const = 0;
+};
+
+/// The epoll reactor.  Run() dispatches until Stop(); every callback runs
+/// on the loop thread.  Watch/SetInterest/Unwatch/ScheduleTimer are
+/// loop-thread-only (call them from callbacks or before Run); Post and
+/// Stop are safe from any thread.
+class EventLoop : public Reactor {
+ public:
+  using IoCallback = Reactor::IoCallback;
+
   static Result<std::unique_ptr<EventLoop>> Create();
-  ~EventLoop();
+  ~EventLoop() override;
 
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;
 
-  /// Registers `fd` with the given interest bits.  The callback receives
-  /// the ready bits (kIoRead/kIoWrite/kIoError) and may Unwatch any fd,
-  /// including its own.
-  Status Watch(int fd, uint32_t interest, IoCallback callback);
+  Status Watch(int fd, uint32_t interest, IoCallback callback) override;
+  Status SetInterest(int fd, uint32_t interest) override;
+  Status Unwatch(int fd) override;
 
-  /// Replaces the interest bits of a watched fd.
-  Status SetInterest(int fd, uint32_t interest);
-
-  /// Deregisters `fd`.  Safe against in-flight events: pending readiness
-  /// for the old registration is discarded.
-  Status Unwatch(int fd);
-
-  /// One-shot timer on the loop's timer wheel (tick granularity).
-  uint64_t ScheduleTimer(uint64_t delay_ms, std::function<void()> fn);
-  bool CancelTimer(uint64_t id);
+  uint64_t ScheduleTimer(uint64_t delay_ms, std::function<void()> fn) override;
+  bool CancelTimer(uint64_t id) override;
 
   /// Enqueues `fn` to run on the loop thread.  Thread-safe.
-  void Post(std::function<void()> fn);
+  void Post(std::function<void()> fn) override;
 
   /// Dispatches events until Stop().
-  void Run();
+  void Run() override;
 
   /// One poll-and-dispatch pass, waiting at most `max_wait_ms` (testing
   /// and embedding; -1 = block until something happens).
   Status RunOnce(int max_wait_ms);
 
   /// Wakes the loop and makes Run() return.  Thread-safe, idempotent.
-  void Stop();
+  void Stop() override;
 
-  bool stopped() const { return stop_.load(); }
+  bool stopped() const override { return stop_.load(); }
 
   /// Steady-clock milliseconds (the wheel's time base).
   static uint64_t NowMs();
+
+  uint64_t now_ms() const override { return NowMs(); }
 
  private:
   EventLoop(int epoll_fd, int wake_fd);

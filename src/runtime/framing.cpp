@@ -28,6 +28,7 @@ double DoubleFromBits(uint64_t bits) {
 std::string_view FrameTypeName(FrameType type) {
   switch (type) {
     case FrameType::kSubmitBatch: return "SUBMIT_BATCH";
+    case FrameType::kSubmitBatchSeq: return "SUBMIT_BATCH_SEQ";
     case FrameType::kClose: return "CLOSE";
     case FrameType::kQuery: return "QUERY";
     case FrameType::kGroups: return "GROUPS";
@@ -204,6 +205,30 @@ Status DecodeSubmitBatch(std::string_view payload, std::string* group,
     readings->push_back(reading);
   }
   return reader.ExpectEnd();
+}
+
+std::string EncodeSubmitBatchSeq(std::string_view client_id, uint64_t seq,
+                                 std::string_view group,
+                                 std::span<const BatchReading> readings) {
+  std::string payload;
+  payload.reserve(client_id.size() + group.size() + 12 +
+                  readings.size() * 14);
+  AppendLengthPrefixedString(payload, client_id);
+  AppendVarint(payload, seq);
+  payload += EncodeSubmitBatch(group, readings);
+  return payload;
+}
+
+Status DecodeSubmitBatchSeq(std::string_view payload, std::string* client_id,
+                            uint64_t* seq, std::string* group,
+                            std::vector<BatchReading>* readings) {
+  PayloadReader reader(payload);
+  AVOC_ASSIGN_OR_RETURN(const std::string_view id, reader.ReadString());
+  AVOC_ASSIGN_OR_RETURN(*seq, reader.ReadVarint());
+  client_id->assign(id);
+  // The remainder is exactly a SUBMIT_BATCH payload.
+  return DecodeSubmitBatch(payload.substr(payload.size() - reader.remaining()),
+                           group, readings);
 }
 
 std::string EncodeClose(std::string_view group, uint64_t round) {

@@ -26,6 +26,9 @@
 //
 //   SUBMIT_BATCH  string group, varint n, n x (varint module, varint
 //                 round, f64 value)                     -> OK | ERR
+//   SUBMIT_BATCH_SEQ  string client_id, varint seq, then the
+//                 SUBMIT_BATCH payload; duplicate (client_id, seq)
+//                 replays the original OK (dedup)       -> OK | ERR
 //   CLOSE         string group, varint round            -> OK | ERR
 //   QUERY         string group                          -> VALUE | NONE | ERR
 //   GROUPS        (empty)                               -> GROUP_LIST | ERR
@@ -76,6 +79,11 @@ enum class FrameType : uint8_t {
   kHealth = 0x06,
   kPing = 0x07,
   kQuit = 0x08,
+  /// SUBMIT_BATCH with a client identity and sequence number for
+  /// server-side dedup: a client that resends after a lost reply gets the
+  /// original acknowledgement replayed instead of double-ingesting the
+  /// readings (exactly-once under retries; see docs/PROTOCOL.md).
+  kSubmitBatchSeq = 0x09,
   // Responses (high bit set).
   kOk = 0x81,
   kError = 0x82,
@@ -170,6 +178,15 @@ std::string EncodeSubmitBatch(std::string_view group,
                               std::span<const BatchReading> readings);
 Status DecodeSubmitBatch(std::string_view payload, std::string* group,
                          std::vector<BatchReading>* readings);
+
+/// SUBMIT_BATCH_SEQ: string client_id, varint seq, then the SUBMIT_BATCH
+/// payload (string group, varint n, readings).
+std::string EncodeSubmitBatchSeq(std::string_view client_id, uint64_t seq,
+                                 std::string_view group,
+                                 std::span<const BatchReading> readings);
+Status DecodeSubmitBatchSeq(std::string_view payload, std::string* client_id,
+                            uint64_t* seq, std::string* group,
+                            std::vector<BatchReading>* readings);
 
 std::string EncodeClose(std::string_view group, uint64_t round);
 Status DecodeClose(std::string_view payload, std::string* group,

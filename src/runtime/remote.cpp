@@ -1,5 +1,6 @@
 #include "runtime/remote.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "util/log.h"
@@ -25,8 +26,9 @@ uint64_t NowNanos() {
 }  // namespace
 
 RemoteVoterServer::RemoteVoterServer(VoterGroupManager* manager,
-                                     Options options, TcpListener listener,
-                                     std::unique_ptr<EventLoop> loop)
+                                     Options options,
+                                     std::unique_ptr<Listener> listener,
+                                     std::shared_ptr<Reactor> loop)
     : manager_(manager),
       options_(options),
       listener_(std::move(listener)),
@@ -39,6 +41,8 @@ RemoteVoterServer::RemoteVoterServer(VoterGroupManager* manager,
     bytes_out_ = &registry->GetCounter("avoc_remote_bytes_out_total");
     backpressure_counter_ =
         &registry->GetCounter("avoc_remote_backpressure_total");
+    dedup_replays_ = &registry->GetCounter("avoc_remote_dedup_replays_total");
+    dedup_clients_ = &registry->GetGauge("avoc_remote_dedup_clients");
     request_latency_ =
         &registry->GetHistogram("avoc_remote_request_latency_ns");
   }
@@ -53,20 +57,35 @@ Result<std::unique_ptr<RemoteVoterServer>> RemoteVoterServer::Start(
 
 Result<std::unique_ptr<RemoteVoterServer>> RemoteVoterServer::StartWithOptions(
     VoterGroupManager* manager, Options options) {
-  if (manager == nullptr) {
-    return InvalidArgumentError("server needs a group manager");
-  }
   AVOC_ASSIGN_OR_RETURN(TcpListener listener,
                         TcpListener::Listen(options.port));
   AVOC_RETURN_IF_ERROR(listener.SetNonBlocking(true));
   AVOC_ASSIGN_OR_RETURN(std::unique_ptr<EventLoop> loop, EventLoop::Create());
+  return StartOnReactor(manager, options,
+                        std::make_unique<TcpListener>(std::move(listener)),
+                        std::shared_ptr<Reactor>(std::move(loop)),
+                        /*spawn_loop_thread=*/true);
+}
+
+Result<std::unique_ptr<RemoteVoterServer>> RemoteVoterServer::StartOnReactor(
+    VoterGroupManager* manager, Options options,
+    std::unique_ptr<Listener> listener, std::shared_ptr<Reactor> reactor,
+    bool spawn_loop_thread) {
+  if (manager == nullptr) {
+    return InvalidArgumentError("server needs a group manager");
+  }
+  if (listener == nullptr || reactor == nullptr) {
+    return InvalidArgumentError("server needs a listener and a reactor");
+  }
   std::unique_ptr<RemoteVoterServer> server(new RemoteVoterServer(
-      manager, options, std::move(listener), std::move(loop)));
+      manager, options, std::move(listener), std::move(reactor)));
   RemoteVoterServer* raw = server.get();
   AVOC_RETURN_IF_ERROR(raw->loop_->Watch(
-      raw->listener_.fd(), kIoRead,
+      raw->listener_->handle(), kIoRead,
       [raw](uint32_t) { raw->OnAcceptable(); }));
-  server->loop_thread_ = std::thread([raw] { raw->loop_->Run(); });
+  if (spawn_loop_thread) {
+    server->loop_thread_ = std::thread([raw] { raw->loop_->Run(); });
+  }
   return server;
 }
 
@@ -80,16 +99,16 @@ void RemoteVoterServer::Stop() {
   // The loop is parked; connection state is now safe to touch here.
   for (auto& [fd, connection] : connections_) {
     (void)fd;
-    connection->conn.Close();
+    connection->conn->Close();
   }
   connections_.clear();
   if (connections_gauge_ != nullptr) connections_gauge_->Set(0.0);
-  listener_.Close();
+  listener_->Close();
 }
 
 void RemoteVoterServer::OnAcceptable() {
   for (;;) {
-    auto accepted = listener_.TryAccept();
+    auto accepted = listener_->TryAcceptTransport();
     if (!accepted.ok()) {
       if (accepted.status().code() != ErrorCode::kNotFound &&
           running_.load()) {
@@ -98,14 +117,14 @@ void RemoteVoterServer::OnAcceptable() {
       }
       return;
     }
-    if (!accepted->SetNonBlocking(true).ok()) continue;
+    if (!(*accepted)->SetNonBlocking(true).ok()) continue;
     if (options_.send_buffer_bytes > 0) {
-      (void)accepted->SetSendBufferBytes(options_.send_buffer_bytes);
+      (void)(*accepted)->SetSendBufferBytes(options_.send_buffer_bytes);
     }
-    const int fd = accepted->fd();
+    const int fd = (*accepted)->handle();
     auto connection = std::make_unique<Connection>(std::move(*accepted));
     connection->decoder = FrameDecoder(options_.max_frame_bytes);
-    connection->last_activity_ms = EventLoop::NowMs();
+    connection->last_activity_ms = loop_->now_ms();
     const Status watched = loop_->Watch(
         fd, kIoRead, [this, fd](uint32_t events) {
           OnConnectionEvent(fd, events);
@@ -136,7 +155,7 @@ void RemoteVoterServer::ScheduleIdleTimer(int fd) {
     if (found == connections_.end()) return;
     Connection& conn = *found->second;
     conn.idle_timer = 0;
-    const uint64_t idle_ms = EventLoop::NowMs() - conn.last_activity_ms;
+    const uint64_t idle_ms = loop_->now_ms() - conn.last_activity_ms;
     if (idle_ms >= options_.idle_timeout_ms) {
       CloseConnection(fd);
       return;
@@ -152,7 +171,7 @@ void RemoteVoterServer::CloseConnection(int fd) {
     loop_->CancelTimer(it->second->idle_timer);
   }
   (void)loop_->Unwatch(fd);
-  it->second->conn.Close();
+  it->second->conn->Close();
   connections_.erase(it);
   if (connections_gauge_ != nullptr) {
     connections_gauge_->Set(static_cast<double>(connections_.size()));
@@ -179,7 +198,7 @@ void RemoteVoterServer::ReadPath(int fd) {
   size_t read_total = 0;
   bool saw_eof = false;
   while (read_total < kReadBudget) {
-    const IoOp op = c.conn.ReadSome(chunk, sizeof(chunk));
+    const IoOp op = c.conn->ReadSome(chunk, sizeof(chunk));
     if (op.kind == IoOp::Kind::kDone) {
       read_total += op.bytes;
       if (bytes_in_ != nullptr) bytes_in_->Add(op.bytes);
@@ -195,7 +214,7 @@ void RemoteVoterServer::ReadPath(int fd) {
     break;
   }
   if (read_total > 0) {
-    c.last_activity_ms = EventLoop::NowMs();
+    c.last_activity_ms = loop_->now_ms();
     ProcessInput(fd);
     if (connections_.find(fd) == connections_.end()) return;
   }
@@ -342,8 +361,8 @@ void RemoteVoterServer::WritePath(int fd) {
   Connection& c = *it->second;
   while (c.out_pos < c.outbuf.size()) {
     const IoOp op =
-        c.conn.WriteSome(c.outbuf.data() + c.out_pos,
-                         c.outbuf.size() - c.out_pos);
+        c.conn->WriteSome(c.outbuf.data() + c.out_pos,
+                          c.outbuf.size() - c.out_pos);
     if (op.kind == IoOp::Kind::kDone) {
       c.out_pos += op.bytes;
       if (bytes_out_ != nullptr) bytes_out_->Add(op.bytes);
@@ -421,6 +440,46 @@ std::string RemoteVoterServer::HandleFrame(const Frame& frame,
       }
       auto stats = manager_->SubmitBatch(group, messages);
       if (!stats.ok()) return error(stats.status());
+      return EncodeFrame(FrameType::kOk, EncodeOk(stats->accepted));
+    }
+    case FrameType::kSubmitBatchSeq: {
+      std::string client_id;
+      uint64_t seq = 0;
+      std::string group;
+      std::vector<BatchReading> readings;
+      const Status decoded = DecodeSubmitBatchSeq(frame.payload, &client_id,
+                                                  &seq, &group, &readings);
+      if (!decoded.ok()) return error(decoded);
+      ClientDedup& dedup = dedup_[client_id];
+      if (dedup_clients_ != nullptr) {
+        dedup_clients_->Set(static_cast<double>(dedup_.size()));
+      }
+      const auto seen = dedup.acks.find(seq);
+      if (seen != dedup.acks.end()) {
+        // Resend after a lost reply: replay the original acknowledgement
+        // without touching the engine (exactly-once ingest).
+        dedup_replays_count_.fetch_add(1);
+        if (dedup_replays_ != nullptr) dedup_replays_->Increment();
+        return EncodeFrame(FrameType::kOk, EncodeOk(seen->second));
+      }
+      std::vector<ReadingMessage> messages;
+      messages.reserve(readings.size());
+      for (const BatchReading& reading : readings) {
+        messages.push_back(ReadingMessage{
+            static_cast<size_t>(reading.module),
+            static_cast<size_t>(reading.round), reading.value});
+      }
+      auto stats = manager_->SubmitBatch(group, messages);
+      if (!stats.ok()) return error(stats.status());
+      dedup.acks[seq] = stats->accepted;
+      dedup.max_seq = std::max(dedup.max_seq, seq);
+      // Forget acknowledgements the client can no longer resend (it
+      // advances its sequence number monotonically).
+      while (!dedup.acks.empty() &&
+             dedup.acks.begin()->first + options_.dedup_window <
+                 dedup.max_seq) {
+        dedup.acks.erase(dedup.acks.begin());
+      }
       return EncodeFrame(FrameType::kOk, EncodeOk(stats->accepted));
     }
     case FrameType::kClose: {
@@ -536,25 +595,44 @@ Result<RemoteVoterClient> RemoteVoterClient::Connect(const std::string& host,
                                                      uint16_t port) {
   AVOC_ASSIGN_OR_RETURN(TcpConnection connection,
                         TcpConnection::Connect(host, port));
-  return RemoteVoterClient(std::move(connection), Mode::kLegacy);
+  return FromTransport(std::make_unique<TcpConnection>(std::move(connection)),
+                       /*binary=*/false);
 }
 
 Result<RemoteVoterClient> RemoteVoterClient::ConnectBinary(
     const std::string& host, uint16_t port) {
   AVOC_ASSIGN_OR_RETURN(TcpConnection connection,
                         TcpConnection::Connect(host, port));
-  const char preamble[2] = {static_cast<char>(kBinaryMagic[0]),
-                            static_cast<char>(kBinaryMagic[1])};
-  AVOC_RETURN_IF_ERROR(
-      connection.SendAll(std::string_view(preamble, sizeof(preamble))));
-  return RemoteVoterClient(std::move(connection), Mode::kBinary);
+  return FromTransport(std::make_unique<TcpConnection>(std::move(connection)),
+                       /*binary=*/true);
+}
+
+Result<RemoteVoterClient> RemoteVoterClient::FromTransport(
+    std::unique_ptr<Transport> transport, bool binary) {
+  if (transport == nullptr || !transport->valid()) {
+    return InvalidArgumentError("client needs a connected transport");
+  }
+  if (binary) {
+    const char preamble[2] = {static_cast<char>(kBinaryMagic[0]),
+                              static_cast<char>(kBinaryMagic[1])};
+    AVOC_RETURN_IF_ERROR(
+        transport->SendAll(std::string_view(preamble, sizeof(preamble))));
+  }
+  return RemoteVoterClient(std::move(transport),
+                           binary ? Mode::kBinary : Mode::kLegacy);
+}
+
+Status RemoteVoterClient::SetRequestTimeoutMs(int timeout_ms) {
+  return connection_->SetReceiveTimeoutMs(timeout_ms);
 }
 
 Result<std::string> RemoteVoterClient::RoundTrip(const std::string& line) {
-  AVOC_RETURN_IF_ERROR(connection_.SendLine(line));
-  AVOC_ASSIGN_OR_RETURN(std::string response, connection_.ReceiveLine());
+  AVOC_RETURN_IF_ERROR(connection_->SendLine(line));
+  AVOC_ASSIGN_OR_RETURN(std::string response, connection_->ReceiveLine());
   if (StartsWith(response, "ERR ")) {
-    return IoError("server: " + response.substr(4));
+    // The server answered: an application error, not a transport fault
+    // (retry layers must not re-dial on it).
+    return FailedPreconditionError("server: " + response.substr(4));
   }
   return response;
 }
@@ -566,7 +644,7 @@ Result<Frame> RemoteVoterClient::ReadFrame() {
     if (frame.status().code() != ErrorCode::kNotFound) return frame.status();
     char chunk[4096];
     AVOC_ASSIGN_OR_RETURN(const size_t n,
-                          connection_.ReceiveSome(chunk, sizeof(chunk)));
+                          connection_->ReceiveSome(chunk, sizeof(chunk)));
     decoder_.Feed(std::string_view(chunk, n));
   }
 }
@@ -577,7 +655,8 @@ Result<Frame> RemoteVoterClient::CheckFrame(Frame frame) {
     if (!DecodeError(frame.payload, &reason).ok()) {
       reason = "<malformed ERR frame>";
     }
-    return IoError("server: " + reason);
+    // Application error: the transport is healthy, the server said no.
+    return FailedPreconditionError("server: " + reason);
   }
   return frame;
 }
@@ -588,7 +667,7 @@ Result<Frame> RemoteVoterClient::FrameRoundTrip(FrameType type,
     return FailedPreconditionError(
         "frame round trip needs a binary connection (ConnectBinary)");
   }
-  AVOC_RETURN_IF_ERROR(connection_.SendAll(EncodeFrame(type, payload)));
+  AVOC_RETURN_IF_ERROR(connection_->SendAll(EncodeFrame(type, payload)));
   AVOC_ASSIGN_OR_RETURN(Frame frame, ReadFrame());
   return CheckFrame(std::move(frame));
 }
@@ -616,13 +695,33 @@ Result<uint64_t> RemoteVoterClient::SubmitBatch(
   return AwaitSubmitBatch();
 }
 
+Result<uint64_t> RemoteVoterClient::SubmitBatchSeq(
+    std::string_view client_id, uint64_t seq, const std::string& group,
+    std::span<const BatchReading> readings) {
+  if (mode_ != Mode::kBinary) {
+    return FailedPreconditionError(
+        "SubmitBatchSeq needs a binary connection (ConnectBinary)");
+  }
+  AVOC_ASSIGN_OR_RETURN(
+      const Frame frame,
+      FrameRoundTrip(FrameType::kSubmitBatchSeq,
+                     EncodeSubmitBatchSeq(client_id, seq, group, readings)));
+  if (frame.type != FrameType::kOk) {
+    return IoError(StrFormat("unexpected frame %s",
+                             std::string(FrameTypeName(frame.type)).c_str()));
+  }
+  uint64_t accepted = 0;
+  AVOC_RETURN_IF_ERROR(DecodeOk(frame.payload, &accepted));
+  return accepted;
+}
+
 Status RemoteVoterClient::PipelineSubmitBatch(
     const std::string& group, std::span<const BatchReading> readings) {
   if (mode_ != Mode::kBinary) {
     return FailedPreconditionError(
         "SubmitBatch needs a binary connection (ConnectBinary)");
   }
-  AVOC_RETURN_IF_ERROR(connection_.SendAll(EncodeFrame(
+  AVOC_RETURN_IF_ERROR(connection_->SendAll(EncodeFrame(
       FrameType::kSubmitBatch, EncodeSubmitBatch(group, readings))));
   ++pending_submits_;
   return Status::Ok();
@@ -722,10 +821,10 @@ Status RemoteVoterClient::Ping() {
 
 Result<std::vector<std::string>> RemoteVoterClient::RoundTripMultiLine(
     const std::string& line) {
-  AVOC_RETURN_IF_ERROR(connection_.SendLine(line));
+  AVOC_RETURN_IF_ERROR(connection_->SendLine(line));
   std::vector<std::string> lines;
   while (true) {
-    AVOC_ASSIGN_OR_RETURN(std::string response, connection_.ReceiveLine());
+    AVOC_ASSIGN_OR_RETURN(std::string response, connection_->ReceiveLine());
     if (response == "END") return lines;
     if (lines.empty() && StartsWith(response, "ERR ")) {
       return IoError("server: " + response.substr(4));

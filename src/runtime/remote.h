@@ -53,6 +53,7 @@
 #include "runtime/framing.h"
 #include "runtime/group_manager.h"
 #include "runtime/tcp.h"
+#include "runtime/transport.h"
 
 namespace avoc::runtime {
 
@@ -71,6 +72,9 @@ struct RemoteServerOptions {
   /// Kernel send buffer per accepted connection; 0 keeps the default
   /// (backpressure tests pin it small for determinism).
   int send_buffer_bytes = 0;
+  /// SUBMIT_BATCH_SEQ dedup: per client, acknowledgements at least this
+  /// far below the highest seen sequence number may be forgotten.
+  size_t dedup_window = 1024;
 };
 
 class RemoteVoterServer {
@@ -88,12 +92,22 @@ class RemoteVoterServer {
   static Result<std::unique_ptr<RemoteVoterServer>> StartWithOptions(
       VoterGroupManager* manager, Options options);
 
+  /// Start over injected transport and dispatch seams.  With
+  /// `spawn_loop_thread` false the caller drives the reactor itself —
+  /// this is how the deterministic simulation harness (runtime/sim_net.h)
+  /// runs the real server state machines over a virtual network and
+  /// clock, single-threaded.
+  static Result<std::unique_ptr<RemoteVoterServer>> StartOnReactor(
+      VoterGroupManager* manager, Options options,
+      std::unique_ptr<Listener> listener, std::shared_ptr<Reactor> reactor,
+      bool spawn_loop_thread);
+
   ~RemoteVoterServer();
 
   RemoteVoterServer(const RemoteVoterServer&) = delete;
   RemoteVoterServer& operator=(const RemoteVoterServer&) = delete;
 
-  uint16_t port() const { return listener_.port(); }
+  uint16_t port() const { return listener_->port(); }
 
   /// Stops the loop, disconnects clients, joins the loop thread.
   /// Idempotent.
@@ -107,12 +121,16 @@ class RemoteVoterServer {
   /// busy-rejection).
   size_t backpressure_events() const { return backpressure_.load(); }
 
+  /// SUBMIT_BATCH_SEQ duplicates answered from the dedup cache instead
+  /// of re-ingesting.
+  size_t dedup_replays() const { return dedup_replays_count_.load(); }
+
  private:
   /// One connection's protocol state machine (loop thread only).
   struct Connection {
-    explicit Connection(TcpConnection c) : conn(std::move(c)) {}
+    explicit Connection(std::unique_ptr<Transport> c) : conn(std::move(c)) {}
 
-    TcpConnection conn;
+    std::unique_ptr<Transport> conn;
     enum class Mode : uint8_t { kDetecting, kLegacy, kBinary };
     Mode mode = Mode::kDetecting;
     std::string inbuf;     ///< detection + legacy line assembly
@@ -126,7 +144,8 @@ class RemoteVoterServer {
   };
 
   RemoteVoterServer(VoterGroupManager* manager, Options options,
-                    TcpListener listener, std::unique_ptr<EventLoop> loop);
+                    std::unique_ptr<Listener> listener,
+                    std::shared_ptr<Reactor> loop);
 
   // Loop-thread handlers.
   void OnAcceptable();
@@ -152,15 +171,24 @@ class RemoteVoterServer {
   /// The multi-line HEALTH body (shared by both protocols; no END line).
   std::string HealthText() const;
 
+  /// Remembered SUBMIT_BATCH_SEQ acknowledgements for one client
+  /// identity (loop thread only).
+  struct ClientDedup {
+    std::map<uint64_t, uint64_t> acks;  ///< seq -> accepted count
+    uint64_t max_seq = 0;
+  };
+
   VoterGroupManager* manager_;
   Options options_;
-  TcpListener listener_;
-  std::unique_ptr<EventLoop> loop_;
+  std::unique_ptr<Listener> listener_;
+  std::shared_ptr<Reactor> loop_;
   std::thread loop_thread_;
   std::atomic<bool> running_{true};
   std::atomic<size_t> requests_{0};
   std::atomic<size_t> backpressure_{0};
+  std::atomic<size_t> dedup_replays_count_{0};
   std::map<int, std::unique_ptr<Connection>> connections_;  // loop thread
+  std::map<std::string, ClientDedup> dedup_;                // loop thread
 
   // Optional telemetry (null without a manager registry).
   obs::Gauge* connections_gauge_ = nullptr;
@@ -169,6 +197,8 @@ class RemoteVoterServer {
   obs::Counter* bytes_in_ = nullptr;
   obs::Counter* bytes_out_ = nullptr;
   obs::Counter* backpressure_counter_ = nullptr;
+  obs::Counter* dedup_replays_ = nullptr;
+  obs::Gauge* dedup_clients_ = nullptr;
   obs::LatencyHistogram* request_latency_ = nullptr;
 };
 
@@ -186,6 +216,15 @@ class RemoteVoterClient {
   static Result<RemoteVoterClient> ConnectBinary(const std::string& host,
                                                  uint16_t port);
 
+  /// Speaks over an already-connected stream (the simulation harness
+  /// hands in in-memory transports here).  `binary` sends the protocol
+  /// preamble immediately.
+  static Result<RemoteVoterClient> FromTransport(
+      std::unique_ptr<Transport> transport, bool binary);
+
+  /// Bounds every subsequent reply wait; 0 disables.
+  Status SetRequestTimeoutMs(int timeout_ms);
+
   Status Submit(const std::string& group, size_t module, size_t round,
                 double value);
 
@@ -194,6 +233,14 @@ class RemoteVoterClient {
   /// only.
   Result<uint64_t> SubmitBatch(const std::string& group,
                                std::span<const BatchReading> readings);
+
+  /// SUBMIT_BATCH_SEQ: like SubmitBatch, tagged with a client identity
+  /// and sequence number so a resend after a lost reply is answered from
+  /// the server's dedup cache instead of double-ingested.  Binary mode
+  /// only.
+  Result<uint64_t> SubmitBatchSeq(std::string_view client_id, uint64_t seq,
+                                  const std::string& group,
+                                  std::span<const BatchReading> readings);
 
   /// Pipelining (binary mode only): queue a SUBMIT_BATCH without reading
   /// the reply...
@@ -218,7 +265,7 @@ class RemoteVoterClient {
  private:
   enum class Mode : uint8_t { kLegacy, kBinary };
 
-  RemoteVoterClient(TcpConnection connection, Mode mode)
+  RemoteVoterClient(std::unique_ptr<Transport> connection, Mode mode)
       : connection_(std::move(connection)), mode_(mode) {}
 
   /// Sends one line, reads one response line, fails on ERR.
@@ -237,7 +284,7 @@ class RemoteVoterClient {
   /// Unwraps a kError frame into a Status; passes others through.
   Result<Frame> CheckFrame(Frame frame);
 
-  TcpConnection connection_;
+  std::unique_ptr<Transport> connection_;
   Mode mode_ = Mode::kLegacy;
   FrameDecoder decoder_;
   size_t pending_submits_ = 0;

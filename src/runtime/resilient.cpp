@@ -1,0 +1,163 @@
+#include "runtime/resilient.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/strings.h"
+
+namespace avoc::runtime {
+
+ResilientVoterClient::ResilientVoterClient(TransportFactory factory,
+                                           Clock* clock, std::string client_id,
+                                           RetryPolicy policy, uint64_t seed,
+                                           obs::Registry* registry)
+    : factory_(std::move(factory)),
+      clock_(clock),
+      client_id_(std::move(client_id)),
+      policy_(policy),
+      rng_(seed) {
+  if (registry != nullptr) {
+    connects_metric_ = &registry->GetCounter("avoc_client_connects_total");
+    reconnects_metric_ = &registry->GetCounter("avoc_client_reconnects_total");
+    connect_failures_metric_ =
+        &registry->GetCounter("avoc_client_connect_failures_total");
+    timeouts_metric_ =
+        &registry->GetCounter("avoc_client_request_timeouts_total");
+    retry_attempts_metric_ =
+        &registry->GetCounter("avoc_remote_retry_attempts_total");
+    retry_backoff_ms_metric_ =
+        &registry->GetCounter("avoc_remote_retry_backoff_ms_total");
+    retry_giveups_metric_ =
+        &registry->GetCounter("avoc_remote_retry_giveups_total");
+  }
+}
+
+bool ResilientVoterClient::IsTransportError(const Status& status) {
+  if (status.ok()) return false;
+  if (status.code() == ErrorCode::kIoError) return true;
+  // The blocking receive path reports orderly EOF as NotFound
+  // ("connection closed"); application NotFound (e.g. QUERY with no value
+  // yet) must NOT be retried.
+  return status.code() == ErrorCode::kNotFound &&
+         status.message().find("connection closed") != std::string::npos;
+}
+
+void ResilientVoterClient::DropConnection() { client_.reset(); }
+
+void ResilientVoterClient::Backoff(int attempt, uint64_t deadline_at_ms) {
+  double backoff = static_cast<double>(policy_.initial_backoff_ms);
+  for (int i = 0; i < attempt; ++i) backoff *= policy_.backoff_multiplier;
+  backoff = std::min(backoff, static_cast<double>(policy_.max_backoff_ms));
+  if (policy_.jitter > 0) {
+    backoff *= 1.0 + policy_.jitter * (2.0 * rng_.NextDouble() - 1.0);
+  }
+  uint64_t sleep_ms = static_cast<uint64_t>(std::max(backoff, 0.0));
+  const uint64_t now = clock_->NowMs();
+  if (now >= deadline_at_ms) return;
+  sleep_ms = std::min(sleep_ms, deadline_at_ms - now);
+  if (sleep_ms == 0) return;
+  if (retry_backoff_ms_metric_ != nullptr) {
+    retry_backoff_ms_metric_->Add(sleep_ms);
+  }
+  clock_->SleepMs(sleep_ms);
+}
+
+Status ResilientVoterClient::EnsureConnected(uint64_t deadline_at_ms,
+                                             int* attempt) {
+  if (client_.has_value()) return Status::Ok();
+  Status last = IoError("never attempted");
+  while (policy_.max_attempts == 0 || *attempt < policy_.max_attempts) {
+    Result<std::unique_ptr<Transport>> transport = factory_();
+    if (transport.ok()) {
+      Result<RemoteVoterClient> client =
+          RemoteVoterClient::FromTransport(std::move(*transport),
+                                           /*binary=*/true);
+      if (client.ok()) {
+        AVOC_RETURN_IF_ERROR(
+            client->SetRequestTimeoutMs(policy_.request_timeout_ms));
+        client_.emplace(std::move(*client));
+        ++connects_;
+        if (connects_metric_ != nullptr) connects_metric_->Increment();
+        if (connects_ > 1) {
+          ++reconnects_;
+          if (reconnects_metric_ != nullptr) reconnects_metric_->Increment();
+        }
+        return Status::Ok();
+      }
+      last = client.status();
+    } else {
+      last = transport.status();
+    }
+    ++connect_failures_;
+    if (connect_failures_metric_ != nullptr) {
+      connect_failures_metric_->Increment();
+    }
+    if (clock_->NowMs() >= deadline_at_ms) break;
+    Backoff((*attempt)++, deadline_at_ms);
+    if (clock_->NowMs() >= deadline_at_ms) break;
+  }
+  ++giveups_;
+  if (retry_giveups_metric_ != nullptr) retry_giveups_metric_->Increment();
+  return IoError(
+      StrFormat("resilient client gave up connecting: %s",
+                last.message().c_str()));
+}
+
+Status ResilientVoterClient::Execute(
+    const std::function<Status(RemoteVoterClient&)>& op) {
+  const uint64_t deadline_at_ms = clock_->NowMs() + policy_.deadline_ms;
+  int attempt = 0;
+  Status last = IoError("never attempted");
+  while (policy_.max_attempts == 0 || attempt < policy_.max_attempts) {
+    Status conn = EnsureConnected(deadline_at_ms, &attempt);
+    if (!conn.ok()) return conn;
+    Status status = op(*client_);
+    if (status.ok() || !IsTransportError(status)) return status;
+    // Transport failure: the connection is unusable; reconnect and retry.
+    last = status;
+    if (status.message().find("timed out") != std::string::npos) {
+      ++request_timeouts_;
+      if (timeouts_metric_ != nullptr) timeouts_metric_->Increment();
+    }
+    DropConnection();
+    ++retry_attempts_;
+    if (retry_attempts_metric_ != nullptr) retry_attempts_metric_->Increment();
+    if (clock_->NowMs() >= deadline_at_ms) break;
+    Backoff(attempt++, deadline_at_ms);
+    if (clock_->NowMs() >= deadline_at_ms) break;
+  }
+  ++giveups_;
+  if (retry_giveups_metric_ != nullptr) retry_giveups_metric_->Increment();
+  return IoError(StrFormat("resilient client gave up: %s",
+                           last.message().c_str()));
+}
+
+Result<uint64_t> ResilientVoterClient::SubmitBatch(
+    const std::string& group, std::span<const BatchReading> readings) {
+  // The sequence number is assigned ONCE; every retry reuses it, so the
+  // server's dedup cache makes the submit exactly-once.
+  const uint64_t seq = next_seq_++;
+  uint64_t accepted = 0;
+  AVOC_RETURN_IF_ERROR(Execute([&](RemoteVoterClient& client) -> Status {
+    AVOC_ASSIGN_OR_RETURN(
+        accepted, client.SubmitBatchSeq(client_id_, seq, group, readings));
+    return Status::Ok();
+  }));
+  return accepted;
+}
+
+Result<double> ResilientVoterClient::Query(const std::string& group) {
+  double value = 0.0;
+  AVOC_RETURN_IF_ERROR(Execute([&](RemoteVoterClient& client) -> Status {
+    AVOC_ASSIGN_OR_RETURN(value, client.Query(group));
+    return Status::Ok();
+  }));
+  return value;
+}
+
+Status ResilientVoterClient::Ping() {
+  return Execute(
+      [](RemoteVoterClient& client) -> Status { return client.Ping(); });
+}
+
+}  // namespace avoc::runtime

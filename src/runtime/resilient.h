@@ -1,0 +1,140 @@
+// Self-healing client for the networked voter service.
+//
+// RemoteVoterClient (runtime/remote.h) is one connection: any transport
+// hiccup — reset, timeout, half-open link — surfaces as an error and the
+// connection is dead.  ResilientVoterClient wraps it with the retry story
+// an edge deployment needs (the paper's sensors reach the voting
+// sink-node over WiFi, which drops):
+//
+//   * reconnect with jittered exponential backoff (seeded, so simulated
+//     runs replay deterministically),
+//   * a per-request reply timeout, so a blackholed link fails fast
+//     instead of hanging,
+//   * exactly-once batched submits: every SubmitBatch carries this
+//     client's identity and a sequence number assigned once per call
+//     (SUBMIT_BATCH_SEQ); a retry after a lost reply is answered from the
+//     server's dedup cache, never double-ingested.
+//
+// Only *transport* failures are retried.  An application-level ERR reply
+// (unknown group, bad arguments, busy) is the server answering; it is
+// returned to the caller untouched.
+//
+// The transport factory + Clock seams make the client run equally over
+// real TCP (TcpConnection + SystemClock) and the deterministic simulation
+// (runtime/sim_net.h), where backoff sleeps advance the virtual clock.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "obs/metrics.h"
+#include "runtime/framing.h"
+#include "runtime/remote.h"
+#include "runtime/transport.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace avoc::runtime {
+
+/// Backoff/timeout tuning for ResilientVoterClient.
+struct RetryPolicy {
+  uint64_t initial_backoff_ms = 10;
+  uint64_t max_backoff_ms = 2000;
+  double backoff_multiplier = 2.0;
+  /// Backoff is scaled by a uniform factor in [1 - jitter, 1 + jitter].
+  double jitter = 0.2;
+  /// Bounds each reply wait; 0 waits forever (not recommended).
+  int request_timeout_ms = 1000;
+  /// Gives up after this many attempts of one call; 0 = bounded only by
+  /// `deadline_ms`.
+  int max_attempts = 0;
+  /// Overall wall/virtual-time budget for one call (connect + retries).
+  uint64_t deadline_ms = 60 * 1000;
+};
+
+/// A voter client that survives resets, timeouts, and partitions, with
+/// exactly-once submit semantics.  Not thread-safe (one caller, like the
+/// underlying client).
+class ResilientVoterClient {
+ public:
+  using TransportFactory =
+      std::function<Result<std::unique_ptr<Transport>>()>;
+
+  /// `factory` dials one new connection per call; `clock` paces backoff
+  /// (SystemClock::Instance() in production, the SimWorld in tests);
+  /// `client_id` keys server-side dedup and must be unique per logical
+  /// client; `seed` makes the jitter stream deterministic.  `registry`
+  /// (optional) receives avoc_client_* / avoc_remote_retry_* metrics.
+  ResilientVoterClient(TransportFactory factory, Clock* clock,
+                       std::string client_id, RetryPolicy policy,
+                       uint64_t seed, obs::Registry* registry = nullptr);
+
+  /// Exactly-once batched submit.  Assigns the next sequence number once,
+  /// then retries (reconnecting as needed) until the server acknowledges
+  /// or the policy budget runs out.  Returns the accepted-reading count.
+  Result<uint64_t> SubmitBatch(const std::string& group,
+                               std::span<const BatchReading> readings);
+
+  /// Retried reads (idempotent by nature).
+  Result<double> Query(const std::string& group);
+  Status Ping();
+
+  const std::string& client_id() const { return client_id_; }
+  /// Sequence number the next SubmitBatch will use.
+  uint64_t next_seq() const { return next_seq_; }
+
+  // Plain counters mirroring the metrics (always on; cheap).
+  size_t connects() const { return connects_; }
+  size_t reconnects() const { return reconnects_; }
+  size_t connect_failures() const { return connect_failures_; }
+  size_t retry_attempts() const { return retry_attempts_; }
+  size_t request_timeouts() const { return request_timeouts_; }
+  size_t giveups() const { return giveups_; }
+
+ private:
+  /// True for failures that mean "the connection is gone", as opposed to
+  /// the server answering with an application error.
+  static bool IsTransportError(const Status& status);
+
+  /// Dials until connected or the deadline passes.
+  Status EnsureConnected(uint64_t deadline_at_ms, int* attempt);
+
+  /// Runs `op` against a live client with reconnect-and-retry.  `op`
+  /// writes its result through captures.
+  Status Execute(const std::function<Status(RemoteVoterClient&)>& op);
+
+  /// Sleeps the jittered backoff for attempt `attempt` (0-based),
+  /// truncated to not overshoot the deadline.
+  void Backoff(int attempt, uint64_t deadline_at_ms);
+
+  void DropConnection();
+
+  TransportFactory factory_;
+  Clock* clock_;
+  std::string client_id_;
+  RetryPolicy policy_;
+  Rng rng_;
+  std::optional<RemoteVoterClient> client_;
+  uint64_t next_seq_ = 1;
+
+  size_t connects_ = 0;
+  size_t reconnects_ = 0;
+  size_t connect_failures_ = 0;
+  size_t retry_attempts_ = 0;
+  size_t request_timeouts_ = 0;
+  size_t giveups_ = 0;
+
+  obs::Counter* connects_metric_ = nullptr;
+  obs::Counter* reconnects_metric_ = nullptr;
+  obs::Counter* connect_failures_metric_ = nullptr;
+  obs::Counter* timeouts_metric_ = nullptr;
+  obs::Counter* retry_attempts_metric_ = nullptr;
+  obs::Counter* retry_backoff_ms_metric_ = nullptr;
+  obs::Counter* retry_giveups_metric_ = nullptr;
+};
+
+}  // namespace avoc::runtime

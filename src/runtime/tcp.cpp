@@ -92,12 +92,6 @@ Status TcpConnection::SendAll(std::string_view data) {
   return Status::Ok();
 }
 
-Status TcpConnection::SendLine(std::string_view line) {
-  std::string framed(line);
-  framed.push_back('\n');
-  return SendAll(framed);
-}
-
 Result<std::string> TcpConnection::ReceiveLine() {
   for (;;) {
     const size_t newline = buffer_.find('\n');
@@ -111,6 +105,11 @@ Result<std::string> TcpConnection::ReceiveLine() {
     const ssize_t n = ::recv(socket_.fd(), chunk, sizeof(chunk), 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      // A blocking socket with SO_RCVTIMEO reports expiry as EAGAIN;
+      // name it so retry layers can distinguish timeout from breakage.
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return IoError("recv timed out");
+      }
       return Errno("recv");
     }
     if (n == 0) {
@@ -136,6 +135,9 @@ Result<size_t> TcpConnection::ReceiveSome(char* buffer, size_t len) {
     const ssize_t n = ::recv(socket_.fd(), buffer, len, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return IoError("recv timed out");
+      }
       return Errno("recv");
     }
     if (n == 0) return NotFoundError("connection closed");
@@ -239,6 +241,12 @@ Result<TcpConnection> TcpListener::TryAccept() {
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return TcpConnection(Socket(fd));
+}
+
+Result<std::unique_ptr<Transport>> TcpListener::TryAcceptTransport() {
+  AVOC_ASSIGN_OR_RETURN(TcpConnection accepted, TryAccept());
+  return std::unique_ptr<Transport>(
+      std::make_unique<TcpConnection>(std::move(accepted)));
 }
 
 Status TcpListener::SetNonBlocking(bool enabled) {

@@ -11,9 +11,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 
+#include "runtime/transport.h"
 #include "util/status.h"
 
 namespace avoc::runtime {
@@ -43,65 +45,55 @@ class Socket {
   std::atomic<int> fd_{-1};
 };
 
-/// Outcome of one non-blocking read or write attempt.
-struct IoOp {
-  enum class Kind {
-    kDone,        ///< `bytes` transferred (> 0)
-    kWouldBlock,  ///< no progress possible now (EAGAIN/EWOULDBLOCK)
-    kEof,         ///< orderly peer shutdown (reads only)
-    kError,       ///< hard socket error, see `status`
-  };
-  Kind kind = Kind::kDone;
-  size_t bytes = 0;
-  Status status;
-};
-
-/// A connected TCP stream with line-oriented helpers.
-class TcpConnection {
+/// A connected TCP stream with line-oriented helpers.  Implements the
+/// Transport seam (runtime/transport.h) so the remote runtime can run
+/// over real sockets or the simulated network interchangeably.
+class TcpConnection : public Transport {
  public:
   explicit TcpConnection(Socket socket) : socket_(std::move(socket)) {}
+
+  TcpConnection(TcpConnection&&) = default;
+  TcpConnection& operator=(TcpConnection&&) = default;
 
   /// Connects to host:port (dotted-quad or "localhost").
   static Result<TcpConnection> Connect(const std::string& host,
                                        uint16_t port);
 
-  bool valid() const { return socket_.valid(); }
+  bool valid() const override { return socket_.valid(); }
   int fd() const { return socket_.fd(); }
+  int handle() const override { return socket_.fd(); }
 
   /// Sends the whole buffer (handles partial writes).
-  Status SendAll(std::string_view data);
-
-  /// Sends one line (appends '\n').
-  Status SendLine(std::string_view line);
+  Status SendAll(std::string_view data) override;
 
   /// Receives up to the next '\n' (stripped, including a preceding '\r').
   /// Returns NotFound at orderly EOF with no pending data; IoError on
   /// timeout (when set) or socket errors.
-  Result<std::string> ReceiveLine();
+  Result<std::string> ReceiveLine() override;
 
   /// Blocking read of up to `len` raw bytes (at least one).  NotFound at
   /// orderly EOF, IoError on timeout or socket errors.
-  Result<size_t> ReceiveSome(char* buffer, size_t len);
+  Result<size_t> ReceiveSome(char* buffer, size_t len) override;
 
-  /// Sets a receive timeout; 0 disables.
-  Status SetReceiveTimeoutMs(int timeout_ms);
+  /// Sets a receive timeout (SO_RCVTIMEO); 0 disables.
+  Status SetReceiveTimeoutMs(int timeout_ms) override;
 
   /// Switches O_NONBLOCK on or off (event-loop connections set it once).
-  Status SetNonBlocking(bool enabled);
+  Status SetNonBlocking(bool enabled) override;
 
   /// Shrinks/grows the kernel send buffer (backpressure tests pin it
   /// small so write queues fill deterministically).
-  Status SetSendBufferBytes(int bytes);
+  Status SetSendBufferBytes(int bytes) override;
 
   // --- non-blocking I/O (requires SetNonBlocking(true)) ---------------------
 
   /// One recv attempt; never blocks.  EINTR is retried internally.
-  IoOp ReadSome(char* buffer, size_t len);
+  IoOp ReadSome(char* buffer, size_t len) override;
 
   /// One send attempt; never blocks.  EINTR is retried internally.
-  IoOp WriteSome(const char* data, size_t len);
+  IoOp WriteSome(const char* data, size_t len) override;
 
-  void Close() { socket_.Close(); }
+  void Close() override { socket_.Close(); }
 
  private:
   Socket socket_;
@@ -109,13 +101,14 @@ class TcpConnection {
 };
 
 /// A listening TCP socket bound to 127.0.0.1.
-class TcpListener {
+class TcpListener : public Listener {
  public:
   /// Binds and listens; port 0 picks an ephemeral port (see port()).
   static Result<TcpListener> Listen(uint16_t port);
 
-  uint16_t port() const { return port_; }
+  uint16_t port() const override { return port_; }
   int fd() const { return socket_.fd(); }
+  int handle() const override { return socket_.fd(); }
 
   /// Blocks until a client connects (or the listener is closed from
   /// another thread, which surfaces as an IoError).
@@ -125,11 +118,14 @@ class TcpListener {
   /// no connection is pending, IoError on socket errors.
   Result<TcpConnection> TryAccept();
 
+  /// TryAccept through the Listener seam (heap-allocates the stream).
+  Result<std::unique_ptr<Transport>> TryAcceptTransport() override;
+
   /// Switches O_NONBLOCK on or off.
   Status SetNonBlocking(bool enabled);
 
   /// Unblocks pending Accept calls.
-  void Close() { socket_.Close(); }
+  void Close() override { socket_.Close(); }
 
  private:
   TcpListener(Socket socket, uint16_t port)

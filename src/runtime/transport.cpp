@@ -1,0 +1,24 @@
+#include "runtime/transport.h"
+
+#include <chrono>
+#include <thread>
+
+namespace avoc::runtime {
+
+uint64_t SystemClock::NowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void SystemClock::SleepMs(uint64_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+SystemClock* SystemClock::Instance() {
+  static SystemClock clock;
+  return &clock;
+}
+
+}  // namespace avoc::runtime

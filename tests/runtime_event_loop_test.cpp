@@ -94,6 +94,111 @@ TEST(TimerWheelTest, MsUntilNextReportsSoonestDeadline) {
   EXPECT_LE(wait, 125);  // tick rounding may stretch one tick
 }
 
+// --- TimerWheel re-entrancy regressions --------------------------------------
+// These pin the two bugs of the index-while-firing implementation: a
+// cancel from inside a callback shifting the slot under the dispatch
+// walk, and a zero-delay re-arm re-firing within the same Advance.
+
+TEST(TimerWheelTest, CallbackMayCancelDueSiblingInSamePass) {
+  TimerWheel wheel(10, 16);
+  std::vector<int> order;
+  uint64_t second = 0;
+  uint64_t third = 0;
+  // All three due at the same tick, firing in schedule order.  The first
+  // cancels the second; the third must still fire (the old slot-index
+  // walk skipped it after the erase shifted the vector).
+  wheel.Schedule(0, 10, [&] {
+    order.push_back(1);
+    EXPECT_TRUE(wheel.Cancel(second));
+  });
+  second = wheel.Schedule(0, 10, [&] { order.push_back(2); });
+  third = wheel.Schedule(0, 10, [&] { order.push_back(3); });
+  wheel.Advance(10);
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+  EXPECT_EQ(wheel.pending(), 0u);
+  EXPECT_FALSE(wheel.Cancel(third));  // already fired
+}
+
+TEST(TimerWheelTest, CallbackMayCancelDueTimerInLaterSlot) {
+  TimerWheel wheel(10, 16);
+  std::vector<int> order;
+  uint64_t later = 0;
+  wheel.Schedule(0, 10, [&] {
+    order.push_back(1);
+    EXPECT_TRUE(wheel.Cancel(later));
+  });
+  later = wheel.Schedule(0, 30, [&] { order.push_back(2); });
+  wheel.Schedule(0, 30, [&] { order.push_back(3); });
+  // One big advance covers both slots; the cancel happens while the
+  // later slot's entries are already extracted into the firing list.
+  wheel.Advance(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheelTest, CancelingEarlierPendingEntryDoesNotSkipDueTimer) {
+  TimerWheel wheel(10, 4);  // tiny wheel: 40ms revolution forces sharing
+  std::vector<int> order;
+  // Same slot, different revolutions: the far timer sits before the near
+  // one in the slot vector.  Canceling it mid-advance used to shift the
+  // due entry under the index walk for a full revolution.
+  const uint64_t far = wheel.Schedule(0, 10 + 4 * 10, [&] { order.push_back(9); });
+  wheel.Schedule(0, 10, [&] { order.push_back(1); });
+  wheel.Schedule(0, 10, [&] {
+    order.push_back(2);
+    EXPECT_TRUE(wheel.Cancel(far));
+  });
+  wheel.Schedule(0, 10, [&] { order.push_back(3); });
+  wheel.Advance(10);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  wheel.Advance(1000);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));  // far stayed canceled
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheelTest, ZeroDelayRearmFromCallbackFiresNextAdvanceOnly) {
+  TimerWheel wheel(10, 16);
+  int fired = 0;
+  std::function<void()> rearm = [&] {
+    ++fired;
+    // Zero-delay re-arm on a tick boundary: the old implementation put
+    // the new entry into the slot being drained and re-fired it forever
+    // within the same Advance (a live-lock).
+    wheel.Schedule(wheel.tick_ms() * static_cast<uint64_t>(fired), 0, rearm);
+  };
+  wheel.Schedule(0, 10, rearm);
+  wheel.Advance(10);
+  EXPECT_EQ(fired, 1);  // exactly one firing per Advance
+  wheel.Advance(20);
+  EXPECT_EQ(fired, 2);
+  wheel.Advance(30);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(wheel.pending(), 1u);  // the re-armed one is still pending
+}
+
+TEST(TimerWheelTest, RepeatedRearmAcrossManyAdvancesDoesNotHang) {
+  TimerWheel wheel(1, 8);
+  uint64_t fired = 0;
+  std::function<void()> heartbeat = [&] {
+    ++fired;
+    wheel.Schedule(fired, 1, heartbeat);  // perpetual 1ms heartbeat
+  };
+  wheel.Schedule(0, 1, heartbeat);
+  for (uint64_t now = 1; now <= 500; ++now) wheel.Advance(now);
+  EXPECT_EQ(fired, 500u);
+  EXPECT_EQ(wheel.pending(), 1u);
+}
+
+TEST(TimerWheelTest, CancelFromCallbackOfAlreadyFiredReturnsFalse) {
+  TimerWheel wheel(10, 16);
+  uint64_t first = 0;
+  bool cancel_result = true;
+  first = wheel.Schedule(0, 10, [] {});
+  wheel.Schedule(0, 10, [&] { cancel_result = wheel.Cancel(first); });
+  wheel.Advance(10);
+  EXPECT_FALSE(cancel_result);  // sibling had already fired this pass
+}
+
 // --- EventLoop ---------------------------------------------------------------
 
 class EventLoopTest : public ::testing::Test {

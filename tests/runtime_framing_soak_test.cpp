@@ -1,0 +1,218 @@
+// Seeded randomized soak for the FrameDecoder.
+//
+// Valid streams must decode identically no matter how they are
+// fragmented (including one byte at a time, and at EVERY split point);
+// mutated or truncated streams must decode-or-poison — never hang, never
+// crash, never fabricate trailing frames after a poison.  Every failure
+// message carries the seed that reproduces it.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "runtime/framing.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace avoc::runtime {
+namespace {
+
+constexpr FrameType kRequestTypes[] = {
+    FrameType::kSubmitBatch, FrameType::kSubmitBatchSeq, FrameType::kClose,
+    FrameType::kQuery,       FrameType::kGroups,         FrameType::kMetrics,
+    FrameType::kHealth,      FrameType::kPing,           FrameType::kQuit,
+    FrameType::kOk,          FrameType::kError,          FrameType::kValue,
+    FrameType::kText,
+};
+
+std::vector<Frame> RandomFrames(Rng& rng, size_t count) {
+  std::vector<Frame> frames;
+  for (size_t i = 0; i < count; ++i) {
+    Frame frame;
+    frame.type = kRequestTypes[rng.UniformInt(std::size(kRequestTypes))];
+    const size_t payload_len = rng.UniformInt(120);
+    frame.payload.reserve(payload_len);
+    for (size_t b = 0; b < payload_len; ++b) {
+      frame.payload.push_back(static_cast<char>(rng.UniformInt(256)));
+    }
+    frames.push_back(std::move(frame));
+  }
+  return frames;
+}
+
+std::string EncodeStream(const std::vector<Frame>& frames) {
+  std::string stream;
+  for (const Frame& frame : frames) {
+    stream += EncodeFrame(frame.type, frame.payload);
+  }
+  return stream;
+}
+
+/// Drains the decoder; guaranteed to terminate (every Next() either
+/// consumes bytes, reports need-more, or poisons).
+std::vector<Frame> DrainAll(FrameDecoder& decoder, bool* poisoned) {
+  std::vector<Frame> frames;
+  for (size_t guard = 0; guard < 100000; ++guard) {
+    auto frame = decoder.Next();
+    if (frame.ok()) {
+      frames.push_back(std::move(*frame));
+      continue;
+    }
+    *poisoned = frame.status().code() == ErrorCode::kParseError;
+    return frames;
+  }
+  ADD_FAILURE() << "decoder did not terminate";
+  return frames;
+}
+
+void ExpectSameFrames(const std::vector<Frame>& got,
+                      const std::vector<Frame>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(got[i].type), static_cast<int>(want[i].type));
+    EXPECT_EQ(got[i].payload, want[i].payload);
+  }
+}
+
+TEST(FramingSoakTest, EveryByteSplitPointDecodesIdentically) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    SCOPED_TRACE(StrFormat("seed=%llu",
+                           static_cast<unsigned long long>(seed)));
+    Rng rng(seed);
+    const std::vector<Frame> frames = RandomFrames(rng, 6);
+    const std::string stream = EncodeStream(frames);
+    for (size_t split = 0; split <= stream.size(); ++split) {
+      FrameDecoder decoder;
+      decoder.Feed(std::string_view(stream).substr(0, split));
+      bool poisoned = false;
+      std::vector<Frame> got = DrainAll(decoder, &poisoned);
+      ASSERT_FALSE(poisoned) << "split=" << split;
+      decoder.Feed(std::string_view(stream).substr(split));
+      bool poisoned2 = false;
+      std::vector<Frame> rest = DrainAll(decoder, &poisoned2);
+      ASSERT_FALSE(poisoned2) << "split=" << split;
+      got.insert(got.end(), std::make_move_iterator(rest.begin()),
+                 std::make_move_iterator(rest.end()));
+      ExpectSameFrames(got, frames);
+    }
+  }
+}
+
+TEST(FramingSoakTest, OneByteAtATimeDecodesIdentically) {
+  for (uint64_t seed = 100; seed < 140; ++seed) {
+    SCOPED_TRACE(StrFormat("seed=%llu",
+                           static_cast<unsigned long long>(seed)));
+    Rng rng(seed);
+    const std::vector<Frame> frames = RandomFrames(rng, 10);
+    const std::string stream = EncodeStream(frames);
+    FrameDecoder decoder;
+    std::vector<Frame> got;
+    bool poisoned = false;
+    for (char byte : stream) {
+      decoder.Feed(std::string_view(&byte, 1));
+      std::vector<Frame> ready = DrainAll(decoder, &poisoned);
+      ASSERT_FALSE(poisoned);
+      got.insert(got.end(), std::make_move_iterator(ready.begin()),
+                 std::make_move_iterator(ready.end()));
+    }
+    ExpectSameFrames(got, frames);
+  }
+}
+
+TEST(FramingSoakTest, RandomChunkingDecodesIdentically) {
+  for (uint64_t seed = 200; seed < 280; ++seed) {
+    SCOPED_TRACE(StrFormat("seed=%llu",
+                           static_cast<unsigned long long>(seed)));
+    Rng rng(seed);
+    const std::vector<Frame> frames = RandomFrames(rng, 12);
+    const std::string stream = EncodeStream(frames);
+    FrameDecoder decoder;
+    std::vector<Frame> got;
+    bool poisoned = false;
+    size_t pos = 0;
+    while (pos < stream.size()) {
+      const size_t chunk =
+          1 + rng.UniformInt(std::min<size_t>(stream.size() - pos, 37));
+      decoder.Feed(std::string_view(stream).substr(pos, chunk));
+      pos += chunk;
+      std::vector<Frame> ready = DrainAll(decoder, &poisoned);
+      ASSERT_FALSE(poisoned);
+      got.insert(got.end(), std::make_move_iterator(ready.begin()),
+                 std::make_move_iterator(ready.end()));
+    }
+    ExpectSameFrames(got, frames);
+  }
+}
+
+// Mutated garbage: one byte flipped anywhere in a valid stream.  The
+// decoder must terminate with either (a) some decoded frames and a
+// need-more verdict, or (b) a poison — and once poisoned it must stay
+// poisoned even when fed the rest of the stream.
+TEST(FramingSoakTest, MutatedStreamsDecodeOrPoisonNeverHang) {
+  for (uint64_t seed = 300; seed < 420; ++seed) {
+    SCOPED_TRACE(StrFormat("seed=%llu",
+                           static_cast<unsigned long long>(seed)));
+    Rng rng(seed);
+    const std::vector<Frame> frames = RandomFrames(rng, 8);
+    std::string stream = EncodeStream(frames);
+    const size_t victim = rng.UniformInt(stream.size());
+    stream[victim] = static_cast<char>(
+        static_cast<uint8_t>(stream[victim]) ^
+        static_cast<uint8_t>(1 + rng.UniformInt(255)));
+
+    FrameDecoder decoder;
+    const size_t cut = rng.UniformInt(stream.size() + 1);
+    decoder.Feed(std::string_view(stream).substr(0, cut));
+    bool poisoned = false;
+    (void)DrainAll(decoder, &poisoned);
+    decoder.Feed(std::string_view(stream).substr(cut));
+    bool poisoned_after = false;
+    (void)DrainAll(decoder, &poisoned_after);
+    if (poisoned) {
+      EXPECT_TRUE(decoder.poisoned());
+      EXPECT_TRUE(poisoned_after);  // poison is permanent
+    }
+  }
+}
+
+TEST(FramingSoakTest, TruncatedStreamsReportNeedMoreNotGarbage) {
+  for (uint64_t seed = 500; seed < 560; ++seed) {
+    SCOPED_TRACE(StrFormat("seed=%llu",
+                           static_cast<unsigned long long>(seed)));
+    Rng rng(seed);
+    const std::vector<Frame> frames = RandomFrames(rng, 6);
+    const std::string stream = EncodeStream(frames);
+    const size_t keep = rng.UniformInt(stream.size());
+    FrameDecoder decoder;
+    decoder.Feed(std::string_view(stream).substr(0, keep));
+    bool poisoned = false;
+    const std::vector<Frame> got = DrainAll(decoder, &poisoned);
+    ASSERT_FALSE(poisoned);  // a truncated valid stream is never a violation
+    ASSERT_LE(got.size(), frames.size());
+    for (size_t i = 0; i < got.size(); ++i) {  // decoded prefix is faithful
+      EXPECT_EQ(got[i].payload, frames[i].payload);
+    }
+  }
+}
+
+// Pure garbage bytes: the decoder must terminate quickly for arbitrary
+// input and, for inputs that start with an invalid length, poison.
+TEST(FramingSoakTest, RandomGarbageTerminates) {
+  for (uint64_t seed = 600; seed < 700; ++seed) {
+    SCOPED_TRACE(StrFormat("seed=%llu",
+                           static_cast<unsigned long long>(seed)));
+    Rng rng(seed);
+    std::string garbage;
+    const size_t len = 1 + rng.UniformInt(512);
+    for (size_t i = 0; i < len; ++i) {
+      garbage.push_back(static_cast<char>(rng.UniformInt(256)));
+    }
+    FrameDecoder decoder;
+    decoder.Feed(garbage);
+    bool poisoned = false;
+    (void)DrainAll(decoder, &poisoned);  // must return, not loop
+  }
+}
+
+}  // namespace
+}  // namespace avoc::runtime

@@ -96,6 +96,37 @@ TEST(TcpTest, ReceiveTimeoutSurfacesAsIoError) {
   auto line = pair.server.ReceiveLine();
   EXPECT_FALSE(line.ok());
   EXPECT_EQ(line.status().code(), ErrorCode::kIoError);
+  // The message must name the timeout (not strerror(EAGAIN)) so retry
+  // layers can count it as a request timeout rather than breakage.
+  EXPECT_NE(line.status().message().find("timed out"), std::string::npos);
+}
+
+TEST(TcpTest, ReceiveSomeTimeoutIsNamedToo) {
+  Pair pair = MakePair();
+  ASSERT_TRUE(pair.server.SetReceiveTimeoutMs(50).ok());
+  char buffer[16];
+  auto n = pair.server.ReceiveSome(buffer, sizeof(buffer));
+  EXPECT_FALSE(n.ok());
+  EXPECT_EQ(n.status().code(), ErrorCode::kIoError);
+  EXPECT_NE(n.status().message().find("timed out"), std::string::npos);
+}
+
+TEST(TcpTest, SendAllPushesThroughTinySendBuffer) {
+  // Forces the partial-send loop: a payload far larger than SO_SNDBUF
+  // can only leave in many short writes while the peer drains slowly.
+  Pair pair = MakePair();
+  (void)pair.client.SetSendBufferBytes(4 * 1024);
+  const std::string payload(512 * 1024, 'y');
+  std::thread sender([&] { ASSERT_TRUE(pair.client.SendAll(payload).ok()); });
+  std::string received;
+  char chunk[3000];
+  while (received.size() < payload.size()) {
+    auto n = pair.server.ReceiveSome(chunk, sizeof(chunk));
+    ASSERT_TRUE(n.ok()) << n.status().ToString();
+    received.append(chunk, *n);
+  }
+  sender.join();
+  EXPECT_EQ(received, payload);
 }
 
 TEST(TcpTest, BidirectionalTraffic) {
