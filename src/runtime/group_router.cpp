@@ -1,0 +1,57 @@
+#include "runtime/group_router.h"
+
+namespace avoc::runtime {
+namespace {
+
+/// splitmix64 finalizer (Vigna) — the avalanche stage of the frozen hash.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+uint64_t GroupIdHash(std::string_view group) {
+  // Byte-mixing loop feeding the splitmix64 avalanche: the seed constant
+  // and per-byte multiplier are part of the frozen wire contract.
+  uint64_t h = 0x5115CA7EDB15C0DEull ^ (uint64_t{group.size()} << 32);
+  for (unsigned char byte : group) {
+    h = (h ^ byte) * 0x100000001B3ull;  // FNV-1a style byte fold
+    h = SplitMix64(h);
+  }
+  return SplitMix64(h);
+}
+
+size_t GroupRouter::ShardFor(std::string_view group) const {
+  if (shard_count_ == 1) return 0;
+  // Lemire multiply-shift over the hash's top 32 bits: uniform on
+  // [0, shard_count) without modulo bias, no 128-bit arithmetic needed
+  // for realistic shard counts.
+  const uint64_t hash = GroupIdHash(group);
+  return static_cast<size_t>(((hash >> 32) * shard_count_) >> 32);
+}
+
+size_t GroupRouter::ShardForIndex(size_t g, size_t group_count) const {
+  if (shard_count_ == 1 || group_count == 0) return 0;
+  const size_t base = group_count / shard_count_;
+  const size_t extra = group_count % shard_count_;
+  // The first `extra` shards own base+1 groups, the rest own base.
+  const size_t fat_span = extra * (base + 1);
+  if (g < fat_span) return g / (base + 1);
+  if (base == 0) return shard_count_ - 1;  // more shards than groups
+  return extra + (g - fat_span) / base;
+}
+
+ShardRange GroupRouter::RangeFor(size_t shard, size_t group_count) const {
+  if (shard >= shard_count_) return ShardRange{group_count, group_count};
+  const size_t base = group_count / shard_count_;
+  const size_t extra = group_count % shard_count_;
+  ShardRange range;
+  range.begin = shard * base + (shard < extra ? shard : extra);
+  range.end = range.begin + base + (shard < extra ? 1 : 0);
+  return range;
+}
+
+}  // namespace avoc::runtime

@@ -1,8 +1,10 @@
 #include "runtime/multi_group.h"
 
 #include <algorithm>
+#include <thread>
 #include <utility>
 
+#include "runtime/group_router.h"
 #include "util/strings.h"
 #include "vdx/factory.h"
 
@@ -163,21 +165,44 @@ Status MultiGroupEngine::ValidateTables(
 Status MultiGroupEngine::RunBatch(std::span<const data::RoundTable> tables,
                                   MultiGroupTrace& trace) {
   AVOC_RETURN_IF_ERROR(ValidateTables(tables));
-  if (pool_ == nullptr) {
-    pool_ = std::make_unique<util::ThreadPool>(options_.threads);
-  }
   trace.Resize(tables, module_count_);
-  // Every worker writes only its own group's disjoint slice of the block
-  // through its own sink — no shared mutable state.
-  std::vector<Status> statuses(engines_.size());
-  pool_->ParallelFor(engines_.size(),
-                     [this, tables, &trace, &statuses](size_t g) {
-                       MultiGroupTrace::GroupSink sink(&trace, g);
-                       statuses[g] =
-                           core::RunOverTable(engines_[g], tables[g], sink);
-                     });
-  for (const Status& status : statuses) {
-    AVOC_RETURN_IF_ERROR(status);
+  const unsigned hardware = std::thread::hardware_concurrency();
+  const size_t configured =
+      options_.threads != 0 ? options_.threads
+                            : (hardware != 0 ? hardware : 1);
+  const size_t workers = std::min(configured, engines_.size());
+  if (workers <= 1) {
+    // One worker would pay pool dispatch and join for nothing — run the
+    // identical per-group loop inline so the parallel entry point never
+    // loses to the sequential one on a single-core host.
+    for (size_t g = 0; g < engines_.size(); ++g) {
+      MultiGroupTrace::GroupSink sink(&trace, g);
+      AVOC_RETURN_IF_ERROR(core::RunOverTable(engines_[g], tables[g], sink));
+    }
+  } else {
+    if (pool_ == nullptr) {
+      pool_ = std::make_unique<util::ThreadPool>(options_.threads);
+    }
+    // One contiguous group range per worker (GroupRouter's dense
+    // partition): each worker owns an adjacent slice of the group-major
+    // block, so writes from different workers never interleave within a
+    // cache line (the old one-task-per-group scatter did, and also paid
+    // one queue round-trip per group instead of per worker).
+    GroupRouter router(workers);
+    std::vector<Status> statuses(workers);
+    pool_->ParallelFor(
+        workers, [this, tables, &trace, &statuses, &router](size_t w) {
+          const ShardRange range = router.RangeFor(w, engines_.size());
+          for (size_t g = range.begin; g < range.end; ++g) {
+            MultiGroupTrace::GroupSink sink(&trace, g);
+            const Status status =
+                core::RunOverTable(engines_[g], tables[g], sink);
+            if (!status.ok() && statuses[w].ok()) statuses[w] = status;
+          }
+        });
+    for (const Status& status : statuses) {
+      AVOC_RETURN_IF_ERROR(status);
+    }
   }
   // The pool join above orders every worker's pending counts before this.
   FlushObservers();

@@ -23,6 +23,46 @@ uint64_t NowNanos() {
           .count());
 }
 
+/// The target group of a frame, or "" for group-less verbs (and for
+/// malformed payloads, which then fail decoding on the local shard).
+/// Group-addressed payloads lead with the group id (or client id + seq
+/// for SUBMIT_BATCH_SEQ) precisely so routing never decodes readings.
+std::string PeekFrameGroup(const Frame& frame) {
+  PayloadReader reader(frame.payload);
+  switch (frame.type) {
+    case FrameType::kSubmitBatch:
+    case FrameType::kClose:
+    case FrameType::kQuery: {
+      auto group = reader.ReadString();
+      return group.ok() ? std::string(*group) : std::string();
+    }
+    case FrameType::kSubmitBatchSeq: {
+      if (!reader.ReadString().ok()) return {};  // client id
+      if (!reader.ReadVarint().ok()) return {};  // sequence number
+      auto group = reader.ReadString();
+      return group.ok() ? std::string(*group) : std::string();
+    }
+    default:
+      return {};
+  }
+}
+
+/// The (verb, group) of a legacy line; group is "" for group-less verbs.
+std::pair<std::string, std::string> PeekLegacyLine(const std::string& line) {
+  std::vector<std::string> tokens;
+  for (const std::string& token : SplitString(TrimWhitespace(line), ' ')) {
+    if (!token.empty()) tokens.push_back(token);
+    if (tokens.size() == 2) break;
+  }
+  if (tokens.empty()) return {};
+  const std::string& verb = tokens[0];
+  if (tokens.size() == 2 &&
+      (verb == "SUBMIT" || verb == "CLOSE" || verb == "QUERY")) {
+    return {verb, tokens[1]};
+  }
+  return {verb, std::string()};
+}
+
 }  // namespace
 
 RemoteVoterServer::RemoteVoterServer(VoterGroupManager* manager,
@@ -34,17 +74,35 @@ RemoteVoterServer::RemoteVoterServer(VoterGroupManager* manager,
       listener_(std::move(listener)),
       loop_(std::move(loop)) {
   if (obs::Registry* registry = manager_->registry()) {
-    connections_gauge_ = &registry->GetGauge("avoc_remote_connections");
-    frames_in_ = &registry->GetCounter("avoc_remote_frames_in_total");
-    frames_out_ = &registry->GetCounter("avoc_remote_frames_out_total");
-    bytes_in_ = &registry->GetCounter("avoc_remote_bytes_in_total");
-    bytes_out_ = &registry->GetCounter("avoc_remote_bytes_out_total");
+    // Shard servers publish the same families under a shard label; the
+    // scrape side sums/merges families across scopes for the deployment
+    // view (docs/OBSERVABILITY.md).
+    const auto name = [this](const char* family) {
+      return options_.metrics_scope.empty()
+                 ? std::string(family)
+                 : obs::LabeledName(family, "shard", options_.metrics_scope);
+    };
+    connections_gauge_ = &registry->GetGauge(name("avoc_remote_connections"));
+    frames_in_ = &registry->GetCounter(name("avoc_remote_frames_in_total"));
+    frames_out_ = &registry->GetCounter(name("avoc_remote_frames_out_total"));
+    bytes_in_ = &registry->GetCounter(name("avoc_remote_bytes_in_total"));
+    bytes_out_ = &registry->GetCounter(name("avoc_remote_bytes_out_total"));
     backpressure_counter_ =
-        &registry->GetCounter("avoc_remote_backpressure_total");
-    dedup_replays_ = &registry->GetCounter("avoc_remote_dedup_replays_total");
-    dedup_clients_ = &registry->GetGauge("avoc_remote_dedup_clients");
+        &registry->GetCounter(name("avoc_remote_backpressure_total"));
+    dedup_replays_ =
+        &registry->GetCounter(name("avoc_remote_dedup_replays_total"));
+    dedup_clients_ = &registry->GetGauge(name("avoc_remote_dedup_clients"));
     request_latency_ =
-        &registry->GetHistogram("avoc_remote_request_latency_ns");
+        &registry->GetHistogram(name("avoc_remote_request_latency_ns"));
+    if (!options_.metrics_scope.empty()) {
+      forwarded_counter_ =
+          &registry->GetCounter(name("avoc_shard_forwarded_total"));
+      migrations_counter_ =
+          &registry->GetCounter(name("avoc_shard_migrations_total"));
+      adopted_counter_ =
+          &registry->GetCounter(name("avoc_shard_adopted_total"));
+      owned_groups_gauge_ = &registry->GetGauge(name("avoc_shard_groups"));
+    }
   }
 }
 
@@ -89,6 +147,55 @@ Result<std::unique_ptr<RemoteVoterServer>> RemoteVoterServer::StartOnReactor(
   return server;
 }
 
+Result<std::unique_ptr<RemoteVoterServer>> RemoteVoterServer::StartShard(
+    VoterGroupManager* manager, Options options,
+    std::shared_ptr<Reactor> reactor) {
+  if (manager == nullptr) {
+    return InvalidArgumentError("shard server needs a group manager");
+  }
+  if (reactor == nullptr) {
+    return InvalidArgumentError("shard server needs a reactor");
+  }
+  return std::unique_ptr<RemoteVoterServer>(new RemoteVoterServer(
+      manager, std::move(options), /*listener=*/nullptr, std::move(reactor)));
+}
+
+void RemoteVoterServer::LinkShards(ShardLink link) {
+  link_ = std::move(link);
+  router_ = GroupRouter(link_.peers.size());
+  if (owned_groups_gauge_ != nullptr) {
+    owned_groups_gauge_->Set(static_cast<double>(manager_->group_count()));
+  }
+}
+
+void RemoteVoterServer::AdoptConnection(std::shared_ptr<Transport> transport) {
+  if (transport == nullptr || !transport->valid()) return;
+  if (!running_.load() || loop_->stopped()) {
+    transport->Close();
+    return;
+  }
+  const int fd = transport->handle();
+  auto connection = std::make_shared<Connection>(std::move(transport));
+  connection->decoder = FrameDecoder(options_.max_frame_bytes);
+  connection->id = next_conn_id_++;
+  connection->last_activity_ms = loop_->now_ms();
+  const Status watched = loop_->Watch(
+      fd, kIoRead, [this, fd](uint32_t events) {
+        OnConnectionEvent(fd, events);
+      });
+  if (!watched.ok()) {
+    AVOC_LOG_WARN("voter server: watch failed: %s", watched.ToString().c_str());
+    connection->conn->Close();
+    return;
+  }
+  connections_.emplace(fd, std::move(connection));
+  if (connections_gauge_ != nullptr) {
+    connections_gauge_->Set(static_cast<double>(connections_.size()));
+  }
+  if (adopted_counter_ != nullptr) adopted_counter_->Increment();
+  ScheduleIdleTimer(fd);
+}
+
 RemoteVoterServer::~RemoteVoterServer() { Stop(); }
 
 void RemoteVoterServer::Stop() {
@@ -103,7 +210,7 @@ void RemoteVoterServer::Stop() {
   }
   connections_.clear();
   if (connections_gauge_ != nullptr) connections_gauge_->Set(0.0);
-  listener_->Close();
+  if (listener_ != nullptr) listener_->Close();
 }
 
 void RemoteVoterServer::OnAcceptable() {
@@ -121,24 +228,7 @@ void RemoteVoterServer::OnAcceptable() {
     if (options_.send_buffer_bytes > 0) {
       (void)(*accepted)->SetSendBufferBytes(options_.send_buffer_bytes);
     }
-    const int fd = (*accepted)->handle();
-    auto connection = std::make_unique<Connection>(std::move(*accepted));
-    connection->decoder = FrameDecoder(options_.max_frame_bytes);
-    connection->last_activity_ms = loop_->now_ms();
-    const Status watched = loop_->Watch(
-        fd, kIoRead, [this, fd](uint32_t events) {
-          OnConnectionEvent(fd, events);
-        });
-    if (!watched.ok()) {
-      AVOC_LOG_WARN("voter server: watch failed: %s",
-                    watched.ToString().c_str());
-      continue;  // Connection closes on scope exit
-    }
-    connections_.emplace(fd, std::move(connection));
-    if (connections_gauge_ != nullptr) {
-      connections_gauge_->Set(static_cast<double>(connections_.size()));
-    }
-    ScheduleIdleTimer(fd);
+    AdoptConnection(std::shared_ptr<Transport>(std::move(*accepted)));
   }
 }
 
@@ -219,9 +309,10 @@ void RemoteVoterServer::ReadPath(int fd) {
     if (connections_.find(fd) == connections_.end()) return;
   }
   if (saw_eof) {
-    // Flush whatever responses are queued, then drop the connection.
+    // Flush queued responses — and wait out any in-flight forwarded
+    // replies — then drop the connection.
     Connection& conn = *connections_.find(fd)->second;
-    if (conn.outbuf.size() == conn.out_pos) {
+    if (conn.outbuf.size() == conn.out_pos && conn.replies.empty()) {
       CloseConnection(fd);
       return;
     }
@@ -278,26 +369,65 @@ void RemoteVoterServer::ProcessLegacyLines(int fd) {
     std::string line = c.inbuf.substr(start, newline - start);
     start = newline + 1;
     if (!line.empty() && line.back() == '\r') line.pop_back();
-    ++requests_;
-    std::string response;
-    if (OverHighWater(c)) {
-      backpressure_.fetch_add(1);
-      if (backpressure_counter_ != nullptr) {
-        backpressure_counter_->Increment();
+    if (IsLinked()) {
+      const auto [verb, group] = PeekLegacyLine(line);
+      if (verb == "HEALTH") {
+        ++requests_;
+        StartHealthFanout(fd, c, /*binary=*/false);
+        continue;
       }
-      response = "ERR busy";
-    } else {
-      const uint64_t begin = NowNanos();
-      response = Handle(line);
-      if (request_latency_ != nullptr) {
-        request_latency_->Record(NowNanos() - begin);
+      if (!group.empty()) {
+        const size_t owner = router_.ShardFor(group);
+        if (!c.pinned) {
+          // First group-addressed request decides the connection's home
+          // shard: move the whole connection to the owner (shared-nothing
+          // from here on) instead of forwarding forever.
+          c.pinned = true;
+          if (owner != link_.index) {
+            c.inbuf.erase(0, start);
+            MigrateConnection(fd, owner, std::nullopt, std::move(line));
+            return;
+          }
+        } else if (owner != link_.index) {
+          ++requests_;
+          if (OverHighWater(c)) {
+            backpressure_.fetch_add(1);
+            if (backpressure_counter_ != nullptr) {
+              backpressure_counter_->Increment();
+            }
+            DeliverResponse(c, "ERR busy\n");
+            continue;
+          }
+          ForwardLine(fd, c, owner, std::move(line));
+          continue;
+        }
       }
     }
-    if (response == "BYE") c.want_close = true;
-    response.push_back('\n');
-    QueueResponse(c, std::move(response));
+    ExecuteLineLocally(c, line);
   }
   c.inbuf.erase(0, start);
+}
+
+void RemoteVoterServer::ExecuteLineLocally(Connection& c,
+                                           const std::string& line) {
+  ++requests_;
+  std::string response;
+  if (OverHighWater(c)) {
+    backpressure_.fetch_add(1);
+    if (backpressure_counter_ != nullptr) {
+      backpressure_counter_->Increment();
+    }
+    response = "ERR busy";
+  } else {
+    const uint64_t begin = NowNanos();
+    response = Handle(line);
+    if (request_latency_ != nullptr) {
+      request_latency_->Record(NowNanos() - begin);
+    }
+  }
+  if (response == "BYE") c.want_close = true;
+  response.push_back('\n');
+  DeliverResponse(c, std::move(response));
 }
 
 void RemoteVoterServer::ProcessBinaryFrames(int fd) {
@@ -309,33 +439,73 @@ void RemoteVoterServer::ProcessBinaryFrames(int fd) {
     if (!frame.ok()) {
       if (frame.status().code() == ErrorCode::kNotFound) break;
       // Protocol violation: boundaries are lost, report and hang up.
-      QueueResponse(
+      DeliverResponse(
           c, EncodeFrame(FrameType::kError,
                          EncodeError(frame.status().message())));
       c.want_close = true;
       break;
     }
-    ++requests_;
-    if (frames_in_ != nullptr) frames_in_->Increment();
-    std::string response;
-    bool close_after = false;
-    if (OverHighWater(c)) {
-      backpressure_.fetch_add(1);
-      if (backpressure_counter_ != nullptr) {
-        backpressure_counter_->Increment();
+    if (IsLinked()) {
+      if (frame->type == FrameType::kHealth) {
+        ++requests_;
+        if (frames_in_ != nullptr) frames_in_->Increment();
+        StartHealthFanout(fd, c, /*binary=*/true);
+        continue;
       }
-      response = EncodeFrame(FrameType::kError, EncodeError("busy"));
-    } else {
-      const uint64_t begin = NowNanos();
-      response = HandleFrame(*frame, &close_after);
-      if (request_latency_ != nullptr) {
-        request_latency_->Record(NowNanos() - begin);
+      const std::string group = PeekFrameGroup(*frame);
+      if (!group.empty()) {
+        const size_t owner = router_.ShardFor(group);
+        if (!c.pinned) {
+          // First group-addressed frame decides the home shard: migrate
+          // the whole connection there (shared-nothing from here on).
+          c.pinned = true;
+          if (owner != link_.index) {
+            MigrateConnection(fd, owner, std::move(*frame), std::nullopt);
+            return;
+          }
+        } else if (owner != link_.index) {
+          ++requests_;
+          if (frames_in_ != nullptr) frames_in_->Increment();
+          if (OverHighWater(c)) {
+            backpressure_.fetch_add(1);
+            if (backpressure_counter_ != nullptr) {
+              backpressure_counter_->Increment();
+            }
+            DeliverResponse(
+                c, EncodeFrame(FrameType::kError, EncodeError("busy")));
+            continue;
+          }
+          ForwardFrame(fd, c, owner, std::move(*frame));
+          continue;
+        }
       }
     }
-    if (frames_out_ != nullptr) frames_out_->Increment();
-    if (close_after) c.want_close = true;
-    QueueResponse(c, std::move(response));
+    ExecuteFrameLocally(c, *frame);
   }
+}
+
+void RemoteVoterServer::ExecuteFrameLocally(Connection& c,
+                                            const Frame& frame) {
+  ++requests_;
+  if (frames_in_ != nullptr) frames_in_->Increment();
+  std::string response;
+  bool close_after = false;
+  if (OverHighWater(c)) {
+    backpressure_.fetch_add(1);
+    if (backpressure_counter_ != nullptr) {
+      backpressure_counter_->Increment();
+    }
+    response = EncodeFrame(FrameType::kError, EncodeError("busy"));
+  } else {
+    const uint64_t begin = NowNanos();
+    response = HandleFrame(frame, &close_after);
+    if (request_latency_ != nullptr) {
+      request_latency_->Record(NowNanos() - begin);
+    }
+  }
+  if (frames_out_ != nullptr) frames_out_->Increment();
+  if (close_after) c.want_close = true;
+  DeliverResponse(c, std::move(response));
 }
 
 void RemoteVoterServer::QueueResponse(Connection& c, std::string bytes) {
@@ -375,7 +545,9 @@ void RemoteVoterServer::WritePath(int fd) {
   if (c.out_pos == c.outbuf.size()) {
     c.outbuf.clear();
     c.out_pos = 0;
-    if (c.want_close) {
+    // Forwarded replies still in flight keep the connection alive; the
+    // completing shard re-enters here once the last slot flushes.
+    if (c.want_close && c.replies.empty()) {
       CloseConnection(fd);
       return;
     }
@@ -398,10 +570,194 @@ void RemoteVoterServer::WritePath(int fd) {
   (void)loop_->SetInterest(fd, interest);
 }
 
+// --- sharded routing ---------------------------------------------------------
+
+void RemoteVoterServer::DeliverResponse(Connection& c, std::string bytes) {
+  if (c.replies.empty()) {
+    QueueResponse(c, std::move(bytes));
+    return;
+  }
+  // A forwarded reply is still pending ahead of us: take a slot behind it
+  // so the client sees responses in request order.  No flush needed — the
+  // front slot is pending by invariant.
+  c.replies.emplace_back();
+  c.replies.back().ready = true;
+  c.replies.back().bytes = std::move(bytes);
+  ++c.next_slot;
+}
+
+uint64_t RemoteVoterServer::AllocatePendingSlot(Connection& c) {
+  c.replies.emplace_back();
+  return c.next_slot++;
+}
+
+void RemoteVoterServer::FlushReplies(Connection& c) {
+  while (!c.replies.empty() && c.replies.front().ready) {
+    QueueResponse(c, std::move(c.replies.front().bytes));
+    c.replies.pop_front();
+    ++c.reply_base;
+  }
+}
+
+void RemoteVoterServer::CompleteReply(int fd, uint64_t conn_id, uint64_t slot,
+                                      std::string bytes) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end() || it->second->id != conn_id) return;
+  Connection& c = *it->second;
+  const uint64_t position = slot - c.reply_base;
+  if (position >= c.replies.size()) return;
+  c.replies[position].ready = true;
+  c.replies[position].bytes = std::move(bytes);
+  FlushReplies(c);
+  UpdateInterest(fd);  // flush to the socket; may close on want_close
+}
+
+void RemoteVoterServer::ForwardFrame(int fd, Connection& c, size_t owner,
+                                     Frame frame) {
+  forwarded_.fetch_add(1);
+  if (forwarded_counter_ != nullptr) forwarded_counter_->Increment();
+  const uint64_t slot = AllocatePendingSlot(c);
+  RemoteVoterServer* peer = link_.peers[owner];
+  // Two hops, both through single-writer mailboxes: execute on the
+  // owner's loop (its dedup + groups stay single-threaded), complete on
+  // ours.  Shard servers outlive both posts (ShardedVoterServer joins
+  // every loop before destroying any shard).
+  link_.reactors[owner]->Post(
+      [peer, frame = std::move(frame), origin = this,
+       origin_reactor = loop_, fd, conn_id = c.id, slot]() mutable {
+        bool close_after = false;
+        std::string response = peer->HandleFrame(frame, &close_after);
+        origin_reactor->Post([origin, fd, conn_id, slot,
+                              response = std::move(response)]() mutable {
+          origin->CompleteReply(fd, conn_id, slot, std::move(response));
+        });
+      });
+}
+
+void RemoteVoterServer::ForwardLine(int fd, Connection& c, size_t owner,
+                                    std::string line) {
+  forwarded_.fetch_add(1);
+  if (forwarded_counter_ != nullptr) forwarded_counter_->Increment();
+  const uint64_t slot = AllocatePendingSlot(c);
+  RemoteVoterServer* peer = link_.peers[owner];
+  link_.reactors[owner]->Post(
+      [peer, line = std::move(line), origin = this, origin_reactor = loop_,
+       fd, conn_id = c.id, slot]() mutable {
+        std::string response = peer->Handle(line);
+        response.push_back('\n');
+        origin_reactor->Post([origin, fd, conn_id, slot,
+                              response = std::move(response)]() mutable {
+          origin->CompleteReply(fd, conn_id, slot, std::move(response));
+        });
+      });
+}
+
+void RemoteVoterServer::MigrateConnection(int fd, size_t owner,
+                                          std::optional<Frame> frame,
+                                          std::optional<std::string> line) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  std::shared_ptr<Connection> c = std::move(it->second);
+  if (c->idle_timer != 0) {
+    loop_->CancelTimer(c->idle_timer);
+    c->idle_timer = 0;
+  }
+  (void)loop_->Unwatch(fd);
+  connections_.erase(it);
+  if (connections_gauge_ != nullptr) {
+    connections_gauge_->Set(static_cast<double>(connections_.size()));
+  }
+  migrations_.fetch_add(1);
+  if (migrations_counter_ != nullptr) migrations_counter_->Increment();
+  RemoteVoterServer* peer = link_.peers[owner];
+  link_.reactors[owner]->Post(
+      [peer, c = std::move(c), frame = std::move(frame),
+       line = std::move(line)]() mutable {
+        peer->AdoptMigrated(std::move(c), std::move(frame), std::move(line));
+      });
+}
+
+void RemoteVoterServer::AdoptMigrated(std::shared_ptr<Connection> c,
+                                      std::optional<Frame> frame,
+                                      std::optional<std::string> line) {
+  if (!running_.load() || loop_->stopped()) {
+    c->conn->Close();
+    return;
+  }
+  const int fd = c->conn->handle();
+  c->id = next_conn_id_++;
+  c->last_activity_ms = loop_->now_ms();
+  const Status watched = loop_->Watch(
+      fd, kIoRead, [this, fd](uint32_t events) {
+        OnConnectionEvent(fd, events);
+      });
+  if (!watched.ok()) {
+    AVOC_LOG_WARN("voter server: migrated watch failed: %s",
+                  watched.ToString().c_str());
+    c->conn->Close();
+    return;
+  }
+  auto [slot, inserted] = connections_.emplace(fd, std::move(c));
+  (void)inserted;
+  if (connections_gauge_ != nullptr) {
+    connections_gauge_->Set(static_cast<double>(connections_.size()));
+  }
+  if (adopted_counter_ != nullptr) adopted_counter_->Increment();
+  Connection& conn = *slot->second;
+  // The request that triggered the migration executes here first, then
+  // whatever else the client already pipelined into the buffers.
+  if (frame.has_value()) ExecuteFrameLocally(conn, *frame);
+  if (line.has_value()) ExecuteLineLocally(conn, *line);
+  ProcessInput(fd);
+  if (connections_.find(fd) != connections_.end()) {
+    UpdateInterest(fd);
+    if (connections_.find(fd) != connections_.end()) ScheduleIdleTimer(fd);
+  }
+}
+
+void RemoteVoterServer::StartHealthFanout(int fd, Connection& c, bool binary) {
+  // Scatter-gather: every shard reports its own groups on its own loop;
+  // parts assemble on this loop when the last one lands.  The aggregate
+  // is only ever touched from the origin loop thread.
+  struct HealthAggregate {
+    std::vector<std::string> parts;
+    size_t remaining = 0;
+  };
+  const uint64_t slot = AllocatePendingSlot(c);
+  auto aggregate = std::make_shared<HealthAggregate>();
+  aggregate->parts.resize(link_.peers.size());
+  aggregate->remaining = link_.peers.size();
+  for (size_t shard = 0; shard < link_.peers.size(); ++shard) {
+    RemoteVoterServer* peer = link_.peers[shard];
+    link_.reactors[shard]->Post(
+        [peer, shard, aggregate, origin = this, origin_reactor = loop_, fd,
+         conn_id = c.id, slot, binary,
+         total = link_.all_groups.size()]() {
+          std::string part = peer->LocalHealthLines();
+          origin_reactor->Post([aggregate, shard, part = std::move(part),
+                                origin, fd, conn_id, slot, binary,
+                                total]() mutable {
+            aggregate->parts[shard] = std::move(part);
+            if (--aggregate->remaining > 0) return;
+            std::string body = StrFormat("HEALTH %zu\n", total);
+            for (const std::string& p : aggregate->parts) body += p;
+            std::string response =
+                binary ? EncodeFrame(FrameType::kText, EncodeText(body))
+                       : body + "END\n";
+            origin->CompleteReply(fd, conn_id, slot, std::move(response));
+          });
+        });
+  }
+}
+
 std::string RemoteVoterServer::HealthText() const {
-  const auto names = manager_->GroupNames();
-  std::string text = StrFormat("HEALTH %zu\n", names.size());
-  for (const std::string& name : names) {
+  return StrFormat("HEALTH %zu\n", manager_->GroupNames().size()) +
+         LocalHealthLines();
+}
+
+std::string RemoteVoterServer::LocalHealthLines() const {
+  std::string text;
+  for (const std::string& name : manager_->GroupNames()) {
     auto runner = manager_->runner(name);
     if (!runner.ok()) continue;  // group removed mid-iteration
     const Status voter_status = (*runner)->voter().last_status();
@@ -503,8 +859,11 @@ std::string RemoteVoterServer::HandleFrame(const Frame& frame,
       return EncodeFrame(FrameType::kValue, EncodeValue(*value));
     }
     case FrameType::kGroups:
+      // Linked shards answer from the frozen global list — no fan-out
+      // needed, every shard knows the whole deployment's group names.
       return EncodeFrame(FrameType::kGroupList,
-                         EncodeGroupList(manager_->GroupNames()));
+                         EncodeGroupList(IsLinked() ? link_.all_groups
+                                                    : manager_->GroupNames()));
     case FrameType::kMetrics: {
       obs::Registry* registry = manager_->registry();
       if (registry == nullptr) {
@@ -546,7 +905,7 @@ std::string RemoteVoterServer::Handle(const std::string& line) {
   if (verb == "HEALTH") return HealthText() + "END";
 
   if (verb == "GROUPS") {
-    const auto names = manager_->GroupNames();
+    const auto names = IsLinked() ? link_.all_groups : manager_->GroupNames();
     std::string response = StrFormat("GROUPS %zu", names.size());
     for (const std::string& name : names) {
       response += " " + name;

@@ -39,12 +39,23 @@
 // §6 notes VDX "has no security features that protect against malicious
 // actors, so this is left up to the client code"; the same stance
 // applies here.
+// Sharding (runtime/sharded_remote.h): a server may instead run as one
+// of N linked shards, each on its own reactor thread, owning a disjoint
+// set of groups (stable GroupRouter hash).  A connection's first
+// group-addressed request *migrates* the whole connection to the owning
+// shard (the shared-nothing fast path: one device, one group, one
+// shard); later requests for foreign groups are forwarded frame-by-frame
+// through reactor mailboxes with strict per-connection reply ordering.
+// GROUPS/METRICS answer locally (frozen global group list / shared
+// lock-free registry); HEALTH scatter-gathers one part per shard.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -52,6 +63,7 @@
 #include "runtime/event_loop.h"
 #include "runtime/framing.h"
 #include "runtime/group_manager.h"
+#include "runtime/group_router.h"
 #include "runtime/tcp.h"
 #include "runtime/transport.h"
 
@@ -75,6 +87,22 @@ struct RemoteServerOptions {
   /// SUBMIT_BATCH_SEQ dedup: per client, acknowledgements at least this
   /// far below the highest seen sequence number may be forgotten.
   size_t dedup_window = 1024;
+  /// Shard scope for telemetry families (e.g. "s2" publishes
+  /// avoc_remote_*{shard="s2"}).  Empty keeps the plain family names.
+  std::string metrics_scope;
+};
+
+class RemoteVoterServer;
+
+/// Wiring of one shard server into a shard group, installed by
+/// ShardedVoterServer before traffic flows and immutable afterwards.
+/// `peers[index] == self`; `all_groups` is the frozen global group list
+/// (sharded serving registers groups before accepting).
+struct ShardLink {
+  size_t index = 0;
+  std::vector<RemoteVoterServer*> peers;
+  std::vector<std::shared_ptr<Reactor>> reactors;
+  std::vector<std::string> all_groups;
 };
 
 class RemoteVoterServer {
@@ -102,12 +130,31 @@ class RemoteVoterServer {
       std::unique_ptr<Listener> listener, std::shared_ptr<Reactor> reactor,
       bool spawn_loop_thread);
 
+  /// A listenerless shard server: connections arrive only through
+  /// AdoptConnection (posted by the sharded acceptor) or migration from
+  /// a peer shard.  The caller owns the reactor's dispatch (thread or
+  /// simulation pump) and must LinkShards() before traffic flows.
+  static Result<std::unique_ptr<RemoteVoterServer>> StartShard(
+      VoterGroupManager* manager, Options options,
+      std::shared_ptr<Reactor> reactor);
+
+  /// Installs the shard wiring (see ShardLink).  Call once, before any
+  /// connection is adopted; the link is read-only afterwards.
+  void LinkShards(ShardLink link);
+
+  /// Takes ownership of an accepted transport (already non-blocking) and
+  /// runs the standard connection state machine on it.  Loop-thread
+  /// only — peers reach it via Reactor::Post.
+  void AdoptConnection(std::shared_ptr<Transport> transport);
+
   ~RemoteVoterServer();
 
   RemoteVoterServer(const RemoteVoterServer&) = delete;
   RemoteVoterServer& operator=(const RemoteVoterServer&) = delete;
 
-  uint16_t port() const { return listener_->port(); }
+  /// Listening port; 0 for listenerless shard servers (the sharded
+  /// front door owns the socket).
+  uint16_t port() const { return listener_ ? listener_->port() : 0; }
 
   /// Stops the loop, disconnects clients, joins the loop thread.
   /// Idempotent.
@@ -125,22 +172,47 @@ class RemoteVoterServer {
   /// of re-ingesting.
   size_t dedup_replays() const { return dedup_replays_count_.load(); }
 
- private:
-  /// One connection's protocol state machine (loop thread only).
-  struct Connection {
-    explicit Connection(std::unique_ptr<Transport> c) : conn(std::move(c)) {}
+  /// Requests this shard forwarded to a peer (foreign group on a pinned
+  /// connection); 0 unsharded.
+  size_t forwarded_requests() const { return forwarded_.load(); }
 
-    std::unique_ptr<Transport> conn;
+  /// Connections this shard handed to the owning peer on their first
+  /// group-addressed request; 0 unsharded.
+  size_t migrations_out() const { return migrations_.load(); }
+
+ private:
+  /// One connection's protocol state machine (loop thread only — the
+  /// owning shard's; migration moves the whole struct between shards
+  /// through a reactor mailbox, never shares it).
+  struct Connection {
+    explicit Connection(std::shared_ptr<Transport> c) : conn(std::move(c)) {}
+
+    std::shared_ptr<Transport> conn;  ///< shared: posts across reactors
     enum class Mode : uint8_t { kDetecting, kLegacy, kBinary };
     Mode mode = Mode::kDetecting;
     std::string inbuf;     ///< detection + legacy line assembly
     FrameDecoder decoder;  ///< binary frame assembly
     std::string outbuf;    ///< encoded responses not yet written
     size_t out_pos = 0;    ///< written prefix of outbuf
-    bool want_close = false;  ///< close once outbuf drains
+    bool want_close = false;  ///< close once outbuf AND replies drain
     bool paused = false;      ///< reading stopped by backpressure
+    bool pinned = false;      ///< shard placement decided (sharded mode)
+    uint64_t id = 0;          ///< guards stale cross-shard completions
     uint64_t idle_timer = 0;  ///< timer-wheel handle (0 = none)
     uint64_t last_activity_ms = 0;
+
+    /// In-order reply delivery under forwarding: every response occupies
+    /// a slot; forwarded ones complete asynchronously, and only the
+    /// ready prefix ever reaches outbuf.  Invariant: when `replies` is
+    /// non-empty its front is pending (ready fronts flush immediately),
+    /// so local responses append as ready without reordering.
+    struct PendingReply {
+      bool ready = false;
+      std::string bytes;
+    };
+    std::deque<PendingReply> replies;
+    uint64_t reply_base = 0;  ///< absolute slot index of replies.front()
+    uint64_t next_slot = 0;   ///< next absolute slot to allocate
   };
 
   RemoteVoterServer(VoterGroupManager* manager, Options options,
@@ -171,6 +243,43 @@ class RemoteVoterServer {
   /// The multi-line HEALTH body (shared by both protocols; no END line).
   std::string HealthText() const;
 
+  /// The per-group "GROUP ..." lines of this shard (no header).
+  std::string LocalHealthLines() const;
+
+  // --- sharded routing (all loop-thread-only on their shard) ---------------
+  bool IsLinked() const { return link_.peers.size() > 1; }
+
+  /// Runs one frame on this shard: accounting, busy check, execution,
+  /// in-order response delivery.
+  void ExecuteFrameLocally(Connection& c, const Frame& frame);
+  /// Same for one legacy line.
+  void ExecuteLineLocally(Connection& c, const std::string& line);
+
+  /// Appends a response, respecting pending forwarded slots.
+  void DeliverResponse(Connection& c, std::string bytes);
+  /// Allocates a pending reply slot; returns its absolute index.
+  uint64_t AllocatePendingSlot(Connection& c);
+  /// Marks `slot` ready and flushes the ready prefix.  Drops silently
+  /// when the connection died or was reused (id mismatch).
+  void CompleteReply(int fd, uint64_t conn_id, uint64_t slot,
+                     std::string bytes);
+  void FlushReplies(Connection& c);
+
+  /// Posts `frame` to the owning peer; the response completes the slot.
+  void ForwardFrame(int fd, Connection& c, size_t owner, Frame frame);
+  /// Legacy-line forwarding (response gains its newline at the origin).
+  void ForwardLine(int fd, Connection& c, size_t owner, std::string line);
+  /// Hands the whole connection (buffers, decoder, outbuf) to the owning
+  /// shard, carrying the request that triggered the move.
+  void MigrateConnection(int fd, size_t owner, std::optional<Frame> frame,
+                         std::optional<std::string> line);
+  /// Receives a migrated connection on the owning shard.
+  void AdoptMigrated(std::shared_ptr<Connection> c, std::optional<Frame> frame,
+                     std::optional<std::string> line);
+  /// HEALTH scatter-gather: one LocalHealthLines() per shard, assembled
+  /// into the slot when the last part arrives.
+  void StartHealthFanout(int fd, Connection& c, bool binary);
+
   /// Remembered SUBMIT_BATCH_SEQ acknowledgements for one client
   /// identity (loop thread only).
   struct ClientDedup {
@@ -180,15 +289,24 @@ class RemoteVoterServer {
 
   VoterGroupManager* manager_;
   Options options_;
-  std::unique_ptr<Listener> listener_;
+  std::unique_ptr<Listener> listener_;  ///< null for shard servers
   std::shared_ptr<Reactor> loop_;
   std::thread loop_thread_;
   std::atomic<bool> running_{true};
   std::atomic<size_t> requests_{0};
   std::atomic<size_t> backpressure_{0};
   std::atomic<size_t> dedup_replays_count_{0};
-  std::map<int, std::unique_ptr<Connection>> connections_;  // loop thread
+  std::atomic<size_t> forwarded_{0};
+  std::atomic<size_t> migrations_{0};
+  uint64_t next_conn_id_ = 1;                           // loop thread
+  std::map<int, std::shared_ptr<Connection>> connections_;  // loop thread
   std::map<std::string, ClientDedup> dedup_;                // loop thread
+
+  /// Shard wiring; empty (unlinked) for a standalone server.  Installed
+  /// once before traffic, read-only afterwards — safe to read from the
+  /// loop thread without locks.
+  ShardLink link_;
+  GroupRouter router_{1};
 
   // Optional telemetry (null without a manager registry).
   obs::Gauge* connections_gauge_ = nullptr;
@@ -200,6 +318,10 @@ class RemoteVoterServer {
   obs::Counter* dedup_replays_ = nullptr;
   obs::Gauge* dedup_clients_ = nullptr;
   obs::LatencyHistogram* request_latency_ = nullptr;
+  obs::Counter* forwarded_counter_ = nullptr;
+  obs::Counter* migrations_counter_ = nullptr;
+  obs::Counter* adopted_counter_ = nullptr;
+  obs::Gauge* owned_groups_gauge_ = nullptr;
 };
 
 /// Client helper speaking either protocol.  Connect() yields a legacy

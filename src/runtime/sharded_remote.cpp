@@ -1,0 +1,211 @@
+#include "runtime/sharded_remote.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/log.h"
+#include "util/strings.h"
+
+namespace avoc::runtime {
+
+ShardedVoterServer::ShardedVoterServer(
+    Options options, std::unique_ptr<Listener> listener,
+    std::vector<std::shared_ptr<Reactor>> reactors, bool spawn_loop_threads,
+    HistoryStore* store, obs::Registry* registry)
+    : options_(options),
+      listener_(std::move(listener)),
+      reactors_(std::move(reactors)),
+      router_(reactors_.size()),
+      spawn_loop_threads_(spawn_loop_threads) {
+  managers_.reserve(reactors_.size());
+  for (size_t s = 0; s < reactors_.size(); ++s) {
+    managers_.push_back(std::make_unique<VoterGroupManager>(store, registry));
+  }
+}
+
+Result<std::unique_ptr<ShardedVoterServer>> ShardedVoterServer::Start(
+    Options options, HistoryStore* store, obs::Registry* registry) {
+  size_t shards = options.shards;
+  if (shards == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    shards = hw == 0 ? 1 : hw;
+  }
+  AVOC_ASSIGN_OR_RETURN(TcpListener listener,
+                        TcpListener::Listen(options.base.port));
+  AVOC_RETURN_IF_ERROR(listener.SetNonBlocking(true));
+  std::vector<std::shared_ptr<Reactor>> reactors;
+  reactors.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    AVOC_ASSIGN_OR_RETURN(std::unique_ptr<EventLoop> loop, EventLoop::Create());
+    reactors.push_back(std::shared_ptr<Reactor>(std::move(loop)));
+  }
+  options.shards = shards;
+  return StartOnReactors(std::move(options),
+                         std::make_unique<TcpListener>(std::move(listener)),
+                         std::move(reactors), /*spawn_loop_threads=*/true,
+                         store, registry);
+}
+
+Result<std::unique_ptr<ShardedVoterServer>> ShardedVoterServer::StartOnReactors(
+    Options options, std::unique_ptr<Listener> listener,
+    std::vector<std::shared_ptr<Reactor>> reactors, bool spawn_loop_threads,
+    HistoryStore* store, obs::Registry* registry) {
+  if (listener == nullptr) {
+    return InvalidArgumentError("sharded server needs a listener");
+  }
+  if (reactors.empty()) {
+    return InvalidArgumentError("sharded server needs at least one reactor");
+  }
+  for (const auto& reactor : reactors) {
+    if (reactor == nullptr) {
+      return InvalidArgumentError("sharded server got a null reactor");
+    }
+  }
+  std::unique_ptr<ShardedVoterServer> server(new ShardedVoterServer(
+      options, std::move(listener), std::move(reactors), spawn_loop_threads,
+      store, registry));
+  for (size_t s = 0; s < server->reactors_.size(); ++s) {
+    RemoteServerOptions shard_options = options.base;
+    shard_options.metrics_scope = StrFormat("s%zu", s);
+    AVOC_ASSIGN_OR_RETURN(
+        std::unique_ptr<RemoteVoterServer> shard,
+        RemoteVoterServer::StartShard(server->managers_[s].get(),
+                                      std::move(shard_options),
+                                      server->reactors_[s]));
+    server->shards_.push_back(std::move(shard));
+  }
+  return server;
+}
+
+ShardedVoterServer::~ShardedVoterServer() { Stop(); }
+
+Status ShardedVoterServer::AddGroup(const std::string& name,
+                                    core::VotingEngine engine) {
+  if (serving_) {
+    return FailedPreconditionError(
+        "group set is frozen once serving (rebalancing is a future item)");
+  }
+  return managers_[router_.ShardFor(name)]->AddGroup(name, std::move(engine));
+}
+
+Status ShardedVoterServer::AddGroupFromSpec(const std::string& name,
+                                            const vdx::Spec& spec,
+                                            size_t modules) {
+  if (serving_) {
+    return FailedPreconditionError(
+        "group set is frozen once serving (rebalancing is a future item)");
+  }
+  return managers_[router_.ShardFor(name)]->AddGroupFromSpec(name, spec,
+                                                             modules);
+}
+
+Status ShardedVoterServer::Serve() {
+  if (serving_) return FailedPreconditionError("already serving");
+  serving_ = true;
+  // Freeze the global group list (sorted: per-shard maps are sorted, so
+  // one merge keeps the GROUPS response deterministic).
+  std::vector<std::string> all_groups;
+  for (const auto& manager : managers_) {
+    const auto names = manager->GroupNames();
+    all_groups.insert(all_groups.end(), names.begin(), names.end());
+  }
+  std::sort(all_groups.begin(), all_groups.end());
+  std::vector<RemoteVoterServer*> peers;
+  peers.reserve(shards_.size());
+  for (const auto& shard : shards_) peers.push_back(shard.get());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    ShardLink link;
+    link.index = s;
+    link.peers = peers;
+    link.reactors = reactors_;
+    link.all_groups = all_groups;
+    shards_[s]->LinkShards(std::move(link));
+  }
+  AVOC_RETURN_IF_ERROR(reactors_[0]->Watch(
+      listener_->handle(), kIoRead, [this](uint32_t) { OnAcceptable(); }));
+  if (spawn_loop_threads_) {
+    threads_.reserve(reactors_.size());
+    for (const auto& reactor : reactors_) {
+      threads_.emplace_back([reactor] { reactor->Run(); });
+    }
+  }
+  return Status::Ok();
+}
+
+void ShardedVoterServer::OnAcceptable() {
+  for (;;) {
+    auto accepted = listener_->TryAcceptTransport();
+    if (!accepted.ok()) {
+      if (accepted.status().code() != ErrorCode::kNotFound &&
+          running_.load()) {
+        AVOC_LOG_WARN("sharded voter server: accept failed: %s",
+                      accepted.status().ToString().c_str());
+      }
+      return;
+    }
+    if (!(*accepted)->SetNonBlocking(true).ok()) continue;
+    if (options_.base.send_buffer_bytes > 0) {
+      (void)(*accepted)->SetSendBufferBytes(options_.base.send_buffer_bytes);
+    }
+    // Round-robin hand-off spreads the detection phase; the first
+    // group-addressed request then migrates the connection to its owner
+    // shard, which is the placement that actually matters.
+    std::shared_ptr<Transport> transport(std::move(*accepted));
+    const size_t target = next_handoff_++ % shards_.size();
+    if (target == 0) {
+      shards_[0]->AdoptConnection(std::move(transport));
+      continue;
+    }
+    RemoteVoterServer* shard = shards_[target].get();
+    reactors_[target]->Post([shard, transport = std::move(transport)]() mutable {
+      shard->AdoptConnection(std::move(transport));
+    });
+  }
+}
+
+void ShardedVoterServer::Stop() {
+  bool expected = true;
+  if (!running_.compare_exchange_strong(expected, false)) return;
+  // Park every loop before touching any shard state: cross-shard posts
+  // still queued drain inside Run() before it returns, and after the
+  // joins nothing dispatches anywhere.
+  for (const auto& reactor : reactors_) reactor->Stop();
+  for (std::thread& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  threads_.clear();
+  if (serving_) (void)reactors_[0]->Unwatch(listener_->handle());
+  for (const auto& shard : shards_) shard->Stop();
+  listener_->Close();
+}
+
+Result<const SinkNode*> ShardedVoterServer::sink(
+    const std::string& group) const {
+  return managers_[router_.ShardFor(group)]->sink(group);
+}
+
+size_t ShardedVoterServer::requests_served() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->requests_served();
+  return total;
+}
+
+size_t ShardedVoterServer::dedup_replays() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->dedup_replays();
+  return total;
+}
+
+size_t ShardedVoterServer::forwarded_requests() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->forwarded_requests();
+  return total;
+}
+
+size_t ShardedVoterServer::migrations() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->migrations_out();
+  return total;
+}
+
+}  // namespace avoc::runtime

@@ -88,6 +88,12 @@ SimWorld::SimWorld(uint64_t seed, Options options)
   std::sort(options_.fault_plan.reset_at_ms.begin(),
             options_.fault_plan.reset_at_ms.end());
   reactor_ = std::make_shared<SimReactor>(this);
+  reactors_.push_back(reactor_);
+}
+
+std::shared_ptr<SimReactor> SimWorld::NewReactor() {
+  reactors_.push_back(std::make_shared<SimReactor>(this));
+  return reactors_.back();
 }
 
 SimWorld::~SimWorld() = default;
@@ -437,19 +443,29 @@ uint64_t SimWorld::NextEventAtMs() const {
       resets[scripted_resets_applied_] > now_ms_) {
     consider(resets[scripted_resets_applied_]);
   }
-  const uint64_t timer_at = reactor_->NextTimerAtMs();
-  if (timer_at != UINT64_MAX) consider(std::max(timer_at, now_ms_ + 1));
+  for (const auto& reactor : reactors_) {
+    const uint64_t timer_at = reactor->NextTimerAtMs();
+    if (timer_at != UINT64_MAX) consider(std::max(timer_at, now_ms_ + 1));
+  }
   return best;
 }
 
 void SimWorld::Pump() {
   // Deliveries can unlock callbacks which write zero-latency segments
-  // which unlock more callbacks — iterate to fixpoint (bounded).
+  // which unlock more callbacks — iterate to fixpoint (bounded).  With
+  // several reactors (sharded servers), each outer iteration dispatches
+  // every reactor once in creation order, so a mailbox post from reactor
+  // k to reactor j executes this iteration when j > k and the next one
+  // when j <= k — deterministic either way.
   for (int i = 0; i < 64; ++i) {
     ApplyScriptedFaults();
     DeliverDue();
-    reactor_->AdvanceTimers();
-    if (!reactor_->Dispatch()) break;
+    bool progressed = false;
+    for (const auto& reactor : reactors_) {
+      reactor->AdvanceTimers();
+      if (reactor->Dispatch()) progressed = true;
+    }
+    if (!progressed) break;
   }
 }
 

@@ -170,6 +170,18 @@ class SimWorld : public Clock {
   /// The reactor a simulated server runs on.
   std::shared_ptr<SimReactor> reactor() { return reactor_; }
 
+  /// An additional reactor — one per simulated shard.  Pump() dispatches
+  /// every reactor in creation order to fixpoint, so a multi-shard
+  /// server (runtime/sharded_remote.h) runs deterministically on one
+  /// thread: cross-shard mailbox posts land in the target reactor's
+  /// queue and execute on the next dispatch pass, FIFO per sender.
+  std::shared_ptr<SimReactor> NewReactor();
+
+  /// reactor() plus every NewReactor(), in creation order.
+  const std::vector<std::shared_ptr<SimReactor>>& reactors() const {
+    return reactors_;
+  }
+
   uint64_t seed() const { return seed_; }
   const Options& options() const { return options_; }
   const std::vector<std::string>& trace() const { return trace_; }
@@ -266,7 +278,8 @@ class SimWorld : public Clock {
   std::map<int, Port> ports_;          // by listener handle
   std::map<uint16_t, int> listening_;  // port number -> listener handle
   std::vector<std::string> trace_;
-  std::shared_ptr<SimReactor> reactor_;
+  std::shared_ptr<SimReactor> reactor_;  ///< == reactors_[0]
+  std::vector<std::shared_ptr<SimReactor>> reactors_;
 };
 
 /// Reactor over SimWorld readiness and the real TimerWheel running on the

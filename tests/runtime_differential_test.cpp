@@ -1,12 +1,15 @@
-// Differential test: three ingest paths, one truth.
+// Differential test: four ingest paths, one truth.
 //
 // The same seeded workload is pushed through (a) the in-process
 // VoterGroupManager batch API, (b) the binary frame protocol over a
-// chaotic-but-healing simulated network with the resilient client, and
-// (c) the legacy line protocol over a gentle simulated network (delays
-// and fragmentation only — the line protocol has no retry identity).
-// All three must produce bit-identical sink traces: same rounds, same
-// fused values, no duplicates, no holes.
+// chaotic-but-healing simulated network with the resilient client, (c)
+// the legacy line protocol over a gentle simulated network (delays and
+// fragmentation only — the line protocol has no retry identity), and
+// (d) the 3-shard ShardedVoterServer under the same chaos, where the
+// target group lives on whatever shard the router says and the
+// connection must migrate to reach it.  All four must produce
+// bit-identical sink traces: same rounds, same fused values, no
+// duplicates, no holes.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -18,6 +21,7 @@
 #include "runtime/group_manager.h"
 #include "runtime/remote.h"
 #include "runtime/resilient.h"
+#include "runtime/sharded_remote.h"
 #include "runtime/sim_net.h"
 #include "util/rng.h"
 #include "util/strings.h"
@@ -140,7 +144,57 @@ std::string LegacyGentleTrace(uint64_t seed) {
   return trace;
 }
 
-TEST(DifferentialTest, AllThreeIngestPathsProduceIdenticalSinkTraces) {
+std::string ShardedChaosTrace(uint64_t seed) {
+  SimWorld::Options options;
+  options.fault_plan = FaultPlan::Chaos(seed, 3000);
+  SimWorld world(seed, options);
+  obs::Registry registry;
+  auto listener = world.Listen(kPort);
+  EXPECT_TRUE(listener.ok());
+  std::vector<std::shared_ptr<Reactor>> reactors = {
+      world.reactor(), world.NewReactor(), world.NewReactor()};
+  ShardedServerOptions server_options;
+  server_options.shards = 3;
+  auto server = ShardedVoterServer::StartOnReactors(
+      server_options, std::move(*listener), std::move(reactors),
+      /*spawn_loop_threads=*/false, /*store=*/nullptr, &registry);
+  EXPECT_TRUE(server.ok()) << server.status().ToString();
+  // A decoy on every other shard so the server is genuinely multi-shard
+  // even though the workload only feeds "lights".
+  for (const char* group : {"lights", "group-0", "group-1", "group-2"}) {
+    EXPECT_TRUE((*server)
+                    ->AddGroup(group, *core::MakeEngine(
+                                          core::AlgorithmId::kAvoc, kModules))
+                    .ok());
+  }
+  EXPECT_TRUE((*server)->Serve().ok());
+
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 5;
+  policy.max_backoff_ms = 200;
+  policy.request_timeout_ms = 150;
+  policy.deadline_ms = 60 * 1000;
+  ResilientVoterClient client([&world] { return world.Connect(kPort); },
+                              &world, "diff-client", policy, seed, &registry);
+  for (const std::vector<BatchReading>& batch : WorkloadFor(seed)) {
+    auto accepted = client.SubmitBatch("lights", batch);
+    EXPECT_TRUE(accepted.ok()) << accepted.status().ToString();
+  }
+  auto sink = (*server)->sink("lights");
+  std::string trace = "<no sink>";
+  if (sink.ok()) {
+    trace.clear();
+    for (const OutputMessage& out : (*sink)->outputs()) {
+      trace += StrFormat("%zu %d %a\n", out.round,
+                         static_cast<int>(out.result.outcome),
+                         out.result.value.value_or(-0.0));
+    }
+  }
+  (*server)->Stop();
+  return trace;
+}
+
+TEST(DifferentialTest, AllIngestPathsProduceIdenticalSinkTraces) {
   for (uint64_t seed = 500; seed < 516; ++seed) {
     SCOPED_TRACE(StrFormat("seed=%llu",
                            static_cast<unsigned long long>(seed)));
@@ -149,6 +203,7 @@ TEST(DifferentialTest, AllThreeIngestPathsProduceIdenticalSinkTraces) {
     ASSERT_FALSE(in_process.empty());
     EXPECT_EQ(BinaryChaosTrace(seed), in_process);
     EXPECT_EQ(LegacyGentleTrace(seed), in_process);
+    EXPECT_EQ(ShardedChaosTrace(seed), in_process);
   }
 }
 

@@ -1,0 +1,160 @@
+// Golden tests for the frozen group→shard routing contract.
+//
+// GroupIdHash and GroupRouter::ShardFor are part of the wire contract of
+// the sharded remote runtime: clients may cache shard assignments and a
+// future MOVED redirect protocol depends on every binary agreeing on the
+// mapping. The pinned values below must NEVER change. If this test fails
+// after an edit to group_router.cpp, revert the edit — do not re-pin.
+
+#include "runtime/group_router.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace avoc::runtime {
+namespace {
+
+struct GoldenHash {
+  const char* group;
+  uint64_t hash;
+};
+
+// Generated once from the frozen implementation; see file comment.
+constexpr GoldenHash kGoldenHashes[] = {
+    {"", 0xCC949AE761913C7Dull},
+    {"a", 0x7820366B0B476E92ull},
+    {"sensor", 0xEB01EACB31F8BCC2ull},
+    {"group-0", 0xC6F5EBCC9DBED62Aull},
+    {"group-1", 0x816E07B1D668C76Eull},
+    {"group-2", 0x354661204762755Full},
+    {"group-3", 0xF26C2EC8F7E9671Bull},
+    {"group-7", 0xBB4EF60393BA4296ull},
+    {"g/42", 0x585D6E29ABE988EEull},
+    {"fleet.eu.west", 0x154A2DBDF439E7B1ull},
+    {"fleet.us.east", 0xBA344935217993AEull},
+    {"temperature", 0x6705786D8B288279ull},
+    {"humidity", 0x6D18964367ABACADull},
+    {"co2", 0x16ACE8A4776BCAFBull},
+};
+
+TEST(GroupRouterGolden, HashValuesArePinned) {
+  for (const GoldenHash& g : kGoldenHashes) {
+    EXPECT_EQ(GroupIdHash(g.group), g.hash) << "group \"" << g.group << '"';
+  }
+}
+
+TEST(GroupRouterGolden, ShardAssignmentsArePinned) {
+  // One row per shard count, one entry per group in kGoldenHashes order.
+  const std::map<size_t, std::vector<size_t>> expected = {
+      {2, {1, 0, 1, 1, 1, 0, 1, 1, 0, 0, 1, 0, 0, 0}},
+      {3, {2, 1, 2, 2, 1, 0, 2, 2, 1, 0, 2, 1, 1, 0}},
+      {4, {3, 1, 3, 3, 2, 0, 3, 2, 1, 0, 2, 1, 1, 0}},
+      {8, {6, 3, 7, 6, 4, 1, 7, 5, 2, 0, 5, 3, 3, 0}},
+  };
+  for (const auto& [shards, row] : expected) {
+    GroupRouter router(shards);
+    ASSERT_EQ(row.size(), std::size(kGoldenHashes));
+    for (size_t i = 0; i < row.size(); ++i) {
+      EXPECT_EQ(router.ShardFor(kGoldenHashes[i].group), row[i])
+          << "shards=" << shards << " group \"" << kGoldenHashes[i].group
+          << '"';
+    }
+  }
+}
+
+TEST(GroupRouter, SingleShardMapsEverythingToZero) {
+  GroupRouter router(1);
+  for (const GoldenHash& g : kGoldenHashes) {
+    EXPECT_EQ(router.ShardFor(g.group), 0u);
+  }
+}
+
+TEST(GroupRouter, ShardForIsAlwaysInRange) {
+  for (size_t shards = 1; shards <= 16; ++shards) {
+    GroupRouter router(shards);
+    for (int i = 0; i < 500; ++i) {
+      const std::string group = "load-" + std::to_string(i);
+      EXPECT_LT(router.ShardFor(group), shards);
+    }
+  }
+}
+
+TEST(GroupRouter, AssignmentIsReasonablyBalanced) {
+  // 4096 synthetic groups over 8 shards: each shard should land within a
+  // loose factor of the ideal 512. Guards against a degenerate hash.
+  GroupRouter router(8);
+  std::vector<size_t> counts(8, 0);
+  for (int i = 0; i < 4096; ++i) {
+    ++counts[router.ShardFor("device-" + std::to_string(i))];
+  }
+  for (size_t shard = 0; shard < counts.size(); ++shard) {
+    EXPECT_GT(counts[shard], 256u) << "shard " << shard;
+    EXPECT_LT(counts[shard], 1024u) << "shard " << shard;
+  }
+}
+
+TEST(GroupRouter, RangesTileTheGroupSpace) {
+  // RangeFor must partition [0, group_count) into contiguous,
+  // non-overlapping, exhaustive ranges in shard order.
+  for (size_t shards = 1; shards <= 9; ++shards) {
+    GroupRouter router(shards);
+    for (size_t groups : {0u, 1u, 5u, 8u, 9u, 64u, 1000u}) {
+      size_t cursor = 0;
+      for (size_t shard = 0; shard < shards; ++shard) {
+        const ShardRange range = router.RangeFor(shard, groups);
+        EXPECT_EQ(range.begin, cursor)
+            << "shards=" << shards << " groups=" << groups
+            << " shard=" << shard;
+        EXPECT_LE(range.begin, range.end);
+        cursor = range.end;
+      }
+      EXPECT_EQ(cursor, groups) << "shards=" << shards << " groups=" << groups;
+    }
+  }
+}
+
+TEST(GroupRouter, RangeSizesDifferByAtMostOne) {
+  for (size_t shards = 1; shards <= 9; ++shards) {
+    GroupRouter router(shards);
+    for (size_t groups : {1u, 7u, 8u, 9u, 100u}) {
+      size_t min_size = groups, max_size = 0;
+      for (size_t shard = 0; shard < shards; ++shard) {
+        const ShardRange range = router.RangeFor(shard, groups);
+        const size_t size = range.end - range.begin;
+        min_size = size < min_size ? size : min_size;
+        max_size = size > max_size ? size : max_size;
+      }
+      EXPECT_LE(max_size - min_size, 1u)
+          << "shards=" << shards << " groups=" << groups;
+    }
+  }
+}
+
+TEST(GroupRouter, ShardForIndexAgreesWithRanges) {
+  for (size_t shards = 1; shards <= 9; ++shards) {
+    GroupRouter router(shards);
+    for (size_t groups : {1u, 5u, 9u, 64u}) {
+      for (size_t g = 0; g < groups; ++g) {
+        const size_t shard = router.ShardForIndex(g, groups);
+        const ShardRange range = router.RangeFor(shard, groups);
+        EXPECT_GE(g, range.begin)
+            << "shards=" << shards << " groups=" << groups << " g=" << g;
+        EXPECT_LT(g, range.end)
+            << "shards=" << shards << " groups=" << groups << " g=" << g;
+      }
+    }
+  }
+}
+
+TEST(GroupRouter, OutOfRangeShardGetsEmptyRange) {
+  GroupRouter router(3);
+  const ShardRange range = router.RangeFor(7, 10);
+  EXPECT_EQ(range.begin, range.end);
+}
+
+}  // namespace
+}  // namespace avoc::runtime
