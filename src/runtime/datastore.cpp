@@ -1,11 +1,11 @@
 #include "runtime/datastore.h"
 
-#include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "json/parse.h"
 #include "json/write.h"
+#include "storage/io.h"
 
 namespace avoc::runtime {
 
@@ -51,17 +51,10 @@ Status HistoryStore::Flush() const {
                        {"rounds", static_cast<double>(snapshot.rounds)},
                    }));
   }
-  const std::string tmp = path_ + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return IoError("cannot open '" + tmp + "' for writing");
-    out << json::Write(json::Value(std::move(doc)));
-    if (!out.good()) return IoError("write failure on '" + tmp + "'");
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path_, ec);
-  if (ec) return IoError("rename to '" + path_ + "' failed: " + ec.message());
-  return Status::Ok();
+  // Durable replacement (tmp + fsync + rename + dir fsync): a plain
+  // rename could vanish on power loss, losing the whole store.
+  return storage::WriteFileDurable(path_,
+                                   json::Write(json::Value(std::move(doc))));
 }
 
 Status HistoryStore::Put(const std::string& group,
@@ -80,10 +73,10 @@ Result<HistorySnapshot> HistoryStore::Get(const std::string& group) const {
   return it->second;
 }
 
-bool HistoryStore::Erase(const std::string& group) {
+Result<bool> HistoryStore::Erase(const std::string& group) {
   std::lock_guard<std::mutex> lock(*mutex_);
   const bool existed = snapshots_.erase(group) > 0;
-  if (existed) (void)Flush();
+  if (existed) AVOC_RETURN_IF_ERROR(Flush());
   return existed;
 }
 

@@ -1,35 +1,35 @@
-// History datastore.
+// History datastore (legacy JSON backend).
 //
 // The paper's implementation notes call out "datastore reads and writes
 // being the bottleneck" of a history-aware voting round: the per-module
 // reliability records live in a store so that a voter service can restart
 // (or migrate between edge nodes) without losing its learned history.
 //
-// HistoryStore is a small key-value store of history snapshots keyed by
-// voter-group name, with an in-memory backend and an optional JSON file
-// backend that persists through atomic rename.  bench_latency measures a
-// voting round with and without store round-trips to reproduce the
-// stateless-vs-history-aware latency gap.
+// HistoryStore is the original key-value store of history snapshots keyed
+// by voter-group name, with an in-memory backend and an optional JSON
+// file backend persisted through durable atomic rename.  It implements
+// storage::HistoryBackend, the seam the runtime is wired through — new
+// deployments should prefer storage::StorageEngine (WAL + compressed
+// chunks, see docs/STORAGE.md); this import path stays for existing JSON
+// stores and as the bench_storage baseline.  avoc_storectl migrates one
+// format to the other.
 #pragma once
 
 #include <map>
 #include <memory>
 #include <mutex>
-#include <optional>
 #include <string>
 #include <vector>
 
+#include "storage/backend.h"
 #include "util/status.h"
 
 namespace avoc::runtime {
 
-/// One persisted history snapshot.
-struct HistorySnapshot {
-  std::vector<double> records;  ///< per-module reliability records
-  size_t rounds = 0;            ///< rounds absorbed when snapshotted
-};
+/// One persisted history snapshot (alias of the seam's type).
+using HistorySnapshot = storage::HistorySnapshot;
 
-class HistoryStore {
+class HistoryStore : public storage::HistoryBackend {
  public:
   /// Pure in-memory store.
   HistoryStore() = default;
@@ -38,19 +38,25 @@ class HistoryStore {
   /// the file.  The file holds one JSON object {group: {records, rounds}}.
   static Result<HistoryStore> Open(const std::string& path);
 
+  HistoryStore(HistoryStore&&) = default;
+  HistoryStore& operator=(HistoryStore&&) = default;
+
   /// Writes (replaces) the snapshot of `group`.
-  Status Put(const std::string& group, const HistorySnapshot& snapshot);
+  Status Put(const std::string& group,
+             const HistorySnapshot& snapshot) override;
 
   /// Reads the snapshot of `group`; NotFound when absent.
-  Result<HistorySnapshot> Get(const std::string& group) const;
+  Result<HistorySnapshot> Get(const std::string& group) const override;
 
-  /// Removes `group`; returns whether it existed.
-  bool Erase(const std::string& group);
+  /// Removes `group`; returns whether it existed.  A failed flush of the
+  /// backing file is an error (the group would silently resurrect on the
+  /// next load otherwise).
+  Result<bool> Erase(const std::string& group) override;
 
   /// All group names, sorted.
-  std::vector<std::string> Groups() const;
+  std::vector<std::string> Groups() const override;
 
-  size_t size() const;
+  size_t size() const override;
 
  private:
   Status Flush() const;  // requires mutex_ held

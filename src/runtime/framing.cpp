@@ -31,6 +31,8 @@ std::string_view FrameTypeName(FrameType type) {
     case FrameType::kSubmitBatchSeq: return "SUBMIT_BATCH_SEQ";
     case FrameType::kClose: return "CLOSE";
     case FrameType::kQuery: return "QUERY";
+    case FrameType::kQueryRange: return "QUERY_RANGE";
+    case FrameType::kHistoryGet: return "HISTORY_GET";
     case FrameType::kGroups: return "GROUPS";
     case FrameType::kMetrics: return "METRICS";
     case FrameType::kHealth: return "HEALTH";
@@ -44,6 +46,8 @@ std::string_view FrameTypeName(FrameType type) {
     case FrameType::kText: return "TEXT";
     case FrameType::kPong: return "PONG";
     case FrameType::kBye: return "BYE";
+    case FrameType::kRangeResult: return "RANGE_RESULT";
+    case FrameType::kHistory: return "HISTORY";
   }
   return "UNKNOWN";
 }
@@ -331,6 +335,98 @@ Status DecodeGroupList(std::string_view payload,
   for (uint64_t i = 0; i < count; ++i) {
     AVOC_ASSIGN_OR_RETURN(const std::string_view name, reader.ReadString());
     groups->emplace_back(name);
+  }
+  return reader.ExpectEnd();
+}
+
+std::string EncodeQueryRange(std::string_view group, uint64_t lo_round,
+                             uint64_t hi_round) {
+  std::string payload;
+  AppendLengthPrefixedString(payload, group);
+  AppendVarint(payload, lo_round);
+  AppendVarint(payload, hi_round);
+  return payload;
+}
+
+Status DecodeQueryRange(std::string_view payload, std::string* group,
+                        uint64_t* lo_round, uint64_t* hi_round) {
+  PayloadReader reader(payload);
+  AVOC_ASSIGN_OR_RETURN(const std::string_view name, reader.ReadString());
+  group->assign(name);
+  AVOC_ASSIGN_OR_RETURN(*lo_round, reader.ReadVarint());
+  AVOC_ASSIGN_OR_RETURN(*hi_round, reader.ReadVarint());
+  return reader.ExpectEnd();
+}
+
+std::string EncodeRangeResult(std::span<const RangePoint> points) {
+  std::string payload;
+  AppendVarint(payload, points.size());
+  for (const RangePoint& point : points) {
+    AppendVarint(payload, point.round);
+    payload.push_back(static_cast<char>(point.engaged != 0 ? 1 : 0));
+    AppendDouble(payload, point.value);
+  }
+  return payload;
+}
+
+Status DecodeRangeResult(std::string_view payload,
+                         std::vector<RangePoint>* points) {
+  PayloadReader reader(payload);
+  AVOC_ASSIGN_OR_RETURN(const uint64_t count, reader.ReadVarint());
+  // Each point is at least 10 bytes (varint round, engaged, f64).
+  if (count > reader.remaining()) {
+    return ParseError("range point count exceeds payload size");
+  }
+  points->clear();
+  points->reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    RangePoint point;
+    AVOC_ASSIGN_OR_RETURN(point.round, reader.ReadVarint());
+    if (reader.remaining() < 1) return ParseError("truncated range point");
+    AVOC_ASSIGN_OR_RETURN(const uint64_t engaged, reader.ReadVarint());
+    if (engaged > 1) return ParseError("range point engaged flag not 0/1");
+    point.engaged = static_cast<uint8_t>(engaged);
+    AVOC_ASSIGN_OR_RETURN(point.value, reader.ReadDouble());
+    points->push_back(point);
+  }
+  return reader.ExpectEnd();
+}
+
+std::string EncodeHistoryGet(std::string_view group) {
+  std::string payload;
+  AppendLengthPrefixedString(payload, group);
+  return payload;
+}
+
+Status DecodeHistoryGet(std::string_view payload, std::string* group) {
+  PayloadReader reader(payload);
+  AVOC_ASSIGN_OR_RETURN(const std::string_view name, reader.ReadString());
+  group->assign(name);
+  return reader.ExpectEnd();
+}
+
+std::string EncodeHistoryState(uint64_t rounds,
+                               std::span<const double> records) {
+  std::string payload;
+  AppendVarint(payload, rounds);
+  AppendVarint(payload, records.size());
+  for (const double record : records) AppendDouble(payload, record);
+  return payload;
+}
+
+Status DecodeHistoryState(std::string_view payload, uint64_t* rounds,
+                          std::vector<double>* records) {
+  PayloadReader reader(payload);
+  AVOC_ASSIGN_OR_RETURN(*rounds, reader.ReadVarint());
+  AVOC_ASSIGN_OR_RETURN(const uint64_t count, reader.ReadVarint());
+  if (count > reader.remaining() / 8) {
+    return ParseError("history record count exceeds payload size");
+  }
+  records->clear();
+  records->reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    AVOC_ASSIGN_OR_RETURN(const double record, reader.ReadDouble());
+    records->push_back(record);
   }
   return reader.ExpectEnd();
 }

@@ -31,6 +31,9 @@
 //                 replays the original OK (dedup)       -> OK | ERR
 //   CLOSE         string group, varint round            -> OK | ERR
 //   QUERY         string group                          -> VALUE | NONE | ERR
+//   QUERY_RANGE   string group, varint lo_round, varint hi_round
+//                 (inclusive)                           -> RANGE_RESULT | ERR
+//   HISTORY_GET   string group                          -> HISTORY | ERR
 //   GROUPS        (empty)                               -> GROUP_LIST | ERR
 //   METRICS       (empty)                               -> TEXT | ERR
 //   HEALTH        (empty)                               -> TEXT | ERR
@@ -44,6 +47,10 @@
 //   NONE          (empty)
 //   GROUP_LIST    varint n, n x string
 //   TEXT          string (Prometheus exposition / HEALTH lines)
+//   RANGE_RESULT  varint n, n x (varint round, u8 engaged, f64 value);
+//                 values carry exact IEEE-754 bits, so the response is
+//                 bit-identical to the server's stored trace
+//   HISTORY       varint rounds, varint n, n x f64 (reliability records)
 //   PONG, BYE     (empty)
 #pragma once
 
@@ -84,6 +91,10 @@ enum class FrameType : uint8_t {
   /// original acknowledgement replayed instead of double-ingesting the
   /// readings (exactly-once under retries; see docs/PROTOCOL.md).
   kSubmitBatchSeq = 0x09,
+  /// Range read over the group's persisted vote trace (storage seam).
+  kQueryRange = 0x0A,
+  /// Read of the group's live history ledger (reliability records).
+  kHistoryGet = 0x0B,
   // Responses (high bit set).
   kOk = 0x81,
   kError = 0x82,
@@ -93,6 +104,8 @@ enum class FrameType : uint8_t {
   kText = 0x86,
   kPong = 0x87,
   kBye = 0x88,
+  kRangeResult = 0x89,
+  kHistory = 0x8A,
 };
 
 /// Name of a frame type ("SUBMIT_BATCH", ...); "UNKNOWN" for others.
@@ -210,5 +223,30 @@ Status DecodeText(std::string_view payload, std::string* text);
 std::string EncodeGroupList(std::span<const std::string> groups);
 Status DecodeGroupList(std::string_view payload,
                        std::vector<std::string>* groups);
+
+/// One point of a RANGE_RESULT response.  `value` carries the exact
+/// IEEE-754 bits of the stored trace row (0.0 when not engaged).
+struct RangePoint {
+  uint64_t round = 0;
+  double value = 0.0;
+  uint8_t engaged = 0;
+};
+
+std::string EncodeQueryRange(std::string_view group, uint64_t lo_round,
+                             uint64_t hi_round);
+Status DecodeQueryRange(std::string_view payload, std::string* group,
+                        uint64_t* lo_round, uint64_t* hi_round);
+
+std::string EncodeRangeResult(std::span<const RangePoint> points);
+Status DecodeRangeResult(std::string_view payload,
+                         std::vector<RangePoint>* points);
+
+std::string EncodeHistoryGet(std::string_view group);
+Status DecodeHistoryGet(std::string_view payload, std::string* group);
+
+/// HISTORY response body: the voter's live reliability ledger.
+std::string EncodeHistoryState(uint64_t rounds, std::span<const double> records);
+Status DecodeHistoryState(std::string_view payload, uint64_t* rounds,
+                          std::vector<double>* records);
 
 }  // namespace avoc::runtime

@@ -4,9 +4,10 @@
 
 namespace avoc::runtime {
 
-VoterGroupManager::VoterGroupManager(HistoryStore* store,
-                                     obs::Registry* registry)
-    : store_(store), registry_(registry) {}
+VoterGroupManager::VoterGroupManager(storage::HistoryBackend* store,
+                                     obs::Registry* registry,
+                                     storage::TraceBackend* trace_store)
+    : store_(store), registry_(registry), trace_store_(trace_store) {}
 
 Status VoterGroupManager::AddGroup(const std::string& name,
                                    core::VotingEngine engine) {
@@ -17,6 +18,7 @@ Status VoterGroupManager::AddGroup(const std::string& name,
   GroupRunner::Options options;
   options.group = name;
   options.store = store_;
+  options.trace_store = trace_store_;
   options.registry = registry_;
   AVOC_ASSIGN_OR_RETURN(
       std::unique_ptr<GroupRunner> runner,

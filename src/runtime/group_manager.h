@@ -25,9 +25,11 @@ class VoterGroupManager {
  public:
   /// `store` (optional) persists every group's history under its name;
   /// `registry` (optional) instruments every group with group-labeled
-  /// metrics.  Both must outlive the manager.
-  explicit VoterGroupManager(HistoryStore* store = nullptr,
-                             obs::Registry* registry = nullptr);
+  /// metrics; `trace_store` (optional) persists every group's vote trace
+  /// (the QUERY_RANGE feed).  All must outlive the manager.
+  explicit VoterGroupManager(storage::HistoryBackend* store = nullptr,
+                             obs::Registry* registry = nullptr,
+                             storage::TraceBackend* trace_store = nullptr);
 
   /// Registers a group with a ready engine.  Fails on duplicate names.
   Status AddGroup(const std::string& name, core::VotingEngine engine);
@@ -68,11 +70,15 @@ class VoterGroupManager {
   /// The telemetry registry, or nullptr when metrics are disabled.
   obs::Registry* registry() const { return registry_; }
 
+  /// The trace backend, or nullptr when traces are not persisted.
+  storage::TraceBackend* trace_store() const { return trace_store_; }
+
  private:
   Result<GroupRunner*> Find(const std::string& name) const;
 
-  HistoryStore* store_;
+  storage::HistoryBackend* store_;
   obs::Registry* registry_;
+  storage::TraceBackend* trace_store_;
   std::map<std::string, std::unique_ptr<GroupRunner>> groups_;
 };
 

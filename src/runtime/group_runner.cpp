@@ -47,7 +47,8 @@ GroupRunner::GroupRunner(std::vector<SensorNode::Generator> generators,
   voter_options.store = options_.store;
   voter_ = std::make_unique<VoterNode>(std::move(engine), *channels_,
                                        std::move(voter_options));
-  sink_ = std::make_unique<SinkNode>(*channels_, sink_telemetry);
+  sink_ = std::make_unique<SinkNode>(*channels_, sink_telemetry,
+                                     options_.trace_store, options_.group);
   for (size_t m = 0; m < generators.size(); ++m) {
     sensors_.push_back(std::make_unique<SensorNode>(
         m, std::move(generators[m]), channels_->readings));

@@ -33,8 +33,11 @@ namespace avoc::runtime {
 struct GroupRunnerOptions {
   /// Group name: store key and log tag.
   std::string group = "default";
-  /// Persist/restore voter history through this store (optional).
-  HistoryStore* store = nullptr;
+  /// Persist/restore voter history through this backend (optional).
+  storage::HistoryBackend* store = nullptr;
+  /// Persist every sink row as a trace point under `group` (optional);
+  /// the durable feed behind QUERY_RANGE.
+  storage::TraceBackend* trace_store = nullptr;
   /// Hub UNTIL-quorum: close a round once this many readings arrived
   /// (0 = close when every module reported or the round is flushed).
   size_t hub_close_at_count = 0;

@@ -266,6 +266,45 @@ Status MultiGroupEngine::RestoreAll(std::span<const double> block,
   return Status::Ok();
 }
 
+Status MultiGroupEngine::PersistAllHistory(storage::HistoryBackend& backend,
+                                           std::string_view key_prefix) {
+  SyncHistory();
+  for (size_t g = 0; g < engines_.size(); ++g) {
+    storage::HistorySnapshot snapshot;
+    const std::span<const double> records = GroupHistory(g);
+    snapshot.records.assign(records.begin(), records.end());
+    snapshot.rounds = engines_[g].history().round_count();
+    AVOC_RETURN_IF_ERROR(
+        backend.Put(StrFormat("%.*s%zu", static_cast<int>(key_prefix.size()),
+                              key_prefix.data(), g),
+                    snapshot));
+  }
+  return Status::Ok();
+}
+
+Status MultiGroupEngine::RestoreAllHistory(
+    const storage::HistoryBackend& backend, std::string_view key_prefix) {
+  for (size_t g = 0; g < engines_.size(); ++g) {
+    auto snapshot =
+        backend.Get(StrFormat("%.*s%zu", static_cast<int>(key_prefix.size()),
+                              key_prefix.data(), g));
+    if (!snapshot.ok()) {
+      if (snapshot.status().code() == ErrorCode::kNotFound) continue;
+      return snapshot.status();
+    }
+    if (snapshot->records.size() != module_count_) {
+      return InvalidArgumentError(
+          StrFormat("group %zu snapshot has %zu records, engine has %zu "
+                    "modules",
+                    g, snapshot->records.size(), module_count_));
+    }
+    AVOC_RETURN_IF_ERROR(
+        engines_[g].RestoreHistory(snapshot->records, snapshot->rounds));
+  }
+  SyncHistory();
+  return Status::Ok();
+}
+
 void MultiGroupEngine::FlushObservers() {
   for (const auto& observer : observers_) observer->Flush();
 }

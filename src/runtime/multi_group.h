@@ -20,6 +20,7 @@
 #include "core/trace.h"
 #include "data/round_table.h"
 #include "obs/stage_metrics.h"
+#include "storage/backend.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 #include "vdx/spec.h"
@@ -196,6 +197,19 @@ class MultiGroupEngine {
 
   /// Resets every group to a fresh set and re-syncs the block.
   void ResetAll();
+
+  /// Syncs the block, then persists every group's ledger to `backend`
+  /// under "<key_prefix><group index>".  Fails on the first Put error.
+  Status PersistAllHistory(storage::HistoryBackend& backend,
+                           std::string_view key_prefix = "g");
+
+  /// Restores every group whose "<key_prefix><group index>" snapshot
+  /// exists in `backend` (absent groups keep their current ledger — a
+  /// partially-persisted deployment restores partially) and re-syncs the
+  /// block.  A snapshot whose record count does not match module_count()
+  /// is an error.
+  Status RestoreAllHistory(const storage::HistoryBackend& backend,
+                           std::string_view key_prefix = "g");
 
   // --- Telemetry ------------------------------------------------------------
 

@@ -239,8 +239,12 @@ Status VoterNode::last_status() const {
   return last_status_;
 }
 
-SinkNode::SinkNode(GroupChannels& channels, SinkTelemetry telemetry)
-    : channels_(&channels), telemetry_(telemetry) {
+SinkNode::SinkNode(GroupChannels& channels, SinkTelemetry telemetry,
+                   storage::TraceBackend* trace_store, std::string group)
+    : channels_(&channels),
+      telemetry_(telemetry),
+      trace_store_(trace_store),
+      group_(std::move(group)) {
   subscription_ = channels_->outputs.Subscribe(
       [this](const OutputMessage& message) { OnOutput(message); });
   batch_subscription_ = channels_->batches.Subscribe(
@@ -257,6 +261,7 @@ void SinkNode::OnOutput(const OutputMessage& message) {
   trace_.Append(message.result);
   rounds_.push_back(message.round);
   NoteAppendedLocked(message.round, 1);
+  PersistAppendedLocked(1);
 }
 
 void SinkNode::OnBatch(const BatchOutputMessage& message) {
@@ -274,6 +279,25 @@ void SinkNode::OnBatch(const BatchOutputMessage& message) {
     last_round = std::max(last_round, (*message.rounds)[i]);
   }
   NoteAppendedLocked(last_round, count);
+  PersistAppendedLocked(count);
+}
+
+void SinkNode::PersistAppendedLocked(size_t appended) {
+  if (trace_store_ == nullptr || appended == 0) return;
+  // Build the points from the rows just stored, not the message: what the
+  // backend holds is then bit-identical to this trace by construction.
+  std::vector<storage::TracePoint> points;
+  points.reserve(appended);
+  for (size_t i = rounds_.size() - appended; i < rounds_.size(); ++i) {
+    const std::optional<double> value = trace_.output(i);
+    points.push_back(storage::TracePoint{rounds_[i], value.value_or(0.0),
+                                         value.has_value()});
+  }
+  const Status persisted = trace_store_->AppendTrace(group_, points);
+  if (!persisted.ok()) {
+    AVOC_LOG_WARN("sink '%s': trace persist failed: %s", group_.c_str(),
+                  persisted.ToString().c_str());
+  }
 }
 
 void SinkNode::NoteAppendedLocked(size_t last_round, size_t appended) {

@@ -170,11 +170,11 @@ class HubNode {
 struct VoterOptions {
   /// Store group key; persistence disabled when store == nullptr.
   std::string group = "default";
-  HistoryStore* store = nullptr;
+  storage::HistoryBackend* store = nullptr;
 };
 
 /// Runs the voting engine over incoming rounds; optionally persists the
-/// history ledger to a HistoryStore after every round (the datastore
+/// history ledger to a HistoryBackend after every round (the datastore
 /// round-trip of the paper's latency notes) and restores it on start.
 class VoterNode {
  public:
@@ -216,7 +216,13 @@ class VoterNode {
 /// demand for consumers that still speak VoteResult.
 class SinkNode {
  public:
-  explicit SinkNode(GroupChannels& channels, SinkTelemetry telemetry = {});
+  /// When `trace_store` is set, every appended row is also persisted as a
+  /// storage::TracePoint under `group` — the durable feed behind the
+  /// QUERY_RANGE wire verb.  Persist errors are logged, never fatal: the
+  /// in-memory trace is the source of truth for the live process.
+  explicit SinkNode(GroupChannels& channels, SinkTelemetry telemetry = {},
+                    storage::TraceBackend* trace_store = nullptr,
+                    std::string group = {});
   ~SinkNode();
 
   SinkNode(const SinkNode&) = delete;
@@ -246,8 +252,14 @@ class SinkNode {
   /// Updates the sink gauges after appending rows; caller holds mutex_.
   void NoteAppendedLocked(size_t last_round, size_t appended);
 
+  /// Persists the last `appended` rows of trace_ to trace_store_; caller
+  /// holds mutex_.
+  void PersistAppendedLocked(size_t appended);
+
   GroupChannels* channels_;
   SinkTelemetry telemetry_;
+  storage::TraceBackend* trace_store_;
+  std::string group_;
   SubscriptionId subscription_;
   SubscriptionId batch_subscription_;
   mutable std::mutex mutex_;

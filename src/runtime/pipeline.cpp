@@ -8,6 +8,7 @@ GroupRunner::Options ToRunnerOptions(PipelineOptions options) {
   GroupRunner::Options runner_options;
   runner_options.group = std::move(options.group);
   runner_options.store = options.store;
+  runner_options.trace_store = options.trace_store;
   return runner_options;
 }
 

@@ -19,8 +19,10 @@ namespace avoc::runtime {
 
 /// Pipeline configuration.
 struct PipelineOptions {
-  /// Persist/restore voter history through this store (optional).
-  HistoryStore* store = nullptr;
+  /// Persist/restore voter history through this backend (optional).
+  storage::HistoryBackend* store = nullptr;
+  /// Persist every sink row as a trace point (optional).
+  storage::TraceBackend* trace_store = nullptr;
   std::string group = "default";
 };
 

@@ -32,7 +32,9 @@ std::string PeekFrameGroup(const Frame& frame) {
   switch (frame.type) {
     case FrameType::kSubmitBatch:
     case FrameType::kClose:
-    case FrameType::kQuery: {
+    case FrameType::kQuery:
+    case FrameType::kQueryRange:
+    case FrameType::kHistoryGet: {
       auto group = reader.ReadString();
       return group.ok() ? std::string(*group) : std::string();
     }
@@ -858,6 +860,55 @@ std::string RemoteVoterServer::HandleFrame(const Frame& frame,
       if (!value.has_value()) return EncodeFrame(FrameType::kNone);
       return EncodeFrame(FrameType::kValue, EncodeValue(*value));
     }
+    case FrameType::kQueryRange: {
+      std::string group;
+      uint64_t lo = 0;
+      uint64_t hi = 0;
+      const Status decoded = DecodeQueryRange(frame.payload, &group, &lo, &hi);
+      if (!decoded.ok()) return error(decoded);
+      if (hi < lo) {
+        return error(InvalidArgumentError("QUERY_RANGE hi_round < lo_round"));
+      }
+      auto sink = manager_->sink(group);
+      if (!sink.ok()) return error(sink.status());
+      std::vector<RangePoint> points;
+      if (storage::TraceBackend* traces = manager_->trace_store();
+          traces != nullptr) {
+        auto stored = traces->QueryTraceRange(group, lo, hi);
+        if (!stored.ok()) return error(stored.status());
+        points.reserve(stored->size());
+        for (const storage::TracePoint& point : *stored) {
+          points.push_back(RangePoint{point.round, point.value,
+                                      point.engaged ? uint8_t{1} : uint8_t{0}});
+        }
+      } else {
+        // No trace backend wired: serve straight from the sink's
+        // in-memory trace so the verb works on every deployment shape.
+        (*sink)->WithTrace([&](const core::BatchTrace& trace,
+                               const std::vector<size_t>& rounds) {
+          for (size_t i = 0; i < rounds.size(); ++i) {
+            const uint64_t round = rounds[i];
+            if (round < lo || round > hi) continue;
+            const auto value = trace.output(i);
+            points.push_back(RangePoint{round, value.value_or(0.0),
+                                        value.has_value() ? uint8_t{1}
+                                                          : uint8_t{0}});
+          }
+        });
+      }
+      return EncodeFrame(FrameType::kRangeResult, EncodeRangeResult(points));
+    }
+    case FrameType::kHistoryGet: {
+      std::string group;
+      const Status decoded = DecodeHistoryGet(frame.payload, &group);
+      if (!decoded.ok()) return error(decoded);
+      auto voter = manager_->voter(group);
+      if (!voter.ok()) return error(voter.status());
+      const core::HistoryLedger& ledger = (*voter)->engine().history();
+      return EncodeFrame(
+          FrameType::kHistory,
+          EncodeHistoryState(ledger.round_count(), ledger.records()));
+    }
     case FrameType::kGroups:
       // Linked shards answer from the frozen global list — no fan-out
       // needed, every shard knows the whole deployment's group names.
@@ -1141,6 +1192,40 @@ Result<double> RemoteVoterClient::Query(const std::string& group) {
     return IoError("unexpected response: " + response);
   }
   return ParseDouble(response.substr(6));
+}
+
+Result<std::vector<RangePoint>> RemoteVoterClient::QueryRange(
+    const std::string& group, uint64_t lo_round, uint64_t hi_round) {
+  if (mode_ != Mode::kBinary) {
+    return UnsupportedError("QUERY_RANGE requires the binary protocol");
+  }
+  AVOC_ASSIGN_OR_RETURN(
+      const Frame frame,
+      FrameRoundTrip(FrameType::kQueryRange,
+                     EncodeQueryRange(group, lo_round, hi_round)));
+  if (frame.type != FrameType::kRangeResult) {
+    return IoError("unexpected frame in QUERY_RANGE reply");
+  }
+  std::vector<RangePoint> points;
+  AVOC_RETURN_IF_ERROR(DecodeRangeResult(frame.payload, &points));
+  return points;
+}
+
+Result<RemoteVoterClient::RemoteHistory> RemoteVoterClient::HistoryGet(
+    const std::string& group) {
+  if (mode_ != Mode::kBinary) {
+    return UnsupportedError("HISTORY_GET requires the binary protocol");
+  }
+  AVOC_ASSIGN_OR_RETURN(
+      const Frame frame,
+      FrameRoundTrip(FrameType::kHistoryGet, EncodeHistoryGet(group)));
+  if (frame.type != FrameType::kHistory) {
+    return IoError("unexpected frame in HISTORY_GET reply");
+  }
+  RemoteHistory history;
+  AVOC_RETURN_IF_ERROR(
+      DecodeHistoryState(frame.payload, &history.rounds, &history.records));
+  return history;
 }
 
 Result<std::vector<std::string>> RemoteVoterClient::Groups() {

@@ -376,6 +376,19 @@ class RemoteVoterClient {
   Status CloseRound(const std::string& group, size_t round);
   /// Last fused value of the group; NotFound when none yet.
   Result<double> Query(const std::string& group);
+  /// The group's stored vote trace restricted to rounds in
+  /// [lo_round, hi_round] (inclusive).  Values are bit-identical to the
+  /// server's trace.  Binary mode only (kUnsupported on legacy lines).
+  Result<std::vector<RangePoint>> QueryRange(const std::string& group,
+                                             uint64_t lo_round,
+                                             uint64_t hi_round);
+  /// A group's live reliability ledger as served by HISTORY_GET.
+  struct RemoteHistory {
+    uint64_t rounds = 0;            ///< rounds absorbed by the ledger
+    std::vector<double> records;    ///< per-module reliability records
+  };
+  /// The group's reliability ledger.  Binary mode only.
+  Result<RemoteHistory> HistoryGet(const std::string& group);
   Result<std::vector<std::string>> Groups();
   Status Ping();
   /// The server's Prometheus text exposition (one string, '\n'-separated

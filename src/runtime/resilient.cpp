@@ -155,6 +155,26 @@ Result<double> ResilientVoterClient::Query(const std::string& group) {
   return value;
 }
 
+Result<std::vector<RangePoint>> ResilientVoterClient::QueryRange(
+    const std::string& group, uint64_t lo_round, uint64_t hi_round) {
+  std::vector<RangePoint> points;
+  AVOC_RETURN_IF_ERROR(Execute([&](RemoteVoterClient& client) -> Status {
+    AVOC_ASSIGN_OR_RETURN(points, client.QueryRange(group, lo_round, hi_round));
+    return Status::Ok();
+  }));
+  return points;
+}
+
+Result<RemoteVoterClient::RemoteHistory> ResilientVoterClient::HistoryGet(
+    const std::string& group) {
+  RemoteVoterClient::RemoteHistory history;
+  AVOC_RETURN_IF_ERROR(Execute([&](RemoteVoterClient& client) -> Status {
+    AVOC_ASSIGN_OR_RETURN(history, client.HistoryGet(group));
+    return Status::Ok();
+  }));
+  return history;
+}
+
 Status ResilientVoterClient::Ping() {
   return Execute(
       [](RemoteVoterClient& client) -> Status { return client.Ping(); });

@@ -81,6 +81,11 @@ class ResilientVoterClient {
 
   /// Retried reads (idempotent by nature).
   Result<double> Query(const std::string& group);
+  Result<std::vector<RangePoint>> QueryRange(const std::string& group,
+                                             uint64_t lo_round,
+                                             uint64_t hi_round);
+  Result<RemoteVoterClient::RemoteHistory> HistoryGet(
+      const std::string& group);
   Status Ping();
 
   const std::string& client_id() const { return client_id_; }

@@ -30,6 +30,7 @@ Result<std::unique_ptr<VoterService>> VoterService::Create(
   GroupRunner::Options runner_options;
   runner_options.group = options.group;
   runner_options.store = options.store;
+  runner_options.trace_store = options.trace_store;
   runner_options.registry = options.registry;
   AVOC_ASSIGN_OR_RETURN(
       std::unique_ptr<GroupRunner> runner,

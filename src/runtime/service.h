@@ -28,7 +28,9 @@ struct ServiceOptions {
   std::chrono::milliseconds round_period{125};
   /// How long after opening a round the hub force-closes it.
   std::chrono::milliseconds round_timeout{100};
-  HistoryStore* store = nullptr;
+  storage::HistoryBackend* store = nullptr;
+  /// Persist every sink row as a trace point (optional).
+  storage::TraceBackend* trace_store = nullptr;
   std::string group = "live";
   /// Telemetry registry (optional); forwarded to the GroupRunner and used
   /// for the service-level gauges.  Must outlive the service.

@@ -11,7 +11,8 @@ namespace avoc::runtime {
 ShardedVoterServer::ShardedVoterServer(
     Options options, std::unique_ptr<Listener> listener,
     std::vector<std::shared_ptr<Reactor>> reactors, bool spawn_loop_threads,
-    HistoryStore* store, obs::Registry* registry)
+    storage::HistoryBackend* store, obs::Registry* registry,
+    storage::TraceBackend* trace_store)
     : options_(options),
       listener_(std::move(listener)),
       reactors_(std::move(reactors)),
@@ -19,12 +20,14 @@ ShardedVoterServer::ShardedVoterServer(
       spawn_loop_threads_(spawn_loop_threads) {
   managers_.reserve(reactors_.size());
   for (size_t s = 0; s < reactors_.size(); ++s) {
-    managers_.push_back(std::make_unique<VoterGroupManager>(store, registry));
+    managers_.push_back(
+        std::make_unique<VoterGroupManager>(store, registry, trace_store));
   }
 }
 
 Result<std::unique_ptr<ShardedVoterServer>> ShardedVoterServer::Start(
-    Options options, HistoryStore* store, obs::Registry* registry) {
+    Options options, storage::HistoryBackend* store, obs::Registry* registry,
+    storage::TraceBackend* trace_store) {
   size_t shards = options.shards;
   if (shards == 0) {
     const unsigned hw = std::thread::hardware_concurrency();
@@ -43,13 +46,14 @@ Result<std::unique_ptr<ShardedVoterServer>> ShardedVoterServer::Start(
   return StartOnReactors(std::move(options),
                          std::make_unique<TcpListener>(std::move(listener)),
                          std::move(reactors), /*spawn_loop_threads=*/true,
-                         store, registry);
+                         store, registry, trace_store);
 }
 
 Result<std::unique_ptr<ShardedVoterServer>> ShardedVoterServer::StartOnReactors(
     Options options, std::unique_ptr<Listener> listener,
     std::vector<std::shared_ptr<Reactor>> reactors, bool spawn_loop_threads,
-    HistoryStore* store, obs::Registry* registry) {
+    storage::HistoryBackend* store, obs::Registry* registry,
+    storage::TraceBackend* trace_store) {
   if (listener == nullptr) {
     return InvalidArgumentError("sharded server needs a listener");
   }
@@ -63,7 +67,7 @@ Result<std::unique_ptr<ShardedVoterServer>> ShardedVoterServer::StartOnReactors(
   }
   std::unique_ptr<ShardedVoterServer> server(new ShardedVoterServer(
       options, std::move(listener), std::move(reactors), spawn_loop_threads,
-      store, registry));
+      store, registry, trace_store));
   for (size_t s = 0; s < server->reactors_.size(); ++s) {
     RemoteServerOptions shard_options = options.base;
     shard_options.metrics_scope = StrFormat("s%zu", s);

@@ -57,8 +57,9 @@ class ShardedVoterServer {
   /// optional and shared by every shard (the registry is lock-free and
   /// the store is only touched at group registration).
   static Result<std::unique_ptr<ShardedVoterServer>> Start(
-      Options options, HistoryStore* store = nullptr,
-      obs::Registry* registry = nullptr);
+      Options options, storage::HistoryBackend* store = nullptr,
+      obs::Registry* registry = nullptr,
+      storage::TraceBackend* trace_store = nullptr);
 
   /// Injected seams: one reactor per shard (the deterministic simulation
   /// passes SimWorld reactors and drives them itself with
@@ -66,7 +67,9 @@ class ShardedVoterServer {
   static Result<std::unique_ptr<ShardedVoterServer>> StartOnReactors(
       Options options, std::unique_ptr<Listener> listener,
       std::vector<std::shared_ptr<Reactor>> reactors, bool spawn_loop_threads,
-      HistoryStore* store = nullptr, obs::Registry* registry = nullptr);
+      storage::HistoryBackend* store = nullptr,
+      obs::Registry* registry = nullptr,
+      storage::TraceBackend* trace_store = nullptr);
 
   ~ShardedVoterServer();
 
@@ -115,8 +118,9 @@ class ShardedVoterServer {
  private:
   ShardedVoterServer(Options options, std::unique_ptr<Listener> listener,
                      std::vector<std::shared_ptr<Reactor>> reactors,
-                     bool spawn_loop_threads, HistoryStore* store,
-                     obs::Registry* registry);
+                     bool spawn_loop_threads, storage::HistoryBackend* store,
+                     obs::Registry* registry,
+                     storage::TraceBackend* trace_store);
 
   /// Shard-0 loop thread: accept and hand off round-robin.
   void OnAcceptable();

@@ -1,0 +1,51 @@
+#include "storage/bits.h"
+
+namespace avoc::storage {
+
+void BitWriter::WriteBit(uint32_t bit) {
+  current_ = static_cast<uint8_t>((current_ << 1) | (bit & 1u));
+  ++used_;
+  ++bit_count_;
+  if (used_ == 8) {
+    bytes_.push_back(static_cast<char>(current_));
+    current_ = 0;
+    used_ = 0;
+  }
+}
+
+void BitWriter::WriteBits(uint64_t value, unsigned count) {
+  for (unsigned i = count; i-- > 0;) {
+    WriteBit(static_cast<uint32_t>((value >> i) & 1u));
+  }
+}
+
+std::string BitWriter::Finish() {
+  if (used_ > 0) {
+    bytes_.push_back(static_cast<char>(current_ << (8 - used_)));
+    current_ = 0;
+    used_ = 0;
+  }
+  return std::move(bytes_);
+}
+
+Result<uint32_t> BitReader::ReadBit() {
+  if (pos_ >= bytes_.size() * 8) {
+    return ParseError("bit stream exhausted");
+  }
+  const uint8_t byte = static_cast<uint8_t>(bytes_[pos_ / 8]);
+  const uint32_t bit = (byte >> (7 - (pos_ % 8))) & 1u;
+  ++pos_;
+  return bit;
+}
+
+Result<uint64_t> BitReader::ReadBits(unsigned count) {
+  if (count > 64) return ParseError("bit read wider than 64");
+  uint64_t value = 0;
+  for (unsigned i = 0; i < count; ++i) {
+    AVOC_ASSIGN_OR_RETURN(const uint32_t bit, ReadBit());
+    value = (value << 1) | bit;
+  }
+  return value;
+}
+
+}  // namespace avoc::storage

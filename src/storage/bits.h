@@ -1,0 +1,52 @@
+// Bit-granular writer/reader for the Gorilla-style chunk codec
+// (storage/chunk.h).  Bits are packed MSB-first within each byte, which
+// keeps the encoded stream readable in hex dumps and matches the order
+// the Facebook Gorilla paper describes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace avoc::storage {
+
+class BitWriter {
+ public:
+  void WriteBit(uint32_t bit);
+  /// Writes the low `count` bits of `value`, most significant first.
+  /// `count` must be <= 64.
+  void WriteBits(uint64_t value, unsigned count);
+
+  /// Pads the final partial byte with zero bits and returns the buffer.
+  /// No further writes afterwards.
+  std::string Finish();
+
+  size_t bit_count() const { return bit_count_; }
+
+ private:
+  std::string bytes_;
+  uint8_t current_ = 0;
+  unsigned used_ = 0;  ///< bits filled in current_
+  size_t bit_count_ = 0;
+};
+
+/// Every read fails with ParseError past the end — a truncated or
+/// corrupted chunk decodes to an error, never out-of-bounds access.
+class BitReader {
+ public:
+  explicit BitReader(std::string_view bytes) : bytes_(bytes) {}
+
+  Result<uint32_t> ReadBit();
+  /// Reads `count` (<= 64) bits, most significant first.
+  Result<uint64_t> ReadBits(unsigned count);
+
+  size_t bits_remaining() const { return bytes_.size() * 8 - pos_; }
+
+ private:
+  std::string_view bytes_;
+  size_t pos_ = 0;  ///< bit position
+};
+
+}  // namespace avoc::storage

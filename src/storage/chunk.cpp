@@ -1,0 +1,202 @@
+#include "storage/chunk.h"
+
+#include <cstring>
+
+#include "storage/bits.h"
+
+namespace avoc::storage {
+
+namespace {
+
+uint64_t DoubleBits(double value) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+double BitsToDouble(uint64_t bits) {
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+uint64_t ZigZag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+int64_t UnZigZag(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+unsigned LeadingZeros(uint64_t v) {
+  return v == 0 ? 64u : static_cast<unsigned>(__builtin_clzll(v));
+}
+
+unsigned TrailingZeros(uint64_t v) {
+  return v == 0 ? 64u : static_cast<unsigned>(__builtin_ctzll(v));
+}
+
+void WriteDod(BitWriter& bits, int64_t dod) {
+  const uint64_t zz = ZigZag(dod);
+  if (zz == 0) {
+    bits.WriteBit(0);
+  } else if (zz < (1ull << 7)) {
+    bits.WriteBits(0b10, 2);
+    bits.WriteBits(zz, 7);
+  } else if (zz < (1ull << 12)) {
+    bits.WriteBits(0b110, 3);
+    bits.WriteBits(zz, 12);
+  } else if (zz < (1ull << 20)) {
+    bits.WriteBits(0b1110, 4);
+    bits.WriteBits(zz, 20);
+  } else {
+    bits.WriteBits(0b1111, 4);
+    bits.WriteBits(zz, 64);
+  }
+}
+
+Result<int64_t> ReadDod(BitReader& bits) {
+  AVOC_ASSIGN_OR_RETURN(uint32_t bit, bits.ReadBit());
+  if (bit == 0) return int64_t{0};
+  AVOC_ASSIGN_OR_RETURN(bit, bits.ReadBit());
+  if (bit == 0) {
+    AVOC_ASSIGN_OR_RETURN(const uint64_t zz, bits.ReadBits(7));
+    return UnZigZag(zz);
+  }
+  AVOC_ASSIGN_OR_RETURN(bit, bits.ReadBit());
+  if (bit == 0) {
+    AVOC_ASSIGN_OR_RETURN(const uint64_t zz, bits.ReadBits(12));
+    return UnZigZag(zz);
+  }
+  AVOC_ASSIGN_OR_RETURN(bit, bits.ReadBit());
+  if (bit == 0) {
+    AVOC_ASSIGN_OR_RETURN(const uint64_t zz, bits.ReadBits(20));
+    return UnZigZag(zz);
+  }
+  AVOC_ASSIGN_OR_RETURN(const uint64_t zz, bits.ReadBits(64));
+  return UnZigZag(zz);
+}
+
+}  // namespace
+
+std::string EncodeChunk(std::span<const TracePoint> points) {
+  BitWriter bits;
+  if (points.empty()) return bits.Finish();
+
+  // First point: raw round, raw value bits, engaged bit.
+  bits.WriteBits(points[0].round, 64);
+  bits.WriteBits(DoubleBits(points[0].value), 64);
+  bits.WriteBit(points[0].engaged ? 1 : 0);
+
+  int64_t prev_delta = 0;
+  uint64_t prev_round = points[0].round;
+  uint64_t prev_bits = DoubleBits(points[0].value);
+  unsigned window_lead = 64;  // 64 = no reusable XOR window yet
+  unsigned window_len = 0;
+
+  for (size_t i = 1; i < points.size(); ++i) {
+    const TracePoint& p = points[i];
+
+    // Round: delta-of-delta.
+    const int64_t delta = static_cast<int64_t>(p.round - prev_round);
+    WriteDod(bits, delta - prev_delta);
+    prev_delta = delta;
+    prev_round = p.round;
+
+    // Value: XOR against the previous value.
+    const uint64_t value_bits = DoubleBits(p.value);
+    const uint64_t x = value_bits ^ prev_bits;
+    prev_bits = value_bits;
+    if (x == 0) {
+      bits.WriteBit(0);
+    } else {
+      bits.WriteBit(1);
+      unsigned lead = LeadingZeros(x);
+      if (lead > 31) lead = 31;  // 5 bits of headroom beat a wider field
+      const unsigned trail = TrailingZeros(x);
+      const unsigned len = 64 - lead - trail;
+      if (window_lead <= lead && window_lead + window_len >= lead + len) {
+        // The previous window still covers every meaningful bit.
+        bits.WriteBit(0);
+        bits.WriteBits(x >> (64 - window_lead - window_len), window_len);
+      } else {
+        bits.WriteBit(1);
+        bits.WriteBits(lead, 6);
+        bits.WriteBits(len - 1, 6);
+        bits.WriteBits(x >> trail, len);
+        window_lead = lead;
+        window_len = len;
+      }
+    }
+
+    bits.WriteBit(p.engaged ? 1 : 0);
+  }
+  return bits.Finish();
+}
+
+Status DecodeChunk(std::string_view bytes, uint64_t count,
+                   std::vector<TracePoint>* out) {
+  out->clear();
+  if (count == 0) return Status::Ok();
+  if (count > bytes.size() * 8) {
+    // Cheap sanity bound: every point costs >= 3 bits.
+    return ParseError("chunk count exceeds encoded capacity");
+  }
+  BitReader bits(bytes);
+  out->reserve(static_cast<size_t>(count));
+
+  AVOC_ASSIGN_OR_RETURN(const uint64_t first_round, bits.ReadBits(64));
+  AVOC_ASSIGN_OR_RETURN(const uint64_t first_bits, bits.ReadBits(64));
+  AVOC_ASSIGN_OR_RETURN(const uint32_t first_engaged, bits.ReadBit());
+  out->push_back(
+      TracePoint{first_round, BitsToDouble(first_bits), first_engaged != 0});
+
+  int64_t prev_delta = 0;
+  uint64_t prev_round = first_round;
+  uint64_t prev_bits = first_bits;
+  unsigned window_lead = 64;
+  unsigned window_len = 0;
+
+  for (uint64_t i = 1; i < count; ++i) {
+    AVOC_ASSIGN_OR_RETURN(const int64_t dod, ReadDod(bits));
+    const int64_t delta = prev_delta + dod;
+    const uint64_t round = prev_round + static_cast<uint64_t>(delta);
+    prev_delta = delta;
+    prev_round = round;
+
+    AVOC_ASSIGN_OR_RETURN(uint32_t bit, bits.ReadBit());
+    uint64_t value_bits = prev_bits;
+    if (bit != 0) {
+      AVOC_ASSIGN_OR_RETURN(bit, bits.ReadBit());
+      if (bit == 0) {
+        if (window_len == 0) {
+          return ParseError("chunk reuses XOR window before defining one");
+        }
+        AVOC_ASSIGN_OR_RETURN(const uint64_t meaningful,
+                              bits.ReadBits(window_len));
+        value_bits =
+            prev_bits ^ (meaningful << (64 - window_lead - window_len));
+      } else {
+        AVOC_ASSIGN_OR_RETURN(const uint64_t lead64, bits.ReadBits(6));
+        AVOC_ASSIGN_OR_RETURN(const uint64_t len64, bits.ReadBits(6));
+        const unsigned lead = static_cast<unsigned>(lead64);
+        const unsigned len = static_cast<unsigned>(len64) + 1;
+        if (lead + len > 64) {
+          return ParseError("chunk XOR window exceeds 64 bits");
+        }
+        AVOC_ASSIGN_OR_RETURN(const uint64_t meaningful, bits.ReadBits(len));
+        const unsigned trail = 64 - lead - len;
+        value_bits = prev_bits ^ (meaningful << trail);
+        window_lead = lead;
+        window_len = len;
+      }
+    }
+    prev_bits = value_bits;
+
+    AVOC_ASSIGN_OR_RETURN(const uint32_t engaged, bits.ReadBit());
+    out->push_back(TracePoint{round, BitsToDouble(value_bits), engaged != 0});
+  }
+  return Status::Ok();
+}
+
+}  // namespace avoc::storage

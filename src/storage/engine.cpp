@@ -1,0 +1,729 @@
+#include "storage/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string_view>
+#include <utility>
+
+namespace avoc::storage {
+
+namespace {
+
+constexpr std::string_view kSnapshotMagic = "AVSN";
+constexpr std::string_view kChunkMagic = "AVCK";
+constexpr uint32_t kSnapshotVersion = 1;
+
+/// Uncompressed footprint of one TracePoint on disk (u64 round + u64
+/// value bits + u8 engaged) — the numerator of the compression ratio.
+constexpr uint64_t kRawPointBytes = 17;
+
+/// Upper bound on a sealed chunk body; larger lengths in the chunks
+/// file are corruption (mirrors the WAL's record bound).
+constexpr uint64_t kMaxChunkBytes = 64ull << 20;
+
+uint64_t DoubleBits(double value) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+double BitsToDouble(uint64_t bits) {
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+std::string EncodeHistoryPutPayload(const std::string& group,
+                                    const HistorySnapshot& snapshot) {
+  std::string payload;
+  AppendBytes(payload, group);
+  AppendU64(payload, snapshot.rounds);
+  AppendU64(payload, snapshot.records.size());
+  for (const double record : snapshot.records) AppendF64(payload, record);
+  return payload;
+}
+
+std::string EncodeHistoryErasePayload(const std::string& group) {
+  std::string payload;
+  AppendBytes(payload, group);
+  return payload;
+}
+
+std::string EncodeTraceAppendPayload(const std::string& group,
+                                     uint64_t base_index,
+                                     std::span<const TracePoint> points) {
+  std::string payload;
+  AppendBytes(payload, group);
+  AppendU64(payload, base_index);
+  AppendU64(payload, points.size());
+  for (const TracePoint& point : points) {
+    AppendU64(payload, point.round);
+    AppendU64(payload, DoubleBits(point.value));
+    AppendU8(payload, point.engaged ? 1 : 0);
+  }
+  return payload;
+}
+
+void AppendTracePointsSnapshot(std::string& out,
+                               std::span<const TracePoint> points) {
+  AppendU64(out, points.size());
+  for (const TracePoint& point : points) {
+    AppendU64(out, point.round);
+    AppendU64(out, DoubleBits(point.value));
+    AppendU8(out, point.engaged ? 1 : 0);
+  }
+}
+
+Result<std::vector<TracePoint>> ReadTracePoints(ByteReader& reader) {
+  AVOC_ASSIGN_OR_RETURN(const uint64_t n, reader.ReadU64());
+  std::vector<TracePoint> points;
+  points.reserve(static_cast<size_t>(std::min<uint64_t>(n, 1u << 20)));
+  for (uint64_t i = 0; i < n; ++i) {
+    TracePoint point;
+    AVOC_ASSIGN_OR_RETURN(point.round, reader.ReadU64());
+    AVOC_ASSIGN_OR_RETURN(const uint64_t bits, reader.ReadU64());
+    point.value = BitsToDouble(bits);
+    AVOC_ASSIGN_OR_RETURN(const uint8_t engaged, reader.ReadU8());
+    point.engaged = engaged != 0;
+    points.push_back(point);
+  }
+  return points;
+}
+
+/// Sequence number of a "wal-NNNNNN" / "snap-NNNNNN" file name, or 0.
+uint64_t ParseSeq(std::string_view name, std::string_view prefix) {
+  if (!name.starts_with(prefix)) return 0;
+  const std::string digits(name.substr(prefix.size()));
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos) {
+    return 0;
+  }
+  return std::strtoull(digits.c_str(), nullptr, 10);
+}
+
+}  // namespace
+
+StorageEngine::StorageEngine(StorageEngineOptions options)
+    : options_(std::move(options)) {}
+
+StorageEngine::~StorageEngine() {
+  std::lock_guard lock(mutex_);
+  if (!dead_ && wal_.open()) (void)wal_.Sync();
+}
+
+std::string StorageEngine::WalPath(uint64_t seq) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "wal-%06llu",
+                static_cast<unsigned long long>(seq));
+  return options_.dir + "/" + name;
+}
+
+std::string StorageEngine::SnapshotPath(uint64_t seq) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "snap-%06llu",
+                static_cast<unsigned long long>(seq));
+  return options_.dir + "/" + name;
+}
+
+std::string StorageEngine::ChunksPath() const { return options_.dir + "/chunks"; }
+
+Result<std::unique_ptr<StorageEngine>> StorageEngine::Open(
+    StorageEngineOptions options) {
+  if (options.dir.empty()) {
+    return InvalidArgumentError("storage directory must be set");
+  }
+  if (options.chunk_max_points == 0) options.chunk_max_points = 512;
+  std::error_code ec;
+  std::filesystem::create_directories(options.dir, ec);
+  if (ec) {
+    return IoError("create storage dir '" + options.dir +
+                   "': " + ec.message());
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  std::unique_ptr<StorageEngine> engine(
+      new StorageEngine(std::move(options)));
+  {
+    std::lock_guard lock(engine->mutex_);
+    AVOC_RETURN_IF_ERROR(engine->RecoverLocked());
+    engine->recovery_ms_ = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    if (obs::Registry* registry = engine->options_.registry) {
+      engine->wal_bytes_metric_ =
+          &registry->GetCounter("avoc_storage_wal_bytes_total");
+      engine->wal_records_metric_ =
+          &registry->GetCounter("avoc_storage_wal_records_total");
+      engine->fsyncs_metric_ =
+          &registry->GetCounter("avoc_storage_fsyncs_total");
+      engine->compactions_metric_ =
+          &registry->GetCounter("avoc_storage_compactions_total");
+      engine->chunks_sealed_metric_ =
+          &registry->GetCounter("avoc_storage_chunks_sealed_total");
+      engine->chunk_raw_metric_ =
+          &registry->GetCounter("avoc_storage_chunk_raw_bytes_total");
+      engine->chunk_compressed_metric_ =
+          &registry->GetCounter("avoc_storage_chunk_bytes_total");
+      engine->groups_gauge_ = &registry->GetGauge("avoc_storage_groups");
+      engine->trace_points_gauge_ =
+          &registry->GetGauge("avoc_storage_trace_points");
+      engine->recovery_ms_gauge_ =
+          &registry->GetGauge("avoc_storage_recovery_ms");
+      engine->recovery_ms_gauge_->Set(
+          static_cast<double>(engine->recovery_ms_));
+    }
+    engine->UpdateGaugesLocked();
+  }
+  return engine;
+}
+
+Status StorageEngine::RecoverLocked() {
+  AVOC_RETURN_IF_ERROR(LoadChunksLocked());
+  AVOC_RETURN_IF_ERROR(LoadSnapshotLocked());
+  TrimSealedTailsLocked();
+  AVOC_RETURN_IF_ERROR(ReplayWalLocked());
+  AVOC_RETURN_IF_ERROR(RemoveStaleFilesLocked());
+  AVOC_ASSIGN_OR_RETURN(
+      wal_, WalWriter::Open(WalPath(seq_),
+                            WalWriterOptions{options_.wal_sync_every_bytes}));
+  AVOC_ASSIGN_OR_RETURN(chunks_, AppendFile::Open(ChunksPath()));
+
+  trace_points_ = 0;
+  for (const auto& [group, trace] : traces_) {
+    for (const SealedChunk& chunk : trace.sealed) trace_points_ += chunk.count;
+    trace_points_ += trace.tail.size();
+  }
+  return Status::Ok();
+}
+
+Status StorageEngine::LoadChunksLocked() {
+  auto contents = ReadFileToString(ChunksPath());
+  if (!contents.ok()) {
+    if (contents.status().code() == ErrorCode::kNotFound) return Status::Ok();
+    return contents.status();
+  }
+  const std::string& data = *contents;
+  size_t pos = 0;
+  while (pos + kChunkMagic.size() <= data.size()) {
+    if (std::string_view(data).substr(pos, kChunkMagic.size()) !=
+        kChunkMagic) {
+      break;
+    }
+    const std::string_view rest =
+        std::string_view(data).substr(pos + kChunkMagic.size());
+    ByteReader reader(rest);
+    SealedChunk chunk;
+    std::string group;
+    uint32_t body_len = 0;
+    uint32_t crc = 0;
+    {
+      auto name = reader.ReadBytes();
+      if (!name.ok()) break;
+      group.assign(*name);
+    }
+    bool header_ok = true;
+    for (uint64_t* field :
+         {&chunk.base_index, &chunk.count, &chunk.first_round,
+          &chunk.last_round}) {
+      auto value = reader.ReadU64();
+      if (!value.ok()) {
+        header_ok = false;
+        break;
+      }
+      *field = *value;
+    }
+    if (!header_ok) break;
+    {
+      auto len = reader.ReadU32();
+      auto sum = reader.ReadU32();
+      if (!len.ok() || !sum.ok()) break;
+      body_len = *len;
+      crc = *sum;
+    }
+    if (chunk.count == 0 || body_len > kMaxChunkBytes ||
+        reader.remaining() < body_len) {
+      break;
+    }
+    const size_t body_off =
+        pos + kChunkMagic.size() + (rest.size() - reader.remaining());
+    const std::string_view body =
+        std::string_view(data).substr(body_off, body_len);
+    if (Crc32(body) != crc) break;
+    chunk.body.assign(body);
+
+    GroupTrace& trace = traces_[group];
+    trace.sealed.push_back(std::move(chunk));
+    ++sealed_chunks_;
+    chunk_raw_bytes_ += trace.sealed.back().count * kRawPointBytes;
+    chunk_compressed_bytes_ += body_len;
+    pos = body_off + body_len;
+  }
+  if (pos != data.size()) {
+    recovered_truncated_tail_ = true;
+    std::error_code ec;
+    std::filesystem::resize_file(ChunksPath(), pos, ec);
+    if (ec) {
+      return IoError("truncate torn chunks file: " + ec.message());
+    }
+  }
+  // Sealed coverage defines where each tail starts until a snapshot or
+  // WAL replay says otherwise.
+  for (auto& [group, trace] : traces_) {
+    if (!trace.sealed.empty()) {
+      trace.tail_base =
+          trace.sealed.back().base_index + trace.sealed.back().count;
+    }
+  }
+  return Status::Ok();
+}
+
+Status StorageEngine::LoadSnapshotLocked() {
+  std::vector<uint64_t> snapshot_seqs;
+  uint64_t max_wal_seq = 0;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(options_.dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (const uint64_t seq = ParseSeq(name, "snap-"); seq != 0) {
+      snapshot_seqs.push_back(seq);
+    }
+    if (const uint64_t seq = ParseSeq(name, "wal-"); seq != 0) {
+      max_wal_seq = std::max(max_wal_seq, seq);
+    }
+  }
+  if (ec) return IoError("scan storage dir: " + ec.message());
+  std::sort(snapshot_seqs.rbegin(), snapshot_seqs.rend());
+
+  for (const uint64_t seq : snapshot_seqs) {
+    auto contents = ReadFileToString(SnapshotPath(seq));
+    if (!contents.ok()) continue;
+    const std::string& data = *contents;
+    if (data.size() < kSnapshotMagic.size() + 8 ||
+        std::string_view(data).substr(0, kSnapshotMagic.size()) !=
+            kSnapshotMagic) {
+      recovered_truncated_tail_ = true;
+      continue;
+    }
+    ByteReader header(
+        std::string_view(data).substr(kSnapshotMagic.size(), 8));
+    const uint32_t version = *header.ReadU32();
+    const uint32_t crc = *header.ReadU32();
+    const std::string_view body =
+        std::string_view(data).substr(kSnapshotMagic.size() + 8);
+    if (version != kSnapshotVersion || Crc32(body) != crc) {
+      recovered_truncated_tail_ = true;
+      continue;
+    }
+
+    // Body parse; a CRC-valid body that fails to parse is treated like a
+    // corrupt snapshot (fall back to the next-older one).
+    std::map<std::string, HistorySnapshot> history;
+    std::map<std::string, std::pair<uint64_t, std::vector<TracePoint>>> tails;
+    ByteReader reader(body);
+    const Status parsed = [&]() -> Status {
+      AVOC_ASSIGN_OR_RETURN(const uint64_t history_count, reader.ReadU64());
+      for (uint64_t i = 0; i < history_count; ++i) {
+        AVOC_ASSIGN_OR_RETURN(const std::string_view name,
+                              reader.ReadBytes());
+        HistorySnapshot snapshot;
+        AVOC_ASSIGN_OR_RETURN(const uint64_t rounds, reader.ReadU64());
+        snapshot.rounds = static_cast<size_t>(rounds);
+        AVOC_ASSIGN_OR_RETURN(const uint64_t n, reader.ReadU64());
+        snapshot.records.reserve(
+            static_cast<size_t>(std::min<uint64_t>(n, 1u << 20)));
+        for (uint64_t j = 0; j < n; ++j) {
+          AVOC_ASSIGN_OR_RETURN(const double record, reader.ReadF64());
+          snapshot.records.push_back(record);
+        }
+        history[std::string(name)] = std::move(snapshot);
+      }
+      AVOC_ASSIGN_OR_RETURN(const uint64_t trace_count, reader.ReadU64());
+      for (uint64_t i = 0; i < trace_count; ++i) {
+        AVOC_ASSIGN_OR_RETURN(const std::string_view name,
+                              reader.ReadBytes());
+        AVOC_ASSIGN_OR_RETURN(const uint64_t tail_base, reader.ReadU64());
+        AVOC_ASSIGN_OR_RETURN(std::vector<TracePoint> points,
+                              ReadTracePoints(reader));
+        tails[std::string(name)] = {tail_base, std::move(points)};
+      }
+      return reader.ExpectEnd();
+    }();
+    if (!parsed.ok()) {
+      recovered_truncated_tail_ = true;
+      continue;
+    }
+
+    history_ = std::move(history);
+    for (auto& [name, tail] : tails) {
+      GroupTrace& trace = traces_[name];
+      trace.tail_base = tail.first;
+      trace.tail = std::move(tail.second);
+    }
+    seq_ = seq;
+    return Status::Ok();
+  }
+
+  // No usable snapshot: a fresh store, or one that never compacted.
+  seq_ = std::max<uint64_t>(1, max_wal_seq);
+  return Status::Ok();
+}
+
+void StorageEngine::TrimSealedTailsLocked() {
+  for (auto& [group, trace] : traces_) {
+    if (trace.sealed.empty()) continue;
+    const uint64_t sealed_end =
+        trace.sealed.back().base_index + trace.sealed.back().count;
+    if (trace.tail_base >= sealed_end) continue;
+    const uint64_t overlap = sealed_end - trace.tail_base;
+    if (overlap >= trace.tail.size()) {
+      trace.tail.clear();
+    } else {
+      trace.tail.erase(trace.tail.begin(),
+                       trace.tail.begin() + static_cast<ptrdiff_t>(overlap));
+    }
+    trace.tail_base = sealed_end;
+  }
+}
+
+Status StorageEngine::ReplayWalLocked() {
+  AVOC_ASSIGN_OR_RETURN(const WalReplay replay, ReadWal(WalPath(seq_)));
+  if (replay.truncated_tail) {
+    recovered_truncated_tail_ = true;
+    std::error_code ec;
+    std::filesystem::resize_file(WalPath(seq_), replay.valid_bytes, ec);
+    if (ec) return IoError("truncate torn WAL: " + ec.message());
+  }
+  for (const WalRecord& record : replay.records) {
+    ByteReader reader(record.payload);
+    switch (record.type) {
+      case WalRecordType::kHistoryPut: {
+        AVOC_ASSIGN_OR_RETURN(const std::string_view name,
+                              reader.ReadBytes());
+        HistorySnapshot snapshot;
+        AVOC_ASSIGN_OR_RETURN(const uint64_t rounds, reader.ReadU64());
+        snapshot.rounds = static_cast<size_t>(rounds);
+        AVOC_ASSIGN_OR_RETURN(const uint64_t n, reader.ReadU64());
+        snapshot.records.reserve(
+            static_cast<size_t>(std::min<uint64_t>(n, 1u << 20)));
+        for (uint64_t j = 0; j < n; ++j) {
+          AVOC_ASSIGN_OR_RETURN(const double value, reader.ReadF64());
+          snapshot.records.push_back(value);
+        }
+        AVOC_RETURN_IF_ERROR(reader.ExpectEnd());
+        history_[std::string(name)] = std::move(snapshot);
+        break;
+      }
+      case WalRecordType::kHistoryErase: {
+        AVOC_ASSIGN_OR_RETURN(const std::string_view name,
+                              reader.ReadBytes());
+        AVOC_RETURN_IF_ERROR(reader.ExpectEnd());
+        history_.erase(std::string(name));
+        break;
+      }
+      case WalRecordType::kTraceAppend: {
+        AVOC_ASSIGN_OR_RETURN(const std::string_view name,
+                              reader.ReadBytes());
+        AVOC_ASSIGN_OR_RETURN(const uint64_t base_index, reader.ReadU64());
+        AVOC_ASSIGN_OR_RETURN(std::vector<TracePoint> points,
+                              ReadTracePoints(reader));
+        AVOC_RETURN_IF_ERROR(reader.ExpectEnd());
+        GroupTrace& trace = traces_[std::string(name)];
+        const uint64_t next = trace.next_index();
+        if (base_index + points.size() <= next) break;  // fully covered
+        size_t skip = 0;
+        if (base_index < next) skip = static_cast<size_t>(next - base_index);
+        trace.tail.insert(trace.tail.end(),
+                          points.begin() + static_cast<ptrdiff_t>(skip),
+                          points.end());
+        break;
+      }
+      default:
+        return ParseError("unknown WAL record type");
+    }
+  }
+  return Status::Ok();
+}
+
+Status StorageEngine::RemoveStaleFilesLocked() {
+  std::error_code ec;
+  std::vector<std::filesystem::path> stale;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(options_.dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.ends_with(".tmp")) {
+      stale.push_back(entry.path());
+      continue;
+    }
+    const uint64_t wal_seq = ParseSeq(name, "wal-");
+    const uint64_t snap_seq = ParseSeq(name, "snap-");
+    if ((wal_seq != 0 && wal_seq != seq_) ||
+        (snap_seq != 0 && snap_seq != seq_)) {
+      stale.push_back(entry.path());
+    }
+  }
+  if (ec) return IoError("scan storage dir: " + ec.message());
+  for (const std::filesystem::path& path : stale) {
+    std::filesystem::remove(path, ec);  // best effort
+  }
+  return Status::Ok();
+}
+
+Status StorageEngine::AppendWalLocked(WalRecordType type,
+                                      std::string_view payload) {
+  const uint64_t before = wal_.bytes();
+  AVOC_RETURN_IF_ERROR(wal_.Append(type, payload));
+  ++wal_records_total_;
+  const uint64_t fsync_delta = wal_.fsyncs() - wal_fsyncs_seen_;
+  wal_fsyncs_seen_ = wal_.fsyncs();
+  fsyncs_total_ += fsync_delta;
+  if (wal_bytes_metric_) wal_bytes_metric_->Add(wal_.bytes() - before);
+  if (wal_records_metric_) wal_records_metric_->Increment();
+  if (fsyncs_metric_ && fsync_delta != 0) fsyncs_metric_->Add(fsync_delta);
+  if (options_.compact_wal_bytes != 0 &&
+      wal_.bytes() >= options_.compact_wal_bytes) {
+    return CompactLocked();
+  }
+  return Status::Ok();
+}
+
+Status StorageEngine::Put(const std::string& group,
+                          const HistorySnapshot& snapshot) {
+  std::lock_guard lock(mutex_);
+  if (dead_) return FailedPreconditionError("storage engine crashed");
+  AVOC_RETURN_IF_ERROR(AppendWalLocked(
+      WalRecordType::kHistoryPut, EncodeHistoryPutPayload(group, snapshot)));
+  history_[group] = snapshot;
+  UpdateGaugesLocked();
+  return Status::Ok();
+}
+
+Result<HistorySnapshot> StorageEngine::Get(const std::string& group) const {
+  std::lock_guard lock(mutex_);
+  if (dead_) return FailedPreconditionError("storage engine crashed");
+  const auto it = history_.find(group);
+  if (it == history_.end()) {
+    return NotFoundError("no history for group '" + group + "'");
+  }
+  return it->second;
+}
+
+Result<bool> StorageEngine::Erase(const std::string& group) {
+  std::lock_guard lock(mutex_);
+  if (dead_) return FailedPreconditionError("storage engine crashed");
+  const auto it = history_.find(group);
+  if (it == history_.end()) return false;
+  AVOC_RETURN_IF_ERROR(AppendWalLocked(WalRecordType::kHistoryErase,
+                                       EncodeHistoryErasePayload(group)));
+  history_.erase(it);
+  UpdateGaugesLocked();
+  return true;
+}
+
+std::vector<std::string> StorageEngine::Groups() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> groups;
+  groups.reserve(history_.size());
+  for (const auto& [group, snapshot] : history_) groups.push_back(group);
+  return groups;
+}
+
+size_t StorageEngine::size() const {
+  std::lock_guard lock(mutex_);
+  return history_.size();
+}
+
+Status StorageEngine::AppendTrace(const std::string& group,
+                                  std::span<const TracePoint> points) {
+  if (points.empty()) return Status::Ok();
+  std::lock_guard lock(mutex_);
+  if (dead_) return FailedPreconditionError("storage engine crashed");
+  GroupTrace& trace = traces_[group];
+  AVOC_RETURN_IF_ERROR(AppendWalLocked(
+      WalRecordType::kTraceAppend,
+      EncodeTraceAppendPayload(group, trace.next_index(), points)));
+  trace.tail.insert(trace.tail.end(), points.begin(), points.end());
+  trace_points_ += points.size();
+  while (trace.tail.size() >= options_.chunk_max_points) {
+    AVOC_RETURN_IF_ERROR(SealLocked(group, trace));
+  }
+  UpdateGaugesLocked();
+  return Status::Ok();
+}
+
+Result<std::vector<TracePoint>> StorageEngine::QueryTraceRange(
+    const std::string& group, uint64_t lo_round, uint64_t hi_round) const {
+  std::lock_guard lock(mutex_);
+  if (dead_) return FailedPreconditionError("storage engine crashed");
+  std::vector<TracePoint> out;
+  const auto it = traces_.find(group);
+  if (it == traces_.end()) return out;
+  std::vector<TracePoint> decoded;
+  for (const SealedChunk& chunk : it->second.sealed) {
+    if (chunk.last_round < lo_round || chunk.first_round > hi_round) continue;
+    AVOC_RETURN_IF_ERROR(DecodeChunk(chunk.body, chunk.count, &decoded));
+    for (const TracePoint& point : decoded) {
+      if (point.round >= lo_round && point.round <= hi_round) {
+        out.push_back(point);
+      }
+    }
+  }
+  for (const TracePoint& point : it->second.tail) {
+    if (point.round >= lo_round && point.round <= hi_round) {
+      out.push_back(point);
+    }
+  }
+  return out;
+}
+
+Status StorageEngine::SealLocked(const std::string& group, GroupTrace& trace) {
+  const size_t n = options_.chunk_max_points;
+  const std::span<const TracePoint> points(trace.tail.data(), n);
+  SealedChunk chunk;
+  chunk.base_index = trace.tail_base;
+  chunk.count = n;
+  chunk.first_round = points[0].round;
+  chunk.last_round = points[0].round;
+  for (const TracePoint& point : points) {
+    chunk.first_round = std::min(chunk.first_round, point.round);
+    chunk.last_round = std::max(chunk.last_round, point.round);
+  }
+  chunk.body = EncodeChunk(points);
+
+  std::string entry(kChunkMagic);
+  AppendBytes(entry, group);
+  AppendU64(entry, chunk.base_index);
+  AppendU64(entry, chunk.count);
+  AppendU64(entry, chunk.first_round);
+  AppendU64(entry, chunk.last_round);
+  AppendU32(entry, static_cast<uint32_t>(chunk.body.size()));
+  AppendU32(entry, Crc32(chunk.body));
+  entry.append(chunk.body);
+  AVOC_RETURN_IF_ERROR(chunks_.Append(entry));
+  AVOC_RETURN_IF_ERROR(chunks_.Sync());
+  ++fsyncs_total_;
+  if (fsyncs_metric_) fsyncs_metric_->Increment();
+
+  trace.tail.erase(trace.tail.begin(), trace.tail.begin() + static_cast<ptrdiff_t>(n));
+  trace.tail_base += n;
+  ++sealed_chunks_;
+  chunk_raw_bytes_ += chunk.count * kRawPointBytes;
+  chunk_compressed_bytes_ += chunk.body.size();
+  if (chunks_sealed_metric_) chunks_sealed_metric_->Increment();
+  if (chunk_raw_metric_) chunk_raw_metric_->Add(chunk.count * kRawPointBytes);
+  if (chunk_compressed_metric_) chunk_compressed_metric_->Add(chunk.body.size());
+  trace.sealed.push_back(std::move(chunk));
+  return Status::Ok();
+}
+
+std::string StorageEngine::EncodeSnapshotLocked() const {
+  std::string body;
+  AppendU64(body, history_.size());
+  for (const auto& [group, snapshot] : history_) {
+    AppendBytes(body, group);
+    AppendU64(body, snapshot.rounds);
+    AppendU64(body, snapshot.records.size());
+    for (const double record : snapshot.records) AppendF64(body, record);
+  }
+  AppendU64(body, traces_.size());
+  for (const auto& [group, trace] : traces_) {
+    AppendBytes(body, group);
+    AppendU64(body, trace.tail_base);
+    AppendTracePointsSnapshot(
+        body, std::span<const TracePoint>(trace.tail.data(),
+                                          trace.tail.size()));
+  }
+  std::string file(kSnapshotMagic);
+  AppendU32(file, kSnapshotVersion);
+  AppendU32(file, Crc32(body));
+  file.append(body);
+  return file;
+}
+
+Status StorageEngine::CompactLocked() {
+  const uint64_t new_seq = seq_ + 1;
+  AVOC_RETURN_IF_ERROR(
+      WriteFileDurable(SnapshotPath(new_seq), EncodeSnapshotLocked()));
+
+  // Fold the retiring writer's fsyncs in before replacing it.
+  const uint64_t fsync_delta = wal_.fsyncs() - wal_fsyncs_seen_;
+  fsyncs_total_ += fsync_delta;
+  if (fsyncs_metric_ && fsync_delta != 0) fsyncs_metric_->Add(fsync_delta);
+  const std::string old_wal = WalPath(seq_);
+  const std::string old_snap = SnapshotPath(seq_);
+  wal_.CloseNoSync();  // the new snapshot covers everything in it
+  AVOC_ASSIGN_OR_RETURN(
+      wal_, WalWriter::Open(WalPath(new_seq),
+                            WalWriterOptions{options_.wal_sync_every_bytes}));
+  wal_fsyncs_seen_ = 0;
+
+  std::error_code ec;
+  std::filesystem::remove(old_wal, ec);
+  std::filesystem::remove(old_snap, ec);
+  seq_ = new_seq;
+  ++compactions_;
+  if (compactions_metric_) compactions_metric_->Increment();
+  return Status::Ok();
+}
+
+Status StorageEngine::Sync() {
+  std::lock_guard lock(mutex_);
+  if (dead_) return FailedPreconditionError("storage engine crashed");
+  AVOC_RETURN_IF_ERROR(wal_.Sync());
+  const uint64_t fsync_delta = wal_.fsyncs() - wal_fsyncs_seen_;
+  wal_fsyncs_seen_ = wal_.fsyncs();
+  fsyncs_total_ += fsync_delta;
+  if (fsyncs_metric_ && fsync_delta != 0) fsyncs_metric_->Add(fsync_delta);
+  return Status::Ok();
+}
+
+Status StorageEngine::Compact() {
+  std::lock_guard lock(mutex_);
+  if (dead_) return FailedPreconditionError("storage engine crashed");
+  return CompactLocked();
+}
+
+StorageStats StorageEngine::stats() const {
+  std::lock_guard lock(mutex_);
+  StorageStats stats;
+  stats.wal_records = wal_records_total_;
+  stats.wal_bytes = wal_.open() ? wal_.bytes() : 0;
+  stats.wal_synced_bytes = wal_.open() ? wal_.synced_bytes() : 0;
+  stats.fsyncs = fsyncs_total_ + (wal_.open() ? wal_.fsyncs() : 0) -
+                 wal_fsyncs_seen_;
+  stats.compactions = compactions_;
+  stats.snapshot_seq = seq_;
+  stats.sealed_chunks = sealed_chunks_;
+  stats.chunk_raw_bytes = chunk_raw_bytes_;
+  stats.chunk_compressed_bytes = chunk_compressed_bytes_;
+  stats.history_groups = history_.size();
+  stats.trace_points = trace_points_;
+  stats.recovery_ms = recovery_ms_;
+  stats.recovered_truncated_tail = recovered_truncated_tail_;
+  return stats;
+}
+
+StorageEngine::CrashState StorageEngine::SimulateCrash() {
+  std::lock_guard lock(mutex_);
+  CrashState state;
+  state.wal_path = wal_.open() ? wal_.path() : WalPath(seq_);
+  state.wal_bytes = wal_.open() ? wal_.bytes() : 0;
+  state.wal_synced_bytes = wal_.open() ? wal_.synced_bytes() : 0;
+  wal_.CloseNoSync();
+  chunks_.CloseNoSync();
+  dead_ = true;
+  return state;
+}
+
+void StorageEngine::UpdateGaugesLocked() {
+  if (groups_gauge_) groups_gauge_->Set(static_cast<double>(history_.size()));
+  if (trace_points_gauge_) {
+    trace_points_gauge_->Set(static_cast<double>(trace_points_));
+  }
+}
+
+}  // namespace avoc::storage

@@ -1,0 +1,88 @@
+// Append-only write-ahead log with CRC-framed records.
+//
+// Record framing (little-endian, see docs/STORAGE.md):
+//
+//   record := u32 body_len  u32 crc32(body)  body
+//   body   := u8 type  payload
+//
+// Writers append records and fsync per policy (`sync_every_bytes`; 0 =
+// fsync on every commit).  Readers scan the file front to back and stop
+// at the first record that is truncated or fails its CRC — a torn tail
+// from a crash mid-write is expected, not an error; everything before it
+// is trusted.  The durability contract is exactly "nothing synced is
+// ever lost; unsynced tail records may be" (the DST crash-recovery
+// sweep proves it seed by seed).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/io.h"
+#include "util/status.h"
+
+namespace avoc::storage {
+
+enum class WalRecordType : uint8_t {
+  kHistoryPut = 1,    ///< str group, u64 rounds, u64 n, n x f64
+  kHistoryErase = 2,  ///< str group
+  kTraceAppend = 3,   ///< str group, u64 base_index, u64 n,
+                      ///<   n x (u64 round, u64 value_bits, u8 engaged)
+};
+
+struct WalRecord {
+  WalRecordType type = WalRecordType::kHistoryPut;
+  std::string payload;
+};
+
+struct WalWriterOptions {
+  /// fsync once this many bytes accumulated since the last sync;
+  /// 0 = fsync after every Append (strictest durability).
+  size_t sync_every_bytes = 0;
+};
+
+/// Appends CRC-framed records to one WAL file.  Movable, not copyable.
+class WalWriter {
+ public:
+  WalWriter() = default;
+
+  static Result<WalWriter> Open(const std::string& path,
+                                WalWriterOptions options = {});
+
+  /// Appends one record and applies the sync policy.
+  Status Append(WalRecordType type, std::string_view payload);
+
+  /// Forces an fsync now (commit barrier).
+  Status Sync();
+
+  /// Closes without syncing — crash simulation and teardown paths.
+  void CloseNoSync() { file_.CloseNoSync(); }
+
+  bool open() const { return file_.open(); }
+  const std::string& path() const { return file_.path(); }
+  uint64_t bytes() const { return file_.size(); }
+  uint64_t synced_bytes() const { return file_.synced_size(); }
+  uint64_t records() const { return records_; }
+  uint64_t fsyncs() const { return fsyncs_; }
+
+ private:
+  AppendFile file_;
+  WalWriterOptions options_;
+  uint64_t records_ = 0;
+  uint64_t fsyncs_ = 0;
+};
+
+/// Result of scanning one WAL file.
+struct WalReplay {
+  std::vector<WalRecord> records;  ///< every valid record, in order
+  uint64_t valid_bytes = 0;        ///< offset just past the last valid record
+  bool truncated_tail = false;     ///< trailing bytes were torn/corrupt
+};
+
+/// Scans `path` front to back; stops at the first invalid record.
+/// A missing file replays as empty.  Never fails on corruption — the
+/// caller truncates to `valid_bytes` and moves on.
+Result<WalReplay> ReadWal(const std::string& path);
+
+}  // namespace avoc::storage

@@ -41,8 +41,12 @@ TEST(HistoryStoreTest, PutReplaces) {
 TEST(HistoryStoreTest, EraseRemoves) {
   HistoryStore store;
   ASSERT_TRUE(store.Put("g", Snapshot({1.0}, 1)).ok());
-  EXPECT_TRUE(store.Erase("g"));
-  EXPECT_FALSE(store.Erase("g"));
+  auto erased = store.Erase("g");
+  ASSERT_TRUE(erased.ok());
+  EXPECT_TRUE(*erased);
+  auto again = store.Erase("g");
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(*again);
   EXPECT_FALSE(store.Get("g").ok());
 }
 
@@ -105,12 +109,44 @@ TEST_F(FileStoreTest, ERasepersists) {
     ASSERT_TRUE(store.ok());
     ASSERT_TRUE(store->Put("a", Snapshot({1.0}, 1)).ok());
     ASSERT_TRUE(store->Put("b", Snapshot({0.5}, 2)).ok());
-    EXPECT_TRUE(store->Erase("a"));
+    auto erased = store->Erase("a");
+    ASSERT_TRUE(erased.ok());
+    EXPECT_TRUE(*erased);
   }
   auto reopened = HistoryStore::Open(path_);
   ASSERT_TRUE(reopened.ok());
   EXPECT_FALSE(reopened->Get("a").ok());
   EXPECT_TRUE(reopened->Get("b").ok());
+}
+
+TEST_F(FileStoreTest, ErasePropagatesFlushFailure) {
+  auto store = HistoryStore::Open(path_);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Put("a", Snapshot({1.0}, 1)).ok());
+  // Durable writes stage through "<path>.tmp"; a directory squatting on
+  // that name makes the flush fail.  Erase used to swallow that error
+  // and report success while the file still held the group.
+  std::filesystem::create_directory(path_ + ".tmp");
+  auto erased = store->Erase("a");
+  EXPECT_FALSE(erased.ok());
+  std::filesystem::remove_all(path_ + ".tmp");
+  // The group is gone from the already-opened store either way; what
+  // matters is that the caller learned persistence failed.
+}
+
+TEST_F(FileStoreTest, FlushSurvivesReopenAfterPut) {
+  // Flush goes through storage::WriteFileDurable (write tmp, fsync,
+  // rename, fsync parent dir) — verify the visible contract: the data is
+  // on disk under the final name immediately after Put returns.
+  auto store = HistoryStore::Open(path_);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Put("durable", Snapshot({0.75}, 3)).ok());
+  ASSERT_TRUE(std::filesystem::exists(path_));
+  EXPECT_FALSE(std::filesystem::exists(path_ + ".tmp"));
+  auto reopened = HistoryStore::Open(path_);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_NEAR(reopened->Get("durable")->records[0], 0.75, 1e-12);
+  EXPECT_EQ(reopened->Get("durable")->rounds, 3u);
 }
 
 TEST_F(FileStoreTest, MultipleGroups) {

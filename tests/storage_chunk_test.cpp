@@ -1,0 +1,187 @@
+#include "storage/chunk.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "storage/bits.h"
+#include "util/rng.h"
+
+namespace avoc::storage {
+namespace {
+
+uint64_t Bits(double value) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+TEST(BitsTest, RoundTripSingleBits) {
+  BitWriter writer;
+  const uint32_t pattern[] = {1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1};
+  for (uint32_t bit : pattern) writer.WriteBit(bit);
+  const std::string bytes = writer.Finish();
+  BitReader reader(bytes);
+  for (uint32_t bit : pattern) {
+    auto read = reader.ReadBit();
+    ASSERT_TRUE(read.ok());
+    EXPECT_EQ(*read, bit);
+  }
+}
+
+TEST(BitsTest, RoundTripMultiBitFields) {
+  BitWriter writer;
+  writer.WriteBits(0x5A, 8);
+  writer.WriteBits(0x3, 2);
+  writer.WriteBits(0xFFFFFFFFFFFFFFFFull, 64);
+  writer.WriteBits(0, 1);
+  writer.WriteBits(0x12345, 20);
+  const std::string bytes = writer.Finish();
+  BitReader reader(bytes);
+  EXPECT_EQ(*reader.ReadBits(8), 0x5Au);
+  EXPECT_EQ(*reader.ReadBits(2), 0x3u);
+  EXPECT_EQ(*reader.ReadBits(64), 0xFFFFFFFFFFFFFFFFull);
+  EXPECT_EQ(*reader.ReadBits(1), 0u);
+  EXPECT_EQ(*reader.ReadBits(20), 0x12345u);
+}
+
+TEST(BitsTest, ReadPastEndFails) {
+  BitWriter writer;
+  writer.WriteBits(0xAB, 8);
+  const std::string bytes = writer.Finish();
+  BitReader reader(bytes);
+  EXPECT_TRUE(reader.ReadBits(8).ok());
+  EXPECT_FALSE(reader.ReadBits(1).ok());
+  EXPECT_EQ(reader.ReadBits(1).status().code(), ErrorCode::kParseError);
+}
+
+std::vector<TracePoint> RoundTrip(std::span<const TracePoint> points) {
+  const std::string body = EncodeChunk(points);
+  std::vector<TracePoint> decoded;
+  const Status status = DecodeChunk(body, points.size(), &decoded);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return decoded;
+}
+
+void ExpectBitIdentical(std::span<const TracePoint> want,
+                        std::span<const TracePoint> got) {
+  ASSERT_EQ(want.size(), got.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(want[i].round, got[i].round) << "point " << i;
+    EXPECT_EQ(want[i].engaged, got[i].engaged) << "point " << i;
+    EXPECT_EQ(Bits(want[i].value), Bits(got[i].value)) << "point " << i;
+  }
+}
+
+TEST(ChunkTest, SinglePoint) {
+  const TracePoint point{42, 3.25, true};
+  ExpectBitIdentical(std::span(&point, 1), RoundTrip(std::span(&point, 1)));
+}
+
+TEST(ChunkTest, MonotoneRoundsSlowlyDriftingValues) {
+  std::vector<TracePoint> points;
+  double value = 20.0;
+  for (uint64_t round = 0; round < 1000; ++round) {
+    value += 0.01;
+    points.push_back(TracePoint{round, value, true});
+  }
+  ExpectBitIdentical(points, RoundTrip(points));
+  // The whole purpose of the codec: the steady case compresses well
+  // below the 17-byte raw point.
+  EXPECT_LT(EncodeChunk(points).size(), points.size() * 17 / 2);
+}
+
+TEST(ChunkTest, NonEngagedRoundsEncodeAsZero) {
+  std::vector<TracePoint> points;
+  for (uint64_t round = 0; round < 64; ++round) {
+    const bool engaged = round % 3 != 0;
+    points.push_back(TracePoint{round, engaged ? 1.5 + round : 0.0, engaged});
+  }
+  ExpectBitIdentical(points, RoundTrip(points));
+}
+
+TEST(ChunkTest, SpecialValuesRoundTripBitExact) {
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+  const double snan = std::numeric_limits<double>::signaling_NaN();
+  std::vector<TracePoint> points{
+      {0, 0.0, true},
+      {1, -0.0, true},
+      {2, std::numeric_limits<double>::infinity(), true},
+      {3, -std::numeric_limits<double>::infinity(), true},
+      {4, qnan, true},
+      {5, snan, true},
+      {6, std::numeric_limits<double>::denorm_min(), true},
+      {7, -std::numeric_limits<double>::max(), true},
+  };
+  ExpectBitIdentical(points, RoundTrip(points));
+}
+
+TEST(ChunkTest, OutOfOrderAndSparseRounds) {
+  std::vector<TracePoint> points{
+      {100, 1.0, true},  {5, 2.0, true},     {6, 2.0, true},
+      {1000000, 3.0, true}, {999999, -3.0, true}, {0, 0.5, true},
+  };
+  ExpectBitIdentical(points, RoundTrip(points));
+}
+
+TEST(ChunkTest, LargeRoundNumbers) {
+  std::vector<TracePoint> points{
+      {0, 1.0, true},
+      {std::numeric_limits<uint64_t>::max() / 2, 2.0, true},
+      {std::numeric_limits<uint64_t>::max(), 3.0, true},
+  };
+  ExpectBitIdentical(points, RoundTrip(points));
+}
+
+TEST(ChunkTest, RandomizedRoundTrip) {
+  avoc::Rng rng(20260808);
+  for (int iter = 0; iter < 50; ++iter) {
+    const size_t n = 1 + static_cast<size_t>(rng.UniformInt(300));
+    std::vector<TracePoint> points;
+    uint64_t round = rng.UniformInt(1000);
+    double value = rng.NextDouble() * 100.0;
+    for (size_t i = 0; i < n; ++i) {
+      // Mostly steady strides and drifts, with occasional jumps — the
+      // workload shape the bucket boundaries were picked for.
+      switch (rng.UniformInt(8)) {
+        case 0: round += rng.UniformInt(100000); break;
+        case 1: value = rng.NextDouble() * 1e12 - 5e11; break;
+        default:
+          round += 1;
+          value += rng.NextDouble() * 0.1 - 0.05;
+          break;
+      }
+      const bool engaged = rng.UniformInt(10) != 0;
+      points.push_back(TracePoint{round, engaged ? value : 0.0, engaged});
+    }
+    ExpectBitIdentical(points, RoundTrip(points));
+  }
+}
+
+TEST(ChunkTest, DecodeRejectsTruncatedBody) {
+  std::vector<TracePoint> points;
+  for (uint64_t round = 0; round < 100; ++round) {
+    points.push_back(TracePoint{round, 1.0 + round * 0.5, true});
+  }
+  const std::string body = EncodeChunk(points);
+  std::vector<TracePoint> decoded;
+  for (size_t keep : {size_t{0}, size_t{1}, body.size() / 2, body.size() - 1}) {
+    EXPECT_FALSE(
+        DecodeChunk(body.substr(0, keep), points.size(), &decoded).ok())
+        << "kept " << keep << " of " << body.size();
+  }
+}
+
+TEST(ChunkTest, DecodeRejectsImpossibleCount) {
+  const TracePoint point{1, 2.0, true};
+  const std::string body = EncodeChunk(std::span(&point, 1));
+  std::vector<TracePoint> decoded;
+  // More points than the body has bits cannot be valid.
+  EXPECT_FALSE(DecodeChunk(body, body.size() * 8 + 1, &decoded).ok());
+}
+
+}  // namespace
+}  // namespace avoc::storage

@@ -1,0 +1,298 @@
+#include "storage/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace avoc::storage {
+namespace {
+
+uint64_t Bits(double value) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+HistorySnapshot Snapshot(std::vector<double> records, size_t rounds) {
+  HistorySnapshot snapshot;
+  snapshot.records = std::move(records);
+  snapshot.rounds = rounds;
+  return snapshot;
+}
+
+class StorageEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("avoc_engine_test_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  StorageEngineOptions Options() {
+    StorageEngineOptions options;
+    options.dir = dir_;
+    return options;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(StorageEngineTest, HistoryPutGetEraseRoundTrip) {
+  auto engine = StorageEngine::Open(Options());
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE((*engine)->Put("shelf1", Snapshot({1.0, 0.5, 0.25}, 7)).ok());
+  ASSERT_TRUE((*engine)->Put("shelf2", Snapshot({0.9}, 2)).ok());
+  EXPECT_EQ((*engine)->size(), 2u);
+  EXPECT_EQ((*engine)->Groups(),
+            (std::vector<std::string>{"shelf1", "shelf2"}));
+  auto got = (*engine)->Get("shelf1");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->records, (std::vector<double>{1.0, 0.5, 0.25}));
+  EXPECT_EQ(got->rounds, 7u);
+  EXPECT_EQ((*engine)->Get("absent").status().code(), ErrorCode::kNotFound);
+  auto erased = (*engine)->Erase("shelf1");
+  ASSERT_TRUE(erased.ok());
+  EXPECT_TRUE(*erased);
+  auto again = (*engine)->Erase("shelf1");
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(*again);
+  EXPECT_EQ((*engine)->size(), 1u);
+}
+
+TEST_F(StorageEngineTest, HistorySurvivesReopen) {
+  {
+    auto engine = StorageEngine::Open(Options());
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE((*engine)->Put("g", Snapshot({0.75, 0.5}, 11)).ok());
+    ASSERT_TRUE((*engine)->Erase("doomed").ok());
+  }
+  auto reopened = StorageEngine::Open(Options());
+  ASSERT_TRUE(reopened.ok());
+  auto got = (*reopened)->Get("g");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->records, (std::vector<double>{0.75, 0.5}));
+  EXPECT_EQ(got->rounds, 11u);
+}
+
+TEST_F(StorageEngineTest, TraceAppendAndRangeQuery) {
+  auto engine = StorageEngine::Open(Options());
+  ASSERT_TRUE(engine.ok());
+  std::vector<TracePoint> points;
+  for (uint64_t round = 0; round < 100; ++round) {
+    points.push_back(
+        TracePoint{round, 20.0 + 0.01 * round, round % 7 != 0});
+  }
+  ASSERT_TRUE((*engine)->AppendTrace("g", points).ok());
+
+  auto all = (*engine)->QueryTraceRange("g", 0, 99);
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 100u);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ((*all)[i].round, points[i].round);
+    EXPECT_EQ((*all)[i].engaged, points[i].engaged);
+    EXPECT_EQ(Bits((*all)[i].value), Bits(points[i].value));
+  }
+
+  auto window = (*engine)->QueryTraceRange("g", 10, 19);
+  ASSERT_TRUE(window.ok());
+  ASSERT_EQ(window->size(), 10u);
+  EXPECT_EQ(window->front().round, 10u);
+  EXPECT_EQ(window->back().round, 19u);
+
+  auto empty = (*engine)->QueryTraceRange("unknown", 0, 99);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST_F(StorageEngineTest, TraceSealsChunksAndStillAnswersExactly) {
+  auto options = Options();
+  options.chunk_max_points = 16;  // force many seals
+  auto engine = StorageEngine::Open(options);
+  ASSERT_TRUE(engine.ok());
+  std::vector<TracePoint> points;
+  for (uint64_t round = 0; round < 333; ++round) {
+    points.push_back(TracePoint{round, 1.0 + 0.5 * round, true});
+  }
+  // Append in uneven slices to exercise partial seals.
+  size_t at = 0;
+  for (size_t slice : {7u, 40u, 1u, 100u, 185u}) {
+    ASSERT_TRUE(
+        (*engine)
+            ->AppendTrace("g", std::span(points).subspan(at, slice))
+            .ok());
+    at += slice;
+  }
+  EXPECT_GT((*engine)->stats().sealed_chunks, 10u);
+  auto all = (*engine)->QueryTraceRange("g", 0, 1000);
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(Bits((*all)[i].value), Bits(points[i].value)) << i;
+  }
+}
+
+TEST_F(StorageEngineTest, TraceSurvivesReopenAcrossSealBoundary) {
+  auto options = Options();
+  options.chunk_max_points = 8;
+  std::vector<TracePoint> points;
+  for (uint64_t round = 0; round < 50; ++round) {
+    points.push_back(TracePoint{round, 2.0 * round, round % 2 == 0});
+  }
+  {
+    auto engine = StorageEngine::Open(options);
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE((*engine)->AppendTrace("g", points).ok());
+  }
+  auto reopened = StorageEngine::Open(options);
+  ASSERT_TRUE(reopened.ok());
+  auto all = (*reopened)->QueryTraceRange("g", 0, 49);
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 50u);
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ((*all)[i].round, points[i].round);
+    EXPECT_EQ(Bits((*all)[i].value), Bits(points[i].value));
+  }
+}
+
+TEST_F(StorageEngineTest, CompactionRotatesWalAndKeepsState) {
+  auto options = Options();
+  options.chunk_max_points = 8;
+  auto engine = StorageEngine::Open(options);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE((*engine)->Put("g", Snapshot({0.5}, 3)).ok());
+  std::vector<TracePoint> points;
+  for (uint64_t round = 0; round < 20; ++round) {
+    points.push_back(TracePoint{round, 1.0 + round, true});
+  }
+  ASSERT_TRUE((*engine)->AppendTrace("g", points).ok());
+  const auto before = (*engine)->stats();
+  ASSERT_TRUE((*engine)->Compact().ok());
+  const auto after = (*engine)->stats();
+  EXPECT_EQ(after.compactions, before.compactions + 1);
+  EXPECT_GT(after.snapshot_seq, before.snapshot_seq);
+  EXPECT_LT(after.wal_bytes, before.wal_bytes);
+
+  // State is intact in memory and across a reopen of the compacted dir.
+  EXPECT_TRUE((*engine)->Get("g").ok());
+  auto reopened = StorageEngine::Open(options);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->Get("g")->rounds, 3u);
+  auto all = (*reopened)->QueryTraceRange("g", 0, 19);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 20u);
+}
+
+TEST_F(StorageEngineTest, AutoCompactionTriggersOnWalGrowth) {
+  auto options = Options();
+  options.compact_wal_bytes = 4096;
+  auto engine = StorageEngine::Open(options);
+  ASSERT_TRUE(engine.ok());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(
+        (*engine)
+            ->Put("g" + std::to_string(i % 10), Snapshot({0.1, 0.2, 0.3}, 1))
+            .ok());
+  }
+  EXPECT_GT((*engine)->stats().compactions, 0u);
+}
+
+TEST_F(StorageEngineTest, MetricsRegisteredWhenRegistryProvided) {
+  obs::Registry registry;
+  auto options = Options();
+  options.registry = &registry;
+  auto engine = StorageEngine::Open(options);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE((*engine)->Put("g", Snapshot({1.0}, 1)).ok());
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(text.find("avoc_storage_wal_records_total"), std::string::npos);
+  EXPECT_NE(text.find("avoc_storage_fsyncs_total"), std::string::npos);
+  EXPECT_NE(text.find("avoc_storage_groups"), std::string::npos);
+}
+
+TEST_F(StorageEngineTest, SyncEveryCommitByDefault) {
+  auto engine = StorageEngine::Open(Options());
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE((*engine)->Put("g", Snapshot({1.0}, 1)).ok());
+  const auto stats = (*engine)->stats();
+  EXPECT_EQ(stats.wal_synced_bytes, stats.wal_bytes);
+}
+
+TEST_F(StorageEngineTest, SimulateCrashLosesNothingWhenEverySynced) {
+  StorageEngine::CrashState crash;
+  {
+    auto engine = StorageEngine::Open(Options());
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE((*engine)->Put("g", Snapshot({0.25}, 5)).ok());
+    ASSERT_TRUE(
+        (*engine)
+            ->AppendTrace("g", std::vector<TracePoint>{{0, 1.5, true}})
+            .ok());
+    crash = (*engine)->SimulateCrash();
+    // Dead engine rejects every call.
+    EXPECT_FALSE((*engine)->Put("g", Snapshot({1.0}, 1)).ok());
+    EXPECT_FALSE((*engine)->Get("g").ok());
+  }
+  EXPECT_EQ(crash.wal_synced_bytes, crash.wal_bytes);  // sync-every-commit
+  auto reopened = StorageEngine::Open(Options());
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->Get("g")->rounds, 5u);
+  auto trace = (*reopened)->QueryTraceRange("g", 0, 0);
+  ASSERT_TRUE(trace.ok());
+  ASSERT_EQ(trace->size(), 1u);
+  EXPECT_EQ(Bits(trace->front().value), Bits(1.5));
+}
+
+TEST_F(StorageEngineTest, SimulateCrashUnsyncedTailMayVanish) {
+  auto options = Options();
+  options.wal_sync_every_bytes = 1u << 20;  // nothing syncs on its own
+  StorageEngine::CrashState crash;
+  {
+    auto engine = StorageEngine::Open(options);
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE((*engine)->Put("synced", Snapshot({1.0}, 1)).ok());
+    ASSERT_TRUE((*engine)->Sync().ok());  // commit barrier
+    ASSERT_TRUE((*engine)->Put("unsynced", Snapshot({2.0}, 2)).ok());
+    crash = (*engine)->SimulateCrash();
+  }
+  ASSERT_LT(crash.wal_synced_bytes, crash.wal_bytes);
+  // Model the worst crash: only the synced prefix reached the platter.
+  std::filesystem::resize_file(crash.wal_path, crash.wal_synced_bytes);
+  auto reopened = StorageEngine::Open(options);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_TRUE((*reopened)->Get("synced").ok());
+  EXPECT_EQ((*reopened)->Get("unsynced").status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(StorageEngineTest, CompressionRatioReportedOnSealedTraces) {
+  auto options = Options();
+  options.chunk_max_points = 64;
+  auto engine = StorageEngine::Open(options);
+  ASSERT_TRUE(engine.ok());
+  std::vector<TracePoint> points;
+  for (uint64_t round = 0; round < 640; ++round) {
+    points.push_back(TracePoint{round, 20.0, true});  // maximally steady
+  }
+  ASSERT_TRUE((*engine)->AppendTrace("g", points).ok());
+  const auto stats = (*engine)->stats();
+  ASSERT_GT(stats.sealed_chunks, 0u);
+  EXPECT_GT(stats.compression_ratio(), 4.0);
+}
+
+TEST_F(StorageEngineTest, OpenRejectsEmptyDir) {
+  StorageEngineOptions options;
+  EXPECT_FALSE(StorageEngine::Open(options).ok());
+}
+
+}  // namespace
+}  // namespace avoc::storage
