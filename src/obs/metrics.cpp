@@ -48,6 +48,9 @@ LatencySnapshot LatencyHistogram::Snapshot() const {
   }
   snapshot.count = count_.load(std::memory_order_relaxed);
   snapshot.sum = sum_.load(std::memory_order_relaxed);
+  snapshot.exemplar_trace_id =
+      exemplar_trace_id_.load(std::memory_order_relaxed);
+  snapshot.exemplar_nanos = exemplar_nanos_.load(std::memory_order_relaxed);
   return snapshot;
 }
 
@@ -61,6 +64,10 @@ void LatencySnapshot::Merge(const LatencySnapshot& other) {
   }
   count += other.count;
   sum += other.sum;
+  if (other.exemplar_trace_id != 0) {
+    exemplar_trace_id = other.exemplar_trace_id;
+    exemplar_nanos = other.exemplar_nanos;
+  }
 }
 
 double LatencySnapshot::Quantile(double q) const {
@@ -84,13 +91,29 @@ double LatencySnapshot::Quantile(double q) const {
 
 // --- Registry ---------------------------------------------------------------
 
+std::string EscapeLabelValue(std::string_view value) {
+  std::string escaped;
+  escaped.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': escaped += "\\\\"; break;
+      case '"': escaped += "\\\""; break;
+      case '\n': escaped += "\\n"; break;
+      default: escaped.push_back(c);
+    }
+  }
+  return escaped;
+}
+
+// Escaping happens here, at registration, so every render/sum/merge path
+// inherits it and a registry never holds an unescaped name.
 std::string LabeledName(std::string_view family, std::string_view label_key,
                         std::string_view label_value) {
   std::string name(family);
   name += '{';
   name += label_key;
   name += "=\"";
-  name += label_value;
+  name += EscapeLabelValue(label_value);
   name += "\"}";
   return name;
 }
@@ -102,11 +125,11 @@ std::string LabeledName(std::string_view family, std::string_view key1,
   name += '{';
   name += key1;
   name += "=\"";
-  name += value1;
+  name += EscapeLabelValue(value1);
   name += "\",";
   name += key2;
   name += "=\"";
-  name += value2;
+  name += EscapeLabelValue(value2);
   name += "\"}";
   return name;
 }
@@ -221,6 +244,17 @@ std::string Registry::RenderPrometheus() const {
                      static_cast<unsigned long long>(snapshot.count));
     out += StrFormat("%s %llu\n", SuffixedName(name, "_sum").c_str(),
                      static_cast<unsigned long long>(snapshot.sum));
+    if (snapshot.exemplar_trace_id != 0) {
+      // Exemplar: the trace id of a recent sample, so a latency spike in
+      // this family links to a TRACE_DUMP span tree.  Untraced
+      // histograms render exactly as before.
+      const std::string label = StrFormat(
+          "trace_id=\"%016llx\"",
+          static_cast<unsigned long long>(snapshot.exemplar_trace_id));
+      out += StrFormat("%s %llu\n",
+                       SuffixedName(name, "_exemplar", label).c_str(),
+                       static_cast<unsigned long long>(snapshot.exemplar_nanos));
+    }
   }
   return out;
 }

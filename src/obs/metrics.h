@@ -97,6 +97,8 @@ struct LatencySnapshot {
   std::vector<uint64_t> counts;  ///< one entry per histogram bucket
   uint64_t count = 0;            ///< total recorded values
   uint64_t sum = 0;              ///< sum of recorded nanoseconds
+  uint64_t exemplar_trace_id = 0;  ///< last exemplar (0 = none)
+  uint64_t exemplar_nanos = 0;     ///< latency of that exemplar
 
   /// Adds `other` bucket-wise.  An empty snapshot adopts other's shape.
   void Merge(const LatencySnapshot& other);
@@ -144,8 +146,23 @@ class LatencyHistogram {
     sum_.fetch_add(nanos, std::memory_order_relaxed);
   }
 
+  /// Record plus a histogram exemplar: the trace id of the request that
+  /// produced this sample, linking aggregate latency back to a concrete
+  /// flight-recorder trace (obs/trace.h).  Last writer wins; id 0 means
+  /// "untraced" and leaves the previous exemplar in place.
+  void RecordWithExemplar(uint64_t nanos, uint64_t trace_id) {
+    Record(nanos);
+    if (trace_id != 0) {
+      exemplar_trace_id_.store(trace_id, std::memory_order_relaxed);
+      exemplar_nanos_.store(nanos, std::memory_order_relaxed);
+    }
+  }
+
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t exemplar_trace_id() const {
+    return exemplar_trace_id_.load(std::memory_order_relaxed);
+  }
 
   /// Copies the bins.  Concurrent Records may straddle the copy; the
   /// snapshot is still a valid histogram of a subset/superset boundary at
@@ -156,10 +173,18 @@ class LatencyHistogram {
   std::array<std::atomic<uint64_t>, kBucketCount> bins_{};
   std::atomic<uint64_t> count_{0};
   std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> exemplar_trace_id_{0};
+  std::atomic<uint64_t> exemplar_nanos_{0};
 };
 
+/// Escapes a label value for the Prometheus text format: `\` -> `\\`,
+/// `"` -> `\"`, newline -> `\n`.  Group names come off the wire, so they
+/// are attacker-shaped, not code-chosen.
+std::string EscapeLabelValue(std::string_view value);
+
 /// `family{key="value"}` — the Prometheus-style name under which labeled
-/// metrics register.  No escaping: keys/values are code-chosen tokens.
+/// metrics register.  Keys are code-chosen tokens; values are escaped
+/// with EscapeLabelValue, so hostile group ids render as valid text.
 std::string LabeledName(std::string_view family, std::string_view label_key,
                         std::string_view label_value);
 

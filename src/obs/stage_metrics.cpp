@@ -126,6 +126,15 @@ void MetricsObserver::OnStageDone(std::string_view stage,
                                 std::chrono::nanoseconds>(now - stage_mark_)
                                 .count()));
   stage_mark_ = now;
+
+  // Sampled rounds drop one flight-recorder breadcrumb per stage when the
+  // round runs under a traced request (the engine span is current on this
+  // thread); timestamps come from the tracer's clock so DST dumps stay
+  // deterministic.
+  if (options_.tracer != nullptr &&
+      CurrentTraceSpan().tracer == options_.tracer) {
+    options_.tracer->Event("engine.stage", stage);
+  }
 }
 
 void MetricsObserver::OnRoundCommitted(size_t round_index,

@@ -36,6 +36,7 @@
 #include "core/stages.h"
 #include "core/vote_sink.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace avoc::obs {
 
@@ -55,6 +56,11 @@ struct MetricsObserverOptions {
   /// Emit JSON events (history collapse, streak alerts) through
   /// util::log; counters are unaffected.
   bool log_events = true;
+  /// Flight-recorder tracer (optional).  Sampled rounds emit one
+  /// "engine.stage" event per stage, parented to the thread's current
+  /// span when one is active — so a traced request shows which voting
+  /// stage its rounds spent time in.
+  Tracer* tracer = nullptr;
 };
 
 class MetricsObserver final : public core::StageObserver {

@@ -1,0 +1,137 @@
+#include "obs/trace_export.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/trace.h"
+#include "util/strings.h"
+
+namespace avoc::obs {
+namespace {
+
+/// Minimal JSON string escaping (quote, backslash, control bytes).
+void AppendJsonString(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+/// Consumes "key=" then the value up to the next space (or end of line).
+bool ReadField(std::string_view& line, std::string_view key,
+               std::string_view* value) {
+  if (line.size() < key.size() + 1 ||
+      line.substr(0, key.size()) != key || line[key.size()] != '=') {
+    return false;
+  }
+  line.remove_prefix(key.size() + 1);
+  const size_t space = line.find(' ');
+  *value = line.substr(0, space);
+  line.remove_prefix(space == std::string_view::npos ? line.size()
+                                                     : space + 1);
+  return true;
+}
+
+bool ParseU64(std::string_view s, int base, uint64_t* value) {
+  if (s.empty() || s.size() >= 32) return false;
+  char buffer[32];
+  std::memcpy(buffer, s.data(), s.size());
+  buffer[s.size()] = '\0';
+  char* end = nullptr;
+  *value = std::strtoull(buffer, &end, base);
+  return end == buffer + s.size();
+}
+
+}  // namespace
+
+Result<std::string> TraceDumpToChromeJson(std::string_view dump) {
+  constexpr std::string_view kHeader = "AVOC-TRACE v1";
+  size_t cursor = dump.find('\n');
+  if (cursor == std::string_view::npos ||
+      dump.substr(0, cursor) != kHeader) {
+    return ParseError("trace dump missing AVOC-TRACE v1 header");
+  }
+  ++cursor;
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  size_t line_no = 1;
+  while (cursor < dump.size()) {
+    ++line_no;
+    const size_t eol = dump.find('\n', cursor);
+    std::string_view line =
+        dump.substr(cursor, eol == std::string_view::npos ? std::string_view::npos
+                                                          : eol - cursor);
+    cursor = eol == std::string_view::npos ? dump.size() : eol + 1;
+    if (line.empty()) continue;
+
+    std::string_view trace, span, parent, kind, start, end, name;
+    uint64_t trace_id = 0, span_id = 0, parent_id = 0, start_ns = 0,
+             end_ns = 0;
+    // `detail` is last and may contain spaces: it is the line remainder.
+    if (!ReadField(line, "trace", &trace) || !ReadField(line, "span", &span) ||
+        !ReadField(line, "parent", &parent) ||
+        !ReadField(line, "kind", &kind) || !ReadField(line, "start", &start) ||
+        !ReadField(line, "end", &end) || !ReadField(line, "name", &name) ||
+        line.substr(0, 7) != "detail=" || !ParseU64(trace, 16, &trace_id) ||
+        !ParseU64(span, 16, &span_id) || !ParseU64(parent, 16, &parent_id) ||
+        !ParseU64(start, 10, &start_ns) || !ParseU64(end, 10, &end_ns)) {
+      return ParseError(
+          StrFormat("malformed trace dump record at line %zu", line_no));
+    }
+    const std::string_view detail = line.substr(7);
+
+    if (!first) out.push_back(',');
+    first = false;
+    const bool instant = kind == "event";
+    // Lane per layer: the tid orders tracks in the viewer.
+    int tid = 0;
+    if (kind == "client") tid = 1;
+    else if (kind == "server") tid = 2;
+    else if (kind == "engine") tid = 3;
+    else if (kind == "storage") tid = 4;
+    else if (kind == "event") tid = 5;
+
+    out += "{\"name\":";
+    AppendJsonString(out, name);
+    out += ",\"cat\":\"avoc\",\"ph\":";
+    out += instant ? "\"i\",\"s\":\"t\"" : "\"X\"";
+    out += StrFormat(",\"ts\":%llu.%03llu",
+                     static_cast<unsigned long long>(start_ns / 1000),
+                     static_cast<unsigned long long>(start_ns % 1000));
+    if (!instant) {
+      const uint64_t dur_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
+      out += StrFormat(",\"dur\":%llu.%03llu",
+                       static_cast<unsigned long long>(dur_ns / 1000),
+                       static_cast<unsigned long long>(dur_ns % 1000));
+    }
+    out += StrFormat(",\"pid\":1,\"tid\":%d,\"args\":{\"trace\":\"%016llx\","
+                     "\"span\":\"%016llx\",\"parent\":\"%016llx\",\"detail\":",
+                     tid, static_cast<unsigned long long>(trace_id),
+                     static_cast<unsigned long long>(span_id),
+                     static_cast<unsigned long long>(parent_id));
+    AppendJsonString(out, detail);
+    out += "}}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+}  // namespace avoc::obs

@@ -1,0 +1,25 @@
+// Converts canonical AVOC-TRACE dumps to Chrome trace_event JSON.
+//
+// Tracer::DumpText() (and the TRACE_DUMP wire verb that exposes it) emit
+// a stable line-oriented text format; this header turns that text into
+// the JSON Array Format understood by chrome://tracing and Perfetto, so
+// a flight-recorder snapshot from a production shard drops straight into
+// a timeline viewer.  Spans become complete ("X") events with
+// microsecond timestamps; point events become instant ("i") events; the
+// span kind selects the tid so each layer (client/server/engine/storage)
+// renders as its own track.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace avoc::obs {
+
+/// Parses a Tracer::DumpText() payload and returns the Chrome
+/// trace_event JSON document.  ParseError on a malformed dump (wrong
+/// header or an unparseable record line).
+Result<std::string> TraceDumpToChromeJson(std::string_view dump);
+
+}  // namespace avoc::obs

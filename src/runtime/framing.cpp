@@ -33,6 +33,7 @@ std::string_view FrameTypeName(FrameType type) {
     case FrameType::kQuery: return "QUERY";
     case FrameType::kQueryRange: return "QUERY_RANGE";
     case FrameType::kHistoryGet: return "HISTORY_GET";
+    case FrameType::kTraceDump: return "TRACE_DUMP";
     case FrameType::kGroups: return "GROUPS";
     case FrameType::kMetrics: return "METRICS";
     case FrameType::kHealth: return "HEALTH";
@@ -174,8 +175,40 @@ Result<Frame> FrameDecoder::Next() {
   return frame;
 }
 
+void AppendTraceContext(std::string& out, const WireTraceContext& trace) {
+  out.push_back(static_cast<char>(0x01));  // field version
+  AppendVarint(out, trace.trace_id);
+  AppendVarint(out, trace.parent_span_id);
+  out.push_back(static_cast<char>(trace.flags));
+}
+
+Status FinishWithOptionalTraceContext(PayloadReader& reader,
+                                      WireTraceContext* trace) {
+  if (trace != nullptr) *trace = WireTraceContext{};
+  if (reader.empty()) return Status::Ok();  // absent: pre-trace encoding
+  AVOC_ASSIGN_OR_RETURN(const uint64_t version, reader.ReadVarint());
+  if (version == 0) return ParseError("trace context version 0");
+  if (version > 1) {
+    // A future field revision: skip its bytes, keep the request.
+    reader.Skip(reader.remaining());
+    return Status::Ok();
+  }
+  WireTraceContext decoded;
+  AVOC_ASSIGN_OR_RETURN(decoded.trace_id, reader.ReadVarint());
+  AVOC_ASSIGN_OR_RETURN(decoded.parent_span_id, reader.ReadVarint());
+  AVOC_ASSIGN_OR_RETURN(const uint64_t flags, reader.ReadVarint());
+  if (flags > 0xFF) return ParseError("trace context flags out of range");
+  decoded.flags = static_cast<uint8_t>(flags);
+  if (decoded.trace_id == 0) {
+    return ParseError("trace context with zero trace id");
+  }
+  if (trace != nullptr) *trace = decoded;
+  return reader.ExpectEnd();
+}
+
 std::string EncodeSubmitBatch(std::string_view group,
-                              std::span<const BatchReading> readings) {
+                              std::span<const BatchReading> readings,
+                              const WireTraceContext* trace) {
   std::string payload;
   payload.reserve(group.size() + 4 + readings.size() * 14);
   AppendLengthPrefixedString(payload, group);
@@ -185,11 +218,13 @@ std::string EncodeSubmitBatch(std::string_view group,
     AppendVarint(payload, reading.round);
     AppendDouble(payload, reading.value);
   }
+  if (trace != nullptr && trace->valid()) AppendTraceContext(payload, *trace);
   return payload;
 }
 
 Status DecodeSubmitBatch(std::string_view payload, std::string* group,
-                         std::vector<BatchReading>* readings) {
+                         std::vector<BatchReading>* readings,
+                         WireTraceContext* trace) {
   PayloadReader reader(payload);
   AVOC_ASSIGN_OR_RETURN(const std::string_view name, reader.ReadString());
   AVOC_ASSIGN_OR_RETURN(const uint64_t count, reader.ReadVarint());
@@ -208,60 +243,67 @@ Status DecodeSubmitBatch(std::string_view payload, std::string* group,
     AVOC_ASSIGN_OR_RETURN(reading.value, reader.ReadDouble());
     readings->push_back(reading);
   }
-  return reader.ExpectEnd();
+  return FinishWithOptionalTraceContext(reader, trace);
 }
 
 std::string EncodeSubmitBatchSeq(std::string_view client_id, uint64_t seq,
                                  std::string_view group,
-                                 std::span<const BatchReading> readings) {
+                                 std::span<const BatchReading> readings,
+                                 const WireTraceContext* trace) {
   std::string payload;
   payload.reserve(client_id.size() + group.size() + 12 +
                   readings.size() * 14);
   AppendLengthPrefixedString(payload, client_id);
   AppendVarint(payload, seq);
-  payload += EncodeSubmitBatch(group, readings);
+  payload += EncodeSubmitBatch(group, readings, trace);
   return payload;
 }
 
 Status DecodeSubmitBatchSeq(std::string_view payload, std::string* client_id,
                             uint64_t* seq, std::string* group,
-                            std::vector<BatchReading>* readings) {
+                            std::vector<BatchReading>* readings,
+                            WireTraceContext* trace) {
   PayloadReader reader(payload);
   AVOC_ASSIGN_OR_RETURN(const std::string_view id, reader.ReadString());
   AVOC_ASSIGN_OR_RETURN(*seq, reader.ReadVarint());
   client_id->assign(id);
-  // The remainder is exactly a SUBMIT_BATCH payload.
+  // The remainder is exactly a SUBMIT_BATCH payload (incl. the optional
+  // trailing trace context, which therefore rides both verbs for free).
   return DecodeSubmitBatch(payload.substr(payload.size() - reader.remaining()),
-                           group, readings);
+                           group, readings, trace);
 }
 
-std::string EncodeClose(std::string_view group, uint64_t round) {
+std::string EncodeClose(std::string_view group, uint64_t round,
+                        const WireTraceContext* trace) {
   std::string payload;
   AppendLengthPrefixedString(payload, group);
   AppendVarint(payload, round);
+  if (trace != nullptr && trace->valid()) AppendTraceContext(payload, *trace);
   return payload;
 }
 
 Status DecodeClose(std::string_view payload, std::string* group,
-                   uint64_t* round) {
+                   uint64_t* round, WireTraceContext* trace) {
   PayloadReader reader(payload);
   AVOC_ASSIGN_OR_RETURN(const std::string_view name, reader.ReadString());
   AVOC_ASSIGN_OR_RETURN(*round, reader.ReadVarint());
   group->assign(name);
-  return reader.ExpectEnd();
+  return FinishWithOptionalTraceContext(reader, trace);
 }
 
-std::string EncodeQuery(std::string_view group) {
+std::string EncodeQuery(std::string_view group, const WireTraceContext* trace) {
   std::string payload;
   AppendLengthPrefixedString(payload, group);
+  if (trace != nullptr && trace->valid()) AppendTraceContext(payload, *trace);
   return payload;
 }
 
-Status DecodeQuery(std::string_view payload, std::string* group) {
+Status DecodeQuery(std::string_view payload, std::string* group,
+                   WireTraceContext* trace) {
   PayloadReader reader(payload);
   AVOC_ASSIGN_OR_RETURN(const std::string_view name, reader.ReadString());
   group->assign(name);
-  return reader.ExpectEnd();
+  return FinishWithOptionalTraceContext(reader, trace);
 }
 
 std::string EncodeOk(uint64_t accepted) {
@@ -340,22 +382,25 @@ Status DecodeGroupList(std::string_view payload,
 }
 
 std::string EncodeQueryRange(std::string_view group, uint64_t lo_round,
-                             uint64_t hi_round) {
+                             uint64_t hi_round,
+                             const WireTraceContext* trace) {
   std::string payload;
   AppendLengthPrefixedString(payload, group);
   AppendVarint(payload, lo_round);
   AppendVarint(payload, hi_round);
+  if (trace != nullptr && trace->valid()) AppendTraceContext(payload, *trace);
   return payload;
 }
 
 Status DecodeQueryRange(std::string_view payload, std::string* group,
-                        uint64_t* lo_round, uint64_t* hi_round) {
+                        uint64_t* lo_round, uint64_t* hi_round,
+                        WireTraceContext* trace) {
   PayloadReader reader(payload);
   AVOC_ASSIGN_OR_RETURN(const std::string_view name, reader.ReadString());
   group->assign(name);
   AVOC_ASSIGN_OR_RETURN(*lo_round, reader.ReadVarint());
   AVOC_ASSIGN_OR_RETURN(*hi_round, reader.ReadVarint());
-  return reader.ExpectEnd();
+  return FinishWithOptionalTraceContext(reader, trace);
 }
 
 std::string EncodeRangeResult(std::span<const RangePoint> points) {
@@ -392,17 +437,20 @@ Status DecodeRangeResult(std::string_view payload,
   return reader.ExpectEnd();
 }
 
-std::string EncodeHistoryGet(std::string_view group) {
+std::string EncodeHistoryGet(std::string_view group,
+                             const WireTraceContext* trace) {
   std::string payload;
   AppendLengthPrefixedString(payload, group);
+  if (trace != nullptr && trace->valid()) AppendTraceContext(payload, *trace);
   return payload;
 }
 
-Status DecodeHistoryGet(std::string_view payload, std::string* group) {
+Status DecodeHistoryGet(std::string_view payload, std::string* group,
+                        WireTraceContext* trace) {
   PayloadReader reader(payload);
   AVOC_ASSIGN_OR_RETURN(const std::string_view name, reader.ReadString());
   group->assign(name);
-  return reader.ExpectEnd();
+  return FinishWithOptionalTraceContext(reader, trace);
 }
 
 std::string EncodeHistoryState(uint64_t rounds,

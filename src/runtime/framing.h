@@ -37,8 +37,23 @@
 //   GROUPS        (empty)                               -> GROUP_LIST | ERR
 //   METRICS       (empty)                               -> TEXT | ERR
 //   HEALTH        (empty)                               -> TEXT | ERR
+//   TRACE_DUMP    (empty)                               -> TEXT | ERR
 //   PING          (empty)                               -> PONG
 //   QUIT          (empty)                               -> BYE (then close)
+//
+// Group-addressed requests (SUBMIT_BATCH, SUBMIT_BATCH_SEQ, CLOSE,
+// QUERY, QUERY_RANGE, HISTORY_GET) may carry an OPTIONAL trailing
+// trace-context field after their mandatory payload:
+//
+//   trace_ctx := u8 version(0x01), varint trace_id, varint parent_span_id,
+//                u8 flags (bit 0 = sampled)
+//
+// The field is version-tolerant by construction: an absent field decodes
+// exactly as before (old clients), decoders skip the remainder of any
+// field with version > 1 (new clients against this server), and servers
+// that predate the field reject it as trailing garbage — which the
+// resilient client treats as a non-retryable error, matching every other
+// capability mismatch.  See docs/PROTOCOL.md.
 //
 //   OK            varint accepted (readings routed; SUBMIT_BATCH may
 //                 accept fewer than sent when modules are out of range)
@@ -54,6 +69,7 @@
 //   PONG, BYE     (empty)
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -95,6 +111,9 @@ enum class FrameType : uint8_t {
   kQueryRange = 0x0A,
   /// Read of the group's live history ledger (reliability records).
   kHistoryGet = 0x0B,
+  /// Snapshot of the server's flight recorder (obs/trace.h) as the
+  /// canonical AVOC-TRACE text dump, served like METRICS.
+  kTraceDump = 0x0C,
   // Responses (high bit set).
   kOk = 0x81,
   kError = 0x82,
@@ -142,6 +161,9 @@ class PayloadReader {
   size_t remaining() const { return data_.size() - pos_; }
   bool empty() const { return remaining() == 0; }
 
+  /// Discards up to `n` unread bytes (forward-compat field skipping).
+  void Skip(size_t n) { pos_ += std::min(n, remaining()); }
+
   /// ParseError unless every payload byte was consumed — trailing garbage
   /// inside a frame is a protocol violation.
   Status ExpectEnd() const;
@@ -178,6 +200,30 @@ class FrameDecoder {
   bool poisoned_ = false;
 };
 
+// --- trace context -----------------------------------------------------------
+
+/// Wire form of the distributed-tracing context (obs/trace.h): which
+/// trace a request belongs to and which client span to parent the server
+/// span under.  trace_id 0 means "absent" — the field is then omitted on
+/// encode, so untraced requests are byte-identical to the PR 7 format.
+struct WireTraceContext {
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
+  uint8_t flags = 0;
+
+  bool valid() const { return trace_id != 0; }
+};
+
+/// Appends the versioned trace-context field (caller checks valid()).
+void AppendTraceContext(std::string& out, const WireTraceContext& trace);
+
+/// Terminal decode step for group-addressed requests: consumes an
+/// optional trailing trace-context field (tolerating future versions by
+/// skipping their bytes), then requires end-of-payload.  `trace` may be
+/// null to validate-and-discard.
+Status FinishWithOptionalTraceContext(PayloadReader& reader,
+                                      WireTraceContext* trace);
+
 // --- typed messages ----------------------------------------------------------
 
 /// One reading inside a SUBMIT_BATCH frame.
@@ -188,25 +234,32 @@ struct BatchReading {
 };
 
 std::string EncodeSubmitBatch(std::string_view group,
-                              std::span<const BatchReading> readings);
+                              std::span<const BatchReading> readings,
+                              const WireTraceContext* trace = nullptr);
 Status DecodeSubmitBatch(std::string_view payload, std::string* group,
-                         std::vector<BatchReading>* readings);
+                         std::vector<BatchReading>* readings,
+                         WireTraceContext* trace = nullptr);
 
 /// SUBMIT_BATCH_SEQ: string client_id, varint seq, then the SUBMIT_BATCH
 /// payload (string group, varint n, readings).
 std::string EncodeSubmitBatchSeq(std::string_view client_id, uint64_t seq,
                                  std::string_view group,
-                                 std::span<const BatchReading> readings);
+                                 std::span<const BatchReading> readings,
+                                 const WireTraceContext* trace = nullptr);
 Status DecodeSubmitBatchSeq(std::string_view payload, std::string* client_id,
                             uint64_t* seq, std::string* group,
-                            std::vector<BatchReading>* readings);
+                            std::vector<BatchReading>* readings,
+                            WireTraceContext* trace = nullptr);
 
-std::string EncodeClose(std::string_view group, uint64_t round);
+std::string EncodeClose(std::string_view group, uint64_t round,
+                        const WireTraceContext* trace = nullptr);
 Status DecodeClose(std::string_view payload, std::string* group,
-                   uint64_t* round);
+                   uint64_t* round, WireTraceContext* trace = nullptr);
 
-std::string EncodeQuery(std::string_view group);
-Status DecodeQuery(std::string_view payload, std::string* group);
+std::string EncodeQuery(std::string_view group,
+                        const WireTraceContext* trace = nullptr);
+Status DecodeQuery(std::string_view payload, std::string* group,
+                   WireTraceContext* trace = nullptr);
 
 std::string EncodeOk(uint64_t accepted);
 Status DecodeOk(std::string_view payload, uint64_t* accepted);
@@ -233,16 +286,20 @@ struct RangePoint {
 };
 
 std::string EncodeQueryRange(std::string_view group, uint64_t lo_round,
-                             uint64_t hi_round);
+                             uint64_t hi_round,
+                             const WireTraceContext* trace = nullptr);
 Status DecodeQueryRange(std::string_view payload, std::string* group,
-                        uint64_t* lo_round, uint64_t* hi_round);
+                        uint64_t* lo_round, uint64_t* hi_round,
+                        WireTraceContext* trace = nullptr);
 
 std::string EncodeRangeResult(std::span<const RangePoint> points);
 Status DecodeRangeResult(std::string_view payload,
                          std::vector<RangePoint>* points);
 
-std::string EncodeHistoryGet(std::string_view group);
-Status DecodeHistoryGet(std::string_view payload, std::string* group);
+std::string EncodeHistoryGet(std::string_view group,
+                             const WireTraceContext* trace = nullptr);
+Status DecodeHistoryGet(std::string_view payload, std::string* group,
+                        WireTraceContext* trace = nullptr);
 
 /// HISTORY response body: the voter's live reliability ledger.
 std::string EncodeHistoryState(uint64_t rounds, std::span<const double> records);

@@ -6,8 +6,12 @@ namespace avoc::runtime {
 
 VoterGroupManager::VoterGroupManager(storage::HistoryBackend* store,
                                      obs::Registry* registry,
-                                     storage::TraceBackend* trace_store)
-    : store_(store), registry_(registry), trace_store_(trace_store) {}
+                                     storage::TraceBackend* trace_store,
+                                     obs::Tracer* tracer)
+    : store_(store),
+      registry_(registry),
+      trace_store_(trace_store),
+      tracer_(tracer) {}
 
 Status VoterGroupManager::AddGroup(const std::string& name,
                                    core::VotingEngine engine) {
@@ -20,6 +24,7 @@ Status VoterGroupManager::AddGroup(const std::string& name,
   options.store = store_;
   options.trace_store = trace_store_;
   options.registry = registry_;
+  options.tracer = tracer_;
   AVOC_ASSIGN_OR_RETURN(
       std::unique_ptr<GroupRunner> runner,
       GroupRunner::Create(std::move(engine), std::move(options)));

@@ -26,10 +26,13 @@ class VoterGroupManager {
   /// `store` (optional) persists every group's history under its name;
   /// `registry` (optional) instruments every group with group-labeled
   /// metrics; `trace_store` (optional) persists every group's vote trace
-  /// (the QUERY_RANGE feed).  All must outlive the manager.
+  /// (the QUERY_RANGE feed); `tracer` (optional) records engine-stage
+  /// spans into the flight recorder (obs/trace.h).  All must outlive the
+  /// manager.
   explicit VoterGroupManager(storage::HistoryBackend* store = nullptr,
                              obs::Registry* registry = nullptr,
-                             storage::TraceBackend* trace_store = nullptr);
+                             storage::TraceBackend* trace_store = nullptr,
+                             obs::Tracer* tracer = nullptr);
 
   /// Registers a group with a ready engine.  Fails on duplicate names.
   Status AddGroup(const std::string& name, core::VotingEngine engine);
@@ -73,12 +76,16 @@ class VoterGroupManager {
   /// The trace backend, or nullptr when traces are not persisted.
   storage::TraceBackend* trace_store() const { return trace_store_; }
 
+  /// The flight-recorder tracer, or nullptr when tracing is disabled.
+  obs::Tracer* tracer() const { return tracer_; }
+
  private:
   Result<GroupRunner*> Find(const std::string& name) const;
 
   storage::HistoryBackend* store_;
   obs::Registry* registry_;
   storage::TraceBackend* trace_store_;
+  obs::Tracer* tracer_;
   std::map<std::string, std::unique_ptr<GroupRunner>> groups_;
 };
 

@@ -1,5 +1,7 @@
 #include "runtime/group_runner.h"
 
+#include "util/strings.h"
+
 namespace avoc::runtime {
 
 GroupRunner::GroupRunner(std::vector<SensorNode::Generator> generators,
@@ -34,6 +36,7 @@ GroupRunner::GroupRunner(std::vector<SensorNode::Generator> generators,
     // scrapes exact for negligible cost.
     observer_options.flush_every = 1;
     observer_options.exclusion_streak_alert = options_.exclusion_streak_alert;
+    observer_options.tracer = options_.tracer;
     observer_ = std::make_unique<obs::MetricsObserver>(
         reg, std::move(observer_options));
     // The voter serializes rounds under its mutex, satisfying the
@@ -127,7 +130,23 @@ Status GroupRunner::Submit(size_t module, size_t round, double value) {
 
 BatchIngestStats GroupRunner::SubmitBatch(
     std::span<const ReadingMessage> readings) {
-  return hub_->IngestBatch(readings);
+  if (options_.tracer == nullptr) return hub_->IngestBatch(readings);
+  // Parent the engine span to whatever span is current on this thread
+  // (the server verb span when reached over the wire).
+  obs::SpanContext parent;
+  if (const obs::CurrentSpan current = obs::CurrentTraceSpan();
+      current.tracer == options_.tracer) {
+    parent = current.context;
+  }
+  obs::ScopedSpan span(options_.tracer, obs::SpanKind::kEngine,
+                       "engine.batch", parent);
+  const BatchIngestStats stats = hub_->IngestBatch(readings);
+  if (span.active()) {
+    span.SetDetailF("group=%s readings=%zu rounds=%zu",
+                    options_.group.c_str(), readings.size(),
+                    stats.rounds_closed);
+  }
+  return stats;
 }
 
 void GroupRunner::FlushRound(size_t round) {

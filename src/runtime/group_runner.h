@@ -24,6 +24,7 @@
 #include "core/engine.h"
 #include "data/round_table.h"
 #include "obs/stage_metrics.h"
+#include "obs/trace.h"
 #include "runtime/nodes.h"
 #include "util/status.h"
 
@@ -50,6 +51,10 @@ struct GroupRunnerOptions {
   size_t metrics_sample_every = 16;
   /// Exclusion-streak alert threshold (0 = off); see MetricsObserverOptions.
   size_t exclusion_streak_alert = 0;
+  /// Flight-recorder tracer (optional).  SubmitBatch wraps its columnar
+  /// engine pass in an "engine.batch" span parented to the caller's
+  /// current span, and sampled rounds emit per-stage events.
+  obs::Tracer* tracer = nullptr;
 };
 
 class GroupRunner {

@@ -23,6 +23,36 @@ uint64_t NowNanos() {
           .count());
 }
 
+/// The span parent encoded in a request's trailing trace-context field;
+/// an absent field yields an invalid context, which roots a new local
+/// trace (the flight recorder is always on, traced client or not).
+obs::SpanContext ParentOf(const WireTraceContext& trace) {
+  obs::SpanContext parent;
+  parent.trace_id = trace.trace_id;
+  parent.span_id = trace.parent_span_id;
+  parent.flags = trace.flags;
+  return parent;
+}
+
+/// Per-verb accounting for the broken-out QUERY_RANGE / HISTORY_GET
+/// families: counts on entry, records wall latency on scope exit.
+class VerbTimer {
+ public:
+  VerbTimer(obs::Counter* requests, obs::LatencyHistogram* latency)
+      : latency_(latency), begin_(latency != nullptr ? NowNanos() : 0) {
+    if (requests != nullptr) requests->Increment();
+  }
+  ~VerbTimer() {
+    if (latency_ != nullptr) latency_->Record(NowNanos() - begin_);
+  }
+  VerbTimer(const VerbTimer&) = delete;
+  VerbTimer& operator=(const VerbTimer&) = delete;
+
+ private:
+  obs::LatencyHistogram* latency_;
+  uint64_t begin_;
+};
+
 /// The target group of a frame, or "" for group-less verbs (and for
 /// malformed payloads, which then fail decoding on the local shard).
 /// Group-addressed payloads lead with the group id (or client id + seq
@@ -96,6 +126,14 @@ RemoteVoterServer::RemoteVoterServer(VoterGroupManager* manager,
     dedup_clients_ = &registry->GetGauge(name("avoc_remote_dedup_clients"));
     request_latency_ =
         &registry->GetHistogram(name("avoc_remote_request_latency_ns"));
+    query_range_requests_ =
+        &registry->GetCounter(name("avoc_remote_query_range_requests_total"));
+    history_get_requests_ =
+        &registry->GetCounter(name("avoc_remote_history_get_requests_total"));
+    query_range_latency_ =
+        &registry->GetHistogram(name("avoc_remote_query_range_latency_ns"));
+    history_get_latency_ =
+        &registry->GetHistogram(name("avoc_remote_history_get_latency_ns"));
     if (!options_.metrics_scope.empty()) {
       forwarded_counter_ =
           &registry->GetCounter(name("avoc_shard_forwarded_total"));
@@ -106,6 +144,8 @@ RemoteVoterServer::RemoteVoterServer(VoterGroupManager* manager,
       owned_groups_gauge_ = &registry->GetGauge(name("avoc_shard_groups"));
     }
   }
+  tracer_ =
+      options_.tracer != nullptr ? options_.tracer : manager_->tracer();
 }
 
 Result<std::unique_ptr<RemoteVoterServer>> RemoteVoterServer::Start(
@@ -441,6 +481,9 @@ void RemoteVoterServer::ProcessBinaryFrames(int fd) {
     if (!frame.ok()) {
       if (frame.status().code() == ErrorCode::kNotFound) break;
       // Protocol violation: boundaries are lost, report and hang up.
+      if (tracer_ != nullptr) {
+        tracer_->Event("server.poisoned_frame", frame.status().message());
+      }
       DeliverResponse(
           c, EncodeFrame(FrameType::kError,
                          EncodeError(frame.status().message())));
@@ -473,6 +516,9 @@ void RemoteVoterServer::ProcessBinaryFrames(int fd) {
             if (backpressure_counter_ != nullptr) {
               backpressure_counter_->Increment();
             }
+            if (tracer_ != nullptr) {
+              tracer_->Event("server.backpressure", "busy");
+            }
             DeliverResponse(
                 c, EncodeFrame(FrameType::kError, EncodeError("busy")));
             continue;
@@ -486,8 +532,8 @@ void RemoteVoterServer::ProcessBinaryFrames(int fd) {
   }
 }
 
-void RemoteVoterServer::ExecuteFrameLocally(Connection& c,
-                                            const Frame& frame) {
+void RemoteVoterServer::ExecuteFrameLocally(Connection& c, const Frame& frame,
+                                            const char* route) {
   ++requests_;
   if (frames_in_ != nullptr) frames_in_->Increment();
   std::string response;
@@ -497,12 +543,16 @@ void RemoteVoterServer::ExecuteFrameLocally(Connection& c,
     if (backpressure_counter_ != nullptr) {
       backpressure_counter_->Increment();
     }
+    if (tracer_ != nullptr) tracer_->Event("server.backpressure", "busy");
     response = EncodeFrame(FrameType::kError, EncodeError("busy"));
   } else {
     const uint64_t begin = NowNanos();
-    response = HandleFrame(frame, &close_after);
+    response = HandleFrame(frame, &close_after, route);
     if (request_latency_ != nullptr) {
-      request_latency_->Record(NowNanos() - begin);
+      // Exemplar: the verb span's trace id (0 when the verb was
+      // untraced), linking this histogram to a TRACE_DUMP span tree.
+      request_latency_->RecordWithExemplar(NowNanos() - begin,
+                                           obs::ConsumeLastTraceId());
     }
   }
   if (frames_out_ != nullptr) frames_out_->Increment();
@@ -563,6 +613,9 @@ void RemoteVoterServer::WritePath(int fd) {
     c.paused = true;
     backpressure_.fetch_add(1);
     if (backpressure_counter_ != nullptr) backpressure_counter_->Increment();
+    if (tracer_ != nullptr) {
+      tracer_->Event("server.backpressure", "read_pause");
+    }
   } else if (c.paused && pending <= options_.read_pause_bytes / 2) {
     c.paused = false;
   }
@@ -618,6 +671,13 @@ void RemoteVoterServer::ForwardFrame(int fd, Connection& c, size_t owner,
                                      Frame frame) {
   forwarded_.fetch_add(1);
   if (forwarded_counter_ != nullptr) forwarded_counter_->Increment();
+  if (tracer_ != nullptr) {
+    const std::string_view type_name = FrameTypeName(frame.type);
+    tracer_->Event("shard.forward",
+                   StrFormat("type=%.*s from=s%zu to=s%zu",
+                             static_cast<int>(type_name.size()),
+                             type_name.data(), link_.index, owner));
+  }
   const uint64_t slot = AllocatePendingSlot(c);
   RemoteVoterServer* peer = link_.peers[owner];
   // Two hops, both through single-writer mailboxes: execute on the
@@ -628,7 +688,8 @@ void RemoteVoterServer::ForwardFrame(int fd, Connection& c, size_t owner,
       [peer, frame = std::move(frame), origin = this,
        origin_reactor = loop_, fd, conn_id = c.id, slot]() mutable {
         bool close_after = false;
-        std::string response = peer->HandleFrame(frame, &close_after);
+        std::string response =
+            peer->HandleFrame(frame, &close_after, "forwarded");
         origin_reactor->Post([origin, fd, conn_id, slot,
                               response = std::move(response)]() mutable {
           origin->CompleteReply(fd, conn_id, slot, std::move(response));
@@ -671,6 +732,10 @@ void RemoteVoterServer::MigrateConnection(int fd, size_t owner,
   }
   migrations_.fetch_add(1);
   if (migrations_counter_ != nullptr) migrations_counter_->Increment();
+  if (tracer_ != nullptr) {
+    tracer_->Event("shard.migrate",
+                   StrFormat("from=s%zu to=s%zu", link_.index, owner));
+  }
   RemoteVoterServer* peer = link_.peers[owner];
   link_.reactors[owner]->Post(
       [peer, c = std::move(c), frame = std::move(frame),
@@ -708,7 +773,7 @@ void RemoteVoterServer::AdoptMigrated(std::shared_ptr<Connection> c,
   Connection& conn = *slot->second;
   // The request that triggered the migration executes here first, then
   // whatever else the client already pipelined into the buffers.
-  if (frame.has_value()) ExecuteFrameLocally(conn, *frame);
+  if (frame.has_value()) ExecuteFrameLocally(conn, *frame, "migrated");
   if (line.has_value()) ExecuteLineLocally(conn, *line);
   ProcessInput(fd);
   if (connections_.find(fd) != connections_.end()) {
@@ -773,7 +838,8 @@ std::string RemoteVoterServer::LocalHealthLines() const {
 }
 
 std::string RemoteVoterServer::HandleFrame(const Frame& frame,
-                                           bool* close_after) {
+                                           bool* close_after,
+                                           const char* route) {
   auto error = [](const Status& status) {
     return EncodeFrame(FrameType::kError, EncodeError(status.ToString()));
   };
@@ -786,9 +852,14 @@ std::string RemoteVoterServer::HandleFrame(const Frame& frame,
     case FrameType::kSubmitBatch: {
       std::string group;
       std::vector<BatchReading> readings;
+      WireTraceContext trace;
       const Status decoded =
-          DecodeSubmitBatch(frame.payload, &group, &readings);
+          DecodeSubmitBatch(frame.payload, &group, &readings, &trace);
       if (!decoded.ok()) return error(decoded);
+      obs::ScopedSpan span(
+          tracer_, obs::SpanKind::kServer, "server.submit_batch",
+          ParentOf(trace), StrFormat("group=%s route=%s", group.c_str(),
+                                     route));
       std::vector<ReadingMessage> messages;
       messages.reserve(readings.size());
       for (const BatchReading& reading : readings) {
@@ -805,9 +876,12 @@ std::string RemoteVoterServer::HandleFrame(const Frame& frame,
       uint64_t seq = 0;
       std::string group;
       std::vector<BatchReading> readings;
-      const Status decoded = DecodeSubmitBatchSeq(frame.payload, &client_id,
-                                                  &seq, &group, &readings);
+      WireTraceContext trace;
+      const Status decoded = DecodeSubmitBatchSeq(
+          frame.payload, &client_id, &seq, &group, &readings, &trace);
       if (!decoded.ok()) return error(decoded);
+      obs::ScopedSpan span(tracer_, obs::SpanKind::kServer,
+                           "server.submit_batch_seq", ParentOf(trace));
       ClientDedup& dedup = dedup_[client_id];
       if (dedup_clients_ != nullptr) {
         dedup_clients_->Set(static_cast<double>(dedup_.size()));
@@ -818,8 +892,14 @@ std::string RemoteVoterServer::HandleFrame(const Frame& frame,
         // without touching the engine (exactly-once ingest).
         dedup_replays_count_.fetch_add(1);
         if (dedup_replays_ != nullptr) dedup_replays_->Increment();
+        span.SetDetailF("group=%s route=%s seq=%llu dedup=replay",
+                        group.c_str(), route,
+                        static_cast<unsigned long long>(seq));
         return EncodeFrame(FrameType::kOk, EncodeOk(seen->second));
       }
+      span.SetDetailF("group=%s route=%s seq=%llu dedup=miss",
+                      group.c_str(), route,
+                      static_cast<unsigned long long>(seq));
       std::vector<ReadingMessage> messages;
       messages.reserve(readings.size());
       for (const BatchReading& reading : readings) {
@@ -843,8 +923,13 @@ std::string RemoteVoterServer::HandleFrame(const Frame& frame,
     case FrameType::kClose: {
       std::string group;
       uint64_t round = 0;
-      const Status decoded = DecodeClose(frame.payload, &group, &round);
+      WireTraceContext trace;
+      const Status decoded =
+          DecodeClose(frame.payload, &group, &round, &trace);
       if (!decoded.ok()) return error(decoded);
+      obs::ScopedSpan span(
+          tracer_, obs::SpanKind::kServer, "server.close", ParentOf(trace),
+          StrFormat("group=%s route=%s", group.c_str(), route));
       const Status closed =
           manager_->CloseRound(group, static_cast<size_t>(round));
       if (!closed.ok()) return error(closed);
@@ -852,8 +937,12 @@ std::string RemoteVoterServer::HandleFrame(const Frame& frame,
     }
     case FrameType::kQuery: {
       std::string group;
-      const Status decoded = DecodeQuery(frame.payload, &group);
+      WireTraceContext trace;
+      const Status decoded = DecodeQuery(frame.payload, &group, &trace);
       if (!decoded.ok()) return error(decoded);
+      obs::ScopedSpan span(
+          tracer_, obs::SpanKind::kServer, "server.query", ParentOf(trace),
+          StrFormat("group=%s route=%s", group.c_str(), route));
       auto sink = manager_->sink(group);
       if (!sink.ok()) return error(sink.status());
       const auto value = (*sink)->last_value();
@@ -861,11 +950,18 @@ std::string RemoteVoterServer::HandleFrame(const Frame& frame,
       return EncodeFrame(FrameType::kValue, EncodeValue(*value));
     }
     case FrameType::kQueryRange: {
+      VerbTimer timer(query_range_requests_, query_range_latency_);
       std::string group;
       uint64_t lo = 0;
       uint64_t hi = 0;
-      const Status decoded = DecodeQueryRange(frame.payload, &group, &lo, &hi);
+      WireTraceContext trace;
+      const Status decoded =
+          DecodeQueryRange(frame.payload, &group, &lo, &hi, &trace);
       if (!decoded.ok()) return error(decoded);
+      obs::ScopedSpan span(
+          tracer_, obs::SpanKind::kServer, "server.query_range",
+          ParentOf(trace),
+          StrFormat("group=%s route=%s", group.c_str(), route));
       if (hi < lo) {
         return error(InvalidArgumentError("QUERY_RANGE hi_round < lo_round"));
       }
@@ -899,9 +995,15 @@ std::string RemoteVoterServer::HandleFrame(const Frame& frame,
       return EncodeFrame(FrameType::kRangeResult, EncodeRangeResult(points));
     }
     case FrameType::kHistoryGet: {
+      VerbTimer timer(history_get_requests_, history_get_latency_);
       std::string group;
-      const Status decoded = DecodeHistoryGet(frame.payload, &group);
+      WireTraceContext trace;
+      const Status decoded = DecodeHistoryGet(frame.payload, &group, &trace);
       if (!decoded.ok()) return error(decoded);
+      obs::ScopedSpan span(
+          tracer_, obs::SpanKind::kServer, "server.history_get",
+          ParentOf(trace),
+          StrFormat("group=%s route=%s", group.c_str(), route));
       auto voter = manager_->voter(group);
       if (!voter.ok()) return error(voter.status());
       const core::HistoryLedger& ledger = (*voter)->engine().history();
@@ -926,6 +1028,14 @@ std::string RemoteVoterServer::HandleFrame(const Frame& frame,
     }
     case FrameType::kHealth:
       return EncodeFrame(FrameType::kText, EncodeText(HealthText()));
+    case FrameType::kTraceDump: {
+      if (tracer_ == nullptr) {
+        return error(FailedPreconditionError("tracing disabled (no tracer)"));
+      }
+      // The tracer is shared across shards, so any shard's dump shows the
+      // whole deployment's flight recorder.
+      return EncodeFrame(FrameType::kText, EncodeText(tracer_->DumpText()));
+    }
     default:
       return error(InvalidArgumentError(StrFormat(
           "unknown frame type 0x%02x", static_cast<unsigned>(frame.type))));
@@ -1107,15 +1217,16 @@ Result<uint64_t> RemoteVoterClient::SubmitBatch(
 
 Result<uint64_t> RemoteVoterClient::SubmitBatchSeq(
     std::string_view client_id, uint64_t seq, const std::string& group,
-    std::span<const BatchReading> readings) {
+    std::span<const BatchReading> readings, const WireTraceContext* trace) {
   if (mode_ != Mode::kBinary) {
     return FailedPreconditionError(
         "SubmitBatchSeq needs a binary connection (ConnectBinary)");
   }
   AVOC_ASSIGN_OR_RETURN(
       const Frame frame,
-      FrameRoundTrip(FrameType::kSubmitBatchSeq,
-                     EncodeSubmitBatchSeq(client_id, seq, group, readings)));
+      FrameRoundTrip(
+          FrameType::kSubmitBatchSeq,
+          EncodeSubmitBatchSeq(client_id, seq, group, readings, trace)));
   if (frame.type != FrameType::kOk) {
     return IoError(StrFormat("unexpected frame %s",
                              std::string(FrameTypeName(frame.type)).c_str()));
@@ -1295,6 +1406,20 @@ Result<std::string> RemoteVoterClient::Metrics() {
     text += line;
     text += '\n';
   }
+  return text;
+}
+
+Result<std::string> RemoteVoterClient::TraceDump() {
+  if (mode_ != Mode::kBinary) {
+    return UnsupportedError("TRACE_DUMP requires the binary protocol");
+  }
+  AVOC_ASSIGN_OR_RETURN(const Frame frame,
+                        FrameRoundTrip(FrameType::kTraceDump));
+  if (frame.type != FrameType::kText) {
+    return IoError("unexpected frame in TRACE_DUMP reply");
+  }
+  std::string text;
+  AVOC_RETURN_IF_ERROR(DecodeText(frame.payload, &text));
   return text;
 }
 

@@ -60,6 +60,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.h"
 #include "runtime/event_loop.h"
 #include "runtime/framing.h"
 #include "runtime/group_manager.h"
@@ -90,6 +91,10 @@ struct RemoteServerOptions {
   /// Shard scope for telemetry families (e.g. "s2" publishes
   /// avoc_remote_*{shard="s2"}).  Empty keeps the plain family names.
   std::string metrics_scope;
+  /// Flight recorder / distributed tracing sink (obs/trace.h).  Null
+  /// falls back to the manager's tracer; when both are null the server
+  /// records nothing and pays one branch per request.
+  obs::Tracer* tracer = nullptr;
 };
 
 class RemoteVoterServer;
@@ -237,8 +242,11 @@ class RemoteVoterServer {
   std::string Handle(const std::string& line);
 
   /// Handles one binary frame; returns the encoded response frame and
-  /// sets `*close_after` for QUIT.
-  std::string HandleFrame(const Frame& frame, bool* close_after);
+  /// sets `*close_after` for QUIT.  `route` tags the server span with
+  /// how the frame reached this shard ("local" | "forwarded" |
+  /// "migrated").
+  std::string HandleFrame(const Frame& frame, bool* close_after,
+                          const char* route = "local");
 
   /// The multi-line HEALTH body (shared by both protocols; no END line).
   std::string HealthText() const;
@@ -251,7 +259,8 @@ class RemoteVoterServer {
 
   /// Runs one frame on this shard: accounting, busy check, execution,
   /// in-order response delivery.
-  void ExecuteFrameLocally(Connection& c, const Frame& frame);
+  void ExecuteFrameLocally(Connection& c, const Frame& frame,
+                           const char* route = "local");
   /// Same for one legacy line.
   void ExecuteLineLocally(Connection& c, const std::string& line);
 
@@ -308,6 +317,12 @@ class RemoteVoterServer {
   ShardLink link_;
   GroupRouter router_{1};
 
+  /// Resolved tracing sink: options_.tracer, else the manager's tracer,
+  /// else null (tracing off).  Shared across shards — spans from every
+  /// shard land in one flight recorder, so TRACE_DUMP on any connection
+  /// sees the whole request path.
+  obs::Tracer* tracer_ = nullptr;
+
   // Optional telemetry (null without a manager registry).
   obs::Gauge* connections_gauge_ = nullptr;
   obs::Counter* frames_in_ = nullptr;
@@ -318,6 +333,10 @@ class RemoteVoterServer {
   obs::Counter* dedup_replays_ = nullptr;
   obs::Gauge* dedup_clients_ = nullptr;
   obs::LatencyHistogram* request_latency_ = nullptr;
+  obs::Counter* query_range_requests_ = nullptr;
+  obs::Counter* history_get_requests_ = nullptr;
+  obs::LatencyHistogram* query_range_latency_ = nullptr;
+  obs::LatencyHistogram* history_get_latency_ = nullptr;
   obs::Counter* forwarded_counter_ = nullptr;
   obs::Counter* migrations_counter_ = nullptr;
   obs::Counter* adopted_counter_ = nullptr;
@@ -360,9 +379,12 @@ class RemoteVoterClient {
   /// and sequence number so a resend after a lost reply is answered from
   /// the server's dedup cache instead of double-ingested.  Binary mode
   /// only.
+  /// `trace` (optional) rides the frame as the trailing trace-context
+  /// field, parenting the server-side span tree to the caller's span.
   Result<uint64_t> SubmitBatchSeq(std::string_view client_id, uint64_t seq,
                                   const std::string& group,
-                                  std::span<const BatchReading> readings);
+                                  std::span<const BatchReading> readings,
+                                  const WireTraceContext* trace = nullptr);
 
   /// Pipelining (binary mode only): queue a SUBMIT_BATCH without reading
   /// the reply...
@@ -394,6 +416,10 @@ class RemoteVoterClient {
   /// The server's Prometheus text exposition (one string, '\n'-separated
   /// lines, END sentinel stripped).
   Result<std::string> Metrics();
+  /// Snapshot of the server's flight recorder as AVOC-TRACE v1 text
+  /// (obs::Tracer::DumpText).  Binary mode only; FailedPrecondition when
+  /// the server runs without a tracer.
+  Result<std::string> TraceDump();
   /// Per-group health lines ("GROUP <name> ..."), header/END stripped.
   Result<std::vector<std::string>> Health();
 

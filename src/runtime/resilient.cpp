@@ -10,12 +10,14 @@ namespace avoc::runtime {
 ResilientVoterClient::ResilientVoterClient(TransportFactory factory,
                                            Clock* clock, std::string client_id,
                                            RetryPolicy policy, uint64_t seed,
-                                           obs::Registry* registry)
+                                           obs::Registry* registry,
+                                           obs::Tracer* tracer)
     : factory_(std::move(factory)),
       clock_(clock),
       client_id_(std::move(client_id)),
       policy_(policy),
-      rng_(seed) {
+      rng_(seed),
+      tracer_(tracer) {
   if (registry != nullptr) {
     connects_metric_ = &registry->GetCounter("avoc_client_connects_total");
     reconnects_metric_ = &registry->GetCounter("avoc_client_reconnects_total");
@@ -58,6 +60,11 @@ void ResilientVoterClient::Backoff(int attempt, uint64_t deadline_at_ms) {
   if (sleep_ms == 0) return;
   if (retry_backoff_ms_metric_ != nullptr) {
     retry_backoff_ms_metric_->Add(sleep_ms);
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Event("client.backoff",
+                   StrFormat("attempt=%d sleep_ms=%llu", attempt,
+                             static_cast<unsigned long long>(sleep_ms)));
   }
   clock_->SleepMs(sleep_ms);
 }
@@ -104,14 +111,35 @@ Status ResilientVoterClient::EnsureConnected(uint64_t deadline_at_ms,
 }
 
 Status ResilientVoterClient::Execute(
-    const std::function<Status(RemoteVoterClient&)>& op) {
+    const std::function<Status(RemoteVoterClient&)>& op,
+    const obs::SpanContext& parent, const char* op_name) {
   const uint64_t deadline_at_ms = clock_->NowMs() + policy_.deadline_ms;
   int attempt = 0;
+  int tries = 0;
   Status last = IoError("never attempted");
   while (policy_.max_attempts == 0 || attempt < policy_.max_attempts) {
     Status conn = EnsureConnected(deadline_at_ms, &attempt);
     if (!conn.ok()) return conn;
-    Status status = op(*client_);
+    Status status;
+    {
+      // Each attempt is its own child span; the wire context the op
+      // stamps (via CurrentTraceSpan) parents server work under it, so
+      // a retried submit shows every attempt and which one the server
+      // answered from dedup.
+      obs::ScopedSpan attempt_span(op_name != nullptr ? tracer_ : nullptr,
+                                   obs::SpanKind::kClient, "client.attempt",
+                                   parent);
+      status = op(*client_);
+      if (attempt_span.active()) {
+        attempt_span.SetDetailF(
+            "op=%s attempt=%d resend=%s outcome=%s", op_name, tries,
+            tries > 0 ? "yes" : "no",
+            status.ok() ? "ok"
+                        : (IsTransportError(status) ? "transport_error"
+                                                    : "app_error"));
+      }
+    }
+    ++tries;
     if (status.ok() || !IsTransportError(status)) return status;
     // Transport failure: the connection is unusable; reconnect and retry.
     last = status;
@@ -137,12 +165,41 @@ Result<uint64_t> ResilientVoterClient::SubmitBatch(
   // The sequence number is assigned ONCE; every retry reuses it, so the
   // server's dedup cache makes the submit exactly-once.
   const uint64_t seq = next_seq_++;
+  // Sampled calls open a root span whose trace id is derived from
+  // (client_id, seq) — stable across retries AND across same-seed
+  // simulation runs, so DST trace dumps are byte-identical.
+  const bool traced = tracer_ != nullptr && policy_.trace_sample_every != 0 &&
+                      (seq % policy_.trace_sample_every) == 0;
+  obs::SpanContext root_parent;
+  if (traced) {
+    root_parent.trace_id = obs::Tracer::DeriveTraceId(client_id_, seq);
+    root_parent.flags = 1;
+  }
+  obs::ScopedSpan root(traced ? tracer_ : nullptr, obs::SpanKind::kClient,
+                       "client.submit_batch", root_parent,
+                       StrFormat("group=%s seq=%llu", group.c_str(),
+                                 static_cast<unsigned long long>(seq)));
   uint64_t accepted = 0;
-  AVOC_RETURN_IF_ERROR(Execute([&](RemoteVoterClient& client) -> Status {
-    AVOC_ASSIGN_OR_RETURN(
-        accepted, client.SubmitBatchSeq(client_id_, seq, group, readings));
-    return Status::Ok();
-  }));
+  AVOC_RETURN_IF_ERROR(Execute(
+      [&](RemoteVoterClient& client) -> Status {
+        // Stamp the attempt span (current on this thread) into the wire
+        // trace-context field so the server's span tree joins this trace.
+        WireTraceContext wire;
+        const WireTraceContext* wire_ptr = nullptr;
+        if (const obs::CurrentSpan current = obs::CurrentTraceSpan();
+            current.tracer == tracer_ && tracer_ != nullptr &&
+            current.context.valid()) {
+          wire.trace_id = current.context.trace_id;
+          wire.parent_span_id = current.context.span_id;
+          wire.flags = current.context.flags;
+          wire_ptr = &wire;
+        }
+        AVOC_ASSIGN_OR_RETURN(accepted,
+                              client.SubmitBatchSeq(client_id_, seq, group,
+                                                    readings, wire_ptr));
+        return Status::Ok();
+      },
+      root.context(), traced ? "submit_batch" : nullptr));
   return accepted;
 }
 

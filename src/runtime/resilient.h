@@ -32,6 +32,7 @@
 #include <string>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/framing.h"
 #include "runtime/remote.h"
 #include "runtime/transport.h"
@@ -54,6 +55,10 @@ struct RetryPolicy {
   int max_attempts = 0;
   /// Overall wall/virtual-time budget for one call (connect + retries).
   uint64_t deadline_ms = 60 * 1000;
+  /// Trace every Nth SubmitBatch as a client root span (with per-attempt
+  /// child spans); 1 traces every call, 0 disables client spans.  Only
+  /// meaningful when the client carries a tracer.
+  size_t trace_sample_every = 1;
 };
 
 /// A voter client that survives resets, timeouts, and partitions, with
@@ -68,10 +73,14 @@ class ResilientVoterClient {
   /// (SystemClock::Instance() in production, the SimWorld in tests);
   /// `client_id` keys server-side dedup and must be unique per logical
   /// client; `seed` makes the jitter stream deterministic.  `registry`
-  /// (optional) receives avoc_client_* / avoc_remote_retry_* metrics.
+  /// (optional) receives avoc_client_* / avoc_remote_retry_* metrics;
+  /// `tracer` (optional) records a root span per sampled SubmitBatch,
+  /// one child span per attempt, and backoff events — and stamps the
+  /// wire trace-context field so server spans join the same trace.
   ResilientVoterClient(TransportFactory factory, Clock* clock,
                        std::string client_id, RetryPolicy policy,
-                       uint64_t seed, obs::Registry* registry = nullptr);
+                       uint64_t seed, obs::Registry* registry = nullptr,
+                       obs::Tracer* tracer = nullptr);
 
   /// Exactly-once batched submit.  Assigns the next sequence number once,
   /// then retries (reconnecting as needed) until the server acknowledges
@@ -109,8 +118,12 @@ class ResilientVoterClient {
   Status EnsureConnected(uint64_t deadline_at_ms, int* attempt);
 
   /// Runs `op` against a live client with reconnect-and-retry.  `op`
-  /// writes its result through captures.
-  Status Execute(const std::function<Status(RemoteVoterClient&)>& op);
+  /// writes its result through captures.  With `op_name` set and a
+  /// tracer present, every attempt runs inside a child span of `parent`
+  /// tagged with its attempt index and outcome.
+  Status Execute(const std::function<Status(RemoteVoterClient&)>& op,
+                 const obs::SpanContext& parent = {},
+                 const char* op_name = nullptr);
 
   /// Sleeps the jittered backoff for attempt `attempt` (0-based),
   /// truncated to not overshoot the deadline.
@@ -125,6 +138,7 @@ class ResilientVoterClient {
   Rng rng_;
   std::optional<RemoteVoterClient> client_;
   uint64_t next_seq_ = 1;
+  obs::Tracer* tracer_ = nullptr;
 
   size_t connects_ = 0;
   size_t reconnects_ = 0;

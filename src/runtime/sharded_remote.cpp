@@ -20,8 +20,10 @@ ShardedVoterServer::ShardedVoterServer(
       spawn_loop_threads_(spawn_loop_threads) {
   managers_.reserve(reactors_.size());
   for (size_t s = 0; s < reactors_.size(); ++s) {
-    managers_.push_back(
-        std::make_unique<VoterGroupManager>(store, registry, trace_store));
+    // Every shard manager shares the one tracer riding the base server
+    // options, so all shards record into the same flight recorder.
+    managers_.push_back(std::make_unique<VoterGroupManager>(
+        store, registry, trace_store, options_.base.tracer));
   }
 }
 

@@ -9,6 +9,8 @@
 #include <string_view>
 #include <utility>
 
+#include "util/strings.h"
+
 namespace avoc::storage {
 
 namespace {
@@ -475,6 +477,18 @@ Status StorageEngine::RemoveStaleFilesLocked() {
 
 Status StorageEngine::AppendWalLocked(WalRecordType type,
                                       std::string_view payload) {
+  // The append runs under a storage span parented to the calling
+  // request's span (the server verb span when reached over the wire), so
+  // a traced SUBMIT_BATCH_SEQ shows its own WAL write and fsync.
+  obs::SpanContext parent;
+  if (options_.tracer != nullptr) {
+    if (const obs::CurrentSpan current = obs::CurrentTraceSpan();
+        current.tracer == options_.tracer) {
+      parent = current.context;
+    }
+  }
+  obs::ScopedSpan span(options_.tracer, obs::SpanKind::kStorage,
+                       "wal.append", parent);
   const uint64_t before = wal_.bytes();
   AVOC_RETURN_IF_ERROR(wal_.Append(type, payload));
   ++wal_records_total_;
@@ -484,6 +498,12 @@ Status StorageEngine::AppendWalLocked(WalRecordType type,
   if (wal_bytes_metric_) wal_bytes_metric_->Add(wal_.bytes() - before);
   if (wal_records_metric_) wal_records_metric_->Increment();
   if (fsyncs_metric_ && fsync_delta != 0) fsyncs_metric_->Add(fsync_delta);
+  if (span.active()) {
+    span.SetDetailF("type=%u bytes=%zu synced=%s",
+                    static_cast<unsigned>(type), payload.size(),
+                    fsync_delta != 0 ? "yes" : "no");
+    if (fsync_delta != 0) options_.tracer->Event("wal.fsync");
+  }
   if (options_.compact_wal_bytes != 0 &&
       wal_.bytes() >= options_.compact_wal_bytes) {
     return CompactLocked();
@@ -607,6 +627,12 @@ Status StorageEngine::SealLocked(const std::string& group, GroupTrace& trace) {
   AVOC_RETURN_IF_ERROR(chunks_.Sync());
   ++fsyncs_total_;
   if (fsyncs_metric_) fsyncs_metric_->Increment();
+  if (options_.tracer != nullptr) {
+    options_.tracer->Event(
+        "storage.chunk_seal",
+        StrFormat("group=%s points=%zu bytes=%zu", group.c_str(), n,
+                  chunk.body.size()));
+  }
 
   trace.tail.erase(trace.tail.begin(), trace.tail.begin() + static_cast<ptrdiff_t>(n));
   trace.tail_base += n;
@@ -667,6 +693,11 @@ Status StorageEngine::CompactLocked() {
   seq_ = new_seq;
   ++compactions_;
   if (compactions_metric_) compactions_metric_->Increment();
+  if (options_.tracer != nullptr) {
+    options_.tracer->Event(
+        "storage.compaction",
+        StrFormat("seq=%llu", static_cast<unsigned long long>(new_seq)));
+  }
   return Status::Ok();
 }
 

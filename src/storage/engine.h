@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/backend.h"
 #include "storage/chunk.h"
 #include "storage/wal.h"
@@ -52,6 +53,10 @@ struct StorageEngineOptions {
   size_t compact_wal_bytes = 8u << 20;
   /// Optional metrics registry (must outlive the engine).
   obs::Registry* registry = nullptr;
+  /// Optional flight-recorder tracer (must outlive the engine): WAL
+  /// appends become storage spans parented to the calling request's
+  /// span; fsync, chunk-seal, and compaction drop point events.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Counters for introspection, avoc_storectl and BENCH_storage.

@@ -208,5 +208,134 @@ TEST(ObsMetricsTest, RegistryConcurrentGetAndWrite) {
             static_cast<uint64_t>(kThreads) * 1000u);
 }
 
+TEST(ObsMetricsTest, EscapeLabelValueHandlesHostileBytes) {
+  EXPECT_EQ(EscapeLabelValue("plain-group"), "plain-group");
+  EXPECT_EQ(EscapeLabelValue("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(EscapeLabelValue("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(EscapeLabelValue("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(EscapeLabelValue(""), "");
+}
+
+// Regression: group names come off the wire.  A group id built from
+// quotes, backslashes, and newlines must render as ONE well-formed
+// Prometheus line — no forged metrics, no broken exposition.
+TEST(ObsMetricsTest, RenderPrometheusSurvivesHostileGroupId) {
+  Registry registry;
+  const std::string hostile = "g\"} 999\nforged_total 1 #\\";
+  registry.GetCounter(LabeledName("avoc_rounds_total", "group", hostile))
+      .Add(2);
+  const std::string text = registry.RenderPrometheus();
+  // The hostile id renders escaped inside the label value...
+  EXPECT_NE(
+      text.find("avoc_rounds_total{group=\"g\\\"} 999\\nforged_total 1 #\\\\\"}"
+                " 2"),
+      std::string::npos)
+      << text;
+  // ...and no line of the exposition is the forged metric.
+  EXPECT_EQ(text.find("\nforged_total"), std::string::npos) << text;
+  for (size_t at = 0, eol; at < text.size(); at = eol + 1) {
+    eol = text.find('\n', at);
+    ASSERT_NE(eol, std::string::npos);  // exposition ends with newline
+    const std::string line = text.substr(at, eol - at);
+    EXPECT_EQ(line.rfind("avoc_", 0), 0u) << "forged line: " << line;
+  }
+}
+
+TEST(ObsMetricsTest, BothLabeledNameOverloadsEscapeValues) {
+  EXPECT_EQ(LabeledName("f", "k", "a\"b"), "f{k=\"a\\\"b\"}");
+  EXPECT_EQ(LabeledName("f", "k1", "a\nb", "k2", "c\\d"),
+            "f{k1=\"a\\nb\",k2=\"c\\\\d\"}");
+}
+
+TEST(ObsMetricsTest, ExemplarLinksHistogramToTrace) {
+  LatencyHistogram histogram;
+  histogram.Record(100);  // untraced: no exemplar yet
+  EXPECT_EQ(histogram.exemplar_trace_id(), 0u);
+  histogram.RecordWithExemplar(2000, 0xabcdef);
+  histogram.RecordWithExemplar(3000, 0);  // untraced keeps the previous one
+  const LatencySnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count, 3u);
+  EXPECT_EQ(snapshot.exemplar_trace_id, 0xabcdefu);
+  EXPECT_EQ(snapshot.exemplar_nanos, 2000u);
+}
+
+TEST(ObsMetricsTest, RenderPrometheusEmitsExemplarOnlyWhenTraced) {
+  Registry registry;
+  registry.GetHistogram("avoc_plain_ns").Record(500);
+  registry.GetHistogram("avoc_traced_ns").RecordWithExemplar(500, 0x2a);
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_EQ(text.find("avoc_plain_ns_exemplar"), std::string::npos) << text;
+  EXPECT_NE(
+      text.find(
+          "avoc_traced_ns_exemplar{trace_id=\"000000000000002a\"} 500"),
+      std::string::npos)
+      << text;
+}
+
+TEST(ObsMetricsTest, SnapshotMergeCarriesExemplars) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.RecordWithExemplar(100, 0x1);
+  b.RecordWithExemplar(200, 0x2);
+  LatencySnapshot merged = a.Snapshot();
+  merged.Merge(b.Snapshot());
+  EXPECT_EQ(merged.count, 2u);
+  EXPECT_EQ(merged.exemplar_trace_id, 0x2u);  // other's exemplar wins
+  LatencySnapshot empty;
+  empty.Merge(a.Snapshot());
+  EXPECT_EQ(empty.exemplar_trace_id, 0x1u);
+
+  LatencyHistogram untraced;
+  untraced.Record(300);
+  LatencySnapshot keep = a.Snapshot();
+  keep.Merge(untraced.Snapshot());
+  EXPECT_EQ(keep.exemplar_trace_id, 0x1u);  // untraced merge keeps ours
+}
+
+// TSan target: snapshot + merge + render while writers (including
+// exemplar writers) hammer the same histograms.  Snapshots may straddle
+// in-flight records but must stay internally sane.
+TEST(ObsMetricsTest, SnapshotAndMergeConcurrentWithRecording) {
+  Registry registry;
+  LatencyHistogram& h0 =
+      registry.GetHistogram(LabeledName("avoc_busy_ns", "shard", "s0"));
+  LatencyHistogram& h1 =
+      registry.GetHistogram(LabeledName("avoc_busy_ns", "shard", "s1"));
+  std::atomic<bool> stop{false};
+  constexpr int kWriters = 4;
+  constexpr uint64_t kPerWriter = 20000;
+
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&h0, &h1, t] {
+      LatencyHistogram& mine = t % 2 == 0 ? h0 : h1;
+      for (uint64_t i = 1; i <= kPerWriter; ++i) {
+        mine.RecordWithExemplar(i, /*trace_id=*/i | 0x100);
+      }
+    });
+  }
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      LatencySnapshot merged = registry.MergeHistograms("avoc_busy_ns");
+      uint64_t bucket_total = 0;
+      for (const uint64_t c : merged.counts) bucket_total += c;
+      // Bucket increments land before the count increment, so a snapshot
+      // can only over-count buckets relative to `count`, never invent
+      // samples beyond the writers' ceiling.
+      ASSERT_LE(merged.count, bucket_total);
+      ASSERT_LE(bucket_total, kWriters * kPerWriter);
+      (void)registry.RenderPrometheus();
+    }
+  });
+  for (std::thread& w : writers) w.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  const LatencySnapshot final_merge = registry.MergeHistograms("avoc_busy_ns");
+  EXPECT_EQ(final_merge.count, kWriters * kPerWriter);
+  EXPECT_NE(final_merge.exemplar_trace_id, 0u);
+}
+
 }  // namespace
 }  // namespace avoc::obs

@@ -217,13 +217,76 @@ TEST(FramingTest, PartialLengthVarintWaits) {
   EXPECT_FALSE(decoder.poisoned());
 }
 
-TEST(FramingTest, TrailingGarbageInPayloadRejected) {
-  std::string payload = EncodeQuery("lights");
-  payload += "garbage";
+TEST(FramingTest, TrailingBytesParseAsTraceContextField) {
+  // Trailing payload bytes are the optional trace-context field.  A
+  // version-0 field and a truncated v1 field are protocol violations; a
+  // future field version is skipped (forward tolerance).
+  std::string zero_version = EncodeQuery("lights");
+  zero_version.push_back('\0');
   std::string group;
-  const Status decoded = DecodeQuery(payload, &group);
+  Status decoded = DecodeQuery(zero_version, &group);
   EXPECT_FALSE(decoded.ok());
   EXPECT_EQ(decoded.code(), ErrorCode::kParseError);
+
+  std::string truncated = EncodeQuery("lights");
+  truncated.push_back('\x01');  // v1 header with no trace id after it
+  decoded = DecodeQuery(truncated, &group);
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.code(), ErrorCode::kParseError);
+
+  std::string future = EncodeQuery("lights");
+  future.push_back('\x07');       // version 7 ...
+  future += "future-field-bytes";  // ... skip the remainder
+  WireTraceContext trace;
+  trace.trace_id = 99;  // must be cleared on absent/unknown context
+  EXPECT_TRUE(DecodeQuery(future, &group, &trace).ok());
+  EXPECT_EQ(group, "lights");
+  EXPECT_FALSE(trace.valid());
+}
+
+TEST(FramingTest, TraceContextRoundTrips) {
+  WireTraceContext trace;
+  trace.trace_id = 0xfeedfacecafebeefull;
+  trace.parent_span_id = 42;
+  trace.flags = 1;
+  const std::string payload = EncodeQuery("lights", &trace);
+  // Untraced encoding is byte-identical to the pre-trace format.
+  EXPECT_EQ(EncodeQuery("lights"), EncodeQuery("lights", nullptr));
+  EXPECT_GT(payload.size(), EncodeQuery("lights").size());
+
+  std::string group;
+  WireTraceContext decoded;
+  ASSERT_TRUE(DecodeQuery(payload, &group, &decoded).ok());
+  EXPECT_EQ(group, "lights");
+  EXPECT_EQ(decoded.trace_id, trace.trace_id);
+  EXPECT_EQ(decoded.parent_span_id, trace.parent_span_id);
+  EXPECT_EQ(decoded.flags, trace.flags);
+
+  // Decoders that are handed no context slot still validate the field.
+  EXPECT_TRUE(DecodeQuery(payload, &group).ok());
+}
+
+TEST(FramingTest, SubmitBatchSeqCarriesTraceContext) {
+  const std::vector<BatchReading> readings = {{0, 1, 2.5}, {1, 1, 2.75}};
+  WireTraceContext trace;
+  trace.trace_id = 7;
+  trace.parent_span_id = 3;
+  trace.flags = 1;
+  const std::string payload =
+      EncodeSubmitBatchSeq("client-a", 12, "g", readings, &trace);
+  std::string client_id, group;
+  uint64_t seq = 0;
+  std::vector<BatchReading> decoded_readings;
+  WireTraceContext decoded;
+  ASSERT_TRUE(DecodeSubmitBatchSeq(payload, &client_id, &seq, &group,
+                                   &decoded_readings, &decoded)
+                  .ok());
+  EXPECT_EQ(client_id, "client-a");
+  EXPECT_EQ(seq, 12u);
+  EXPECT_EQ(group, "g");
+  EXPECT_EQ(decoded_readings.size(), 2u);
+  EXPECT_EQ(decoded.trace_id, 7u);
+  EXPECT_EQ(decoded.parent_span_id, 3u);
 }
 
 TEST(FramingTest, SubmitBatchCountBeyondPayloadRejected) {
