@@ -3,17 +3,31 @@
 //
 // Sweeps the group size from the avionics-style 3 up to 48 modules and
 // measures, per algorithm: fused-output error against ground truth under
-// a 20% population of faulty sensors, convergence after a fault, and the
-// per-round voting cost.  Shows where redundancy pays and what it costs.
+// a 20% population of faulty sensors, and the per-round voting cost.
+// Each configuration is run twice over the identical table: once bare
+// for the throughput numbers, once with a stage-timing observer attached
+// for the per-stage ns/round breakdown (agreement / exclusion / average
+// / other) — the observed pass pays the hook overhead, so the totals
+// come from the bare pass and the breakdown shows *where* rounds spend.
+//
+// The "standard-abs" rows run binary agreement over an absolute margin,
+// the mode where the kernel layer dispatches the O(N log N) sorted-
+// window agreement path; its per-stage agreement cost should grow
+// near-linearly from 9 → 48 modules while the pairwise presets grow
+// quadratically.  A bitwise sorted-vs-pairwise cross-check over every
+// standard-abs round is reported in the JSON (must be 0 mismatches).
 // Writes machine-readable BENCH_scale.json next to the stdout report.
 // Flags: --rounds N --seed S --json PATH
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/batch.h"
+#include "core/kernels/kernels.h"
 #include "stats/running.h"
 #include "util/cli.h"
 #include "util/rng.h"
@@ -21,6 +35,7 @@
 namespace {
 
 using avoc::core::AlgorithmId;
+using avoc::core::PresetParams;
 
 avoc::data::RoundTable MakeTable(size_t modules, size_t rounds,
                                  uint64_t seed, double truth) {
@@ -43,15 +58,72 @@ avoc::data::RoundTable MakeTable(size_t modules, size_t rounds,
   return table;
 }
 
+/// Buckets per-stage wall time: the three kernel-backed stages the
+/// breakdown names, everything else (quorum, clustering, elimination,
+/// weighting, majority, history) under "other".
+class StageTimer final : public avoc::core::StageObserver {
+ public:
+  void OnRoundBegin(size_t /*round*/,
+                    const avoc::core::VoteContext& /*context*/) override {
+    prev_ = Clock::now();
+  }
+  void OnStageDone(std::string_view stage,
+                   const avoc::core::VoteContext& /*context*/) override {
+    const auto now = Clock::now();
+    const double ns =
+        std::chrono::duration<double, std::nano>(now - prev_).count();
+    prev_ = now;
+    if (stage == "agreement") {
+      agreement_ns += ns;
+    } else if (stage == "exclusion") {
+      exclusion_ns += ns;
+    } else if (stage == "collation") {
+      average_ns += ns;
+    } else {
+      other_ns += ns;
+    }
+  }
+  bool wants_vote_result() const override { return false; }
+
+  double agreement_ns = 0.0;
+  double exclusion_ns = 0.0;
+  double average_ns = 0.0;
+  double other_ns = 0.0;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point prev_{};
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   auto cli = avoc::CommandLine::Parse(argc - 1, argv + 1);
   if (!cli.ok()) return 1;
   const size_t rounds = static_cast<size_t>(cli->GetInt("rounds", 500));
+  const size_t repeat =
+      std::max<size_t>(1, static_cast<size_t>(cli->GetInt("repeat", 3)));
   const uint64_t seed = static_cast<uint64_t>(cli->GetInt("seed", 5));
   const std::string json_path = cli->GetString("json", "BENCH_scale.json");
   constexpr double kTruth = 1000.0;
+
+  struct Config {
+    const char* label;
+    AlgorithmId id;
+    PresetParams params;
+  };
+  // standard-abs: binary agreement over an absolute ±50 margin (5% of
+  // the 1000.0 truth, matching the presets' relative ε=0.05) — the
+  // configuration the sorted-window agreement kernel serves.
+  PresetParams absolute;
+  absolute.error = kTruth * 0.05;
+  absolute.scale = avoc::core::ThresholdScale::kAbsolute;
+  const std::vector<Config> configs = {
+      {"average", AlgorithmId::kAverage, {}},
+      {"me", AlgorithmId::kModuleElimination, {}},
+      {"avoc", AlgorithmId::kAvoc, {}},
+      {"standard-abs", AlgorithmId::kStandard, absolute},
+  };
 
   struct Row {
     size_t modules;
@@ -60,45 +132,114 @@ int main(int argc, char** argv) {
     double max_err;
     double us_per_round;
     double rounds_per_sec;
+    double ns_agreement;
+    double ns_exclusion;
+    double ns_average;
+    double ns_other;
   };
   std::vector<Row> json_rows;
+  size_t cross_rounds = 0;
+  size_t cross_mismatches = 0;
 
   std::printf("=== redundancy scaling: %zu rounds, 20%% faulty modules "
               "(+25%% bias) ===\n",
               rounds);
-  std::printf("%-8s, %-10s, %12s, %12s, %14s\n", "modules", "algorithm",
-              "mean-err", "max-err", "us/round");
+  std::printf("%-8s, %-12s, %10s, %10s, %10s, %8s, %8s, %8s, %8s\n",
+              "modules", "algorithm", "mean-err", "max-err", "us/round",
+              "agr-ns", "exc-ns", "avg-ns", "oth-ns");
 
   for (const size_t modules : {3, 5, 9, 16, 24, 48}) {
     const auto table = MakeTable(modules, rounds, seed, kTruth);
-    for (const AlgorithmId id :
-         {AlgorithmId::kAverage, AlgorithmId::kModuleElimination,
-          AlgorithmId::kAvoc}) {
-      const auto start = std::chrono::steady_clock::now();
-      auto batch = avoc::core::RunAlgorithm(id, table);
-      const auto stop = std::chrono::steady_clock::now();
+    for (const Config& config : configs) {
+      // Bare timed passes: fastest of `repeat` (each over a fresh engine
+      // and trace, so every pass is the identical from-bootstrap run —
+      // the minimum is the steady-state cost, the spread is scheduler
+      // noise).  This is the throughput number.
+      double best_us = 0.0;
+      avoc::Result<avoc::core::BatchTrace> batch =
+          avoc::InternalError("bench: no pass ran");
+      for (size_t pass = 0; pass < repeat; ++pass) {
+        auto engine =
+            avoc::core::MakeEngine(config.id, modules, config.params);
+        if (!engine.ok()) break;
+        const auto start = std::chrono::steady_clock::now();
+        auto result = avoc::core::RunOverTable(*engine, table);
+        const auto stop = std::chrono::steady_clock::now();
+        if (!result.ok()) break;
+        const double us =
+            std::chrono::duration<double, std::micro>(stop - start).count();
+        if (pass == 0 || us < best_us) best_us = us;
+        batch = std::move(result);
+      }
       if (!batch.ok()) continue;
+
+      // Instrumented pass (fresh engine, same table): per-stage split.
+      StageTimer timer;
+      auto observed =
+          avoc::core::MakeEngine(config.id, modules, config.params);
+      if (!observed.ok()) continue;
+      observed->set_observer(&timer);
+      if (!avoc::core::RunOverTable(*observed, table).ok()) continue;
+
       avoc::stats::RunningStats err;
       for (size_t r = 0; r < batch->round_count(); ++r) {
         const auto value = batch->output(r);
         if (value.has_value()) err.Add(std::abs(*value - kTruth));
       }
-      const double us_per_round =
-          std::chrono::duration<double, std::micro>(stop - start).count() /
-          static_cast<double>(rounds);
-      std::printf("%8zu, %-10s, %12.2f, %12.2f, %14.2f\n", modules,
-                  std::string(avoc::core::AlgorithmName(id)).c_str(),
-                  err.mean(), err.max(), us_per_round);
-      json_rows.push_back(Row{modules,
-                              std::string(avoc::core::AlgorithmName(id)),
-                              err.mean(), err.max(), us_per_round,
-                              1e6 / us_per_round});
+      const double us_per_round = best_us / static_cast<double>(rounds);
+      const double per_round = 1.0 / static_cast<double>(rounds);
+      const Row row{modules,
+                    config.label,
+                    err.mean(),
+                    err.max(),
+                    us_per_round,
+                    1e6 / us_per_round,
+                    timer.agreement_ns * per_round,
+                    timer.exclusion_ns * per_round,
+                    timer.average_ns * per_round,
+                    timer.other_ns * per_round};
+      std::printf("%8zu, %-12s, %10.2f, %10.2f, %10.2f, %8.0f, %8.0f, "
+                  "%8.0f, %8.0f\n",
+                  row.modules, row.algorithm.c_str(), row.mean_err,
+                  row.max_err, row.us_per_round, row.ns_agreement,
+                  row.ns_exclusion, row.ns_average, row.ns_other);
+      json_rows.push_back(row);
+    }
+
+    // Sorted-vs-pairwise cross-check: every standard-abs round's
+    // agreement scores computed by the dispatching kernel (sorted path
+    // at n >= 8) must be bit-identical to the pairwise fallback.
+    const avoc::core::AgreementParams abs_params =
+        avoc::core::MakeConfig(AlgorithmId::kStandard, configs.back().params)
+            .agreement;
+    avoc::core::kernels::AgreementScratch scratch;
+    std::vector<double> dispatched(modules);
+    std::vector<double> pairwise(modules);
+    for (size_t r = 0; r < table.round_count(); ++r) {
+      const auto view = table.View(r);
+      avoc::core::kernels::AgreementScoresKernel(
+          view.values.data(), modules, abs_params, dispatched.data(),
+          scratch);
+      avoc::core::kernels::AgreementPairwiseKernel(
+          view.values.data(), modules, abs_params, pairwise.data(), scratch);
+      ++cross_rounds;
+      for (size_t m = 0; m < modules; ++m) {
+        if (std::memcmp(&dispatched[m], &pairwise[m], sizeof(double)) != 0) {
+          ++cross_mismatches;
+        }
+      }
     }
   }
   std::printf(
-      "\n(average absorbs the faulty camp's bias at every size; history-\n"
+      "\nsorted-vs-pairwise cross-check: %zu rounds, %zu mismatches\n",
+      cross_rounds, cross_mismatches);
+  std::printf(
+      "(average absorbs the faulty camp's bias at every size; history-\n"
       " aware voting shrinks the error as redundancy grows, at a per-round\n"
-      " cost that stays comfortably inside the paper's 1 ms budget.)\n");
+      " cost that stays comfortably inside the paper's 1 ms budget.  The\n"
+      " ns columns come from the instrumented pass: agreement dominates\n"
+      " growth for the pairwise presets, while standard-abs rides the\n"
+      " sorted O(N log N) kernel.)\n");
 
   std::FILE* json = std::fopen(json_path.c_str(), "w");
   if (json != nullptr) {
@@ -106,24 +247,33 @@ int main(int argc, char** argv) {
                  "{\n"
                  "  \"bench\": \"scale\",\n"
                  "  \"rounds\": %zu,\n"
+                 "  \"repeat\": %zu,\n"
+                 "  \"timing\": \"fastest-of-repeat\",\n"
                  "  \"threads\": 1,\n"
                  "  \"allocation\": \"columnar\",\n"
                  "  \"faulty_fraction\": 0.2,\n"
+                 "  \"breakdown_source\": \"instrumented-pass\",\n"
+                 "  \"sorted_cross_check\": {\"rounds\": %zu, "
+                 "\"mismatches\": %zu},\n"
                  "  \"results\": [\n",
-                 rounds);
+                 rounds, repeat, cross_rounds, cross_mismatches);
     for (size_t i = 0; i < json_rows.size(); ++i) {
       const Row& row = json_rows[i];
-      std::fprintf(json,
-                   "    {\"modules\": %zu, \"algorithm\": \"%s\", "
-                   "\"mean_err\": %.4f, \"max_err\": %.4f, "
-                   "\"us_per_round\": %.4f, \"rounds_per_sec\": %.1f}%s\n",
-                   row.modules, row.algorithm.c_str(), row.mean_err,
-                   row.max_err, row.us_per_round, row.rounds_per_sec,
-                   i + 1 < json_rows.size() ? "," : "");
+      std::fprintf(
+          json,
+          "    {\"modules\": %zu, \"algorithm\": \"%s\", "
+          "\"mean_err\": %.4f, \"max_err\": %.4f, "
+          "\"us_per_round\": %.4f, \"rounds_per_sec\": %.1f, "
+          "\"ns_per_round\": {\"agreement\": %.1f, \"exclusion\": %.1f, "
+          "\"average\": %.1f, \"other\": %.1f}}%s\n",
+          row.modules, row.algorithm.c_str(), row.mean_err, row.max_err,
+          row.us_per_round, row.rounds_per_sec, row.ns_agreement,
+          row.ns_exclusion, row.ns_average, row.ns_other,
+          i + 1 < json_rows.size() ? "," : "");
     }
     std::fprintf(json, "  ]\n}\n");
     std::fclose(json);
     std::printf("wrote %s\n", json_path.c_str());
   }
-  return 0;
+  return cross_mismatches == 0 ? 0 : 1;
 }

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Compiles the voting kernels with GCC's vectorization report and fails
+# if any of the hot loops stopped autovectorizing.  The loops are the
+# ones tagged `vec-hot(<name>)` in src/core/kernels/kernels.cpp; the tag
+# comment sits directly above its loop, so the loop's line is found by
+# scanning forward from the tag — the check survives unrelated edits
+# moving the file around.
+#
+# Usage: scripts/check_vectorization.sh [compiler]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+CXX="${1:-g++}"
+SRC=src/core/kernels/kernels.cpp
+
+# The loops that must stay vectorized (see ISSUE 9 acceptance criteria:
+# agreement scoring, outlier exclusion, weighted average).
+REQUIRED_TAGS=(
+  agreement-pair-row
+  agreement-pivot
+  exclusion-mask
+  weighted-products
+)
+
+report=$("$CXX" -std=c++20 -O3 -fno-math-errno -fno-trapping-math -Isrc \
+  -c "$SRC" -o /dev/null -fopt-info-vec 2>&1 || true)
+
+status=0
+for tag in "${REQUIRED_TAGS[@]}"; do
+  # Line of the tag comment, then the first `for (` at or below it.
+  tag_line=$(grep -n "vec-hot($tag)" "$SRC" | head -1 | cut -d: -f1)
+  if [[ -z "$tag_line" ]]; then
+    echo "FAIL: tag vec-hot($tag) not found in $SRC" >&2
+    status=1
+    continue
+  fi
+  loop_line=$(awk -v start="$tag_line" 'NR >= start && /for \(/ { print NR; exit }' "$SRC")
+  if [[ -z "$loop_line" ]]; then
+    echo "FAIL: no loop found below tag vec-hot($tag)" >&2
+    status=1
+    continue
+  fi
+  if grep -q "kernels.cpp:$loop_line:.*loop vectorized" <<<"$report"; then
+    echo "ok: vec-hot($tag) vectorized (line $loop_line)"
+  else
+    echo "FAIL: vec-hot($tag) loop at $SRC:$loop_line did not vectorize" >&2
+    echo "----- compiler report -----" >&2
+    echo "$report" >&2
+    status=1
+  fi
+done
+exit $status

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/kernels/kernels.h"
+
 namespace avoc::core {
 
 double EffectiveMargin(double a, double b, const AgreementParams& params) {
@@ -33,17 +35,20 @@ std::vector<double> AgreementScores(std::span<const double> values,
 void AgreementScoresInto(std::span<const double> values,
                          const AgreementParams& params,
                          std::vector<double>& scores) {
+  // Per-thread scratch keeps the scratch-less legacy signature
+  // allocation-free after warmup (and data-race-free under TSan).
+  thread_local kernels::AgreementScratch scratch;
+  AgreementScoresInto(values, params, scores, scratch);
+}
+
+void AgreementScoresInto(std::span<const double> values,
+                         const AgreementParams& params,
+                         std::vector<double>& scores,
+                         kernels::AgreementScratch& scratch) {
   const size_t n = values.size();
-  scores.assign(n, 1.0);
-  if (n <= 1) return;
-  for (size_t i = 0; i < n; ++i) {
-    double sum = 0.0;
-    for (size_t j = 0; j < n; ++j) {
-      if (j == i) continue;
-      sum += AgreementScore(values[i], values[j], params);
-    }
-    scores[i] = sum / static_cast<double>(n - 1);
-  }
+  scores.resize(n);
+  kernels::AgreementScoresKernel(values.data(), n, params, scores.data(),
+                                 scratch);
 }
 
 size_t LargestAgreementGroup(std::span<const double> values,
@@ -59,19 +64,54 @@ size_t LargestAgreementGroup(std::span<const double> values,
   // 1-D threshold linkage over sorted values: a group is a maximal run
   // whose consecutive gaps stay within the agreement margin — the same
   // chaining cluster::GroupByThreshold builds, reduced to run lengths.
-  scratch.assign(values.begin(), values.end());
-  std::sort(scratch.begin(), scratch.end());
+  const size_t n = values.size();
+  scratch.resize(n);
+  double* v = scratch.data();
+  if (n <= 32) {
+    // Group-sized rounds run this every round; a copy-as-you-insert
+    // insertion sort beats the generic std::sort setup at these counts
+    // (and produces the identical ascending order).
+    v[0] = values[0];
+    for (size_t i = 1; i < n; ++i) {
+      const double x = values[i];
+      size_t j = i;
+      for (; j > 0 && v[j - 1] > x; --j) v[j] = v[j - 1];
+      v[j] = x;
+    }
+  } else {
+    std::copy(values.begin(), values.end(), v);
+    std::sort(v, v + n);
+  }
   size_t largest = 1;
   size_t run = 1;
-  for (size_t i = 1; i < scratch.size(); ++i) {
-    const double prev = scratch[i - 1];
-    const double next = scratch[i];
-    if (next - prev <= EffectiveMargin(prev, next, params)) {
-      ++run;
-    } else {
-      run = 1;
+  if (params.scale == ThresholdScale::kAbsolute) {
+    // The margin is value-independent: hoist it (bit-identical to
+    // calling EffectiveMargin per gap, which returns params.error).
+    const double margin = params.error;
+    for (size_t i = 1; i < n; ++i) {
+      run = (v[i] - v[i - 1] <= margin) ? run + 1 : 1;
+      largest = std::max(largest, run);
     }
-    largest = std::max(largest, run);
+  } else if (v[0] >= 0.0) {
+    // All values non-negative (v is sorted ascending, so checking the
+    // minimum suffices): |prev| = prev, |next| = next, and next >= prev,
+    // so EffectiveMargin's max({|prev|, |next|, floor}) collapses to
+    // max(next, floor) — same operands, bit-identical margin.
+    const double error = params.error;
+    const double floor = params.relative_floor;
+    for (size_t i = 1; i < n; ++i) {
+      const double next = v[i];
+      const double margin = error * std::max(next, floor);
+      run = (next - v[i - 1] <= margin) ? run + 1 : 1;
+      largest = std::max(largest, run);
+    }
+  } else {
+    for (size_t i = 1; i < n; ++i) {
+      const double prev = v[i - 1];
+      const double next = v[i];
+      run = (next - prev <= EffectiveMargin(prev, next, params)) ? run + 1 : 1;
+      largest = std::max(largest, run);
+    }
   }
   return largest;
 }

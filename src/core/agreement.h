@@ -16,6 +16,10 @@
 #include <span>
 #include <vector>
 
+namespace avoc::core::kernels {
+struct AgreementScratch;  // core/kernels/kernels.h
+}  // namespace avoc::core::kernels
+
 namespace avoc::core {
 
 enum class AgreementMode {
@@ -55,9 +59,19 @@ std::vector<double> AgreementScores(std::span<const double> values,
 
 /// In-place form of AgreementScores: writes into `scores` (resized to
 /// `values.size()`), reusing its capacity — the per-round hot path.
+/// Dispatches to the kernel layer: the sorted O(N log N) window when it
+/// is exact (binary mode, absolute scale, finite values), else the
+/// symmetric pairwise kernel (each unordered pair scored once).
 void AgreementScoresInto(std::span<const double> values,
                          const AgreementParams& params,
                          std::vector<double>& scores);
+
+/// Scratch-threaded form: identical results, but the kernel scratch is
+/// owned by the caller (VoteContext) so repeated rounds never allocate.
+void AgreementScoresInto(std::span<const double> values,
+                         const AgreementParams& params,
+                         std::vector<double>& scores,
+                         kernels::AgreementScratch& scratch);
 
 /// Size of the largest mutually-chained agreement group among `values`
 /// (threshold-linkage by binary agreement, regardless of mode).  Used for

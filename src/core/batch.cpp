@@ -7,12 +7,12 @@ Status RunOverTable(VotingEngine& engine, const data::RoundTable& table,
   if (table.module_count() != engine.module_count()) {
     return InvalidArgumentError("table/engine module count mismatch");
   }
-  for (size_t r = 0; r < table.round_count(); ++r) {
-    const data::RoundView view = table.View(r);
-    AVOC_RETURN_IF_ERROR(
-        engine.CastVote(RoundSpan{view.values, view.present}, sink));
-  }
-  return Status::Ok();
+  // The whole table goes through the engine's many-rounds entry point as
+  // one contiguous block — per-round dispatch overhead is paid once.
+  return engine.CastVoteBlock(
+      RoundBlock{table.value_block(), table.present_block(),
+                 table.module_count()},
+      sink);
 }
 
 Result<BatchTrace> RunOverTable(VotingEngine& engine,

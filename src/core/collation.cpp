@@ -5,24 +5,21 @@
 #include <numeric>
 #include <vector>
 
+#include "core/kernels/kernels.h"
 #include "util/strings.h"
 
 namespace avoc::core {
 namespace {
 
 Result<double> WeightedMean(std::span<const double> values,
-                            std::span<const double> weights) {
-  double weight_sum = 0.0;
-  double value_sum = 0.0;
-  for (size_t i = 0; i < values.size(); ++i) {
-    if (weights[i] <= 0.0) continue;
-    weight_sum += weights[i];
-    value_sum += weights[i] * values[i];
-  }
-  if (weight_sum <= 0.0) {
+                            std::span<const double> weights,
+                            kernels::WeightedMeanScratch& scratch) {
+  double mean = 0.0;
+  if (!kernels::WeightedMeanKernel(values.data(), weights.data(),
+                                   values.size(), scratch, &mean)) {
     return FailedPreconditionError("all candidate weights are zero");
   }
-  return value_sum / weight_sum;
+  return mean;
 }
 
 Result<double> WeightedMedian(std::span<const double> values,
@@ -59,6 +56,14 @@ Result<double> WeightedMedian(std::span<const double> values,
 Result<double> Collate(Collation method, std::span<const double> values,
                        std::span<const double> weights,
                        const std::optional<double>& previous_output) {
+  thread_local kernels::WeightedMeanScratch scratch;
+  return Collate(method, values, weights, previous_output, scratch);
+}
+
+Result<double> Collate(Collation method, std::span<const double> values,
+                       std::span<const double> weights,
+                       const std::optional<double>& previous_output,
+                       kernels::WeightedMeanScratch& scratch) {
   if (values.empty()) return InvalidArgumentError("no candidates to collate");
   if (values.size() != weights.size()) {
     return InvalidArgumentError(
@@ -66,11 +71,12 @@ Result<double> Collate(Collation method, std::span<const double> values,
   }
   switch (method) {
     case Collation::kWeightedAverage:
-      return WeightedMean(values, weights);
+      return WeightedMean(values, weights, scratch);
     case Collation::kWeightedMedian:
       return WeightedMedian(values, weights);
     case Collation::kMeanNearestNeighbor: {
-      AVOC_ASSIGN_OR_RETURN(const double mean, WeightedMean(values, weights));
+      AVOC_ASSIGN_OR_RETURN(const double mean,
+                            WeightedMean(values, weights, scratch));
       // Select the weight-bearing candidate nearest the weighted mean.
       double best_value = 0.0;
       double best_distance = -1.0;

@@ -12,6 +12,10 @@
 
 #include "util/status.h"
 
+namespace avoc::core::kernels {
+struct WeightedMeanScratch;  // core/kernels/kernels.h
+}  // namespace avoc::core::kernels
+
 namespace avoc::core {
 
 enum class Collation {
@@ -29,5 +33,13 @@ enum class Collation {
 Result<double> Collate(Collation method, std::span<const double> values,
                        std::span<const double> weights,
                        const std::optional<double>& previous_output);
+
+/// Scratch-threaded form — the per-round hot path.  Identical results;
+/// the weighted-mean product buffer is owned by the caller (VoteContext)
+/// so repeated rounds never allocate for the average/MNN methods.
+Result<double> Collate(Collation method, std::span<const double> values,
+                       std::span<const double> weights,
+                       const std::optional<double>& previous_output,
+                       kernels::WeightedMeanScratch& scratch);
 
 }  // namespace avoc::core

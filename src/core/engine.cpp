@@ -35,10 +35,19 @@ RoundScalars VotingEngine::EmitColumns(VoteSink& sink, RoundColumns* columns) {
   RoundColumns cols = sink.BeginRound(module_count_);
   RoundScalars scalars;
   scalars.present_count = static_cast<uint32_t>(scratch_.present_count);
-  std::fill(cols.weights.begin(), cols.weights.end(), 0.0);
-  std::fill(cols.agreement.begin(), cols.agreement.end(), 0.0);
-  std::fill(cols.excluded.begin(), cols.excluded.end(), 0);
-  std::fill(cols.eliminated.begin(), cols.eliminated.end(), 0);
+  // The scatter loops below write excluded[] at every present index and
+  // weights/agreement/eliminated[] at every included index.  When every
+  // module is present and included — the overwhelmingly common round —
+  // they cover all four columns and the blanket zero-fill is redundant.
+  const bool scatter_covers_all =
+      !scratch_.faulted() && scratch_.present_count == module_count_ &&
+      scratch_.included_index.size() == module_count_;
+  if (!scatter_covers_all) {
+    std::fill(cols.weights.begin(), cols.weights.end(), 0.0);
+    std::fill(cols.agreement.begin(), cols.agreement.end(), 0.0);
+    std::fill(cols.excluded.begin(), cols.excluded.end(), 0);
+    std::fill(cols.eliminated.begin(), cols.eliminated.end(), 0);
+  }
   const std::span<const double> records = ledger_.records();
   std::copy(records.begin(), records.end(), cols.history.begin());
 
@@ -71,18 +80,35 @@ RoundScalars VotingEngine::EmitColumns(VoteSink& sink, RoundColumns* columns) {
     scalars.used_clustering = scratch_.used_clustering;
     scalars.had_majority = scratch_.had_majority;
     uint32_t excluded_count = 0;
-    for (size_t k = 0; k < scratch_.present_count; ++k) {
-      const uint8_t bit = scratch_.excluded_present[k] ? 1 : 0;
-      cols.excluded[scratch_.present_index[k]] = bit;
-      excluded_count += bit;
-    }
     uint32_t eliminated_count = 0;
-    for (size_t k = 0; k < scratch_.included_index.size(); ++k) {
-      cols.weights[scratch_.included_index[k]] = scratch_.weights[k];
-      cols.agreement[scratch_.included_index[k]] = scratch_.scores[k];
-      const uint8_t bit = scratch_.eliminated_included[k] ? 1 : 0;
-      cols.eliminated[scratch_.included_index[k]] = bit;
-      eliminated_count += bit;
+    if (scatter_covers_all) {
+      // Full round: present_index and included_index are both the
+      // identity, so the scatters below degenerate to straight copies.
+      std::copy_n(scratch_.excluded_present.begin(), module_count_,
+                  cols.excluded.begin());
+      std::copy_n(scratch_.weights.begin(), module_count_,
+                  cols.weights.begin());
+      std::copy_n(scratch_.scores.begin(), module_count_,
+                  cols.agreement.begin());
+      std::copy_n(scratch_.eliminated_included.begin(), module_count_,
+                  cols.eliminated.begin());
+      for (size_t m = 0; m < module_count_; ++m) {
+        excluded_count += cols.excluded[m];
+        eliminated_count += cols.eliminated[m];
+      }
+    } else {
+      for (size_t k = 0; k < scratch_.present_count; ++k) {
+        const uint8_t bit = scratch_.excluded_present[k];
+        cols.excluded[scratch_.present_index[k]] = bit;
+        excluded_count += bit;
+      }
+      for (size_t k = 0; k < scratch_.included_index.size(); ++k) {
+        cols.weights[scratch_.included_index[k]] = scratch_.weights[k];
+        cols.agreement[scratch_.included_index[k]] = scratch_.scores[k];
+        const uint8_t bit = scratch_.eliminated_included[k];
+        cols.eliminated[scratch_.included_index[k]] = bit;
+        eliminated_count += bit;
+      }
     }
     scalars.excluded_count = excluded_count;
     scalars.eliminated_count = eliminated_count;
@@ -96,11 +122,17 @@ Status VotingEngine::FinishRound(VoteSink& sink) {
   ++round_index_;
   const bool stage_hooks =
       observer_ != nullptr && observer_->stage_hooks_enabled();
-  if (stage_hooks) observer_->OnRoundBegin(round_index_, scratch_);
-  for (const auto& stage : pipeline_->stages()) {
-    AVOC_RETURN_IF_ERROR(stage->Run(scratch_));
-    if (stage_hooks) observer_->OnStageDone(stage->name(), scratch_);
-    if (scratch_.faulted()) break;
+  if (stage_hooks) {
+    observer_->OnRoundBegin(round_index_, scratch_);
+    for (const auto& stage : pipeline_->stages()) {
+      AVOC_RETURN_IF_ERROR(stage->Run(scratch_));
+      observer_->OnStageDone(stage->name(), scratch_);
+      if (scratch_.faulted()) break;
+    }
+  } else {
+    // No per-stage observation wanted: the compiled plan runs the same
+    // stage bodies without virtual dispatch between them.
+    AVOC_RETURN_IF_ERROR(pipeline_->RunRound(scratch_));
   }
   RoundColumns columns;
   const RoundScalars scalars = EmitColumns(sink, &columns);
@@ -113,6 +145,37 @@ Status VotingEngine::FinishRound(VoteSink& sink) {
       observer_->OnRoundEnd(round_index_,
                             MaterializeVoteResult(columns, scalars));
     }
+  }
+  return Status::Ok();
+}
+
+Status VotingEngine::CastVoteBlock(RoundBlock block, VoteSink& sink) {
+  if (block.modules != module_count_ ||
+      block.present.size() != block.values.size() ||
+      block.values.size() % module_count_ != 0) {
+    return ArityError(block.modules, module_count_);
+  }
+  const size_t rounds = block.round_count();
+  if (observer_ == nullptr) {
+    // Observer-free batch loop: compiled plan + column emit, with the
+    // dispatch decisions hoisted out of the round loop.  Mirrors
+    // FinishRound's ordering exactly (round counter, stages, emit,
+    // last-output update).
+    const StagePipeline& pipeline = *pipeline_;
+    for (size_t r = 0; r < rounds; ++r) {
+      scratch_.Begin(block.round(r), config_, ledger_, last_output_);
+      ++round_index_;
+      AVOC_RETURN_IF_ERROR(pipeline.RunRound(scratch_));
+      EmitColumns(sink, nullptr);
+      if (!scratch_.faulted()) last_output_ = *scratch_.output;
+    }
+    return Status::Ok();
+  }
+  // Observed batches keep the full per-round hook protocol (sampling
+  // observers may toggle stage hooks between rounds).
+  for (size_t r = 0; r < rounds; ++r) {
+    scratch_.Begin(block.round(r), config_, ledger_, last_output_);
+    AVOC_RETURN_IF_ERROR(FinishRound(sink));
   }
   return Status::Ok();
 }

@@ -75,6 +75,14 @@ class VotingEngine {
   /// data::RoundTable::View), written into `sink`.
   Status CastVote(RoundSpan round, VoteSink& sink);
 
+  /// Many-rounds batch entry: consumes every round of the contiguous
+  /// block (a whole RoundTable, or one worker's slice of it) in one call.
+  /// The arity check, observer dispatch decision, and compiled-plan
+  /// lookup are hoisted out of the per-round loop, so the rounds run back
+  /// to back through one instruction stream.  Identical results to
+  /// calling CastVote(RoundSpan, sink) per round, bit for bit.
+  Status CastVoteBlock(RoundBlock block, VoteSink& sink);
+
   /// Legacy-shaped round, written into `sink`.
   Status CastVote(const Round& round, VoteSink& sink);
 

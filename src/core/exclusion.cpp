@@ -3,10 +3,46 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/kernels/kernels.h"
 #include "stats/quantile.h"
 #include "stats/running.h"
 
 namespace avoc::core {
+namespace {
+
+/// Resolves the round's center/spread statistic.  Returns false when the
+/// exclusion step is inert (mode off, too few values, degenerate spread)
+/// — the caller keeps everything.
+bool ExclusionStatistic(std::span<const double> values,
+                        const ExclusionParams& params, double* center,
+                        double* spread) {
+  if (params.mode == ExclusionMode::kNone || values.size() < 3 ||
+      params.threshold <= 0.0) {
+    return false;
+  }
+  switch (params.mode) {
+    case ExclusionMode::kNone:
+      return false;
+    case ExclusionMode::kStdDev: {
+      stats::RunningStats rs;
+      for (const double v : values) rs.Add(v);
+      *center = rs.mean();
+      *spread = rs.stddev();
+      break;
+    }
+    case ExclusionMode::kMad: {
+      auto median = stats::Median(values);
+      auto mad = stats::MedianAbsoluteDeviation(values);
+      if (!median.ok() || !mad.ok()) return false;
+      *center = *median;
+      *spread = *mad;
+      break;
+    }
+  }
+  return *spread > 0.0;
+}
+
+}  // namespace
 
 std::vector<bool> ComputeExclusions(std::span<const double> values,
                                     const ExclusionParams& params) {
@@ -19,42 +55,39 @@ void ComputeExclusionsInto(std::span<const double> values,
                            const ExclusionParams& params,
                            std::vector<bool>& excluded) {
   excluded.assign(values.size(), false);
-  if (params.mode == ExclusionMode::kNone || values.size() < 3 ||
-      params.threshold <= 0.0) {
-    return;
-  }
-
   double center = 0.0;
   double spread = 0.0;
-  switch (params.mode) {
-    case ExclusionMode::kNone:
-      return;
-    case ExclusionMode::kStdDev: {
-      stats::RunningStats rs;
-      for (const double v : values) rs.Add(v);
-      center = rs.mean();
-      spread = rs.stddev();
-      break;
-    }
-    case ExclusionMode::kMad: {
-      auto median = stats::Median(values);
-      auto mad = stats::MedianAbsoluteDeviation(values);
-      if (!median.ok() || !mad.ok()) return;
-      center = *median;
-      spread = *mad;
-      break;
-    }
-  }
-  if (spread <= 0.0) return;
+  if (!ExclusionStatistic(values, params, &center, &spread)) return;
 
+  const double limit = params.threshold * spread;
   size_t kept = 0;
   for (size_t i = 0; i < values.size(); ++i) {
-    excluded[i] = std::abs(values[i] - center) > params.threshold * spread;
+    excluded[i] = std::abs(values[i] - center) > limit;
     if (!excluded[i]) ++kept;
   }
   if (kept == 0) {
     std::fill(excluded.begin(), excluded.end(), false);
   }
+}
+
+size_t ComputeExclusionMask(std::span<const double> values,
+                            const ExclusionParams& params,
+                            kernels::ExclusionScratch& scratch,
+                            uint8_t* excluded) {
+  const size_t n = values.size();
+  double center = 0.0;
+  double spread = 0.0;
+  if (!ExclusionStatistic(values, params, &center, &spread)) {
+    std::fill(excluded, excluded + n, uint8_t{0});
+    return n;
+  }
+  const size_t kept = kernels::ExclusionMaskKernel(
+      values.data(), n, center, params.threshold * spread, scratch, excluded);
+  if (kept == 0) {
+    std::fill(excluded, excluded + n, uint8_t{0});
+    return n;
+  }
+  return kept;
 }
 
 }  // namespace avoc::core

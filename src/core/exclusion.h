@@ -7,8 +7,14 @@
 // deviation calculation").
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
+
+namespace avoc::core::kernels {
+struct ExclusionScratch;  // core/kernels/kernels.h
+}  // namespace avoc::core::kernels
 
 namespace avoc::core {
 
@@ -32,9 +38,19 @@ std::vector<bool> ComputeExclusions(std::span<const double> values,
                                     const ExclusionParams& params);
 
 /// In-place form: writes the mask into `excluded` (resized to
-/// `values.size()`), reusing its capacity — the per-round hot path.
+/// `values.size()`), reusing its capacity.
 void ComputeExclusionsInto(std::span<const double> values,
                            const ExclusionParams& params,
                            std::vector<bool>& excluded);
+
+/// Flat-mask form — the per-round hot path.  Writes 0/1 bytes into
+/// `excluded` (which must hold values.size() bytes) via the vectorized
+/// exclusion kernel and returns the kept (non-excluded) count.  Same
+/// semantics as ComputeExclusionsInto, including the never-exclude-
+/// everyone rule, bit for bit.
+size_t ComputeExclusionMask(std::span<const double> values,
+                            const ExclusionParams& params,
+                            kernels::ExclusionScratch& scratch,
+                            uint8_t* excluded);
 
 }  // namespace avoc::core

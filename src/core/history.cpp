@@ -60,6 +60,56 @@ Status HistoryLedger::Update(std::span<const double> agreement_with_output,
   return Status::Ok();
 }
 
+Status HistoryLedger::Update(std::span<const double> agreement_with_output,
+                             std::span<const uint8_t> present) {
+  if (agreement_with_output.size() != records_.size() ||
+      present.size() != records_.size()) {
+    return InvalidArgumentError(
+        StrFormat("history update arity %zu/%zu, ledger has %zu modules",
+                  agreement_with_output.size(), present.size(),
+                  records_.size()));
+  }
+  ++rounds_;
+  if (params_.rule == HistoryRule::kNone) return Status::Ok();
+
+  // Same per-module arithmetic as the vector<bool> overload, with the
+  // rule and missing-penalty switches hoisted out of the module loop.
+  const size_t n = records_.size();
+  const bool penalize_missing = params_.missing_penalty > 0.0;
+  switch (params_.rule) {
+    case HistoryRule::kNone:
+      break;
+    case HistoryRule::kCumulativeRatio:
+      for (size_t i = 0; i < n; ++i) {
+        if (present[i] == 0) {
+          if (penalize_missing) {
+            records_[i] = Clamp01(records_[i] - params_.missing_penalty);
+          }
+          continue;
+        }
+        agreement_sums_[i] += Clamp01(agreement_with_output[i]);
+        ++observations_[i];
+        records_[i] = (1.0 + agreement_sums_[i]) /
+                      (1.0 + static_cast<double>(observations_[i]));
+      }
+      break;
+    case HistoryRule::kRewardPenalty:
+      for (size_t i = 0; i < n; ++i) {
+        if (present[i] == 0) {
+          if (penalize_missing) {
+            records_[i] = Clamp01(records_[i] - params_.missing_penalty);
+          }
+          continue;
+        }
+        const double g = Clamp01(agreement_with_output[i]);
+        records_[i] = Clamp01(records_[i] + g * params_.reward -
+                              (1.0 - g) * params_.penalty);
+      }
+      break;
+  }
+  return Status::Ok();
+}
+
 double HistoryLedger::MeanRecord() const {
   if (records_.empty()) return 0.0;
   double sum = 0.0;

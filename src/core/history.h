@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -64,6 +65,13 @@ class HistoryLedger {
   /// whether the module submitted a reading.
   Status Update(std::span<const double> agreement_with_output,
                 const std::vector<bool>& present);
+
+  /// Flat-mask form — the per-round hot path.  `present` holds 0/1 bytes
+  /// (the VoteContext mask column); the update rule is resolved once
+  /// outside the module loop.  Identical results to the vector<bool>
+  /// overload, bit for bit.
+  Status Update(std::span<const double> agreement_with_output,
+                std::span<const uint8_t> present);
 
   /// Mean record across modules.
   double MeanRecord() const;

@@ -1,0 +1,286 @@
+#include "core/kernels/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace avoc::core::kernels {
+namespace {
+
+// One pair score, templated so the mode/scale branches hoist out of the
+// row loops entirely.  Bit-identical to core::AgreementScore: same
+// operations on the same operands, with max(1.0, soft_multiple) and the
+// relative floor passed in pre-resolved (loop-invariant either way).
+// The selects keep NaN distances on the same path as the branchy
+// original: binary scores 0, soft falls through to the (NaN) taper.
+template <bool kSoft, bool kRelative>
+inline double PairScore(double a, double b, double error, double soft_cap,
+                        double relative_floor) {
+  const double distance = std::abs(a - b);
+  double margin = error;
+  if constexpr (kRelative) {
+    const double magnitude =
+        std::max(std::max(std::abs(a), std::abs(b)), relative_floor);
+    margin = error * magnitude;
+  }
+  if constexpr (!kSoft) {
+    return distance <= margin ? 1.0 : 0.0;
+  } else {
+    const double outer = margin * soft_cap;
+    const double taper = (outer - distance) / (outer - margin);
+    return distance <= margin ? 1.0 : (distance >= outer ? 0.0 : taper);
+  }
+}
+
+/// Small-round pairwise path: one fused scalar sweep.  Below this count
+/// the vector loops of PairwiseImpl are epilogue-dominated (trip counts
+/// shrink from n-1 to 1) while the fused loop keeps the same serial
+/// accumulation chain busy with pair-score work; the adds land on the
+/// same operands in the same order, so both paths are bit-identical.
+inline constexpr size_t kPairwiseFusedMaxCount = 20;
+
+template <bool kSoft, bool kRelative>
+void PairwiseFusedImpl(const double* values, size_t n,
+                       const AgreementParams& params, double* scores) {
+  const double error = params.error;
+  const double relative_floor = params.relative_floor;
+  const double soft_cap = std::max(1.0, params.soft_multiple);
+  std::fill(scores, scores + n, 0.0);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    const double vi = values[i];
+    double s = scores[i];
+    for (size_t j = i + 1; j < n; ++j) {
+      const double pair = PairScore<kSoft, kRelative>(vi, values[j], error,
+                                                      soft_cap,
+                                                      relative_floor);
+      s += pair;
+      scores[j] += pair;
+    }
+    scores[i] = s;
+  }
+  const double denom = static_cast<double>(n - 1);
+  for (size_t i = 0; i < n; ++i) scores[i] = scores[i] / denom;
+}
+
+template <bool kSoft, bool kRelative>
+void PairwiseImpl(const double* values, size_t n,
+                  const AgreementParams& params, double* scores,
+                  std::vector<double>& row) {
+  if (n <= kPairwiseFusedMaxCount) {
+    PairwiseFusedImpl<kSoft, kRelative>(values, n, params, scores);
+    return;
+  }
+  row.resize(n);
+  double* buf = row.data();
+  const double error = params.error;
+  const double relative_floor = params.relative_floor;
+  const double soft_cap = std::max(1.0, params.soft_multiple);
+  std::fill(scores, scores + n, 0.0);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    const double vi = values[i];
+    const double* tail = values + i + 1;
+    double* tail_scores = scores + i + 1;
+    const size_t m = n - i - 1;
+    // vec-hot(agreement-pair-row): elementwise pair scores of row i
+    // against every later candidate — the expensive work, no reduction.
+    for (size_t t = 0; t < m; ++t) {
+      buf[t] = PairScore<kSoft, kRelative>(vi, tail[t], error, soft_cap,
+                                           relative_floor);
+    }
+    // Ordered row fold — scalar on purpose.  scores[i] already holds the
+    // contributions of pairs (k, i) for k < i, added in ascending k by
+    // the column loop below, so appending the own row in ascending j
+    // reproduces the naive loop's exact j = 0..n-1 (skip i) order.
+    double s = scores[i];
+    for (size_t t = 0; t < m; ++t) s += buf[t];
+    scores[i] = s;
+    // vec-hot(agreement-pair-col): mirror each pair score into the later
+    // row's accumulator — elementwise add, no reduction.
+    for (size_t t = 0; t < m; ++t) tail_scores[t] += buf[t];
+  }
+  const double denom = static_cast<double>(n - 1);
+  for (size_t i = 0; i < n; ++i) scores[i] = scores[i] / denom;
+}
+
+template <bool kSoft, bool kRelative>
+void PivotImpl(const double* values, size_t n, double pivot,
+               const AgreementParams& params, double* out) {
+  const double error = params.error;
+  const double relative_floor = params.relative_floor;
+  const double soft_cap = std::max(1.0, params.soft_multiple);
+  // vec-hot(agreement-pivot): elementwise agreement against one pivot
+  // (the history stage's agreement-with-output column).
+  for (size_t t = 0; t < n; ++t) {
+    out[t] = PairScore<kSoft, kRelative>(values[t], pivot, error, soft_cap,
+                                         relative_floor);
+  }
+}
+
+}  // namespace
+
+bool AllFinite(const double* values, size_t n) {
+  // (v - v) == 0 holds exactly for finite values and fails for NaN and
+  // ±inf (inf - inf = NaN); folds to a vectorizable integer AND.
+  unsigned ok = 1;
+  for (size_t i = 0; i < n; ++i) {
+    ok &= static_cast<unsigned>((values[i] - values[i]) == 0.0);
+  }
+  return ok != 0;
+}
+
+void AgreementScoresKernel(const double* values, size_t n,
+                           const AgreementParams& params, double* scores,
+                           AgreementScratch& scratch) {
+  if (n == 0) return;
+  if (n == 1) {
+    scores[0] = 1.0;
+    return;
+  }
+  if (SortedAgreementEligible(params) && n >= kSortedAgreementMinCount &&
+      AllFinite(values, n)) {
+    AgreementSortedKernel(values, n, params.error, scores, scratch);
+    return;
+  }
+  AgreementPairwiseKernel(values, n, params, scores, scratch);
+}
+
+void AgreementPairwiseKernel(const double* values, size_t n,
+                             const AgreementParams& params, double* scores,
+                             AgreementScratch& scratch) {
+  if (n == 0) return;
+  if (n == 1) {
+    scores[0] = 1.0;
+    return;
+  }
+  const bool soft = params.mode == AgreementMode::kSoftDynamic;
+  const bool relative = params.scale == ThresholdScale::kRelative;
+  if (soft) {
+    if (relative) {
+      PairwiseImpl<true, true>(values, n, params, scores, scratch.row);
+    } else {
+      PairwiseImpl<true, false>(values, n, params, scores, scratch.row);
+    }
+  } else {
+    if (relative) {
+      PairwiseImpl<false, true>(values, n, params, scores, scratch.row);
+    } else {
+      PairwiseImpl<false, false>(values, n, params, scores, scratch.row);
+    }
+  }
+}
+
+void AgreementSortedKernel(const double* values, size_t n, double error,
+                           double* scores, AgreementScratch& scratch) {
+  if (n == 0) return;
+  if (n == 1) {
+    scores[0] = 1.0;
+    return;
+  }
+  scratch.order.resize(n);
+  scratch.sorted.resize(n);
+  uint32_t* order = scratch.order.data();
+  double* sorted = scratch.sorted.data();
+  if (n <= 32) {
+    // Insertion-sort values and indices together: group-sized rounds hit
+    // this every round, and the generic std::sort setup costs more than
+    // the handful of shifted elements.  Any value-sorted order gives the
+    // same scores (equal values share identical agreement windows), so
+    // sort stability is immaterial.
+    sorted[0] = values[0];
+    order[0] = 0;
+    for (size_t i = 1; i < n; ++i) {
+      const double x = values[i];
+      size_t j = i;
+      for (; j > 0 && sorted[j - 1] > x; --j) {
+        sorted[j] = sorted[j - 1];
+        order[j] = order[j - 1];
+      }
+      sorted[j] = x;
+      order[j] = static_cast<uint32_t>(i);
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) order[i] = static_cast<uint32_t>(i);
+    std::sort(order, order + n, [values](uint32_t a, uint32_t b) {
+      return values[a] < values[b];
+    });
+    for (size_t k = 0; k < n; ++k) sorted[k] = values[order[k]];
+  }
+  const double denom = static_cast<double>(n - 1);
+  // Two-pointer agreement window: for ascending pivots both edges only
+  // ever move right, so the whole sweep is O(N) after the sort.  The
+  // window difference (a prefix-count subtraction) is the candidate's
+  // agreeing-pair count — an exact small integer, so count/denom is
+  // bit-identical to the pairwise path's sum-of-ones/denom.  The edge
+  // comparisons subtract larger-minus-smaller, the same rounded value
+  // the pairwise |a-b| sees (IEEE round(-x) == -round(x)).
+  size_t lo = 0;
+  size_t hi = 0;
+  for (size_t k = 0; k < n; ++k) {
+    const double vk = sorted[k];
+    while (vk - sorted[lo] > error) ++lo;
+    if (hi < k + 1) hi = k + 1;
+    while (hi < n && sorted[hi] - vk <= error) ++hi;
+    scores[order[k]] = static_cast<double>(hi - lo - 1) / denom;
+  }
+}
+
+void AgreementWithPivotKernel(const double* values, size_t n, double pivot,
+                              const AgreementParams& params, double* out) {
+  const bool soft = params.mode == AgreementMode::kSoftDynamic;
+  const bool relative = params.scale == ThresholdScale::kRelative;
+  if (soft) {
+    if (relative) {
+      PivotImpl<true, true>(values, n, pivot, params, out);
+    } else {
+      PivotImpl<true, false>(values, n, pivot, params, out);
+    }
+  } else {
+    if (relative) {
+      PivotImpl<false, true>(values, n, pivot, params, out);
+    } else {
+      PivotImpl<false, false>(values, n, pivot, params, out);
+    }
+  }
+}
+
+size_t ExclusionMaskKernel(const double* values, size_t n, double center,
+                           double limit, ExclusionScratch& scratch,
+                           uint8_t* excluded) {
+  scratch.wide.resize(n);
+  double* wide = scratch.wide.data();
+  // vec-hot(exclusion-mask): elementwise |v - center| > limit compare.
+  // Stored as 1.0/0.0 double lanes (the values' own vector width) — a
+  // direct byte store would leave the FP compare unvectorizable.
+  for (size_t i = 0; i < n; ++i) {
+    wide[i] = std::abs(values[i] - center) > limit ? 1.0 : 0.0;
+  }
+  size_t dropped = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint8_t bit = static_cast<uint8_t>(wide[i]);
+    excluded[i] = bit;
+    dropped += bit;
+  }
+  return n - dropped;
+}
+
+bool WeightedMeanKernel(const double* values, const double* weights, size_t n,
+                        WeightedMeanScratch& scratch, double* mean) {
+  scratch.products.resize(n);
+  double* products = scratch.products.data();
+  // vec-hot(weighted-products): elementwise w·x terms; the historical
+  // loop computed the same products inline, so folding the buffer below
+  // in index order reproduces its sums bit for bit.
+  for (size_t i = 0; i < n; ++i) products[i] = weights[i] * values[i];
+  double weight_sum = 0.0;
+  double value_sum = 0.0;
+  // Ordered fold — scalar on purpose (reassociation would change bits).
+  for (size_t i = 0; i < n; ++i) {
+    if (weights[i] <= 0.0) continue;
+    weight_sum += weights[i];
+    value_sum += products[i];
+  }
+  if (weight_sum <= 0.0) return false;
+  *mean = value_sum / weight_sum;
+  return true;
+}
+
+}  // namespace avoc::core::kernels

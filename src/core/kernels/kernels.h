@@ -1,0 +1,133 @@
+// The voting kernel layer: branch-light flat-array routines behind the
+// hot stages (agreement scoring, outlier exclusion, weighted average).
+//
+// Design rules, in priority order:
+//
+//  1. **Bit parity.**  Every kernel reproduces the scalar stage helpers
+//     bit for bit — same operations on the same operands in the same
+//     accumulation order.  The symmetric pairwise kernel relies on
+//     AgreementScore(a,b) == AgreementScore(b,a) being an identity of the
+//     formula (|a-b| and the margin are symmetric), and on IEEE-754
+//     round(-x) == -round(x) for the subtraction; the sorted kernel
+//     relies on binary agreement sums being exact small integers.
+//  2. **Autovectorization.**  The expensive elementwise work (pair
+//     scores, pivot scores, mask compares) runs over contiguous arrays
+//     with no per-element calls, allocations or stores the compiler
+//     cannot disambiguate — the loops tagged `vec-hot` below must show up
+//     in -fopt-info-vec (scripts/check_vectorization.sh gates this in
+//     CI).  Ordered float *reductions* are deliberately left scalar:
+//     vectorizing them would reassociate the sums and break rule 1, so
+//     kernels split "compute terms into a row buffer (vector)" from
+//     "fold the buffer in order (scalar)".
+//  3. **No allocations.**  Callers own the scratch (reused across
+//     rounds); kernels only resize within reserved capacity.
+//
+// Dispatch: AgreementScoresKernel picks the O(N log N) sorted-window
+// path when it is *exactly* equal to the pairwise result — binary mode,
+// absolute threshold scale, all-finite values — and otherwise runs the
+// symmetric pairwise kernel (half the score evaluations of the naive
+// row-by-row loop).  See DESIGN.md "The kernel layer".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/agreement.h"
+
+namespace avoc::core::kernels {
+
+/// Reusable flat scratch of the agreement kernels; one per VoteContext
+/// (or per caller thread), capacity kept across rounds.
+struct AgreementScratch {
+  /// Pair-score row buffer of the symmetric pairwise kernel; also the
+  /// dense staging buffer of scattered pivot scores.
+  std::vector<double> row;
+  /// Ascending value copy (sorted kernel).
+  std::vector<double> sorted;
+  /// Sort permutation: order[k] = original index of sorted[k].
+  std::vector<uint32_t> order;
+};
+
+/// True when every value is finite (no NaN, no ±inf) — the precondition
+/// of the sorted-window path (NaN breaks the sort's ordering, and
+/// inf-inf distances are NaN in the pairwise path).
+bool AllFinite(const double* values, size_t n);
+
+/// Whether `params` selects a mode where the sorted-window kernel is
+/// bit-exactly equal to the pairwise kernel: binary agreement over an
+/// absolute (value-independent) margin.  The per-call value check
+/// (AllFinite) still applies.
+inline bool SortedAgreementEligible(const AgreementParams& params) {
+  return params.mode == AgreementMode::kBinary &&
+         params.scale == ThresholdScale::kAbsolute && params.error >= 0.0;
+}
+
+/// Values below this candidate count always take the pairwise kernel:
+/// the sort costs more than the handful of pairs it saves.  Either path
+/// is exact, so the cutover is a pure performance knob.
+inline constexpr size_t kSortedAgreementMinCount = 8;
+
+/// Mean pairwise agreement of each candidate with every other candidate,
+/// dispatching sorted-window vs symmetric-pairwise per the rules above.
+/// `scores` must hold n doubles; n <= 1 writes all-1 (a single candidate
+/// trivially agrees with itself).  Bit-identical to the historical
+/// row-by-row AgreementScoresInto loop.
+void AgreementScoresKernel(const double* values, size_t n,
+                           const AgreementParams& params, double* scores,
+                           AgreementScratch& scratch);
+
+/// The symmetric pairwise fallback: evaluates each unordered pair once
+/// (the naive loop evaluated AgreementScore(i,j) and AgreementScore(j,i)
+/// separately) and accumulates both rows in the naive loop's exact
+/// addition order.  Exact for every mode/scale.
+void AgreementPairwiseKernel(const double* values, size_t n,
+                             const AgreementParams& params, double* scores,
+                             AgreementScratch& scratch);
+
+/// The large-N path: sort an index once, then a two-pointer agreement
+/// window per candidate — O(N log N) total.  Binary absolute mode only
+/// (callers gate on SortedAgreementEligible + AllFinite); the agreeing
+/// count is the window width, an exact integer, so count/(n-1) is
+/// bit-identical to the pairwise sum/(n-1).
+void AgreementSortedKernel(const double* values, size_t n, double error,
+                           double* scores, AgreementScratch& scratch);
+
+/// Elementwise agreement of each value against one pivot (the history
+/// stage's agreement-with-voted-output column).  `out` must hold n
+/// doubles; bit-identical to calling AgreementScore(values[t], pivot)
+/// per element.
+void AgreementWithPivotKernel(const double* values, size_t n, double pivot,
+                              const AgreementParams& params, double* out);
+
+/// Exclusion kernel scratch: the lane-width compare buffer.  The compare
+/// stores 1.0/0.0 into double lanes (same vector width as the values, so
+/// the FP-hot loop vectorizes — a direct byte store would not); the
+/// cheap narrowing pass packs it into the byte mask.
+struct ExclusionScratch {
+  std::vector<double> wide;
+};
+
+/// Flat-mask exclusion compare: excluded[i] = |values[i] - center| >
+/// limit, where limit is the caller's threshold * spread product.
+/// Returns the kept (non-excluded) count; the caller applies the
+/// never-exclude-everyone rule.  Bit-identical to the historical
+/// vector<bool> loop (the product was loop-invariant there too).
+size_t ExclusionMaskKernel(const double* values, size_t n, double center,
+                           double limit, ExclusionScratch& scratch,
+                           uint8_t* excluded);
+
+/// Weighted-average kernel scratch: the elementwise w*x product buffer.
+struct WeightedMeanScratch {
+  std::vector<double> products;
+};
+
+/// Weighted mean Σ w·x / Σ w over candidates with weight > 0.  The
+/// products are computed elementwise into scratch (vectorizable); the
+/// two sums fold in index order (scalar), matching the historical
+/// skip-nonpositive loop bit for bit.  Returns false when every weight
+/// is <= 0 (the caller raises the error).
+bool WeightedMeanKernel(const double* values, const double* weights, size_t n,
+                        WeightedMeanScratch& scratch, double* mean);
+
+}  // namespace avoc::core::kernels

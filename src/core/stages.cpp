@@ -21,39 +21,230 @@ cluster::GroupingOptions MirroredGroupingOptions(
   return options;
 }
 
-// --- Quorum -----------------------------------------------------------------
+// --- Stage bodies -----------------------------------------------------------
+//
+// Each stage's work is one free function over (context, compiled
+// constants).  The virtual VoteStage chain (the observed path) and
+// StagePipeline::RunRound (the batch path) both call these, so the two
+// execution paths are bit-identical by construction.
+
+// Quorum.
+Status RunQuorumStage(VoteContext& context, size_t module_count,
+                      size_t required, NoQuorumPolicy policy) {
+  if (context.present_count >= required) return Status::Ok();
+  switch (policy) {
+    case NoQuorumPolicy::kEmitNothing:
+      context.Fault(RoundOutcome::kNoOutput);
+      break;
+    case NoQuorumPolicy::kRevertLast:
+      context.Fault(RoundOutcome::kRevertedLast);
+      break;
+    case NoQuorumPolicy::kRaise:
+      context.Fault(
+          RoundOutcome::kError,
+          NoQuorumError(StrFormat("%zu of %zu candidates, %zu required",
+                                  context.present_count, module_count,
+                                  required)));
+      break;
+  }
+  return Status::Ok();
+}
+
+// Value-based exclusion.
+Status RunExclusionStage(VoteContext& context, const ExclusionParams& params) {
+  context.excluded_present.resize(context.present_count);
+  ComputeExclusionMask(context.present_values, params,
+                       context.exclusion_scratch,
+                       context.excluded_present.data());
+  context.included_index.clear();
+  context.included_values.clear();
+  for (size_t k = 0; k < context.present_count; ++k) {
+    if (context.excluded_present[k] == 0) {
+      context.included_index.push_back(context.present_index[k]);
+      context.included_values.push_back(context.present_values[k]);
+    }
+  }
+  return Status::Ok();
+}
+
+// Clustering gate (AVOC bootstrap / COV).
+Status RunClusteringStage(VoteContext& context, ClusteringMode mode,
+                          const cluster::GroupingOptions& options) {
+  context.in_winning_cluster.assign(context.included_values.size(),
+                                    uint8_t{1});
+  bool should_cluster = false;
+  switch (mode) {
+    case ClusteringMode::kOff:
+      break;
+    case ClusteringMode::kAlways:
+      should_cluster = true;
+      break;
+    case ClusteringMode::kBootstrap:
+      // §5: "the clustering approach should be used when all records are
+      // 1 (indicating a new set) or 0 (indicating a failure of the
+      // system or an extreme data spike)".
+      should_cluster = context.ledger->AllRecordsAre(1.0) ||
+                       context.ledger->AllRecordsAre(0.0);
+      break;
+  }
+  if (!should_cluster || context.included_values.empty()) {
+    return Status::Ok();
+  }
+  return context.ApplyClustering(options);
+}
+
+// Agreement scores.
+Status RunAgreementStage(VoteContext& context, const AgreementParams& params) {
+  AgreementScoresInto(context.included_values, params, context.scores,
+                      context.agreement_scratch);
+  return Status::Ok();
+}
+
+// Module elimination (ME).
+Status RunEliminationStage(VoteContext& context, bool enabled, double margin) {
+  context.eliminated_included.assign(context.included_values.size(),
+                                     uint8_t{0});
+  if (!enabled || context.included_values.size() <= 1) return Status::Ok();
+  const std::span<const double> records = context.ledger->records();
+  double mean_record = 0.0;
+  for (const size_t m : context.included_index) {
+    mean_record += records[m];
+  }
+  mean_record /= static_cast<double>(context.included_index.size());
+  const double cutoff = mean_record - margin - 1e-12;
+  for (size_t k = 0; k < context.included_index.size(); ++k) {
+    // Strictly below average (minus the rejoin slack): at least one
+    // candidate always survives.
+    context.eliminated_included[k] = records[context.included_index[k]] < cutoff;
+  }
+  return Status::Ok();
+}
+
+// Round weights.
+Status RunWeightingStage(VoteContext& context, RoundWeighting weighting,
+                         ClusteringMode clustering,
+                         const cluster::GroupingOptions& options) {
+  const size_t count = context.included_values.size();
+  context.weights.assign(count, 0.0);
+  context.weight_sum = 0.0;
+  const std::span<const double> records = context.ledger->records();
+  for (size_t k = 0; k < count; ++k) {
+    if (context.eliminated_included[k] || !context.in_winning_cluster[k]) {
+      continue;
+    }
+    double weight = 0.0;
+    switch (weighting) {
+      case RoundWeighting::kUniform:
+        weight = 1.0;
+        break;
+      case RoundWeighting::kHistory:
+        weight = records[context.included_index[k]];
+        break;
+      case RoundWeighting::kAgreement:
+        weight = context.scores[k];
+        break;
+      case RoundWeighting::kCombined:
+        weight = records[context.included_index[k]] * context.scores[k];
+        break;
+    }
+    context.weights[k] = weight;
+    context.weight_sum += weight;
+  }
+
+  // Zero-weight fallback.  §5: engines fall back to an unweighted
+  // approach "when the weights become 0 due to severe issues with the
+  // data"; with clustering enabled the clustering step itself is the
+  // fallback.
+  if (context.weight_sum <= 0.0 && count > 0) {
+    if (clustering != ClusteringMode::kOff && !context.used_clustering) {
+      AVOC_RETURN_IF_ERROR(context.ApplyClustering(options));
+    }
+    for (size_t k = 0; k < count; ++k) {
+      context.weights[k] = context.in_winning_cluster[k] ? 1.0 : 0.0;
+      context.weight_sum += context.weights[k];
+    }
+  }
+  return Status::Ok();
+}
+
+// Collation.
+Status RunCollationStage(VoteContext& context, Collation method) {
+  AVOC_ASSIGN_OR_RETURN(
+      const double output,
+      Collate(method, context.included_values, context.weights,
+              context.previous_output, context.mean_scratch));
+  context.output = output;
+  return Status::Ok();
+}
+
+// Majority check.
+Status RunMajorityStage(VoteContext& context, const AgreementParams& params,
+                        NoMajorityPolicy policy) {
+  const size_t largest_group = LargestAgreementGroup(
+      context.included_values, params, context.majority_scratch);
+  context.had_majority =
+      2 * largest_group > context.included_values.size();
+  if (context.had_majority) return Status::Ok();
+  switch (policy) {
+    case NoMajorityPolicy::kAccept:
+      break;
+    case NoMajorityPolicy::kEmitNothing:
+      context.Fault(RoundOutcome::kNoOutput);
+      break;
+    case NoMajorityPolicy::kRevertLast:
+      context.Fault(RoundOutcome::kRevertedLast);
+      break;
+    case NoMajorityPolicy::kRaise:
+      context.Fault(
+          RoundOutcome::kError,
+          NoMajorityError(StrFormat(
+              "largest agreement group %zu of %zu candidates",
+              largest_group, context.included_values.size())));
+      break;
+  }
+  return Status::Ok();
+}
+
+// History update.
+Status RunHistoryStage(VoteContext& context, const AgreementParams& params) {
+  // Every *present* module is scored against the voted output, including
+  // excluded and eliminated ones ("even if discarded in the voting
+  // itself"), so discarded modules can rehabilitate.  The scores come out
+  // of the dense pivot kernel, then scatter to module positions.
+  context.output_agreement.assign(context.module_count, 0.0);
+  if (context.config->history.rule == HistoryRule::kNone) {
+    // Stateless presets: the ledger ignores the agreement column, so the
+    // pivot scores are dead work — keep the Update call (round counting
+    // and arity check), skip the scoring.
+    return context.ledger->Update(
+        context.output_agreement,
+        std::span<const uint8_t>(context.present.data(),
+                                 context.module_count));
+  }
+  std::vector<double>& dense = context.agreement_scratch.row;
+  dense.resize(context.present_count);
+  kernels::AgreementWithPivotKernel(context.present_values.data(),
+                                    context.present_count, *context.output,
+                                    params, dense.data());
+  for (size_t k = 0; k < context.present_count; ++k) {
+    context.output_agreement[context.present_index[k]] = dense[k];
+  }
+  return context.ledger->Update(
+      context.output_agreement,
+      std::span<const uint8_t>(context.present.data(), context.module_count));
+}
+
+// --- Virtual stage wrappers -------------------------------------------------
 
 class QuorumStage final : public VoteStage {
  public:
-  QuorumStage(size_t module_count, const QuorumParams& params,
-              NoQuorumPolicy policy)
-      : module_count_(module_count),
-        required_(std::max<size_t>(
-            params.min_count,
-            static_cast<size_t>(std::ceil(
-                params.fraction * static_cast<double>(module_count) - 1e-9)))),
-        policy_(policy) {}
+  QuorumStage(size_t module_count, size_t required, NoQuorumPolicy policy)
+      : module_count_(module_count), required_(required), policy_(policy) {}
 
   std::string_view name() const override { return "quorum"; }
 
   Status Run(VoteContext& context) const override {
-    if (context.present_count >= required_) return Status::Ok();
-    switch (policy_) {
-      case NoQuorumPolicy::kEmitNothing:
-        context.Fault(RoundOutcome::kNoOutput);
-        break;
-      case NoQuorumPolicy::kRevertLast:
-        context.Fault(RoundOutcome::kRevertedLast);
-        break;
-      case NoQuorumPolicy::kRaise:
-        context.Fault(
-            RoundOutcome::kError,
-            NoQuorumError(StrFormat("%zu of %zu candidates, %zu required",
-                                    context.present_count, module_count_,
-                                    required_)));
-        break;
-    }
-    return Status::Ok();
+    return RunQuorumStage(context, module_count_, required_, policy_);
   }
 
  private:
@@ -62,8 +253,6 @@ class QuorumStage final : public VoteStage {
   NoQuorumPolicy policy_;
 };
 
-// --- Value-based exclusion --------------------------------------------------
-
 class ExclusionStage final : public VoteStage {
  public:
   explicit ExclusionStage(const ExclusionParams& params) : params_(params) {}
@@ -71,24 +260,12 @@ class ExclusionStage final : public VoteStage {
   std::string_view name() const override { return "exclusion"; }
 
   Status Run(VoteContext& context) const override {
-    ComputeExclusionsInto(context.present_values, params_,
-                          context.excluded_present);
-    context.included_index.clear();
-    context.included_values.clear();
-    for (size_t k = 0; k < context.present_count; ++k) {
-      if (!context.excluded_present[k]) {
-        context.included_index.push_back(context.present_index[k]);
-        context.included_values.push_back(context.present_values[k]);
-      }
-    }
-    return Status::Ok();
+    return RunExclusionStage(context, params_);
   }
 
  private:
   ExclusionParams params_;
 };
-
-// --- Clustering gate (AVOC bootstrap / COV) ---------------------------------
 
 class ClusteringStage final : public VoteStage {
  public:
@@ -98,35 +275,13 @@ class ClusteringStage final : public VoteStage {
   std::string_view name() const override { return "clustering"; }
 
   Status Run(VoteContext& context) const override {
-    context.in_winning_cluster.assign(context.included_values.size(), true);
-    if (!ShouldCluster(context) || context.included_values.empty()) {
-      return Status::Ok();
-    }
-    return context.ApplyClustering(options_);
+    return RunClusteringStage(context, mode_, options_);
   }
 
  private:
-  bool ShouldCluster(const VoteContext& context) const {
-    switch (mode_) {
-      case ClusteringMode::kOff:
-        return false;
-      case ClusteringMode::kAlways:
-        return true;
-      case ClusteringMode::kBootstrap:
-        // §5: "the clustering approach should be used when all records are
-        // 1 (indicating a new set) or 0 (indicating a failure of the
-        // system or an extreme data spike)".
-        return context.ledger->AllRecordsAre(1.0) ||
-               context.ledger->AllRecordsAre(0.0);
-    }
-    return false;
-  }
-
   ClusteringMode mode_;
   cluster::GroupingOptions options_;
 };
-
-// --- Agreement scores -------------------------------------------------------
 
 class AgreementStage final : public VoteStage {
  public:
@@ -135,15 +290,12 @@ class AgreementStage final : public VoteStage {
   std::string_view name() const override { return "agreement"; }
 
   Status Run(VoteContext& context) const override {
-    AgreementScoresInto(context.included_values, params_, context.scores);
-    return Status::Ok();
+    return RunAgreementStage(context, params_);
   }
 
  private:
   AgreementParams params_;
 };
-
-// --- Module elimination (ME) ------------------------------------------------
 
 class EliminationStage final : public VoteStage {
  public:
@@ -153,29 +305,13 @@ class EliminationStage final : public VoteStage {
   std::string_view name() const override { return "elimination"; }
 
   Status Run(VoteContext& context) const override {
-    context.eliminated_included.assign(context.included_values.size(), false);
-    if (!enabled_ || context.included_values.size() <= 1) return Status::Ok();
-    double mean_record = 0.0;
-    for (const size_t m : context.included_index) {
-      mean_record += context.ledger->record(m);
-    }
-    mean_record /= static_cast<double>(context.included_index.size());
-    for (size_t k = 0; k < context.included_index.size(); ++k) {
-      // Strictly below average (minus the rejoin slack): at least one
-      // candidate always survives.
-      context.eliminated_included[k] =
-          context.ledger->record(context.included_index[k]) <
-          mean_record - margin_ - 1e-12;
-    }
-    return Status::Ok();
+    return RunEliminationStage(context, enabled_, margin_);
   }
 
  private:
   bool enabled_;
   double margin_;
 };
-
-// --- Round weights ----------------------------------------------------------
 
 class WeightingStage final : public VoteStage {
  public:
@@ -186,55 +322,14 @@ class WeightingStage final : public VoteStage {
   std::string_view name() const override { return "weighting"; }
 
   Status Run(VoteContext& context) const override {
-    const size_t count = context.included_values.size();
-    context.weights.assign(count, 0.0);
-    context.weight_sum = 0.0;
-    for (size_t k = 0; k < count; ++k) {
-      if (context.eliminated_included[k] || !context.in_winning_cluster[k]) {
-        continue;
-      }
-      context.weights[k] = BaseWeight(context, k);
-      context.weight_sum += context.weights[k];
-    }
-
-    // Zero-weight fallback.  §5: engines fall back to an unweighted
-    // approach "when the weights become 0 due to severe issues with the
-    // data"; with clustering enabled the clustering step itself is the
-    // fallback.
-    if (context.weight_sum <= 0.0 && count > 0) {
-      if (clustering_ != ClusteringMode::kOff && !context.used_clustering) {
-        AVOC_RETURN_IF_ERROR(context.ApplyClustering(options_));
-      }
-      for (size_t k = 0; k < count; ++k) {
-        context.weights[k] = context.in_winning_cluster[k] ? 1.0 : 0.0;
-        context.weight_sum += context.weights[k];
-      }
-    }
-    return Status::Ok();
+    return RunWeightingStage(context, weighting_, clustering_, options_);
   }
 
  private:
-  double BaseWeight(const VoteContext& context, size_t k) const {
-    switch (weighting_) {
-      case RoundWeighting::kUniform:
-        return 1.0;
-      case RoundWeighting::kHistory:
-        return context.ledger->record(context.included_index[k]);
-      case RoundWeighting::kAgreement:
-        return context.scores[k];
-      case RoundWeighting::kCombined:
-        return context.ledger->record(context.included_index[k]) *
-               context.scores[k];
-    }
-    return 0.0;
-  }
-
   RoundWeighting weighting_;
   ClusteringMode clustering_;
   cluster::GroupingOptions options_;
 };
-
-// --- Collation --------------------------------------------------------------
 
 class CollationStage final : public VoteStage {
  public:
@@ -243,19 +338,12 @@ class CollationStage final : public VoteStage {
   std::string_view name() const override { return "collation"; }
 
   Status Run(VoteContext& context) const override {
-    AVOC_ASSIGN_OR_RETURN(
-        const double output,
-        Collate(method_, context.included_values, context.weights,
-                context.previous_output));
-    context.output = output;
-    return Status::Ok();
+    return RunCollationStage(context, method_);
   }
 
  private:
   Collation method_;
 };
-
-// --- Majority check ---------------------------------------------------------
 
 class MajorityStage final : public VoteStage {
  public:
@@ -265,37 +353,13 @@ class MajorityStage final : public VoteStage {
   std::string_view name() const override { return "majority"; }
 
   Status Run(VoteContext& context) const override {
-    const size_t largest_group = LargestAgreementGroup(
-        context.included_values, params_, context.majority_scratch);
-    context.had_majority =
-        2 * largest_group > context.included_values.size();
-    if (context.had_majority) return Status::Ok();
-    switch (policy_) {
-      case NoMajorityPolicy::kAccept:
-        break;
-      case NoMajorityPolicy::kEmitNothing:
-        context.Fault(RoundOutcome::kNoOutput);
-        break;
-      case NoMajorityPolicy::kRevertLast:
-        context.Fault(RoundOutcome::kRevertedLast);
-        break;
-      case NoMajorityPolicy::kRaise:
-        context.Fault(
-            RoundOutcome::kError,
-            NoMajorityError(StrFormat(
-                "largest agreement group %zu of %zu candidates",
-                largest_group, context.included_values.size())));
-        break;
-    }
-    return Status::Ok();
+    return RunMajorityStage(context, params_, policy_);
   }
 
  private:
   AgreementParams params_;
   NoMajorityPolicy policy_;
 };
-
-// --- History update ---------------------------------------------------------
 
 class HistoryUpdateStage final : public VoteStage {
  public:
@@ -305,15 +369,7 @@ class HistoryUpdateStage final : public VoteStage {
   std::string_view name() const override { return "history"; }
 
   Status Run(VoteContext& context) const override {
-    // Every *present* module is scored against the voted output, including
-    // excluded and eliminated ones ("even if discarded in the voting
-    // itself"), so discarded modules can rehabilitate.
-    context.output_agreement.assign(context.module_count, 0.0);
-    for (size_t k = 0; k < context.present_count; ++k) {
-      context.output_agreement[context.present_index[k]] =
-          AgreementScore(context.present_values[k], *context.output, params_);
-    }
-    return context.ledger->Update(context.output_agreement, context.present);
+    return RunHistoryStage(context, params_);
   }
 
  private:
@@ -328,7 +384,7 @@ void VoteContext::Begin(const Round& round, const EngineConfig& engine_config,
   BeginCommon(round.size(), engine_config, engine_ledger, previous);
   for (size_t i = 0; i < module_count; ++i) {
     if (round[i].has_value()) {
-      present[i] = true;
+      present[i] = 1;
       present_index.push_back(i);
       present_values.push_back(*round[i]);
     }
@@ -342,7 +398,7 @@ void VoteContext::Begin(RoundSpan round, const EngineConfig& engine_config,
   BeginCommon(round.size(), engine_config, engine_ledger, previous);
   for (size_t i = 0; i < module_count; ++i) {
     if (round.present[i] != 0) {
-      present[i] = true;
+      present[i] = 1;
       present_index.push_back(i);
       present_values.push_back(round.values[i]);
     }
@@ -355,7 +411,7 @@ void VoteContext::Begin(std::span<const double> values,
                         HistoryLedger& engine_ledger,
                         std::optional<double> previous) {
   BeginCommon(values.size(), engine_config, engine_ledger, previous);
-  present.assign(module_count, true);
+  present.assign(module_count, uint8_t{1});
   for (size_t i = 0; i < module_count; ++i) {
     present_index.push_back(i);
     present_values.push_back(values[i]);
@@ -374,7 +430,7 @@ void VoteContext::BeginCommon(size_t modules,
 
   present_index.clear();
   present_values.clear();
-  present.assign(module_count, false);
+  present.assign(module_count, uint8_t{0});
   present_count = 0;
 
   excluded_present.clear();
@@ -405,9 +461,9 @@ Status VoteContext::ApplyClustering(const cluster::GroupingOptions& options) {
   AVOC_ASSIGN_OR_RETURN(
       const cluster::Group winner,
       cluster::SelectWinningGroup(grouping, included_values, prev));
-  std::fill(in_winning_cluster.begin(), in_winning_cluster.end(), false);
+  std::fill(in_winning_cluster.begin(), in_winning_cluster.end(), uint8_t{0});
   for (const size_t member : winner.members) {
-    in_winning_cluster[member] = true;
+    in_winning_cluster[member] = 1;
   }
   used_clustering = true;
   return Status::Ok();
@@ -433,26 +489,72 @@ void StageTraceObserver::OnStageDone(std::string_view stage,
 
 StagePipeline::Ptr StagePipeline::Compile(size_t module_count,
                                           const EngineConfig& config) {
-  const cluster::GroupingOptions grouping =
-      MirroredGroupingOptions(config.agreement);
   auto pipeline = std::shared_ptr<StagePipeline>(new StagePipeline());
+
+  RoundPlan& plan = pipeline->plan_;
+  plan.module_count = module_count;
+  plan.quorum_required = std::max<size_t>(
+      config.quorum.min_count,
+      static_cast<size_t>(
+          std::ceil(config.quorum.fraction * static_cast<double>(module_count) -
+                    1e-9)));
+  plan.on_no_quorum = config.on_no_quorum;
+  plan.exclusion = config.exclusion;
+  plan.clustering = config.clustering;
+  plan.grouping = MirroredGroupingOptions(config.agreement);
+  plan.agreement = config.agreement;
+  plan.module_elimination = config.module_elimination;
+  plan.elimination_margin = config.elimination_margin;
+  plan.weighting = config.weighting;
+  plan.collation = config.collation;
+  plan.on_no_majority = config.on_no_majority;
+
   auto& stages = pipeline->stages_;
   stages.reserve(9);
-  stages.push_back(std::make_unique<QuorumStage>(module_count, config.quorum,
-                                                 config.on_no_quorum));
-  stages.push_back(std::make_unique<ExclusionStage>(config.exclusion));
+  stages.push_back(std::make_unique<QuorumStage>(
+      module_count, plan.quorum_required, plan.on_no_quorum));
+  stages.push_back(std::make_unique<ExclusionStage>(plan.exclusion));
   stages.push_back(
-      std::make_unique<ClusteringStage>(config.clustering, grouping));
-  stages.push_back(std::make_unique<AgreementStage>(config.agreement));
+      std::make_unique<ClusteringStage>(plan.clustering, plan.grouping));
+  stages.push_back(std::make_unique<AgreementStage>(plan.agreement));
   stages.push_back(std::make_unique<EliminationStage>(
-      config.module_elimination, config.elimination_margin));
+      plan.module_elimination, plan.elimination_margin));
   stages.push_back(std::make_unique<WeightingStage>(
-      config.weighting, config.clustering, grouping));
-  stages.push_back(std::make_unique<CollationStage>(config.collation));
+      plan.weighting, plan.clustering, plan.grouping));
+  stages.push_back(std::make_unique<CollationStage>(plan.collation));
   stages.push_back(
-      std::make_unique<MajorityStage>(config.agreement, config.on_no_majority));
-  stages.push_back(std::make_unique<HistoryUpdateStage>(config.agreement));
+      std::make_unique<MajorityStage>(plan.agreement, plan.on_no_majority));
+  stages.push_back(std::make_unique<HistoryUpdateStage>(plan.agreement));
   return pipeline;
+}
+
+Status StagePipeline::RunRound(VoteContext& context) const {
+  // The same nine bodies stages() dispatches virtually, inlined into one
+  // call frame with the fault short-circuit between steps.
+  const RoundPlan& plan = plan_;
+  AVOC_RETURN_IF_ERROR(RunQuorumStage(context, plan.module_count,
+                                      plan.quorum_required,
+                                      plan.on_no_quorum));
+  if (context.faulted()) return Status::Ok();
+  AVOC_RETURN_IF_ERROR(RunExclusionStage(context, plan.exclusion));
+  if (context.faulted()) return Status::Ok();
+  AVOC_RETURN_IF_ERROR(
+      RunClusteringStage(context, plan.clustering, plan.grouping));
+  if (context.faulted()) return Status::Ok();
+  AVOC_RETURN_IF_ERROR(RunAgreementStage(context, plan.agreement));
+  if (context.faulted()) return Status::Ok();
+  AVOC_RETURN_IF_ERROR(RunEliminationStage(context, plan.module_elimination,
+                                           plan.elimination_margin));
+  if (context.faulted()) return Status::Ok();
+  AVOC_RETURN_IF_ERROR(RunWeightingStage(context, plan.weighting,
+                                         plan.clustering, plan.grouping));
+  if (context.faulted()) return Status::Ok();
+  AVOC_RETURN_IF_ERROR(RunCollationStage(context, plan.collation));
+  if (context.faulted()) return Status::Ok();
+  AVOC_RETURN_IF_ERROR(
+      RunMajorityStage(context, plan.agreement, plan.on_no_majority));
+  if (context.faulted()) return Status::Ok();
+  return RunHistoryStage(context, plan.agreement);
 }
 
 std::vector<std::string_view> StagePipeline::StageNames() const {

@@ -29,6 +29,7 @@
 #include "cluster/grouping.h"
 #include "core/config.h"
 #include "core/history.h"
+#include "core/kernels/kernels.h"
 #include "core/types.h"
 #include "util/status.h"
 
@@ -58,24 +59,26 @@ struct VoteContext {
   std::optional<double> previous_output;
 
   // --- presence (set by Begin) ---------------------------------------------
+  // Masks are flat 0/1 byte columns (not std::vector<bool>): the voting
+  // kernels read and write them with contiguous vector loads/stores.
   std::vector<size_t> present_index;   ///< module index of each candidate
   std::vector<double> present_values;  ///< value of each candidate
-  std::vector<bool> present;           ///< per-module submitted-a-reading mask
+  std::vector<uint8_t> present;        ///< per-module submitted-a-reading mask
   size_t present_count = 0;
 
   // --- exclusion -----------------------------------------------------------
-  std::vector<bool> excluded_present;  ///< per present candidate
+  std::vector<uint8_t> excluded_present;  ///< per present candidate
   std::vector<size_t> included_index;  ///< module index per included candidate
   std::vector<double> included_values;
 
   // --- clustering ----------------------------------------------------------
   bool used_clustering = false;
-  std::vector<bool> in_winning_cluster;  ///< per included candidate
+  std::vector<uint8_t> in_winning_cluster;  ///< per included candidate
 
   // --- agreement / elimination / weighting ---------------------------------
-  std::vector<double> scores;             ///< per included candidate
-  std::vector<bool> eliminated_included;  ///< per included candidate
-  std::vector<double> weights;            ///< per included candidate
+  std::vector<double> scores;                ///< per included candidate
+  std::vector<uint8_t> eliminated_included;  ///< per included candidate
+  std::vector<double> weights;               ///< per included candidate
   double weight_sum = 0.0;
 
   // --- collation / majority ------------------------------------------------
@@ -87,6 +90,11 @@ struct VoteContext {
   std::vector<double> output_agreement;
   /// Sort buffer of the majority check's largest-group scan.
   std::vector<double> majority_scratch;
+  /// Kernel scratch (see core/kernels/kernels.h), reused across rounds so
+  /// the stage bodies stay allocation-free once warmed up.
+  kernels::AgreementScratch agreement_scratch;
+  kernels::ExclusionScratch exclusion_scratch;
+  kernels::WeightedMeanScratch mean_scratch;
 
   // --- fault short-circuit -------------------------------------------------
   /// Engaged when a fault policy fired; the remaining stages are skipped
@@ -213,19 +221,46 @@ class StageTraceObserver : public StageObserver {
   std::vector<StageTraceEntry> entries_;
 };
 
+/// The fully-resolved per-stage constants of one compiled pipeline — what
+/// Compile lowers an EngineConfig into.  The virtual stage objects and
+/// the non-virtual StagePipeline::RunRound batch path both execute the
+/// *same* stage bodies from this plan, so the two paths cannot diverge.
+struct RoundPlan {
+  size_t module_count = 0;
+  size_t quorum_required = 0;
+  NoQuorumPolicy on_no_quorum = NoQuorumPolicy::kEmitNothing;
+  ExclusionParams exclusion;
+  ClusteringMode clustering = ClusteringMode::kOff;
+  cluster::GroupingOptions grouping;
+  AgreementParams agreement;
+  bool module_elimination = false;
+  double elimination_margin = 0.0;
+  RoundWeighting weighting = RoundWeighting::kUniform;
+  Collation collation = Collation::kWeightedAverage;
+  NoMajorityPolicy on_no_majority = NoMajorityPolicy::kAccept;
+};
+
 /// The compiled, immutable stage chain for one EngineConfig.
 class StagePipeline {
  public:
   using Ptr = std::shared_ptr<const StagePipeline>;
 
   /// Lowers `config` (assumed validated) for a `module_count`-ary round
-  /// into the fixed nine-stage chain.
+  /// into the fixed nine-stage chain (and the equivalent RoundPlan).
   static Ptr Compile(size_t module_count, const EngineConfig& config);
 
   std::span<const std::unique_ptr<VoteStage>> stages() const {
     return stages_;
   }
   size_t size() const { return stages_.size(); }
+
+  const RoundPlan& plan() const { return plan_; }
+
+  /// Runs one round through the compiled plan without virtual dispatch or
+  /// per-stage observer boundaries — the batch hot path.  Bit-identical
+  /// to threading the context through stages() (both call the same stage
+  /// bodies); engines pick this path when no stage hooks are attached.
+  Status RunRound(VoteContext& context) const;
 
   /// Stage names in execution order.
   std::vector<std::string_view> StageNames() const;
@@ -234,6 +269,7 @@ class StagePipeline {
   StagePipeline() = default;
 
   std::vector<std::unique_ptr<VoteStage>> stages_;
+  RoundPlan plan_;
 };
 
 }  // namespace avoc::core

@@ -3,6 +3,18 @@
 #include <algorithm>
 
 namespace avoc::core {
+namespace {
+
+/// Zeroes the columns of one handed-out row from `from` to the end.
+void ZeroRowTail(RoundColumns& columns, size_t from) {
+  std::fill(columns.weights.begin() + from, columns.weights.end(), 0.0);
+  std::fill(columns.agreement.begin() + from, columns.agreement.end(), 0.0);
+  std::fill(columns.history.begin() + from, columns.history.end(), 0.0);
+  std::fill(columns.excluded.begin() + from, columns.excluded.end(), 0);
+  std::fill(columns.eliminated.begin() + from, columns.eliminated.end(), 0);
+}
+
+}  // namespace
 
 Status TraceView::status(size_t r) const {
   const auto it = std::lower_bound(
@@ -104,21 +116,30 @@ void BatchTrace::ReserveRounds(size_t rounds) {
   used_clustering_.reserve(rounds);
   had_majority_.reserve(rounds);
   present_counts_.reserve(rounds);
-  weights_.reserve(rounds * modules_);
-  agreement_.reserve(rounds * modules_);
-  history_.reserve(rounds * modules_);
-  excluded_.reserve(rounds * modules_);
-  eliminated_.reserve(rounds * modules_);
+  // The per-module blocks are *sized* (not just reserved) up front: the
+  // hot path then hands out row subspans with no per-round resize calls
+  // (each of which would zero-fill the fresh row only for EmitColumns to
+  // overwrite it).  The block size is decoupled from the committed round
+  // count — every read goes through view(), which clamps the spans to
+  // rounds_ * modules_.
+  GrowBlocks(rounds * modules_);
+}
+
+void BatchTrace::GrowBlocks(size_t elements) {
+  if (elements <= weights_.size()) return;
+  // Geometric slabs so unreserved streaming stays amortized-O(1).
+  const size_t grown = std::max(elements, weights_.size() * 2);
+  weights_.resize(grown);
+  agreement_.resize(grown);
+  history_.resize(grown);
+  excluded_.resize(grown);
+  eliminated_.resize(grown);
 }
 
 RoundColumns BatchTrace::BeginRound(size_t module_count) {
   if (modules_ == 0) modules_ = module_count;
   const size_t offset = rounds_ * modules_;
-  weights_.resize(offset + modules_);
-  agreement_.resize(offset + modules_);
-  history_.resize(offset + modules_);
-  excluded_.resize(offset + modules_);
-  eliminated_.resize(offset + modules_);
+  GrowBlocks(offset + modules_);
   open_round_ = true;
   return RoundColumns{
       std::span<double>(weights_).subspan(offset, modules_),
@@ -147,6 +168,9 @@ void BatchTrace::Append(const VoteResult& result) {
   if (modules_ == 0) modules_ = result.weights.size();
   RoundColumns columns = BeginRound(modules_);
   const size_t n = std::min(modules_, result.weights.size());
+  // Slab rows start uninitialized (UninitAllocator); zero any tail a
+  // smaller-arity source leaves unwritten.
+  if (n < modules_) ZeroRowTail(columns, n);
   std::copy_n(result.weights.begin(), n, columns.weights.begin());
   std::copy_n(result.agreement.begin(), n, columns.agreement.begin());
   std::copy_n(result.history.begin(), n, columns.history.begin());
@@ -169,6 +193,7 @@ void BatchTrace::AppendFrom(const TraceView& src, size_t r) {
   if (modules_ == 0) modules_ = src.module_count();
   RoundColumns columns = BeginRound(modules_);
   const size_t n = std::min(modules_, src.module_count());
+  if (n < modules_) ZeroRowTail(columns, n);
   const auto w = src.weights(r);
   const auto a = src.agreement(r);
   const auto h = src.history(r);
@@ -202,11 +227,15 @@ TraceView BatchTrace::view() const {
   columns.used_clustering = used_clustering_;
   columns.had_majority = had_majority_;
   columns.present_counts = present_counts_;
-  columns.weights = weights_;
-  columns.agreement = agreement_;
-  columns.history = history_;
-  columns.excluded = excluded_;
-  columns.eliminated = eliminated_;
+  // The blocks are slab-sized past the committed rounds (see
+  // ReserveRounds); clamp the read surface to what EndRound committed.
+  const size_t committed = rounds_ * modules_;
+  columns.weights = std::span<const double>(weights_.data(), committed);
+  columns.agreement = std::span<const double>(agreement_.data(), committed);
+  columns.history = std::span<const double>(history_.data(), committed);
+  columns.excluded = std::span<const uint8_t>(excluded_.data(), committed);
+  columns.eliminated =
+      std::span<const uint8_t>(eliminated_.data(), committed);
   columns.errors = errors_;
   return TraceView(columns);
 }

@@ -15,8 +15,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "core/types.h"
@@ -30,6 +32,32 @@ struct RoundError {
   uint32_t round = 0;
   Status status;
 };
+
+/// Allocator whose value-initialization is a no-op: vector::resize leaves
+/// new elements uninitialized instead of memset-ing them.  Used for the
+/// per-module slab blocks, which are sized ahead of the committed rounds
+/// and fully written row by row before any read (view() clamps to the
+/// committed prefix) — zero-filling megabytes of slab up front would be
+/// pure waste on the hot path.
+template <typename T>
+struct UninitAllocator : std::allocator<T> {
+  template <typename U>
+  struct rebind {
+    using other = UninitAllocator<U>;
+  };
+  template <typename U, typename... Args>
+  void construct(U* p, Args&&... args) {
+    if constexpr (sizeof...(Args) == 0) {
+      ::new (static_cast<void*>(p)) U;  // default-init: no zero fill
+    } else {
+      ::new (static_cast<void*>(p)) U(std::forward<Args>(args)...);
+    }
+  }
+};
+
+/// One slab block of a BatchTrace (doubles or mask bytes).
+template <typename T>
+using SlabVector = std::vector<T, UninitAllocator<T>>;
 
 /// The raw columns of a trace; all round-indexed spans have `rounds`
 /// entries, all block spans have `rounds * modules` entries (row-major:
@@ -189,6 +217,12 @@ class BatchTrace final : public VoteSink {
   }
 
  private:
+  /// Grows the five per-module blocks to at least `elements` doubles /
+  /// bytes each, in geometric slabs.  Blocks are sized ahead of the
+  /// committed rounds so BeginRound never resizes on the hot path;
+  /// view() clamps reads back to the committed prefix.
+  void GrowBlocks(size_t elements);
+
   size_t modules_ = 0;
   size_t rounds_ = 0;       ///< committed rounds
   bool open_round_ = false;  ///< BeginRound issued, EndRound pending
@@ -199,11 +233,11 @@ class BatchTrace final : public VoteSink {
   std::vector<uint8_t> used_clustering_;
   std::vector<uint8_t> had_majority_;
   std::vector<uint32_t> present_counts_;
-  std::vector<double> weights_;
-  std::vector<double> agreement_;
-  std::vector<double> history_;
-  std::vector<uint8_t> excluded_;
-  std::vector<uint8_t> eliminated_;
+  SlabVector<double> weights_;
+  SlabVector<double> agreement_;
+  SlabVector<double> history_;
+  SlabVector<uint8_t> excluded_;
+  SlabVector<uint8_t> eliminated_;
   std::vector<RoundError> errors_;
 };
 

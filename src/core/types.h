@@ -34,6 +34,25 @@ struct RoundSpan {
   size_t size() const { return values.size(); }
 };
 
+/// A borrowed contiguous block of rounds: `round_count() × modules`
+/// row-major values plus a matching 0/1 present block — exactly
+/// data::RoundTable's storage, so a whole table (or any round range)
+/// batches into the engine with zero copies.
+struct RoundBlock {
+  std::span<const double> values;    ///< rounds × modules, row-major
+  std::span<const uint8_t> present;  ///< rounds × modules, row-major
+  size_t modules = 0;
+
+  size_t round_count() const {
+    return modules == 0 ? 0 : values.size() / modules;
+  }
+  /// Zero-copy view of round `r` within the block.
+  RoundSpan round(size_t r) const {
+    return RoundSpan{values.subspan(r * modules, modules),
+                     present.subspan(r * modules, modules)};
+  }
+};
+
 /// What the engine did with a round.  uint8_t-backed so result traces can
 /// store outcomes as a flat byte column.
 enum class RoundOutcome : uint8_t {

@@ -65,6 +65,12 @@ class RoundTable {
   /// Zero-copy view of round r (spans valid until the table is modified).
   RoundView View(size_t r) const;
 
+  /// The whole table as two flat row-major blocks (rounds × modules) —
+  /// the zero-copy input of the engine's many-rounds batch entry point.
+  /// Valid until the table is modified.
+  std::span<const double> value_block() const { return values_; }
+  std::span<const uint8_t> present_block() const { return presents_; }
+
   /// Readings of round r, materialized (prefer View on hot paths).
   std::vector<Reading> MaterializeRound(size_t r) const;
 

@@ -187,7 +187,10 @@ Status MultiGroupEngine::RunBatch(std::span<const data::RoundTable> tables,
     // partition): each worker owns an adjacent slice of the group-major
     // block, so writes from different workers never interleave within a
     // cache line (the old one-task-per-group scatter did, and also paid
-    // one queue round-trip per group instead of per worker).
+    // one queue round-trip per group instead of per worker).  Each group's
+    // table feeds the engine's many-rounds block entry point whole
+    // (ValidateTables already proved the arity), so a worker streams its
+    // group range through one instruction stream.
     GroupRouter router(workers);
     std::vector<Status> statuses(workers);
     pool_->ParallelFor(
@@ -195,8 +198,10 @@ Status MultiGroupEngine::RunBatch(std::span<const data::RoundTable> tables,
           const ShardRange range = router.RangeFor(w, engines_.size());
           for (size_t g = range.begin; g < range.end; ++g) {
             MultiGroupTrace::GroupSink sink(&trace, g);
-            const Status status =
-                core::RunOverTable(engines_[g], tables[g], sink);
+            const Status status = engines_[g].CastVoteBlock(
+                core::RoundBlock{tables[g].value_block(),
+                                 tables[g].present_block(), module_count_},
+                sink);
             if (!status.ok() && statuses[w].ok()) statuses[w] = status;
           }
         });

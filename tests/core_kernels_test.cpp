@@ -1,0 +1,369 @@
+// Property suite of the voting kernel layer (core/kernels): the
+// sorted-window agreement kernel against the brute-force pairwise
+// reference, the symmetric pairwise kernel against the naive two-sided
+// loop, and the flat-mask exclusion against the vector<bool> path.  All
+// equalities here are bitwise (EXPECT_EQ on doubles), because bit parity
+// is the kernel layer's hard contract.
+#include "core/kernels/kernels.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/agreement.h"
+#include "core/exclusion.h"
+#include "util/rng.h"
+
+namespace avoc::core {
+namespace {
+
+// The naive reference: the exact loop AgreementScoresInto shipped with
+// before the kernel layer (each ordered pair scored separately).
+std::vector<double> NaiveAgreementScores(const std::vector<double>& values,
+                                         const AgreementParams& params) {
+  const size_t n = values.size();
+  std::vector<double> scores(n, 1.0);
+  if (n <= 1) return scores;
+  for (size_t i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      sum += AgreementScore(values[i], values[j], params);
+    }
+    scores[i] = sum / static_cast<double>(n - 1);
+  }
+  return scores;
+}
+
+void ExpectBitEqual(const std::vector<double>& got,
+                    const std::vector<double>& want, const char* label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], want[i]) << label << " diverges at index " << i;
+  }
+}
+
+std::vector<double> RandomValues(Rng& rng, size_t n, double lo, double hi,
+                                 double duplicate_probability) {
+  std::vector<double> values(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0 && rng.NextDouble() < duplicate_probability) {
+      values[i] = values[rng.UniformInt(i)];  // exact duplicate
+    } else {
+      values[i] = rng.Uniform(lo, hi);
+    }
+  }
+  return values;
+}
+
+// --- Pairwise symmetry ------------------------------------------------------
+
+TEST(AgreementPairwiseKernel, MatchesNaiveLoopAcrossModesRandomized) {
+  Rng rng(2024);
+  const AgreementMode modes[] = {AgreementMode::kBinary,
+                                 AgreementMode::kSoftDynamic};
+  const ThresholdScale scales[] = {ThresholdScale::kAbsolute,
+                                   ThresholdScale::kRelative};
+  kernels::AgreementScratch scratch;
+  for (int iter = 0; iter < 200; ++iter) {
+    const size_t n = 1 + rng.UniformInt(24);
+    const std::vector<double> values =
+        RandomValues(rng, n, -100.0, 100.0, 0.2);
+    AgreementParams params;
+    params.error = rng.Uniform(0.0, 5.0);
+    params.soft_multiple = rng.Uniform(0.5, 4.0);
+    params.mode = modes[rng.UniformInt(2)];
+    params.scale = scales[rng.UniformInt(2)];
+    std::vector<double> kernel_scores(n);
+    kernels::AgreementPairwiseKernel(values.data(), n, params,
+                                     kernel_scores.data(), scratch);
+    ExpectBitEqual(kernel_scores, NaiveAgreementScores(values, params),
+                   "pairwise kernel");
+  }
+}
+
+TEST(AgreementPairwiseKernel, ScoreFunctionIsSymmetric) {
+  // The symmetry the pair-once kernel rests on: AgreementScore(a,b) ==
+  // AgreementScore(b,a) bitwise, in every mode/scale.
+  Rng rng(7);
+  for (int iter = 0; iter < 500; ++iter) {
+    const double a = rng.Uniform(-1e6, 1e6);
+    const double b = rng.Uniform(-1e6, 1e6);
+    AgreementParams params;
+    params.error = rng.Uniform(0.0, 10.0);
+    params.soft_multiple = rng.Uniform(0.0, 5.0);
+    params.mode = rng.NextDouble() < 0.5 ? AgreementMode::kBinary
+                                         : AgreementMode::kSoftDynamic;
+    params.scale = rng.NextDouble() < 0.5 ? ThresholdScale::kAbsolute
+                                          : ThresholdScale::kRelative;
+    EXPECT_EQ(AgreementScore(a, b, params), AgreementScore(b, a, params));
+  }
+}
+
+TEST(AgreementScoresInto, LegacySignatureStillMatchesNaive) {
+  // The public entry point dispatches into the kernels; the regression
+  // bar is the naive loop it replaced.
+  Rng rng(11);
+  for (int iter = 0; iter < 100; ++iter) {
+    const size_t n = 1 + rng.UniformInt(40);
+    const std::vector<double> values = RandomValues(rng, n, 900.0, 1100.0, 0.3);
+    AgreementParams params;  // default: binary relative — pairwise path
+    std::vector<double> scores;
+    AgreementScoresInto(values, params, scores);
+    ExpectBitEqual(scores, NaiveAgreementScores(values, params),
+                   "AgreementScoresInto");
+  }
+}
+
+// --- Sorted-window path -----------------------------------------------------
+
+TEST(AgreementSortedKernel, MatchesPairwiseOnRandomBinaryAbsolute) {
+  Rng rng(42);
+  kernels::AgreementScratch scratch;
+  for (int iter = 0; iter < 300; ++iter) {
+    const size_t n = 2 + rng.UniformInt(63);
+    // Heavy duplicates: ties at the window edges are the regression risk.
+    const std::vector<double> values = RandomValues(rng, n, 0.0, 10.0, 0.4);
+    AgreementParams params;
+    params.mode = AgreementMode::kBinary;
+    params.scale = ThresholdScale::kAbsolute;
+    params.error = rng.Uniform(0.0, 5.0);
+    std::vector<double> sorted_scores(n);
+    kernels::AgreementSortedKernel(values.data(), n, params.error,
+                                   sorted_scores.data(), scratch);
+    ExpectBitEqual(sorted_scores, NaiveAgreementScores(values, params),
+                   "sorted kernel");
+  }
+}
+
+TEST(AgreementSortedKernel, MarginBoundaryTiesCountAsAgreement) {
+  // distance == error is agreement (<=); values placed exactly one
+  // margin apart must agree in both kernels.
+  kernels::AgreementScratch scratch;
+  const std::vector<double> values = {0.0, 1.0, 2.0, 3.0, 4.0,
+                                      5.0, 6.0, 7.0, 8.0};
+  AgreementParams params;
+  params.mode = AgreementMode::kBinary;
+  params.scale = ThresholdScale::kAbsolute;
+  params.error = 1.0;
+  std::vector<double> scores(values.size());
+  kernels::AgreementSortedKernel(values.data(), values.size(), params.error,
+                                 scores.data(), scratch);
+  ExpectBitEqual(scores, NaiveAgreementScores(values, params),
+                 "margin-boundary ties");
+  // Interior candidates agree with exactly two neighbours.
+  EXPECT_EQ(scores[4], 2.0 / 8.0);
+}
+
+TEST(AgreementSortedKernel, NanFreeExtremesStayExact) {
+  // Large-magnitude but finite values: the windowed subtraction sees the
+  // same rounded |a-b| the pairwise path does.
+  Rng rng(99);
+  kernels::AgreementScratch scratch;
+  for (int iter = 0; iter < 100; ++iter) {
+    const size_t n = 8 + rng.UniformInt(24);
+    std::vector<double> values(n);
+    for (auto& v : values) {
+      v = rng.Uniform(-1.0, 1.0) * 1e15;
+      if (rng.NextDouble() < 0.1) v = std::numeric_limits<double>::max() / 4;
+    }
+    AgreementParams params;
+    params.mode = AgreementMode::kBinary;
+    params.scale = ThresholdScale::kAbsolute;
+    params.error = rng.Uniform(0.0, 1e14);
+    std::vector<double> scores(n);
+    kernels::AgreementSortedKernel(values.data(), n, params.error,
+                                   scores.data(), scratch);
+    ExpectBitEqual(scores, NaiveAgreementScores(values, params),
+                   "extreme magnitudes");
+  }
+}
+
+TEST(AgreementScoresKernelDispatch, SortedRequiresBinaryAbsoluteFinite) {
+  AgreementParams params;
+  params.mode = AgreementMode::kBinary;
+  params.scale = ThresholdScale::kAbsolute;
+  EXPECT_TRUE(kernels::SortedAgreementEligible(params));
+  params.scale = ThresholdScale::kRelative;
+  EXPECT_FALSE(kernels::SortedAgreementEligible(params));
+  params.scale = ThresholdScale::kAbsolute;
+  params.mode = AgreementMode::kSoftDynamic;
+  EXPECT_FALSE(kernels::SortedAgreementEligible(params));
+  params.mode = AgreementMode::kBinary;
+  params.error = -1.0;
+  EXPECT_FALSE(kernels::SortedAgreementEligible(params));
+
+  const std::vector<double> with_nan = {1.0, 2.0,
+                                        std::numeric_limits<double>::quiet_NaN()};
+  EXPECT_FALSE(kernels::AllFinite(with_nan.data(), with_nan.size()));
+  const std::vector<double> with_inf = {1.0,
+                                        std::numeric_limits<double>::infinity()};
+  EXPECT_FALSE(kernels::AllFinite(with_inf.data(), with_inf.size()));
+  const std::vector<double> finite = {1.0, -2.5, 1e300, -1e300, 0.0};
+  EXPECT_TRUE(kernels::AllFinite(finite.data(), finite.size()));
+}
+
+TEST(AgreementScoresKernelDispatch, RelativeAndSoftFallBackToPairwise) {
+  // The dispatcher must produce pairwise-exact results for the modes the
+  // sorted window cannot express.
+  Rng rng(5);
+  kernels::AgreementScratch scratch;
+  for (int iter = 0; iter < 100; ++iter) {
+    const size_t n = 8 + rng.UniformInt(32);  // above the sorted cutover
+    const std::vector<double> values =
+        RandomValues(rng, n, 500.0, 1500.0, 0.25);
+    AgreementParams params;
+    params.error = rng.Uniform(0.0, 0.2);
+    params.soft_multiple = rng.Uniform(1.0, 3.0);
+    params.mode = iter % 2 == 0 ? AgreementMode::kSoftDynamic
+                                : AgreementMode::kBinary;
+    params.scale = ThresholdScale::kRelative;
+    std::vector<double> scores(n);
+    kernels::AgreementScoresKernel(values.data(), n, params, scores.data(),
+                                   scratch);
+    ExpectBitEqual(scores, NaiveAgreementScores(values, params),
+                   "relative/soft fallback");
+  }
+}
+
+TEST(AgreementScoresKernelDispatch, NonFiniteValuesFallBackToPairwise) {
+  // NaN/inf candidates must not reach the sort; the dispatcher detects
+  // them per call and the result still matches the naive loop (NaN
+  // distances score 0 in binary mode).
+  kernels::AgreementScratch scratch;
+  std::vector<double> values = {1.0, 2.0, 3.0, 4.0,
+                                5.0, 6.0, 7.0,
+                                std::numeric_limits<double>::quiet_NaN(),
+                                std::numeric_limits<double>::infinity()};
+  AgreementParams params;
+  params.mode = AgreementMode::kBinary;
+  params.scale = ThresholdScale::kAbsolute;
+  params.error = 2.0;
+  std::vector<double> scores(values.size());
+  kernels::AgreementScoresKernel(values.data(), values.size(), params,
+                                 scores.data(), scratch);
+  ExpectBitEqual(scores, NaiveAgreementScores(values, params),
+                 "non-finite fallback");
+}
+
+// --- Exclusion mask ---------------------------------------------------------
+
+TEST(ExclusionMask, MatchesVectorBoolPathRandomized) {
+  Rng rng(17);
+  kernels::ExclusionScratch scratch;
+  const ExclusionMode modes[] = {ExclusionMode::kNone, ExclusionMode::kStdDev,
+                                 ExclusionMode::kMad};
+  for (int iter = 0; iter < 300; ++iter) {
+    const size_t n = rng.UniformInt(32);
+    std::vector<double> values = RandomValues(rng, n, 0.0, 100.0, 0.2);
+    if (n > 0 && rng.NextDouble() < 0.3) {
+      values[rng.UniformInt(n)] = rng.Uniform(1e4, 1e6);  // hard outlier
+    }
+    ExclusionParams params;
+    params.mode = modes[rng.UniformInt(3)];
+    params.threshold = rng.Uniform(-0.5, 4.0);
+
+    const std::vector<bool> reference = ComputeExclusions(values, params);
+    std::vector<uint8_t> mask(n, 0xCD);
+    const size_t kept =
+        ComputeExclusionMask(values, params, scratch, mask.data());
+    ASSERT_EQ(reference.size(), n);
+    size_t reference_kept = 0;
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(mask[i] != 0, static_cast<bool>(reference[i]))
+          << "mode " << static_cast<int>(params.mode) << " index " << i;
+      if (!reference[i]) ++reference_kept;
+    }
+    EXPECT_EQ(kept, reference_kept);
+  }
+}
+
+TEST(ExclusionMask, NeverExcludesEveryone) {
+  // Two tight clusters far apart with a huge threshold on a tiny spread
+  // can flag everything; the mask path must then keep everyone, exactly
+  // like the vector<bool> path.
+  kernels::ExclusionScratch scratch;
+  std::vector<double> values = {0.0, 0.0, 1e9, 1e9};
+  ExclusionParams params;
+  params.mode = ExclusionMode::kStdDev;
+  params.threshold = 0.5;
+  std::vector<uint8_t> mask(values.size(), 0xCD);
+  const size_t kept = ComputeExclusionMask(values, params, scratch, mask.data());
+  const std::vector<bool> reference = ComputeExclusions(values, params);
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(mask[i] != 0, static_cast<bool>(reference[i]));
+  }
+  size_t reference_kept = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (!reference[i]) ++reference_kept;
+  }
+  EXPECT_EQ(kept, reference_kept);
+}
+
+// --- Weighted mean ----------------------------------------------------------
+
+TEST(WeightedMeanKernel, MatchesOrderedScalarFold) {
+  Rng rng(23);
+  kernels::WeightedMeanScratch scratch;
+  for (int iter = 0; iter < 300; ++iter) {
+    const size_t n = 1 + rng.UniformInt(32);
+    std::vector<double> values = RandomValues(rng, n, -50.0, 50.0, 0.1);
+    std::vector<double> weights(n);
+    for (auto& w : weights) {
+      w = rng.NextDouble() < 0.3 ? 0.0 : rng.Uniform(-0.2, 1.0);
+    }
+    // Reference: the historical skip-nonpositive inline loop.
+    double weight_sum = 0.0;
+    double value_sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (weights[i] <= 0.0) continue;
+      weight_sum += weights[i];
+      value_sum += weights[i] * values[i];
+    }
+    double mean = 0.0;
+    const bool ok = kernels::WeightedMeanKernel(values.data(), weights.data(),
+                                                n, scratch, &mean);
+    EXPECT_EQ(ok, weight_sum > 0.0);
+    if (ok) {
+      EXPECT_EQ(mean, value_sum / weight_sum);
+    }
+  }
+}
+
+TEST(WeightedMeanKernel, AllNonPositiveWeightsReportFailure) {
+  kernels::WeightedMeanScratch scratch;
+  const std::vector<double> values = {1.0, 2.0, 3.0};
+  const std::vector<double> weights = {0.0, -1.0, 0.0};
+  double mean = 123.0;
+  EXPECT_FALSE(kernels::WeightedMeanKernel(values.data(), weights.data(),
+                                           values.size(), scratch, &mean));
+}
+
+// --- Pivot kernel -----------------------------------------------------------
+
+TEST(AgreementWithPivotKernel, MatchesPerElementAgreementScore) {
+  Rng rng(31);
+  for (int iter = 0; iter < 200; ++iter) {
+    const size_t n = 1 + rng.UniformInt(24);
+    const std::vector<double> values = RandomValues(rng, n, -80.0, 80.0, 0.2);
+    const double pivot = rng.Uniform(-80.0, 80.0);
+    AgreementParams params;
+    params.error = rng.Uniform(0.0, 2.0);
+    params.soft_multiple = rng.Uniform(0.5, 3.0);
+    params.mode = rng.NextDouble() < 0.5 ? AgreementMode::kBinary
+                                         : AgreementMode::kSoftDynamic;
+    params.scale = rng.NextDouble() < 0.5 ? ThresholdScale::kAbsolute
+                                          : ThresholdScale::kRelative;
+    std::vector<double> out(n);
+    kernels::AgreementWithPivotKernel(values.data(), n, pivot, params,
+                                      out.data());
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(out[i], AgreementScore(values[i], pivot, params));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace avoc::core

@@ -9,6 +9,7 @@
 #include "core/batch.h"
 #include "sim/ble.h"
 #include "sim/light.h"
+#include "util/rng.h"
 
 namespace avoc {
 namespace {
@@ -79,6 +80,44 @@ TEST(TraceParityTest, Uc2BleScenarioWithMissingValues) {
     SCOPED_TRACE(core::AlgorithmName(id));
     ExpectParity(id, dataset.stack_a, preset);
     ExpectParity(id, dataset.stack_b, preset);
+  }
+}
+
+TEST(TraceParityTest, FortyEightModuleTableAllAlgorithms) {
+  // Dozens-of-sensors regime (§1): 48 modules puts every preset well past
+  // the sorted-agreement cutover and drives the batched block entry with
+  // wide rounds.  Missing readings and duplicated values exercise the
+  // presence gather and the sort's tie handling; the legacy per-round
+  // path must stay bit-identical through all of it.
+  constexpr size_t kModules = 48;
+  Rng rng(11);
+  data::RoundTable table = data::RoundTable::WithModuleCount(kModules);
+  for (size_t r = 0; r < 120; ++r) {
+    std::vector<std::optional<double>> row(kModules);
+    for (size_t m = 0; m < kModules; ++m) {
+      if (rng.NextDouble() < 0.05) continue;  // missing
+      double value = 100.0 + rng.Gaussian(0.0, 2.0);
+      if (m >= kModules - 9) value += 30.0;     // faulty camp
+      if (rng.NextDouble() < 0.2 && m > 0) {    // exact duplicates
+        value = 100.0 + static_cast<double>(m % 7);
+      }
+      row[m] = value;
+    }
+    ASSERT_TRUE(table.AppendRound(row).ok());
+  }
+  for (const AlgorithmId id : core::AllAlgorithms()) {
+    SCOPED_TRACE(core::AlgorithmName(id));
+    ExpectParity(id, table);
+  }
+  // Binary agreement over an absolute margin: the configuration the
+  // O(N log N) sorted-window kernel serves at this module count.
+  core::PresetParams absolute;
+  absolute.scale = core::ThresholdScale::kAbsolute;
+  absolute.error = 5.0;
+  for (const AlgorithmId id :
+       {AlgorithmId::kStandard, AlgorithmId::kModuleElimination}) {
+    SCOPED_TRACE(std::string(core::AlgorithmName(id)) + "-abs");
+    ExpectParity(id, table, absolute);
   }
 }
 
