@@ -222,6 +222,21 @@ Status VotingEngine::RestoreHistory(std::span<const double> records,
   return ledger_.Restore(records, rounds);
 }
 
+VotingEngine::State VotingEngine::ExportState() const {
+  State state;
+  state.ledger = ledger_.ExportState();
+  state.last_output = last_output_;
+  state.round_index = static_cast<uint64_t>(round_index_);
+  return state;
+}
+
+Status VotingEngine::RestoreState(const State& state) {
+  AVOC_RETURN_IF_ERROR(ledger_.RestoreState(state.ledger));
+  last_output_ = state.last_output;
+  round_index_ = static_cast<size_t>(state.round_index);
+  return Status::Ok();
+}
+
 void VotingEngine::Reset() {
   ledger_.Reset();
   last_output_.reset();

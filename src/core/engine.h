@@ -100,6 +100,19 @@ class VotingEngine {
   /// Replaces history records (datastore restore); see HistoryLedger.
   Status RestoreHistory(std::span<const double> records, size_t rounds);
 
+  /// Full mutable engine state, for migrating a live voter between
+  /// nodes.  RestoreHistory reseeds the cumulative accumulators
+  /// approximately and loses the last accepted output; a migrated engine
+  /// must keep voting bit-identically with the source, so this form
+  /// round-trips everything verbatim.
+  struct State {
+    HistoryLedger::State ledger;
+    std::optional<double> last_output;
+    uint64_t round_index = 0;
+  };
+  State ExportState() const;
+  Status RestoreState(const State& state);
+
   /// Forgets all state: history, last output, round counter.
   void Reset();
 

@@ -150,4 +150,34 @@ Status HistoryLedger::Restore(std::span<const double> records, size_t rounds) {
   return Status::Ok();
 }
 
+HistoryLedger::State HistoryLedger::ExportState() const {
+  State state;
+  state.records = records_;
+  state.agreement_sums = agreement_sums_;
+  state.observations.reserve(observations_.size());
+  for (const size_t n : observations_) {
+    state.observations.push_back(static_cast<uint64_t>(n));
+  }
+  state.rounds = static_cast<uint64_t>(rounds_);
+  return state;
+}
+
+Status HistoryLedger::RestoreState(const State& state) {
+  if (state.records.size() != records_.size() ||
+      state.agreement_sums.size() != records_.size() ||
+      state.observations.size() != records_.size()) {
+    return InvalidArgumentError(
+        StrFormat("state restore arity %zu/%zu/%zu, ledger has %zu modules",
+                  state.records.size(), state.agreement_sums.size(),
+                  state.observations.size(), records_.size()));
+  }
+  records_ = state.records;
+  agreement_sums_ = state.agreement_sums;
+  for (size_t i = 0; i < observations_.size(); ++i) {
+    observations_[i] = static_cast<size_t>(state.observations[i]);
+  }
+  rounds_ = static_cast<size_t>(state.rounds);
+  return Status::Ok();
+}
+
 }  // namespace avoc::core

@@ -87,6 +87,22 @@ class HistoryLedger {
   /// clamped to [0,1]; the count must match.
   Status Restore(std::span<const double> records, size_t rounds);
 
+  /// Full internal state, for migrating a live ledger between nodes.
+  /// Restore() reseeds the cumulative-ratio accumulators from the records
+  /// alone (an approximation good enough for cold restarts); a migrated
+  /// voter must keep voting bit-identically, so this form carries every
+  /// accumulator verbatim.
+  struct State {
+    std::vector<double> records;
+    std::vector<double> agreement_sums;
+    std::vector<uint64_t> observations;
+    uint64_t rounds = 0;
+  };
+  State ExportState() const;
+  /// Installs an exported state verbatim (no clamping).  All vectors must
+  /// match the module count.
+  Status RestoreState(const State& state);
+
  private:
   HistoryParams params_;
   std::vector<double> records_;

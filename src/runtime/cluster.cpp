@@ -1,0 +1,318 @@
+#include "runtime/cluster.h"
+
+#include <utility>
+
+#include "runtime/event_loop.h"
+#include "runtime/tcp.h"
+#include "util/strings.h"
+
+namespace avoc::runtime {
+
+VoterCluster::VoterCluster(SimWorld* world, Options options,
+                           obs::Registry* registry, obs::Tracer* tracer)
+    : world_(world),
+      options_(options),
+      registry_(registry),
+      tracer_(tracer),
+      ring_(options.nodes == 0 ? 1 : options.nodes) {}
+
+Result<std::unique_ptr<VoterCluster>> VoterCluster::StartOnWorld(
+    SimWorld* world, Options options, obs::Registry* registry,
+    obs::Tracer* tracer) {
+  if (world == nullptr) {
+    return InvalidArgumentError("cluster needs a simulation world");
+  }
+  if (options.nodes == 0) {
+    return InvalidArgumentError("cluster needs at least one node");
+  }
+  std::unique_ptr<VoterCluster> cluster(
+      new VoterCluster(world, options, registry, tracer));
+  AVOC_RETURN_IF_ERROR(cluster->StartNodes());
+  return cluster;
+}
+
+Result<std::unique_ptr<VoterCluster>> VoterCluster::Start(
+    Options options, obs::Registry* registry, obs::Tracer* tracer) {
+  if (options.nodes == 0) {
+    return InvalidArgumentError("cluster needs at least one node");
+  }
+  std::unique_ptr<VoterCluster> cluster(
+      new VoterCluster(/*world=*/nullptr, options, registry, tracer));
+  AVOC_RETURN_IF_ERROR(cluster->StartNodes());
+  return cluster;
+}
+
+VoterCluster::~VoterCluster() { Stop(); }
+
+ClusterLink VoterCluster::LinkFor(size_t node) {
+  ClusterLink link;
+  link.node_index = node;
+  link.control = this;
+  link.engine_factory = [this](const std::string& group)
+      -> Result<core::VotingEngine> {
+    EngineMaker maker;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = catalog_.find(group);
+      if (it == catalog_.end()) {
+        return NotFoundError("group '" + group +
+                             "' missing from the cluster catalog");
+      }
+      maker = it->second;
+    }
+    return maker();
+  };
+  return link;
+}
+
+Status VoterCluster::StartNodes() {
+  nodes_.resize(options_.nodes);
+  for (size_t i = 0; i < options_.nodes; ++i) {
+    Node& node = nodes_[i];
+    const auto start_one =
+        [&](uint16_t sim_port, const std::string& node_id,
+            std::shared_ptr<Reactor>* reactor_out,
+            std::unique_ptr<VoterGroupManager>* manager_out,
+            std::unique_ptr<RemoteVoterServer>* server_out,
+            uint16_t* port_out) -> Status {
+      *manager_out = std::make_unique<VoterGroupManager>(
+          /*store=*/nullptr, registry_, /*trace_store=*/nullptr, tracer_);
+      RemoteServerOptions server_options = options_.server;
+      server_options.node_id = node_id;
+      if (world_ != nullptr) {
+        AVOC_ASSIGN_OR_RETURN(std::unique_ptr<Listener> listener,
+                              world_->Listen(sim_port));
+        *reactor_out = world_->NewReactor();
+        AVOC_ASSIGN_OR_RETURN(
+            *server_out,
+            RemoteVoterServer::StartOnReactor(
+                manager_out->get(), server_options, std::move(listener),
+                *reactor_out, /*spawn_loop_thread=*/false));
+        *port_out = sim_port;
+      } else {
+        AVOC_ASSIGN_OR_RETURN(TcpListener listener, TcpListener::Listen(0));
+        AVOC_RETURN_IF_ERROR(listener.SetNonBlocking(true));
+        AVOC_ASSIGN_OR_RETURN(std::unique_ptr<EventLoop> loop,
+                              EventLoop::Create());
+        *reactor_out = std::shared_ptr<Reactor>(std::move(loop));
+        AVOC_ASSIGN_OR_RETURN(
+            *server_out,
+            RemoteVoterServer::StartOnReactor(
+                manager_out->get(), server_options,
+                std::make_unique<TcpListener>(std::move(listener)),
+                *reactor_out, /*spawn_loop_thread=*/true));
+        *port_out = (*server_out)->port();
+      }
+      (*server_out)->LinkCluster(LinkFor(i));
+      return Status::Ok();
+    };
+    AVOC_RETURN_IF_ERROR(start_one(
+        static_cast<uint16_t>(options_.base_port + i), StrFormat("n%zu", i),
+        &node.reactor, &node.manager, &node.server, &node.port));
+    if (options_.hot_standbys) {
+      AVOC_RETURN_IF_ERROR(start_one(
+          static_cast<uint16_t>(options_.base_port + 100 + i),
+          StrFormat("n%zus", i), &node.standby_reactor, &node.standby_manager,
+          &node.standby_server, &node.standby_port));
+    }
+  }
+  return Status::Ok();
+}
+
+Status VoterCluster::AddGroup(const std::string& name, EngineMaker maker) {
+  if (!maker) return InvalidArgumentError("group needs an engine maker");
+  const size_t owner = OwnerOf(name);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!catalog_.emplace(name, maker).second) {
+      return FailedPreconditionError("group '" + name +
+                                     "' already in the cluster catalog");
+    }
+  }
+  AVOC_ASSIGN_OR_RETURN(core::VotingEngine engine, maker());
+  AVOC_RETURN_IF_ERROR(
+      nodes_[owner].manager->AddGroup(name, std::move(engine)));
+  if (nodes_[owner].standby_manager != nullptr) {
+    AVOC_ASSIGN_OR_RETURN(core::VotingEngine standby_engine, maker());
+    AVOC_RETURN_IF_ERROR(nodes_[owner].standby_manager->AddGroup(
+        name, std::move(standby_engine)));
+  }
+  return Status::Ok();
+}
+
+void VoterCluster::Migrate(const std::string& group, size_t dest,
+                           std::function<void(Status)> done) {
+  const size_t source = OwnerOf(group);
+  RemoteVoterServer* server = ActiveServer(source);
+  ActiveReactor(source)->Post(
+      [server, group, dest, done = std::move(done)]() mutable {
+        server->BeginMigration(group, dest, std::move(done));
+      });
+}
+
+void VoterCluster::CrashNode(size_t node) {
+  if (node >= nodes_.size()) return;
+  ActiveServer(node)->Crash();
+  std::lock_guard<std::mutex> lock(mutex_);
+  nodes_[node].alive = false;
+}
+
+Status VoterCluster::Failover(size_t node) {
+  if (node >= nodes_.size()) {
+    return InvalidArgumentError("no such node");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  Node& n = nodes_[node];
+  if (n.standby_server == nullptr) {
+    return FailedPreconditionError("node has no standby to promote");
+  }
+  if (n.promoted) {
+    return FailedPreconditionError("standby already promoted");
+  }
+  if (n.alive) {
+    return FailedPreconditionError(
+        "refusing failover while the primary is alive");
+  }
+  n.promoted = true;
+  n.alive = true;
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<Transport>> VoterCluster::DialNode(size_t node) {
+  if (node >= nodes_.size()) return InvalidArgumentError("no such node");
+  const uint16_t port = PortOf(node);
+  if (world_ != nullptr) return world_->Connect(port);
+  AVOC_ASSIGN_OR_RETURN(TcpConnection connection,
+                        TcpConnection::Connect("127.0.0.1", port));
+  return std::unique_ptr<Transport>(
+      std::make_unique<TcpConnection>(std::move(connection)));
+}
+
+uint16_t VoterCluster::PortOf(size_t node) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Node& n = nodes_[node];
+  return n.promoted ? n.standby_port : n.port;
+}
+
+Result<const SinkNode*> VoterCluster::sink(const std::string& group) const {
+  return ActiveManager(OwnerOf(group))->sink(group);
+}
+
+RemoteVoterServer* VoterCluster::ActiveServer(size_t node) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Node& n = nodes_[node];
+  return n.promoted ? n.standby_server.get() : n.server.get();
+}
+
+VoterGroupManager* VoterCluster::ActiveManager(size_t node) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Node& n = nodes_[node];
+  return n.promoted ? n.standby_manager.get() : n.manager.get();
+}
+
+RemoteVoterServer* VoterCluster::StandbyServer(size_t node) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return nodes_[node].standby_server.get();
+}
+
+void VoterCluster::Stop() {
+  for (Node& node : nodes_) {
+    if (node.server != nullptr) node.server->Stop();
+    if (node.standby_server != nullptr) node.standby_server->Stop();
+  }
+}
+
+// --- ClusterControl ----------------------------------------------------------
+
+size_t VoterCluster::OwnerOf(const std::string& group) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto moved = placement_.find(group);
+  if (moved != placement_.end()) return moved->second;
+  return ring_.ShardFor(group);
+}
+
+size_t VoterCluster::NodeCount() const { return nodes_.size(); }
+
+std::string VoterCluster::NodeAddress(size_t node) const {
+  if (node >= nodes_.size()) return "<invalid>";
+  return StrFormat(world_ != nullptr ? "sim://%u" : "127.0.0.1:%u",
+                   static_cast<unsigned>(PortOf(node)));
+}
+
+bool VoterCluster::NodeAlive(size_t node) const {
+  if (node >= nodes_.size()) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  return nodes_[node].alive;
+}
+
+bool VoterCluster::HasStandby(size_t node) const {
+  if (node >= nodes_.size()) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Node& n = nodes_[node];
+  // A promoted standby IS the node; there is no second replica behind it.
+  return n.standby_server != nullptr && !n.promoted;
+}
+
+std::shared_ptr<Reactor> VoterCluster::ActiveReactor(size_t node) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Node& n = nodes_[node];
+  return n.promoted ? n.standby_reactor : n.reactor;
+}
+
+void VoterCluster::TransferGroup(size_t from, size_t dest, std::string blob,
+                                 std::function<void(Status)> done) {
+  std::shared_ptr<Reactor> origin = ActiveReactor(from);
+  if (dest >= nodes_.size() || !NodeAlive(dest)) {
+    origin->Post([done = std::move(done)] {
+      done(FailedPreconditionError("destination node is down"));
+    });
+    return;
+  }
+  // Snapshot the destination's active endpoint now; if it crashes before
+  // the post runs, BeginImport's crashed_ guard fails the transfer typed.
+  RemoteVoterServer* target = ActiveServer(dest);
+  ActiveReactor(dest)->Post([target, blob = std::move(blob), origin,
+                             done = std::move(done)]() mutable {
+    target->BeginImport(
+        std::move(blob), [origin, done = std::move(done)](Status status) mutable {
+          origin->Post([done = std::move(done),
+                        status = std::move(status)]() mutable {
+            done(std::move(status));
+          });
+        });
+  });
+}
+
+void VoterCluster::CommitPlacement(const std::string& group, size_t dest) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  placement_[group] = dest;
+}
+
+void VoterCluster::Replicate(size_t node, std::string record,
+                             std::function<void(Status)> done) {
+  std::shared_ptr<Reactor> origin = ActiveReactor(node);
+  RemoteVoterServer* standby = nullptr;
+  std::shared_ptr<Reactor> standby_reactor;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const Node& n = nodes_[node];
+    if (n.standby_server != nullptr && !n.promoted) {
+      standby = n.standby_server.get();
+      standby_reactor = n.standby_reactor;
+    }
+  }
+  if (standby == nullptr) {
+    origin->Post([done = std::move(done)] { done(Status::Ok()); });
+    return;
+  }
+  standby_reactor->Post([standby, record = std::move(record), origin,
+                         done = std::move(done)]() mutable {
+    Status applied = standby->ApplyReplicated(record);
+    origin->Post(
+        [done = std::move(done), applied = std::move(applied)]() mutable {
+          done(std::move(applied));
+        });
+  });
+}
+
+}  // namespace avoc::runtime

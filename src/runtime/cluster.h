@@ -1,0 +1,176 @@
+// A cluster of voter server instances with live group migration and
+// hot-standby failover.
+//
+// VoterCluster runs N standalone RemoteVoterServer nodes — each with its
+// own VoterGroupManager and reactor — behind one consistent-hash ring
+// (GroupRouter).  It implements the ClusterControl seam the servers call
+// through (runtime/migration.h):
+//
+//   * placement: ring assignment plus a migration overlay, updated by
+//     CommitPlacement when a MIGRATE_GROUP handoff commits;
+//   * transfer: GroupStateBlob shipping between node reactors through
+//     mailbox posts (two hops, like cross-shard forwarding);
+//   * replication: with hot_standbys on, every node gets a shadow server
+//     that applies shipped ReplicationRecords; a crashed node fails over
+//     to it (Failover) with dedup-backed exactly-once semantics.
+//
+// Two run modes share all of the logic:
+//
+//   * StartOnWorld — every node on one SimWorld (deterministic simulation;
+//     the caller pumps).  CrashNode/Failover are available here.
+//   * Start — real TCP, one EventLoop thread per node (benchmarks and
+//     integration runs).
+//
+// Clients reach the cluster through ResilientVoterClient::UseNodeDirectory
+// with a dialer over DialNode: MOVED redirects re-target transparently and
+// SUBMIT_BATCH_SEQ keeps ingestion exactly-once across moves and failures.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "runtime/group_manager.h"
+#include "runtime/group_router.h"
+#include "runtime/migration.h"
+#include "runtime/remote.h"
+#include "runtime/sim_net.h"
+#include "util/status.h"
+
+namespace avoc::runtime {
+
+class VoterCluster : public ClusterControl {
+ public:
+  struct Options {
+    /// Node count (ring size).  Placement indices are stable for a given
+    /// count, so tests can pin group ownership.
+    size_t nodes = 2;
+    /// Give every node a hot standby that replays shipped records.
+    bool hot_standbys = false;
+    /// Sim mode: node i listens on base_port + i, its standby on
+    /// base_port + 100 + i.  Real mode ignores this (ephemeral ports).
+    uint16_t base_port = 9100;
+    /// Per-server template; port and node_id are overwritten per node.
+    RemoteServerOptions server;
+  };
+
+  /// Builds one engine instance for a group (must be deterministic: the
+  /// destination of a migration rebuilds the group from it).
+  using EngineMaker = std::function<Result<core::VotingEngine>()>;
+
+  /// Simulation mode: all nodes and standbys live on `world`; the caller
+  /// pumps.  `registry`/`tracer` are shared by every node (telemetry is
+  /// disambiguated by the node="..." label).
+  static Result<std::unique_ptr<VoterCluster>> StartOnWorld(
+      SimWorld* world, Options options, obs::Registry* registry = nullptr,
+      obs::Tracer* tracer = nullptr);
+
+  /// Real-TCP mode: each node runs its own EventLoop thread on an
+  /// ephemeral loopback port.  CrashNode/Failover are sim-only.
+  static Result<std::unique_ptr<VoterCluster>> Start(
+      Options options, obs::Registry* registry = nullptr,
+      obs::Tracer* tracer = nullptr);
+
+  ~VoterCluster() override;
+  VoterCluster(const VoterCluster&) = delete;
+  VoterCluster& operator=(const VoterCluster&) = delete;
+
+  /// Registers the group in the engine catalog and installs it on its
+  /// ring owner (and that node's standby).  Call before traffic flows.
+  Status AddGroup(const std::string& name, EngineMaker maker);
+
+  /// Operator entry: migrates `group` from its current owner to `dest`.
+  /// Runs on the owner's loop; `done` fires there with the outcome.
+  void Migrate(const std::string& group, size_t dest,
+               std::function<void(Status)> done);
+
+  /// Simulated node crash (sim mode, between pumps): the node's active
+  /// server drops every connection and goes dark.  Connects to it fail
+  /// until Failover promotes the standby.
+  void CrashNode(size_t node);
+
+  /// Promotes node's standby to primary: the node index stays, DialNode
+  /// resolves to the standby's port, and the standby — which replayed
+  /// every shipped record — serves with the same dedup guarantees.
+  Status Failover(size_t node);
+
+  /// Dials the node's current active endpoint (standby after failover).
+  Result<std::unique_ptr<Transport>> DialNode(size_t node);
+
+  /// Port of the node's active endpoint.
+  uint16_t PortOf(size_t node) const;
+
+  /// The sink of `group` on its current placement owner (active server).
+  Result<const SinkNode*> sink(const std::string& group) const;
+
+  /// The active server / manager of a node (standby after failover).
+  RemoteVoterServer* ActiveServer(size_t node) const;
+  VoterGroupManager* ActiveManager(size_t node) const;
+  RemoteVoterServer* StandbyServer(size_t node) const;
+
+  /// The node's active reactor (mailbox).  Chaos harnesses post crashes
+  /// through it so the fault lands BETWEEN migration hops, not before
+  /// them.
+  std::shared_ptr<Reactor> NodeReactor(size_t node) const {
+    return ActiveReactor(node);
+  }
+
+  /// Stops every server (graceful; crashed ones are already dark).
+  void Stop();
+
+  // --- ClusterControl ---------------------------------------------------------
+  size_t OwnerOf(const std::string& group) const override;
+  size_t NodeCount() const override;
+  std::string NodeAddress(size_t node) const override;
+  bool NodeAlive(size_t node) const override;
+  bool HasStandby(size_t node) const override;
+  void TransferGroup(size_t from, size_t dest, std::string blob,
+                     std::function<void(Status)> done) override;
+  void CommitPlacement(const std::string& group, size_t dest) override;
+  void Replicate(size_t node, std::string record,
+                 std::function<void(Status)> done) override;
+
+ private:
+  /// One ring position: a primary server and (optionally) its standby.
+  /// Declaration order doubles as destruction order in reverse: servers
+  /// die before their managers, managers before their reactors.
+  struct Node {
+    std::shared_ptr<Reactor> reactor;
+    std::unique_ptr<VoterGroupManager> manager;
+    std::unique_ptr<RemoteVoterServer> server;
+    uint16_t port = 0;
+    std::shared_ptr<Reactor> standby_reactor;
+    std::unique_ptr<VoterGroupManager> standby_manager;
+    std::unique_ptr<RemoteVoterServer> standby_server;
+    uint16_t standby_port = 0;
+    bool promoted = false;  ///< standby serves as the node
+    bool alive = true;
+  };
+
+  VoterCluster(SimWorld* world, Options options, obs::Registry* registry,
+               obs::Tracer* tracer);
+
+  Status StartNodes();
+  ClusterLink LinkFor(size_t node);
+  std::shared_ptr<Reactor> ActiveReactor(size_t node) const;
+
+  SimWorld* world_ = nullptr;  ///< null in real-TCP mode
+  Options options_;
+  obs::Registry* registry_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  GroupRouter ring_;
+  std::vector<Node> nodes_;
+
+  mutable std::mutex mutex_;  ///< guards placement_, catalog_, node flags
+  std::map<std::string, size_t> placement_;  ///< migration overlay
+  std::map<std::string, EngineMaker> catalog_;
+};
+
+}  // namespace avoc::runtime

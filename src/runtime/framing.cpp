@@ -34,6 +34,7 @@ std::string_view FrameTypeName(FrameType type) {
     case FrameType::kQueryRange: return "QUERY_RANGE";
     case FrameType::kHistoryGet: return "HISTORY_GET";
     case FrameType::kTraceDump: return "TRACE_DUMP";
+    case FrameType::kMigrateGroup: return "MIGRATE_GROUP";
     case FrameType::kGroups: return "GROUPS";
     case FrameType::kMetrics: return "METRICS";
     case FrameType::kHealth: return "HEALTH";
@@ -49,6 +50,7 @@ std::string_view FrameTypeName(FrameType type) {
     case FrameType::kBye: return "BYE";
     case FrameType::kRangeResult: return "RANGE_RESULT";
     case FrameType::kHistory: return "HISTORY";
+    case FrameType::kMoved: return "MOVED";
   }
   return "UNKNOWN";
 }
@@ -476,6 +478,38 @@ Status DecodeHistoryState(std::string_view payload, uint64_t* rounds,
     AVOC_ASSIGN_OR_RETURN(const double record, reader.ReadDouble());
     records->push_back(record);
   }
+  return reader.ExpectEnd();
+}
+
+std::string EncodeMigrateGroup(std::string_view group, uint64_t dest_node) {
+  std::string payload;
+  AppendLengthPrefixedString(payload, group);
+  AppendVarint(payload, dest_node);
+  return payload;
+}
+
+Status DecodeMigrateGroup(std::string_view payload, std::string* group,
+                          uint64_t* dest_node) {
+  PayloadReader reader(payload);
+  AVOC_ASSIGN_OR_RETURN(const std::string_view name, reader.ReadString());
+  group->assign(name);
+  AVOC_ASSIGN_OR_RETURN(*dest_node, reader.ReadVarint());
+  return reader.ExpectEnd();
+}
+
+std::string EncodeMoved(uint64_t node, std::string_view address) {
+  std::string payload;
+  AppendVarint(payload, node);
+  AppendLengthPrefixedString(payload, address);
+  return payload;
+}
+
+Status DecodeMoved(std::string_view payload, uint64_t* node,
+                   std::string* address) {
+  PayloadReader reader(payload);
+  AVOC_ASSIGN_OR_RETURN(*node, reader.ReadVarint());
+  AVOC_ASSIGN_OR_RETURN(const std::string_view addr, reader.ReadString());
+  address->assign(addr);
   return reader.ExpectEnd();
 }
 

@@ -114,6 +114,10 @@ enum class FrameType : uint8_t {
   /// Snapshot of the server's flight recorder (obs/trace.h) as the
   /// canonical AVOC-TRACE text dump, served like METRICS.
   kTraceDump = 0x0C,
+  /// Operator verb: quiesce `group` on this node, hand its full state to
+  /// cluster node `dest`, and answer later requests with MOVED.  Cluster
+  /// mode only (see runtime/cluster.h, docs/MIGRATION.md).
+  kMigrateGroup = 0x0D,
   // Responses (high bit set).
   kOk = 0x81,
   kError = 0x82,
@@ -125,6 +129,11 @@ enum class FrameType : uint8_t {
   kBye = 0x88,
   kRangeResult = 0x89,
   kHistory = 0x8A,
+  /// Redirect: the addressed group lives on cluster node `node` (at
+  /// `address`).  Clients re-resolve and resubmit — with SUBMIT_BATCH_SEQ
+  /// the dedup cache travels with the group, so the resubmit stays
+  /// exactly-once.
+  kMoved = 0x8B,
 };
 
 /// Name of a frame type ("SUBMIT_BATCH", ...); "UNKNOWN" for others.
@@ -305,5 +314,16 @@ Status DecodeHistoryGet(std::string_view payload, std::string* group,
 std::string EncodeHistoryState(uint64_t rounds, std::span<const double> records);
 Status DecodeHistoryState(std::string_view payload, uint64_t* rounds,
                           std::vector<double>* records);
+
+/// MIGRATE_GROUP request: string group, varint dest node index.
+std::string EncodeMigrateGroup(std::string_view group, uint64_t dest_node);
+Status DecodeMigrateGroup(std::string_view payload, std::string* group,
+                          uint64_t* dest_node);
+
+/// MOVED response: varint owning node index, string node address
+/// (informational — clients resolve the index through their own dialer).
+std::string EncodeMoved(uint64_t node, std::string_view address);
+Status DecodeMoved(std::string_view payload, uint64_t* node,
+                   std::string* address);
 
 }  // namespace avoc::runtime

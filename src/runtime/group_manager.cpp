@@ -54,6 +54,27 @@ std::vector<std::string> VoterGroupManager::GroupNames() const {
   return names;
 }
 
+Status VoterGroupManager::RemoveGroup(const std::string& name) {
+  auto it = groups_.find(name);
+  if (it == groups_.end()) {
+    return NotFoundError("no voter group named '" + name + "'");
+  }
+  groups_.erase(it);
+  return Status::Ok();
+}
+
+Result<GroupRunner::State> VoterGroupManager::ExportGroupState(
+    const std::string& name) const {
+  AVOC_ASSIGN_OR_RETURN(GroupRunner * runner, Find(name));
+  return runner->ExportState();
+}
+
+Status VoterGroupManager::RestoreGroupState(const std::string& name,
+                                            const GroupRunner::State& state) {
+  AVOC_ASSIGN_OR_RETURN(GroupRunner * runner, Find(name));
+  return runner->RestoreState(state);
+}
+
 Result<GroupRunner*> VoterGroupManager::Find(const std::string& name) const {
   auto it = groups_.find(name);
   if (it == groups_.end()) {

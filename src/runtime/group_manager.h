@@ -45,6 +45,19 @@ class VoterGroupManager {
   std::vector<std::string> GroupNames() const;
   size_t group_count() const { return groups_.size(); }
 
+  /// Unregisters a group (the migration handoff's source side).  Purely
+  /// in-memory: persisted history/trace rows stay put — each node owns
+  /// its own backends, and the exported state already carries the data.
+  /// NotFound when absent.
+  Status RemoveGroup(const std::string& name);
+
+  /// Full pipeline state of one group (see GroupRunner::State).
+  Result<GroupRunner::State> ExportGroupState(const std::string& name) const;
+
+  /// Installs migrated state into a freshly added group.
+  Status RestoreGroupState(const std::string& name,
+                           const GroupRunner::State& state);
+
   /// Routes one reading into the group's hub.  The round closes on its
   /// own once every module reported.
   Status Submit(const std::string& group, size_t module, size_t round,

@@ -153,4 +153,19 @@ void GroupRunner::FlushRound(size_t round) {
   hub_->Flush(round, /*publish_empty=*/true);
 }
 
+GroupRunner::State GroupRunner::ExportState() const {
+  State state;
+  state.engine = voter_->ExportEngineState();
+  state.hub = hub_->ExportState();
+  state.outputs = sink_->outputs();
+  return state;
+}
+
+Status GroupRunner::RestoreState(const State& state) {
+  AVOC_RETURN_IF_ERROR(voter_->RestoreEngineState(state.engine));
+  hub_->RestoreState(state.hub);
+  sink_->RestoreOutputs(state.outputs);
+  return Status::Ok();
+}
+
 }  // namespace avoc::runtime

@@ -104,6 +104,19 @@ class GroupRunner {
   /// when the round was already closed.
   void FlushRound(size_t round);
 
+  // --- Migration ------------------------------------------------------------
+
+  /// The whole mutable pipeline state, for handing this group to another
+  /// node: engine accumulators, hub assembly state, and the sink trace.
+  /// A restored runner votes bit-identically to the exporter.
+  struct State {
+    core::VotingEngine::State engine;
+    HubNode::State hub;
+    std::vector<OutputMessage> outputs;
+  };
+  State ExportState() const;
+  Status RestoreState(const State& state);
+
   // --- Introspection --------------------------------------------------------
 
   const std::string& group() const { return options_.group; }

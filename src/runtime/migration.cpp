@@ -1,0 +1,351 @@
+#include "runtime/migration.h"
+
+#include <cinttypes>
+
+#include "runtime/framing.h"
+#include "storage/io.h"
+#include "storage/snapshot.h"
+#include "util/strings.h"
+
+namespace avoc::runtime {
+namespace {
+
+// "AVGS" magic + version byte; trailing CRC32 over everything before it.
+constexpr char kBlobMagic[4] = {'A', 'V', 'G', 'S'};
+constexpr uint8_t kBlobVersion = 1;
+// Replication records get their own magic: they travel independently
+// (the shipped-WAL-segment unit), so a record must never decode as a blob.
+constexpr char kRecordMagic[4] = {'A', 'V', 'R', 'L'};
+constexpr uint8_t kRecordVersion = 1;
+
+constexpr std::string_view kMovedPrefix = "MOVED ";
+
+void AppendVoteResult(std::string& out, const core::VoteResult& result) {
+  out.push_back(result.value.has_value() ? '\x01' : '\x00');
+  if (result.value.has_value()) AppendDouble(out, *result.value);
+  out.push_back(static_cast<char>(result.outcome));
+  out.push_back(result.status.ok() ? '\x01' : '\x00');
+  if (!result.status.ok()) {
+    AppendVarint(out, static_cast<uint64_t>(result.status.code()));
+    AppendLengthPrefixedString(out, result.status.message());
+  }
+  out.push_back(result.used_clustering ? '\x01' : '\x00');
+  AppendVarint(out, result.present_count);
+  out.push_back(result.had_majority ? '\x01' : '\x00');
+  // The per-module columns always share one arity.
+  AppendVarint(out, result.weights.size());
+  for (size_t i = 0; i < result.weights.size(); ++i) {
+    AppendDouble(out, result.weights[i]);
+    AppendDouble(out, i < result.agreement.size() ? result.agreement[i] : 0.0);
+    AppendDouble(out, i < result.history.size() ? result.history[i] : 0.0);
+    out.push_back(i < result.excluded.size() && result.excluded[i] ? '\x01'
+                                                                   : '\x00');
+    out.push_back(i < result.eliminated.size() && result.eliminated[i]
+                      ? '\x01'
+                      : '\x00');
+  }
+}
+
+Result<uint8_t> ReadBool(PayloadReader& reader) {
+  AVOC_ASSIGN_OR_RETURN(const uint64_t raw, reader.ReadVarint());
+  if (raw > 1) return ParseError("group state: flag byte not 0/1");
+  return static_cast<uint8_t>(raw);
+}
+
+Result<core::VoteResult> ReadVoteResult(PayloadReader& reader) {
+  core::VoteResult result;
+  AVOC_ASSIGN_OR_RETURN(const uint8_t engaged, ReadBool(reader));
+  if (engaged != 0) {
+    AVOC_ASSIGN_OR_RETURN(const double value, reader.ReadDouble());
+    result.value = value;
+  }
+  AVOC_ASSIGN_OR_RETURN(const uint64_t outcome, reader.ReadVarint());
+  if (outcome > static_cast<uint64_t>(core::RoundOutcome::kError)) {
+    return ParseError("group state: unknown round outcome");
+  }
+  result.outcome = static_cast<core::RoundOutcome>(outcome);
+  AVOC_ASSIGN_OR_RETURN(const uint8_t status_ok, ReadBool(reader));
+  if (status_ok == 0) {
+    AVOC_ASSIGN_OR_RETURN(const uint64_t code, reader.ReadVarint());
+    if (code > static_cast<uint64_t>(ErrorCode::kInternal)) {
+      return ParseError("group state: unknown status code");
+    }
+    AVOC_ASSIGN_OR_RETURN(const std::string_view message, reader.ReadString());
+    result.status =
+        Status(static_cast<ErrorCode>(code), std::string(message));
+  }
+  AVOC_ASSIGN_OR_RETURN(const uint8_t used_clustering, ReadBool(reader));
+  result.used_clustering = used_clustering != 0;
+  AVOC_ASSIGN_OR_RETURN(const uint64_t present, reader.ReadVarint());
+  result.present_count = static_cast<size_t>(present);
+  AVOC_ASSIGN_OR_RETURN(const uint8_t had_majority, ReadBool(reader));
+  result.had_majority = had_majority != 0;
+  AVOC_ASSIGN_OR_RETURN(const uint64_t modules, reader.ReadVarint());
+  if (modules > reader.remaining() / 26) {  // 3 doubles + 2 flag bytes each
+    return ParseError("group state: module count exceeds payload");
+  }
+  result.weights.reserve(modules);
+  result.agreement.reserve(modules);
+  result.history.reserve(modules);
+  result.excluded.reserve(modules);
+  result.eliminated.reserve(modules);
+  for (uint64_t i = 0; i < modules; ++i) {
+    AVOC_ASSIGN_OR_RETURN(const double weight, reader.ReadDouble());
+    AVOC_ASSIGN_OR_RETURN(const double agreement, reader.ReadDouble());
+    AVOC_ASSIGN_OR_RETURN(const double history, reader.ReadDouble());
+    AVOC_ASSIGN_OR_RETURN(const uint8_t excluded, ReadBool(reader));
+    AVOC_ASSIGN_OR_RETURN(const uint8_t eliminated, ReadBool(reader));
+    result.weights.push_back(weight);
+    result.agreement.push_back(agreement);
+    result.history.push_back(history);
+    result.excluded.push_back(excluded != 0);
+    result.eliminated.push_back(eliminated != 0);
+  }
+  return result;
+}
+
+/// Splits off and checks the trailing CRC32; returns the checked body
+/// after the magic + version header.
+Result<std::string_view> CheckEnvelope(std::string_view bytes,
+                                       std::string_view magic,
+                                       uint8_t version, const char* what) {
+  if (bytes.size() < magic.size() + 1 + 4) {
+    return ParseError(StrFormat("%s: truncated", what));
+  }
+  if (bytes.substr(0, magic.size()) != magic) {
+    return ParseError(StrFormat("%s: bad magic", what));
+  }
+  const std::string_view body = bytes.substr(0, bytes.size() - 4);
+  storage::ByteReader crc_reader(bytes.substr(bytes.size() - 4));
+  AVOC_ASSIGN_OR_RETURN(const uint32_t stored_crc, crc_reader.ReadU32());
+  if (storage::Crc32(body) != stored_crc) {
+    return ParseError(StrFormat("%s: CRC mismatch (torn record)", what));
+  }
+  if (static_cast<uint8_t>(body[magic.size()]) != version) {
+    return ParseError(StrFormat("%s: unsupported version", what));
+  }
+  return body.substr(magic.size() + 1);
+}
+
+}  // namespace
+
+std::string EncodeGroupState(const GroupStateBlob& blob) {
+  std::string out;
+  out.append(kBlobMagic, sizeof(kBlobMagic));
+  out.push_back(static_cast<char>(kBlobVersion));
+  AppendLengthPrefixedString(out, blob.group);
+
+  // History core in the HistoryBackend seam's portable snapshot format;
+  // the cumulative accumulators follow as bit-exact extras.
+  const auto& ledger = blob.state.engine.ledger;
+  storage::HistorySnapshot snapshot;
+  snapshot.records = ledger.records;
+  snapshot.rounds = static_cast<size_t>(ledger.rounds);
+  AppendLengthPrefixedString(out, storage::EncodeHistorySnapshot(snapshot));
+  AppendVarint(out, ledger.agreement_sums.size());
+  for (const double sum : ledger.agreement_sums) AppendDouble(out, sum);
+  AppendVarint(out, ledger.observations.size());
+  for (const uint64_t n : ledger.observations) AppendVarint(out, n);
+
+  const auto& engine = blob.state.engine;
+  out.push_back(engine.last_output.has_value() ? '\x01' : '\x00');
+  if (engine.last_output.has_value()) AppendDouble(out, *engine.last_output);
+  AppendVarint(out, engine.round_index);
+
+  const auto& hub = blob.state.hub;
+  AppendVarint(out, hub.pending.size());
+  for (const auto& [round, readings] : hub.pending) {
+    AppendVarint(out, round);
+    AppendVarint(out, readings.size());
+    for (const core::Reading& reading : readings) {
+      out.push_back(reading.has_value() ? '\x01' : '\x00');
+      if (reading.has_value()) AppendDouble(out, *reading);
+    }
+  }
+  AppendVarint(out, hub.closed_rounds.size());
+  for (const uint64_t round : hub.closed_rounds) AppendVarint(out, round);
+
+  AppendVarint(out, blob.state.outputs.size());
+  for (const OutputMessage& output : blob.state.outputs) {
+    AppendVarint(out, output.round);
+    AppendVoteResult(out, output.result);
+  }
+
+  AppendVarint(out, blob.dedup.size());
+  for (const GroupStateBlob::DedupEntry& entry : blob.dedup) {
+    AppendLengthPrefixedString(out, entry.client_id);
+    AppendVarint(out, entry.seq);
+    AppendVarint(out, entry.accepted);
+  }
+
+  storage::AppendU32(out, storage::Crc32(out));
+  return out;
+}
+
+Result<GroupStateBlob> DecodeGroupState(std::string_view bytes) {
+  AVOC_ASSIGN_OR_RETURN(
+      const std::string_view body,
+      CheckEnvelope(bytes, std::string_view(kBlobMagic, sizeof(kBlobMagic)),
+                    kBlobVersion, "group state"));
+  PayloadReader reader(body);
+  GroupStateBlob blob;
+  AVOC_ASSIGN_OR_RETURN(const std::string_view group, reader.ReadString());
+  blob.group.assign(group);
+
+  AVOC_ASSIGN_OR_RETURN(const std::string_view snapshot_bytes,
+                        reader.ReadString());
+  AVOC_ASSIGN_OR_RETURN(const storage::HistorySnapshot snapshot,
+                        storage::DecodeHistorySnapshot(snapshot_bytes));
+  auto& ledger = blob.state.engine.ledger;
+  ledger.records = snapshot.records;
+  ledger.rounds = static_cast<uint64_t>(snapshot.rounds);
+  AVOC_ASSIGN_OR_RETURN(const uint64_t sums, reader.ReadVarint());
+  if (sums > reader.remaining() / 8) {
+    return ParseError("group state: agreement sums exceed payload");
+  }
+  ledger.agreement_sums.reserve(sums);
+  for (uint64_t i = 0; i < sums; ++i) {
+    AVOC_ASSIGN_OR_RETURN(const double sum, reader.ReadDouble());
+    ledger.agreement_sums.push_back(sum);
+  }
+  AVOC_ASSIGN_OR_RETURN(const uint64_t observations, reader.ReadVarint());
+  if (observations > reader.remaining()) {
+    return ParseError("group state: observation count exceeds payload");
+  }
+  ledger.observations.reserve(observations);
+  for (uint64_t i = 0; i < observations; ++i) {
+    AVOC_ASSIGN_OR_RETURN(const uint64_t n, reader.ReadVarint());
+    ledger.observations.push_back(n);
+  }
+
+  AVOC_ASSIGN_OR_RETURN(const uint8_t has_last, ReadBool(reader));
+  if (has_last != 0) {
+    AVOC_ASSIGN_OR_RETURN(const double last, reader.ReadDouble());
+    blob.state.engine.last_output = last;
+  }
+  AVOC_ASSIGN_OR_RETURN(blob.state.engine.round_index, reader.ReadVarint());
+
+  AVOC_ASSIGN_OR_RETURN(const uint64_t pending, reader.ReadVarint());
+  if (pending > reader.remaining()) {
+    return ParseError("group state: pending round count exceeds payload");
+  }
+  blob.state.hub.pending.reserve(pending);
+  for (uint64_t i = 0; i < pending; ++i) {
+    AVOC_ASSIGN_OR_RETURN(const uint64_t round, reader.ReadVarint());
+    AVOC_ASSIGN_OR_RETURN(const uint64_t modules, reader.ReadVarint());
+    if (modules > reader.remaining()) {
+      return ParseError("group state: pending arity exceeds payload");
+    }
+    core::Round readings;
+    readings.reserve(modules);
+    for (uint64_t m = 0; m < modules; ++m) {
+      AVOC_ASSIGN_OR_RETURN(const uint8_t present, ReadBool(reader));
+      if (present != 0) {
+        AVOC_ASSIGN_OR_RETURN(const double value, reader.ReadDouble());
+        readings.emplace_back(value);
+      } else {
+        readings.emplace_back(std::nullopt);
+      }
+    }
+    blob.state.hub.pending.emplace_back(round, std::move(readings));
+  }
+  AVOC_ASSIGN_OR_RETURN(const uint64_t closed, reader.ReadVarint());
+  if (closed > reader.remaining()) {
+    return ParseError("group state: closed round count exceeds payload");
+  }
+  blob.state.hub.closed_rounds.reserve(closed);
+  for (uint64_t i = 0; i < closed; ++i) {
+    AVOC_ASSIGN_OR_RETURN(const uint64_t round, reader.ReadVarint());
+    blob.state.hub.closed_rounds.push_back(round);
+  }
+
+  AVOC_ASSIGN_OR_RETURN(const uint64_t outputs, reader.ReadVarint());
+  if (outputs > reader.remaining()) {
+    return ParseError("group state: output count exceeds payload");
+  }
+  blob.state.outputs.reserve(outputs);
+  for (uint64_t i = 0; i < outputs; ++i) {
+    AVOC_ASSIGN_OR_RETURN(const uint64_t round, reader.ReadVarint());
+    AVOC_ASSIGN_OR_RETURN(core::VoteResult result, ReadVoteResult(reader));
+    blob.state.outputs.push_back(
+        OutputMessage{static_cast<size_t>(round), std::move(result)});
+  }
+
+  AVOC_ASSIGN_OR_RETURN(const uint64_t dedup, reader.ReadVarint());
+  if (dedup > reader.remaining()) {
+    return ParseError("group state: dedup count exceeds payload");
+  }
+  blob.dedup.reserve(dedup);
+  for (uint64_t i = 0; i < dedup; ++i) {
+    GroupStateBlob::DedupEntry entry;
+    AVOC_ASSIGN_OR_RETURN(const std::string_view client, reader.ReadString());
+    entry.client_id.assign(client);
+    AVOC_ASSIGN_OR_RETURN(entry.seq, reader.ReadVarint());
+    AVOC_ASSIGN_OR_RETURN(entry.accepted, reader.ReadVarint());
+    blob.dedup.push_back(std::move(entry));
+  }
+  AVOC_RETURN_IF_ERROR(reader.ExpectEnd());
+  return blob;
+}
+
+std::string EncodeReplicationRecord(const ReplicationRecord& record) {
+  std::string out;
+  out.append(kRecordMagic, sizeof(kRecordMagic));
+  out.push_back(static_cast<char>(kRecordVersion));
+  AppendVarint(out, static_cast<uint64_t>(record.kind));
+  AppendVarint(out, record.frame_type);
+  AppendLengthPrefixedString(out, record.group);
+  AppendLengthPrefixedString(out, record.bytes);
+  storage::AppendU32(out, storage::Crc32(out));
+  return out;
+}
+
+Result<ReplicationRecord> DecodeReplicationRecord(std::string_view bytes) {
+  AVOC_ASSIGN_OR_RETURN(
+      const std::string_view body,
+      CheckEnvelope(bytes,
+                    std::string_view(kRecordMagic, sizeof(kRecordMagic)),
+                    kRecordVersion, "replication record"));
+  PayloadReader reader(body);
+  ReplicationRecord record;
+  AVOC_ASSIGN_OR_RETURN(const uint64_t kind, reader.ReadVarint());
+  if (kind < 1 || kind > 3) {
+    return ParseError("replication record: unknown kind");
+  }
+  record.kind = static_cast<ReplicationRecord::Kind>(kind);
+  AVOC_ASSIGN_OR_RETURN(const uint64_t frame_type, reader.ReadVarint());
+  if (frame_type > 0xFF) {
+    return ParseError("replication record: bad frame type");
+  }
+  record.frame_type = static_cast<uint8_t>(frame_type);
+  AVOC_ASSIGN_OR_RETURN(const std::string_view group, reader.ReadString());
+  record.group.assign(group);
+  AVOC_ASSIGN_OR_RETURN(const std::string_view payload, reader.ReadString());
+  record.bytes.assign(payload);
+  AVOC_RETURN_IF_ERROR(reader.ExpectEnd());
+  return record;
+}
+
+Status MovedError(uint64_t node, std::string_view address) {
+  return FailedPreconditionError(
+      StrFormat("%s%" PRIu64 " %.*s", std::string(kMovedPrefix).c_str(), node,
+                static_cast<int>(address.size()), address.data()));
+}
+
+bool TryParseMoved(const Status& status, uint64_t* node) {
+  if (status.code() != ErrorCode::kFailedPrecondition) return false;
+  const std::string& message = status.message();
+  if (message.rfind(kMovedPrefix, 0) != 0) return false;
+  uint64_t value = 0;
+  size_t i = kMovedPrefix.size();
+  if (i >= message.size() || message[i] < '0' || message[i] > '9') {
+    return false;
+  }
+  for (; i < message.size() && message[i] >= '0' && message[i] <= '9'; ++i) {
+    value = value * 10 + static_cast<uint64_t>(message[i] - '0');
+  }
+  if (node != nullptr) *node = value;
+  return true;
+}
+
+}  // namespace avoc::runtime

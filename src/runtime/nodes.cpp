@@ -151,6 +151,37 @@ size_t HubNode::open_rounds() const {
   return pending_.size();
 }
 
+HubNode::State HubNode::ExportState() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  State state;
+  state.pending.reserve(pending_.size());
+  for (const auto& [round, readings] : pending_) {
+    state.pending.emplace_back(static_cast<uint64_t>(round), readings);
+  }
+  state.closed_rounds.reserve(closed_.size());
+  for (const auto& [round, flag] : closed_) {
+    if (flag) state.closed_rounds.push_back(static_cast<uint64_t>(round));
+  }
+  return state;
+}
+
+void HubNode::RestoreState(const State& state) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  pending_.clear();
+  closed_.clear();
+  for (const auto& [round, readings] : state.pending) {
+    core::Round copy = readings;
+    copy.resize(module_count_);
+    pending_[static_cast<size_t>(round)] = std::move(copy);
+  }
+  for (const uint64_t round : state.closed_rounds) {
+    closed_[static_cast<size_t>(round)] = true;
+  }
+  if (telemetry_.open_rounds != nullptr) {
+    telemetry_.open_rounds->Set(static_cast<double>(pending_.size()));
+  }
+}
+
 VoterNode::VoterNode(core::VotingEngine engine, GroupChannels& channels,
                      VoterOptions options)
     : engine_(std::move(engine)),
@@ -236,6 +267,18 @@ void VoterNode::PersistHistoryLocked() {
 
 Status VoterNode::last_status() const {
   std::lock_guard<std::mutex> lock(mutex_);
+  return last_status_;
+}
+
+core::VotingEngine::State VoterNode::ExportEngineState() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return engine_.ExportState();
+}
+
+Status VoterNode::RestoreEngineState(const core::VotingEngine::State& state) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  AVOC_RETURN_IF_ERROR(engine_.RestoreState(state));
+  PersistHistoryLocked();
   return last_status_;
 }
 
@@ -329,6 +372,17 @@ std::vector<OutputMessage> SinkNode::outputs() const {
 size_t SinkNode::output_count() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return rounds_.size();
+}
+
+void SinkNode::RestoreOutputs(std::span<const OutputMessage> restored) {
+  if (restored.empty()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const OutputMessage& message : restored) {
+    trace_.Append(message.result);
+    rounds_.push_back(message.round);
+  }
+  NoteAppendedLocked(restored.back().round, restored.size());
+  PersistAppendedLocked(restored.size());
 }
 
 std::optional<double> SinkNode::last_value() const {

@@ -150,6 +150,15 @@ class HubNode {
   /// Rounds currently open (received some but not all readings).
   size_t open_rounds() const;
 
+  /// Assembly state for migrating a live hub between nodes: partially
+  /// filled rounds plus the closed-round set (the late-reading filter).
+  struct State {
+    std::vector<std::pair<uint64_t, core::Round>> pending;
+    std::vector<uint64_t> closed_rounds;
+  };
+  State ExportState() const;
+  void RestoreState(const State& state);
+
  private:
   void OnReading(const ReadingMessage& message);
 
@@ -189,6 +198,11 @@ class VoterNode {
 
   /// Status of the most recent round (persistence failures surface here).
   Status last_status() const;
+
+  /// Full engine state for migration (see core::VotingEngine::State).
+  core::VotingEngine::State ExportEngineState() const;
+  /// Installs a migrated engine state and persists it to the store.
+  Status RestoreEngineState(const core::VotingEngine::State& state);
 
  private:
   void OnRound(const RoundMessage& message);
@@ -235,6 +249,11 @@ class SinkNode {
 
   /// Most recent fused value, if any round voted successfully.
   std::optional<double> last_value() const;
+
+  /// Appends migrated rows as if they had arrived live (same gauge and
+  /// persistence side effects), keeping the trace bit-identical across a
+  /// handoff.
+  void RestoreOutputs(std::span<const OutputMessage> restored);
 
   /// Columnar read access under the sink lock: calls `fn(trace, rounds)`
   /// where rounds[i] is the round number of trace row i.

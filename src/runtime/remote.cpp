@@ -106,13 +106,22 @@ RemoteVoterServer::RemoteVoterServer(VoterGroupManager* manager,
       listener_(std::move(listener)),
       loop_(std::move(loop)) {
   if (obs::Registry* registry = manager_->registry()) {
-    // Shard servers publish the same families under a shard label; the
-    // scrape side sums/merges families across scopes for the deployment
-    // view (docs/OBSERVABILITY.md).
+    // Shard servers publish the same families under a shard label, and
+    // cluster nodes under a node label (both when a server is a shard of
+    // a clustered node); the scrape side sums/merges families across
+    // scopes for the deployment view (docs/OBSERVABILITY.md).
     const auto name = [this](const char* family) {
-      return options_.metrics_scope.empty()
-                 ? std::string(family)
-                 : obs::LabeledName(family, "shard", options_.metrics_scope);
+      const bool sharded = !options_.metrics_scope.empty();
+      const bool noded = !options_.node_id.empty();
+      if (sharded && noded) {
+        return obs::LabeledName(family, "node", options_.node_id, "shard",
+                                options_.metrics_scope);
+      }
+      if (sharded) {
+        return obs::LabeledName(family, "shard", options_.metrics_scope);
+      }
+      if (noded) return obs::LabeledName(family, "node", options_.node_id);
+      return std::string(family);
     };
     connections_gauge_ = &registry->GetGauge(name("avoc_remote_connections"));
     frames_in_ = &registry->GetCounter(name("avoc_remote_frames_in_total"));
@@ -143,9 +152,22 @@ RemoteVoterServer::RemoteVoterServer(VoterGroupManager* manager,
           &registry->GetCounter(name("avoc_shard_adopted_total"));
       owned_groups_gauge_ = &registry->GetGauge(name("avoc_shard_groups"));
     }
+    if (!options_.node_id.empty()) {
+      group_migrations_out_counter_ =
+          &registry->GetCounter(name("avoc_cluster_migrations_out_total"));
+      group_migrations_in_counter_ =
+          &registry->GetCounter(name("avoc_cluster_migrations_in_total"));
+      moved_redirects_counter_ =
+          &registry->GetCounter(name("avoc_cluster_moved_total"));
+      replicated_applies_counter_ =
+          &registry->GetCounter(name("avoc_cluster_replicated_total"));
+    }
   }
   tracer_ =
       options_.tracer != nullptr ? options_.tracer : manager_->tracer();
+  if (!options_.node_id.empty()) {
+    node_suffix_ = " node=" + options_.node_id;
+  }
 }
 
 Result<std::unique_ptr<RemoteVoterServer>> RemoteVoterServer::Start(
@@ -210,9 +232,40 @@ void RemoteVoterServer::LinkShards(ShardLink link) {
   }
 }
 
+void RemoteVoterServer::LinkCluster(ClusterLink link) {
+  cluster_ = std::move(link);
+}
+
+void RemoteVoterServer::Crash() {
+  // Simulated power loss: no FIN handshakes, no reply flushes, no Stop()
+  // protocol — sockets and state vanish.  running_ stays true so a later
+  // Stop() still parks the loop and joins the thread normally; every
+  // mailbox entry point checks crashed_ instead.
+  crashed_ = true;
+  for (auto& [fd, connection] : connections_) {
+    if (connection->idle_timer != 0) loop_->CancelTimer(connection->idle_timer);
+    (void)loop_->Unwatch(fd);
+    connection->conn->Close();
+  }
+  connections_.clear();
+  if (connections_gauge_ != nullptr) connections_gauge_->Set(0.0);
+  if (listener_ != nullptr) {
+    (void)loop_->Unwatch(listener_->handle());
+    listener_->Close();
+  }
+  // Parked requests die with their connections; in-flight transfer
+  // completions find their migration gone and drop out.
+  active_migrations_.clear();
+  if (tracer_ != nullptr) {
+    tracer_->Event("cluster.crash", options_.node_id.empty()
+                                        ? std::string("node down")
+                                        : "node=" + options_.node_id);
+  }
+}
+
 void RemoteVoterServer::AdoptConnection(std::shared_ptr<Transport> transport) {
   if (transport == nullptr || !transport->valid()) return;
-  if (!running_.load() || loop_->stopped()) {
+  if (crashed_ || !running_.load() || loop_->stopped()) {
     transport->Close();
     return;
   }
@@ -534,6 +587,7 @@ void RemoteVoterServer::ProcessBinaryFrames(int fd) {
 
 void RemoteVoterServer::ExecuteFrameLocally(Connection& c, const Frame& frame,
                                             const char* route) {
+  if (IsClustered() && ClusterIntercept(c.conn->handle(), c, frame)) return;
   ++requests_;
   if (frames_in_ != nullptr) frames_in_->Increment();
   std::string response;
@@ -747,7 +801,7 @@ void RemoteVoterServer::MigrateConnection(int fd, size_t owner,
 void RemoteVoterServer::AdoptMigrated(std::shared_ptr<Connection> c,
                                       std::optional<Frame> frame,
                                       std::optional<std::string> line) {
-  if (!running_.load() || loop_->stopped()) {
+  if (crashed_ || !running_.load() || loop_->stopped()) {
     c->conn->Close();
     return;
   }
@@ -817,6 +871,413 @@ void RemoteVoterServer::StartHealthFanout(int fd, Connection& c, bool binary) {
   }
 }
 
+// --- cluster mode ------------------------------------------------------------
+
+namespace {
+
+/// Frames that change group state; these replicate to the hot standby
+/// before their reply releases (semi-synchronous replication).
+bool IsMutatingFrame(FrameType type) {
+  return type == FrameType::kSubmitBatch ||
+         type == FrameType::kSubmitBatchSeq || type == FrameType::kClose;
+}
+
+}  // namespace
+
+bool RemoteVoterServer::ClusterIntercept(int fd, Connection& c,
+                                         const Frame& frame) {
+  if (frame.type == FrameType::kMigrateGroup) {
+    ++requests_;
+    if (frames_in_ != nullptr) frames_in_->Increment();
+    std::string group;
+    uint64_t dest = 0;
+    const Status decoded = DecodeMigrateGroup(frame.payload, &group, &dest);
+    if (!decoded.ok()) {
+      if (frames_out_ != nullptr) frames_out_->Increment();
+      DeliverResponse(c, EncodeFrame(FrameType::kError,
+                                     EncodeError(decoded.ToString())));
+      return true;
+    }
+    // The verb completes only once the destination imported the group (or
+    // the attempt failed), so the reply occupies a slot like a forwarded
+    // request.
+    const uint64_t slot = AllocatePendingSlot(c);
+    BeginMigration(std::move(group), static_cast<size_t>(dest),
+                   [this, fd, conn_id = c.id, slot](Status status) {
+                     if (frames_out_ != nullptr) frames_out_->Increment();
+                     std::string response =
+                         status.ok()
+                             ? EncodeFrame(FrameType::kOk, EncodeOk(1))
+                             : EncodeFrame(FrameType::kError,
+                                           EncodeError(status.ToString()));
+                     CompleteReply(fd, conn_id, slot, std::move(response));
+                   });
+    return true;
+  }
+  const std::string group = PeekFrameGroup(frame);
+  if (group.empty()) return false;  // group-less verbs answer locally
+  // Mid-migration: park the request.  It resolves to MOVED once the
+  // handoff commits, or executes locally if the transfer failed — the
+  // client never observes the in-between.
+  const auto active = active_migrations_.find(group);
+  if (active != active_migrations_.end()) {
+    ++requests_;
+    if (frames_in_ != nullptr) frames_in_->Increment();
+    const uint64_t slot = AllocatePendingSlot(c);
+    active->second.deferred.push_back(
+        ActiveMigration::Deferred{fd, c.id, slot, frame});
+    return true;
+  }
+  const size_t owner = cluster_.control->OwnerOf(group);
+  if (owner != cluster_.node_index) {
+    // Not the placement owner: redirect — even when a copy is hosted
+    // here.  An aborted handoff (source crash after the destination
+    // imported) can leave a stale replica behind; serving it would fork
+    // the group's history, so placement always wins.
+    ++requests_;
+    if (frames_in_ != nullptr) frames_in_->Increment();
+    moved_redirects_.fetch_add(1);
+    if (moved_redirects_counter_ != nullptr) {
+      moved_redirects_counter_->Increment();
+    }
+    if (tracer_ != nullptr) {
+      tracer_->Event("cluster.moved",
+                     StrFormat("group=%s owner=n%zu%s", group.c_str(), owner,
+                               node_suffix_.c_str()));
+    }
+    if (frames_out_ != nullptr) frames_out_->Increment();
+    DeliverResponse(
+        c, EncodeFrame(FrameType::kMoved,
+                       EncodeMoved(owner, cluster_.control->NodeAddress(owner))));
+    return true;
+  }
+  // The placement owner without the group: fall through so the manager
+  // reports NotFound (the group exists nowhere).
+  if (!manager_->HasGroup(group)) return false;
+  // Hosted here.  Mutating frames on a node with a hot standby execute
+  // now but release their reply only after the standby acknowledged the
+  // shipped record, so a crash-and-failover never un-acknowledges data.
+  if (IsMutatingFrame(frame.type) &&
+      cluster_.control->HasStandby(cluster_.node_index)) {
+    ++requests_;
+    if (frames_in_ != nullptr) frames_in_->Increment();
+    if (OverHighWater(c)) {
+      backpressure_.fetch_add(1);
+      if (backpressure_counter_ != nullptr) backpressure_counter_->Increment();
+      if (tracer_ != nullptr) tracer_->Event("server.backpressure", "busy");
+      if (frames_out_ != nullptr) frames_out_->Increment();
+      DeliverResponse(c, EncodeFrame(FrameType::kError, EncodeError("busy")));
+      return true;
+    }
+    const uint64_t begin = NowNanos();
+    bool close_after = false;
+    std::string response = HandleFrame(frame, &close_after, "local");
+    if (request_latency_ != nullptr) {
+      request_latency_->RecordWithExemplar(NowNanos() - begin,
+                                           obs::ConsumeLastTraceId());
+    }
+    if (frames_out_ != nullptr) frames_out_->Increment();
+    if (close_after) c.want_close = true;
+    const uint64_t slot = AllocatePendingSlot(c);
+    CompleteAfterReplication(fd, c.id, slot, frame, std::move(response));
+    return true;
+  }
+  return false;
+}
+
+void RemoteVoterServer::CompleteAfterReplication(int fd, uint64_t conn_id,
+                                                 uint64_t slot,
+                                                 const Frame& frame,
+                                                 std::string response) {
+  ReplicationRecord record;
+  record.kind = ReplicationRecord::Kind::kFrame;
+  record.frame_type = static_cast<uint8_t>(frame.type);
+  record.bytes = frame.payload;
+  cluster_.control->Replicate(
+      cluster_.node_index, EncodeReplicationRecord(record),
+      [this, fd, conn_id, slot, response = std::move(response)](
+          Status status) mutable {
+        // The primary already applied the frame; a replication fault is
+        // surfaced to telemetry but must not fail the acknowledged
+        // request (failover replays converge through the dedup cache).
+        if (!status.ok() && tracer_ != nullptr) {
+          tracer_->Event("cluster.replicate_error", status.ToString());
+        }
+        CompleteReply(fd, conn_id, slot, std::move(response));
+      });
+}
+
+void RemoteVoterServer::BeginMigration(std::string group, size_t dest,
+                                       std::function<void(Status)> done) {
+  auto finish = [&done](Status status) {
+    if (done) done(std::move(status));
+  };
+  if (crashed_) return finish(IoError("node crashed"));
+  if (!IsClustered()) {
+    return finish(
+        FailedPreconditionError("MIGRATE_GROUP requires cluster mode"));
+  }
+  if (active_migrations_.count(group) != 0) {
+    return finish(FailedPreconditionError("migration of '" + group +
+                                          "' already in flight"));
+  }
+  const size_t owner = cluster_.control->OwnerOf(group);
+  if (owner != cluster_.node_index) {
+    // The operator asked the wrong node (or a stale host left over from
+    // an aborted handoff): same redirect contract as data requests, so
+    // tooling re-targets transparently.
+    return finish(MovedError(owner, cluster_.control->NodeAddress(owner)));
+  }
+  if (!manager_->HasGroup(group)) {
+    return finish(NotFoundError("no voter group named '" + group + "'"));
+  }
+  if (dest >= cluster_.control->NodeCount()) {
+    return finish(InvalidArgumentError(
+        StrFormat("destination node %zu out of range (cluster of %zu)", dest,
+                  cluster_.control->NodeCount())));
+  }
+  if (dest == cluster_.node_index) {
+    return finish(
+        InvalidArgumentError("destination node is already the owner"));
+  }
+  if (!cluster_.control->NodeAlive(dest)) {
+    return finish(FailedPreconditionError(
+        StrFormat("destination node %zu is down", dest)));
+  }
+  auto blob = ExportGroupBlob(group);
+  if (!blob.ok()) return finish(blob.status());
+  if (tracer_ != nullptr) {
+    tracer_->Event("cluster.migrate_begin",
+                   StrFormat("group=%s dest=n%zu%s", group.c_str(), dest,
+                             node_suffix_.c_str()));
+  }
+  // Quiesce: from here until FinishMigration, requests for the group park
+  // in the deferred queue instead of executing (ClusterIntercept).
+  ActiveMigration& migration = active_migrations_[group];
+  migration.dest = dest;
+  migration.done.push_back(std::move(done));
+  cluster_.control->TransferGroup(
+      cluster_.node_index, dest, std::move(*blob),
+      [this, group, dest](Status status) {
+        FinishMigration(group, dest, std::move(status));
+      });
+}
+
+void RemoteVoterServer::FinishMigration(const std::string& group, size_t dest,
+                                        Status result) {
+  const auto it = active_migrations_.find(group);
+  if (it == active_migrations_.end()) return;  // swept by Crash()
+  ActiveMigration migration = std::move(it->second);
+  active_migrations_.erase(it);
+  if (crashed_) return;
+  if (result.ok()) {
+    group_migrations_out_.fetch_add(1);
+    if (group_migrations_out_counter_ != nullptr) {
+      group_migrations_out_counter_->Increment();
+    }
+    (void)manager_->RemoveGroup(group);
+    (void)EraseDedupForGroup(group);
+    cluster_.control->CommitPlacement(group, dest);
+    // The standby mirrors this node's group set: tell it to drop its copy
+    // (ordered behind every earlier record through the same mailbox).
+    if (cluster_.control->HasStandby(cluster_.node_index)) {
+      ReplicationRecord record;
+      record.kind = ReplicationRecord::Kind::kRemove;
+      record.group = group;
+      cluster_.control->Replicate(cluster_.node_index,
+                                  EncodeReplicationRecord(record),
+                                  [](Status) {});
+    }
+    if (tracer_ != nullptr) {
+      tracer_->Event("cluster.migrate_commit",
+                     StrFormat("group=%s dest=n%zu%s", group.c_str(), dest,
+                               node_suffix_.c_str()));
+    }
+    // Parked requests resolve to MOVED; the resilient client re-resolves
+    // and resubmits (dedup entries travelled with the group, so retried
+    // SUBMIT_BATCH_SEQ frames replay instead of double-ingesting).
+    const std::string moved = EncodeFrame(
+        FrameType::kMoved,
+        EncodeMoved(dest, cluster_.control->NodeAddress(dest)));
+    for (ActiveMigration::Deferred& d : migration.deferred) {
+      moved_redirects_.fetch_add(1);
+      if (moved_redirects_counter_ != nullptr) {
+        moved_redirects_counter_->Increment();
+      }
+      if (frames_out_ != nullptr) frames_out_->Increment();
+      CompleteReply(d.fd, d.conn_id, d.slot, moved);
+    }
+  } else {
+    if (tracer_ != nullptr) {
+      tracer_->Event("cluster.migrate_failed",
+                     StrFormat("group=%s dest=n%zu error=%s%s", group.c_str(),
+                               dest, result.ToString().c_str(),
+                               node_suffix_.c_str()));
+    }
+    // The group stays here: run the parked requests in arrival order as
+    // if the migration never happened.
+    for (ActiveMigration::Deferred& d : migration.deferred) {
+      bool close_after = false;
+      std::string response = HandleFrame(d.frame, &close_after, "local");
+      if (frames_out_ != nullptr) frames_out_->Increment();
+      if (IsMutatingFrame(d.frame.type) &&
+          cluster_.control->HasStandby(cluster_.node_index)) {
+        CompleteAfterReplication(d.fd, d.conn_id, d.slot, d.frame,
+                                 std::move(response));
+      } else {
+        CompleteReply(d.fd, d.conn_id, d.slot, std::move(response));
+      }
+    }
+  }
+  for (std::function<void(Status)>& done : migration.done) {
+    if (done) done(result);
+  }
+}
+
+Result<std::string> RemoteVoterServer::ExportGroupBlob(
+    const std::string& group) {
+  GroupStateBlob blob;
+  blob.group = group;
+  AVOC_ASSIGN_OR_RETURN(blob.state, manager_->ExportGroupState(group));
+  // Travelling dedup: every remembered ack addressed to this group moves
+  // with it (collected here, erased only once the transfer committed).
+  for (const auto& [client_id, dedup] : dedup_) {
+    for (const auto& [seq, ack] : dedup.acks) {
+      if (ack.group != group) continue;
+      blob.dedup.push_back(
+          GroupStateBlob::DedupEntry{client_id, seq, ack.accepted});
+    }
+  }
+  return EncodeGroupState(blob);
+}
+
+Status RemoteVoterServer::ImportGroupBlob(std::string_view bytes) {
+  AVOC_ASSIGN_OR_RETURN(GroupStateBlob blob, DecodeGroupState(bytes));
+  if (manager_->HasGroup(blob.group)) {
+    // Double-migration guard: two concurrent MIGRATE_GROUPs racing the
+    // same group to different nodes fail typed on the second import.
+    return FailedPreconditionError("group '" + blob.group +
+                                   "' already hosted on this node");
+  }
+  if (!cluster_.engine_factory) {
+    return FailedPreconditionError("cluster link has no engine factory");
+  }
+  AVOC_ASSIGN_OR_RETURN(core::VotingEngine engine,
+                        cluster_.engine_factory(blob.group));
+  AVOC_RETURN_IF_ERROR(manager_->AddGroup(blob.group, std::move(engine)));
+  const Status restored = manager_->RestoreGroupState(blob.group, blob.state);
+  if (!restored.ok()) {
+    (void)manager_->RemoveGroup(blob.group);  // no half-imported groups
+    return restored;
+  }
+  for (const GroupStateBlob::DedupEntry& entry : blob.dedup) {
+    ClientDedup& dedup = dedup_[entry.client_id];
+    dedup.acks[entry.seq] = ClientDedup::AckEntry{entry.accepted, blob.group};
+    dedup.max_seq = std::max(dedup.max_seq, entry.seq);
+  }
+  if (!blob.dedup.empty() && dedup_clients_ != nullptr) {
+    dedup_clients_->Set(static_cast<double>(dedup_.size()));
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Event("cluster.migrate_in",
+                   StrFormat("group=%s%s", blob.group.c_str(),
+                             node_suffix_.c_str()));
+  }
+  return Status::Ok();
+}
+
+void RemoteVoterServer::BeginImport(std::string blob,
+                                    std::function<void(Status)> done) {
+  if (crashed_) {
+    if (done) done(IoError("node crashed"));
+    return;
+  }
+  Status imported = ImportGroupBlob(blob);
+  if (!imported.ok()) {
+    if (done) done(std::move(imported));
+    return;
+  }
+  group_migrations_in_.fetch_add(1);
+  if (group_migrations_in_counter_ != nullptr) {
+    group_migrations_in_counter_->Increment();
+  }
+  // Semi-sync: the source (and through it the operator) learns of the
+  // import only after this node's standby holds the group too, so a
+  // crash right after the handoff still fails over losslessly.
+  if (IsClustered() && cluster_.control->HasStandby(cluster_.node_index)) {
+    ReplicationRecord record;
+    record.kind = ReplicationRecord::Kind::kImport;
+    record.bytes = std::move(blob);
+    cluster_.control->Replicate(
+        cluster_.node_index, EncodeReplicationRecord(record),
+        [this, done = std::move(done)](Status status) {
+          if (!status.ok() && tracer_ != nullptr) {
+            tracer_->Event("cluster.replicate_error", status.ToString());
+          }
+          if (done) done(Status::Ok());
+        });
+    return;
+  }
+  if (done) done(Status::Ok());
+}
+
+Status RemoteVoterServer::ApplyReplicated(std::string_view record_bytes) {
+  if (crashed_) return IoError("standby crashed");
+  AVOC_ASSIGN_OR_RETURN(ReplicationRecord record,
+                        DecodeReplicationRecord(record_bytes));
+  replicated_applies_.fetch_add(1);
+  if (replicated_applies_counter_ != nullptr) {
+    replicated_applies_counter_->Increment();
+  }
+  switch (record.kind) {
+    case ReplicationRecord::Kind::kFrame: {
+      // Re-execute the raw frame against this standby's own manager and
+      // dedup map; the response is discarded (the primary answered the
+      // client).  A frame the primary rejected is rejected here too —
+      // both replicas converge on the same state either way.
+      Frame frame;
+      frame.type = static_cast<FrameType>(record.frame_type);
+      frame.payload = std::move(record.bytes);
+      bool close_after = false;
+      (void)HandleFrame(frame, &close_after, "replicated");
+      return Status::Ok();
+    }
+    case ReplicationRecord::Kind::kImport:
+      return ImportGroupBlob(record.bytes);
+    case ReplicationRecord::Kind::kRemove: {
+      // Tolerate a group this standby never saw (it attached mid-stream).
+      (void)manager_->RemoveGroup(record.group);
+      (void)EraseDedupForGroup(record.group);
+      return Status::Ok();
+    }
+  }
+  return InternalError("unreachable replication kind");
+}
+
+std::vector<GroupStateBlob::DedupEntry> RemoteVoterServer::EraseDedupForGroup(
+    const std::string& group) {
+  std::vector<GroupStateBlob::DedupEntry> erased;
+  for (auto it = dedup_.begin(); it != dedup_.end();) {
+    ClientDedup& dedup = it->second;
+    for (auto ack = dedup.acks.begin(); ack != dedup.acks.end();) {
+      if (ack->second.group == group) {
+        erased.push_back(GroupStateBlob::DedupEntry{it->first, ack->first,
+                                                    ack->second.accepted});
+        ack = dedup.acks.erase(ack);
+      } else {
+        ++ack;
+      }
+    }
+    // max_seq stays: the client's sequence numbers are global, not
+    // per-group, so the window keeps advancing monotonically.
+    it = dedup.acks.empty() ? dedup_.erase(it) : std::next(it);
+  }
+  if (!erased.empty() && dedup_clients_ != nullptr) {
+    dedup_clients_->Set(static_cast<double>(dedup_.size()));
+  }
+  return erased;
+}
+
 std::string RemoteVoterServer::HealthText() const {
   return StrFormat("HEALTH %zu\n", manager_->GroupNames().size()) +
          LocalHealthLines();
@@ -829,10 +1290,10 @@ std::string RemoteVoterServer::LocalHealthLines() const {
     if (!runner.ok()) continue;  // group removed mid-iteration
     const Status voter_status = (*runner)->voter().last_status();
     text += StrFormat(
-        "GROUP %s modules=%zu outputs=%zu open=%zu status=%s\n",
+        "GROUP %s modules=%zu outputs=%zu open=%zu status=%s%s\n",
         name.c_str(), (*runner)->module_count(),
         (*runner)->sink().output_count(), (*runner)->hub().open_rounds(),
-        voter_status.ok() ? "ok" : "error");
+        voter_status.ok() ? "ok" : "error", node_suffix_.c_str());
   }
   return text;
 }
@@ -858,8 +1319,8 @@ std::string RemoteVoterServer::HandleFrame(const Frame& frame,
       if (!decoded.ok()) return error(decoded);
       obs::ScopedSpan span(
           tracer_, obs::SpanKind::kServer, "server.submit_batch",
-          ParentOf(trace), StrFormat("group=%s route=%s", group.c_str(),
-                                     route));
+          ParentOf(trace), StrFormat("group=%s route=%s%s", group.c_str(),
+                                     route, node_suffix_.c_str()));
       std::vector<ReadingMessage> messages;
       messages.reserve(readings.size());
       for (const BatchReading& reading : readings) {
@@ -892,14 +1353,16 @@ std::string RemoteVoterServer::HandleFrame(const Frame& frame,
         // without touching the engine (exactly-once ingest).
         dedup_replays_count_.fetch_add(1);
         if (dedup_replays_ != nullptr) dedup_replays_->Increment();
-        span.SetDetailF("group=%s route=%s seq=%llu dedup=replay",
+        span.SetDetailF("group=%s route=%s seq=%llu dedup=replay%s",
                         group.c_str(), route,
-                        static_cast<unsigned long long>(seq));
-        return EncodeFrame(FrameType::kOk, EncodeOk(seen->second));
+                        static_cast<unsigned long long>(seq),
+                        node_suffix_.c_str());
+        return EncodeFrame(FrameType::kOk, EncodeOk(seen->second.accepted));
       }
-      span.SetDetailF("group=%s route=%s seq=%llu dedup=miss",
+      span.SetDetailF("group=%s route=%s seq=%llu dedup=miss%s",
                       group.c_str(), route,
-                      static_cast<unsigned long long>(seq));
+                      static_cast<unsigned long long>(seq),
+                      node_suffix_.c_str());
       std::vector<ReadingMessage> messages;
       messages.reserve(readings.size());
       for (const BatchReading& reading : readings) {
@@ -909,7 +1372,7 @@ std::string RemoteVoterServer::HandleFrame(const Frame& frame,
       }
       auto stats = manager_->SubmitBatch(group, messages);
       if (!stats.ok()) return error(stats.status());
-      dedup.acks[seq] = stats->accepted;
+      dedup.acks[seq] = ClientDedup::AckEntry{stats->accepted, group};
       dedup.max_seq = std::max(dedup.max_seq, seq);
       // Forget acknowledgements the client can no longer resend (it
       // advances its sequence number monotonically).
@@ -929,7 +1392,8 @@ std::string RemoteVoterServer::HandleFrame(const Frame& frame,
       if (!decoded.ok()) return error(decoded);
       obs::ScopedSpan span(
           tracer_, obs::SpanKind::kServer, "server.close", ParentOf(trace),
-          StrFormat("group=%s route=%s", group.c_str(), route));
+          StrFormat("group=%s route=%s%s", group.c_str(), route,
+                    node_suffix_.c_str()));
       const Status closed =
           manager_->CloseRound(group, static_cast<size_t>(round));
       if (!closed.ok()) return error(closed);
@@ -942,7 +1406,8 @@ std::string RemoteVoterServer::HandleFrame(const Frame& frame,
       if (!decoded.ok()) return error(decoded);
       obs::ScopedSpan span(
           tracer_, obs::SpanKind::kServer, "server.query", ParentOf(trace),
-          StrFormat("group=%s route=%s", group.c_str(), route));
+          StrFormat("group=%s route=%s%s", group.c_str(), route,
+                    node_suffix_.c_str()));
       auto sink = manager_->sink(group);
       if (!sink.ok()) return error(sink.status());
       const auto value = (*sink)->last_value();
@@ -961,7 +1426,8 @@ std::string RemoteVoterServer::HandleFrame(const Frame& frame,
       obs::ScopedSpan span(
           tracer_, obs::SpanKind::kServer, "server.query_range",
           ParentOf(trace),
-          StrFormat("group=%s route=%s", group.c_str(), route));
+          StrFormat("group=%s route=%s%s", group.c_str(), route,
+                    node_suffix_.c_str()));
       if (hi < lo) {
         return error(InvalidArgumentError("QUERY_RANGE hi_round < lo_round"));
       }
@@ -1003,7 +1469,8 @@ std::string RemoteVoterServer::HandleFrame(const Frame& frame,
       obs::ScopedSpan span(
           tracer_, obs::SpanKind::kServer, "server.history_get",
           ParentOf(trace),
-          StrFormat("group=%s route=%s", group.c_str(), route));
+          StrFormat("group=%s route=%s%s", group.c_str(), route,
+                    node_suffix_.c_str()));
       auto voter = manager_->voter(group);
       if (!voter.ok()) return error(voter.status());
       const core::HistoryLedger& ledger = (*voter)->engine().history();
@@ -1036,6 +1503,11 @@ std::string RemoteVoterServer::HandleFrame(const Frame& frame,
       // whole deployment's flight recorder.
       return EncodeFrame(FrameType::kText, EncodeText(tracer_->DumpText()));
     }
+    case FrameType::kMigrateGroup:
+      // Clustered servers intercept this verb before HandleFrame
+      // (ClusterIntercept); reaching here means the server is standalone.
+      return error(
+          FailedPreconditionError("MIGRATE_GROUP requires cluster mode"));
     default:
       return error(InvalidArgumentError(StrFormat(
           "unknown frame type 0x%02x", static_cast<unsigned>(frame.type))));
@@ -1170,6 +1642,17 @@ Result<Frame> RemoteVoterClient::ReadFrame() {
 }
 
 Result<Frame> RemoteVoterClient::CheckFrame(Frame frame) {
+  if (frame.type == FrameType::kMoved) {
+    uint64_t node = 0;
+    std::string address;
+    if (!DecodeMoved(frame.payload, &node, &address).ok()) {
+      return FailedPreconditionError("server: <malformed MOVED frame>");
+    }
+    // Cluster redirect: surfaces as the machine-parseable MOVED status so
+    // ResilientVoterClient re-resolves the node and resubmits; a plain
+    // client sees a typed FailedPrecondition naming the owner.
+    return MovedError(node, address);
+  }
   if (frame.type == FrameType::kError) {
     std::string reason;
     if (!DecodeError(frame.payload, &reason).ok()) {
@@ -1278,6 +1761,21 @@ Status RemoteVoterClient::CloseRound(const std::string& group, size_t round) {
       const std::string response,
       RoundTrip(StrFormat("CLOSE %s %zu", group.c_str(), round)));
   if (response != "OK") return IoError("unexpected response: " + response);
+  return Status::Ok();
+}
+
+Status RemoteVoterClient::MigrateGroup(const std::string& group,
+                                       uint64_t dest_node) {
+  if (mode_ != Mode::kBinary) {
+    return FailedPreconditionError(
+        "MigrateGroup needs a binary connection (ConnectBinary)");
+  }
+  AVOC_ASSIGN_OR_RETURN(const Frame frame,
+                        FrameRoundTrip(FrameType::kMigrateGroup,
+                                       EncodeMigrateGroup(group, dest_node)));
+  if (frame.type != FrameType::kOk) {
+    return IoError("unexpected frame in MIGRATE_GROUP reply");
+  }
   return Status::Ok();
 }
 

@@ -65,6 +65,7 @@
 #include "runtime/framing.h"
 #include "runtime/group_manager.h"
 #include "runtime/group_router.h"
+#include "runtime/migration.h"
 #include "runtime/tcp.h"
 #include "runtime/transport.h"
 
@@ -91,6 +92,11 @@ struct RemoteServerOptions {
   /// Shard scope for telemetry families (e.g. "s2" publishes
   /// avoc_remote_*{shard="s2"}).  Empty keeps the plain family names.
   std::string metrics_scope;
+  /// Node identity (e.g. "n0") once several server instances share one
+  /// registry/tracer (cluster mode).  Labels every telemetry family with
+  /// node="<id>", tags HEALTH group lines and server spans, so fan-out
+  /// verbs can tell the instances apart.  Empty keeps single-node output.
+  std::string node_id;
   /// Flight recorder / distributed tracing sink (obs/trace.h).  Null
   /// falls back to the manager's tracer; when both are null the server
   /// records nothing and pays one branch per request.
@@ -146,6 +152,47 @@ class RemoteVoterServer {
   /// Installs the shard wiring (see ShardLink).  Call once, before any
   /// connection is adopted; the link is read-only afterwards.
   void LinkShards(ShardLink link);
+
+  /// Installs the cluster wiring (see ClusterLink / runtime/cluster.h).
+  /// Call once before traffic flows; read-only afterwards.  A clustered
+  /// server answers requests for groups it does not own with a MOVED
+  /// redirect, accepts the MIGRATE_GROUP verb, and (when the cluster
+  /// gives it a hot standby) holds mutating replies until the standby
+  /// acknowledged the shipped record.
+  void LinkCluster(ClusterLink link);
+
+  /// Simulated node crash (DST only): closes the listener and every
+  /// connection without the graceful Stop() handshake and marks the
+  /// server dead, so stray mailbox posts become no-ops.  Call from the
+  /// loop thread or with the simulation world paused.
+  void Crash();
+  bool crashed() const { return crashed_; }
+
+  /// Source side of a migration without a connection (the chaos driver's
+  /// operator entry; the MIGRATE_GROUP verb routes here too): quiesces
+  /// `group`, exports its state, ships it to `dest`, then answers the
+  /// deferred requests with MOVED.  Loop-thread only; `done` fires on
+  /// the loop thread with the outcome (typed errors for a nonexistent
+  /// group, a dead/invalid destination, or a concurrent migration).
+  void BeginMigration(std::string group, size_t dest,
+                      std::function<void(Status)> done);
+
+  /// Destination side: installs a shipped GroupStateBlob (engines come
+  /// from the cluster's engine factory), replicates the import to this
+  /// node's standby, then completes.  Loop-thread only.
+  void BeginImport(std::string blob, std::function<void(Status)> done);
+
+  /// Applies one shipped replication record (hot-standby side).  Returns
+  /// the apply outcome; a torn record fails with ParseError.
+  Status ApplyReplicated(std::string_view record_bytes);
+
+  /// Group migrations this node completed as source / destination.
+  size_t group_migrations_out() const { return group_migrations_out_.load(); }
+  size_t group_migrations_in() const { return group_migrations_in_.load(); }
+  /// MOVED redirects answered.
+  size_t moved_redirects() const { return moved_redirects_.load(); }
+  /// Replication records applied as a standby.
+  size_t replicated_applies() const { return replicated_applies_.load(); }
 
   /// Takes ownership of an accepted transport (already non-blocking) and
   /// runs the standard connection state machine on it.  Loop-thread
@@ -290,10 +337,59 @@ class RemoteVoterServer {
   void StartHealthFanout(int fd, Connection& c, bool binary);
 
   /// Remembered SUBMIT_BATCH_SEQ acknowledgements for one client
-  /// identity (loop thread only).
+  /// identity (loop thread only).  Each ack remembers the group it
+  /// addressed so the entries can travel with a migrated group.
   struct ClientDedup {
-    std::map<uint64_t, uint64_t> acks;  ///< seq -> accepted count
+    struct AckEntry {
+      uint64_t accepted = 0;
+      std::string group;
+    };
+    std::map<uint64_t, AckEntry> acks;  ///< seq -> ack
     uint64_t max_seq = 0;
+  };
+
+  // --- cluster mode (all loop-thread-only) ---------------------------------
+  bool IsClustered() const { return cluster_.control != nullptr; }
+
+  /// Routes one frame through the cluster layer before local execution.
+  /// Returns true when the frame was consumed (deferred behind an active
+  /// migration, answered with MOVED, executed with a replication hold,
+  /// or started a migration); false to fall through to plain local
+  /// execution.
+  bool ClusterIntercept(int fd, Connection& c, const Frame& frame);
+
+  /// Executes a mutating frame and holds its reply slot until the
+  /// standby acknowledged the shipped record (no-op pass-through when
+  /// the node has no standby).
+  void CompleteAfterReplication(int fd, uint64_t conn_id, uint64_t slot,
+                                const Frame& frame, std::string response);
+
+  /// Source-side completion: on success removes the group, erases its
+  /// travelling dedup, commits placement, and answers deferred requests
+  /// with MOVED; on failure re-executes them locally in order.
+  void FinishMigration(const std::string& group, size_t dest, Status result);
+
+  /// Serializes one group (pipeline state + travelling dedup entries).
+  Result<std::string> ExportGroupBlob(const std::string& group);
+  /// Installs a shipped blob (engine from the cluster catalog, state
+  /// restore with rollback, dedup merge).
+  Status ImportGroupBlob(std::string_view bytes);
+  /// Drops dedup acks addressed to `group`; returns the erased entries.
+  std::vector<GroupStateBlob::DedupEntry> EraseDedupForGroup(
+      const std::string& group);
+
+  /// One in-flight outbound migration: requests for the group arriving
+  /// while it runs are parked here instead of executing.
+  struct ActiveMigration {
+    size_t dest = 0;
+    struct Deferred {
+      int fd = -1;
+      uint64_t conn_id = 0;
+      uint64_t slot = 0;
+      Frame frame;
+    };
+    std::vector<Deferred> deferred;
+    std::vector<std::function<void(Status)>> done;
   };
 
   VoterGroupManager* manager_;
@@ -316,6 +412,19 @@ class RemoteVoterServer {
   /// loop thread without locks.
   ShardLink link_;
   GroupRouter router_{1};
+
+  /// Cluster wiring; control == nullptr for a standalone server.  Same
+  /// install-once discipline as link_.
+  ClusterLink cluster_;
+  std::map<std::string, ActiveMigration> active_migrations_;  // loop thread
+  bool crashed_ = false;                                      // loop thread
+  std::atomic<size_t> group_migrations_out_{0};
+  std::atomic<size_t> group_migrations_in_{0};
+  std::atomic<size_t> moved_redirects_{0};
+  std::atomic<size_t> replicated_applies_{0};
+  /// " node=<id>" when options_.node_id set, else empty — appended to
+  /// HEALTH group lines and span details so fan-outs identify the node.
+  std::string node_suffix_;
 
   /// Resolved tracing sink: options_.tracer, else the manager's tracer,
   /// else null (tracing off).  Shared across shards — spans from every
@@ -341,6 +450,10 @@ class RemoteVoterServer {
   obs::Counter* migrations_counter_ = nullptr;
   obs::Counter* adopted_counter_ = nullptr;
   obs::Gauge* owned_groups_gauge_ = nullptr;
+  obs::Counter* group_migrations_out_counter_ = nullptr;
+  obs::Counter* group_migrations_in_counter_ = nullptr;
+  obs::Counter* moved_redirects_counter_ = nullptr;
+  obs::Counter* replicated_applies_counter_ = nullptr;
 };
 
 /// Client helper speaking either protocol.  Connect() yields a legacy
@@ -396,6 +509,10 @@ class RemoteVoterClient {
   size_t pending_replies() const { return pending_submits_; }
 
   Status CloseRound(const std::string& group, size_t round);
+  /// Operator verb: asks the server to migrate `group` to cluster node
+  /// `dest_node` (MIGRATE_GROUP).  Binary mode only; FailedPrecondition
+  /// on a standalone (non-clustered) server.
+  Status MigrateGroup(const std::string& group, uint64_t dest_node);
   /// Last fused value of the group; NotFound when none yet.
   Result<double> Query(const std::string& group);
   /// The group's stored vote trace restricted to rounds in

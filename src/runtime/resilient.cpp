@@ -31,7 +31,23 @@ ResilientVoterClient::ResilientVoterClient(TransportFactory factory,
         &registry->GetCounter("avoc_remote_retry_backoff_ms_total");
     retry_giveups_metric_ =
         &registry->GetCounter("avoc_remote_retry_giveups_total");
+    redirects_metric_ =
+        &registry->GetCounter("avoc_client_redirects_total");
   }
+}
+
+void ResilientVoterClient::UseNodeDirectory(NodeDialer dialer,
+                                            size_t node_count,
+                                            size_t initial_node) {
+  node_dialer_ = std::move(dialer);
+  node_count_ = node_count;
+  target_node_ = node_count == 0 ? 0 : initial_node % node_count;
+  DropConnection();
+}
+
+Result<std::unique_ptr<Transport>> ResilientVoterClient::Dial() {
+  if (node_dialer_) return node_dialer_(target_node_);
+  return factory_();
 }
 
 bool ResilientVoterClient::IsTransportError(const Status& status) {
@@ -74,7 +90,13 @@ Status ResilientVoterClient::EnsureConnected(uint64_t deadline_at_ms,
   if (client_.has_value()) return Status::Ok();
   Status last = IoError("never attempted");
   while (policy_.max_attempts == 0 || *attempt < policy_.max_attempts) {
-    Result<std::unique_ptr<Transport>> transport = factory_();
+    Result<std::unique_ptr<Transport>> transport = Dial();
+    if (!transport.ok() && node_dialer_ && node_count_ > 1) {
+      // Cluster mode: the target may simply be down (crash before
+      // failover) — rotate so the next dial lands on a living node,
+      // which answers directly or redirects to the owner.
+      target_node_ = (target_node_ + 1) % node_count_;
+    }
     if (transport.ok()) {
       Result<RemoteVoterClient> client =
           RemoteVoterClient::FromTransport(std::move(*transport),
@@ -116,6 +138,7 @@ Status ResilientVoterClient::Execute(
   const uint64_t deadline_at_ms = clock_->NowMs() + policy_.deadline_ms;
   int attempt = 0;
   int tries = 0;
+  size_t redirects = 0;
   Status last = IoError("never attempted");
   while (policy_.max_attempts == 0 || attempt < policy_.max_attempts) {
     Status conn = EnsureConnected(deadline_at_ms, &attempt);
@@ -140,6 +163,33 @@ Status ResilientVoterClient::Execute(
       }
     }
     ++tries;
+    if (uint64_t moved_node = 0; TryParseMoved(status, &moved_node)) {
+      // The group lives elsewhere: re-target and re-dial immediately.
+      // The op keeps its captures (same sequence number for submits), so
+      // following the redirect preserves exactly-once.
+      ++redirects_followed_;
+      if (redirects_metric_ != nullptr) redirects_metric_->Increment();
+      if (tracer_ != nullptr) {
+        tracer_->Event("client.redirect",
+                       StrFormat("node=%llu redirect=%zu",
+                                 static_cast<unsigned long long>(moved_node),
+                                 redirects + 1));
+      }
+      if (++redirects > policy_.max_redirects) {
+        ++giveups_;
+        if (retry_giveups_metric_ != nullptr) {
+          retry_giveups_metric_->Increment();
+        }
+        return FailedPreconditionError(StrFormat(
+            "redirect loop: followed %zu MOVED redirects (max_redirects=%zu)",
+            redirects - 1, policy_.max_redirects));
+      }
+      if (node_dialer_ && node_count_ > 0) {
+        target_node_ = static_cast<size_t>(moved_node % node_count_);
+      }
+      DropConnection();
+      continue;  // no backoff, no attempt consumed
+    }
     if (status.ok() || !IsTransportError(status)) return status;
     // Transport failure: the connection is unusable; reconnect and retry.
     last = status;

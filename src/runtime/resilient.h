@@ -59,6 +59,11 @@ struct RetryPolicy {
   /// child spans); 1 traces every call, 0 disables client spans.  Only
   /// meaningful when the client carries a tracer.
   size_t trace_sample_every = 1;
+  /// Cluster mode: MOVED redirects followed within ONE call before the
+  /// call fails typed (guards against redirect loops from a confused
+  /// placement map).  Redirects don't consume attempts or backoff — the
+  /// server named a live owner, so the client re-dials immediately.
+  size_t max_redirects = 8;
 };
 
 /// A voter client that survives resets, timeouts, and partitions, with
@@ -81,6 +86,22 @@ class ResilientVoterClient {
                        std::string client_id, RetryPolicy policy,
                        uint64_t seed, obs::Registry* registry = nullptr,
                        obs::Tracer* tracer = nullptr);
+
+  /// Dials one cluster node by index (cluster mode).
+  using NodeDialer =
+      std::function<Result<std::unique_ptr<Transport>>(size_t node)>;
+
+  /// Switches the client to cluster node-directory mode: connections dial
+  /// `dialer(target_node)` instead of the flat factory.  A MOVED redirect
+  /// re-targets and re-dials without backoff (the in-flight SubmitBatch
+  /// keeps its sequence number, so the move stays exactly-once); a
+  /// connect failure rotates to the next node, so a crashed node's
+  /// clients find the failover endpoint on their own.
+  void UseNodeDirectory(NodeDialer dialer, size_t node_count,
+                        size_t initial_node = 0);
+
+  /// Node index the next dial targets (cluster mode).
+  size_t target_node() const { return target_node_; }
 
   /// Exactly-once batched submit.  Assigns the next sequence number once,
   /// then retries (reconnecting as needed) until the server acknowledges
@@ -108,6 +129,8 @@ class ResilientVoterClient {
   size_t retry_attempts() const { return retry_attempts_; }
   size_t request_timeouts() const { return request_timeouts_; }
   size_t giveups() const { return giveups_; }
+  /// MOVED redirects followed (cluster mode).
+  size_t redirects_followed() const { return redirects_followed_; }
 
  private:
   /// True for failures that mean "the connection is gone", as opposed to
@@ -131,6 +154,10 @@ class ResilientVoterClient {
 
   void DropConnection();
 
+  /// One connection attempt: the node dialer at the current target in
+  /// cluster mode, the flat factory otherwise.
+  Result<std::unique_ptr<Transport>> Dial();
+
   TransportFactory factory_;
   Clock* clock_;
   std::string client_id_;
@@ -140,12 +167,17 @@ class ResilientVoterClient {
   uint64_t next_seq_ = 1;
   obs::Tracer* tracer_ = nullptr;
 
+  NodeDialer node_dialer_;
+  size_t node_count_ = 0;
+  size_t target_node_ = 0;
+
   size_t connects_ = 0;
   size_t reconnects_ = 0;
   size_t connect_failures_ = 0;
   size_t retry_attempts_ = 0;
   size_t request_timeouts_ = 0;
   size_t giveups_ = 0;
+  size_t redirects_followed_ = 0;
 
   obs::Counter* connects_metric_ = nullptr;
   obs::Counter* reconnects_metric_ = nullptr;
@@ -154,6 +186,7 @@ class ResilientVoterClient {
   obs::Counter* retry_attempts_metric_ = nullptr;
   obs::Counter* retry_backoff_ms_metric_ = nullptr;
   obs::Counter* retry_giveups_metric_ = nullptr;
+  obs::Counter* redirects_metric_ = nullptr;
 };
 
 }  // namespace avoc::runtime

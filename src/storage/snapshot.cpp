@@ -1,0 +1,78 @@
+#include "storage/snapshot.h"
+
+#include "storage/io.h"
+#include "util/strings.h"
+
+namespace avoc::storage {
+namespace {
+
+// "AVSN" magic + one version byte.  The CRC is appended last, over the
+// magic, version, and body together.
+constexpr char kMagic[4] = {'A', 'V', 'S', 'N'};
+constexpr uint8_t kVersion = 1;
+
+}  // namespace
+
+std::string EncodeHistorySnapshot(const HistorySnapshot& snapshot) {
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  AppendU8(out, kVersion);
+  AppendU64(out, static_cast<uint64_t>(snapshot.rounds));
+  AppendU64(out, static_cast<uint64_t>(snapshot.records.size()));
+  for (const double record : snapshot.records) AppendF64(out, record);
+  AppendU32(out, Crc32(out));
+  return out;
+}
+
+Result<HistorySnapshot> DecodeHistorySnapshot(std::string_view bytes) {
+  if (bytes.size() < sizeof(kMagic) + 1 + 4) {
+    return ParseError("snapshot: truncated header");
+  }
+  if (bytes.substr(0, sizeof(kMagic)) !=
+      std::string_view(kMagic, sizeof(kMagic))) {
+    return ParseError("snapshot: bad magic");
+  }
+  const std::string_view body = bytes.substr(0, bytes.size() - 4);
+  ByteReader crc_reader(bytes.substr(bytes.size() - 4));
+  AVOC_ASSIGN_OR_RETURN(const uint32_t stored_crc, crc_reader.ReadU32());
+  if (Crc32(body) != stored_crc) {
+    return ParseError("snapshot: CRC mismatch (torn or corrupted file)");
+  }
+  ByteReader reader(body.substr(sizeof(kMagic)));
+  AVOC_ASSIGN_OR_RETURN(const uint8_t version, reader.ReadU8());
+  if (version != kVersion) {
+    return ParseError(
+        StrFormat("snapshot: unsupported version %u", unsigned{version}));
+  }
+  HistorySnapshot snapshot;
+  AVOC_ASSIGN_OR_RETURN(const uint64_t rounds, reader.ReadU64());
+  snapshot.rounds = static_cast<size_t>(rounds);
+  AVOC_ASSIGN_OR_RETURN(const uint64_t count, reader.ReadU64());
+  if (count > reader.remaining() / 8) {
+    return ParseError("snapshot: record count exceeds payload");
+  }
+  snapshot.records.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    AVOC_ASSIGN_OR_RETURN(const double record, reader.ReadF64());
+    snapshot.records.push_back(record);
+  }
+  AVOC_RETURN_IF_ERROR(reader.ExpectEnd());
+  return snapshot;
+}
+
+Status ExportSnapshotToFile(const HistoryBackend& store,
+                            const std::string& group,
+                            const std::string& path) {
+  AVOC_ASSIGN_OR_RETURN(const HistorySnapshot snapshot, store.Get(group));
+  return WriteFileDurable(path, EncodeHistorySnapshot(snapshot));
+}
+
+Status ImportSnapshotFromFile(HistoryBackend& store, const std::string& group,
+                              const std::string& path) {
+  AVOC_ASSIGN_OR_RETURN(const std::string bytes, ReadFileToString(path));
+  AVOC_ASSIGN_OR_RETURN(const HistorySnapshot snapshot,
+                        DecodeHistorySnapshot(bytes));
+  return store.Put(group, snapshot);
+}
+
+}  // namespace avoc::storage

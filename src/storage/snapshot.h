@@ -1,0 +1,40 @@
+// Portable history-snapshot files: the HistoryBackend seam serialized to
+// one self-checking byte string, used when a voter group's learned
+// reliability records leave the process — migration handoff between
+// nodes (runtime/cluster.h) and operator export/import.  See
+// docs/MIGRATION.md.
+//
+// The codec is bit-exact for every double (NaN, infinities, -0.0 round
+// trip verbatim) because a migrated voter must keep voting
+// bit-identically with the source.  Files carry a magic, a version, and
+// a trailing CRC32 over everything before it; a torn or corrupted file
+// decodes to a typed ParseError, never garbage.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "storage/backend.h"
+#include "util/status.h"
+
+namespace avoc::storage {
+
+/// One group's HistorySnapshot as a self-checking byte string.
+std::string EncodeHistorySnapshot(const HistorySnapshot& snapshot);
+
+/// Decodes EncodeHistorySnapshot output.  ParseError on bad magic,
+/// unknown version, truncation, trailing bytes, or CRC mismatch.
+Result<HistorySnapshot> DecodeHistorySnapshot(std::string_view bytes);
+
+/// Reads `group` from `store` and writes its snapshot durably (atomic
+/// replace) to `path`.  NotFound when the store has no such group.
+Status ExportSnapshotToFile(const HistoryBackend& store,
+                            const std::string& group,
+                            const std::string& path);
+
+/// Decodes `path` and installs it under `group`.  All-or-nothing: a
+/// torn or corrupted file leaves the store untouched.
+Status ImportSnapshotFromFile(HistoryBackend& store, const std::string& group,
+                              const std::string& path);
+
+}  // namespace avoc::storage

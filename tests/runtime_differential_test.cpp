@@ -1,15 +1,17 @@
-// Differential test: four ingest paths, one truth.
+// Differential test: five ingest paths, one truth.
 //
 // The same seeded workload is pushed through (a) the in-process
 // VoterGroupManager batch API, (b) the binary frame protocol over a
 // chaotic-but-healing simulated network with the resilient client, (c)
 // the legacy line protocol over a gentle simulated network (delays and
-// fragmentation only — the line protocol has no retry identity), and
-// (d) the 3-shard ShardedVoterServer under the same chaos, where the
+// fragmentation only — the line protocol has no retry identity), (d)
+// the 3-shard ShardedVoterServer under the same chaos, where the
 // target group lives on whatever shard the router says and the
-// connection must migrate to reach it.  All four must produce
-// bit-identical sink traces: same rounds, same fused values, no
-// duplicates, no holes.
+// connection must migrate to reach it, and (e) a 2-node VoterCluster
+// under the same chaos with the group MIGRATED between nodes twice
+// mid-workload, the client chasing MOVED redirects.  All five must
+// produce bit-identical sink traces: same rounds, same fused values,
+// no duplicates, no holes.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -18,6 +20,7 @@
 
 #include "core/algorithms.h"
 #include "obs/metrics.h"
+#include "runtime/cluster.h"
 #include "runtime/group_manager.h"
 #include "runtime/remote.h"
 #include "runtime/resilient.h"
@@ -194,6 +197,68 @@ std::string ShardedChaosTrace(uint64_t seed) {
   return trace;
 }
 
+std::string ClusterMigrationTrace(uint64_t seed) {
+  SimWorld::Options options;
+  options.fault_plan = FaultPlan::Chaos(seed, 3000);
+  SimWorld world(seed, options);
+  obs::Registry registry;
+  VoterCluster::Options cluster_options;
+  cluster_options.nodes = 2;
+  auto cluster = VoterCluster::StartOnWorld(&world, cluster_options,
+                                            &registry);
+  EXPECT_TRUE(cluster.ok()) << cluster.status().ToString();
+  EXPECT_TRUE(
+      (*cluster)
+          ->AddGroup("lights",
+                     [] {
+                       return core::MakeEngine(core::AlgorithmId::kAvoc,
+                                               kModules);
+                     })
+          .ok());
+
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 5;
+  policy.max_backoff_ms = 200;
+  policy.request_timeout_ms = 150;
+  policy.deadline_ms = 60 * 1000;
+  ResilientVoterClient client(
+      []() -> Result<std::unique_ptr<Transport>> {
+        return IoError("node directory only");
+      },
+      &world, "diff-client", policy, seed, &registry);
+  client.UseNodeDirectory(
+      [&cluster](size_t node) { return (*cluster)->DialNode(node); },
+      /*node_count=*/2);
+  const auto workload = WorkloadFor(seed);
+  for (size_t r = 0; r < workload.size(); ++r) {
+    auto accepted = client.SubmitBatch("lights", workload[r]);
+    EXPECT_TRUE(accepted.ok()) << accepted.status().ToString();
+    if (r == 1 || r == 3) {
+      // Bounce the group to the other node mid-workload; the handoff
+      // commits while the next rounds are already being submitted.
+      const size_t owner = (*cluster)->OwnerOf("lights");
+      (*cluster)->Migrate("lights", 1 - owner, [](Status status) {
+        EXPECT_TRUE(status.ok()) << status.ToString();
+      });
+      world.Pump();
+    }
+  }
+  world.Pump();
+  auto sink = (*cluster)->sink("lights");
+  std::string trace = "<no sink>";
+  if (sink.ok()) {
+    trace.clear();
+    for (const OutputMessage& out : (*sink)->outputs()) {
+      trace += StrFormat("%zu %d %a\n", out.round,
+                         static_cast<int>(out.result.outcome),
+                         out.result.value.value_or(-0.0));
+    }
+  }
+  EXPECT_GE(client.redirects_followed(), 1u);
+  (*cluster)->Stop();
+  return trace;
+}
+
 TEST(DifferentialTest, AllIngestPathsProduceIdenticalSinkTraces) {
   for (uint64_t seed = 500; seed < 516; ++seed) {
     SCOPED_TRACE(StrFormat("seed=%llu",
@@ -204,6 +269,7 @@ TEST(DifferentialTest, AllIngestPathsProduceIdenticalSinkTraces) {
     EXPECT_EQ(BinaryChaosTrace(seed), in_process);
     EXPECT_EQ(LegacyGentleTrace(seed), in_process);
     EXPECT_EQ(ShardedChaosTrace(seed), in_process);
+    EXPECT_EQ(ClusterMigrationTrace(seed), in_process);
   }
 }
 

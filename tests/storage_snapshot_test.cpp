@@ -1,0 +1,277 @@
+// Hostile-input coverage for the portable history-snapshot codec
+// (storage/snapshot.h) — the byte format a voter group's reliability
+// ledger travels in during migration handoff and operator export/import.
+//
+// The contract: every double round-trips BIT-exactly (NaN payloads,
+// infinities, -0.0), an empty group round-trips, and a torn, truncated,
+// or corrupted file decodes to a typed ParseError with the importing
+// store left untouched.  The mangling menu mirrors the storage engine's
+// corruption soak (storage_corruption_soak_test.cpp).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "storage/backend.h"
+#include "storage/snapshot.h"
+#include "util/rng.h"
+
+namespace avoc::storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempPath(const std::string& tag) {
+  return (fs::temp_directory_path() /
+          ("avoc_snapshot_" + std::to_string(::getpid()) + "_" + tag))
+      .string();
+}
+
+/// Minimal in-memory HistoryBackend: just enough store to drive the
+/// file-level export/import seams without a storage engine on disk.
+class MapBackend final : public HistoryBackend {
+ public:
+  Status Put(const std::string& group,
+             const HistorySnapshot& snapshot) override {
+    snapshots_[group] = snapshot;
+    return Status::Ok();
+  }
+  Result<HistorySnapshot> Get(const std::string& group) const override {
+    const auto it = snapshots_.find(group);
+    if (it == snapshots_.end()) return NotFoundError("no group " + group);
+    return it->second;
+  }
+  Result<bool> Erase(const std::string& group) override {
+    return snapshots_.erase(group) != 0;
+  }
+  std::vector<std::string> Groups() const override {
+    std::vector<std::string> names;
+    for (const auto& [name, snapshot] : snapshots_) names.push_back(name);
+    return names;
+  }
+  size_t size() const override { return snapshots_.size(); }
+
+ private:
+  std::map<std::string, HistorySnapshot> snapshots_;
+};
+
+bool BitIdentical(const HistorySnapshot& a, const HistorySnapshot& b) {
+  if (a.rounds != b.rounds || a.records.size() != b.records.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.records.size(); ++i) {
+    if (std::bit_cast<uint64_t>(a.records[i]) !=
+        std::bit_cast<uint64_t>(b.records[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+HistorySnapshot HostileSnapshot() {
+  HistorySnapshot snapshot;
+  snapshot.records = {0.0,
+                      -0.0,
+                      std::numeric_limits<double>::quiet_NaN(),
+                      std::numeric_limits<double>::signaling_NaN(),
+                      std::numeric_limits<double>::infinity(),
+                      -std::numeric_limits<double>::infinity(),
+                      std::numeric_limits<double>::denorm_min(),
+                      std::numeric_limits<double>::max(),
+                      1.0 / 3.0};
+  snapshot.rounds = 0xDEADBEEFu;
+  return snapshot;
+}
+
+TEST(SnapshotCodecTest, SpecialDoublesRoundTripBitExactly) {
+  const HistorySnapshot snapshot = HostileSnapshot();
+  auto decoded = DecodeHistorySnapshot(EncodeHistorySnapshot(snapshot));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(BitIdentical(snapshot, *decoded));
+}
+
+TEST(SnapshotCodecTest, EmptyGroupRoundTrips) {
+  HistorySnapshot empty;
+  auto decoded = DecodeHistorySnapshot(EncodeHistorySnapshot(empty));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded->records.empty());
+  EXPECT_EQ(decoded->rounds, 0u);
+}
+
+TEST(SnapshotCodecTest, EveryTruncationFailsTyped) {
+  const std::string good = EncodeHistorySnapshot(HostileSnapshot());
+  for (size_t len = 0; len < good.size(); ++len) {
+    auto decoded = DecodeHistorySnapshot(std::string_view(good).substr(0, len));
+    ASSERT_FALSE(decoded.ok()) << "len=" << len;
+    EXPECT_EQ(decoded.status().code(), ErrorCode::kParseError)
+        << "len=" << len << ": " << decoded.status().ToString();
+  }
+}
+
+TEST(SnapshotCodecTest, BitFlipsCrcTrailingBytesAndBadMagicFailTyped) {
+  const std::string good = EncodeHistorySnapshot(HostileSnapshot());
+  avoc::Rng rng(0x5A55ull);
+  for (int i = 0; i < 500; ++i) {
+    std::string bytes = good;
+    bytes[rng.UniformInt(bytes.size())] ^=
+        static_cast<char>(1u << rng.UniformInt(8));
+    auto decoded = DecodeHistorySnapshot(bytes);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.status().code(), ErrorCode::kParseError);
+  }
+  EXPECT_FALSE(DecodeHistorySnapshot(good + "tail").ok());
+  EXPECT_FALSE(DecodeHistorySnapshot("").ok());
+  EXPECT_FALSE(DecodeHistorySnapshot("not a snapshot at all").ok());
+  std::string wrong_magic = good;
+  wrong_magic[0] = 'X';
+  auto decoded = DecodeHistorySnapshot(wrong_magic);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), ErrorCode::kParseError);
+}
+
+TEST(SnapshotCodecTest, FuzzBytesNeverFault) {
+  avoc::Rng rng(0xFADE5ull);
+  for (int iter = 0; iter < 3000; ++iter) {
+    std::string bytes;
+    const size_t len = rng.UniformInt(160);
+    bytes.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      bytes.push_back(static_cast<char>(rng()));
+    }
+    // Must return ok or a typed error, never crash or read out of bounds.
+    auto decoded = DecodeHistorySnapshot(bytes);
+    if (!decoded.ok()) {
+      EXPECT_EQ(decoded.status().code(), ErrorCode::kParseError);
+    }
+  }
+}
+
+TEST(SnapshotFileTest, ExportImportRoundTripsThroughTheBackendSeam) {
+  MapBackend store;
+  ASSERT_TRUE(store.Put("lights", HostileSnapshot()).ok());
+  const std::string path = TempPath("roundtrip");
+  ASSERT_TRUE(ExportSnapshotToFile(store, "lights", path).ok());
+
+  MapBackend other;
+  ASSERT_TRUE(ImportSnapshotFromFile(other, "copy", path).ok());
+  auto imported = other.Get("copy");
+  ASSERT_TRUE(imported.ok());
+  EXPECT_TRUE(BitIdentical(HostileSnapshot(), *imported));
+  fs::remove(path);
+}
+
+TEST(SnapshotFileTest, ExportOfMissingGroupIsNotFound) {
+  MapBackend store;
+  const std::string path = TempPath("missing");
+  const Status status = ExportSnapshotToFile(store, "ghost", path);
+  EXPECT_EQ(status.code(), ErrorCode::kNotFound) << status.ToString();
+  EXPECT_FALSE(fs::exists(path));
+}
+
+TEST(SnapshotFileTest, TornFileLeavesTheStoreUntouched) {
+  MapBackend store;
+  ASSERT_TRUE(store.Put("lights", HostileSnapshot()).ok());
+  const std::string path = TempPath("torn");
+  ASSERT_TRUE(ExportSnapshotToFile(store, "lights", path).ok());
+
+  // Tear the file at every plausible sync point and re-import.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  avoc::Rng rng(0x7042ull);
+  for (int i = 0; i < 32; ++i) {
+    const size_t keep = rng.UniformInt(bytes.size());
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(keep));
+    }
+    MapBackend target;
+    ASSERT_TRUE(target.Put("keepme", HistorySnapshot{{1.0}, 1}).ok());
+    const Status status = ImportSnapshotFromFile(target, "lights", path);
+    EXPECT_FALSE(status.ok()) << "keep=" << keep;
+    // All-or-nothing: no partial group appeared, nothing else vanished.
+    EXPECT_FALSE(target.Get("lights").ok()) << "keep=" << keep;
+    EXPECT_TRUE(target.Get("keepme").ok());
+    EXPECT_EQ(target.size(), 1u);
+  }
+  fs::remove(path);
+}
+
+TEST(SnapshotFileTest, ImportOfMissingFileIsTypedError) {
+  MapBackend store;
+  const Status status =
+      ImportSnapshotFromFile(store, "lights", TempPath("never_written"));
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(store.size(), 0u);
+}
+
+// Seeded soak across the whole mangle menu, mirroring the storage
+// engine's corruption soak: decode must recover-or-reject, never fault.
+TEST(SnapshotFileTest, SeededCorruptionSoakRecoversOrRejects) {
+  size_t rejected = 0;
+  for (uint64_t seed = 0; seed < 200; ++seed) {
+    avoc::Rng rng(0x5EED ^ (seed * 0x9E3779B97F4A7C15ull));
+    HistorySnapshot snapshot;
+    const size_t modules = rng.UniformInt(8);
+    for (size_t m = 0; m < modules; ++m) {
+      switch (rng.UniformInt(4)) {
+        case 0:
+          snapshot.records.push_back(std::numeric_limits<double>::quiet_NaN());
+          break;
+        case 1:
+          snapshot.records.push_back(-0.0);
+          break;
+        case 2:
+          snapshot.records.push_back(
+              -std::numeric_limits<double>::infinity());
+          break;
+        default:
+          snapshot.records.push_back(rng.NextDouble() * 1e9);
+          break;
+      }
+    }
+    snapshot.rounds = rng.UniformInt(1 << 20);
+    std::string bytes = EncodeHistorySnapshot(snapshot);
+    switch (rng.UniformInt(3)) {
+      case 0:
+        bytes.resize(rng.UniformInt(bytes.size() + 1));
+        break;
+      case 1: {
+        const size_t flips = 1 + rng.UniformInt(8);
+        for (size_t i = 0; i < flips && !bytes.empty(); ++i) {
+          bytes[rng.UniformInt(bytes.size())] ^=
+              static_cast<char>(1u << rng.UniformInt(8));
+        }
+        break;
+      }
+      default: {
+        const size_t len = 1 + rng.UniformInt(32);
+        for (size_t i = 0; i < len; ++i) {
+          bytes.push_back(static_cast<char>(rng()));
+        }
+        break;
+      }
+    }
+    auto decoded = DecodeHistorySnapshot(bytes);
+    if (!decoded.ok()) {
+      EXPECT_EQ(decoded.status().code(), ErrorCode::kParseError)
+          << "seed " << seed;
+      ++rejected;
+    }
+    // A truncation that kept everything can still decode; any real damage
+    // must be rejected by the CRC.
+  }
+  EXPECT_GT(rejected, 150u);
+}
+
+}  // namespace
+}  // namespace avoc::storage
